@@ -1,0 +1,68 @@
+(* Convergence traces: each protocol's expected joined level as it
+   climbs from layer 1, rendered as ASCII trajectories from the exact
+   transient Markov chain, next to a simulated run.
+
+   Run with: dune exec examples/convergence_trace.exe *)
+
+module Protocol = Mmfair_protocols.Protocol
+module Two_receiver = Mmfair_markov.Two_receiver
+module Transient = Mmfair_markov.Transient
+module Runner = Mmfair_protocols.Runner
+module Layer_schedule = Mmfair_protocols.Layer_schedule
+
+let sparkline values ~lo ~hi =
+  let glyphs = [| '_'; '.'; '-'; '='; '*'; '#' |] in
+  String.init (Array.length values) (fun i ->
+      let x = (values.(i) -. lo) /. (hi -. lo) in
+      let idx = int_of_float (Float.round (x *. float_of_int (Array.length glyphs - 1))) in
+      glyphs.(Stdlib.max 0 (Stdlib.min (Array.length glyphs - 1) idx)))
+
+let () =
+  let layers = 4 and loss = 0.02 and slots = 1536 in
+  Format.printf
+    "Expected joined level climbing from layer 1 (exact transient chain; %d layers, fanout loss %g):@.@."
+    layers loss;
+  List.iter
+    (fun kind ->
+      let p = Two_receiver.params ~layers ~shared_loss:0.0001 ~loss1:loss ~loss2:loss kind in
+      let tr = Transient.trajectory ~sample_every:32 p ~start_level:1 ~slots in
+      Format.printf "  %-14s 1 %s %.2f@." (Protocol.kind_name kind)
+        (sparkline tr.Transient.mean_level ~lo:1.0 ~hi:(float_of_int layers))
+        tr.Transient.mean_level.(Array.length tr.Transient.mean_level - 1))
+    Protocol.all_kinds;
+  Format.printf "  %-14s   (0 .. %d slots; glyph height = level between 1 and %d)@.@." "" slots layers;
+
+  Format.printf "Simulated mean level over 20 receivers (one seeded run, sampled every 32 slots):@.@.";
+  List.iter
+    (fun kind ->
+      let star =
+        Mmfair_topology.Builders.modified_star ~shared_capacity:1e9
+          ~fanout_capacities:(Array.make 20 1e9)
+      in
+      let samples = ref [] in
+      let observer ~slot ~levels =
+        if slot mod 32 = 0 then begin
+          let mean =
+            float_of_int (Array.fold_left ( + ) 0 levels) /. float_of_int (Array.length levels)
+          in
+          samples := mean :: !samples
+        end
+      in
+      let cfg =
+        Runner.config ~layers ~packets:slots ~warmup:0 ~schedule_mode:Layer_schedule.Random
+          ~seed:9L kind
+      in
+      ignore
+        (Runner.run_tree ~observer cfg ~graph:star.Mmfair_topology.Builders.graph
+           ~sender:star.Mmfair_topology.Builders.sender
+           ~receivers:star.Mmfair_topology.Builders.receivers
+           ~loss_rate:(fun l -> if l = star.Mmfair_topology.Builders.shared then 0.0001 else loss)
+           ~measured_link:star.Mmfair_topology.Builders.shared);
+      let values = Array.of_list (List.rev !samples) in
+      Format.printf "  %-14s 1 %s %.2f@." (Protocol.kind_name kind)
+        (sparkline values ~lo:1.0 ~hi:(float_of_int layers))
+        values.(Array.length values - 1))
+    Protocol.all_kinds;
+  Format.printf
+    "@.Both views agree: all three protocols climb on the same timescale; coordination's benefit@.\
+     is steady-state redundancy, not ramp-up speed.@."

@@ -1,0 +1,44 @@
+(* Protocol showdown: the three Section-4 congestion-control
+   protocols on the Figure-7(b) star, with confidence intervals, plus
+   the exact 2-receiver Markov analysis next to a matched simulation.
+
+   Run with: dune exec examples/protocol_showdown.exe *)
+
+module Protocol = Mmfair_protocols.Protocol
+module Runner = Mmfair_protocols.Runner
+module Two_receiver = Mmfair_markov.Two_receiver
+module Ci = Mmfair_stats.Ci
+
+let () =
+  let receivers = 50 and shared_loss = 0.0001 and independent_loss = 0.03 in
+  Format.printf
+    "Modified star, %d receivers, 8 layers, shared loss %g, fanout loss %g, 40k packets x 8 runs:@.@."
+    receivers shared_loss independent_loss;
+  List.iter
+    (fun kind ->
+      let f seed =
+        let cfg = Runner.config ~packets:40_000 ~warmup:4_000 ~seed kind in
+        Runner.run_star cfg ~receivers ~shared_loss ~independent_loss
+      in
+      let ci = Runner.replicate ~runs:8 f ~seed:17L in
+      let sample = f 99L in
+      Format.printf "  %-14s redundancy %a   (mean joined level %.2f, %d joins, %d leaves)@."
+        (Protocol.kind_name kind) Ci.pp ci sample.Runner.mean_level sample.Runner.total_joins
+        sample.Runner.total_leaves)
+    Protocol.all_kinds;
+
+  Format.printf
+    "@.The paper's conclusion: sender coordination keeps redundancy low enough (< 2.5) for layered@.\
+     multicast to deliver its fairness benefits without wasting shared-link bandwidth.@.@.";
+
+  Format.printf "Exact 2-receiver Markov analysis (4 layers, equal fanout loss 0.03):@.@.";
+  List.iter
+    (fun kind ->
+      let p = Two_receiver.params ~layers:4 ~shared_loss ~loss1:0.03 ~loss2:0.03 kind in
+      let a = Two_receiver.analyze p in
+      Format.printf "  %-14s redundancy %.4f  (states: %d)@." (Protocol.kind_name kind)
+        a.Two_receiver.redundancy (Two_receiver.state_count p))
+    Protocol.all_kinds;
+  Format.printf
+    "@.Redundancy is maximal when receivers share identical end-to-end loss — the regime Figure 8@.\
+     simulates with 100 receivers.@."

@@ -1,0 +1,46 @@
+(* Quickstart: build a network, compute its max-min fair allocation,
+   and check the paper's four fairness properties.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Graph = Mmfair_topology.Graph
+module Network = Mmfair_core.Network
+module Allocator = Mmfair_core.Allocator
+module Allocation = Mmfair_core.Allocation
+module Properties = Mmfair_core.Properties
+
+let () =
+  (* A tiny ISP: two senders behind a 10 Mbit/s uplink, three
+     receivers on access links of 8, 4 and 2 Mbit/s. *)
+  let g = Graph.create ~nodes:2 in
+  let uplink = Graph.add_link g 0 1 10.0 in
+  let access = Array.map (fun c ->
+      let leaf = Graph.add_node g in
+      (leaf, Graph.add_link g 1 leaf c))
+      [| 8.0; 4.0; 2.0 |]
+  in
+  ignore uplink;
+
+  (* Session 1: a layered (multi-rate) video multicast to all three
+     receivers.  Session 2: a unicast transfer to the fastest leaf. *)
+  let video =
+    Network.session ~sender:0 ~receivers:(Array.map fst access) ()
+  in
+  let transfer = Network.session ~sender:0 ~receivers:[| fst access.(0) |] () in
+  let net = Network.make g [| video; transfer |] in
+
+  Format.printf "Network:@.%a@." Network.pp net;
+
+  let alloc = Allocator.max_min net in
+  Format.printf "Max-min fair allocation:@.%a@." Allocation.pp alloc;
+
+  Array.iter
+    (fun (r : Network.receiver_id) ->
+      let bottlenecks = Allocator.bottleneck_links alloc r in
+      Format.printf "r%d,%d gets %g, bottleneck link(s): %s@." (r.Network.session + 1)
+        (r.Network.index + 1) (Allocation.rate alloc r)
+        (String.concat ", " (List.map (Printf.sprintf "l%d") bottlenecks)))
+    (Network.all_receivers net);
+
+  Format.printf "@.Fairness properties (Theorem 1 says all four hold):@.";
+  Properties.pp_report Format.std_formatter (Properties.check_all alloc)

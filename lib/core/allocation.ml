@@ -1,0 +1,123 @@
+module Graph = Mmfair_topology.Graph
+
+type t = { net : Network.t; rates : float array array }
+
+let make net rates =
+  if Array.length rates <> Network.session_count net then
+    invalid_arg "Allocation.make: session count mismatch";
+  Array.iteri
+    (fun i per ->
+      let spec = Network.session_spec net i in
+      if Array.length per <> Array.length spec.Network.receivers then
+        invalid_arg (Printf.sprintf "Allocation.make: receiver count mismatch in session %d" i);
+      Array.iter
+        (fun a ->
+          if Float.is_nan a || a < 0.0 then
+            invalid_arg (Printf.sprintf "Allocation.make: bad rate in session %d" i))
+        per)
+    rates;
+  { net; rates = Array.map Array.copy rates }
+
+let zero net =
+  {
+    net;
+    rates =
+      Array.init (Network.session_count net) (fun i ->
+          Array.make (Array.length (Network.session_spec net i).Network.receivers) 0.0);
+  }
+
+let network t = t.net
+
+let rate t (r : Network.receiver_id) = t.rates.(r.Network.session).(r.Network.index)
+
+let rates_of_session t i = Array.copy t.rates.(i)
+
+let session_link_rate t ~session ~link =
+  let downstream = Network.receivers_on_link t.net ~session ~link in
+  match downstream with
+  | [] -> 0.0
+  | _ ->
+      let rates = List.map (fun r -> rate t r) downstream in
+      Redundancy_fn.apply (Network.vfn t.net session) rates
+
+let link_rate t link =
+  let m = Network.session_count t.net in
+  let s = ref 0.0 in
+  for i = 0 to m - 1 do
+    s := !s +. session_link_rate t ~session:i ~link
+  done;
+  !s
+
+let fully_utilized ?(eps = 1e-9) t link =
+  let c = Graph.capacity (Network.graph t.net) link in
+  link_rate t link >= c -. (eps *. Stdlib.max 1.0 c)
+
+let link_redundancy t ~session ~link =
+  let downstream = Network.receivers_on_link t.net ~session ~link in
+  match downstream with
+  | [] -> None
+  | _ ->
+      let efficient = List.fold_left (fun acc r -> Stdlib.max acc (rate t r)) 0.0 downstream in
+      if efficient <= 0.0 then None
+      else Some (session_link_rate t ~session ~link /. efficient)
+
+type violation =
+  | Rate_above_rho of Network.receiver_id
+  | Link_overutilized of Graph.link_id
+  | Single_rate_mismatch of int
+
+let feasibility_violations ?(eps = 1e-9) t =
+  let net = t.net in
+  let g = Network.graph net in
+  let violations = ref [] in
+  for i = Network.session_count net - 1 downto 0 do
+    let rho = Network.rho net i in
+    let per = t.rates.(i) in
+    Array.iteri
+      (fun k a ->
+        if a > rho +. (eps *. Stdlib.max 1.0 rho) then
+          violations := Rate_above_rho { Network.session = i; index = k } :: !violations)
+      per;
+    (match Network.session_type net i with
+    | Network.Multi_rate -> ()
+    | Network.Single_rate ->
+        let base = per.(0) in
+        let tol = eps *. Stdlib.max 1.0 base in
+        if Array.exists (fun a -> Float.abs (a -. base) > tol) per then
+          violations := Single_rate_mismatch i :: !violations)
+  done;
+  for l = Graph.link_count g - 1 downto 0 do
+    let c = Graph.capacity g l in
+    if link_rate t l > c +. (eps *. Stdlib.max 1.0 c) then
+      violations := Link_overutilized l :: !violations
+  done;
+  !violations
+
+let is_feasible ?eps t = feasibility_violations ?eps t = []
+
+let ordered_vector t =
+  let all = Array.concat (Array.to_list t.rates) in
+  Array.sort compare all;
+  all
+
+let total_throughput t = Array.fold_left (fun acc per -> Array.fold_left ( +. ) acc per) 0.0 t.rates
+
+let pp fmt t =
+  let g = Network.graph t.net in
+  Array.iteri
+    (fun i per ->
+      Format.fprintf fmt "S%d:" (i + 1);
+      Array.iteri (fun k a -> Format.fprintf fmt " a%d,%d=%g" (i + 1) (k + 1) a) per;
+      Format.fprintf fmt "@.")
+    t.rates;
+  for l = 0 to Graph.link_count g - 1 do
+    Format.fprintf fmt "l%d: u=%g / c=%g%s@." l (link_rate t l) (Graph.capacity g l)
+      (if fully_utilized t l then " (full)" else "")
+  done
+
+let pp_violation fmt = function
+  | Rate_above_rho r ->
+      Format.fprintf fmt "receiver r%d,%d exceeds its session's rho" (r.Network.session + 1)
+        (r.Network.index + 1)
+  | Link_overutilized l -> Format.fprintf fmt "link l%d over capacity" l
+  | Single_rate_mismatch i -> Format.fprintf fmt "single-rate session S%d has unequal rates" (i + 1)

@@ -1,0 +1,68 @@
+(** Allocations of receiver rates and derived link usage.
+
+    An allocation assigns every receiver [r_{i,k}] a rate [a_{i,k}].
+    From the rates and each session's link-rate function [v_i] we
+    derive the session link rates [u_{i,j}] and link rates
+    [u_j = Σ_i u_{i,j}], and can test the paper's feasibility
+    conditions: [0 ≤ a_{i,k} ≤ ρ_i] for every receiver, [u_j ≤ c_j]
+    for every link, and rate equality inside single-rate sessions. *)
+
+type t
+(** An immutable allocation bound to its network. *)
+
+val make : Network.t -> float array array -> t
+(** [make net rates] with [rates.(i).(k)] the rate of [r_{i,k}].
+    Raises [Invalid_argument] on a shape mismatch with the network or
+    a negative/NaN rate.  Feasibility is {e not} required — infeasible
+    allocations are first-class so that max-min comparisons (Lemma 1)
+    and counterexamples can be expressed. *)
+
+val zero : Network.t -> t
+(** The all-zero allocation (always feasible). *)
+
+val network : t -> Network.t
+
+val rate : t -> Network.receiver_id -> float
+(** The paper's [a_{i,k}]. *)
+
+val rates_of_session : t -> int -> float array
+(** Rates of session [i]'s receivers, index order. *)
+
+val session_link_rate : t -> session:int -> link:Mmfair_topology.Graph.link_id -> float
+(** The paper's [u_{i,j}] — [v_i] applied to the downstream receiver
+    rates on that link ([0.] when the session does not use the link). *)
+
+val link_rate : t -> Mmfair_topology.Graph.link_id -> float
+(** The paper's [u_j = Σ_i u_{i,j}]. *)
+
+val fully_utilized : ?eps:float -> t -> Mmfair_topology.Graph.link_id -> bool
+(** [u_j ≥ c_j − eps] (default [eps = 1e-9] scaled by capacity). *)
+
+val link_redundancy : t -> session:int -> link:Mmfair_topology.Graph.link_id -> float option
+(** Definition 3: [u_{i,j} / max{a_{i,k} : r_{i,k} ∈ R_{i,j}}].
+    [None] when the session has no receiver crossing the link or the
+    maximal downstream rate is zero. *)
+
+type violation =
+  | Rate_above_rho of Network.receiver_id
+  | Link_overutilized of Mmfair_topology.Graph.link_id
+  | Single_rate_mismatch of int
+      (** Session index whose receivers' rates differ. *)
+
+val feasibility_violations : ?eps:float -> t -> violation list
+(** All ways the allocation breaks feasibility ([eps] is a relative
+    tolerance, default [1e-9]).  Empty ⇔ feasible. *)
+
+val is_feasible : ?eps:float -> t -> bool
+
+val ordered_vector : t -> float array
+(** All receiver rates sorted ascending — the paper's ordered vector
+    for the min-unfavorability relation (Definition 2). *)
+
+val total_throughput : t -> float
+(** Sum of all receiver rates. *)
+
+val pp : Format.formatter -> t -> unit
+(** Per-session receiver rates and per-link [u_j / c_j]. *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,256 @@
+module Graph = Mmfair_topology.Graph
+
+type engine = [ `Auto | `Linear | `Bisection ]
+
+type round = {
+  increment : float;
+  frozen : Network.receiver_id list;
+  saturated_links : Graph.link_id list;
+}
+
+type result = { allocation : Allocation.t; rounds : round list }
+
+let tol_for x = 1e-9 *. Stdlib.max 1.0 (Float.abs x)
+
+(* Session link usage on [link] when every active receiver's rate is
+   [w·t] (its weight times the common normalized level) and frozen
+   receivers keep [rates]. *)
+let session_usage_at net rates active ~session ~link t =
+  let downstream = Network.receivers_on_link net ~session ~link in
+  match downstream with
+  | [] -> 0.0
+  | _ ->
+      let rate_of (r : Network.receiver_id) =
+        if active.(r.Network.session).(r.Network.index) then Network.weight net r *. t
+        else rates.(r.Network.session).(r.Network.index)
+      in
+      Redundancy_fn.apply (Network.vfn net session) (List.map rate_of downstream)
+
+let link_usage_at net rates active ~link t =
+  let m = Network.session_count net in
+  let s = ref 0.0 in
+  for i = 0 to m - 1 do
+    s := !s +. session_usage_at net rates active ~session:i ~link t
+  done;
+  !s
+
+(* Linear engine: on each link, usage is [const + slope·t] for the
+   common active rate [t ≥ t_cur]; valid because every frozen rate is
+   at most [t_cur]. *)
+let linear_bound net rates active t_cur =
+  let g = Network.graph net in
+  let m = Network.session_count net in
+  let bound = ref infinity in
+  for link = 0 to Graph.link_count g - 1 do
+    let const = ref 0.0 and slope = ref 0.0 in
+    for i = 0 to m - 1 do
+      let downstream = Network.receivers_on_link net ~session:i ~link in
+      if downstream <> [] then begin
+        let n_active = ref 0 and max_frozen = ref 0.0 and sum_frozen = ref 0.0 in
+        List.iter
+          (fun (r : Network.receiver_id) ->
+            if active.(r.Network.session).(r.Network.index) then incr n_active
+            else begin
+              let a = rates.(r.Network.session).(r.Network.index) in
+              if a > !max_frozen then max_frozen := a;
+              sum_frozen := !sum_frozen +. a
+            end)
+          downstream;
+        match Network.vfn net i with
+        | Redundancy_fn.Efficient ->
+            if !n_active > 0 then slope := !slope +. 1.0 else const := !const +. !max_frozen
+        | Redundancy_fn.Scaled v ->
+            if !n_active > 0 then slope := !slope +. v else const := !const +. (v *. !max_frozen)
+        | Redundancy_fn.Additive ->
+            const := !const +. !sum_frozen;
+            slope := !slope +. float_of_int !n_active
+        | Redundancy_fn.Custom _ ->
+            invalid_arg "Allocator: linear engine on non-linear session link-rate function"
+      end
+    done;
+    if !slope > 0.0 then begin
+      let b = (Graph.capacity g link -. !const) /. !slope in
+      if b < !bound then bound := b
+    end
+  done;
+  Stdlib.max !bound t_cur
+
+let bisection_bound net rates active t_cur rho_bound =
+  let g = Network.graph net in
+  let feasible t =
+    let ok = ref true in
+    for link = 0 to Graph.link_count g - 1 do
+      let c = Graph.capacity g link in
+      if link_usage_at net rates active ~link t > c +. tol_for c then ok := false
+    done;
+    !ok
+  in
+  let max_cap = Graph.fold_links g ~init:0.0 ~f:(fun acc l -> Stdlib.max acc (Graph.capacity g l)) in
+  (* every active receiver's rate w·t shows up on some link, so t is
+     bounded by max capacity over the smallest active weight *)
+  let min_weight = ref infinity in
+  Array.iteri
+    (fun i per ->
+      Array.iteri
+        (fun k is_active ->
+          if is_active then
+            min_weight := Stdlib.min !min_weight (Network.weight net { Network.session = i; index = k }))
+        per)
+    active;
+  let weight_floor = if Float.is_finite !min_weight && !min_weight > 0.0 then !min_weight else 1.0 in
+  let hi = Stdlib.min rho_bound (t_cur +. (max_cap /. weight_floor) +. 1.0) in
+  if not (feasible t_cur) then t_cur
+  else if feasible hi then hi
+  else Mmfair_numerics.Bisect.sup_satisfying feasible t_cur hi
+
+let run engine net =
+  let g = Network.graph net in
+  let m = Network.session_count net in
+  let rates = Array.init m (fun i -> Array.map (fun _ -> 0.0) (Network.session_spec net i).Network.receivers) in
+  let active = Array.map (Array.map (fun _ -> true)) rates in
+  let all_linear =
+    let ok = ref true in
+    for i = 0 to m - 1 do
+      if not (Redundancy_fn.is_linear (Network.vfn net i)) then ok := false
+    done;
+    !ok
+  in
+  let unit_weights = Network.all_weights_unit net in
+  let use_linear =
+    match engine with
+    | `Linear ->
+        if not all_linear then
+          invalid_arg "Allocator.max_min: linear engine requires linear link-rate functions";
+        if not unit_weights then
+          invalid_arg "Allocator.max_min: linear engine requires unit weights";
+        true
+    | `Bisection -> false
+    | `Auto -> all_linear && unit_weights
+  in
+  let any_active () = Array.exists (Array.exists Fun.id) active in
+  let rounds = ref [] in
+  let t_cur = ref 0.0 in
+  let guard = ref (Network.receiver_count net + Graph.link_count g + 2) in
+  while any_active () do
+    decr guard;
+    if !guard < 0 then failwith "Allocator.max_min: no progress (non-monotone link-rate function?)";
+    (* Largest normalized level t at which no active receiver's rate
+       w·t exceeds its session's rho. *)
+    let rho_bound = ref infinity in
+    for i = 0 to m - 1 do
+      let rho = Network.rho net i in
+      Array.iteri
+        (fun k is_active ->
+          if is_active then
+            rho_bound :=
+              Stdlib.min !rho_bound (rho /. Network.weight net { Network.session = i; index = k }))
+        active.(i)
+    done;
+    let t_new =
+      if use_linear then Stdlib.min (linear_bound net rates active !t_cur) !rho_bound
+      else bisection_bound net rates active !t_cur !rho_bound
+    in
+    let t_new = Stdlib.max t_new !t_cur in
+    (* Apply the increment to every active receiver. *)
+    Array.iteri
+      (fun i per ->
+        Array.iteri
+          (fun k is_active ->
+            if is_active then
+              rates.(i).(k) <- Network.weight net { Network.session = i; index = k } *. t_new)
+          per)
+      active;
+    (* Identify saturated links at the new rates. *)
+    let saturated = ref [] in
+    let min_slack = ref infinity and min_slack_link = ref (-1) in
+    for link = Graph.link_count g - 1 downto 0 do
+      let c = Graph.capacity g link in
+      let u = link_usage_at net rates active ~link t_new in
+      let slack = c -. u in
+      if slack <= tol_for c then saturated := link :: !saturated;
+      (* Track the tightest link that still has active receivers, as a
+         numerical fallback for the bisection engine. *)
+      if slack < !min_slack && Network.all_on_link net ~link |> List.exists (fun (r : Network.receiver_id) -> active.(r.Network.session).(r.Network.index))
+      then begin
+        min_slack := slack;
+        min_slack_link := link
+      end
+    done;
+    let saturated_set = !saturated in
+    let on_saturated (r : Network.receiver_id) =
+      List.exists (fun l -> Network.crosses net r l) saturated_set
+    in
+    let frozen = ref [] in
+    let freeze (r : Network.receiver_id) =
+      if active.(r.Network.session).(r.Network.index) then begin
+        active.(r.Network.session).(r.Network.index) <- false;
+        frozen := r :: !frozen
+      end
+    in
+    (* Step 6: freeze receivers at rho or crossing a saturated link. *)
+    for i = 0 to m - 1 do
+      let rho = Network.rho net i in
+      Array.iteri
+        (fun k is_active ->
+          if is_active then begin
+            let r = { Network.session = i; index = k } in
+            if Network.weight net r *. t_new >= rho -. tol_for rho then begin
+              rates.(i).(k) <- rho;
+              freeze r
+            end
+            else if on_saturated r then freeze r
+          end)
+        active.(i)
+    done;
+    (* Numerical fallback: bisection can stop a hair below saturation;
+       force progress by freezing receivers on the tightest link. *)
+    if !frozen = [] then begin
+      if !min_slack_link < 0 then failwith "Allocator.max_min: stuck with no candidate link";
+      List.iter
+        (fun (r : Network.receiver_id) ->
+          if active.(r.Network.session).(r.Network.index) then freeze r)
+        (Network.all_on_link net ~link:!min_slack_link)
+    end;
+    (* Step 7: a single-rate session freezes as a unit. *)
+    for i = 0 to m - 1 do
+      if Network.session_type net i = Network.Single_rate then begin
+        let any_frozen = Array.exists (fun b -> not b) active.(i) in
+        if any_frozen then
+          Array.iteri
+            (fun k is_active -> if is_active then freeze { Network.session = i; index = k })
+            active.(i)
+      end
+    done;
+    rounds := { increment = t_new -. !t_cur; frozen = List.rev !frozen; saturated_links = saturated_set } :: !rounds;
+    t_cur := t_new
+  done;
+  { allocation = Allocation.make net rates; rounds = List.rev !rounds }
+
+let max_min_trace ?(engine = `Auto) net = run engine net
+let max_min ?(engine = `Auto) net = (run engine net).allocation
+
+let pp_trace fmt { allocation; rounds } =
+  List.iteri
+    (fun b round ->
+      Format.fprintf fmt "round %d: +%g" (b + 1) round.increment;
+      (match round.saturated_links with
+      | [] -> ()
+      | ls ->
+          Format.fprintf fmt "; saturated %s"
+            (String.concat ", " (List.map (Printf.sprintf "l%d") ls)));
+      (match round.frozen with
+      | [] -> ()
+      | rs ->
+          Format.fprintf fmt "; froze %s"
+            (String.concat ", "
+               (List.map
+                  (fun (r : Network.receiver_id) ->
+                    Printf.sprintf "r%d,%d@%g" (r.Network.session + 1) (r.Network.index + 1)
+                      (Allocation.rate allocation r))
+                  rs)));
+      Format.fprintf fmt "@.")
+    rounds
+
+let bottleneck_links alloc r =
+  let net = Allocation.network alloc in
+  List.filter (fun l -> Allocation.fully_utilized alloc l) (Network.data_path net r)

@@ -1,0 +1,59 @@
+(** The max-min fair allocation — the paper's Appendix-A algorithm,
+    generalized.
+
+    Progressive filling: start every receiver at rate 0 and raise the
+    rates of all {e active} receivers uniformly as far as feasibility
+    allows; freeze a receiver when its session's maximum desired rate
+    [ρ_i] is reached or a link on its data-path becomes fully
+    utilized; in a single-rate session, freezing any receiver freezes
+    the whole session (keeping its rates equal).  Repeat until all
+    receivers are frozen.  For any session-type mapping Φ this yields
+    the unique max-min fair allocation (the paper's Lemma 5 /
+    Corollary 5 in the companion technical report).
+
+    Two engines compute the per-round increment:
+    - {e Linear}: exact closed form, valid whenever every session's
+      link-rate function is linear in the common active rate
+      ([Efficient], [Scaled], [Additive]) — this is the paper's
+      Appendix-A step 3.
+    - {e Bisection}: binary search on the increment for arbitrary
+      monotone [Custom] functions (the paper's Section-3 extension
+      where [v_i] is an arbitrary redundancy function).
+
+    [`Auto] (the default) picks Linear exactly when all sessions
+    qualify; tests cross-check the engines on networks where both
+    apply. *)
+
+type engine = [ `Auto | `Linear | `Bisection ]
+
+type round = {
+  increment : float;  (** The round's uniform rate increase [Δt_b]. *)
+  frozen : Network.receiver_id list;
+      (** Receivers removed from the active set this round. *)
+  saturated_links : Mmfair_topology.Graph.link_id list;
+      (** Links that became fully utilized this round. *)
+}
+(** One iteration of the water-filling loop, for tracing/reports. *)
+
+type result = { allocation : Allocation.t; rounds : round list }
+
+val max_min : ?engine:engine -> Network.t -> Allocation.t
+(** [max_min net] is the max-min fair allocation of [net].  Raises
+    [Failure] if the algorithm fails to make progress (only possible
+    with a misbehaving [Custom] link-rate function that is not
+    monotone). *)
+
+val max_min_trace : ?engine:engine -> Network.t -> result
+(** Like {!max_min} but also returns the per-round trace in execution
+    order. *)
+
+val pp_trace : Format.formatter -> result -> unit
+(** Human-readable water-filling narration: one line per round with
+    the increment, the links that saturated, and the receivers frozen
+    — the Appendix-A execution made visible (used by
+    [mmfair allocate --trace]). *)
+
+val bottleneck_links : Allocation.t -> Network.receiver_id -> Mmfair_topology.Graph.link_id list
+(** The fully utilized links on a receiver's data-path under the given
+    allocation — its max-min bottlenecks.  Empty for a receiver frozen
+    by [ρ_i] alone. *)

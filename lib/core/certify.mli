@@ -1,0 +1,45 @@
+(** Max-min fairness certificates.
+
+    Definition 1 quantifies over {e all} alternative feasible
+    allocations, so it cannot be checked directly.  For all-multi-rate
+    networks with efficient link-rate functions it is equivalent to a
+    locally checkable condition — the receiver-level bottleneck
+    characterization (the multicast analogue of Bertsekas &
+    Gallagher's unicast result, and exactly the paper's Fairness
+    Property 1):
+
+    a feasible allocation is max-min fair iff every receiver is at its
+    session's [ρ_i] or crosses a fully utilized link on which no
+    receiver (of any session) has a strictly larger rate.
+
+    Sufficiency follows the paper's Theorem-1 argument: if receiver
+    [r] could be raised, its bottleneck link's capacity forces some
+    session's link rate down, hence some receiver with rate
+    [≤ a_r] down — exactly Definition 1's condition.  Necessity is
+    Theorem 1 itself.  This module produces the per-receiver
+    witnesses, so "this allocation is max-min fair" comes with an
+    auditable certificate rather than a yes/no answer. *)
+
+type witness =
+  | At_rho                            (** [a_{i,k} = ρ_i]. *)
+  | Bottleneck of Mmfair_topology.Graph.link_id
+      (** A fully utilized link on the receiver's data-path where its
+          rate is maximal among all receivers crossing it. *)
+
+type verdict =
+  | Certified of (Network.receiver_id * witness) list
+      (** Feasible and every receiver has a witness: max-min fair. *)
+  | Infeasible of Allocation.violation list
+  | Uncertified of Network.receiver_id list
+      (** Feasible but these receivers lack witnesses: not max-min
+          fair (some of them can be raised). *)
+
+val check : ?eps:float -> Allocation.t -> verdict
+(** Certify an allocation of an all-multi-rate, efficient network.
+    Raises [Invalid_argument] if some session is single-rate or uses a
+    non-[Efficient] link-rate function (the characterization does not
+    apply there — use {!Allocator.max_min} and the ordering lemmas
+    instead). *)
+
+val is_max_min : ?eps:float -> Allocation.t -> bool
+(** [check] collapsed to a boolean. *)

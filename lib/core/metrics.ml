@@ -1,0 +1,50 @@
+let rates_of alloc =
+  let net = Allocation.network alloc in
+  Array.map (fun r -> Allocation.rate alloc r) (Network.all_receivers net)
+
+let jain_index alloc =
+  let rates = rates_of alloc in
+  let n = Array.length rates in
+  if n = 0 then 1.0
+  else begin
+    let sum = Array.fold_left ( +. ) 0.0 rates in
+    let sumsq = Array.fold_left (fun acc a -> acc +. (a *. a)) 0.0 rates in
+    if sumsq = 0.0 then 1.0 else sum *. sum /. (float_of_int n *. sumsq)
+  end
+
+let min_rate alloc = Array.fold_left Stdlib.min infinity (rates_of alloc)
+
+let throughput = Allocation.total_throughput
+
+let isolated_rates net =
+  let g = Network.graph net in
+  Array.concat
+    (List.init (Network.session_count net) (fun i ->
+         let solo = Network.make g [| Network.session_spec net i |] in
+         let alloc = Allocator.max_min solo in
+         Array.map (fun r -> Allocation.rate alloc r) (Network.all_receivers solo)))
+
+let satisfaction ?reference alloc =
+  let net = Allocation.network alloc in
+  let reference = match reference with Some r -> r | None -> isolated_rates net in
+  let rates = rates_of alloc in
+  if Array.length reference <> Array.length rates then
+    invalid_arg "Metrics.satisfaction: reference length mismatch";
+  if Array.length rates = 0 then 1.0
+  else begin
+    let total = ref 0.0 in
+    Array.iteri
+      (fun i a ->
+        let s = if reference.(i) <= 0.0 then 1.0 else Stdlib.min 1.0 (a /. reference.(i)) in
+        total := !total +. s)
+      rates;
+    !total /. float_of_int (Array.length rates)
+  end
+
+let summary alloc =
+  [
+    ("jain", jain_index alloc);
+    ("min-rate", min_rate alloc);
+    ("throughput", throughput alloc);
+    ("satisfaction", satisfaction alloc);
+  ]

@@ -1,0 +1,38 @@
+(** Scalar fairness and efficiency metrics over allocations.
+
+    The min-unfavorable ordering is the paper's yardstick, but
+    comparisons across papers use scalar indexes; this module provides
+    the standard ones so experiment tables can report them alongside
+    the [≼_m] verdicts:
+
+    - {e Jain's fairness index} [(Σa)²/(n·Σa²)] — 1 when all equal;
+    - {e min rate} and {e aggregate throughput} — the two poles the
+      max-min compromise trades between;
+    - {e receiver satisfaction} in the sense of Legout et al. [7]
+      (cited in Section 5 / related work): each receiver's rate
+      relative to a reference ("isolated") allocation, averaged. *)
+
+val jain_index : Allocation.t -> float
+(** Jain's index over all receiver rates.  1 for the empty or all-zero
+    allocation by convention. *)
+
+val min_rate : Allocation.t -> float
+(** Smallest receiver rate. *)
+
+val throughput : Allocation.t -> float
+(** Sum of receiver rates (same as {!Allocation.total_throughput}). *)
+
+val isolated_rates : Network.t -> float array
+(** Each receiver's max-min fair rate when its session is {e alone}
+    in the network (all other sessions removed) — the natural
+    satisfaction reference: no allocation can do better for that
+    receiver.  Order matches {!Network.all_receivers}. *)
+
+val satisfaction : ?reference:float array -> Allocation.t -> float
+(** Mean over receivers of [min 1 (a / reference)] — "receiver
+    satisfaction".  Default reference: {!isolated_rates}.  Receivers
+    whose reference is 0 count as fully satisfied. *)
+
+val summary : Allocation.t -> (string * float) list
+(** [("jain", …); ("min-rate", …); ("throughput", …);
+    ("satisfaction", …)] for quick table rows. *)

@@ -1,0 +1,223 @@
+module Graph = Mmfair_topology.Graph
+module Routing = Mmfair_topology.Routing
+
+type session_type = Single_rate | Multi_rate
+
+type session_spec = {
+  sender : Graph.node;
+  receivers : Graph.node array;
+  session_type : session_type;
+  rho : float;
+  vfn : Redundancy_fn.t;
+  weights : float array;
+}
+
+let session ?(session_type = Multi_rate) ?(rho = infinity) ?(vfn = Redundancy_fn.Efficient)
+    ?weights ~sender ~receivers () =
+  let weights =
+    match weights with
+    | Some w -> Array.copy w
+    | None -> Array.make (Array.length receivers) 1.0
+  in
+  { sender; receivers; session_type; rho; vfn; weights }
+
+type receiver_id = { session : int; index : int }
+
+type t = {
+  graph : Graph.t;
+  sessions : session_spec array;
+  paths : Routing.path array array; (* paths.(i).(k) = data-path of r_{i,k} *)
+  (* on_link.(j).(i) = receivers of session i crossing link j, reversed order *)
+  on_link : receiver_id list array array;
+  session_link_union : Graph.link_id list array; (* session data-path *)
+}
+
+let validate_and_route graph sessions =
+  let n_links = Graph.link_count graph in
+  let paths =
+    Array.mapi
+      (fun i s ->
+        if Array.length s.receivers = 0 then
+          invalid_arg (Printf.sprintf "Network.make: session %d has no receivers" i);
+        if not (s.rho > 0.0) then
+          invalid_arg (Printf.sprintf "Network.make: session %d has rho <= 0" i);
+        if Array.length s.weights <> Array.length s.receivers then
+          invalid_arg (Printf.sprintf "Network.make: session %d weight count mismatch" i);
+        Array.iter
+          (fun w ->
+            if not (w > 0.0) then
+              invalid_arg (Printf.sprintf "Network.make: session %d has a non-positive weight" i))
+          s.weights;
+        (if s.session_type = Single_rate && Array.length s.weights > 0 then begin
+           let w0 = s.weights.(0) in
+           if Array.exists (fun w -> w <> w0) s.weights then
+             invalid_arg
+               (Printf.sprintf "Network.make: single-rate session %d has unequal weights" i)
+         end);
+        (* The paper's restriction on τ: no two members of one session
+           share a node. *)
+        let members = Array.append [| s.sender |] s.receivers in
+        let sorted = Array.copy members in
+        Array.sort compare sorted;
+        for k = 1 to Array.length sorted - 1 do
+          if sorted.(k) = sorted.(k - 1) then
+            invalid_arg
+              (Printf.sprintf "Network.make: session %d maps two members to node %d" i sorted.(k))
+        done;
+        let from_sender = Routing.paths_from graph s.sender in
+        Array.mapi
+          (fun k r ->
+            if r < 0 || r >= Graph.node_count graph then
+              invalid_arg (Printf.sprintf "Network.make: session %d receiver %d on unknown node" i k);
+            match from_sender.(r) with
+            | Some p -> p
+            | None ->
+                invalid_arg
+                  (Printf.sprintf "Network.make: session %d receiver %d unreachable" i k))
+          s.receivers)
+      sessions
+  in
+  let on_link = Array.init n_links (fun _ -> Array.make (Array.length sessions) []) in
+  Array.iteri
+    (fun i per_receiver ->
+      Array.iteri
+        (fun k path ->
+          List.iter (fun l -> on_link.(l).(i) <- { session = i; index = k } :: on_link.(l).(i)) path)
+        per_receiver)
+    paths;
+  (* Restore receiver-index order within each R_{i,j}. *)
+  Array.iter (fun per_session -> Array.iteri (fun i l -> per_session.(i) <- List.rev l) per_session) on_link;
+  let session_link_union =
+    Array.map
+      (fun per_receiver ->
+        Array.fold_left (fun acc p -> List.rev_append p acc) [] per_receiver
+        |> List.sort_uniq compare)
+      paths
+  in
+  { graph; sessions; paths; on_link; session_link_union }
+
+let make graph sessions = validate_and_route graph (Array.copy sessions)
+
+let graph t = t.graph
+let session_count t = Array.length t.sessions
+let receiver_count t = Array.fold_left (fun acc s -> acc + Array.length s.receivers) 0 t.sessions
+
+let check_session t i name =
+  if i < 0 || i >= Array.length t.sessions then
+    invalid_arg (Printf.sprintf "Network.%s: unknown session %d" name i)
+
+let session_spec t i =
+  check_session t i "session_spec";
+  t.sessions.(i)
+
+let session_type t i = (session_spec t i).session_type
+
+let weight t (r : receiver_id) =
+  check_session t r.session "weight";
+  let spec = t.sessions.(r.session) in
+  if r.index < 0 || r.index >= Array.length spec.weights then
+    invalid_arg "Network.weight: unknown receiver";
+  spec.weights.(r.index)
+
+let all_weights_unit t =
+  Array.for_all (fun s -> Array.for_all (fun w -> w = 1.0) s.weights) t.sessions
+
+let with_weights t w =
+  if Array.length w <> Array.length t.sessions then
+    invalid_arg "Network.with_weights: session count mismatch";
+  let sessions =
+    Array.mapi
+      (fun i s ->
+        if Array.length w.(i) <> Array.length s.receivers then
+          invalid_arg "Network.with_weights: receiver count mismatch";
+        Array.iter
+          (fun x -> if not (x > 0.0) then invalid_arg "Network.with_weights: non-positive weight")
+          w.(i);
+        (if s.session_type = Single_rate && Array.length w.(i) > 0 then begin
+           let w0 = w.(i).(0) in
+           if Array.exists (fun x -> x <> w0) w.(i) then
+             invalid_arg "Network.with_weights: unequal weights in single-rate session"
+         end);
+        { s with weights = Array.copy w.(i) })
+      t.sessions
+  in
+  { t with sessions }
+let rho t i = (session_spec t i).rho
+let vfn t i = (session_spec t i).vfn
+
+let receivers_of_session t i =
+  check_session t i "receivers_of_session";
+  Array.init (Array.length t.sessions.(i).receivers) (fun k -> { session = i; index = k })
+
+let all_receivers t =
+  Array.concat (List.init (session_count t) (fun i -> receivers_of_session t i))
+
+let check_receiver t r name =
+  check_session t r.session name;
+  if r.index < 0 || r.index >= Array.length t.sessions.(r.session).receivers then
+    invalid_arg (Printf.sprintf "Network.%s: unknown receiver %d of session %d" name r.index r.session)
+
+let data_path t r =
+  check_receiver t r "data_path";
+  t.paths.(r.session).(r.index)
+
+let session_links t i =
+  check_session t i "session_links";
+  t.session_link_union.(i)
+
+let receivers_on_link t ~session ~link =
+  check_session t session "receivers_on_link";
+  if link < 0 || link >= Graph.link_count t.graph then
+    invalid_arg "Network.receivers_on_link: unknown link";
+  t.on_link.(link).(session)
+
+let all_on_link t ~link =
+  if link < 0 || link >= Graph.link_count t.graph then invalid_arg "Network.all_on_link: unknown link";
+  Array.to_list t.on_link.(link) |> List.concat
+
+let crosses t r l = List.exists (fun l' -> l' = l) (data_path t r)
+
+let is_unicast t i = Array.length (session_spec t i).receivers = 1
+
+let with_session_types t types =
+  if Array.length types <> Array.length t.sessions then
+    invalid_arg "Network.with_session_types: length mismatch";
+  let sessions = Array.mapi (fun i s -> { s with session_type = types.(i) }) t.sessions in
+  { t with sessions }
+
+let with_vfns t vfns =
+  if Array.length vfns <> Array.length t.sessions then invalid_arg "Network.with_vfns: length mismatch";
+  let sessions = Array.mapi (fun i s -> { s with vfn = vfns.(i) }) t.sessions in
+  { t with sessions }
+
+let without_receiver t r =
+  check_receiver t r "without_receiver";
+  let s = t.sessions.(r.session) in
+  if Array.length s.receivers <= 1 then
+    invalid_arg "Network.without_receiver: session would become empty";
+  let receivers =
+    Array.of_list
+      (List.filteri (fun k _ -> k <> r.index) (Array.to_list s.receivers))
+  in
+  let weights =
+    Array.of_list (List.filteri (fun k _ -> k <> r.index) (Array.to_list s.weights))
+  in
+  let sessions =
+    Array.mapi (fun i s' -> if i = r.session then { s' with receivers; weights } else s') t.sessions
+  in
+  validate_and_route t.graph sessions
+
+let pp fmt t =
+  Array.iteri
+    (fun i s ->
+      let ty = match s.session_type with Single_rate -> "S" | Multi_rate -> "M" in
+      Format.fprintf fmt "S%d [%s, rho=%g, v=%a]: X@%d -> " (i + 1) ty s.rho Redundancy_fn.pp s.vfn
+        s.sender;
+      Array.iteri
+        (fun k r ->
+          let path = t.paths.(i).(k) in
+          Format.fprintf fmt "%sr%d,%d@%d via {%s}" (if k > 0 then "; " else "") (i + 1) (k + 1) r
+            (String.concat "," (List.map (Printf.sprintf "l%d") path)))
+        s.receivers;
+      Format.fprintf fmt "@.")
+    t.sessions

@@ -1,0 +1,124 @@
+(** The paper's network model: [N = (G, {S_1…S_m}, τ, Φ)].
+
+    A network couples a capacitated graph with a set of multicast
+    sessions, the topology mapping [τ] (where each member sits), and
+    the session-type mapping [Φ] (single-rate or multi-rate).  On
+    construction we run the routing algorithm once and freeze every
+    receiver's data-path, plus the paper's derived sets [R_{i,j}] (the
+    receivers of session [i] crossing link [j]) and [R_j] (all
+    receivers crossing [j]). *)
+
+type session_type = Single_rate | Multi_rate
+(** The paper's [Φ(S_i) ∈ {S, M}]. *)
+
+type session_spec = {
+  sender : Mmfair_topology.Graph.node;           (** [X_i]'s node under τ. *)
+  receivers : Mmfair_topology.Graph.node array;  (** [r_{i,k}]'s nodes under τ. *)
+  session_type : session_type;                   (** [Φ(S_i)]. *)
+  rho : float;  (** Maximum desired rate [ρ_i]; [infinity] when unbounded. *)
+  vfn : Redundancy_fn.t;  (** Session link-rate function [v_i] (Section 3). *)
+  weights : float array;
+      (** Per-receiver fairness weights — the paper's Section-5
+          proposal for TCP-fairness ("a receiver's rate is weighted by
+          the inverse of round trip time").  Weight 1 everywhere
+          recovers plain max-min fairness; under weighted max-min
+          fairness the {e normalized} rates [a_{i,k}/w_{i,k}] are
+          what progressive filling equalizes.  Must be positive and,
+          inside a single-rate session, all equal (its receivers are
+          forced to one rate, so unequal weights would be
+          contradictory). *)
+}
+(** Everything the caller specifies about one session. *)
+
+val session :
+  ?session_type:session_type ->
+  ?rho:float ->
+  ?vfn:Redundancy_fn.t ->
+  ?weights:float array ->
+  sender:Mmfair_topology.Graph.node ->
+  receivers:Mmfair_topology.Graph.node array ->
+  unit ->
+  session_spec
+(** Convenience constructor; defaults: [Multi_rate], [rho = infinity],
+    [vfn = Efficient], all weights 1. *)
+
+type receiver_id = { session : int; index : int }
+(** Identifies receiver [r_{i,k}] as (session [i], index [k]), both
+    0-based. *)
+
+type t
+(** An immutable, validated network with routed data-paths. *)
+
+val make : Mmfair_topology.Graph.t -> session_spec array -> t
+(** [make g sessions] validates and routes.  Raises [Invalid_argument]
+    when a session has no receivers, [rho ≤ 0], a member node is
+    unknown, two members of one session share a node (the paper's
+    restriction on τ), or some receiver is unreachable from its
+    sender. *)
+
+val graph : t -> Mmfair_topology.Graph.t
+val session_count : t -> int
+(** The paper's [m]. *)
+
+val receiver_count : t -> int
+(** Total receivers over all sessions. *)
+
+val session_spec : t -> int -> session_spec
+val session_type : t -> int -> session_type
+val rho : t -> int -> float
+val vfn : t -> int -> Redundancy_fn.t
+
+val weight : t -> receiver_id -> float
+(** The receiver's fairness weight [w_{i,k}]. *)
+
+val all_weights_unit : t -> bool
+(** Whether every receiver's weight is 1 (plain max-min fairness; the
+    allocator's closed-form linear engine requires this). *)
+
+val with_weights : t -> float array array -> t
+(** [with_weights t w] replaces every session's weight vector
+    ([w.(i).(k)] for [r_{i,k}]).  Raises [Invalid_argument] on shape
+    mismatch, non-positive weights, or unequal weights inside a
+    single-rate session. *)
+
+val receivers_of_session : t -> int -> receiver_id array
+(** The [k_i] receivers of session [i], in index order. *)
+
+val all_receivers : t -> receiver_id array
+(** Every receiver, session-major order. *)
+
+val data_path : t -> receiver_id -> Mmfair_topology.Routing.path
+(** The receiver's frozen data-path. *)
+
+val session_links : t -> int -> Mmfair_topology.Graph.link_id list
+(** The session's data-path: the union of its receivers' paths,
+    ascending link order. *)
+
+val receivers_on_link : t -> session:int -> link:Mmfair_topology.Graph.link_id -> receiver_id list
+(** The paper's [R_{i,j}]. *)
+
+val all_on_link : t -> link:Mmfair_topology.Graph.link_id -> receiver_id list
+(** The paper's [R_j]. *)
+
+val crosses : t -> receiver_id -> Mmfair_topology.Graph.link_id -> bool
+(** Whether the receiver's data-path includes the link. *)
+
+val is_unicast : t -> int -> bool
+(** A session with exactly one receiver (the paper treats unicast as
+    either type; see Section 2). *)
+
+val with_session_types : t -> session_type array -> t
+(** [with_session_types t types] is the paper's Φ-replacement: an
+    otherwise identical network with session [i] given [types.(i)].
+    Paths are not re-routed (the topology is unchanged).  Raises
+    [Invalid_argument] on length mismatch. *)
+
+val with_vfns : t -> Redundancy_fn.t array -> t
+(** Lemma-4 replacement: same network, new redundancy functions. *)
+
+val without_receiver : t -> receiver_id -> t
+(** Section-2.5 surgery: remove one receiver (re-validates; the
+    session must keep at least one receiver). *)
+
+val pp : Format.formatter -> t -> unit
+(** Sessions with their types, senders, receivers and paths. *)

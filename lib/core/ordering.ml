@@ -1,0 +1,76 @@
+let sort x =
+  let c = Array.copy x in
+  Array.sort Stdlib.compare c;
+  c
+
+let is_ordered x =
+  let ok = ref true in
+  for i = 1 to Array.length x - 1 do
+    if x.(i - 1) > x.(i) then ok := false
+  done;
+  !ok
+
+let check name x y =
+  if Array.length x <> Array.length y then
+    invalid_arg (Printf.sprintf "Ordering.%s: length mismatch" name);
+  if not (is_ordered x && is_ordered y) then
+    invalid_arg (Printf.sprintf "Ordering.%s: inputs must be ordered" name)
+
+(* X ≼m Y iff at every index where x exceeds y, some earlier index had
+   x below y — a single left-to-right scan. *)
+let leq x y =
+  check "leq" x y;
+  let seen_less = ref false in
+  let ok = ref true in
+  Array.iteri
+    (fun i xi ->
+      if !ok then begin
+        if xi > y.(i) && not !seen_less then ok := false;
+        if xi < y.(i) then seen_less := true
+      end)
+    x;
+  !ok
+
+let lt x y = leq x y && x <> y
+
+let compare x y =
+  check "compare" x y;
+  (* ≼m on ordered vectors coincides with lexicographic order. *)
+  let n = Array.length x in
+  let rec go i =
+    if i = n then 0
+    else if x.(i) < y.(i) then -1
+    else if x.(i) > y.(i) then 1
+    else go (i + 1)
+  in
+  go 0
+
+let count_at_or_below x z =
+  (* Largest index with x.(i) <= z, plus one. *)
+  let n = Array.length x in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if x.(mid) <= z then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let lemma2_threshold x y =
+  check "lemma2_threshold" x y;
+  if not (lt x y) then None
+  else begin
+    (* The first index where the vectors differ has x.(i) < y.(i)
+       (lexicographic view); x₀ = x.(i) works: counts at z < x₀ agree
+       or favor x, and at x₀ the count for x strictly exceeds y's. *)
+    let n = Array.length x in
+    let rec first_diff i = if x.(i) <> y.(i) then i else first_diff (i + 1) in
+    let i = first_diff 0 in
+    assert (i < n && x.(i) < y.(i));
+    Some x.(i)
+  end
+
+let max_min_of = function
+  | [] -> invalid_arg "Ordering.max_min_of: empty list"
+  | first :: rest ->
+      List.fold_left (fun best v -> let v = sort v in if compare best v < 0 then v else best)
+        (sort first) rest

@@ -1,0 +1,33 @@
+type t =
+  | Efficient
+  | Scaled of float
+  | Additive
+  | Custom of string * (float list -> float)
+
+let max_rate rates = List.fold_left Stdlib.max 0.0 rates
+
+let apply v rates =
+  match rates with
+  | [] -> 0.0
+  | _ -> (
+      match v with
+      | Efficient -> max_rate rates
+      | Scaled k ->
+          if k < 1.0 then invalid_arg "Redundancy_fn.apply: Scaled factor must be >= 1";
+          k *. max_rate rates
+      | Additive -> List.fold_left ( +. ) 0.0 rates
+      | Custom (_, f) -> Stdlib.max (f rates) (max_rate rates))
+
+let name = function
+  | Efficient -> "efficient"
+  | Scaled k -> Printf.sprintf "scaled(%g)" k
+  | Additive -> "additive"
+  | Custom (n, _) -> n
+
+let dominates hi lo rates = apply hi rates >= apply lo rates -. 1e-12
+
+let is_linear = function
+  | Efficient | Scaled _ | Additive -> true
+  | Custom _ -> false
+
+let pp fmt v = Format.pp_print_string fmt (name v)

@@ -1,0 +1,69 @@
+type point = {
+  rate : float;
+  realized : float;
+  session_satisfaction : float;
+  network_satisfaction : float;
+}
+
+let multi_rate_reference net ~session =
+  let types =
+    Array.init (Network.session_count net) (fun i ->
+        if i = session then Network.Multi_rate else Network.session_type net i)
+  in
+  Allocator.max_min (Network.with_session_types net types)
+
+let sweep net ~session ?(grid = 24) () =
+  if session < 0 || session >= Network.session_count net then
+    invalid_arg "Single_rate_choice.sweep: unknown session";
+  if grid < 1 then invalid_arg "Single_rate_choice.sweep: grid must be >= 1";
+  let reference = multi_rate_reference net ~session in
+  let receivers = Network.receivers_of_session net session in
+  let ref_rate r = Allocation.rate reference r in
+  let top = Array.fold_left (fun acc r -> Stdlib.max acc (ref_rate r)) 0.0 receivers in
+  let all = Network.all_receivers net in
+  let all_ref = Array.map ref_rate all in
+  List.init grid (fun i ->
+      let rate = top *. float_of_int (i + 1) /. float_of_int grid in
+      let candidate =
+        Network.with_session_types net
+          (Array.init (Network.session_count net) (fun j ->
+               if j = session then Network.Single_rate else Network.session_type net j))
+      in
+      (* pin the session's rho to the candidate rate, respecting the
+         session's own rho *)
+      let spec = Network.session_spec candidate session in
+      let rho = Stdlib.min rate spec.Network.rho in
+      let specs =
+        Array.init (Network.session_count candidate) (fun j ->
+            if j = session then { (Network.session_spec candidate j) with Network.rho }
+            else Network.session_spec candidate j)
+      in
+      let pinned = Network.make (Network.graph net) specs in
+      let alloc = Allocator.max_min pinned in
+      let realized = Allocation.rate alloc receivers.(0) in
+      let sat (r : Network.receiver_id) reference_rate =
+        if reference_rate <= 0.0 then 1.0
+        else Stdlib.min 1.0 (Allocation.rate alloc r /. reference_rate)
+      in
+      let session_satisfaction =
+        Array.fold_left (fun acc r -> acc +. sat r (ref_rate r)) 0.0 receivers
+        /. float_of_int (Array.length receivers)
+      in
+      let network_satisfaction =
+        let total = ref 0.0 in
+        Array.iteri (fun k r -> total := !total +. sat r all_ref.(k)) all;
+        !total /. float_of_int (Array.length all)
+      in
+      { rate; realized; session_satisfaction; network_satisfaction })
+
+let optimal net ~session ?grid () =
+  let points = sweep net ~session ?grid () in
+  List.fold_left
+    (fun best p ->
+      if
+        p.session_satisfaction > best.session_satisfaction +. 1e-12
+        || (Float.abs (p.session_satisfaction -. best.session_satisfaction) <= 1e-12
+           && p.realized > best.realized)
+      then p
+      else best)
+    (List.hd points) points

@@ -1,0 +1,39 @@
+(** Choosing a single-rate session's rate by inter-receiver fairness.
+
+    The paper's related work (Jiang, Ammar & Zegura, "Inter-Receiver
+    Fairness", cited as [6]) asks: when a session {e must} be
+    single-rate, which single rate treats its heterogeneous receivers
+    most fairly?  Too low starves the fast receivers; too high is
+    undeliverable to the slow ones (in our loss-free fluid model, a
+    rate above a receiver's path capacity simply cannot be allocated
+    feasibly, so the whole session is capped anyway — the interesting
+    trade is against the {e other} sessions it squeezes).
+
+    We score a candidate rate [r] by mean receiver satisfaction
+    against the multi-rate ideal: receiver [k]'s satisfaction is
+    [min(a_k, g_k)/g_k] where [g_k] is its rate in the max-min fair
+    allocation of the network with the session made multi-rate, and
+    [a_k] its rate when the session is single-rate with [ρ = r].
+    Because a single-rate session's realized rate is [min(r,
+    bottleneck)], sweeping [r] over the session's achievable range
+    traces the whole trade-off; network-wide satisfaction (averaged
+    over {e all} receivers) is reported alongside so the cost imposed
+    on other sessions is visible. *)
+
+type point = {
+  rate : float;              (** Candidate [ρ] given to the session. *)
+  realized : float;          (** The session's realized single rate. *)
+  session_satisfaction : float;   (** Mean over the session's receivers. *)
+  network_satisfaction : float;   (** Mean over every receiver in the network. *)
+}
+
+val sweep : Network.t -> session:int -> ?grid:int -> unit -> point list
+(** [sweep net ~session] evaluates [grid] (default 24) candidate rates
+    spanning (0, the session's best receiver's multi-rate rate].  The
+    designated session is forced [Single_rate] with the candidate as
+    [ρ]; all other sessions keep their types.  Raises
+    [Invalid_argument] on an unknown session. *)
+
+val optimal : Network.t -> session:int -> ?grid:int -> unit -> point
+(** The sweep point with maximal session satisfaction (ties: larger
+    realized rate). *)

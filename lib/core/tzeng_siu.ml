@@ -1,0 +1,95 @@
+module Graph = Mmfair_topology.Graph
+
+let validate net =
+  for i = 0 to Network.session_count net - 1 do
+    if Network.session_type net i <> Network.Single_rate then
+      invalid_arg "Tzeng_siu: all sessions must be single-rate";
+    (match Network.vfn net i with
+    | Redundancy_fn.Efficient -> ()
+    | _ -> invalid_arg "Tzeng_siu: sessions must use the efficient link-rate function")
+  done
+
+(* Water-filling over *session* rates: each active session's rate
+   rises uniformly; on link l the usage is (sum of frozen sessions'
+   rates crossing l) + t * (number of active sessions crossing l);
+   a session freezes when a link on its data-path saturates or rho is
+   reached.  This is Tzeng & Siu's construction, written against the
+   session-rate vector rather than receiver rates. *)
+let max_min_session_rates net =
+  validate net;
+  let g = Network.graph net in
+  let m = Network.session_count net in
+  let n_links = Graph.link_count g in
+  let rates = Array.make m 0.0 in
+  let active = Array.make m true in
+  let crosses = Array.init m (fun i -> Network.session_links net i) in
+  let t = ref 0.0 in
+  let guard = ref (m + n_links + 2) in
+  while Array.exists Fun.id active do
+    decr guard;
+    if !guard < 0 then failwith "Tzeng_siu: no progress";
+    (* per-link: frozen base and active count *)
+    let base = Array.make n_links 0.0 in
+    let slope = Array.make n_links 0 in
+    Array.iteri
+      (fun i links ->
+        List.iter
+          (fun l -> if active.(i) then slope.(l) <- slope.(l) + 1 else base.(l) <- base.(l) +. rates.(i))
+          links)
+      crosses;
+    let bound = ref infinity in
+    for l = 0 to n_links - 1 do
+      if slope.(l) > 0 then
+        bound := Stdlib.min !bound ((Graph.capacity g l -. base.(l)) /. float_of_int slope.(l))
+    done;
+    for i = 0 to m - 1 do
+      if active.(i) then bound := Stdlib.min !bound (Network.rho net i)
+    done;
+    let t_new = Stdlib.max !t (Stdlib.min !bound infinity) in
+    Array.iteri (fun i a -> if a then rates.(i) <- t_new) active;
+    (* recompute link usage and freeze *)
+    let usage = Array.make n_links 0.0 in
+    Array.iteri (fun i links -> List.iter (fun l -> usage.(l) <- usage.(l) +. rates.(i)) links) crosses;
+    let saturated l = usage.(l) >= Graph.capacity g l -. (1e-9 *. Stdlib.max 1.0 (Graph.capacity g l)) in
+    let frozen_any = ref false in
+    for i = 0 to m - 1 do
+      if active.(i) then begin
+        let rho = Network.rho net i in
+        if t_new >= rho -. (1e-9 *. Stdlib.max 1.0 rho) then begin
+          rates.(i) <- rho;
+          active.(i) <- false;
+          frozen_any := true
+        end
+        else if List.exists saturated crosses.(i) then begin
+          active.(i) <- false;
+          frozen_any := true
+        end
+      end
+    done;
+    if not !frozen_any then failwith "Tzeng_siu: stuck";
+    t := t_new
+  done;
+  rates
+
+let to_allocation net session_rates =
+  if Array.length session_rates <> Network.session_count net then
+    invalid_arg "Tzeng_siu.to_allocation: length mismatch";
+  Allocation.make net
+    (Array.mapi
+       (fun i rate ->
+         Array.make (Array.length (Network.session_spec net i).Network.receivers) rate)
+       session_rates)
+
+let agrees_with_receiver_definition ?(eps = 1e-7) net =
+  let session_rates = max_min_session_rates net in
+  let receiver_based = Allocator.max_min net in
+  let ok = ref true in
+  Array.iteri
+    (fun i rate ->
+      Array.iter
+        (fun (r : Network.receiver_id) ->
+          if Float.abs (Allocation.rate receiver_based r -. rate) > eps *. Stdlib.max 1.0 rate then
+            ok := false)
+        (Network.receivers_of_session net i))
+    session_rates;
+  !ok

@@ -1,0 +1,29 @@
+(** The Tzeng–Siu single-rate max-min definition (the paper's [18]).
+
+    Prior multicast max-min work (Tzeng & Siu, "On Max-Min Fair
+    Congestion Control for Multicast ABR Service in ATM") defines
+    fairness over {e session} rates: every session transmits at one
+    rate to all its receivers, and the vector of session rates is
+    max-min fair.  The paper's Definition 1 instead compares {e
+    receiver} rates, and notes "it is easy to show that the max-min
+    fair allocation in a single-rate network is identical under both
+    definitions".  This module implements the session-rate definition
+    independently (its own water-filling over sessions) so that claim
+    is machine-checked rather than assumed. *)
+
+val max_min_session_rates : Network.t -> float array
+(** The Tzeng–Siu allocation: one rate per session, computed by
+    progressive filling over sessions (a session freezes when any link
+    on its data-path saturates or its [ρ_i] is reached).  Requires
+    every session to be single-rate and every link-rate function
+    linear-efficient; raises [Invalid_argument] otherwise.  Weights
+    are ignored (the definition predates weighted variants). *)
+
+val to_allocation : Network.t -> float array -> Allocation.t
+(** Expand session rates to the receiver-rate allocation (each
+    receiver gets its session's rate). *)
+
+val agrees_with_receiver_definition : ?eps:float -> Network.t -> bool
+(** The paper's equivalence claim on this network: the Tzeng–Siu
+    allocation equals the Appendix-A allocator's receiver-based
+    single-rate max-min allocation within [eps] (default [1e-7]). *)

@@ -1,0 +1,142 @@
+module Graph = Mmfair_topology.Graph
+
+let validate net =
+  for i = 0 to Network.session_count net - 1 do
+    if not (Network.is_unicast net i) then invalid_arg "Unicast: all sessions must be unicast";
+    (match Network.vfn net i with
+    | Redundancy_fn.Efficient -> ()
+    | _ -> invalid_arg "Unicast: sessions must use the efficient link-rate function");
+    if Network.weight net { Network.session = i; index = 0 } <> 1.0 then
+      invalid_arg "Unicast: weights must be 1"
+  done
+
+(* The textbook construction: at each step compute every remaining
+   link's fair share (residual capacity / remaining flows crossing
+   it); the minimum over links and over remaining rho limits fixes a
+   batch of flows. *)
+let max_min_flow_rates net =
+  validate net;
+  let g = Network.graph net in
+  let m = Network.session_count net in
+  let n_links = Graph.link_count g in
+  let rates = Array.make m 0.0 in
+  let fixed = Array.make m false in
+  let residual = Array.init n_links (Graph.capacity g) in
+  let crosses = Array.init m (fun i -> Network.session_links net i) in
+  let remaining = ref m in
+  while !remaining > 0 do
+    (* flows still unfixed per link *)
+    let count = Array.make n_links 0 in
+    Array.iteri
+      (fun i links -> if not fixed.(i) then List.iter (fun l -> count.(l) <- count.(l) + 1) links)
+      crosses;
+    (* the binding constraint: smallest link share or smallest rho *)
+    let best_share = ref infinity in
+    for l = 0 to n_links - 1 do
+      if count.(l) > 0 then
+        best_share := Stdlib.min !best_share (residual.(l) /. float_of_int count.(l))
+    done;
+    let rho_bound = ref infinity in
+    for i = 0 to m - 1 do
+      if not fixed.(i) then rho_bound := Stdlib.min !rho_bound (Network.rho net i)
+    done;
+    if !rho_bound <= !best_share then begin
+      (* fix every flow whose rho equals the bound *)
+      for i = 0 to m - 1 do
+        if (not fixed.(i)) && Network.rho net i <= !rho_bound +. 1e-12 then begin
+          rates.(i) <- Network.rho net i;
+          fixed.(i) <- true;
+          decr remaining;
+          List.iter (fun l -> residual.(l) <- residual.(l) -. rates.(i)) crosses.(i)
+        end
+      done
+    end
+    else begin
+      (* find the bottleneck links first (against the pre-batch
+         residuals — fixing a flow mid-batch must not turn other links
+         into spurious bottlenecks), then fix their flows *)
+      let share = !best_share in
+      let bottleneck = Array.make n_links false in
+      for l = 0 to n_links - 1 do
+        if count.(l) > 0 && residual.(l) /. float_of_int count.(l) <= share +. 1e-12 then
+          bottleneck.(l) <- true
+      done;
+      let any_fixed = ref false in
+      for i = 0 to m - 1 do
+        if (not fixed.(i)) && List.exists (fun l -> bottleneck.(l)) crosses.(i) then begin
+          rates.(i) <- share;
+          fixed.(i) <- true;
+          decr remaining;
+          List.iter (fun l -> residual.(l) <- residual.(l) -. share) crosses.(i);
+          any_fixed := true
+        end
+      done;
+      if not !any_fixed then failwith "Unicast.max_min_flow_rates: no progress"
+    end
+  done;
+  rates
+
+let agrees_with_general_allocator ?(eps = 1e-7) net =
+  let classic = max_min_flow_rates net in
+  let general = Allocator.max_min net in
+  let ok = ref true in
+  Array.iteri
+    (fun i rate ->
+      let a = Allocation.rate general { Network.session = i; index = 0 } in
+      if Float.abs (a -. rate) > eps *. Stdlib.max 1.0 rate then ok := false)
+    classic;
+  !ok
+
+type property1_violation = { session : int }
+
+let to_allocation net rates =
+  Allocation.make net (Array.map (fun r -> [| r |]) rates)
+
+let property1 ?(eps = 1e-9) net rates =
+  validate net;
+  if Array.length rates <> Network.session_count net then invalid_arg "Unicast.property1: length";
+  let alloc = to_allocation net rates in
+  let violations = ref [] in
+  for i = Network.session_count net - 1 downto 0 do
+    let rho = Network.rho net i in
+    let at_rho = Float.is_finite rho && rates.(i) >= rho -. (eps *. Stdlib.max 1.0 rho) in
+    if not at_rho then begin
+      let justified =
+        List.exists
+          (fun l ->
+            Allocation.fully_utilized ~eps alloc l
+            && List.for_all
+                 (fun i' ->
+                   Allocation.session_link_rate alloc ~session:i' ~link:l
+                   <= Allocation.session_link_rate alloc ~session:i ~link:l
+                      +. (eps *. Stdlib.max 1.0 rates.(i)))
+                 (List.init (Network.session_count net) Fun.id))
+          (Network.session_links net i)
+      in
+      if not justified then violations := { session = i } :: !violations
+    end
+  done;
+  !violations
+
+type property2_violation = { first : int; second : int }
+
+let property2 ?(eps = 1e-9) net rates =
+  validate net;
+  if Array.length rates <> Network.session_count net then invalid_arg "Unicast.property2: length";
+  let m = Network.session_count net in
+  let paths = Array.init m (fun i -> List.sort_uniq compare (Network.session_links net i)) in
+  let at_rho i =
+    let rho = Network.rho net i in
+    Float.is_finite rho && rates.(i) >= rho -. (eps *. Stdlib.max 1.0 rho)
+  in
+  let violations = ref [] in
+  for x = 0 to m - 1 do
+    for y = x + 1 to m - 1 do
+      if paths.(x) = paths.(y) then begin
+        let equal = Float.abs (rates.(x) -. rates.(y)) <= eps *. Stdlib.max 1.0 rates.(x) in
+        let excused = (rates.(x) < rates.(y) && at_rho x) || (rates.(y) < rates.(x) && at_rho y) in
+        if not (equal || excused) then violations := { first = x; second = y } :: !violations
+      end
+    done
+  done;
+  List.rev !violations

@@ -1,0 +1,40 @@
+(** Classic unicast max-min fairness (Bertsekas & Gallagher).
+
+    The paper grounds its definitions in the unicast case: Definition
+    1 restricted to single-receiver sessions must reproduce the
+    textbook max-min fair allocation (its reference [2]), and Unicast
+    Fairness Properties 1 and 2 are the seeds of Fairness Properties
+    1–4.  This module implements the textbook algorithm {e
+    independently} of the multicast allocator — the standard
+    iterative bottleneck construction over flows — so the reduction
+    claim is machine-checked, and provides the two unicast properties
+    as checkers in their original form. *)
+
+val max_min_flow_rates : Network.t -> float array
+(** The Bertsekas–Gallagher construction: repeatedly find the link
+    with the smallest equal share among its remaining flows, fix those
+    flows at that share, remove the link's capacity, and continue.
+    One rate per session; requires every session to be unicast (one
+    receiver) with the efficient link-rate function and unit weights
+    ([Invalid_argument] otherwise).  [ρ_i] limits are honored. *)
+
+val agrees_with_general_allocator : ?eps:float -> Network.t -> bool
+(** Whether this construction matches {!Allocator.max_min} on the
+    network (the paper's base-case sanity: both must yield the unique
+    unicast max-min fair allocation). *)
+
+type property1_violation = { session : int }
+(** Unicast Fairness Property 1 fails for this session: its rate is
+    below [ρ_i] and no fully utilized link on its path gives it a
+    maximal session link rate. *)
+
+val property1 : ?eps:float -> Network.t -> float array -> property1_violation list
+(** Check Unicast Fairness Property 1 (unicast max-min fairness) for
+    an assignment of flow rates. *)
+
+type property2_violation = { first : int; second : int }
+(** Two sessions with identical data-paths and unequal rates, neither
+    pinned at its [ρ]. *)
+
+val property2 : ?eps:float -> Network.t -> float array -> property2_violation list
+(** Check Unicast Fairness Property 2 (same-path fairness). *)

@@ -1,0 +1,37 @@
+let rates_of alloc =
+  let net = Allocation.network alloc in
+  Array.map (fun r -> Allocation.rate alloc r) (Network.all_receivers net)
+
+let check_same_shape a b =
+  let ra = rates_of a and rb = rates_of b in
+  if Array.length ra <> Array.length rb then
+    invalid_arg "Utility: allocations have different receiver counts";
+  (ra, rb)
+
+let pareto_dominates ?(eps = 1e-12) a b =
+  let ra, rb = check_same_shape a b in
+  let ge = ref true and strict = ref false in
+  Array.iteri
+    (fun i x ->
+      if x < rb.(i) -. eps then ge := false;
+      if x > rb.(i) +. eps then strict := true)
+    ra;
+  !ge && !strict
+
+let is_pareto_optimal ?eps a ~among =
+  not (List.exists (fun b -> pareto_dominates ?eps b a) among)
+
+let compare_utility a b =
+  Ordering.compare (Allocation.ordered_vector a) (Allocation.ordered_vector b)
+
+let utility_rank cands =
+  let sorted = List.stable_sort compare_utility cands in
+  (* Equal ordered vectors share a rank. *)
+  let rec assign rank prev acc = function
+    | [] -> List.rev acc
+    | a :: rest ->
+        let v = Allocation.ordered_vector a in
+        let rank = match prev with Some p when p = v -> rank | _ -> rank + 1 in
+        assign rank (Some v) ((a, rank) :: acc) rest
+  in
+  assign (-1) None [] sorted

@@ -1,0 +1,31 @@
+(** Utility and Pareto views of max-min fairness (footnote 4).
+
+    The paper notes that instead of the [≼_m] ordering one can build a
+    utility function [U] over allocations with
+    [U(A) < U(B) ⟺ A <_m B], under which the max-min fair allocation
+    is Pareto-optimal.  This module provides the Pareto machinery and
+    a comparison-based realization of that utility (as a total order;
+    a real-valued [U] with this property exists for any finite
+    feasible set, and {!utility_rank} constructs one for an explicit
+    candidate list). *)
+
+val pareto_dominates : ?eps:float -> Allocation.t -> Allocation.t -> bool
+(** [pareto_dominates a b]: allocation [a] gives every receiver at
+    least [b]'s rate and at least one receiver strictly more.  Both
+    must be allocations of the same network (receiver-for-receiver
+    comparison); raises [Invalid_argument] otherwise. *)
+
+val is_pareto_optimal : ?eps:float -> Allocation.t -> among:Allocation.t list -> bool
+(** No allocation in [among] Pareto-dominates the given one. *)
+
+val compare_utility : Allocation.t -> Allocation.t -> int
+(** The footnote's utility as a comparison: negative iff the first
+    allocation is strictly min-unfavorable to the second
+    ([A <_m B ⟺ U(A) < U(B)]).  Works on allocations of networks
+    with equal receiver counts. *)
+
+val utility_rank : Allocation.t list -> (Allocation.t * int) list
+(** [utility_rank cands] assigns each candidate an integer utility
+    consistent with {!compare_utility} (equal vectors share a rank) —
+    an explicit finite [U].  The max-min fair allocation, when
+    present, gets the maximal rank. *)

@@ -1,0 +1,58 @@
+(** Weighted max-min fairness — the paper's Section-5 extension.
+
+    "We believe that many of our results can be directly applied to
+    TCP-fairness by constructing a definition of max-min fairness
+    where receiver rates are assigned weights (i.e., a receiver's rate
+    is weighted by the inverse of round trip time)."
+
+    With per-receiver weights [w_{i,k}] (see
+    {!Network.session_spec.weights}), progressive filling raises the
+    {e normalized} rates [a_{i,k}/w_{i,k}] together, so the allocator
+    already computes the weighted max-min fair allocation; this module
+    adds the weighted analogues of the analysis tools:
+
+    - the normalized ordered vector (feeding the [≼_m] ordering, whose
+      lemmas apply verbatim to normalized rates);
+    - weighted same-path-receiver-fairness (equal {e normalized} rates
+      on identical data-paths — the TCP-fairness criterion of
+      Mahdavi & Floyd that Fairness Property 2 generalizes);
+    - weighted fully-utilized-receiver-fairness (no receiver can grow
+      without shrinking someone with a smaller normalized rate on a
+      shared saturated link);
+    - RTT helpers for building TCP-like weight assignments. *)
+
+val normalized_vector : Allocation.t -> float array
+(** Ascending [a_{i,k}/w_{i,k}] over all receivers — the vector the
+    weighted max-min fair allocation maximizes under [≼_m]. *)
+
+val weights_from_rtts : float array -> float array
+(** [weights_from_rtts rtts] is the TCP-fairness weight assignment
+    [1/rtt] (Section 5's proposal).  Raises [Invalid_argument] on a
+    non-positive RTT. *)
+
+type violation = {
+  first : Network.receiver_id;
+  second : Network.receiver_id;
+  first_normalized : float;
+  second_normalized : float;
+}
+(** A pair of same-path receivers whose normalized rates differ with
+    neither pinned at its [ρ]. *)
+
+val same_path_weighted_fair : ?eps:float -> Allocation.t -> violation list
+(** Weighted Fairness Property 2: receivers with identical data-paths
+    have equal normalized rates [a/w] unless the lower one sits at its
+    session's [ρ].  With unit weights this is exactly
+    {!Properties.same_path_receiver_fair} (up to witness format). *)
+
+type unjustified = { receiver : Network.receiver_id }
+(** A receiver below [ρ] with no saturated link on its path where its
+    normalized rate is maximal. *)
+
+val fully_utilized_weighted_fair : ?eps:float -> Allocation.t -> unjustified list
+(** Weighted Fairness Property 1: each receiver is at [ρ_i] or crosses
+    a fully utilized link on which no other receiver has a strictly
+    larger normalized rate. *)
+
+val holds_all : ?eps:float -> Allocation.t -> bool
+(** Both weighted properties hold. *)

@@ -1,0 +1,73 @@
+module Protocol = Mmfair_protocols.Protocol
+module Qrunner = Mmfair_protocols.Qrunner
+module Network = Mmfair_core.Network
+module Allocator = Mmfair_core.Allocator
+module Allocation = Mmfair_core.Allocation
+module Builders = Mmfair_topology.Builders
+
+type row = {
+  receiver : int;
+  fair_rate : float;
+  sustainable : float;
+  goodput : float;
+  attainment : float;
+}
+
+type outcome = {
+  kind : Protocol.kind;
+  rows : row list;
+  table : Table.t;
+}
+
+let default_config kind =
+  Qrunner.config ~layers:6 ~unit_rate:8.0 ~duration:120.0 ~warmup:30.0 kind
+
+let run ?(shared_capacity = 300.0) ?(fanout_capacities = [| 160.0; 40.0; 20.0 |])
+    ?(config = default_config) () =
+  (* fluid prediction from the allocator on the same capacities *)
+  let star = Builders.modified_star ~shared_capacity ~fanout_capacities in
+  let net =
+    Network.make star.Builders.graph
+      [| Network.session ~sender:star.Builders.sender ~receivers:star.Builders.receivers () |]
+  in
+  let fluid = Allocator.max_min net in
+  List.map
+    (fun kind ->
+      let r = Qrunner.run_star (config kind) ~shared_capacity ~fanout_capacities in
+      let rows =
+        List.init (Array.length fanout_capacities) (fun k ->
+            let fair_rate = Allocation.rate fluid { Network.session = 0; index = k } in
+            let sustainable = r.Qrunner.sustainable.(k) in
+            let goodput = r.Qrunner.goodput.(k) in
+            {
+              receiver = k;
+              fair_rate;
+              sustainable;
+              goodput;
+              attainment = (if sustainable > 0.0 then goodput /. sustainable else Float.nan);
+            })
+      in
+      let table =
+        Table.make
+          ~title:
+            (Printf.sprintf "Closed-loop fairness, %s (drop-tail queues, no exogenous loss)"
+               (Protocol.kind_name kind))
+          ~columns:[ "receiver"; "fluid fair rate"; "sustainable (layered)"; "goodput"; "attainment" ]
+          ~notes:
+            [
+              "fair rate: Appendix-A allocator on the same capacities; sustainable: fair rate rounded";
+              "down to the exponential layer granularity; attainment = goodput / sustainable.";
+            ]
+          (List.map
+             (fun row ->
+               [
+                 string_of_int (row.receiver + 1);
+                 Table.cell_f row.fair_rate;
+                 Table.cell_f row.sustainable;
+                 Table.cell_f row.goodput;
+                 Printf.sprintf "%.0f%%" (100.0 *. row.attainment);
+               ])
+             rows)
+      in
+      { kind; rows; table })
+    Protocol.all_kinds

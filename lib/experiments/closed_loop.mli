@@ -1,0 +1,46 @@
+(** Closed-loop validation: do the Section-4 protocols actually reach
+    the max-min fair rates?
+
+    The paper argues its protocols "come close to achieving the
+    max-min fair rates".  This experiment tests that end-to-end with
+    no exogenous loss at all: a heterogeneous star with real
+    capacitated, finite-buffer links ({!Mmfair_protocols.Qrunner});
+    the only congestion signal is drop-tail overflow.  For each
+    receiver we report
+
+    - the {e fluid fair rate} from the Appendix-A allocator on the
+      same capacities (the paper's theoretical target),
+    - the {e sustainable rate} — the largest cumulative layer rate its
+      path carries, i.e. the fair rate rounded down to the exponential
+      scheme's granularity (a receiver cannot hold a partial layer
+      long-term; the paper's §3 quantum join/leave mechanism is what
+      would close this gap),
+    - the measured long-run goodput.
+
+    Pass criterion (asserted by tests): goodput within a protocol-
+    oscillation margin of the sustainable rate, and never above the
+    fluid fair rate. *)
+
+type row = {
+  receiver : int;
+  fair_rate : float;        (** Fluid max-min fair rate (pkts/s). *)
+  sustainable : float;      (** Granularity-limited target (pkts/s). *)
+  goodput : float;          (** Measured (pkts/s). *)
+  attainment : float;       (** goodput / sustainable. *)
+}
+
+type outcome = {
+  kind : Mmfair_protocols.Protocol.kind;
+  rows : row list;
+  table : Table.t;
+}
+
+val run :
+  ?shared_capacity:float ->
+  ?fanout_capacities:float array ->
+  ?config:(Mmfair_protocols.Protocol.kind -> Mmfair_protocols.Qrunner.config) ->
+  unit ->
+  outcome list
+(** Defaults: shared 300 pkt/s, fanout [160; 40; 20], and
+    [Qrunner.config ~layers:6 ~unit_rate:8.0 ~duration:120.0
+    ~warmup:30.0] per protocol. *)

@@ -1,0 +1,29 @@
+(** Inter-session competition in the closed loop: the Section-3
+    nonexistence result appearing dynamically.
+
+    Two adaptive layered sessions share one bottleneck whose fluid
+    max-min fair split is exactly half each — but half lies {e
+    between} two cumulative layer rates, so (as Section 3 proves with
+    its single-link example) no max-min fair allocation over the
+    discrete rate set exists.  Dynamically, under drop-tail queues the
+    session that ramps first captures the higher layer and the other
+    is pinned one layer down: a stable asymmetric equilibrium.  With
+    ECN marking the congestion signal arrives before overflow and is
+    shared smoothly, and the split becomes approximately fair again.
+
+    This experiment quantifies both regimes for each protocol. *)
+
+type row = {
+  kind : Mmfair_protocols.Protocol.kind;
+  droptail : float * float;  (** (session-0, session-1) goodput, pkts/s. *)
+  ecn : float * float;
+  droptail_ratio : float;    (** max/min goodput under drop-tail. *)
+  ecn_ratio : float;         (** max/min goodput under ECN. *)
+}
+
+val run :
+  ?bottleneck:float -> ?duration:float -> ?seed:int64 -> unit -> row list
+(** Defaults: bottleneck 60 pkt/s (fluid fair split 30/30, between the
+    16 and 32 cumulative layer rates), 120 s, seed 1. *)
+
+val to_table : row list -> Table.t

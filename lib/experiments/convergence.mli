@@ -1,0 +1,26 @@
+(** Protocol convergence: how fast each Section-4 protocol climbs to
+    its operating point.
+
+    The paper's protocols trade join aggressiveness against
+    redundancy; this experiment quantifies the other side of that
+    trade: starting from layer 1 (a fresh join or a deep back-off),
+    how many packet slots until the session reaches its steady
+    operating level?  Measured two ways — exactly, via the transient
+    two-receiver Markov chain, and empirically, via the packet-level
+    simulator's per-slot level observer — which also cross-validates
+    the two substrates against each other. *)
+
+type row = {
+  kind : Mmfair_protocols.Protocol.kind;
+  steady_mean_level : float;     (** Stationary expected level (Markov). *)
+  markov_slots : int option;     (** Slots to reach 90% of steady level (exact). *)
+  sim_slots : int option;        (** Same threshold, simulated mean over receivers. *)
+  steady_redundancy : float;     (** Stationary redundancy (Markov). *)
+}
+
+val run :
+  ?layers:int -> ?loss:float -> ?receivers:int -> ?horizon:int -> ?seed:int64 -> unit -> row list
+(** Defaults: 4 layers, loss 0.02 (shared 0.0001), 2 simulated
+    receivers (matching the chain), horizon 4096 slots. *)
+
+val to_table : row list -> Table.t

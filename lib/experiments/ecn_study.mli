@@ -1,0 +1,25 @@
+(** ECN marking vs drop-tail in the closed loop.
+
+    The paper's congestion events can be packet losses {e or} ECN
+    marks ("a bit set within a packet by the network used to indicate
+    that the receiving rate should be lowered", citing RFC 2481).
+    This experiment runs the same capacitated star under both
+    regimes and tabulates goodput and actual packet loss: marking
+    signals congestion before queues overflow, so the adaptive
+    sessions should keep (almost) the same goodput while losing far
+    fewer packets. *)
+
+type row = {
+  kind : Mmfair_protocols.Protocol.kind;
+  droptail_goodput : float;   (** Summed over receivers (pkts/s). *)
+  droptail_drops : int;
+  ecn_goodput : float;
+  ecn_drops : int;            (** Overflow drops remaining under ECN. *)
+  ecn_marks : int;
+}
+
+val run :
+  ?shared_capacity:float -> ?fanout_capacities:float array ->
+  ?duration:float -> ?seed:int64 -> unit -> row list
+
+val to_table : row list -> Table.t

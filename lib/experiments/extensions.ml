@@ -1,0 +1,258 @@
+module Protocol = Mmfair_protocols.Protocol
+module Runner = Mmfair_protocols.Runner
+module Network = Mmfair_core.Network
+module Allocator = Mmfair_core.Allocator
+module Allocation = Mmfair_core.Allocation
+module Weighted = Mmfair_core.Weighted
+module Graph = Mmfair_topology.Graph
+module Scheme = Mmfair_layering.Scheme
+module Random_joins = Mmfair_layering.Random_joins
+module Xoshiro = Mmfair_prng.Xoshiro
+
+(* ---------------- leave latency ---------------- *)
+
+type latency_point = { leave_latency : int; redundancy : float }
+type latency_curve = { kind : Protocol.kind; points : latency_point list }
+
+let leave_latency ?(latencies = [ 0; 16; 64; 256; 1024 ]) ?(receivers = 30) ?(packets = 30_000)
+    ?(seed = 21L) ~independent_loss () =
+  List.map
+    (fun kind ->
+      let points =
+        List.map
+          (fun leave_latency ->
+            let cfg =
+              Runner.config ~packets ~warmup:(packets / 10) ~seed ~leave_latency kind
+            in
+            let r = Runner.run_star cfg ~receivers ~shared_loss:0.0001 ~independent_loss in
+            { leave_latency; redundancy = r.Runner.redundancy })
+          latencies
+      in
+      { kind; points })
+    Protocol.all_kinds
+
+let latency_table curves =
+  let latencies =
+    match curves with [] -> [] | c :: _ -> List.map (fun p -> p.leave_latency) c.points
+  in
+  let columns = "leave latency (slots)" :: List.map (fun c -> Protocol.kind_name c.kind) curves in
+  let rows =
+    List.map
+      (fun lat ->
+        string_of_int lat
+        :: List.map
+             (fun c ->
+               let p = List.find (fun p -> p.leave_latency = lat) c.points in
+               Table.cell_f p.redundancy)
+             curves)
+      latencies
+  in
+  Table.make ~title:"Extension: redundancy vs leave latency (Section 5 prediction: increases)"
+    ~columns rows
+
+(* ---------------- priority dropping ---------------- *)
+
+type priority_row = {
+  kind : Protocol.kind;
+  uniform : float;
+  priority : float;
+  uniform_level : float;
+  priority_level : float;
+}
+
+let priority_dropping ?(receivers = 30) ?(packets = 30_000) ?(seed = 22L) ~independent_loss () =
+  List.map
+    (fun kind ->
+      let run priority_drop =
+        let cfg = Runner.config ~packets ~warmup:(packets / 10) ~seed ~priority_drop kind in
+        Runner.run_star cfg ~receivers ~shared_loss:0.0001 ~independent_loss
+      in
+      let u = run false and p = run true in
+      {
+        kind;
+        uniform = u.Runner.redundancy;
+        priority = p.Runner.redundancy;
+        uniform_level = u.Runner.mean_level;
+        priority_level = p.Runner.mean_level;
+      })
+    Protocol.all_kinds
+
+let priority_table rows =
+  Table.make ~title:"Extension: uniform vs priority (layer-biased) dropping"
+    ~columns:[ "protocol"; "uniform red."; "priority red."; "uniform level"; "priority level" ]
+    ~notes:
+      [
+        "priority dropping protects base layers, so congestion signals arrive mostly at the top";
+        "layer a receiver holds -- oscillation shrinks and so does redundancy (Section 5's question).";
+      ]
+    (List.map
+       (fun r ->
+         [
+           Protocol.kind_name r.kind;
+           Table.cell_f r.uniform;
+           Table.cell_f r.priority;
+           Table.cell_f r.uniform_level;
+           Table.cell_f r.priority_level;
+         ])
+       rows)
+
+(* ---------------- additional layers ---------------- *)
+
+type layers_point = { layers : int; redundancy : float }
+
+let layers_vs_redundancy ?(max_layers = 10) ~receivers ~rate () =
+  if rate <= 0.0 || rate > 1.0 then invalid_arg "Extensions.layers_vs_redundancy: rate in (0,1]";
+  List.init max_layers (fun i ->
+      let m = i + 1 in
+      let scheme = Scheme.uniform ~layers:m ~rate:(1.0 /. float_of_int m) in
+      let rates = Array.make receivers rate in
+      { layers = m; redundancy = Random_joins.multi_layer_redundancy ~scheme ~rates })
+
+let layers_table ~receivers ~rate points =
+  Table.make
+    ~title:
+      (Printf.sprintf
+         "Extension (TR App. E): redundancy vs number of layers (%d receivers, rate %g)" receivers
+         rate)
+    ~columns:[ "layers"; "redundancy" ]
+    ~notes:[ "paper: additional layers reduce redundancy and never exceed the single-layer case." ]
+    (List.map (fun p -> [ string_of_int p.layers; Table.cell_f p.redundancy ]) points)
+
+(* ---------------- weighted / TCP fairness ---------------- *)
+
+type weighted_outcome = {
+  table : Table.t;
+  rates : float array;
+  normalized : float array;
+  weighted_fair : bool;
+}
+
+let tcp_fairness ?(bottleneck = 10.0) ~rtts () =
+  let n = Array.length rtts in
+  if n = 0 then invalid_arg "Extensions.tcp_fairness: need at least one session";
+  let weights = Weighted.weights_from_rtts rtts in
+  let g = Graph.create ~nodes:2 in
+  ignore (Graph.add_link g 0 1 bottleneck);
+  let specs =
+    Array.map
+      (fun w ->
+        let leaf = Graph.add_node g in
+        ignore (Graph.add_link g 1 leaf (bottleneck *. 10.0));
+        Network.session ~weights:[| w |] ~sender:0 ~receivers:[| leaf |] ())
+      weights
+  in
+  let net = Network.make g specs in
+  let alloc = Allocator.max_min net in
+  let rates = Array.init n (fun i -> Allocation.rate alloc { Network.session = i; index = 0 }) in
+  let normalized = Array.mapi (fun i a -> a /. weights.(i)) rates in
+  let total_weight = Array.fold_left ( +. ) 0.0 weights in
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun i a ->
+           [
+             Printf.sprintf "flow %d (rtt %g)" (i + 1) rtts.(i);
+             Table.cell_f a;
+             Table.cell_f (bottleneck *. weights.(i) /. total_weight);
+             Table.cell_f normalized.(i);
+           ])
+         rates)
+  in
+  let table =
+    Table.make ~title:"Extension: weighted (TCP-fair) max-min on a shared bottleneck"
+      ~columns:[ "flow"; "rate"; "expected c*w/SUM(w)"; "normalized a/w" ]
+      ~notes:[ "Section 5: weighting receiver rates by 1/RTT reproduces the TCP-fair shape." ]
+      rows
+  in
+  { table; rates; normalized; weighted_fair = Weighted.holds_all alloc }
+
+(* ---------------- session churn ---------------- *)
+
+type churn_step = {
+  description : string;
+  ordered_rates : float array;
+  observer_rate : float option;
+}
+
+type churn_outcome = {
+  table : Table.t;
+  steps : churn_step list;
+  observer_increases : int;
+  observer_decreases : int;
+}
+
+let churn ?(seed = 23L) ~sessions () =
+  if sessions < 1 then invalid_arg "Extensions.churn: need at least one churning session";
+  let rng = Xoshiro.create ~seed () in
+  let nodes = 8 + (2 * sessions) in
+  let g =
+    Mmfair_topology.Builders.random_connected ~rng ~nodes ~extra_links:(nodes / 2) ~cap_lo:2.0
+      ~cap_hi:10.0
+  in
+  (* the observer: a 2-receiver multi-rate session fixed for the whole
+     timeline *)
+  let pick_members count =
+    let ids = Array.init nodes Fun.id in
+    Xoshiro.shuffle rng ids;
+    Array.sub ids 0 count
+  in
+  let obs_members = pick_members 3 in
+  let observer =
+    Network.session ~sender:obs_members.(0) ~receivers:[| obs_members.(1); obs_members.(2) |] ()
+  in
+  let churners =
+    Array.init sessions (fun _ ->
+        let m = pick_members 3 in
+        Network.session ~sender:m.(0) ~receivers:[| m.(1); m.(2) |] ())
+  in
+  let snapshot description present =
+    let specs = Array.of_list (observer :: present) in
+    let net = Network.make g specs in
+    let alloc = Allocator.max_min net in
+    {
+      description;
+      ordered_rates = Allocation.ordered_vector alloc;
+      observer_rate = Some (Allocation.rate alloc { Network.session = 0; index = 0 });
+    }
+  in
+  let arrival_steps =
+    List.init (sessions + 1) (fun k ->
+        let present = Array.to_list (Array.sub churners 0 k) in
+        snapshot (if k = 0 then "observer alone" else Printf.sprintf "after %d arrival(s)" k) present)
+  in
+  let departure_steps =
+    List.init sessions (fun d ->
+        let remaining = Array.to_list (Array.sub churners (d + 1) (sessions - d - 1)) in
+        snapshot (Printf.sprintf "after %d departure(s)" (d + 1)) remaining)
+  in
+  let steps = arrival_steps @ departure_steps in
+  let inc = ref 0 and dec = ref 0 in
+  let rec walk = function
+    | { observer_rate = Some a; _ } :: ({ observer_rate = Some b; _ } :: _ as rest) ->
+        if b > a +. 1e-9 then incr inc;
+        if b < a -. 1e-9 then incr dec;
+        walk rest
+    | _ -> ()
+  in
+  walk steps;
+  let rows =
+    List.map
+      (fun s ->
+        [
+          s.description;
+          (match s.observer_rate with Some a -> Table.cell_f a | None -> "-");
+          String.concat " " (Array.to_list (Array.map Table.cell_f s.ordered_rates));
+        ])
+      steps
+  in
+  let table =
+    Table.make ~title:(Printf.sprintf "Extension: session churn (seed %Ld)" seed)
+      ~columns:[ "event"; "observer rate"; "ordered rates" ]
+      ~notes:
+        [
+          "Section 5: fair allocations vary with startup/termination of other sessions; the";
+          "observer's rate can move in either direction (cf. the Figure-3 removal examples).";
+        ]
+      rows
+  in
+  { table; steps; observer_increases = !inc; observer_decreases = !dec }

@@ -1,0 +1,97 @@
+(** Experiments for the paper's Section-5 open questions, implemented
+    as extensions in this reproduction:
+
+    - {e leave latency}: the paper predicts "long leave latencies will
+      also increase redundancy (a link continues to receive at the
+      rate prior to the leave, until the leave takes effect, while the
+      receiver's rate reduces immediately)";
+    - {e priority dropping}: "whether priority dropping schemes for
+      layered approaches might aid in reducing redundancy";
+    - {e additional layers} (TR Appendix E): more layers reduce the
+      random-join redundancy and never exceed the single-layer value;
+    - {e weighted (TCP) fairness}: receiver rates weighted by inverse
+      RTT;
+    - {e session churn}: fair rates as sessions start and terminate. *)
+
+(* ---------------- leave latency ---------------- *)
+
+type latency_point = { leave_latency : int; redundancy : float }
+
+type latency_curve = {
+  kind : Mmfair_protocols.Protocol.kind;
+  points : latency_point list;
+}
+
+val leave_latency :
+  ?latencies:int list -> ?receivers:int -> ?packets:int -> ?seed:int64 ->
+  independent_loss:float -> unit -> latency_curve list
+(** Redundancy on the shared link as the leave latency grows (slots),
+    per protocol; defaults: latencies [0;16;64;256;1024], 30
+    receivers, 30_000 packets. *)
+
+val latency_table : latency_curve list -> Table.t
+
+(* ---------------- priority dropping ---------------- *)
+
+type priority_row = {
+  kind : Mmfair_protocols.Protocol.kind;
+  uniform : float;        (** Redundancy under uniform dropping. *)
+  priority : float;       (** Redundancy under layer-biased dropping. *)
+  uniform_level : float;  (** Mean joined level, uniform. *)
+  priority_level : float; (** Mean joined level, priority. *)
+}
+
+val priority_dropping :
+  ?receivers:int -> ?packets:int -> ?seed:int64 -> independent_loss:float -> unit ->
+  priority_row list
+
+val priority_table : priority_row list -> Table.t
+
+(* ---------------- additional layers (TR Appendix E) ---------------- *)
+
+type layers_point = { layers : int; redundancy : float }
+
+val layers_vs_redundancy :
+  ?max_layers:int -> receivers:int -> rate:float -> unit -> layers_point list
+(** Random-join redundancy of a session whose receivers all want
+    [rate] (of a unit total), as the stream is split over 1..N equal
+    layers.  Point 1 is the paper's Figure-5 single-layer value. *)
+
+val layers_table : receivers:int -> rate:float -> layers_point list -> Table.t
+
+(* ---------------- weighted / TCP fairness ---------------- *)
+
+type weighted_outcome = {
+  table : Table.t;
+  rates : float array;        (** Receiver rates, in receiver order. *)
+  normalized : float array;   (** [a/w], same order. *)
+  weighted_fair : bool;       (** Both weighted properties hold. *)
+}
+
+val tcp_fairness : ?bottleneck:float -> rtts:float array -> unit -> weighted_outcome
+(** [n] unicast sessions with the given RTTs share one bottleneck;
+    weights are [1/rtt].  The weighted max-min fair rates come out
+    proportional to [1/rtt] (each [a_k = c·(1/rtt_k)/Σ(1/rtt)]), the
+    TCP-fairness shape the paper's Section 5 proposes. *)
+
+(* ---------------- session churn ---------------- *)
+
+type churn_step = {
+  description : string;
+  ordered_rates : float array;
+  observer_rate : float option;  (** The tracked receiver's rate, when present. *)
+}
+
+type churn_outcome = {
+  table : Table.t;
+  steps : churn_step list;
+  observer_increases : int;  (** Steps where the observer's rate rose. *)
+  observer_decreases : int;  (** Steps where it fell — churn moves rates both ways. *)
+}
+
+val churn : ?seed:int64 -> sessions:int -> unit -> churn_outcome
+(** A fixed random graph; sessions arrive one by one, then depart in
+    arrival order, while an observer session present throughout is
+    tracked.  Demonstrates Section 5's remark that "a session's fair
+    allocation may vary due to startup and/or termination of other
+    sessions". *)

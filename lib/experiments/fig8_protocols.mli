@@ -1,0 +1,41 @@
+(** Figure 8: protocol redundancy vs independent link loss.
+
+    The paper's headline simulation: 100 receivers with identical
+    end-to-end loss rates on the Figure-7(b) modified star, 8 layers,
+    each point the mean of repeated 100,000-packet runs.  Figure 8(a)
+    fixes the shared loss at 0.0001, Figure 8(b) at 0.05; the x-axis
+    sweeps the fanout-link loss from 0 to 0.1.
+
+    Expected shape (asserted by integration tests at reduced scale):
+    redundancy stays below ~5 for every protocol at reasonable loss,
+    the Coordinated protocol stays lowest (the paper reports it below
+    2.5), and redundancy grows with independent loss. *)
+
+type point = {
+  independent_loss : float;
+  redundancy : Mmfair_stats.Ci.interval;  (** Mean over runs, 95% CI. *)
+}
+
+type curve = { kind : Mmfair_protocols.Protocol.kind; points : point list }
+
+type scale = {
+  receivers : int;
+  packets : int;
+  runs : int;
+  layers : int;
+  losses : float list;
+}
+
+val paper_scale : scale
+(** 100 receivers, 100,000 packets, 30 runs, 8 layers, losses
+    0 … 0.1 — the paper's exact parameters (minutes of CPU). *)
+
+val quick_scale : scale
+(** 40 receivers, 20,000 packets, 5 runs — seconds, same shape. *)
+
+val run : ?scale:scale -> ?domains:int -> shared_loss:float -> seed:int64 -> unit -> curve list
+(** Default scale is {!quick_scale}; [domains > 1] parallelizes the
+    per-point replicate runs over OCaml 5 domains (identical results,
+    shorter wall clock). *)
+
+val to_table : shared_loss:float -> curve list -> Table.t

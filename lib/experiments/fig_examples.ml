@@ -1,0 +1,163 @@
+module Network = Mmfair_core.Network
+module Allocation = Mmfair_core.Allocation
+module Allocator = Mmfair_core.Allocator
+module Properties = Mmfair_core.Properties
+module Paper_nets = Mmfair_workload.Paper_nets
+
+type outcome = {
+  table : Table.t;
+  allocation : Mmfair_core.Allocation.t;
+  properties : Mmfair_core.Properties.report;
+}
+
+let property_cells report =
+  let ok = function [] -> "holds" | vs -> Printf.sprintf "FAILS (%d)" (List.length vs) in
+  [
+    ok report.Properties.fully_utilized_receiver;
+    ok report.Properties.same_path_receiver;
+    ok report.Properties.per_receiver_link;
+    ok report.Properties.per_session_link;
+  ]
+
+let rate_rows net alloc expected =
+  List.concat
+    (List.init (Network.session_count net) (fun i ->
+         Array.to_list
+           (Array.mapi
+              (fun k a ->
+                [
+                  Printf.sprintf "r%d,%d" (i + 1) (k + 1);
+                  Table.cell_f a;
+                  Table.cell_f expected.(i).(k);
+                ])
+              (Allocation.rates_of_session alloc i))))
+
+(* the paper labels each link with (u_1j : u_2j : ...) and marks the
+   fully utilized ones; reproduce that view *)
+let link_rows net alloc =
+  let g = Network.graph net in
+  let m = Network.session_count net in
+  List.map
+    (fun l ->
+      let rates =
+        List.init m (fun i ->
+            Table.cell_f (Allocation.session_link_rate alloc ~session:i ~link:l))
+      in
+      [
+        Printf.sprintf "l%d (c=%s)" (l + 1) (Table.cell_f (Mmfair_topology.Graph.capacity g l));
+        "(" ^ String.concat ":" rates ^ ")";
+        (if Allocation.fully_utilized alloc l then "full" else "");
+      ])
+    (Mmfair_topology.Graph.links g)
+
+let example_outcome ~title ~expected net =
+  let alloc = Allocator.max_min net in
+  let report = Properties.check_all alloc in
+  let rows = rate_rows net alloc expected in
+  let prop_row =
+    [ "properties FP1/FP2/FP3/FP4"; String.concat " / " (property_cells report); "see note" ]
+  in
+  let link_notes =
+    List.map
+      (fun cells -> "  " ^ String.concat "  " cells)
+      (link_rows net alloc)
+  in
+  let table =
+    Table.make ~title ~columns:[ "receiver"; "computed rate"; "paper rate" ]
+      ~notes:
+        ([
+           "properties line reads: FP1 / FP2 / FP3 / FP4 (fully-utilized-receiver, same-path-receiver,";
+           "per-receiver-link, per-session-link)";
+           "session link rates u_{i,j} per link (the paper's figure labels):";
+         ]
+        @ link_notes)
+      (rows @ [ prop_row ])
+  in
+  { table; allocation = alloc; properties = report }
+
+let expected_figure1 = [| [| 1.0 |]; [| 1.0; 2.0 |]; [| 1.0; 2.0 |] |]
+
+let run_figure1 () =
+  let { Paper_nets.net; _ } = Paper_nets.figure1 () in
+  example_outcome ~title:"Figure 1: multi-rate max-min fair allocation" ~expected:expected_figure1 net
+
+let expected_figure2_single = [| [| 2.0; 2.0; 2.0 |]; [| 3.0 |] |]
+let expected_figure2_multi = [| [| 2.5; 2.0; 3.0 |]; [| 2.5 |] |]
+
+let run_figure2 ~session1_type () =
+  let { Paper_nets.net; _ } = Paper_nets.figure2 ~session1_type () in
+  let expected, kind =
+    match session1_type with
+    | Network.Single_rate -> (expected_figure2_single, "single-rate")
+    | Network.Multi_rate -> (expected_figure2_multi, "multi-rate")
+  in
+  example_outcome ~title:(Printf.sprintf "Figure 2: %s S1 max-min fair allocation" kind) ~expected net
+
+type removal_outcome = {
+  table : Table.t;
+  before : Mmfair_core.Allocation.t;
+  after : Mmfair_core.Allocation.t;
+}
+
+let removal_outcome ~title (labeled, victim) expected_before expected_after =
+  let net = labeled.Paper_nets.net in
+  let before = Allocator.max_min net in
+  let net_after = Network.without_receiver net victim in
+  let after = Allocator.max_min net_after in
+  let rows =
+    List.concat
+      (List.init (Network.session_count net) (fun i ->
+           Array.to_list
+             (Array.mapi
+                (fun k a ->
+                  let removed = i = victim.Network.session && k = victim.Network.index in
+                  let after_cell, after_paper =
+                    if removed then ("(removed)", "(removed)")
+                    else begin
+                      (* After removal the victim's session loses index
+                         [victim.index]; later indexes shift down. *)
+                      let k' =
+                        if i = victim.Network.session && k > victim.Network.index then k - 1 else k
+                      in
+                      ( Table.cell_f (Allocation.rate after { Network.session = i; index = k' }),
+                        Table.cell_f expected_after.(i).(k') )
+                    end
+                  in
+                  [
+                    Printf.sprintf "r%d,%d" (i + 1) (k + 1);
+                    Table.cell_f a;
+                    Table.cell_f expected_before.(i).(k);
+                    after_cell;
+                    after_paper;
+                  ])
+                (Allocation.rates_of_session before i))))
+  in
+  let table =
+    Table.make ~title
+      ~columns:[ "receiver"; "before"; "before (paper)"; "after"; "after (paper)" ]
+      rows
+  in
+  { table; before; after }
+
+let expected_figure3a =
+  ([| [| 2.0 |]; [| 2.0 |]; [| 8.0; 2.0 |] |], [| [| 4.0 |]; [| 2.0 |]; [| 6.0 |] |])
+
+let run_figure3a () =
+  let eb, ea = expected_figure3a in
+  removal_outcome ~title:"Figure 3(a): receiver removal, intra-session decrease" (Paper_nets.figure3a ())
+    eb ea
+
+let expected_figure3b =
+  ([| [| 6.0 |]; [| 2.0 |]; [| 6.0; 2.0 |] |], [| [| 5.0 |]; [| 4.0 |]; [| 7.0 |] |])
+
+let run_figure3b () =
+  let eb, ea = expected_figure3b in
+  removal_outcome ~title:"Figure 3(b): receiver removal, intra-session increase" (Paper_nets.figure3b ())
+    eb ea
+
+let expected_figure4 = [| [| 2.0; 2.0; 2.0 |]; [| 2.0 |] |]
+
+let run_figure4 () =
+  let { Paper_nets.net; _ } = Paper_nets.figure4 () in
+  example_outcome ~title:"Figure 4: redundancy 2 breaks session-perspective fairness"
+    ~expected:expected_figure4 net

@@ -1,0 +1,50 @@
+type entry = {
+  id : string;
+  paper_ref : string;
+  description : string;
+  command : string;
+}
+
+let entry id paper_ref description command = { id; paper_ref; description; command }
+
+let all =
+  [
+    entry "fig1" "Figure 1" "multi-rate max-min fair example; all four properties hold" "mmfair fig1";
+    entry "fig2" "Figure 2" "single-rate max-min allocation fails FP1-FP3" "mmfair fig2";
+    entry "fig2m" "Figure 2" "the same network, multi-rate: all four properties hold" "mmfair fig2 --multi";
+    entry "fig3" "Figure 3" "receiver removal moves other fair rates both ways" "mmfair fig3";
+    entry "fig4" "Figure 4" "redundancy 2 breaks per-session/per-receiver-link fairness" "mmfair fig4";
+    entry "nonexist" "Section 3" "fixed layers admit no max-min fair allocation" "mmfair nonexist";
+    entry "fig5" "Figure 5" "single-layer redundancy under random joins (Appendix B)" "mmfair fig5";
+    entry "fig6" "Figure 6" "normalized fair rate vs redundancy, closed form = allocator" "mmfair fig6";
+    entry "markov" "Figure 7(a)" "exact 2-receiver chains; equal loss maximizes redundancy" "mmfair markov";
+    entry "fig8a" "Figure 8(a)" "protocol redundancy vs independent loss, shared loss 1e-4"
+      "mmfair fig8 --shared 0.0001 --scale paper";
+    entry "fig8b" "Figure 8(b)" "protocol redundancy vs independent loss, shared loss 0.05"
+      "mmfair fig8 --shared 0.05 --scale paper";
+    entry "replace" "Lemma 3" "single-rate -> multi-rate replacement chains are ≼m-monotone"
+      "mmfair replace";
+    entry "claims" "Section 4" "side claims: receiver-count saturation; equal loss is worst"
+      "mmfair claims";
+    entry "ext-latency" "Section 5" "leave latency increases redundancy" "mmfair latency";
+    entry "ext-priority" "Section 5" "priority dropping reduces redundancy" "mmfair priority";
+    entry "ext-layers" "TR App. E" "more layers reduce random-join redundancy" "mmfair layers";
+    entry "ext-tcpfair" "Section 5" "weighted (1/RTT) max-min fairness" "mmfair tcpfair";
+    entry "ext-churn" "Section 5" "fair rates under session arrivals/departures" "mmfair churn";
+    entry "ext-convergence" "Section 4" "ramp time from layer 1: transient chains vs simulation"
+      "mmfair convergence";
+    entry "ext-single-rate" "Related [6]" "inter-receiver-fair single-rate choice" "mmfair single-rate";
+    entry "ext-closed-loop" "Overall claim" "protocols reach the allocator's fair rates on real queues"
+      "mmfair closed-loop";
+    entry "ext-ecn" "Section 4 / RFC 2481" "ECN marking vs drop-tail congestion signalling" "mmfair ecn";
+    entry "ext-compete" "Section 3" "two sessions, one bottleneck: nonexistence live" "mmfair compete";
+    entry "ext-tcpfriendly" "Section 5" "layered multicast vs an AIMD (TCP-like) flow" "mmfair tcpfriendly";
+    entry "ext-membership" "Section 5" "IGMP leave timeouts vs redundancy (emergent latency)" "mmfair membership";
+  ]
+
+let to_table () =
+  Table.make ~title:"Experiment index (see DESIGN.md and EXPERIMENTS.md)"
+    ~columns:[ "id"; "paper"; "what"; "command" ]
+    (List.map (fun e -> [ e.id; e.paper_ref; e.description; e.command ]) all)
+
+let find id = List.find_opt (fun e -> e.id = id) all

@@ -1,0 +1,21 @@
+(** The machine-readable experiment index.
+
+    One entry per reproduced table/figure and per extension study,
+    with the CLI command that regenerates it — the programmatic
+    counterpart of DESIGN.md's per-experiment index, so tooling (and
+    [mmfair list]) can enumerate what this repository reproduces. *)
+
+type entry = {
+  id : string;          (** e.g. ["fig8a"] or ["ext-tcp"]. *)
+  paper_ref : string;   (** e.g. ["Figure 8(a)"] or ["Section 5"]. *)
+  description : string;
+  command : string;     (** The [mmfair] invocation. *)
+}
+
+val all : entry list
+(** Every experiment, paper order first, extensions after. *)
+
+val to_table : unit -> Table.t
+
+val find : string -> entry option
+(** Lookup by [id]. *)

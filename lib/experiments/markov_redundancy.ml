@@ -1,0 +1,56 @@
+module Protocol = Mmfair_protocols.Protocol
+module Two_receiver = Mmfair_markov.Two_receiver
+
+type point = { loss1 : float; loss2 : float; redundancy : float }
+type grid = { kind : Protocol.kind; shared_loss : float; points : point list }
+
+let default_losses = [ 0.005; 0.01; 0.02; 0.05 ]
+
+let run ?(layers = 4) ?(losses = default_losses) ~shared_loss () =
+  List.map
+    (fun kind ->
+      let points =
+        List.concat_map
+          (fun loss1 ->
+            List.map
+              (fun loss2 ->
+                let p = Two_receiver.params ~layers ~shared_loss ~loss1 ~loss2 kind in
+                { loss1; loss2; redundancy = Two_receiver.redundancy p })
+              losses)
+          losses
+      in
+      { kind; shared_loss; points })
+    Protocol.all_kinds
+
+let to_table grid =
+  let losses = List.sort_uniq compare (List.map (fun p -> p.loss1) grid.points) in
+  let columns = "loss1 \\ loss2" :: List.map Table.cell_f losses in
+  let rows =
+    List.map
+      (fun l1 ->
+        Table.cell_f l1
+        :: List.map
+             (fun l2 ->
+               let p = List.find (fun p -> p.loss1 = l1 && p.loss2 = l2) grid.points in
+               Table.cell_f p.redundancy)
+             losses)
+      losses
+  in
+  Table.make
+    ~title:
+      (Printf.sprintf "Markov 2-receiver redundancy, %s (shared loss %g)"
+         (Protocol.kind_name grid.kind) grid.shared_loss)
+    ~columns
+    ~notes:[ "paper: redundancy is highest when the receivers' end-to-end loss rates are equal." ]
+    rows
+
+let equal_loss_dominates grid =
+  let diag p = List.find (fun q -> q.loss1 = p && q.loss2 = p) grid.points in
+  List.for_all
+    (fun p ->
+      if p.loss1 = p.loss2 then true
+      else begin
+        let worst = Stdlib.max p.loss1 p.loss2 in
+        (diag worst).redundancy >= p.redundancy -. 1e-9
+      end)
+    grid.points

@@ -1,0 +1,28 @@
+(** Section-4 Markov analysis: redundancy of the two-receiver model
+    (Figure 7a) over a loss grid.
+
+    Reproduces the paper's analytical finding that a session's
+    redundancy on the shared link is highest when its receivers see
+    the {e same} end-to-end loss rates (equal rates ⇒ maximal union
+    overhead, echoing the Section-3 observation), and quantifies how
+    sender coordination suppresses it. *)
+
+type point = {
+  loss1 : float;
+  loss2 : float;
+  redundancy : float;
+}
+
+type grid = { kind : Mmfair_protocols.Protocol.kind; shared_loss : float; points : point list }
+
+val run :
+  ?layers:int -> ?losses:float list -> shared_loss:float -> unit -> grid list
+(** Default 4 layers (exact chains stay small) over losses
+    {0.005, 0.01, 0.02, 0.05} × same, for each protocol. *)
+
+val to_table : grid -> Table.t
+
+val equal_loss_dominates : grid -> bool
+(** The paper's claim, checkable per grid: for every off-diagonal pair
+    [(p, q)], the diagonal redundancy at [max p q] is at least the
+    off-diagonal one (equal end-to-end loss maximizes redundancy). *)

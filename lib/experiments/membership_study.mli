@@ -1,0 +1,27 @@
+(** Emergent membership latency in the closed loop.
+
+    Section 5 predicts that long leave latencies increase redundancy
+    because "a link continues to receive at the rate prior to the
+    leave, until the leave takes effect, while the receiver's rate
+    reduces immediately".  Here the mechanism is real
+    ({!Mmfair_sim.Membership}): IGMP-style leave timeouts and
+    hop-by-hop join propagation over capacitated queues.  We sweep the
+    leave timeout and report the session's Definition-3 redundancy on
+    the shared link (stale layers it keeps carrying) alongside the
+    receivers' goodput. *)
+
+type point = {
+  leave_timeout : float;     (** Seconds. *)
+  redundancy : float;        (** u(shared) / max goodput (Definition 3). *)
+  mean_goodput : float;      (** Mean receiver goodput, pkts/s. *)
+  drops : int;               (** Overflow losses across all links. *)
+}
+
+type curve = { kind : Mmfair_protocols.Protocol.kind; points : point list }
+
+val run :
+  ?timeouts:float list -> ?receivers:int -> ?duration:float -> ?seed:int64 -> unit -> curve list
+(** Defaults: timeouts [0.0; 0.25; 1.0; 4.0] s, 20 receivers on
+    40-pkt/s access links behind a roomy shared link, 120 s. *)
+
+val to_table : curve list -> Table.t

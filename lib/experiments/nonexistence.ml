@@ -1,0 +1,32 @@
+module Fixed_layers = Mmfair_layering.Fixed_layers
+module Allocation = Mmfair_core.Allocation
+module Network = Mmfair_core.Network
+
+type outcome = {
+  table : Table.t;
+  feasible_count : int;
+  max_min_exists : bool;
+}
+
+let run ?(capacity = 6.0) () =
+  let problem = Fixed_layers.paper_counterexample ~capacity in
+  let feasible = Fixed_layers.feasible_allocations problem in
+  let mm = Fixed_layers.max_min_allocation problem in
+  let rows =
+    List.map
+      (fun a ->
+        let a1 = Allocation.rate a { Network.session = 0; index = 0 } in
+        let a2 = Allocation.rate a { Network.session = 1; index = 0 } in
+        let verdict = if Fixed_layers.is_max_min_within a feasible then "max-min fair" else "not max-min" in
+        [ Table.cell_f a1; Table.cell_f a2; verdict ])
+      feasible
+  in
+  let table =
+    Table.make
+      ~title:
+        (Printf.sprintf "Section 3: fixed-layer feasible allocations on one link (capacity %g)" capacity)
+      ~columns:[ "a1 (3 layers of c/3)"; "a2 (2 layers of c/2)"; "Definition 1?" ]
+      ~notes:[ "paper: none of the feasible allocations is max-min fair when layers cannot be retuned." ]
+      rows
+  in
+  { table; feasible_count = List.length feasible; max_min_exists = Option.is_some mm }

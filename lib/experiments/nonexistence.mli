@@ -1,0 +1,16 @@
+(** The Section-3 fixed-layer nonexistence result.
+
+    Enumerates the feasible allocations of the paper's single-link
+    example (two layered sessions with incompatible layer granularity)
+    and verifies none of them is max-min fair, rendering the feasible
+    set with per-allocation Definition-1 witnesses. *)
+
+type outcome = {
+  table : Table.t;
+  feasible_count : int;
+  max_min_exists : bool;
+}
+
+val run : ?capacity:float -> unit -> outcome
+(** Default capacity 6 (divisible by both 2 and 3 so the rate sets are
+    round numbers).  [max_min_exists] must come out [false]. *)

@@ -1,0 +1,78 @@
+module Network = Mmfair_core.Network
+module Allocator = Mmfair_core.Allocator
+module Allocation = Mmfair_core.Allocation
+module Ordering = Mmfair_core.Ordering
+module Properties = Mmfair_core.Properties
+module Paper_nets = Mmfair_workload.Paper_nets
+module Random_nets = Mmfair_workload.Random_nets
+
+type step = {
+  multi_rate_sessions : int;
+  ordered_rates : float array;
+  properties_hold : bool;
+}
+
+type outcome = {
+  table : Table.t;
+  steps : step list;
+  monotone : bool;
+}
+
+let chain_of net =
+  let m = Network.session_count net in
+  (* Flip sessions to multi-rate in index order: step k has the first
+     k sessions multi-rate, the rest single-rate. *)
+  List.init (m + 1) (fun k ->
+      let types =
+        Array.init m (fun i -> if i < k then Network.Multi_rate else Network.Single_rate)
+      in
+      let net_k = Network.with_session_types net types in
+      let alloc = Allocator.max_min net_k in
+      {
+        multi_rate_sessions = k;
+        ordered_rates = Allocation.ordered_vector alloc;
+        properties_hold = Properties.holds_all alloc;
+      })
+
+let is_monotone steps =
+  let rec go = function
+    | a :: (b :: _ as rest) -> Ordering.leq a.ordered_rates b.ordered_rates && go rest
+    | _ -> true
+  in
+  go steps
+
+let outcome_of ~title steps =
+  let rows =
+    List.map
+      (fun s ->
+        [
+          string_of_int s.multi_rate_sessions;
+          String.concat " "
+            (Array.to_list (Array.map Table.cell_f s.ordered_rates));
+          (if s.properties_hold then "all hold" else "some fail");
+        ])
+      steps
+  in
+  let monotone = is_monotone steps in
+  let table =
+    Table.make ~title ~columns:[ "# multi-rate"; "ordered receiver rates"; "FP1-FP4" ]
+      ~notes:
+        [
+          Printf.sprintf "Lemma 3 chain monotone under the min-unfavorable relation: %b" monotone;
+          "paper: each replacement makes the allocation 'more max-min fair'; all-multi-rate is maximal.";
+        ]
+      rows
+  in
+  { table; steps; monotone }
+
+let run_figure2 () =
+  let { Paper_nets.net; _ } = Paper_nets.figure2 () in
+  outcome_of ~title:"Replacement study on the Figure-2 network" (chain_of net)
+
+let run_random ?(seed = 11L) ?(sessions = 4) () =
+  let rng = Mmfair_prng.Xoshiro.create ~seed () in
+  let config = { Random_nets.default with Random_nets.sessions; nodes = 10; max_receivers = 3 } in
+  let net = Random_nets.generate ~rng config in
+  outcome_of
+    ~title:(Printf.sprintf "Replacement study on a random %d-session network (seed %Ld)" sessions seed)
+    (chain_of net)

@@ -1,0 +1,28 @@
+(** Lemma 3 / Corollary 1 in action: replacing single-rate sessions by
+    multi-rate ones makes the max-min fair allocation "more max-min
+    fair".
+
+    Starting from a network with every session single-rate, flips
+    sessions to multi-rate one at a time and reports the ordered rate
+    vector after each step; consecutive vectors must be non-decreasing
+    under the min-unfavorable relation [≼_m], with the all-multi-rate
+    network the maximum (Corollary 1). *)
+
+type step = {
+  multi_rate_sessions : int;   (** How many sessions are multi-rate at this step. *)
+  ordered_rates : float array; (** Ascending receiver rates of the MMF allocation. *)
+  properties_hold : bool;      (** Whether all four fairness properties hold. *)
+}
+
+type outcome = {
+  table : Table.t;
+  steps : step list;
+  monotone : bool;  (** Every step ≼_m the next (the Lemma-3 chain). *)
+}
+
+val run_figure2 : unit -> outcome
+(** The replacement chain on the paper's Figure-2 network (one flip). *)
+
+val run_random : ?seed:int64 -> ?sessions:int -> unit -> outcome
+(** A replacement chain on a random network (default 4 sessions, so 5
+    steps from all-single to all-multi). *)

@@ -1,0 +1,41 @@
+(** Two Section-4 textual claims, verified at simulation scale.
+
+    Beyond Figure 8's curves the paper makes two quantitative side
+    claims about the simulation model:
+
+    - {e receiver-count saturation}: "We observed negligible changes
+      in the results when we increased the number of receivers beyond
+      100."  {!receiver_scaling} sweeps the receiver count and shows
+      redundancy growing and then flattening.
+    - {e equal loss is the worst case}: "redundancy is highest when
+      receivers experience the same end-to-end loss rates" (shown
+      analytically on the 2-receiver chain).  {!heterogeneous_loss}
+      checks it at the 100-receiver scale by comparing an
+      identical-loss population with mixed-loss populations of equal
+      mean loss. *)
+
+type scaling_point = { receivers : int; redundancy : float }
+
+type scaling_curve = {
+  kind : Mmfair_protocols.Protocol.kind;
+  points : scaling_point list;
+}
+
+val receiver_scaling :
+  ?counts:int list -> ?packets:int -> ?seed:int64 -> independent_loss:float -> unit ->
+  scaling_curve list
+(** Defaults: counts [2; 5; 10; 25; 50; 100; 200], 40_000 packets. *)
+
+val scaling_table : scaling_curve list -> Table.t
+
+type hetero_row = {
+  kind : Mmfair_protocols.Protocol.kind;
+  identical : float;   (** Redundancy, every fanout link at the mean loss. *)
+  two_point : float;   (** Half the receivers at 2× mean, half lossless. *)
+  spread : float;      (** Losses spread uniformly over [0, 2× mean]. *)
+}
+
+val heterogeneous_loss :
+  ?receivers:int -> ?packets:int -> ?seed:int64 -> mean_loss:float -> unit -> hetero_row list
+
+val hetero_table : hetero_row list -> Table.t

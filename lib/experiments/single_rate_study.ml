@@ -1,0 +1,39 @@
+module Single_rate_choice = Mmfair_core.Single_rate_choice
+
+type outcome = {
+  table : Table.t;
+  optimal : Single_rate_choice.point;
+}
+
+let run net ~session ?(grid = 12) () =
+  let points = Single_rate_choice.sweep net ~session ~grid () in
+  let optimal = Single_rate_choice.optimal net ~session ~grid () in
+  let rows =
+    List.map
+      (fun (p : Single_rate_choice.point) ->
+        [
+          Table.cell_f p.Single_rate_choice.rate;
+          Table.cell_f p.Single_rate_choice.realized;
+          Table.cell_f p.Single_rate_choice.session_satisfaction;
+          Table.cell_f p.Single_rate_choice.network_satisfaction;
+          (if p = optimal then "<- optimal" else "");
+        ])
+      points
+  in
+  let table =
+    Table.make
+      ~title:
+        (Printf.sprintf "Inter-receiver fairness: single-rate choice for session S%d" (session + 1))
+      ~columns:[ "candidate rho"; "realized rate"; "session satisf."; "network satisf."; "" ]
+      ~notes:
+        [
+          "satisfaction = mean over receivers of min(1, rate / multi-rate-MMF rate);";
+          "related work [6] (Jiang/Ammar/Zegura) asks which single rate maximizes it.";
+        ]
+      rows
+  in
+  { table; optimal }
+
+let run_figure2 ?grid () =
+  let { Mmfair_workload.Paper_nets.net; _ } = Mmfair_workload.Paper_nets.figure2 () in
+  run net ~session:0 ?grid ()

@@ -1,0 +1,52 @@
+type t = {
+  title : string;
+  columns : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~title ~columns ?(notes = []) rows =
+  let width = List.length columns in
+  List.iteri
+    (fun i row ->
+      if List.length row <> width then
+        invalid_arg (Printf.sprintf "Table.make: row %d has %d cells, expected %d" i (List.length row) width))
+    rows;
+  { title; columns; rows; notes }
+
+let cell_f x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.4g" x
+
+let render fmt t =
+  let widths =
+    List.mapi
+      (fun i col ->
+        List.fold_left (fun acc row -> Stdlib.max acc (String.length (List.nth row i))) (String.length col)
+          t.rows)
+      t.columns
+  in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let rule = "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+" in
+  Format.fprintf fmt "%s@." t.title;
+  Format.fprintf fmt "%s@." rule;
+  let print_row cells =
+    let padded = List.map2 (fun c w -> " " ^ pad c w ^ " ") cells widths in
+    Format.fprintf fmt "|%s|@." (String.concat "|" padded)
+  in
+  print_row t.columns;
+  Format.fprintf fmt "%s@." rule;
+  List.iter print_row t.rows;
+  Format.fprintf fmt "%s@." rule;
+  List.iter (fun n -> Format.fprintf fmt "  %s@." n) t.notes
+
+let csv_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let line cells = String.concat "," (List.map csv_cell cells) in
+  String.concat "\n" (line t.columns :: List.map line t.rows) ^ "\n"
+
+let print t = render Format.std_formatter t

@@ -1,0 +1,30 @@
+(** Plain-text result tables.
+
+    Every experiment renders its output through this module so the
+    benchmark harness and the CLI print uniform, diffable tables, and
+    EXPERIMENTS.md can embed them verbatim. *)
+
+type t = {
+  title : string;
+  columns : string list;
+  rows : string list list;
+  notes : string list;  (** Paper-expectation annotations printed under the table. *)
+}
+
+val make : title:string -> columns:string list -> ?notes:string list -> string list list -> t
+(** Raises [Invalid_argument] when some row's width differs from the
+    header's. *)
+
+val cell_f : float -> string
+(** Canonical float formatting for table cells (4 significant
+    decimals, trailing-zero trimmed). *)
+
+val render : Format.formatter -> t -> unit
+(** Boxed ASCII rendering with column alignment. *)
+
+val to_csv : t -> string
+(** Header + rows as RFC-4180-ish CSV (cells containing commas or
+    quotes are quoted). *)
+
+val print : t -> unit
+(** [render] to stdout. *)

@@ -1,0 +1,26 @@
+(** TCP-friendliness of the layered protocols (closed loop).
+
+    The paper positions its protocols relative to TCP-fairness
+    throughout (same-path-receiver-fairness "is also a property of
+    TCP-fairness"; the protocols are adapted from Vicisano et al.'s
+    TCP-{e like} congestion control, and the paper notes that lacking
+    RTT dependence they track max-min rather than TCP fairness).  This
+    experiment puts one layered session head-to-head with an AIMD
+    (TCP-like) unicast flow on a shared drop-tail bottleneck and
+    reports the split — with and without ECN marking — quantifying how
+    layer granularity and loss-signal shape tilt the contest. *)
+
+type row = {
+  kind : Mmfair_protocols.Protocol.kind;
+  marking : string;             (** "drop-tail" / "ECN" / "RED". *)
+  layered_goodput : float;      (** pkts/s. *)
+  aimd_goodput : float;
+  ratio : float;                (** layered / AIMD. *)
+}
+
+val run :
+  ?bottleneck:float -> ?duration:float -> ?seed:int64 -> unit -> row list
+(** Defaults: bottleneck 60 pkt/s (fair split 30/30), 180 s, seed 3.
+    Rows for each protocol × {drop-tail, ECN threshold, RED}. *)
+
+val to_table : row list -> Table.t

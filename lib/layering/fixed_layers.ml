@@ -1,0 +1,79 @@
+module Network = Mmfair_core.Network
+module Allocation = Mmfair_core.Allocation
+
+type t = { net : Network.t; schemes : Scheme.t array }
+
+let make net schemes =
+  if Array.length schemes <> Network.session_count net then
+    invalid_arg "Fixed_layers.make: scheme count mismatch";
+  { net; schemes }
+
+(* Achievable rates for one receiver of session [i]: cumulative layer
+   rates capped by rho (0 always included). *)
+let receiver_choices t i =
+  let rho = Network.rho t.net i in
+  Array.to_list (Scheme.achievable_rates t.schemes.(i)) |> List.filter (fun a -> a <= rho)
+
+let feasible_allocations t =
+  let net = t.net in
+  let m = Network.session_count net in
+  (* Candidate rate vectors per session: for single-rate sessions all
+     receivers share a level; for multi-rate, the cross product. *)
+  let session_candidates i =
+    let k = Array.length (Network.session_spec net i).Network.receivers in
+    let choices = receiver_choices t i in
+    match Network.session_type net i with
+    | Network.Single_rate -> List.map (fun a -> Array.make k a) choices
+    | Network.Multi_rate ->
+        let rec product n =
+          if n = 0 then [ [] ]
+          else
+            let rest = product (n - 1) in
+            List.concat_map (fun a -> List.map (fun tl -> a :: tl) rest) choices
+        in
+        List.map Array.of_list (product k)
+  in
+  let rec combine i =
+    if i = m then [ [] ]
+    else
+      let rest = combine (i + 1) in
+      List.concat_map (fun v -> List.map (fun tl -> v :: tl) rest) (session_candidates i)
+  in
+  combine 0
+  |> List.map (fun per_session -> Allocation.make net (Array.of_list per_session))
+  |> List.filter Allocation.is_feasible
+
+let is_max_min_within a all =
+  let net = Allocation.network a in
+  let receivers = Network.all_receivers net in
+  List.for_all
+    (fun b ->
+      Array.for_all
+        (fun r ->
+          let ar = Allocation.rate a r and br = Allocation.rate b r in
+          br <= ar
+          || Array.exists
+               (fun r' ->
+                 r' <> r && Allocation.rate a r' <= ar && Allocation.rate b r' < Allocation.rate a r')
+               receivers)
+        receivers)
+    all
+
+let max_min_allocation t =
+  let all = feasible_allocations t in
+  List.find_opt (fun a -> is_max_min_within a all) all
+
+let paper_counterexample ~capacity =
+  if not (capacity > 0.0) then invalid_arg "Fixed_layers.paper_counterexample: capacity must be positive";
+  let module G = Mmfair_topology.Graph in
+  let g = G.create ~nodes:2 in
+  let _link = G.add_link g 0 1 capacity in
+  let s1 = Network.session ~sender:0 ~receivers:[| 1 |] () in
+  let s2 = Network.session ~sender:0 ~receivers:[| 1 |] () in
+  (* Both senders at node 0, both receivers at node 1: members of
+     *different* sessions may share nodes. *)
+  let net = Network.make g [| s1; s2 |] in
+  let schemes =
+    [| Scheme.uniform ~layers:3 ~rate:(capacity /. 3.0); Scheme.uniform ~layers:2 ~rate:(capacity /. 2.0) |]
+  in
+  make net schemes

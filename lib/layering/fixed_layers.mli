@@ -1,0 +1,45 @@
+(** Max-min fairness when receivers are pinned to layer prefixes.
+
+    Section 3 shows that if each receiver must pick a fixed subset of
+    layers for the whole session — so its rate is drawn from the
+    finite set of cumulative layer rates — a max-min fair allocation
+    need not exist.  This module enumerates the discrete feasible
+    allocations of such a network and searches them for one satisfying
+    Definition 1, reproducing the paper's single-link two-session
+    counterexample and letting tests probe other configurations. *)
+
+type t
+(** A discrete allocation problem: a network whose session [i]
+    restricts each of its receivers to rates from [Scheme] [i]'s
+    achievable set. *)
+
+val make : Mmfair_core.Network.t -> Scheme.t array -> t
+(** [make net schemes] pairs each session with its scheme.  Raises
+    [Invalid_argument] on a length mismatch.  The network's
+    redundancy functions are honored when computing link usage.
+    Enumeration is exponential in the receiver count — intended for
+    the paper's small counterexamples (≲ 12 receivers with small
+    schemes). *)
+
+val feasible_allocations : t -> Mmfair_core.Allocation.t list
+(** Every feasible allocation in which each receiver's rate is an
+    achievable cumulative rate of its session's scheme (including 0 =
+    joined to nothing).  Single-rate sessions are restricted to equal
+    levels across receivers.  Rates are additionally capped by the
+    session's [ρ_i]. *)
+
+val is_max_min_within : Mmfair_core.Allocation.t -> Mmfair_core.Allocation.t list -> bool
+(** [is_max_min_within a all] checks Definition 1 of the paper with
+    the feasible set [all]: for every alternative [b] and receiver [r]
+    with [b(r) > a(r)] there is another receiver [r'] with
+    [a(r') ≤ a(r)] and [b(r') < a(r')]. *)
+
+val max_min_allocation : t -> Mmfair_core.Allocation.t option
+(** The max-min fair allocation over the discrete feasible set, or
+    [None] when — as in the paper's example — none exists. *)
+
+val paper_counterexample : capacity:float -> t
+(** The Section-3 example: one link of the given capacity, two unicast
+    layered sessions, one with three layers of rate [capacity/3], the
+    other with two layers of rate [capacity/2].  Its
+    {!max_min_allocation} is [None]. *)

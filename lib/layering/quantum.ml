@@ -1,0 +1,58 @@
+type strategy = Prefix | Random_subset
+
+type outcome = {
+  achieved_rates : float array;
+  link_rate : float;
+  redundancy : float;
+}
+
+let run ?rng ~strategy ~packets_per_quantum ~quanta ~rates () =
+  if packets_per_quantum < 1 then invalid_arg "Quantum.run: need at least one packet per quantum";
+  if quanta < 1 then invalid_arg "Quantum.run: need at least one quantum";
+  if Array.length rates = 0 then invalid_arg "Quantum.run: need at least one receiver";
+  Array.iter (fun a -> if a < 0.0 || a > 1.0 then invalid_arg "Quantum.run: rates must be in [0,1]") rates;
+  let n = packets_per_quantum in
+  let r = Array.length rates in
+  (* Fractional carry: receiver k aims at rates.(k)·n packets per
+     quantum; carry accumulates the remainder (footnote 7). *)
+  let carry = Array.make r 0.0 in
+  let received = Array.make r 0 in
+  let covered = Array.make n false in
+  let scratch = Array.init n Fun.id in
+  let link_packets = ref 0 in
+  for _ = 1 to quanta do
+    Array.fill covered 0 n false;
+    for k = 0 to r - 1 do
+      let want = (rates.(k) *. float_of_int n) +. carry.(k) in
+      let take = Stdlib.min n (int_of_float (Float.floor want)) in
+      carry.(k) <- want -. float_of_int take;
+      received.(k) <- received.(k) + take;
+      (match strategy with
+      | Prefix ->
+          for i = 0 to take - 1 do
+            covered.(i) <- true
+          done
+      | Random_subset ->
+          let rng =
+            match rng with
+            | Some rng -> rng
+            | None -> invalid_arg "Quantum.run: Random_subset requires an rng"
+          in
+          (* Partial Fisher–Yates for a uniform [take]-subset. *)
+          Array.iteri (fun i _ -> scratch.(i) <- i) scratch;
+          for i = 0 to take - 1 do
+            let j = i + Mmfair_prng.Xoshiro.below rng (n - i) in
+            let tmp = scratch.(i) in
+            scratch.(i) <- scratch.(j);
+            scratch.(j) <- tmp;
+            covered.(scratch.(i)) <- true
+          done)
+    done;
+    Array.iter (fun c -> if c then incr link_packets) covered
+  done;
+  let denom = float_of_int (quanta * n) in
+  let achieved_rates = Array.map (fun c -> float_of_int c /. denom) received in
+  let link_rate = float_of_int !link_packets /. denom in
+  let peak = Array.fold_left Stdlib.max 0.0 achieved_rates in
+  let redundancy = if peak > 0.0 then link_rate /. peak else 1.0 in
+  { achieved_rates; link_rate; redundancy }

@@ -1,0 +1,50 @@
+(** Quantum-based join/leave schedules (Section 3).
+
+    The paper defines the quantum [Δt] as the smallest interval over
+    which a receiver's average rate is measured, and shows a receiver
+    with fair packet rate [a_{i,k}] can match it by joining a single
+    layer of rate [μ ≥ max_k a_{i,k}] for exactly the first
+    [a_{i,k}·Δt] packets of each quantum, then leaving (receiving
+    [⌊a·Δt⌋] packets most quanta and [⌈a·Δt⌉] periodically so the
+    long-run average approaches [a·Δt] — footnote 7).
+
+    When receivers' packet subsets are nested (each receives a prefix
+    of the quantum), the shared link forwards exactly
+    [max_k a_{i,k}·Δt] packets — redundancy 1; uncorrelated subsets
+    inflate the union toward Appendix B's expectation. *)
+
+type strategy =
+  | Prefix
+      (** Sender-coordinated: every receiver takes the first packets
+          of the quantum, so subsets are nested. *)
+  | Random_subset
+      (** Each receiver draws its packets uniformly at random,
+          independently (Appendix B's model). *)
+
+type outcome = {
+  achieved_rates : float array;
+      (** Long-run average packets/quantum per receiver, divided by
+          the quantum length (in packets) — directly comparable to the
+          requested fractional rates. *)
+  link_rate : float;
+      (** Average fraction of the quantum's packets the shared link
+          forwarded. *)
+  redundancy : float;
+      (** [link_rate / max achieved_rates] (Definition 3). *)
+}
+
+val run :
+  ?rng:Mmfair_prng.Xoshiro.t ->
+  strategy:strategy ->
+  packets_per_quantum:int ->
+  quanta:int ->
+  rates:float array ->
+  unit ->
+  outcome
+(** Simulates [quanta] quanta of a single layer of [packets_per_quantum]
+    packets, with per-receiver target rates given as fractions of the
+    layer rate (in [[0, 1]]).  Fractional packet counts are handled by
+    carrying the remainder across quanta, as in the paper's footnote.
+    [rng] is required for [Random_subset] and ignored for [Prefix].
+    Raises [Invalid_argument] on an empty rate array, rates outside
+    [[0, 1]], non-positive sizes, or a missing [rng] when needed. *)

@@ -1,0 +1,56 @@
+type t = { cum : float array }
+
+let of_cumulative cum =
+  let n = Array.length cum in
+  if n = 0 then invalid_arg "Scheme.of_cumulative: need at least one layer";
+  if not (cum.(0) > 0.0) then invalid_arg "Scheme.of_cumulative: rates must be positive";
+  for i = 1 to n - 1 do
+    if not (cum.(i) > cum.(i - 1)) then
+      invalid_arg "Scheme.of_cumulative: cumulative rates must strictly increase"
+  done;
+  { cum = Array.copy cum }
+
+let of_layer_rates r =
+  let n = Array.length r in
+  if n = 0 then invalid_arg "Scheme.of_layer_rates: need at least one layer";
+  let cum = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      if not (x > 0.0) then invalid_arg "Scheme.of_layer_rates: rates must be positive";
+      acc := !acc +. x;
+      cum.(i) <- !acc)
+    r;
+  { cum }
+
+let exponential ~layers =
+  if layers < 1 then invalid_arg "Scheme.exponential: need at least one layer";
+  { cum = Array.init layers (fun i -> Float.of_int (1 lsl i)) }
+
+let uniform ~layers ~rate =
+  if layers < 1 then invalid_arg "Scheme.uniform: need at least one layer";
+  if not (rate > 0.0) then invalid_arg "Scheme.uniform: rate must be positive";
+  { cum = Array.init layers (fun i -> float_of_int (i + 1) *. rate) }
+
+let layers t = Array.length t.cum
+
+let cumulative t i =
+  if i < 0 || i > Array.length t.cum then invalid_arg "Scheme.cumulative: level out of range";
+  if i = 0 then 0.0 else t.cum.(i - 1)
+
+let layer_rate t i =
+  if i < 1 || i > Array.length t.cum then invalid_arg "Scheme.layer_rate: layer out of range";
+  cumulative t i -. cumulative t (i - 1)
+
+let top_rate t = t.cum.(Array.length t.cum - 1)
+
+let achievable_rates t = Array.append [| 0.0 |] (Array.copy t.cum)
+
+let level_for_rate t a =
+  let m = layers t in
+  let rec go i = if i < m && cumulative t (i + 1) <= a then go (i + 1) else i in
+  go 0
+
+let pp fmt t =
+  Format.fprintf fmt "layers(cum):";
+  Array.iter (fun c -> Format.fprintf fmt " %g" c) t.cum

@@ -1,0 +1,54 @@
+(** Layer schemes: how a sender splits data across multicast groups.
+
+    A scheme fixes the number of layers [M] and the rate of each; a
+    receiver "joined up to layer i" receives the aggregate of layers 1
+    through i.  The paper's Section-4 protocols use the exponential
+    scheme where the aggregate rate of layers 1..i equals [2^(i−1)]
+    (so layer 1 has rate 1 and layer [i ≥ 2] has rate [2^(i−2)]). *)
+
+type t
+(** An immutable scheme with at least one layer. *)
+
+val of_cumulative : float array -> t
+(** [of_cumulative cum] builds a scheme from aggregate rates:
+    [cum.(i)] is the rate a receiver joined up to layer [i+1] gets.
+    Raises [Invalid_argument] unless the array is non-empty, positive
+    and strictly increasing. *)
+
+val of_layer_rates : float array -> t
+(** [of_layer_rates r] with [r.(i)] the rate of layer [i+1]; all rates
+    must be positive (else the cumulative would not strictly
+    increase). *)
+
+val exponential : layers:int -> t
+(** The paper's scheme: cumulative rates [1, 2, 4, …, 2^(layers−1)].
+    [layers ≥ 1]. *)
+
+val uniform : layers:int -> rate:float -> t
+(** [layers] equal-rate layers of the given positive [rate] — the
+    Section-3 nonexistence example uses two such schemes. *)
+
+val layers : t -> int
+(** The paper's [M]. *)
+
+val cumulative : t -> int -> float
+(** [cumulative s i] is the aggregate rate of layers 1..i, for
+    [0 ≤ i ≤ layers] ([0.] at 0).  Raises [Invalid_argument] outside
+    that range. *)
+
+val layer_rate : t -> int -> float
+(** [layer_rate s i] is the rate of layer [i] alone, [1 ≤ i ≤ layers]. *)
+
+val top_rate : t -> float
+(** [cumulative s (layers s)]. *)
+
+val achievable_rates : t -> float array
+(** All rates a receiver can hold long-term by joining a fixed prefix
+    of layers: [[|0; cum 1; …; cum M|]]. *)
+
+val level_for_rate : t -> float -> int
+(** [level_for_rate s a] is the largest level [i] with
+    [cumulative s i ≤ a] — the layers a receiver wanting average rate
+    [a] can permanently keep. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+module Network = Mmfair_core.Network
+module Redundancy_fn = Mmfair_core.Redundancy_fn
+module Graph = Mmfair_topology.Graph
+
+let validate ~capacity ~sessions ~redundant ~redundancy name =
+  if not (capacity > 0.0) then invalid_arg (name ^ ": capacity must be positive");
+  if sessions < 1 then invalid_arg (name ^ ": need at least one session");
+  if redundant < 0 || redundant > sessions then invalid_arg (name ^ ": redundant out of range");
+  if redundancy < 1.0 then invalid_arg (name ^ ": redundancy must be >= 1")
+
+let fair_rate ~capacity ~sessions ~redundant ~redundancy =
+  validate ~capacity ~sessions ~redundant ~redundancy "Shared_link.fair_rate";
+  let n = float_of_int sessions and m = float_of_int redundant in
+  capacity /. (n -. m +. (m *. redundancy))
+
+let normalized_fair_rate ~sessions ~redundant ~redundancy =
+  fair_rate ~capacity:1.0 ~sessions ~redundant ~redundancy /. (1.0 /. float_of_int sessions)
+
+let figure6_series ~ratios ~redundancies ~sessions =
+  List.map
+    (fun ratio ->
+      let m =
+        if ratio <= 0.0 then 0
+        else Stdlib.max 1 (int_of_float (Float.round (ratio *. float_of_int sessions)))
+      in
+      let points =
+        List.map
+          (fun v -> (v, normalized_fair_rate ~sessions ~redundant:m ~redundancy:v))
+          redundancies
+      in
+      (ratio, points))
+    ratios
+
+let network_for ~capacity ~sessions ~redundant ~redundancy =
+  validate ~capacity ~sessions ~redundant ~redundancy "Shared_link.network_for";
+  (* Senders on one side of the shared link, receivers on the other;
+     every session's sole receiver gets a private (never binding)
+     fanout link so no two same-session members collide on a node. *)
+  let g = Graph.create ~nodes:2 in
+  let shared = Graph.add_link g 0 1 capacity in
+  ignore shared;
+  let specs =
+    Array.init sessions (fun i ->
+        let leaf = Graph.add_node g in
+        ignore (Graph.add_link g 1 leaf (capacity *. 10.0));
+        let vfn = if i < redundant then Redundancy_fn.Scaled redundancy else Redundancy_fn.Efficient in
+        Network.session ~vfn ~sender:0 ~receivers:[| leaf |] ())
+  in
+  Network.make g specs

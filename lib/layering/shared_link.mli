@@ -1,0 +1,32 @@
+(** Fair rates on a single shared bottleneck under redundancy — the
+    paper's Section 3.1 and Figure 6.
+
+    [n] sessions are all constrained by one link of capacity [c]; [m]
+    of them are multi-rate with redundancy [v ≥ 1] there, the other
+    [n − m] are efficient (redundancy 1).  The max-min fair receiver
+    rate is then [c / ((n − m) + m·v)] for every session, and the
+    paper plots it normalized by [c/n] (the fair rate when everyone is
+    efficient). *)
+
+val fair_rate : capacity:float -> sessions:int -> redundant:int -> redundancy:float -> float
+(** The closed form [c / ((n−m) + m·v)].  Raises [Invalid_argument]
+    unless [c > 0], [n ≥ 1], [0 ≤ m ≤ n], [v ≥ 1]. *)
+
+val normalized_fair_rate : sessions:int -> redundant:int -> redundancy:float -> float
+(** Figure 6's y-axis: {!fair_rate} divided by [c/n] (capacity cancels). *)
+
+val figure6_series :
+  ratios:float list -> redundancies:float list -> sessions:int ->
+  (float * (float * float) list) list
+(** [figure6_series ~ratios ~redundancies ~sessions] builds one curve
+    per [m/n] ratio: pairs [(v, normalized rate)].  [m] is rounded to
+    the nearest integer session count (at least 1 when the ratio is
+    positive). *)
+
+val network_for : capacity:float -> sessions:int -> redundant:int -> redundancy:float ->
+  Mmfair_core.Network.t
+(** An explicit star network realizing the Figure-6 scenario: [n]
+    unicast sessions crossing one shared link of capacity [c], the
+    first [m] of them carrying [Scaled v] link-rate functions.
+    Running the Appendix-A allocator on it must reproduce
+    {!fair_rate} — the integration test behind the closed form. *)

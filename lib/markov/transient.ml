@@ -1,0 +1,89 @@
+module Sparse = Mmfair_numerics.Sparse
+
+type trajectory = {
+  slots : int array;
+  mean_level : float array;
+  redundancy : float array;
+}
+
+let distribution_after p ~start ~steps =
+  if steps < 0 then invalid_arg "Transient.distribution_after: negative steps";
+  if Sparse.rows p <> Array.length start then
+    invalid_arg "Transient.distribution_after: shape mismatch";
+  let pi = ref start in
+  for _ = 1 to steps do
+    pi := Sparse.vec_mul !pi p
+  done;
+  !pi
+
+let start_at_level params level =
+  if level < 1 || level > params.Two_receiver.layers then
+    invalid_arg "Transient.start_at_level: level out of range";
+  let n = Two_receiver.state_count params in
+  let pi = Array.make n 0.0 in
+  (* find the state where both receivers sit at [level] with zeroed
+     counters: levels_of_state is enough because counter-zero states
+     are the first of each level block in the Deterministic encoding,
+     and scanning in index order hits them first. *)
+  let found = ref (-1) in
+  for s = n - 1 downto 0 do
+    let l1, l2 = Two_receiver.levels_of_state params s in
+    if l1 = level && l2 = level then found := s
+  done;
+  assert (!found >= 0);
+  pi.(!found) <- 1.0;
+  pi
+
+(* Mirrors Two_receiver.analyze's functionals on an instantaneous
+   distribution. *)
+let instantaneous params pi =
+  let m = params.Two_receiver.layers in
+  let cumulative_share l =
+    if l = 0 then 0.0 else float_of_int (1 lsl (l - 1)) /. float_of_int (1 lsl (m - 1))
+  in
+  let link = ref 0.0 and mean1 = ref 0.0 and good1 = ref 0.0 and good2 = ref 0.0 in
+  Array.iteri
+    (fun s p ->
+      if p > 0.0 then begin
+        let l1, l2 = Two_receiver.levels_of_state params s in
+        link := !link +. (p *. cumulative_share (Stdlib.max l1 l2));
+        mean1 := !mean1 +. (p *. float_of_int l1);
+        good1 := !good1 +. (p *. cumulative_share l1);
+        good2 := !good2 +. (p *. cumulative_share l2)
+      end)
+    pi;
+  let pass r = (1.0 -. params.Two_receiver.shared_loss) *. (1.0 -. r) in
+  let a1 = !good1 *. pass params.Two_receiver.loss1 in
+  let a2 = !good2 *. pass params.Two_receiver.loss2 in
+  let peak = Stdlib.max a1 a2 in
+  (!mean1, if peak > 0.0 then !link /. peak else Float.nan)
+
+let trajectory ?(sample_every = 16) params ~start_level ~slots =
+  if sample_every < 1 then invalid_arg "Transient.trajectory: sample_every must be >= 1";
+  if slots < 0 then invalid_arg "Transient.trajectory: negative horizon";
+  let matrix = Two_receiver.transition_matrix params in
+  let pi = ref (start_at_level params start_level) in
+  let samples = (slots / sample_every) + 1 in
+  let slot_idx = Array.make samples 0 in
+  let mean_level = Array.make samples 0.0 in
+  let redundancy = Array.make samples 0.0 in
+  for i = 0 to samples - 1 do
+    let t = i * sample_every in
+    slot_idx.(i) <- t;
+    let m, r = instantaneous params !pi in
+    mean_level.(i) <- m;
+    redundancy.(i) <- r;
+    if i < samples - 1 then
+      for _ = 1 to sample_every do
+        pi := Sparse.vec_mul !pi matrix
+      done
+  done;
+  { slots = slot_idx; mean_level; redundancy }
+
+let slots_to_reach params ~start_level ~target_mean_level ~max_slots =
+  let tr = trajectory ~sample_every:8 params ~start_level ~slots:max_slots in
+  let hit = ref None in
+  Array.iteri
+    (fun i m -> if !hit = None && m >= target_mean_level then hit := Some tr.slots.(i))
+    tr.mean_level;
+  !hit

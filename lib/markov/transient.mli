@@ -1,0 +1,38 @@
+(** Transient (finite-horizon) analysis of the two-receiver chains.
+
+    The stationary law ({!Two_receiver.analyze}) describes steady
+    state; this module tracks the distribution slot by slot from a
+    chosen start, answering "how fast does each protocol climb to its
+    operating point, and how fast does it recover after a back-off?" —
+    the convergence questions the Section-4 protocols raise but the
+    conference paper leaves to intuition. *)
+
+type trajectory = {
+  slots : int array;           (** Sample times (slots since start). *)
+  mean_level : float array;    (** Receiver-1 expected joined level at each sample. *)
+  redundancy : float array;
+      (** Instantaneous expected redundancy at each sample:
+          [E q_{≤max(ℓ₁,ℓ₂)}] over the best receiver's instantaneous
+          expected goodput. *)
+}
+
+val distribution_after :
+  Mmfair_numerics.Sparse.t -> start:Mmfair_numerics.Vec.t -> steps:int -> Mmfair_numerics.Vec.t
+(** Iterate [π ← π·P] for [steps] slots from [start].  Raises
+    [Invalid_argument] on shape mismatch or a negative step count. *)
+
+val start_at_level : Two_receiver.params -> int -> Mmfair_numerics.Vec.t
+(** The point distribution with both receivers at the given level
+    (counters zeroed for the Deterministic chain).  Raises
+    [Invalid_argument] when the level is out of range. *)
+
+val trajectory :
+  ?sample_every:int -> Two_receiver.params -> start_level:int -> slots:int -> trajectory
+(** Evolve from [start_at_level] for [slots] slots, sampling every
+    [sample_every] (default 16) slots. *)
+
+val slots_to_reach :
+  Two_receiver.params -> start_level:int -> target_mean_level:float -> max_slots:int -> int option
+(** First sampled slot at which receiver 1's expected level reaches
+    the target, or [None] within the horizon — the convergence-time
+    metric the protocol-comparison experiment reports. *)

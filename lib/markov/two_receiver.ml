@@ -1,0 +1,213 @@
+module Sparse = Mmfair_numerics.Sparse
+module Markov_solve = Mmfair_numerics.Markov_solve
+module Protocol = Mmfair_protocols.Protocol
+
+type params = {
+  kind : Protocol.kind;
+  layers : int;
+  shared_loss : float;
+  loss1 : float;
+  loss2 : float;
+}
+
+let params ?(layers = 4) ?(shared_loss = 0.01) ?(loss1 = 0.01) ?(loss2 = 0.01) kind =
+  { kind; layers; shared_loss; loss1; loss2 }
+
+let validate p =
+  if p.layers < 1 then invalid_arg "Two_receiver: layers must be >= 1";
+  List.iter
+    (fun x ->
+      if Float.is_nan x || x < 0.0 || x > 1.0 then
+        invalid_arg "Two_receiver: loss rates must lie in [0,1]")
+    [ p.shared_loss; p.loss1; p.loss2 ]
+
+(* Layer-share distribution of the exponential scheme: layer 1 has
+   rate 1, layer i >= 2 has rate 2^(i-2); total 2^(M-1). *)
+let layer_shares m =
+  let total = float_of_int (1 lsl (m - 1)) in
+  Array.init m (fun i ->
+      let rate = if i = 0 then 1.0 else float_of_int (1 lsl (i - 1)) in
+      rate /. total)
+
+(* Cumulative share of layers 1..l: 2^(l-1)/2^(M-1). *)
+let cumulative_share m l =
+  if l = 0 then 0.0 else float_of_int (1 lsl (l - 1)) /. float_of_int (1 lsl (m - 1))
+
+(* --- per-receiver state spaces ------------------------------------- *)
+
+(* Uncoordinated / Coordinated: the receiver state is its level alone.
+   Deterministic: (level, received-count) with the count < join_period
+   level, and pinned to 0 at the top level. *)
+
+let det_cap m l = if l < m then Protocol.join_period l else 1
+
+let per_receiver_states p =
+  match p.kind with
+  | Protocol.Uncoordinated | Protocol.Coordinated -> p.layers
+  | Protocol.Deterministic ->
+      let s = ref 0 in
+      for l = 1 to p.layers do
+        s := !s + det_cap p.layers l
+      done;
+      !s
+
+(* Encode/decode per-receiver states. *)
+(* off.(l) = number of per-receiver states below level l, so level l's
+   states occupy [off.(l), off.(l) + det_cap l). *)
+let det_offset p =
+  let off = Array.make (p.layers + 2) 0 in
+  for l = 2 to p.layers + 1 do
+    off.(l) <- off.(l - 1) + det_cap p.layers (l - 1)
+  done;
+  off
+
+let state_count p =
+  let n = per_receiver_states p in
+  n * n
+
+type receiver_view = { level : int; count : int }
+
+let decode_receiver p off s =
+  match p.kind with
+  | Protocol.Uncoordinated | Protocol.Coordinated -> { level = s + 1; count = 0 }
+  | Protocol.Deterministic ->
+      let rec find l = if off.(l) <= s && s < off.(l) + det_cap p.layers l then l else find (l + 1) in
+      let l = find 1 in
+      { level = l; count = s - off.(l) }
+
+let encode_receiver p off v =
+  match p.kind with
+  | Protocol.Uncoordinated | Protocol.Coordinated -> v.level - 1
+  | Protocol.Deterministic -> off.(v.level) + v.count
+
+let levels_of_state p s =
+  let n = per_receiver_states p in
+  let off = det_offset p in
+  let v1 = decode_receiver p off (s / n) and v2 = decode_receiver p off (s mod n) in
+  (v1.level, v2.level)
+
+(* --- per-receiver conditional transitions -------------------------- *)
+
+(* Outcomes for one receiver given the packet's layer, whether the
+   shared link passed it, and (Coordinated) the signal on it.  Returns
+   a distribution over next receiver-views. *)
+let receiver_moves p ~fanout_loss ~layer ~shared_passed ~signal v =
+  let m = p.layers in
+  let down = { level = Stdlib.max 1 (v.level - 1); count = 0 } in
+  let up = { level = Stdlib.min m (v.level + 1); count = 0 } in
+  if layer > v.level then [ (v, 1.0) ] (* not subscribed: unaffected *)
+  else if not shared_passed then [ (down, 1.0) ] (* correlated congestion event *)
+  else begin
+    let q = fanout_loss in
+    let received_moves =
+      match p.kind with
+      | Protocol.Uncoordinated ->
+          if v.level < m then begin
+            let j = 1.0 /. float_of_int (Protocol.join_period v.level) in
+            [ (up, (1.0 -. q) *. j); (v, (1.0 -. q) *. (1.0 -. j)) ]
+          end
+          else [ (v, 1.0 -. q) ]
+      | Protocol.Coordinated -> (
+          match signal with
+          | Some s when s >= v.level && v.level < m -> [ (up, 1.0 -. q) ]
+          | _ -> [ (v, 1.0 -. q) ])
+      | Protocol.Deterministic ->
+          if v.level < m && v.count + 1 >= Protocol.join_period v.level then [ (up, 1.0 -. q) ]
+          else begin
+            let c' = if v.level = m then 0 else v.count + 1 in
+            [ ({ v with count = c' }, 1.0 -. q) ]
+          end
+    in
+    (down, q) :: received_moves
+  end
+
+(* Coordinated memoryless signal distribution on layer-1 packets:
+   P(signal >= i) = 2^(1-i) for i in 1..M-1 (every layer-1 packet
+   carries a signal; higher levels are exponentially rarer, matching
+   the sender-counter pacing in expectation). *)
+let signal_distribution m =
+  if m = 1 then []
+  else begin
+    let p_ge i = Float.of_int 2 ** float_of_int (1 - i) in
+    List.init (m - 1) (fun idx ->
+        let s = idx + 1 in
+        let mass = if s = m - 1 then p_ge s else p_ge s -. p_ge (s + 1) in
+        (s, mass))
+  end
+
+let transition_matrix p =
+  validate p;
+  let n = per_receiver_states p in
+  let off = det_offset p in
+  let total = n * n in
+  let b = Sparse.builder ~rows:total ~cols:total in
+  let shares = layer_shares p.layers in
+  let signals = signal_distribution p.layers in
+  for s = 0 to total - 1 do
+    let v1 = decode_receiver p off (s / n) and v2 = decode_receiver p off (s mod n) in
+    let add_mass prob v1' v2' =
+      if prob > 0.0 then
+        Sparse.add b s ((encode_receiver p off v1' * n) + encode_receiver p off v2') prob
+    in
+    let branch prob ~layer ~shared_passed ~signal =
+      let d1 = receiver_moves p ~fanout_loss:p.loss1 ~layer ~shared_passed ~signal v1 in
+      let d2 = receiver_moves p ~fanout_loss:p.loss2 ~layer ~shared_passed ~signal v2 in
+      List.iter (fun (v1', p1) -> List.iter (fun (v2', p2) -> add_mass (prob *. p1 *. p2) v1' v2') d2) d1
+    in
+    Array.iteri
+      (fun idx q ->
+        let layer = idx + 1 in
+        let with_signal signal prob =
+          branch (prob *. p.shared_loss) ~layer ~shared_passed:false ~signal;
+          branch (prob *. (1.0 -. p.shared_loss)) ~layer ~shared_passed:true ~signal
+        in
+        if layer = 1 && p.kind = Protocol.Coordinated && signals <> [] then
+          List.iter (fun (sig_level, mass) -> with_signal (Some sig_level) (q *. mass)) signals
+        else with_signal None q)
+      shares
+  done;
+  Sparse.finalize b
+
+type analysis = {
+  stationary : Mmfair_numerics.Vec.t;
+  link_rate : float;
+  receiver_rates : float * float;
+  redundancy : float;
+  mean_levels : float * float;
+}
+
+let analyze p =
+  validate p;
+  let matrix = transition_matrix p in
+  let pi = Markov_solve.stationary_power ~tol:1e-13 matrix in
+  let m = p.layers in
+  let link_rate =
+    Markov_solve.expectation pi (fun s ->
+        let l1, l2 = levels_of_state p s in
+        cumulative_share m (Stdlib.max l1 l2))
+  in
+  let pass r_loss = (1.0 -. p.shared_loss) *. (1.0 -. r_loss) in
+  let rate_of pick loss =
+    Markov_solve.expectation pi (fun s ->
+        let l1, l2 = levels_of_state p s in
+        cumulative_share m (pick l1 l2))
+    *. pass loss
+  in
+  let a1 = rate_of (fun l1 _ -> l1) p.loss1 in
+  let a2 = rate_of (fun _ l2 -> l2) p.loss2 in
+  let mean1 =
+    Markov_solve.expectation pi (fun s -> float_of_int (fst (levels_of_state p s)))
+  in
+  let mean2 =
+    Markov_solve.expectation pi (fun s -> float_of_int (snd (levels_of_state p s)))
+  in
+  let peak = Stdlib.max a1 a2 in
+  {
+    stationary = pi;
+    link_rate;
+    receiver_rates = (a1, a2);
+    redundancy = (if peak > 0.0 then link_rate /. peak else Float.nan);
+    mean_levels = (mean1, mean2);
+  }
+
+let redundancy p = (analyze p).redundancy

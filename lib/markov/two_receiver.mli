@@ -1,0 +1,67 @@
+(** Exact discrete-time Markov chains for the paper's two-receiver
+    analysis model (Figure 7a).
+
+    One layered session, two receivers behind a shared link (loss
+    probability [shared_loss]) with private fanout links (losses
+    [loss1], [loss2]).  Each slot the sender emits one packet whose
+    layer is drawn with probability proportional to the exponential
+    scheme's layer rates (the memoryless layer choice that
+    [Layer_schedule.Random] realizes, so simulation and analysis are
+    comparable draw-for-draw).  Receiver dynamics follow the
+    Section-4 protocols:
+
+    - {e Uncoordinated} is genuinely memoryless (per-received-packet
+      join probability [1/2^(2(i−1))]), so the chain over the level
+      pair [(ℓ₁, ℓ₂)] is exact.
+    - {e Deterministic} carries each receiver's received-packet
+      counter in the state, truncated exactly at its join threshold —
+      also exact, at the price of a [Σ_i 2^(2(i−1))]-fold larger state
+      space (the paper notes its Markov models were "too
+      computation-intensive" for many receivers; this is why).
+    - {e Coordinated} replaces the sender's deterministic signal
+      counters by a memoryless signal process with the same per-level
+      signal rates ([P(signal ≥ i) = 2^(1−i)] per layer-1 packet),
+      keeping the chain on [(ℓ₁, ℓ₂)]; both receivers see the {e
+      same} signal draw — the coupling that makes coordination work. *)
+
+type params = {
+  kind : Mmfair_protocols.Protocol.kind;
+  layers : int;
+  shared_loss : float;
+  loss1 : float;
+  loss2 : float;
+}
+
+val params :
+  ?layers:int -> ?shared_loss:float -> ?loss1:float -> ?loss2:float ->
+  Mmfair_protocols.Protocol.kind -> params
+(** Defaults: 4 layers, all losses 0.01. *)
+
+val state_count : params -> int
+
+val transition_matrix : params -> Mmfair_numerics.Sparse.t
+(** The row-stochastic slot-to-slot transition matrix. *)
+
+val levels_of_state : params -> int -> int * int
+(** Decode a state index to the two receivers' levels. *)
+
+type analysis = {
+  stationary : Mmfair_numerics.Vec.t;
+  link_rate : float;
+      (** Expected packets entering the shared link per slot:
+          [E q_{≤ max(ℓ₁,ℓ₂)}]. *)
+  receiver_rates : float * float;
+      (** Long-run received packets per slot for each receiver. *)
+  redundancy : float;
+      (** Definition 3 on the shared link: [link_rate / max rates]. *)
+  mean_levels : float * float;
+}
+
+val analyze : params -> analysis
+(** Build the chain, solve for the stationary law, and evaluate the
+    redundancy functionals.  Raises [Invalid_argument] on loss rates
+    outside [[0, 1]] or [layers < 1], and [Failure] if the power
+    iteration fails to converge. *)
+
+val redundancy : params -> float
+(** Shorthand for [(analyze p).redundancy]. *)

@@ -1,0 +1,40 @@
+let root ?(tol = 1e-12) ?(max_iter = 200) f lo hi =
+  let flo = f lo and fhi = f hi in
+  if flo = 0.0 then lo
+  else if fhi = 0.0 then hi
+  else if flo *. fhi > 0.0 then invalid_arg "Bisect.root: no sign change in bracket"
+  else begin
+    let lo = ref lo and hi = ref hi and flo = ref flo in
+    let iter = ref 0 in
+    let scale = Stdlib.max 1.0 (Stdlib.max (Float.abs !lo) (Float.abs !hi)) in
+    while !hi -. !lo > tol *. scale && !iter < max_iter do
+      let mid = 0.5 *. (!lo +. !hi) in
+      let fmid = f mid in
+      if fmid = 0.0 then begin
+        lo := mid;
+        hi := mid
+      end
+      else if !flo *. fmid < 0.0 then hi := mid
+      else begin
+        lo := mid;
+        flo := fmid
+      end;
+      incr iter
+    done;
+    0.5 *. (!lo +. !hi)
+  end
+
+let sup_satisfying ?(tol = 1e-12) ?(max_iter = 200) ok lo hi =
+  if not (ok lo) then invalid_arg "Bisect.sup_satisfying: predicate false at lo";
+  if ok hi then hi
+  else begin
+    let lo = ref lo and hi = ref hi in
+    let iter = ref 0 in
+    let scale = Stdlib.max 1.0 (Float.abs !hi) in
+    while !hi -. !lo > tol *. scale && !iter < max_iter do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if ok mid then lo := mid else hi := mid;
+      incr iter
+    done;
+    !lo
+  end

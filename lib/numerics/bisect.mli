@@ -1,0 +1,20 @@
+(** Scalar root- and threshold-finding by bisection.
+
+    The generalized max-min allocator raises the common rate of a set
+    of receivers until the first link saturates; with arbitrary
+    monotone session-link-rate functions that saturation point has no
+    closed form and is located here. *)
+
+val root : ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+(** [root f lo hi] finds [x] in [[lo, hi]] with [f x ≈ 0], assuming
+    [f lo] and [f hi] have opposite signs (or one of them is zero).
+    [tol] (default [1e-12]) bounds the final interval width relative to
+    the magnitude of the bracket.  Raises [Invalid_argument] when the
+    bracket does not straddle a sign change. *)
+
+val sup_satisfying : ?tol:float -> ?max_iter:int -> (float -> bool) -> float -> float -> float
+(** [sup_satisfying ok lo hi] is the supremum of [{x ∈ [lo, hi] :
+    ok x}] for a downward-closed predicate ([ok] true on an initial
+    segment).  Requires [ok lo]; returns [hi] when [ok hi].  The
+    result [x*] satisfies [ok x*] (the returned point is always
+    feasible, erring low by at most [tol·max(1,|hi|)]). *)

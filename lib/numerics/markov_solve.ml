@@ -1,0 +1,47 @@
+let stationary_power ?(tol = 1e-12) ?(max_iter = 200_000) p =
+  if Sparse.rows p <> Sparse.cols p then invalid_arg "Markov_solve.stationary_power: not square";
+  let n = Sparse.rows p in
+  if n = 0 then invalid_arg "Markov_solve.stationary_power: empty chain";
+  let pi = ref (Vec.make n (1.0 /. float_of_int n)) in
+  let converged = ref false in
+  let iter = ref 0 in
+  while (not !converged) && !iter < max_iter do
+    let stepped = Sparse.vec_mul !pi p in
+    (* Averaging with the previous iterate damps period-2 oscillation. *)
+    let next = Vec.scale 0.5 (Vec.add !pi stepped) in
+    let next = Vec.normalize1 next in
+    if Vec.max_abs_diff next !pi < tol then converged := true;
+    pi := next;
+    incr iter
+  done;
+  if not !converged then failwith "Markov_solve.stationary_power: no convergence";
+  !pi
+
+let stationary_direct p =
+  if Mat.rows p <> Mat.cols p then invalid_arg "Markov_solve.stationary_direct: not square";
+  let n = Mat.rows p in
+  (* Build (Pᵀ − I) with the last equation replaced by Σπ = 1. *)
+  let a =
+    Mat.init n n (fun i j ->
+        if i = n - 1 then 1.0
+        else begin
+          let v = Mat.get p j i in
+          if i = j then v -. 1.0 else v
+        end)
+  in
+  let b = Array.init n (fun i -> if i = n - 1 then 1.0 else 0.0) in
+  Mat.solve a b
+
+let is_stochastic ?(tol = 1e-9) p =
+  let ok = ref true in
+  let sums = Sparse.row_sums p in
+  Array.iter (fun s -> if Float.abs (s -. 1.0) > tol then ok := false) sums;
+  for i = 0 to Sparse.rows p - 1 do
+    Sparse.iter_row p i (fun _ v -> if v < -.tol then ok := false)
+  done;
+  !ok
+
+let expectation pi f =
+  let s = ref 0.0 in
+  Array.iteri (fun i p -> s := !s +. (p *. f i)) pi;
+  !s

@@ -1,0 +1,34 @@
+(** Stationary distributions of finite discrete-time Markov chains.
+
+    Given a row-stochastic transition matrix [P], computes the
+    stationary law [π] with [π·P = π], [π ≥ 0], [Σπ = 1].  Two engines:
+
+    - {!stationary_power}: damped power iteration on the sparse matrix;
+      robust on large chains and on periodic chains (the damping mixes
+      in a uniform restart, like PageRank with a vanishing restart as
+      convergence is approached — here we simply average successive
+      iterates, which converges for any aperiodic unichain and for
+      period-2 chains that protocol counters occasionally produce).
+    - {!stationary_direct}: dense solve of [(Pᵀ − I)π = 0] with the
+      normalization row; exact for small chains, used to cross-check
+      the iterative engine in tests. *)
+
+val stationary_power :
+  ?tol:float -> ?max_iter:int -> Sparse.t -> Vec.t
+(** [stationary_power p] iterates [π ← ½(π + π·P)] from the uniform
+    distribution until the L∞ change drops below [tol] (default
+    [1e-12]) or [max_iter] (default [200_000]) steps elapse.  Raises
+    [Invalid_argument] if [p] is not square, and [Failure] if the
+    iteration fails to converge. *)
+
+val stationary_direct : Mat.t -> Vec.t
+(** [stationary_direct p] solves the linear system directly.  Raises
+    [Invalid_argument] if [p] is not square and [Failure] when the
+    chain's stationary law is not unique (singular system). *)
+
+val is_stochastic : ?tol:float -> Sparse.t -> bool
+(** Checks every row sums to 1 within [tol] (default [1e-9]) and all
+    entries are non-negative. *)
+
+val expectation : Vec.t -> (int -> float) -> float
+(** [expectation pi f] is [Σ_s pi(s)·f(s)]. *)

@@ -1,0 +1,96 @@
+module Xoshiro = Mmfair_prng.Xoshiro
+
+type kind = Uncoordinated | Deterministic | Coordinated
+
+let kind_name = function
+  | Uncoordinated -> "Uncoordinated"
+  | Deterministic -> "Deterministic"
+  | Coordinated -> "Coordinated"
+
+let all_kinds = [ Uncoordinated; Deterministic; Coordinated ]
+
+let join_period i =
+  if i < 1 then invalid_arg "Protocol.join_period: level must be >= 1";
+  1 lsl (2 * (i - 1))
+
+type receiver = {
+  kind : kind;
+  layers : int;
+  rng : Xoshiro.t;
+  mutable level : int;
+  mutable since_event : int;
+  mutable join_count : int;
+  mutable leave_count : int;
+}
+
+let receiver kind ~layers ~rng =
+  if layers < 1 then invalid_arg "Protocol.receiver: need at least one layer";
+  { kind; layers; rng; level = 1; since_event = 0; join_count = 0; leave_count = 0 }
+
+let level r = r.level
+
+let set_level r l =
+  if l < 1 || l > r.layers then invalid_arg "Protocol.set_level: level out of range";
+  r.level <- l;
+  r.since_event <- 0
+
+let subscribed r ~layer = layer >= 1 && layer <= r.level
+
+let join r =
+  r.level <- r.level + 1;
+  r.since_event <- 0;
+  r.join_count <- r.join_count + 1
+
+let on_received r ~signal =
+  r.since_event <- r.since_event + 1;
+  if r.level < r.layers then begin
+    match r.kind with
+    | Uncoordinated ->
+        if Xoshiro.float r.rng < 1.0 /. float_of_int (join_period r.level) then join r
+    | Deterministic -> if r.since_event >= join_period r.level then join r
+    | Coordinated -> (
+        match signal with Some s when s >= r.level -> join r | _ -> ())
+  end
+
+let on_congestion r =
+  if r.level > 1 then begin
+    r.level <- r.level - 1;
+    r.leave_count <- r.leave_count + 1
+  end;
+  r.since_event <- 0
+
+let joins r = r.join_count
+let leaves r = r.leave_count
+
+type sender = { s_kind : kind; s_layers : int; counters : int array }
+
+let sender kind ~layers =
+  if layers < 1 then invalid_arg "Protocol.sender: need at least one layer";
+  { s_kind = kind; s_layers = layers; counters = Array.make (Stdlib.max 0 (layers - 1)) 0 }
+
+let on_send s ~layer =
+  if layer < 1 || layer > s.s_layers then invalid_arg "Protocol.on_send: layer out of range";
+  match s.s_kind with
+  | Uncoordinated | Deterministic -> None
+  | Coordinated ->
+      (* counters.(i-1) counts packets sent on layers <= i, i.e. the
+         packets a level-i receiver would receive. *)
+      for i = layer to s.s_layers - 1 do
+        s.counters.(i - 1) <- s.counters.(i - 1) + 1
+      done;
+      if layer <> 1 then None
+      else begin
+        let signal = ref 0 in
+        for i = s.s_layers - 1 downto 1 do
+          if !signal = 0 && s.counters.(i - 1) >= join_period i then signal := i
+        done;
+        if !signal = 0 then None
+        else begin
+          (* Nested joins: every level <= signal joins, so all their
+             pacing counters restart. *)
+          for i = 1 to !signal do
+            s.counters.(i - 1) <- 0
+          done;
+          Some !signal
+        end
+      end

@@ -1,0 +1,75 @@
+(** The three layered congestion-control protocols of Section 4.
+
+    All three share the same congestion reaction — on a congestion
+    event (a lost packet on a subscribed layer) the receiver leaves
+    its highest layer (never below layer 1) — and the same join
+    pacing: starting from a join/leave event at level [i], the
+    expected number of {e received} packets before joining layer
+    [i+1] is [2^(2(i−1))] (the paper's choice, after [Vicisano et
+    al.]).  They differ in who decides the join instant:
+
+    - {e Uncoordinated}: each received packet triggers a join with
+      probability [1/2^(2(i−1))] — independent across receivers.
+    - {e Deterministic}: a receiver joins after exactly [2^(2(i−1))]
+      consecutively received packets since its last join/leave event —
+      no randomness, but no resynchronization either.
+    - {e Coordinated}: the sender embeds a join-level field in
+      layer-1 packets; a signal at level [s] tells every receiver at
+      level [i ≤ s] to join layer [i+1] (the nested signalling the
+      paper describes), so receivers that see the same packets join in
+      lockstep. *)
+
+type kind = Uncoordinated | Deterministic | Coordinated
+
+val kind_name : kind -> string
+val all_kinds : kind list
+
+val join_period : int -> int
+(** [join_period i = 2^(2(i−1))] — expected received packets between a
+    level-[i] receiver's join/leave event and its join to [i+1].
+    Raises [Invalid_argument] for [i < 1]. *)
+
+type receiver
+(** Per-receiver protocol state. *)
+
+val receiver : kind -> layers:int -> rng:Mmfair_prng.Xoshiro.t -> receiver
+(** A fresh receiver joined to layer 1 only.  The [rng] drives
+    Uncoordinated joins (each receiver should get its own split
+    stream). *)
+
+val level : receiver -> int
+(** Currently joined level in [[1, layers]]. *)
+
+val set_level : receiver -> int -> unit
+(** Force a level (used to start experiments in steady state). *)
+
+val subscribed : receiver -> layer:int -> bool
+(** Whether the receiver is joined to the given layer
+    ([layer ≤ level]). *)
+
+val on_received : receiver -> signal:int option -> unit
+(** The receiver got a packet on a subscribed layer; [signal] is the
+    Coordinated join-level field (on layer-1 packets), [None]
+    otherwise or for other protocols.  May raise the level by one. *)
+
+val on_congestion : receiver -> unit
+(** The receiver observed a loss on a subscribed layer: leave the top
+    layer (if above 1) and reset the join pacing. *)
+
+val joins : receiver -> int
+(** Total join events so far. *)
+
+val leaves : receiver -> int
+(** Total leave (congestion-reaction) events so far. *)
+
+type sender
+(** Coordinated-sender signalling state; inert for the other kinds. *)
+
+val sender : kind -> layers:int -> sender
+
+val on_send : sender -> layer:int -> int option
+(** Called for every transmitted packet with its layer; returns the
+    join-level signal to embed, if any.  Signals ride only on layer-1
+    packets (every receiver is subscribed to layer 1, so every
+    receiver that gets the packet sees the field).  Returns [Some s]
+    when receivers at levels [≤ s] should join one more layer. *)

@@ -1,0 +1,141 @@
+(** Closed-loop protocol runs over capacitated, finite-buffer links.
+
+    The Figure-8 runner ({!Runner}) follows the paper's model: loss is
+    an exogenous Bernoulli process and links are infinitely fast.
+    This runner closes the loop: links have real capacities
+    (packets/second), store-and-forward queues and drop-tail buffers
+    ({!Mmfair_sim.Qlink}); loss happens only by queue overflow, and —
+    when a marking policy is configured — congestion is signalled
+    before any loss occurs (the paper explicitly lists "a bit set
+    within a packet by the network" as a congestion event).  Receivers
+    detect drops the way real protocols do, via per-layer
+    sequence-number gaps, and join/leave latency is emergent.
+
+    Sessions sharing the links may be layered multicast (the paper's
+    Section-4 protocols) or AIMD unicast flows — rate-halving,
+    additive-increase senders standing in for TCP — so both
+    inter-session fairness and TCP-friendliness are observable in one
+    simulation. *)
+
+type traffic =
+  | Layered
+      (** A layered multicast session driven by the [config]'s
+          Section-4 protocol. *)
+  | Aimd of { alpha : float; min_rate : float; initial_rate : float }
+      (** A TCP-like unicast flow: the sender transmits at a rate that
+          increases by [alpha] packets/second once per RTT while no
+          congestion is reported, and halves (not below [min_rate])
+          when the receiver reports a loss or a mark.  Exactly one
+          receiver. *)
+
+type membership_mode =
+  | Ideal
+      (** Joins and leaves take effect instantly on every link — the
+          paper's Sections-3/4 model. *)
+  | Igmp of { leave_timeout : float; join_hop_delay : float }
+      (** Real group membership ({!Mmfair_sim.Membership}): joins
+          propagate hop by hop toward the source, and a link keeps
+          forwarding a left layer until the leave timeout expires —
+          both latencies the paper's Section 5 flags as redundancy
+          sources become emergent. *)
+
+type config = {
+  kind : Protocol.kind;
+  layers : int;
+  unit_rate : float;
+      (** Layer-1 rate in packets/second; layer [i ≥ 2] carries
+          [2^(i−2)·unit_rate], so the aggregate is
+          [2^(layers−1)·unit_rate]. *)
+  duration : float;   (** Simulated seconds. *)
+  warmup : float;     (** Seconds excluded from measurement. *)
+  buffer : int;       (** Per-link queue limit (packets). *)
+  link_delay : float; (** Per-link propagation delay (seconds). *)
+  marking : Mmfair_sim.Qlink.marking;
+      (** Congestion marking policy applied at every link.  A marked
+          packet delivered on a subscribed layer (or to an AIMD
+          receiver) triggers a congestion event but still counts as
+          goodput.  Default {!Mmfair_sim.Qlink.No_marking} (pure
+          drop-tail). *)
+  membership : membership_mode;  (** Default {!Ideal}. *)
+  seed : int64;
+}
+
+val config :
+  ?layers:int -> ?unit_rate:float -> ?duration:float -> ?warmup:float ->
+  ?buffer:int -> ?link_delay:float -> ?marking:Mmfair_sim.Qlink.marking ->
+  ?membership:membership_mode -> ?seed:int64 ->
+  Protocol.kind -> config
+(** Defaults: 6 layers, unit rate 8 pkt/s, 120 s with 30 s warmup,
+    buffer 16, delay 1 ms, no marking, ideal membership. *)
+
+type session_spec = {
+  sender : Mmfair_topology.Graph.node;
+  receivers : Mmfair_topology.Graph.node array;
+  traffic : traffic;
+}
+
+val layered : sender:Mmfair_topology.Graph.node -> receivers:Mmfair_topology.Graph.node array -> session_spec
+
+val aimd :
+  ?alpha:float -> ?min_rate:float -> ?initial_rate:float ->
+  sender:Mmfair_topology.Graph.node -> receiver:Mmfair_topology.Graph.node -> unit -> session_spec
+(** Defaults: [alpha = 4.0] pkt/s per RTT, [min_rate = 1.0],
+    [initial_rate = 8.0]. *)
+
+type session_result = {
+  goodput : float array;       (** Per-receiver received packets/second over the measurement window. *)
+  mean_level : float array;    (** Per-receiver time-average joined level (1 for AIMD flows). *)
+  sustainable : float array;
+      (** Per-receiver largest cumulative layer rate its whole path
+          could carry if it were alone (for AIMD flows: the raw path
+          bottleneck). *)
+  link_rates : float array;
+      (** Packets this session pushed into each link per second during
+          the measurement window — the closed-loop [u_{i,j}], so
+          Definition-3 redundancy on link [l] is
+          [link_rates.(l) /. max goodput] over the receivers behind
+          [l]. *)
+}
+
+type multi_result = {
+  sessions : session_result array;
+  total_drops : (Mmfair_topology.Graph.link_id * int) list;  (** Overflow drops per link. *)
+  total_marks : int;                                         (** Marks applied (0 without marking). *)
+  link_utilization : (Mmfair_topology.Graph.link_id * float) list;
+}
+
+val run_multi :
+  config ->
+  graph:Mmfair_topology.Graph.t ->
+  sessions:session_spec array ->
+  multi_result
+(** Run any number of sessions concurrently.  Layered sessions all use
+    the [config]'s protocol and layering, each with its own sender
+    state, sequence spaces and receiver machines; AIMD sessions use
+    their own parameters.  Sender start times are staggered by a
+    fraction of the send interval to avoid artificial phase lock.
+    Raises [Invalid_argument] on an empty session list, an unreachable
+    receiver, or an AIMD session with more than one receiver. *)
+
+type result = {
+  goodput : float array;
+  mean_level : float array;
+  sustainable : float array;
+  drops : (Mmfair_topology.Graph.link_id * int) list;
+  marks : int;
+  utilization : (Mmfair_topology.Graph.link_id * float) list;
+}
+(** Single-session view of {!multi_result}. *)
+
+val run :
+  config ->
+  graph:Mmfair_topology.Graph.t ->
+  sender:Mmfair_topology.Graph.node ->
+  receivers:Mmfair_topology.Graph.node array ->
+  result
+(** Single layered session convenience over {!run_multi}. *)
+
+val run_star :
+  config -> shared_capacity:float -> fanout_capacities:float array -> result
+(** Convenience: the modified-star topology with the given capacities
+    (packets/second), one layered session. *)

@@ -1,0 +1,202 @@
+module Graph = Mmfair_topology.Graph
+module Xoshiro = Mmfair_prng.Xoshiro
+module Scheme = Mmfair_layering.Scheme
+module Mcast_tree = Mmfair_sim.Mcast_tree
+module Loss_model = Mmfair_sim.Loss_model
+
+type config = {
+  kind : Protocol.kind;
+  layers : int;
+  packets : int;
+  warmup : int;
+  schedule_mode : Layer_schedule.mode;
+  seed : int64;
+  leave_latency : int;
+  priority_drop : bool;
+}
+
+let config ?(layers = 8) ?(packets = 100_000) ?(warmup = 2_000) ?(schedule_mode = Layer_schedule.Wrr)
+    ?(seed = 42L) ?(leave_latency = 0) ?(priority_drop = false) kind =
+  if layers < 1 then invalid_arg "Runner.config: need at least one layer";
+  if packets < 1 then invalid_arg "Runner.config: need at least one packet";
+  if warmup < 0 || warmup >= packets then invalid_arg "Runner.config: warmup out of range";
+  if leave_latency < 0 then invalid_arg "Runner.config: negative leave latency";
+  { kind; layers; packets; warmup; schedule_mode; seed; leave_latency; priority_drop }
+
+type result = {
+  redundancy : float;
+  link_rate : float;
+  receiver_rates : float array;
+  mean_level : float;
+  total_joins : int;
+  total_leaves : int;
+}
+
+let run_tree ?observer cfg ~graph ~sender ~receivers ~loss_rate ~measured_link =
+  let tree = Mcast_tree.make graph ~sender ~receivers in
+  if not (List.mem measured_link (Mcast_tree.links tree)) then
+    invalid_arg "Runner.run_tree: measured link is not on the session's data-path";
+  let root = Xoshiro.create ~seed:cfg.seed () in
+  let loss = Loss_model.create ~rng:root ~links:(Graph.link_count graph) ~loss_rate in
+  let sched_rng = Xoshiro.split root in
+  let scheme = Scheme.exponential ~layers:cfg.layers in
+  let schedule = Layer_schedule.create ~mode:cfg.schedule_mode scheme in
+  let n = Array.length receivers in
+  let states =
+    Array.init n (fun _ -> Protocol.receiver cfg.kind ~layers:cfg.layers ~rng:(Xoshiro.split root))
+  in
+  let psender = Protocol.sender cfg.kind ~layers:cfg.layers in
+  let received = Array.make n 0 in
+  let link_entered = ref 0 in
+  let level_sum = ref 0 in
+  (* Leave latency: a pruned layer keeps flowing on the receiver's
+     branch until the prune takes effect, so link accounting follows
+     the lingering level while reception follows the current one. *)
+  let linger_level = Array.make n 0 in
+  let linger_until = Array.make n 0 in
+  let measured_slots = cfg.packets - cfg.warmup in
+  let priority_scale layer =
+    if cfg.layers <= 1 then 1.0
+    else 2.0 *. float_of_int (layer - 1) /. float_of_int (cfg.layers - 1)
+  in
+  for slot = 0 to cfg.packets - 1 do
+    let layer = Layer_schedule.next schedule ~rng:sched_rng in
+    let signal = Protocol.on_send psender ~layer in
+    let wants k = Protocol.subscribed states.(k) ~layer in
+    let carries k =
+      wants k || (cfg.leave_latency > 0 && slot < linger_until.(k) && layer <= linger_level.(k))
+    in
+    let drops l =
+      if cfg.priority_drop then Loss_model.drops_scaled loss l ~scale:(priority_scale layer)
+      else Loss_model.drops loss l
+    in
+    let delivery = Mcast_tree.deliver tree ~subscribed:carries ~drops in
+    let measuring = slot >= cfg.warmup in
+    if measuring && List.mem measured_link delivery.Mcast_tree.entered then incr link_entered;
+    (* Receivers that got the packet react to content; subscribed
+       receivers that did not get it observe a congestion event.
+       Packets carried only by a lingering (already left) layer are
+       neither received nor loss events. *)
+    let got = Array.make n false in
+    List.iter (fun k -> got.(k) <- true) delivery.Mcast_tree.received;
+    for k = 0 to n - 1 do
+      if wants k then begin
+        if got.(k) then begin
+          if measuring then received.(k) <- received.(k) + 1;
+          Protocol.on_received states.(k) ~signal
+        end
+        else begin
+          let before = Protocol.level states.(k) in
+          Protocol.on_congestion states.(k);
+          if cfg.leave_latency > 0 && Protocol.level states.(k) < before then begin
+            linger_level.(k) <- Stdlib.max before (if slot < linger_until.(k) then linger_level.(k) else 0);
+            linger_until.(k) <- slot + cfg.leave_latency
+          end
+        end
+      end;
+      if measuring then level_sum := !level_sum + Protocol.level states.(k)
+    done;
+    (match observer with
+    | Some f ->
+        let levels = Array.map Protocol.level states in
+        f ~slot ~levels
+    | None -> ())
+  done;
+  let slots = float_of_int measured_slots in
+  let receiver_rates = Array.map (fun c -> float_of_int c /. slots) received in
+  let link_rate = float_of_int !link_entered /. slots in
+  let peak = Array.fold_left Stdlib.max 0.0 receiver_rates in
+  let redundancy = if peak > 0.0 then link_rate /. peak else Float.nan in
+  let total_joins = Array.fold_left (fun acc r -> acc + Protocol.joins r) 0 states in
+  let total_leaves = Array.fold_left (fun acc r -> acc + Protocol.leaves r) 0 states in
+  {
+    redundancy;
+    link_rate;
+    receiver_rates;
+    mean_level = float_of_int !level_sum /. (slots *. float_of_int n);
+    total_joins;
+    total_leaves;
+  }
+
+let run_star cfg ~receivers ~shared_loss ~independent_loss =
+  if receivers < 1 then invalid_arg "Runner.run_star: need at least one receiver";
+  let star =
+    Mmfair_topology.Builders.modified_star ~shared_capacity:1e9
+      ~fanout_capacities:(Array.make receivers 1e9)
+  in
+  let shared = star.Mmfair_topology.Builders.shared in
+  let loss_rate l = if l = shared then shared_loss else independent_loss in
+  run_tree cfg ~graph:star.Mmfair_topology.Builders.graph ~sender:star.Mmfair_topology.Builders.sender
+    ~receivers:star.Mmfair_topology.Builders.receivers ~loss_rate ~measured_link:shared
+
+let run_fixed_star cfg ~receivers ~level ~shared_loss ~independent_loss =
+  if receivers < 1 then invalid_arg "Runner.run_fixed_star: need at least one receiver";
+  if level < 1 || level > cfg.layers then invalid_arg "Runner.run_fixed_star: level out of range";
+  let star =
+    Mmfair_topology.Builders.modified_star ~shared_capacity:1e9
+      ~fanout_capacities:(Array.make receivers 1e9)
+  in
+  let shared = star.Mmfair_topology.Builders.shared in
+  let graph = star.Mmfair_topology.Builders.graph in
+  let loss_rate l = if l = shared then shared_loss else independent_loss in
+  let tree =
+    Mcast_tree.make graph ~sender:star.Mmfair_topology.Builders.sender
+      ~receivers:star.Mmfair_topology.Builders.receivers
+  in
+  let root = Xoshiro.create ~seed:cfg.seed () in
+  let loss = Loss_model.create ~rng:root ~links:(Graph.link_count graph) ~loss_rate in
+  let sched_rng = Xoshiro.split root in
+  let schedule = Layer_schedule.create ~mode:cfg.schedule_mode (Scheme.exponential ~layers:cfg.layers) in
+  let received = Array.make receivers 0 in
+  let link_entered = ref 0 in
+  let measured_slots = cfg.packets - cfg.warmup in
+  for slot = 0 to cfg.packets - 1 do
+    let layer = Layer_schedule.next schedule ~rng:sched_rng in
+    let delivery =
+      Mcast_tree.deliver tree
+        ~subscribed:(fun _ -> layer <= level)
+        ~drops:(fun l -> Loss_model.drops loss l)
+    in
+    if slot >= cfg.warmup then begin
+      if List.mem shared delivery.Mcast_tree.entered then incr link_entered;
+      List.iter (fun k -> received.(k) <- received.(k) + 1) delivery.Mcast_tree.received
+    end
+  done;
+  let slots = float_of_int measured_slots in
+  let receiver_rates = Array.map (fun c -> float_of_int c /. slots) received in
+  let link_rate = float_of_int !link_entered /. slots in
+  let peak = Array.fold_left Stdlib.max 0.0 receiver_rates in
+  {
+    redundancy = (if peak > 0.0 then link_rate /. peak else Float.nan);
+    link_rate;
+    receiver_rates;
+    mean_level = float_of_int level;
+    total_joins = 0;
+    total_leaves = 0;
+  }
+
+let replicate ?(domains = 1) ~runs f ~seed =
+  if runs < 2 then invalid_arg "Runner.replicate: need at least two runs";
+  if domains < 1 then invalid_arg "Runner.replicate: need at least one domain";
+  let sm = Mmfair_prng.Splitmix64.create seed in
+  let seeds = Array.init runs (fun _ -> Mmfair_prng.Splitmix64.next sm) in
+  let samples =
+    if domains = 1 then Array.map (fun s -> (f s).redundancy) seeds
+    else begin
+      (* static chunking: each domain takes a contiguous seed slice, so
+         results do not depend on scheduling *)
+      let out = Array.make runs 0.0 in
+      let chunk = (runs + domains - 1) / domains in
+      let worker d () =
+        let lo = d * chunk in
+        let hi = Stdlib.min runs (lo + chunk) in
+        for i = lo to hi - 1 do
+          out.(i) <- (f seeds.(i)).redundancy
+        done
+      in
+      let spawned = List.init domains (fun d -> Domain.spawn (worker d)) in
+      List.iter Domain.join spawned;
+      out
+    end
+  in
+  Mmfair_stats.Ci.of_samples samples

@@ -1,0 +1,107 @@
+(** Packet-level protocol experiments — the engine behind Figure 8.
+
+    Runs one layered session over a multicast tree with Bernoulli
+    per-link loss and one of the Section-4 protocols, and measures the
+    session's redundancy (Definition 3) on a designated link: the
+    long-run bandwidth the session consumed there divided by the
+    largest long-run receiving rate among the receivers downstream of
+    it.  All rates are in packets per slot (the sender emits exactly
+    one packet per slot). *)
+
+type config = {
+  kind : Protocol.kind;
+  layers : int;            (** The paper uses 8 for Figure 8. *)
+  packets : int;           (** Slots to simulate; the paper uses 100,000. *)
+  warmup : int;            (** Initial slots excluded from measurement. *)
+  schedule_mode : Layer_schedule.mode;  (** [Wrr] (default realistic) or [Random] (Markov-comparable). *)
+  seed : int64;
+  leave_latency : int;
+      (** Slots a left layer keeps flowing on the receiver's path
+          before the prune takes effect (IGMP-style leave latency).
+          The paper (Section 5) predicts long leave latencies increase
+          redundancy: the link still carries the data while the
+          receiver's rate has already dropped.  Default 0 (the ideal
+          zero-latency model of Sections 3–4). *)
+  priority_drop : bool;
+      (** When set, loss discriminates by layer — a layer-[L] packet's
+          drop probability is scaled by [2(L−1)/(M−1)] (mean 1 across
+          layers), so the base layers are protected, as with the
+          priority-dropping schemes of Bajaj et al. that Section 5
+          asks about.  Default false (uniform dropping). *)
+}
+
+val config :
+  ?layers:int -> ?packets:int -> ?warmup:int ->
+  ?schedule_mode:Layer_schedule.mode -> ?seed:int64 ->
+  ?leave_latency:int -> ?priority_drop:bool ->
+  Protocol.kind -> config
+(** Defaults: 8 layers, 100_000 packets, 2_000 warmup, [Wrr],
+    seed [42L], zero leave latency, uniform dropping. *)
+
+type result = {
+  redundancy : float;
+      (** Session redundancy on the measured link over the
+          measurement window. *)
+  link_rate : float;
+      (** Packets entering the measured link per slot. *)
+  receiver_rates : float array;
+      (** Per-receiver received packets per slot. *)
+  mean_level : float;
+      (** Receiver level averaged over receivers and slots. *)
+  total_joins : int;
+  total_leaves : int;
+}
+
+val run_tree :
+  ?observer:(slot:int -> levels:int array -> unit) ->
+  config ->
+  graph:Mmfair_topology.Graph.t ->
+  sender:Mmfair_topology.Graph.node ->
+  receivers:Mmfair_topology.Graph.node array ->
+  loss_rate:(Mmfair_topology.Graph.link_id -> float) ->
+  measured_link:Mmfair_topology.Graph.link_id ->
+  result
+(** Run over an arbitrary routed tree.  Raises [Invalid_argument] on
+    an unreachable receiver, a bad loss rate, or a measured link not
+    on the session's data-path.  The optional [observer] is invoked
+    after every slot with each receiver's current joined level; it
+    feeds the convergence/transient experiments without perturbing the
+    run. *)
+
+val run_star :
+  config ->
+  receivers:int ->
+  shared_loss:float ->
+  independent_loss:float ->
+  result
+(** The paper's Figure-7(b) modified star: [receivers] fanout links
+    each with loss [independent_loss], one shared sender-side link
+    with loss [shared_loss]; redundancy measured on the shared link. *)
+
+val run_fixed_star :
+  config ->
+  receivers:int ->
+  level:int ->
+  shared_loss:float ->
+  independent_loss:float ->
+  result
+(** Baseline without any join/leave dynamics: every receiver stays
+    joined up to [level] forever (what a network-assisted/active-node
+    scheme could sustain, per Section 5).  Its redundancy is exactly
+    the loss floor [1/((1−p_s)(1−p_i))] — the lower bound the adaptive
+    protocols are compared against.  The [kind] field of [config] is
+    ignored. *)
+
+val replicate :
+  ?domains:int ->
+  runs:int ->
+  (int64 -> result) ->
+  seed:int64 ->
+  Mmfair_stats.Ci.interval
+(** [replicate ~runs f ~seed] calls [f] with [runs] seeds derived
+    deterministically from [seed] and returns the 95% confidence
+    interval of the redundancy — the statistic the paper reports (mean
+    of 30 runs).  With [domains > 1] the runs execute on that many
+    OCaml 5 domains in parallel; results are identical to the serial
+    order (each run is self-contained and seeded), so parallelism is
+    purely a wall-clock optimization for paper-scale sweeps. *)

@@ -1,0 +1,27 @@
+(** A stable priority queue of timestamped events.
+
+    Binary min-heap keyed on [(time, sequence)]: events with equal
+    times pop in insertion order, which keeps simulations deterministic
+    when many events share a timestamp (e.g. all the per-receiver
+    reactions to one packet). *)
+
+type 'a t
+(** A mutable queue of events of type ['a]. *)
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val add : 'a t -> time:float -> 'a -> unit
+(** Enqueue an event at the given time.  Raises [Invalid_argument] on
+    a NaN time. *)
+
+val peek : 'a t -> (float * 'a) option
+(** The earliest event without removing it. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event ([None] when empty). *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,49 @@
+(** Per-packet multicast dissemination over a routed tree.
+
+    Built once from a graph, a sender and its receivers (minimum-hop
+    routing), this structure delivers individual packets: a packet
+    traverses a link iff at least one {e subscribed} receiver is
+    downstream of it and the packet survived every upstream link (the
+    paper's idealized model where data flows on a link only when some
+    downstream receiver wants it, with zero join/leave latency).  Loss
+    is sampled {e once per link per packet}, so receivers behind a
+    common lossy link see correlated loss — the correlation at the
+    heart of the Section-4 coordination study. *)
+
+type t
+
+val make :
+  Mmfair_topology.Graph.t ->
+  sender:Mmfair_topology.Graph.node ->
+  receivers:Mmfair_topology.Graph.node array ->
+  t
+(** Routes and freezes the dissemination tree.  Raises
+    [Invalid_argument] if some receiver is unreachable or the receiver
+    array is empty. *)
+
+val receiver_count : t -> int
+
+val path_of : t -> int -> Mmfair_topology.Graph.link_id array
+(** Receiver [k]'s data-path, sender-side first. *)
+
+val links : t -> Mmfair_topology.Graph.link_id list
+(** All links in the union of paths (the session's data-path). *)
+
+type delivery = {
+  entered : Mmfair_topology.Graph.link_id list;
+      (** Links the packet entered (bandwidth consumed), in no
+          particular order. *)
+  received : int list;
+      (** Indexes of subscribed receivers that got the packet. *)
+}
+
+val deliver :
+  t ->
+  subscribed:(int -> bool) ->
+  drops:(Mmfair_topology.Graph.link_id -> bool) ->
+  delivery
+(** Push one packet: [subscribed k] says whether receiver [k] has
+    joined the packet's layer; [drops l] is sampled at most once per
+    link (memoized within this call).  A link is entered iff some
+    subscribed receiver lies downstream and all upstream links passed
+    the packet. *)

@@ -1,0 +1,61 @@
+type cell = {
+  mutable subscribers : int;
+  mutable active_from : float; (* when the join reached this link *)
+  mutable prune_at : float;    (* prune deadline once subscribers hit 0 *)
+}
+
+type t = {
+  leave_timeout : float;
+  join_hop_delay : float;
+  cells : cell array array; (* link x (layer-1) *)
+}
+
+let create ~links ~layers ~leave_timeout ~join_hop_delay =
+  if links < 0 || layers < 1 then invalid_arg "Membership.create: bad sizes";
+  if leave_timeout < 0.0 || join_hop_delay < 0.0 then invalid_arg "Membership.create: negative latency";
+  {
+    leave_timeout;
+    join_hop_delay;
+    cells =
+      Array.init links (fun _ ->
+          Array.init layers (fun _ ->
+              { subscribers = 0; active_from = infinity; prune_at = neg_infinity }));
+  }
+
+let cell t link layer =
+  if link < 0 || link >= Array.length t.cells then invalid_arg "Membership: unknown link";
+  if layer < 1 || layer > Array.length t.cells.(0) then invalid_arg "Membership: layer out of range";
+  t.cells.(link).(layer - 1)
+
+let is_carrying c ~now =
+  (c.subscribers > 0 && now >= c.active_from) || (c.subscribers = 0 && now < c.prune_at)
+
+(* The join report travels from the receiver toward the sender, one
+   hop delay per link; a link that was not carrying the layer when the
+   report reached it starts forwarding at that moment (in a
+   sender-rooted tree, a carrying link implies all its upstream links
+   carry too, so the walk is consistent). *)
+let join t ~now ~path ~layer =
+  let hops = Array.length path in
+  for i = hops - 1 downto 0 do
+    let c = cell t path.(i) layer in
+    let hop_index = hops - i in
+    let arrival = now +. (t.join_hop_delay *. float_of_int hop_index) in
+    let carrying_before = is_carrying c ~now:arrival in
+    c.subscribers <- c.subscribers + 1;
+    c.prune_at <- neg_infinity;
+    if not carrying_before then c.active_from <- arrival
+  done
+
+let leave t ~now ~path ~layer =
+  Array.iter
+    (fun l ->
+      let c = cell t l layer in
+      if c.subscribers <= 0 then invalid_arg "Membership.leave: receiver was not joined";
+      c.subscribers <- c.subscribers - 1;
+      if c.subscribers = 0 then c.prune_at <- now +. t.leave_timeout)
+    path
+
+let flowing t ~now ~link ~layer = is_carrying (cell t link layer) ~now
+
+let subscribers t ~link ~layer = (cell t link layer).subscribers

@@ -1,0 +1,45 @@
+(** IGMP/PIM-style multicast group membership with real latencies.
+
+    The paper's model assumes joins and leaves take effect instantly
+    on every link; its Section 5 predicts that real leave latencies
+    increase redundancy and notes that "join and leave latencies
+    complicate coordination".  This module implements the actual
+    mechanism so both latencies are {e emergent}:
+
+    - a {e join} for a layer propagates hop by hop from the receiver
+      toward the source ([join_hop_delay] per hop), grafting onto the
+      first link that already carries the layer — data flows on a
+      link only once the join has reached it;
+    - a {e leave} decrements the link's subscriber count; when it hits
+      zero the link keeps forwarding until a [leave_timeout] expires
+      (the IGMP last-member-query interval), then prunes — unless a
+      new join arrives first, which cancels the prune.
+
+    State is per (link, layer) with subscriber refcounts, activation
+    times and pending prune deadlines. *)
+
+type t
+
+val create :
+  links:int -> layers:int -> leave_timeout:float -> join_hop_delay:float -> t
+(** Raises [Invalid_argument] on negative sizes or latencies. *)
+
+val join : t -> now:float -> path:Mmfair_topology.Graph.link_id array -> layer:int -> unit
+(** The receiver whose data-path (sender-side first) is [path] joins
+    [layer] at time [now].  Subscriber counts rise on every link of
+    the path; links not already carrying the layer activate when the
+    hop-by-hop join reaches them (the link nearest the receiver
+    first). *)
+
+val leave : t -> now:float -> path:Mmfair_topology.Graph.link_id array -> layer:int -> unit
+(** The receiver leaves [layer]: counts drop along the path; links
+    whose count reaches zero schedule a prune at [now + leave_timeout].
+    Raises [Invalid_argument] if the receiver was not joined (counts
+    would go negative — a caller bug). *)
+
+val flowing : t -> now:float -> link:Mmfair_topology.Graph.link_id -> layer:int -> bool
+(** Whether the link currently forwards the layer: it has reached-in
+    subscribers, or a prune is still pending. *)
+
+val subscribers : t -> link:Mmfair_topology.Graph.link_id -> layer:int -> int
+(** Current refcount (diagnostics). *)

@@ -1,0 +1,48 @@
+let sum xs =
+  (* Kahan compensated summation. *)
+  let s = ref 0.0 and c = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let y = x -. !c in
+      let t = !s +. y in
+      c := t -. !s -. y;
+      s := t)
+    xs;
+  !s
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Descriptive.mean: empty";
+  sum xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then invalid_arg "Descriptive.variance: need at least two samples";
+  let m = mean xs in
+  let devs = Array.map (fun x -> (x -. m) *. (x -. m)) xs in
+  sum devs /. float_of_int (n - 1)
+
+let stddev xs = sqrt (variance xs)
+
+let min xs =
+  if Array.length xs = 0 then invalid_arg "Descriptive.min: empty";
+  Array.fold_left Stdlib.min xs.(0) xs
+
+let max xs =
+  if Array.length xs = 0 then invalid_arg "Descriptive.max: empty";
+  Array.fold_left Stdlib.max xs.(0) xs
+
+let quantile xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Descriptive.quantile: empty";
+  if q < 0.0 || q > 1.0 then invalid_arg "Descriptive.quantile: q outside [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  (* Type-7 interpolation: h = (n-1)q. *)
+  let h = float_of_int (n - 1) *. q in
+  let lo = int_of_float (Float.floor h) in
+  let hi = Stdlib.min (lo + 1) (n - 1) in
+  let frac = h -. float_of_int lo in
+  sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let median xs = quantile xs 0.5

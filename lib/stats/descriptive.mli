@@ -1,0 +1,34 @@
+(** Descriptive statistics over float arrays.
+
+    Used by the experiment harness to summarize repeated simulation
+    runs (the paper reports means of 30 runs with 95% confidence).  All
+    sums use Kahan compensation so that long accumulations over
+    100,000-packet runs stay accurate. *)
+
+val sum : float array -> float
+(** Kahan-compensated sum.  [sum [||] = 0.]. *)
+
+val mean : float array -> float
+(** Arithmetic mean.  Raises [Invalid_argument] on an empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (divisor [n − 1]).  Raises
+    [Invalid_argument] when fewer than two samples are given. *)
+
+val stddev : float array -> float
+(** Square root of {!variance}. *)
+
+val min : float array -> float
+(** Smallest element; raises [Invalid_argument] on empty input. *)
+
+val max : float array -> float
+(** Largest element; raises [Invalid_argument] on empty input. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs q] is the [q]-quantile of [xs] for [q] in [[0, 1]],
+    using linear interpolation between order statistics (type-7, the R
+    default).  Raises [Invalid_argument] on empty input or [q] outside
+    [[0, 1]].  The input array is not modified. *)
+
+val median : float array -> float
+(** [median xs = quantile xs 0.5]. *)

@@ -1,0 +1,53 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable under : int;
+  mutable over : int;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if not (lo < hi) then invalid_arg "Histogram.create: need lo < hi";
+  if bins <= 0 then invalid_arg "Histogram.create: need bins > 0";
+  { lo; hi; counts = Array.make bins 0; under = 0; over = 0; total = 0 }
+
+let add t x =
+  t.total <- t.total + 1;
+  if x < t.lo then t.under <- t.under + 1
+  else if x >= t.hi then t.over <- t.over + 1
+  else begin
+    let bins = Array.length t.counts in
+    let i = int_of_float (float_of_int bins *. (x -. t.lo) /. (t.hi -. t.lo)) in
+    let i = if i >= bins then bins - 1 else i in
+    t.counts.(i) <- t.counts.(i) + 1
+  end
+
+let count t = t.total
+
+let bin_count t i =
+  if i < 0 || i >= Array.length t.counts then invalid_arg "Histogram.bin_count: out of range";
+  t.counts.(i)
+
+let underflow t = t.under
+let overflow t = t.over
+let bins t = Array.length t.counts
+
+let bin_edges t i =
+  let n = Array.length t.counts in
+  if i < 0 || i >= n then invalid_arg "Histogram.bin_edges: out of range";
+  let w = (t.hi -. t.lo) /. float_of_int n in
+  (t.lo +. (float_of_int i *. w), t.lo +. (float_of_int (i + 1) *. w))
+
+let frequencies t =
+  if t.total = 0 then Array.make (Array.length t.counts) 0.0
+  else Array.map (fun c -> float_of_int c /. float_of_int t.total) t.counts
+
+let pp ?(width = 40) fmt t =
+  let peak = Array.fold_left max 1 t.counts in
+  Array.iteri
+    (fun i c ->
+      let lo, hi = bin_edges t i in
+      let bar = String.make (c * width / peak) '#' in
+      Format.fprintf fmt "[%8.3f, %8.3f) %6d %s@." lo hi c bar)
+    t.counts

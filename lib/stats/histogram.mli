@@ -1,0 +1,44 @@
+(** Fixed-bin histograms.
+
+    Used for diagnostic summaries of simulated distributions (receiver
+    rates, inter-loss gaps) and in tests as a cheap goodness-of-fit
+    check on the PRNG distributions. *)
+
+type t
+(** A histogram over a half-open range with equal-width bins. *)
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [create ~lo ~hi ~bins] covers [[lo, hi)] with [bins] equal bins.
+    Raises [Invalid_argument] unless [lo < hi] and [bins > 0].
+    Observations outside the range are tallied separately as underflow
+    / overflow. *)
+
+val add : t -> float -> unit
+(** Tally one observation. *)
+
+val count : t -> int
+(** Total observations, including under/overflow. *)
+
+val bin_count : t -> int -> int
+(** [bin_count t i] is the tally of bin [i] (0-indexed).  Raises
+    [Invalid_argument] when [i] is out of range. *)
+
+val underflow : t -> int
+(** Observations below [lo]. *)
+
+val overflow : t -> int
+(** Observations at or above [hi]. *)
+
+val bin_edges : t -> int -> float * float
+(** [bin_edges t i] is bin [i]'s half-open interval. *)
+
+val bins : t -> int
+(** Number of bins. *)
+
+val frequencies : t -> float array
+(** Per-bin relative frequency (with respect to all observations,
+    including under/overflow).  All zeros when empty. *)
+
+val pp : ?width:int -> Format.formatter -> t -> unit
+(** ASCII bar rendering, one line per bin, bars scaled to [width]
+    (default 40) characters at the modal bin. *)

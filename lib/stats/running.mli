@@ -1,0 +1,37 @@
+(** Streaming (online) moment accumulation.
+
+    Welford's algorithm: numerically stable single-pass mean and
+    variance, suitable for per-packet statistics inside long simulation
+    runs where storing every sample would be wasteful. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : unit -> t
+(** A fresh, empty accumulator. *)
+
+val add : t -> float -> unit
+(** [add t x] folds one observation into [t]. *)
+
+val count : t -> int
+(** Number of observations so far. *)
+
+val mean : t -> float
+(** Current mean; raises [Invalid_argument] when {!count} is zero. *)
+
+val variance : t -> float
+(** Unbiased sample variance; raises [Invalid_argument] when {!count}
+    is below two. *)
+
+val stddev : t -> float
+(** Square root of {!variance}. *)
+
+val min : t -> float
+(** Smallest observation; raises [Invalid_argument] when empty. *)
+
+val max : t -> float
+(** Largest observation; raises [Invalid_argument] when empty. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh accumulator equivalent to having folded all
+    of [a]'s and [b]'s observations (Chan et al. parallel update). *)

@@ -1,0 +1,125 @@
+type star = {
+  graph : Graph.t;
+  center : Graph.node;
+  leaves : Graph.node array;
+  spokes : Graph.link_id array;
+}
+
+let star ~leaf_capacities =
+  let k = Array.length leaf_capacities in
+  if k = 0 then invalid_arg "Builders.star: need at least one leaf";
+  let graph = Graph.create ~nodes:(k + 1) in
+  let center = 0 in
+  let leaves = Array.init k (fun i -> i + 1) in
+  let spokes = Array.mapi (fun i leaf -> Graph.add_link graph center leaf leaf_capacities.(i)) leaves in
+  { graph; center; leaves; spokes }
+
+type modified_star = {
+  graph : Graph.t;
+  sender : Graph.node;
+  hub : Graph.node;
+  shared : Graph.link_id;
+  receivers : Graph.node array;
+  fanout : Graph.link_id array;
+}
+
+let modified_star ~shared_capacity ~fanout_capacities =
+  let k = Array.length fanout_capacities in
+  if k = 0 then invalid_arg "Builders.modified_star: need at least one receiver";
+  let graph = Graph.create ~nodes:(k + 2) in
+  let sender = 0 and hub = 1 in
+  let shared = Graph.add_link graph sender hub shared_capacity in
+  let receivers = Array.init k (fun i -> i + 2) in
+  let fanout = Array.mapi (fun i r -> Graph.add_link graph hub r fanout_capacities.(i)) receivers in
+  { graph; sender; hub; shared; receivers; fanout }
+
+type chain = {
+  graph : Graph.t;
+  nodes : Graph.node array;
+  hops : Graph.link_id array;
+}
+
+let chain ~capacities =
+  let n = Array.length capacities in
+  if n = 0 then invalid_arg "Builders.chain: need at least one hop";
+  let graph = Graph.create ~nodes:(n + 1) in
+  let nodes = Array.init (n + 1) Fun.id in
+  let hops = Array.init n (fun i -> Graph.add_link graph i (i + 1) capacities.(i)) in
+  { graph; nodes; hops }
+
+type dumbbell = {
+  graph : Graph.t;
+  left : Graph.node array;
+  right : Graph.node array;
+  bottleneck : Graph.link_id;
+}
+
+let dumbbell ~left_capacities ~bottleneck_capacity ~right_capacities =
+  let nl = Array.length left_capacities and nr = Array.length right_capacities in
+  if nl = 0 || nr = 0 then invalid_arg "Builders.dumbbell: empty side";
+  let graph = Graph.create ~nodes:(nl + nr + 2) in
+  let lswitch = 0 and rswitch = 1 in
+  let bottleneck = Graph.add_link graph lswitch rswitch bottleneck_capacity in
+  let left = Array.init nl (fun i -> i + 2) in
+  let right = Array.init nr (fun i -> nl + i + 2) in
+  Array.iteri (fun i v -> ignore (Graph.add_link graph v lswitch left_capacities.(i))) left;
+  Array.iteri (fun i v -> ignore (Graph.add_link graph v rswitch right_capacities.(i))) right;
+  { graph; left; right; bottleneck }
+
+type tree = {
+  graph : Graph.t;
+  root : Graph.node;
+  level_nodes : Graph.node array array;
+}
+
+let balanced_tree ~depth ~fanout ~capacity_at =
+  if depth < 0 then invalid_arg "Builders.balanced_tree: negative depth";
+  if fanout < 1 then invalid_arg "Builders.balanced_tree: fanout must be >= 1";
+  let graph = Graph.create ~nodes:1 in
+  let root = 0 in
+  let levels = Array.make (depth + 1) [||] in
+  levels.(0) <- [| root |];
+  for d = 1 to depth do
+    let parents = levels.(d - 1) in
+    let children =
+      Array.concat
+        (Array.to_list
+           (Array.map
+              (fun p ->
+                Array.init fanout (fun _ ->
+                    let child = Graph.add_node graph in
+                    ignore (Graph.add_link graph p child (capacity_at (d - 1)));
+                    child))
+              parents))
+    in
+    levels.(d) <- children
+  done;
+  { graph; root; level_nodes = levels }
+
+let random_connected ~rng ~nodes ~extra_links ~cap_lo ~cap_hi =
+  if nodes < 1 then invalid_arg "Builders.random_connected: need at least one node";
+  if not (cap_lo > 0.0) || not (cap_lo < cap_hi) then
+    invalid_arg "Builders.random_connected: need 0 < cap_lo < cap_hi";
+  let graph = Graph.create ~nodes in
+  (* Random spanning tree: attach each node (in a random order) to a
+     uniformly chosen earlier node. *)
+  let order = Array.init nodes Fun.id in
+  Mmfair_prng.Xoshiro.shuffle rng order;
+  for i = 1 to nodes - 1 do
+    let parent = order.(Mmfair_prng.Xoshiro.below rng i) in
+    let cap = Mmfair_prng.Xoshiro.uniform rng cap_lo cap_hi in
+    ignore (Graph.add_link graph parent order.(i) cap)
+  done;
+  let added = ref 0 in
+  let attempts = ref 0 in
+  while !added < extra_links && !attempts < 100 * (extra_links + 1) do
+    incr attempts;
+    let a = Mmfair_prng.Xoshiro.below rng nodes in
+    let b = Mmfair_prng.Xoshiro.below rng nodes in
+    if a <> b then begin
+      let cap = Mmfair_prng.Xoshiro.uniform rng cap_lo cap_hi in
+      ignore (Graph.add_link graph a b cap);
+      incr added
+    end
+  done;
+  graph

@@ -1,0 +1,79 @@
+(** Canonical topology constructors.
+
+    Builders for the topology families used throughout the paper's
+    examples and experiments.  Each returns the graph plus the node ids
+    a caller needs to place senders and receivers. *)
+
+type star = {
+  graph : Graph.t;
+  center : Graph.node;        (** Hub node. *)
+  leaves : Graph.node array;  (** Spoke endpoints. *)
+  spokes : Graph.link_id array; (** [spokes.(i)] connects [center] to [leaves.(i)]. *)
+}
+
+val star : leaf_capacities:float array -> star
+(** [star ~leaf_capacities] is a hub with one spoke per entry.  Raises
+    [Invalid_argument] on an empty array. *)
+
+type modified_star = {
+  graph : Graph.t;
+  sender : Graph.node;            (** Source node (Figure 7's [S]). *)
+  hub : Graph.node;               (** Fanout point. *)
+  shared : Graph.link_id;         (** The shared sender-side link. *)
+  receivers : Graph.node array;   (** Fanout endpoints. *)
+  fanout : Graph.link_id array;   (** [fanout.(k)] connects [hub] to [receivers.(k)]. *)
+}
+
+val modified_star :
+  shared_capacity:float -> fanout_capacities:float array -> modified_star
+(** The paper's Figure-7 topology: sender — shared link — hub — one
+    fanout link per receiver.  Raises [Invalid_argument] on an empty
+    fanout array. *)
+
+type chain = {
+  graph : Graph.t;
+  nodes : Graph.node array;     (** [nodes.(0) … nodes.(n)] in order. *)
+  hops : Graph.link_id array;   (** [hops.(i)] connects [nodes.(i)] to [nodes.(i+1)]. *)
+}
+
+val chain : capacities:float array -> chain
+(** A path graph with one link per capacity entry. *)
+
+type dumbbell = {
+  graph : Graph.t;
+  left : Graph.node array;     (** Left-side endpoints. *)
+  right : Graph.node array;    (** Right-side endpoints. *)
+  bottleneck : Graph.link_id;  (** The middle link. *)
+}
+
+val dumbbell :
+  left_capacities:float array ->
+  bottleneck_capacity:float ->
+  right_capacities:float array ->
+  dumbbell
+(** Classic congestion-control topology: leaves — switch — bottleneck —
+    switch — leaves. *)
+
+type tree = {
+  graph : Graph.t;
+  root : Graph.node;
+  level_nodes : Graph.node array array; (** [level_nodes.(d)] = nodes at depth [d]; level 0 is [[|root|]]. *)
+}
+
+val balanced_tree : depth:int -> fanout:int -> capacity_at:(int -> float) -> tree
+(** [balanced_tree ~depth ~fanout ~capacity_at] is a rooted tree where
+    every link from depth [d] to depth [d+1] has capacity
+    [capacity_at d].  [depth ≥ 0], [fanout ≥ 1]. *)
+
+val random_connected :
+  rng:Mmfair_prng.Xoshiro.t ->
+  nodes:int ->
+  extra_links:int ->
+  cap_lo:float ->
+  cap_hi:float ->
+  Graph.t
+(** A uniformly random connected graph: a random spanning tree
+    (random-permutation attachment) plus [extra_links] additional
+    random non-self-loop links, capacities uniform in
+    [[cap_lo, cap_hi)].  Raises [Invalid_argument] when [nodes < 1] or
+    [cap_lo ≥ cap_hi] or [cap_lo ≤ 0]. *)

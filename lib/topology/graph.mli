@@ -1,0 +1,60 @@
+(** Capacitated network graphs.
+
+    The paper's network graph [G]: nodes connected by [n] links, each
+    link [l_j] with a capacity [c_j] limiting the aggregate flow it can
+    carry in either direction (the paper's footnote 2 notes that
+    per-direction capacities are a trivial extension via two
+    unidirectional links; we model the paper's base case of a single
+    shared capacity).  Nodes and links are dense integer ids so the
+    fairness engine can use arrays keyed by them. *)
+
+type node = int
+(** Node identifier in [[0, node_count)]. *)
+
+type link_id = int
+(** Link identifier in [[0, link_count)] — the paper's index [j]. *)
+
+type t
+(** A mutable graph under construction; immutable once routing begins
+    by convention (nothing enforces it, but adding links after paths
+    were computed gives stale paths). *)
+
+val create : nodes:int -> t
+(** [create ~nodes] is an edgeless graph on [nodes] nodes.  Raises
+    [Invalid_argument] when [nodes] is negative. *)
+
+val add_node : t -> node
+(** [add_node g] grows the graph by one node and returns its id. *)
+
+val add_link : t -> node -> node -> float -> link_id
+(** [add_link g a b c] connects [a] and [b] with a fresh link of
+    capacity [c].  Self-loops, non-positive capacities and unknown
+    nodes raise [Invalid_argument].  Parallel links are allowed (they
+    are distinct [link_id]s). *)
+
+val node_count : t -> int
+val link_count : t -> int
+
+val capacity : t -> link_id -> float
+(** The paper's [c_j].  Raises [Invalid_argument] on a bad id. *)
+
+val endpoints : t -> link_id -> node * node
+(** The two nodes a link connects, in insertion order. *)
+
+val other_end : t -> link_id -> node -> node
+(** [other_end g l v] is the endpoint of [l] that is not [v].  Raises
+    [Invalid_argument] when [v] is not an endpoint of [l]. *)
+
+val neighbors : t -> node -> (node * link_id) list
+(** Adjacent nodes with the connecting link, in insertion order. *)
+
+val links : t -> link_id list
+(** All link ids, ascending. *)
+
+val fold_links : t -> init:'a -> f:('a -> link_id -> 'a) -> 'a
+
+val pp : Format.formatter -> t -> unit
+(** One line per link: [l3: 2 -- 5 (cap 4.0)]. *)
+
+val to_dot : t -> string
+(** Graphviz rendering with capacities as edge labels. *)

@@ -1,0 +1,123 @@
+type path = Graph.link_id list
+
+(* BFS with deterministic tie-breaking: neighbors are explored in
+   insertion order, and a node's parent is fixed by the first visit, so
+   the resulting shortest-path tree is unique for a given graph. *)
+let bfs g src =
+  let n = Graph.node_count g in
+  if src < 0 || src >= n then invalid_arg "Routing.bfs: unknown source";
+  let parent = Array.make n (-1) in
+  let parent_link = Array.make n (-1) in
+  let visited = Array.make n false in
+  visited.(src) <- true;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    List.iter
+      (fun (w, l) ->
+        if not visited.(w) then begin
+          visited.(w) <- true;
+          parent.(w) <- v;
+          parent_link.(w) <- l;
+          Queue.add w q
+        end)
+      (Graph.neighbors g v)
+  done;
+  (visited, parent, parent_link)
+
+let extract_path src parent parent_link dst =
+  let rec go v acc = if v = src then acc else go parent.(v) (parent_link.(v) :: acc) in
+  go dst []
+
+let paths_from g src =
+  let visited, parent, parent_link = bfs g src in
+  Array.init (Graph.node_count g) (fun dst ->
+      if not visited.(dst) then None else Some (extract_path src parent parent_link dst))
+
+let shortest_path g src dst =
+  let n = Graph.node_count g in
+  if dst < 0 || dst >= n then invalid_arg "Routing.shortest_path: unknown destination";
+  let visited, parent, parent_link = bfs g src in
+  if not visited.(dst) then None else Some (extract_path src parent parent_link dst)
+
+let path_links p = p
+
+let same_path p q =
+  let sort = List.sort_uniq compare in
+  sort p = sort q
+
+let reachable g src dst = Option.is_some (shortest_path g src dst)
+
+(* A tiny pairing of (cost, node) orderable entries on a binary heap
+   would be overkill here: graphs in this reproduction are small, so a
+   simple O(n^2) Dijkstra keeps the code obvious. *)
+let dijkstra g ~weight src =
+  let n = Graph.node_count g in
+  if src < 0 || src >= n then invalid_arg "Routing.dijkstra: unknown source";
+  let dist = Array.make n infinity in
+  let parent = Array.make n (-1) in
+  let parent_link = Array.make n (-1) in
+  let settled = Array.make n false in
+  dist.(src) <- 0.0;
+  let continue = ref true in
+  while !continue do
+    (* pick the unsettled node with the smallest tentative distance *)
+    let best = ref (-1) in
+    for v = 0 to n - 1 do
+      if (not settled.(v)) && Float.is_finite dist.(v) && (!best < 0 || dist.(v) < dist.(!best)) then
+        best := v
+    done;
+    if !best < 0 then continue := false
+    else begin
+      let v = !best in
+      settled.(v) <- true;
+      List.iter
+        (fun (w, l) ->
+          let wl = weight l in
+          if wl < 0.0 then invalid_arg "Routing.dijkstra: negative weight";
+          if (not settled.(w)) && dist.(v) +. wl < dist.(w) then begin
+            dist.(w) <- dist.(v) +. wl;
+            parent.(w) <- v;
+            parent_link.(w) <- l
+          end)
+        (Graph.neighbors g v)
+    end
+  done;
+  Array.init n (fun dst ->
+      if not (Float.is_finite dist.(dst)) then None
+      else Some (extract_path src parent parent_link dst, dist.(dst)))
+
+(* Max-bottleneck routing: Dijkstra with (min, max) algebra. *)
+let widest_path g src dst =
+  let n = Graph.node_count g in
+  if src < 0 || src >= n || dst < 0 || dst >= n then invalid_arg "Routing.widest_path: unknown node";
+  let width = Array.make n neg_infinity in
+  let parent = Array.make n (-1) in
+  let parent_link = Array.make n (-1) in
+  let settled = Array.make n false in
+  width.(src) <- infinity;
+  let continue = ref true in
+  while !continue do
+    let best = ref (-1) in
+    for v = 0 to n - 1 do
+      if (not settled.(v)) && width.(v) > neg_infinity && (!best < 0 || width.(v) > width.(!best))
+      then best := v
+    done;
+    if !best < 0 then continue := false
+    else begin
+      let v = !best in
+      settled.(v) <- true;
+      List.iter
+        (fun (w, l) ->
+          let through = Stdlib.min width.(v) (Graph.capacity g l) in
+          if (not settled.(w)) && through > width.(w) then begin
+            width.(w) <- through;
+            parent.(w) <- v;
+            parent_link.(w) <- l
+          end)
+        (Graph.neighbors g v)
+    end
+  done;
+  if width.(dst) = neg_infinity then None
+  else Some (extract_path src parent parent_link dst, width.(dst))

@@ -1,0 +1,51 @@
+(** Routing: data-paths from senders to receivers.
+
+    The paper assumes "the network employs a routing algorithm, such
+    that for each receiver … there is a sequence of links that carries
+    data from [X_i] to [r_{i,k}]"; the set of links in the sequence is
+    the receiver's {e data-path}.  We realize that algorithm as
+    breadth-first (minimum-hop) routing with deterministic tie-breaking
+    (lowest link id first), so identical queries always return
+    identical paths — important because several fairness properties
+    compare receivers with {e identical} data-paths. *)
+
+type path = Graph.link_id list
+(** A data-path: the links from sender to receiver, in order. *)
+
+val shortest_path : Graph.t -> Graph.node -> Graph.node -> path option
+(** [shortest_path g src dst] is a minimum-hop path, [None] when [dst]
+    is unreachable.  [Some []] when [src = dst]. *)
+
+val paths_from : Graph.t -> Graph.node -> path option array
+(** [paths_from g src] computes [shortest_path g src dst] for every
+    node [dst] in one BFS (index = destination node).  Tie-breaking
+    matches {!shortest_path}, and the returned paths form a tree: the
+    paths to two destinations agree on their shared prefix. *)
+
+val path_links : path -> Graph.link_id list
+(** The set of links in a path (it is already a list; exposed for
+    symmetry with the paper's set-of-links view of a data-path). *)
+
+val same_path : path -> path -> bool
+(** Whether two data-paths traverse the same {e set} of links (the
+    paper's condition in same-path-receiver-fairness), regardless of
+    order. *)
+
+val reachable : Graph.t -> Graph.node -> Graph.node -> bool
+
+val dijkstra :
+  Graph.t -> weight:(Graph.link_id -> float) -> Graph.node -> (path * float) option array
+(** [dijkstra g ~weight src] computes, for every destination node, a
+    minimum-total-weight path from [src] and its cost ([None] when
+    unreachable; [Some ([], 0.)] for [src] itself).  Weights must be
+    non-negative; a negative weight raises [Invalid_argument].
+    Tie-breaking is deterministic (first-settled parent wins).  With
+    [weight = fun _ -> 1.] this agrees with the BFS cost of
+    {!paths_from} (though the tie-broken paths may differ). *)
+
+val widest_path : Graph.t -> Graph.node -> Graph.node -> (path * float) option
+(** [widest_path g src dst] is a path maximizing the minimum link
+    capacity along it (the max-bottleneck route) together with that
+    bottleneck capacity — the route a capacity-aware multicast overlay
+    would pick.  [None] when unreachable; [Some ([], infinity)] when
+    [src = dst]. *)

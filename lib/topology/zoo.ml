@@ -1,0 +1,89 @@
+type named = {
+  graph : Graph.t;
+  name : string;
+  node_names : string array;
+}
+
+let build name node_names edges capacity =
+  let n = Array.length node_names in
+  let graph = Graph.create ~nodes:n in
+  let index name =
+    let rec find i = if node_names.(i) = name then i else find (i + 1) in
+    find 0
+  in
+  List.iter (fun (a, b) -> ignore (Graph.add_link graph (index a) (index b) capacity)) edges;
+  { graph; name; node_names }
+
+let abilene ?(backbone_capacity = 100.0) () =
+  let nodes =
+    [| "Seattle"; "Sunnyvale"; "LosAngeles"; "Denver"; "KansasCity"; "Houston"; "Chicago";
+       "Indianapolis"; "Atlanta"; "WashingtonDC"; "NewYork" |]
+  in
+  let edges =
+    [
+      ("Seattle", "Sunnyvale");
+      ("Seattle", "Denver");
+      ("Sunnyvale", "LosAngeles");
+      ("Sunnyvale", "Denver");
+      ("LosAngeles", "Houston");
+      ("Denver", "KansasCity");
+      ("KansasCity", "Houston");
+      ("KansasCity", "Indianapolis");
+      ("Houston", "Atlanta");
+      ("Chicago", "Indianapolis");
+      ("Chicago", "NewYork");
+      ("Indianapolis", "Atlanta");
+      ("Atlanta", "WashingtonDC");
+      ("WashingtonDC", "NewYork");
+    ]
+  in
+  build "abilene" nodes edges backbone_capacity
+
+let nsfnet ?(backbone_capacity = 100.0) () =
+  let nodes =
+    [| "Seattle"; "PaloAlto"; "SanDiego"; "SaltLake"; "Boulder"; "Lincoln"; "Champaign";
+       "Houston"; "AnnArbor"; "Pittsburgh"; "Atlanta"; "Ithaca"; "CollegePark"; "Princeton" |]
+  in
+  let edges =
+    [
+      ("Seattle", "PaloAlto");
+      ("Seattle", "SaltLake");
+      ("PaloAlto", "SanDiego");
+      ("PaloAlto", "SaltLake");
+      ("SanDiego", "Houston");
+      ("SaltLake", "Boulder");
+      ("SaltLake", "AnnArbor");
+      ("Boulder", "Lincoln");
+      ("Boulder", "Houston");
+      ("Lincoln", "Champaign");
+      ("Champaign", "Pittsburgh");
+      ("Houston", "Atlanta");
+      ("AnnArbor", "Ithaca");
+      ("AnnArbor", "Princeton");
+      ("Pittsburgh", "Ithaca");
+      ("Pittsburgh", "Atlanta");
+      ("Pittsburgh", "Princeton");
+      ("Atlanta", "CollegePark");
+      ("Ithaca", "CollegePark");
+      ("CollegePark", "Princeton");
+      ("Champaign", "Houston");
+    ]
+  in
+  build "nsfnet" nodes edges backbone_capacity
+
+let node_named t name =
+  let rec find i =
+    if i >= Array.length t.node_names then raise Not_found
+    else if t.node_names.(i) = name then i
+    else find (i + 1)
+  in
+  find 0
+
+let attach_hosts t ~at ~capacities =
+  let pop = node_named t at in
+  Array.map
+    (fun cap ->
+      let host = Graph.add_node t.graph in
+      ignore (Graph.add_link t.graph pop host cap);
+      host)
+    capacities

@@ -1,0 +1,33 @@
+(** A small topology zoo of realistic reference networks.
+
+    Hand-built models of well-known research topologies, for
+    experiments that want something between a toy star and a random
+    graph.  Capacities are in abstract rate units (interpret as
+    Mbit/s or packets/second as the experiment requires). *)
+
+type named = {
+  graph : Graph.t;
+  name : string;
+  node_names : string array;  (** Index = node id. *)
+}
+
+val abilene : ?backbone_capacity:float -> unit -> named
+(** The Abilene / Internet2 research backbone (11 PoPs, 14 links) as
+    of the early 2000s: New York, Chicago, Washington DC, Seattle,
+    Sunnyvale, Los Angeles, Denver, Kansas City, Houston, Atlanta,
+    Indianapolis.  All backbone links share one capacity (default
+    100). *)
+
+val nsfnet : ?backbone_capacity:float -> unit -> named
+(** The 14-node NSFNET T1 backbone (1991 topology, 21 links) — the
+    canonical multicast-simulation backbone of 1990s networking
+    papers. *)
+
+val node_named : named -> string -> Graph.node
+(** Look a node up by name (exact match).  Raises [Not_found]. *)
+
+val attach_hosts :
+  named -> at:string -> capacities:float array -> Graph.node array
+(** [attach_hosts t ~at ~capacities] adds one leaf node per capacity,
+    linked to the named PoP — access networks for senders/receivers.
+    Returns the new nodes. *)

@@ -1,0 +1,76 @@
+module Graph = Mmfair_topology.Graph
+module Network = Mmfair_core.Network
+module Redundancy_fn = Mmfair_core.Redundancy_fn
+
+type labeled = { net : Network.t; link_names : string array }
+
+(* Figure 1.  Nodes: 0 = senders X1, X2; 1 = relay (and X3's uplink
+   target); 2 = the rate-1 receivers r1,1, r2,1, r3,1; 3 = the rate-2
+   receivers r2,2, r3,2; 4 = sender X3. *)
+let figure1 () =
+  let g = Graph.create ~nodes:5 in
+  let _l1 = Graph.add_link g 4 1 5.0 in (* X3's uplink *)
+  let _l2 = Graph.add_link g 0 1 7.0 in (* X1/X2's uplink *)
+  let _l3 = Graph.add_link g 1 3 4.0 in (* to the rate-2 receivers *)
+  let _l4 = Graph.add_link g 1 2 3.0 in (* to the rate-1 receivers *)
+  let s1 = Network.session ~sender:0 ~receivers:[| 2 |] () in
+  let s2 = Network.session ~sender:0 ~receivers:[| 2; 3 |] () in
+  let s3 = Network.session ~sender:4 ~receivers:[| 2; 3 |] () in
+  { net = Network.make g [| s1; s2; s3 |]; link_names = [| "l1"; "l2"; "l3"; "l4" |] }
+
+(* Figure 2.  Nodes: 0 = senders X1, X2; 1 = relay; 2 = r1,1 and r2,1;
+   3 = r1,2; 4 = r1,3. *)
+let figure2 ?(session1_type = Network.Single_rate) () =
+  let g = Graph.create ~nodes:5 in
+  let _l1 = Graph.add_link g 1 2 5.0 in
+  let _l2 = Graph.add_link g 1 3 2.0 in
+  let _l3 = Graph.add_link g 1 4 3.0 in
+  let _l4 = Graph.add_link g 0 1 6.0 in
+  let s1 =
+    Network.session ~session_type:session1_type ~rho:100.0 ~sender:0 ~receivers:[| 2; 3; 4 |] ()
+  in
+  let s2 = Network.session ~rho:100.0 ~sender:0 ~receivers:[| 2 |] () in
+  { net = Network.make g [| s1; s2 |]; link_names = [| "l1"; "l2"; "l3"; "l4" |] }
+
+(* Figure 3(a).  Removing r3,2 lowers r3,1 (8 -> 6) and raises r1,1
+   (2 -> 4).  Nodes: 0 = X1 and r3,1; 1 = X3; 2 = r1,1 and r3,2;
+   3 = X2; 4 = r2,1. *)
+let figure3a () =
+  let g = Graph.create ~nodes:5 in
+  let _q = Graph.add_link g 0 1 10.0 in (* shared by r1,1 and r3,1 *)
+  let _p = Graph.add_link g 1 2 4.0 in (* shared by r1,1 and r3,2 *)
+  let _z = Graph.add_link g 3 4 2.0 in (* r2,1's private link *)
+  let s1 = Network.session ~sender:0 ~receivers:[| 2 |] () in
+  let s2 = Network.session ~sender:3 ~receivers:[| 4 |] () in
+  let s3 = Network.session ~sender:1 ~receivers:[| 0; 2 |] () in
+  ( { net = Network.make g [| s1; s2; s3 |]; link_names = [| "q"; "p"; "z" |] },
+    { Network.session = 2; index = 1 } )
+
+(* Figure 3(b).  Removing r3,2 raises r3,1 (6 -> 7) and lowers r1,1
+   (6 -> 5).  Nodes: 0 = X1 and X2; 1 = X3; 2 = r2,1 and r3,2;
+   3 = r1,1 and r3,1. *)
+let figure3b () =
+  let g = Graph.create ~nodes:4 in
+  let _q = Graph.add_link g 0 1 9.0 in (* shared by r1,1 and r2,1 *)
+  let _p = Graph.add_link g 1 2 4.0 in (* shared by r2,1 and r3,2 *)
+  let _w = Graph.add_link g 1 3 12.0 in (* shared by r1,1 and r3,1 *)
+  let s1 = Network.session ~sender:0 ~receivers:[| 3 |] () in
+  let s2 = Network.session ~sender:0 ~receivers:[| 2 |] () in
+  let s3 = Network.session ~sender:1 ~receivers:[| 3; 2 |] () in
+  ( { net = Network.make g [| s1; s2; s3 |]; link_names = [| "q"; "p"; "w" |] },
+    { Network.session = 2; index = 1 } )
+
+(* Figure 4: figure 2's topology, S1 multi-rate but wasting bandwidth
+   where two or more of its receivers share a link (redundancy 2 from
+   uncoordinated joins); a single downstream receiver needs no
+   coordination, so singleton sets stay efficient. *)
+let figure4 () =
+  let base = figure2 ~session1_type:Network.Multi_rate () in
+  let redundant_double =
+    Redundancy_fn.Custom
+      ( "double-when-shared",
+        fun rates ->
+          let peak = List.fold_left Stdlib.max 0.0 rates in
+          if List.length rates >= 2 then 2.0 *. peak else peak )
+  in
+  { base with net = Network.with_vfns base.net [| redundant_double; Redundancy_fn.Efficient |] }

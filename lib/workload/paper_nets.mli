@@ -1,0 +1,47 @@
+(** The paper's example networks (Figures 1–4), reconstructed.
+
+    The conference figures give capacities, session link rates and
+    receiver rates but only sketch the topologies; these constructors
+    rebuild networks consistent with every stated fact (capacities,
+    [u_{i,j}] labels, max-min rates, and which properties hold or
+    fail).  Where the sketch is ambiguous the reconstruction is the
+    simplest topology reproducing all the figure's numbers; the
+    mapping is documented in DESIGN.md and asserted by golden tests. *)
+
+type labeled = {
+  net : Mmfair_core.Network.t;
+  link_names : string array;
+      (** [link_names.(j)] is the paper's label for our link id [j]
+          (e.g. ["l1"]), since construction order need not match the
+          paper's numbering. *)
+}
+
+val figure1 : unit -> labeled
+(** Three multi-rate sessions over four links (capacities 5, 7, 4, 3).
+    Max-min fair rates: [a₁,₁ = 1], [a₂ = (1, 2)], [a₃ = (1, 2)]; all
+    four fairness properties hold (it illustrates each in Section
+    2.1). *)
+
+val figure2 : ?session1_type:Mmfair_core.Network.session_type -> unit -> labeled
+(** Two sessions, four links (capacities 5, 2, 3, 6), [ρ = 100]:
+    three-receiver session [S₁] (single-rate in the paper's
+    discussion; the optional argument switches it) plus a unicast
+    [S₂] sharing [r₁,₁]'s data-path.  Single-rate max-min rates:
+    [a₁ = 2], [a₂ = 3], failing FP1–FP3; multi-rate rates:
+    [(2.5, 2, 3)], [a₂ = 2.5], satisfying all four. *)
+
+val figure3a : unit -> labeled * Mmfair_core.Network.receiver_id
+(** The Section-2.5 "intra-session decrease" example and the receiver
+    ([r₃,₂]) whose removal makes [r₃,₁]'s fair rate drop (8 → 6)
+    while [r₁,₁]'s rises (2 → 4). *)
+
+val figure3b : unit -> labeled * Mmfair_core.Network.receiver_id
+(** The "intra-session increase" example: removing [r₃,₂] raises
+    [r₃,₁] (6 → 7) and lowers [r₁,₁] (6 → 5). *)
+
+val figure4 : unit -> labeled
+(** Figure-2's topology with [S₁] multi-rate but {e inefficient}: its
+    link rate doubles the maximal downstream rate on links shared by
+    two or more of its receivers (redundancy 2 on the shared link
+    [l₄]).  The max-min fair allocation gives every receiver rate 2
+    and fails FP3/FP4 for [S₂] while FP1/FP2 still hold. *)

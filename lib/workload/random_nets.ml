@@ -1,0 +1,103 @@
+module Graph = Mmfair_topology.Graph
+module Builders = Mmfair_topology.Builders
+module Network = Mmfair_core.Network
+module Allocation = Mmfair_core.Allocation
+module Redundancy_fn = Mmfair_core.Redundancy_fn
+module Xoshiro = Mmfair_prng.Xoshiro
+
+type config = {
+  nodes : int;
+  extra_links : int;
+  sessions : int;
+  max_receivers : int;
+  single_rate_prob : float;
+  finite_rho_prob : float;
+  scaled_vfn_prob : float;
+  cap_lo : float;
+  cap_hi : float;
+}
+
+let default =
+  {
+    nodes = 8;
+    extra_links = 4;
+    sessions = 3;
+    max_receivers = 3;
+    single_rate_prob = 0.3;
+    finite_rho_prob = 0.2;
+    scaled_vfn_prob = 0.0;
+    cap_lo = 1.0;
+    cap_hi = 10.0;
+  }
+
+let validate c =
+  if c.nodes < 2 then invalid_arg "Random_nets: need at least two nodes";
+  if c.sessions < 1 then invalid_arg "Random_nets: need at least one session";
+  if c.max_receivers < 1 then invalid_arg "Random_nets: need at least one receiver";
+  if c.max_receivers >= c.nodes then invalid_arg "Random_nets: max_receivers must be below nodes";
+  if c.extra_links < 0 then invalid_arg "Random_nets: negative extra_links"
+
+let distinct_sample rng ~count ~bound =
+  (* Uniform sample of [count] distinct ints in [0, bound): partial
+     Fisher-Yates over the id array. *)
+  let ids = Array.init bound Fun.id in
+  for i = 0 to count - 1 do
+    let j = i + Xoshiro.below rng (bound - i) in
+    let tmp = ids.(i) in
+    ids.(i) <- ids.(j);
+    ids.(j) <- tmp
+  done;
+  Array.sub ids 0 count
+
+let generate ~rng c =
+  validate c;
+  let g =
+    Builders.random_connected ~rng ~nodes:c.nodes ~extra_links:c.extra_links ~cap_lo:c.cap_lo
+      ~cap_hi:c.cap_hi
+  in
+  let specs =
+    Array.init c.sessions (fun _ ->
+        let receivers_wanted = 1 + Xoshiro.below rng c.max_receivers in
+        let members = distinct_sample rng ~count:(receivers_wanted + 1) ~bound:c.nodes in
+        let sender = members.(0) in
+        let receivers = Array.sub members 1 receivers_wanted in
+        let session_type =
+          if Xoshiro.bernoulli rng c.single_rate_prob then Network.Single_rate else Network.Multi_rate
+        in
+        let rho =
+          if Xoshiro.bernoulli rng c.finite_rho_prob then Xoshiro.uniform rng (c.cap_lo /. 2.0) c.cap_hi
+          else infinity
+        in
+        let vfn =
+          if session_type = Network.Multi_rate && Xoshiro.bernoulli rng c.scaled_vfn_prob then
+            Redundancy_fn.Scaled (Xoshiro.uniform rng 1.0 3.0)
+          else Redundancy_fn.Efficient
+        in
+        Network.session ~session_type ~rho ~vfn ~sender ~receivers ())
+  in
+  Network.make g specs
+
+let random_feasible_allocation ~rng net =
+  let m = Network.session_count net in
+  let rates =
+    Array.init m (fun i ->
+        let spec = Network.session_spec net i in
+        let k = Array.length spec.Network.receivers in
+        let rho = spec.Network.rho in
+        let cap = if Float.is_finite rho then rho else 10.0 in
+        match spec.Network.session_type with
+        | Network.Single_rate ->
+            let a = Xoshiro.uniform rng 0.0 cap in
+            Array.make k a
+        | Network.Multi_rate -> Array.init k (fun _ -> Xoshiro.uniform rng 0.0 cap))
+  in
+  (* Scale down until feasible; halving terminates because the zero
+     allocation is always feasible and usage shrinks monotonically. *)
+  let alloc = ref (Allocation.make net rates) in
+  let guard = ref 200 in
+  while (not (Allocation.is_feasible !alloc)) && !guard > 0 do
+    decr guard;
+    Array.iter (fun per -> Array.iteri (fun k a -> per.(k) <- a /. 2.0) per) rates;
+    alloc := Allocation.make net rates
+  done;
+  if !guard = 0 then Allocation.zero net else !alloc

@@ -1,0 +1,40 @@
+(** Random multicast networks for property-based testing and scaling
+    benches.
+
+    Generates connected capacitated graphs and places sessions with
+    random senders, receiver sets, types, [ρ] limits and (optionally)
+    redundancy functions.  Generation is driven entirely by the given
+    PRNG, so qcheck shrinking/replay and bench comparisons are
+    deterministic per seed. *)
+
+type config = {
+  nodes : int;             (** Graph size (≥ 2). *)
+  extra_links : int;       (** Links beyond the random spanning tree. *)
+  sessions : int;          (** Number of sessions (≥ 1). *)
+  max_receivers : int;     (** Per-session receiver cap (≥ 1). *)
+  single_rate_prob : float;  (** Probability a session is single-rate. *)
+  finite_rho_prob : float;   (** Probability a session gets a finite [ρ]. *)
+  scaled_vfn_prob : float;
+      (** Probability a multi-rate session gets a [Scaled v] link-rate
+          function with [v] uniform in [[1, 3]] (0 = all efficient). *)
+  cap_lo : float;
+  cap_hi : float;
+}
+
+val default : config
+(** 8 nodes, 4 extra links, 3 sessions, ≤ 3 receivers, 30% single-rate,
+    20% finite ρ, all-efficient, capacities in [[1, 10)]. *)
+
+val generate : rng:Mmfair_prng.Xoshiro.t -> config -> Mmfair_core.Network.t
+(** Builds a network; retries receiver placement until every session's
+    members sit on distinct nodes (always possible when
+    [nodes > max_receivers]).  Raises [Invalid_argument] on a config
+    violating the field constraints. *)
+
+val random_feasible_allocation :
+  rng:Mmfair_prng.Xoshiro.t -> Mmfair_core.Network.t -> Mmfair_core.Allocation.t
+(** A random {e feasible} allocation of the network: scales a random
+    rate vector down until all capacity and [ρ] constraints hold
+    (single-rate sessions get equal rates).  Used to exercise Lemma 1
+    (any feasible allocation is min-unfavorable to the max-min fair
+    one). *)

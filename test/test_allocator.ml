@@ -1,0 +1,454 @@
+(* Allocator tests: paper goldens (Figures 1-4), engine agreement,
+   and property-based verification of the paper's theorems.
+
+   Theorem/lemma coverage:
+   - Lemma 1: every feasible allocation is min-unfavorable to the MMF
+     allocation (randomized feasible alternatives).
+   - Theorem 1: in an all-multi-rate network the MMF allocation
+     satisfies all four fairness properties (random networks).
+   - Theorem 2(c): per-session-link-fairness holds for every session
+     in mixed networks.
+   - Lemma 3 / Corollary 1: replacing single-rate sessions with
+     multi-rate ones is monotone under the min-unfavorable relation.
+   - Lemma 4: dominating redundancy functions yield min-unfavorable
+     MMF allocations.
+   - Lemma 9 (TR): switching one session to multi-rate never lowers
+     that session's receivers' rates. *)
+
+module Graph = Mmfair_topology.Graph
+module Network = Mmfair_core.Network
+module Allocation = Mmfair_core.Allocation
+module Allocator = Mmfair_core.Allocator
+module Ordering = Mmfair_core.Ordering
+module Properties = Mmfair_core.Properties
+module Redundancy_fn = Mmfair_core.Redundancy_fn
+module Paper_nets = Mmfair_workload.Paper_nets
+module Random_nets = Mmfair_workload.Random_nets
+
+let feq ?(eps = 1e-9) what a b =
+  Alcotest.(check bool) (Printf.sprintf "%s: %g vs %g" what a b) true (Float.abs (a -. b) <= eps)
+
+let check_rates what net expected =
+  let alloc = Allocator.max_min net in
+  Array.iteri
+    (fun i per ->
+      Array.iteri
+        (fun k e ->
+          feq ~eps:1e-7 (Printf.sprintf "%s a%d,%d" what (i + 1) (k + 1)) e
+            (Allocation.rate alloc { Network.session = i; index = k }))
+        per)
+    expected;
+  alloc
+
+(* --- paper goldens --- *)
+
+let test_figure1 () =
+  let { Paper_nets.net; _ } = Paper_nets.figure1 () in
+  let alloc = check_rates "fig1" net [| [| 1.0 |]; [| 1.0; 2.0 |]; [| 1.0; 2.0 |] |] in
+  Alcotest.(check bool) "all properties hold" true (Properties.holds_all alloc)
+
+let test_figure2_single () =
+  let { Paper_nets.net; _ } = Paper_nets.figure2 () in
+  ignore (check_rates "fig2 single" net [| [| 2.0; 2.0; 2.0 |]; [| 3.0 |] |])
+
+let test_figure2_multi () =
+  let { Paper_nets.net; _ } = Paper_nets.figure2 ~session1_type:Network.Multi_rate () in
+  let alloc = check_rates "fig2 multi" net [| [| 2.5; 2.0; 3.0 |]; [| 2.5 |] |] in
+  Alcotest.(check bool) "Theorem 1 on fig2" true (Properties.holds_all alloc)
+
+let test_figure3a () =
+  let { Paper_nets.net; _ }, victim = Paper_nets.figure3a () in
+  ignore (check_rates "fig3a before" net [| [| 2.0 |]; [| 2.0 |]; [| 8.0; 2.0 |] |]);
+  let after = Network.without_receiver net victim in
+  ignore (check_rates "fig3a after" after [| [| 4.0 |]; [| 2.0 |]; [| 6.0 |] |])
+
+let test_figure3b () =
+  let { Paper_nets.net; _ }, victim = Paper_nets.figure3b () in
+  ignore (check_rates "fig3b before" net [| [| 6.0 |]; [| 2.0 |]; [| 6.0; 2.0 |] |]);
+  let after = Network.without_receiver net victim in
+  ignore (check_rates "fig3b after" after [| [| 5.0 |]; [| 4.0 |]; [| 7.0 |] |])
+
+let test_figure4 () =
+  let { Paper_nets.net; _ } = Paper_nets.figure4 () in
+  let alloc = check_rates "fig4" net [| [| 2.0; 2.0; 2.0 |]; [| 2.0 |] |] in
+  let report = Properties.check_all alloc in
+  Alcotest.(check bool) "FP1 holds" true (report.Properties.fully_utilized_receiver = []);
+  Alcotest.(check bool) "FP2 holds" true (report.Properties.same_path_receiver = []);
+  Alcotest.(check bool) "FP3 fails" false (report.Properties.per_receiver_link = []);
+  Alcotest.(check bool) "FP4 fails" false (report.Properties.per_session_link = [])
+
+(* --- textbook scenarios --- *)
+
+let test_unicast_bottleneck_sharing () =
+  (* Two unicast flows over one link split it evenly. *)
+  let g = Graph.create ~nodes:3 in
+  ignore (Graph.add_link g 0 1 8.0);
+  ignore (Graph.add_link g 1 2 8.0);
+  let s () = Network.session ~sender:0 ~receivers:[| 2 |] () in
+  let net = Network.make g [| s (); s () |] in
+  ignore (check_rates "even split" net [| [| 4.0 |]; [| 4.0 |] |])
+
+let test_rho_binding () =
+  let g = Graph.create ~nodes:3 in
+  ignore (Graph.add_link g 0 1 8.0);
+  ignore (Graph.add_link g 1 2 8.0);
+  let s rho = Network.session ~rho ~sender:0 ~receivers:[| 2 |] () in
+  let net = Network.make g [| s 1.0; s infinity |] in
+  (* S0 stops at rho=1; S1 takes the rest. *)
+  ignore (check_rates "rho binding" net [| [| 1.0 |]; [| 7.0 |] |])
+
+let test_classic_three_flow () =
+  (* Bertsekas-Gallagher style: chain 0-1-2-3 with caps 2,4,4; flows:
+     A: 0->3 (crosses all), B: 0->1, C: 1->3, D: 2->3.
+     Water-fill: l0 (c2): A,B -> 1 each; l1 (c4): A,C -> C up to 3;
+     l2 (c4): A,C,D -> D gets 4-1-3 = 0? order: t=1: l0 full (A,B=1).
+     t: l1: 1 + t = 4 -> t=3; l2: 1 + t + t = 4 -> t=1.5 first: C=D=1.5.
+     then l1 slack. So expected A=1, B=1, C=1.5, D=1.5. *)
+  let g = Graph.create ~nodes:4 in
+  ignore (Graph.add_link g 0 1 2.0);
+  ignore (Graph.add_link g 1 2 4.0);
+  ignore (Graph.add_link g 2 3 4.0);
+  let s a b = Network.session ~sender:a ~receivers:[| b |] () in
+  let net = Network.make g [| s 0 3; s 0 1; s 1 3; s 2 3 |] in
+  ignore (check_rates "three-flow chain" net [| [| 1.0 |]; [| 1.0 |]; [| 1.5 |]; [| 1.5 |] |])
+
+let test_multirate_shares_link_once () =
+  (* One session, two receivers behind the same bottleneck: with
+     Efficient layering the session pays max(a1,a2) once, so both can
+     take the full capacity. *)
+  let g = Graph.create ~nodes:4 in
+  ignore (Graph.add_link g 0 1 4.0);
+  ignore (Graph.add_link g 1 2 4.0);
+  ignore (Graph.add_link g 1 3 2.0);
+  let net = Network.make g [| Network.session ~sender:0 ~receivers:[| 2; 3 |] () |] in
+  ignore (check_rates "sharing" net [| [| 4.0; 2.0 |] |])
+
+let test_single_rate_binds_session () =
+  let g = Graph.create ~nodes:4 in
+  ignore (Graph.add_link g 0 1 4.0);
+  ignore (Graph.add_link g 1 2 4.0);
+  ignore (Graph.add_link g 1 3 2.0);
+  let net =
+    Network.make g
+      [| Network.session ~session_type:Network.Single_rate ~sender:0 ~receivers:[| 2; 3 |] () |]
+  in
+  (* The slow branch caps the whole session. *)
+  ignore (check_rates "single-rate bound" net [| [| 2.0; 2.0 |] |])
+
+let test_additive_vfn_splits () =
+  (* A 2-receiver "multicast" session realized as unicast connections
+     (Additive) pays twice on the shared link. *)
+  let g = Graph.create ~nodes:4 in
+  ignore (Graph.add_link g 0 1 4.0);
+  ignore (Graph.add_link g 1 2 4.0);
+  ignore (Graph.add_link g 1 3 4.0);
+  let net =
+    Network.make g [| Network.session ~vfn:Redundancy_fn.Additive ~sender:0 ~receivers:[| 2; 3 |] () |]
+  in
+  ignore (check_rates "additive split" net [| [| 2.0; 2.0 |] |])
+
+let test_trace_rounds () =
+  let { Paper_nets.net; _ } = Paper_nets.figure2 ~session1_type:Network.Multi_rate () in
+  let { Allocator.rounds; allocation } = Allocator.max_min_trace net in
+  Alcotest.(check bool) "at least two rounds" true (List.length rounds >= 2);
+  let total_frozen = List.fold_left (fun acc r -> acc + List.length r.Allocator.frozen) 0 rounds in
+  Alcotest.(check int) "every receiver frozen exactly once" 4 total_frozen;
+  List.iter
+    (fun r -> Alcotest.(check bool) "increments non-negative" true (r.Allocator.increment >= 0.0))
+    rounds;
+  Alcotest.(check bool) "result feasible" true (Allocation.is_feasible allocation)
+
+let test_bottleneck_links () =
+  let { Paper_nets.net; _ } = Paper_nets.figure2 ~session1_type:Network.Multi_rate () in
+  let alloc = Allocator.max_min net in
+  (* r1,2's bottleneck is l2 (graph id 1). *)
+  Alcotest.(check (list int)) "r1,2 bottleneck" [ 1 ]
+    (Allocator.bottleneck_links alloc { Network.session = 0; index = 1 })
+
+(* --- engine agreement and generalized vfns --- *)
+
+let test_engines_agree_on_paper_nets () =
+  List.iter
+    (fun net ->
+      let lin = Allocator.max_min ~engine:`Linear net in
+      let bis = Allocator.max_min ~engine:`Bisection net in
+      Array.iter
+        (fun (r : Network.receiver_id) ->
+          feq ~eps:1e-6 "engine agreement" (Allocation.rate lin r) (Allocation.rate bis r))
+        (Network.all_receivers net))
+    [
+      (Paper_nets.figure1 ()).Paper_nets.net;
+      (Paper_nets.figure2 ()).Paper_nets.net;
+      (Paper_nets.figure2 ~session1_type:Network.Multi_rate ()).Paper_nets.net;
+      (fst (Paper_nets.figure3a ())).Paper_nets.net;
+      (fst (Paper_nets.figure3b ())).Paper_nets.net;
+    ]
+
+let test_linear_engine_rejects_custom () =
+  let { Paper_nets.net; _ } = Paper_nets.figure4 () in
+  Alcotest.check_raises "custom vfn needs bisection"
+    (Invalid_argument "Allocator.max_min: linear engine requires linear link-rate functions")
+    (fun () -> ignore (Allocator.max_min ~engine:`Linear net))
+
+let test_custom_vfn_equals_scaled () =
+  (* A Custom function equal to Scaled 2 must produce the same MMF
+     allocation through the bisection engine. *)
+  let build vfn =
+    let g = Graph.create ~nodes:4 in
+    ignore (Graph.add_link g 0 1 6.0);
+    ignore (Graph.add_link g 1 2 6.0);
+    ignore (Graph.add_link g 1 3 6.0);
+    Network.make g
+      [|
+        Network.session ~vfn ~sender:0 ~receivers:[| 2; 3 |] ();
+        Network.session ~sender:0 ~receivers:[| 2 |] ();
+      |]
+  in
+  let scaled = Allocator.max_min (build (Redundancy_fn.Scaled 2.0)) in
+  let custom =
+    Allocator.max_min
+      (build (Redundancy_fn.Custom ("2max", fun rs -> 2.0 *. List.fold_left Stdlib.max 0.0 rs)))
+  in
+  Array.iter
+    (fun (r : Network.receiver_id) ->
+      feq ~eps:1e-6 "custom = scaled" (Allocation.rate scaled r) (Allocation.rate custom r))
+    (Network.all_receivers (Allocation.network scaled))
+
+(* --- property-based theorem checks --- *)
+
+let net_of_seed ?(config = Random_nets.default) seed =
+  let rng = Mmfair_prng.Xoshiro.create ~seed:(Int64.of_int seed) () in
+  Random_nets.generate ~rng config
+
+let qcheck_mmf_feasible =
+  QCheck.Test.make ~name:"MMF allocation is always feasible" ~count:150 QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let net = net_of_seed seed in
+      Allocation.is_feasible ~eps:1e-6 (Allocator.max_min net))
+
+let qcheck_lemma1 =
+  QCheck.Test.make ~name:"Lemma 1: feasible allocations are min-unfavorable to MMF" ~count:150
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Mmfair_prng.Xoshiro.create ~seed:(Int64.of_int (seed + 1)) () in
+      let net = net_of_seed seed in
+      let mmf = Ordering.sort (Allocation.ordered_vector (Allocator.max_min net)) in
+      let ok = ref true in
+      for _ = 1 to 5 do
+        let alt = Random_nets.random_feasible_allocation ~rng net in
+        let v = Ordering.sort (Allocation.ordered_vector alt) in
+        if not (Ordering.leq v mmf) then ok := false
+      done;
+      !ok)
+
+let qcheck_theorem1 =
+  QCheck.Test.make ~name:"Theorem 1: multi-rate MMF satisfies all four properties" ~count:150
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let config = { Random_nets.default with Random_nets.single_rate_prob = 0.0 } in
+      let net = net_of_seed ~config seed in
+      Properties.holds_all ~eps:1e-6 (Allocator.max_min net))
+
+let qcheck_theorem2c =
+  QCheck.Test.make ~name:"Theorem 2(c): per-session-link-fairness holds in mixed networks"
+    ~count:150
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let config = { Random_nets.default with Random_nets.single_rate_prob = 0.5 } in
+      let net = net_of_seed ~config seed in
+      Mmfair_core.Properties.per_session_link_fair ~eps:1e-6 (Allocator.max_min net) = [])
+
+let qcheck_theorem2_multi_sessions =
+  QCheck.Test.make
+    ~name:"Theorem 2(a,b): FP1 and FP3 hold for multi-rate sessions in mixed networks" ~count:150
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let config = { Random_nets.default with Random_nets.single_rate_prob = 0.5 } in
+      let net = net_of_seed ~config seed in
+      let alloc = Allocator.max_min net in
+      let fp1 = Mmfair_core.Properties.fully_utilized_receiver_fair ~eps:1e-6 alloc in
+      let fp3 = Mmfair_core.Properties.per_receiver_link_fair ~eps:1e-6 alloc in
+      let is_multi (i : int) = Network.session_type net i = Network.Multi_rate in
+      List.for_all
+        (fun (v : Mmfair_core.Properties.fully_utilized_violation) ->
+          not (is_multi v.Mmfair_core.Properties.receiver.Network.session))
+        fp1
+      && List.for_all
+           (fun (v : Mmfair_core.Properties.per_receiver_link_violation) ->
+             not (is_multi v.Mmfair_core.Properties.receiver.Network.session))
+           fp3)
+
+let qcheck_lemma3 =
+  QCheck.Test.make
+    ~name:"Lemma 3: flipping single-rate sessions to multi-rate is ≼m-monotone" ~count:100
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let config = { Random_nets.default with Random_nets.single_rate_prob = 1.0; sessions = 3 } in
+      let net = net_of_seed ~config seed in
+      let m = Network.session_count net in
+      let vec types =
+        Ordering.sort (Allocation.ordered_vector (Allocator.max_min (Network.with_session_types net types)))
+      in
+      let ok = ref true in
+      let prev = ref (vec (Array.make m Network.Single_rate)) in
+      for k = 1 to m do
+        let types = Array.init m (fun i -> if i < k then Network.Multi_rate else Network.Single_rate) in
+        let v = vec types in
+        if not (Ordering.leq !prev v) then ok := false;
+        prev := v
+      done;
+      !ok)
+
+let qcheck_lemma4 =
+  QCheck.Test.make ~name:"Lemma 4: higher redundancy gives a ≼m-smaller MMF allocation" ~count:100
+    QCheck.(pair (int_range 0 100_000) (float_range 1.0 3.0))
+    (fun (seed, v) ->
+      let config = { Random_nets.default with Random_nets.single_rate_prob = 0.0 } in
+      let net = net_of_seed ~config seed in
+      let m = Network.session_count net in
+      let base = Allocator.max_min net in
+      let redundant =
+        Allocator.max_min (Network.with_vfns net (Array.make m (Redundancy_fn.Scaled v)))
+      in
+      Ordering.leq
+        (Ordering.sort (Allocation.ordered_vector redundant))
+        (Ordering.sort (Allocation.ordered_vector base)))
+
+let qcheck_lemma9 =
+  QCheck.Test.make
+    ~name:"Lemma 9 (TR): making one session multi-rate never lowers its receivers' rates"
+    ~count:100
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let config = { Random_nets.default with Random_nets.single_rate_prob = 1.0 } in
+      let net = net_of_seed ~config seed in
+      let m = Network.session_count net in
+      let single = Allocator.max_min net in
+      let ok = ref true in
+      for i = 0 to m - 1 do
+        let types =
+          Array.init m (fun j -> if j = i then Network.Multi_rate else Network.Single_rate)
+        in
+        let multi = Allocator.max_min (Network.with_session_types net types) in
+        Array.iter
+          (fun (r : Network.receiver_id) ->
+            if Allocation.rate multi r < Allocation.rate single r -. 1e-6 then ok := false)
+          (Network.receivers_of_session net i)
+      done;
+      !ok)
+
+let qcheck_engines_agree =
+  QCheck.Test.make ~name:"linear and bisection engines agree on random networks" ~count:100
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let config = { Random_nets.default with Random_nets.scaled_vfn_prob = 0.3 } in
+      let net = net_of_seed ~config seed in
+      let lin = Allocator.max_min ~engine:`Linear net in
+      let bis = Allocator.max_min ~engine:`Bisection net in
+      Array.for_all
+        (fun (r : Network.receiver_id) ->
+          Float.abs (Allocation.rate lin r -. Allocation.rate bis r)
+          <= 1e-5 *. Stdlib.max 1.0 (Allocation.rate lin r))
+        (Network.all_receivers net))
+
+let qcheck_bottleneck_or_rho =
+  QCheck.Test.make
+    ~name:"every MMF receiver is bottlenecked or rho-bound (or single-rate coupled)" ~count:150
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let net = net_of_seed seed in
+      let alloc = Allocator.max_min net in
+      Array.for_all
+        (fun (r : Network.receiver_id) ->
+          let i = r.Network.session in
+          let rho = Network.rho net i in
+          let at_rho = Float.is_finite rho && Allocation.rate alloc r >= rho -. 1e-6 in
+          let bottlenecked (r' : Network.receiver_id) =
+            Allocator.bottleneck_links alloc r' <> []
+          in
+          (* a single-rate session is pinned if ANY of its receivers is *)
+          let session_pinned =
+            Network.session_type net i = Network.Single_rate
+            && Array.exists bottlenecked (Network.receivers_of_session net i)
+          in
+          at_rho || bottlenecked r || session_pinned)
+        (Network.all_receivers net))
+
+let suite =
+  [
+    Alcotest.test_case "figure 1 golden" `Quick test_figure1;
+    Alcotest.test_case "figure 2 single-rate golden" `Quick test_figure2_single;
+    Alcotest.test_case "figure 2 multi-rate golden" `Quick test_figure2_multi;
+    Alcotest.test_case "figure 3a golden" `Quick test_figure3a;
+    Alcotest.test_case "figure 3b golden" `Quick test_figure3b;
+    Alcotest.test_case "figure 4 golden" `Quick test_figure4;
+    Alcotest.test_case "unicast bottleneck sharing" `Quick test_unicast_bottleneck_sharing;
+    Alcotest.test_case "rho binding" `Quick test_rho_binding;
+    Alcotest.test_case "classic chain flows" `Quick test_classic_three_flow;
+    Alcotest.test_case "multi-rate pays link once" `Quick test_multirate_shares_link_once;
+    Alcotest.test_case "single-rate binds session" `Quick test_single_rate_binds_session;
+    Alcotest.test_case "additive vfn splits" `Quick test_additive_vfn_splits;
+    Alcotest.test_case "trace rounds" `Quick test_trace_rounds;
+    Alcotest.test_case "bottleneck links" `Quick test_bottleneck_links;
+    Alcotest.test_case "engines agree on paper nets" `Quick test_engines_agree_on_paper_nets;
+    Alcotest.test_case "linear engine rejects custom" `Quick test_linear_engine_rejects_custom;
+    Alcotest.test_case "custom vfn equals scaled" `Quick test_custom_vfn_equals_scaled;
+    QCheck_alcotest.to_alcotest qcheck_mmf_feasible;
+    QCheck_alcotest.to_alcotest qcheck_lemma1;
+    QCheck_alcotest.to_alcotest qcheck_theorem1;
+    QCheck_alcotest.to_alcotest qcheck_theorem2c;
+    QCheck_alcotest.to_alcotest qcheck_theorem2_multi_sessions;
+    QCheck_alcotest.to_alcotest qcheck_lemma3;
+    QCheck_alcotest.to_alcotest qcheck_lemma4;
+    QCheck_alcotest.to_alcotest qcheck_lemma9;
+    QCheck_alcotest.to_alcotest qcheck_engines_agree;
+    QCheck_alcotest.to_alcotest qcheck_bottleneck_or_rho;
+  ]
+
+let qcheck_certify_equals_fp1 =
+  (* Certify's verdict must coincide with feasibility + FP1 on
+     multi-rate efficient networks — the documented equivalence. *)
+  QCheck.Test.make ~name:"Certify = feasible + FP1 on multi-rate networks" ~count:100
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let config = { Random_nets.default with Random_nets.single_rate_prob = 0.0 } in
+      let net = net_of_seed ~config seed in
+      let rng = Mmfair_prng.Xoshiro.create ~seed:(Int64.of_int (seed + 7)) () in
+      let candidates =
+        Allocator.max_min net :: List.init 3 (fun _ -> Random_nets.random_feasible_allocation ~rng net)
+      in
+      List.for_all
+        (fun alloc ->
+          let certified = Mmfair_core.Certify.is_max_min ~eps:1e-6 alloc in
+          let reference =
+            Allocation.is_feasible ~eps:1e-6 alloc
+            && Mmfair_core.Properties.fully_utilized_receiver_fair ~eps:1e-6 alloc = []
+          in
+          certified = reference)
+        candidates)
+
+let qcheck_weighted_unit_equals_unweighted =
+  (* all-ones weights must change nothing (the weighted allocator's
+     base case runs through the bisection engine). *)
+  QCheck.Test.make ~name:"unit weights reproduce the unweighted allocation" ~count:75
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let net = net_of_seed seed in
+      let weights =
+        Array.init (Network.session_count net) (fun i ->
+            Array.map (fun _ -> 1.0) (Network.session_spec net i).Network.receivers)
+      in
+      let a = Allocator.max_min net in
+      let b = Allocator.max_min ~engine:`Bisection (Network.with_weights net weights) in
+      Array.for_all
+        (fun (r : Network.receiver_id) ->
+          Float.abs (Allocation.rate a r -. Allocation.rate b r)
+          <= 1e-5 *. Stdlib.max 1.0 (Allocation.rate a r))
+        (Network.all_receivers net))
+
+let suite =
+  suite
+  @ [
+      QCheck_alcotest.to_alcotest qcheck_certify_equals_fp1;
+      QCheck_alcotest.to_alcotest qcheck_weighted_unit_equals_unweighted;
+    ]

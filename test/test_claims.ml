@@ -1,0 +1,55 @@
+(* Tests for the Section-4 side-claim experiments. *)
+
+module Protocol = Mmfair_protocols.Protocol
+module E = Mmfair_experiments
+
+let test_receiver_scaling_shape () =
+  let curves =
+    E.Scaling_claims.receiver_scaling ~counts:[ 2; 10; 50; 100; 200 ] ~packets:20_000
+      ~independent_loss:0.03 ()
+  in
+  Alcotest.(check int) "three curves" 3 (List.length curves);
+  List.iter
+    (fun c ->
+      let at n =
+        (List.find (fun p -> p.E.Scaling_claims.receivers = n) c.E.Scaling_claims.points)
+          .E.Scaling_claims.redundancy
+      in
+      (* growth: more receivers, more redundancy (allowing protocol noise) *)
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: grows 2 -> 100 (%.2f -> %.2f)"
+           (Protocol.kind_name c.E.Scaling_claims.kind) (at 2) (at 100))
+        true
+        (at 100 > at 2);
+      (* saturation: the 100 -> 200 step is small compared to 2 -> 100 *)
+      let growth = at 100 -. at 2 and tail = Float.abs (at 200 -. at 100) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: saturating (tail %.2f vs growth %.2f)"
+           (Protocol.kind_name c.E.Scaling_claims.kind) tail growth)
+        true
+        (tail < 0.75 *. growth))
+    curves
+
+let test_identical_loss_dominates_at_scale () =
+  let rows = E.Scaling_claims.heterogeneous_loss ~receivers:60 ~packets:20_000 ~mean_loss:0.03 () in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: identical %.2f >= two-point %.2f"
+           (Protocol.kind_name r.E.Scaling_claims.kind) r.E.Scaling_claims.identical
+           r.E.Scaling_claims.two_point)
+        true
+        (r.E.Scaling_claims.identical >= r.E.Scaling_claims.two_point -. 1e-6);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: identical %.2f >= spread %.2f"
+           (Protocol.kind_name r.E.Scaling_claims.kind) r.E.Scaling_claims.identical
+           r.E.Scaling_claims.spread)
+        true
+        (r.E.Scaling_claims.identical >= r.E.Scaling_claims.spread -. 1e-6))
+    rows
+
+let suite =
+  [
+    Alcotest.test_case "receiver scaling saturates" `Slow test_receiver_scaling_shape;
+    Alcotest.test_case "identical loss dominates at scale" `Slow test_identical_loss_dominates_at_scale;
+  ]

@@ -1,0 +1,183 @@
+(* Experiment-harness tests: table rendering, per-figure outcomes
+   against the paper's stated results, and integration shapes. *)
+
+module E = Mmfair_experiments
+module Table = Mmfair_experiments.Table
+module Network = Mmfair_core.Network
+
+let test_table_make_and_render () =
+  let t = Table.make ~title:"t" ~columns:[ "a"; "b" ] [ [ "1"; "2" ]; [ "30"; "40" ] ] in
+  let buf = Buffer.create 64 in
+  let fmt = Format.formatter_of_buffer buf in
+  Table.render fmt t;
+  Format.pp_print_flush fmt ();
+  let s = Buffer.contents buf in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && s.[0] = 't');
+  Alcotest.(check bool) "contains cell" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> String.trim l = "| 30 | 40 |"))
+
+let test_table_width_mismatch () =
+  Alcotest.check_raises "ragged rows" (Invalid_argument "Table.make: row 0 has 1 cells, expected 2")
+    (fun () -> ignore (Table.make ~title:"t" ~columns:[ "a"; "b" ] [ [ "1" ] ]))
+
+let test_table_csv () =
+  let t = Table.make ~title:"t" ~columns:[ "a"; "b" ] [ [ "x,y"; "q\"z" ] ] in
+  Alcotest.(check string) "csv quoting" "a,b\n\"x,y\",\"q\"\"z\"\n" (Table.to_csv t)
+
+let test_cell_f () =
+  Alcotest.(check string) "integer" "2" (Table.cell_f 2.0);
+  Alcotest.(check string) "fraction" "2.5" (Table.cell_f 2.5)
+
+let test_fig1_outcome () =
+  let o = E.Fig_examples.run_figure1 () in
+  Alcotest.(check bool) "all properties hold" true
+    (Mmfair_core.Properties.holds_all o.E.Fig_examples.allocation);
+  Alcotest.(check int) "rows = receivers + property line" 6
+    (List.length o.E.Fig_examples.table.Table.rows)
+
+let test_fig2_both_types () =
+  let single = E.Fig_examples.run_figure2 ~session1_type:Network.Single_rate () in
+  let multi = E.Fig_examples.run_figure2 ~session1_type:Network.Multi_rate () in
+  Alcotest.(check bool) "single-rate fails FP1" true
+    (single.E.Fig_examples.properties.Mmfair_core.Properties.fully_utilized_receiver <> []);
+  Alcotest.(check bool) "multi-rate clean" true
+    (Mmfair_core.Properties.holds_all multi.E.Fig_examples.allocation)
+
+let test_fig3_directions () =
+  let a = E.Fig_examples.run_figure3a () in
+  let b = E.Fig_examples.run_figure3b () in
+  let rate alloc i k = Mmfair_core.Allocation.rate alloc { Network.session = i; index = k } in
+  (* (a): r3,1 decreases, r1,1 increases *)
+  Alcotest.(check bool) "a: r3,1 down" true
+    (rate a.E.Fig_examples.after 2 0 < rate a.E.Fig_examples.before 2 0);
+  Alcotest.(check bool) "a: r1,1 up" true
+    (rate a.E.Fig_examples.after 0 0 > rate a.E.Fig_examples.before 0 0);
+  (* (b): r3,1 increases, r1,1 decreases *)
+  Alcotest.(check bool) "b: r3,1 up" true
+    (rate b.E.Fig_examples.after 2 0 > rate b.E.Fig_examples.before 2 0);
+  Alcotest.(check bool) "b: r1,1 down" true
+    (rate b.E.Fig_examples.after 0 0 < rate b.E.Fig_examples.before 0 0)
+
+let test_fig5_curves () =
+  let curves = E.Fig5_random_joins.run () in
+  Alcotest.(check int) "five curves" 5 (List.length curves);
+  List.iter
+    (fun c ->
+      (* redundancy is 1 for a single receiver and non-decreasing *)
+      let points = c.E.Fig5_random_joins.points in
+      (match points with
+      | p :: _ ->
+          Alcotest.(check (float 1e-9)) (c.E.Fig5_random_joins.label ^ " starts at 1") 1.0
+            p.E.Fig5_random_joins.expected
+      | [] -> Alcotest.fail "empty curve");
+      let rec non_decreasing = function
+        | a :: (b :: _ as rest) ->
+            a.E.Fig5_random_joins.expected <= b.E.Fig5_random_joins.expected +. 1e-9
+            && non_decreasing rest
+        | _ -> true
+      in
+      Alcotest.(check bool) (c.E.Fig5_random_joins.label ^ " monotone") true (non_decreasing points);
+      (* bounded by the asymptote *)
+      let bound = E.Fig5_random_joins.asymptote ~label:c.E.Fig5_random_joins.label in
+      List.iter
+        (fun p ->
+          Alcotest.(check bool) "below asymptote" true (p.E.Fig5_random_joins.expected <= bound +. 1e-9))
+        points)
+    curves
+
+let test_fig5_simulated () =
+  let curves = E.Fig5_random_joins.run ~simulate:true () in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun p ->
+          match p.E.Fig5_random_joins.simulated with
+          | Some s ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s @%d: sim %.3f ~ formula %.3f" c.E.Fig5_random_joins.label
+                   p.E.Fig5_random_joins.receivers s p.E.Fig5_random_joins.expected)
+                true
+                (Float.abs (s -. p.E.Fig5_random_joins.expected)
+                < 0.1 *. p.E.Fig5_random_joins.expected)
+          | None -> Alcotest.fail "expected simulation")
+        c.E.Fig5_random_joins.points)
+    curves
+
+let test_fig6_closed_form_vs_allocator () =
+  let curves = E.Fig6_fair_rate.run ~sessions:50 () in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun p ->
+          Alcotest.(check (float 1e-6))
+            (Printf.sprintf "m/n=%g v=%g" c.E.Fig6_fair_rate.ratio p.E.Fig6_fair_rate.redundancy)
+            p.E.Fig6_fair_rate.closed_form p.E.Fig6_fair_rate.allocator)
+        c.E.Fig6_fair_rate.points)
+    curves
+
+let test_nonexistence_outcome () =
+  let o = E.Nonexistence.run () in
+  Alcotest.(check int) "seven feasible" 7 o.E.Nonexistence.feasible_count;
+  Alcotest.(check bool) "no MMF" false o.E.Nonexistence.max_min_exists
+
+let test_replacement_figure2 () =
+  let o = E.Replacement.run_figure2 () in
+  Alcotest.(check bool) "monotone" true o.E.Replacement.monotone;
+  Alcotest.(check int) "3 steps (0, 1, 2 multi-rate)" 3 (List.length o.E.Replacement.steps);
+  (* last step (all multi-rate) satisfies all properties — Theorem 1 *)
+  let last = List.nth o.E.Replacement.steps 2 in
+  Alcotest.(check bool) "all-multi-rate step clean" true last.E.Replacement.properties_hold
+
+let test_replacement_random_monotone () =
+  List.iter
+    (fun seed ->
+      let o = E.Replacement.run_random ~seed () in
+      Alcotest.(check bool) (Printf.sprintf "monotone (seed %Ld)" seed) true o.E.Replacement.monotone)
+    [ 1L; 2L; 3L; 4L; 5L ]
+
+let test_markov_tables () =
+  let grids = E.Markov_redundancy.run ~layers:3 ~shared_loss:0.001 ~losses:[ 0.01; 0.03 ] () in
+  Alcotest.(check int) "three protocols" 3 (List.length grids);
+  List.iter
+    (fun g ->
+      Alcotest.(check int) "2x2 grid" 4 (List.length g.E.Markov_redundancy.points);
+      let t = E.Markov_redundancy.to_table g in
+      Alcotest.(check int) "2 rows" 2 (List.length t.Table.rows))
+    grids
+
+let test_fig8_table_smoke () =
+  (* Tiny scale, still end-to-end through Runner + CI. *)
+  let scale =
+    { E.Fig8_protocols.receivers = 8; packets = 4_000; runs = 2; layers = 6; losses = [ 0.0; 0.05 ] }
+  in
+  let curves = E.Fig8_protocols.run ~scale ~shared_loss:0.001 ~seed:9L () in
+  Alcotest.(check int) "three curves" 3 (List.length curves);
+  let t = E.Fig8_protocols.to_table ~shared_loss:0.001 curves in
+  Alcotest.(check int) "two loss rows" 2 (List.length t.Table.rows);
+  List.iter
+    (fun c ->
+      List.iter
+        (fun p ->
+          Alcotest.(check bool) "redundancy positive" true
+            (p.E.Fig8_protocols.redundancy.Mmfair_stats.Ci.mean > 0.0))
+        c.E.Fig8_protocols.points)
+    curves
+
+let suite =
+  [
+    Alcotest.test_case "table make and render" `Quick test_table_make_and_render;
+    Alcotest.test_case "table width mismatch" `Quick test_table_width_mismatch;
+    Alcotest.test_case "table csv" `Quick test_table_csv;
+    Alcotest.test_case "cell formatting" `Quick test_cell_f;
+    Alcotest.test_case "fig1 outcome" `Quick test_fig1_outcome;
+    Alcotest.test_case "fig2 both session types" `Quick test_fig2_both_types;
+    Alcotest.test_case "fig3 both directions" `Quick test_fig3_directions;
+    Alcotest.test_case "fig5 curves" `Quick test_fig5_curves;
+    Alcotest.test_case "fig5 simulated cross-check" `Slow test_fig5_simulated;
+    Alcotest.test_case "fig6 closed form vs allocator" `Quick test_fig6_closed_form_vs_allocator;
+    Alcotest.test_case "nonexistence outcome" `Quick test_nonexistence_outcome;
+    Alcotest.test_case "replacement figure 2" `Quick test_replacement_figure2;
+    Alcotest.test_case "replacement random monotone" `Quick test_replacement_random_monotone;
+    Alcotest.test_case "markov tables" `Quick test_markov_tables;
+    Alcotest.test_case "fig8 table smoke" `Slow test_fig8_table_smoke;
+  ]

@@ -1,0 +1,276 @@
+(* Layering tests: schemes, fixed-layer nonexistence (Section 3),
+   Appendix-B closed form vs Monte Carlo, quantum schedules, and the
+   Figure-6 shared-link formula. *)
+
+module Scheme = Mmfair_layering.Scheme
+module Fixed_layers = Mmfair_layering.Fixed_layers
+module Random_joins = Mmfair_layering.Random_joins
+module Quantum = Mmfair_layering.Quantum
+module Shared_link = Mmfair_layering.Shared_link
+module Network = Mmfair_core.Network
+module Allocation = Mmfair_core.Allocation
+module Graph = Mmfair_topology.Graph
+
+let feq ?(eps = 1e-9) what a b =
+  Alcotest.(check bool) (Printf.sprintf "%s: %g vs %g" what a b) true (Float.abs (a -. b) <= eps)
+
+(* --- Scheme --- *)
+
+let test_scheme_exponential () =
+  let s = Scheme.exponential ~layers:8 in
+  Alcotest.(check int) "layers" 8 (Scheme.layers s);
+  feq "cum 1" 1.0 (Scheme.cumulative s 1);
+  feq "cum 3" 4.0 (Scheme.cumulative s 3);
+  feq "cum 8" 128.0 (Scheme.cumulative s 8);
+  feq "layer 1 rate" 1.0 (Scheme.layer_rate s 1);
+  feq "layer 2 rate" 1.0 (Scheme.layer_rate s 2);
+  feq "layer 5 rate" 8.0 (Scheme.layer_rate s 5);
+  feq "top" 128.0 (Scheme.top_rate s)
+
+let test_scheme_uniform () =
+  let s = Scheme.uniform ~layers:3 ~rate:2.0 in
+  feq "cum 2" 4.0 (Scheme.cumulative s 2);
+  feq "layer rate" 2.0 (Scheme.layer_rate s 3)
+
+let test_scheme_of_layer_rates () =
+  let s = Scheme.of_layer_rates [| 1.0; 2.0; 4.0 |] in
+  feq "cum 3" 7.0 (Scheme.cumulative s 3)
+
+let test_scheme_validation () =
+  Alcotest.check_raises "non-increasing"
+    (Invalid_argument "Scheme.of_cumulative: cumulative rates must strictly increase") (fun () ->
+      ignore (Scheme.of_cumulative [| 1.0; 1.0 |]));
+  Alcotest.check_raises "empty" (Invalid_argument "Scheme.of_cumulative: need at least one layer")
+    (fun () -> ignore (Scheme.of_cumulative [||]));
+  Alcotest.check_raises "cum 0 bound" (Invalid_argument "Scheme.cumulative: level out of range")
+    (fun () -> ignore (Scheme.cumulative (Scheme.exponential ~layers:2) 3))
+
+let test_scheme_level_for_rate () =
+  let s = Scheme.exponential ~layers:4 in
+  Alcotest.(check int) "rate 0" 0 (Scheme.level_for_rate s 0.5);
+  Alcotest.(check int) "rate 1" 1 (Scheme.level_for_rate s 1.0);
+  Alcotest.(check int) "rate 3" 2 (Scheme.level_for_rate s 3.0);
+  Alcotest.(check int) "huge rate" 4 (Scheme.level_for_rate s 1000.0)
+
+let test_scheme_achievable () =
+  Alcotest.(check (array (float 0.0))) "achievable" [| 0.0; 1.0; 2.0; 4.0 |]
+    (Scheme.achievable_rates (Scheme.exponential ~layers:3))
+
+(* --- Fixed layers (Section 3 nonexistence) --- *)
+
+let test_nonexistence_paper_example () =
+  let t = Fixed_layers.paper_counterexample ~capacity:6.0 in
+  let feasible = Fixed_layers.feasible_allocations t in
+  (* The paper's set: {(0,0),(0,c/2),(0,c),(c/3,0),(c/3,c/2),(2c/3,0),(c,0)} *)
+  Alcotest.(check int) "seven feasible allocations" 7 (List.length feasible);
+  Alcotest.(check bool) "no max-min fair allocation" true
+    (Fixed_layers.max_min_allocation t = None)
+
+let test_nonexistence_rate_set () =
+  let t = Fixed_layers.paper_counterexample ~capacity:6.0 in
+  let feasible = Fixed_layers.feasible_allocations t in
+  let pairs =
+    List.map
+      (fun a ->
+        ( Allocation.rate a { Network.session = 0; index = 0 },
+          Allocation.rate a { Network.session = 1; index = 0 } ))
+      feasible
+    |> List.sort compare
+  in
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "exact feasible set"
+    [ (0.0, 0.0); (0.0, 3.0); (0.0, 6.0); (2.0, 0.0); (2.0, 3.0); (4.0, 0.0); (6.0, 0.0) ]
+    pairs
+
+let test_compatible_layers_admit_mmf () =
+  (* When both sessions use the same granularity, (c/2, c/2) is
+     max-min fair. *)
+  let g = Graph.create ~nodes:2 in
+  ignore (Graph.add_link g 0 1 6.0);
+  let s () = Network.session ~sender:0 ~receivers:[| 1 |] () in
+  let net = Network.make g [| s (); s () |] in
+  let t = Fixed_layers.make net [| Scheme.uniform ~layers:2 ~rate:3.0; Scheme.uniform ~layers:2 ~rate:3.0 |] in
+  match Fixed_layers.max_min_allocation t with
+  | Some a ->
+      feq "a1 = 3" 3.0 (Allocation.rate a { Network.session = 0; index = 0 });
+      feq "a2 = 3" 3.0 (Allocation.rate a { Network.session = 1; index = 0 })
+  | None -> Alcotest.fail "expected a max-min fair allocation"
+
+let test_single_rate_levels_locked () =
+  (* A single-rate layered session must pick one level for all its
+     receivers. *)
+  let g = Graph.create ~nodes:3 in
+  ignore (Graph.add_link g 0 1 4.0);
+  ignore (Graph.add_link g 0 2 4.0);
+  let net =
+    Network.make g
+      [| Network.session ~session_type:Network.Single_rate ~sender:0 ~receivers:[| 1; 2 |] () |]
+  in
+  let t = Fixed_layers.make net [| Scheme.uniform ~layers:2 ~rate:2.0 |] in
+  List.iter
+    (fun a ->
+      feq "equal rates"
+        (Allocation.rate a { Network.session = 0; index = 0 })
+        (Allocation.rate a { Network.session = 0; index = 1 }))
+    (Fixed_layers.feasible_allocations t)
+
+(* --- Appendix B / Figure 5 --- *)
+
+let test_expected_link_rate_single_receiver () =
+  feq "one receiver: EU = a" 0.3 (Random_joins.expected_link_rate ~lambda:1.0 ~rates:[| 0.3 |])
+
+let test_expected_link_rate_formula () =
+  (* Two receivers at 0.5: EU = 1 - 0.25 = 0.75. *)
+  feq "two at 0.5" 0.75 (Random_joins.expected_link_rate ~lambda:1.0 ~rates:[| 0.5; 0.5 |]);
+  (* redundancy = 0.75 / 0.5 = 1.5 *)
+  feq "redundancy" 1.5 (Random_joins.expected_redundancy ~lambda:1.0 ~rates:[| 0.5; 0.5 |])
+
+let test_expected_redundancy_bounds () =
+  (* Redundancy is bounded by lambda / max rate and approaches it. *)
+  let rates n = Array.make n 0.1 in
+  let r10 = Random_joins.expected_redundancy ~lambda:1.0 ~rates:(rates 10) in
+  let r100 = Random_joins.expected_redundancy ~lambda:1.0 ~rates:(rates 100) in
+  let bound = Random_joins.redundancy_upper_bound ~lambda:1.0 ~rates:(rates 100) in
+  feq "bound = 10" 10.0 bound;
+  Alcotest.(check bool) "monotone in receivers" true (r100 > r10);
+  Alcotest.(check bool) "below bound" true (r100 < bound);
+  Alcotest.(check bool) "near bound at 100" true (r100 > 9.9)
+
+let test_figure5_equal_rates_climb_fastest () =
+  (* At a fixed receiver count, "All 0.1" has higher redundancy than
+     "1st .9 rest .1" relative to their efficient rates... the paper's
+     second finding: equal-rate populations maximize redundancy growth.
+     Compare "All 0.1" vs "1st .5 rest .1" at the same count: the
+     mixed curve has a bigger peak rate, hence lower redundancy. *)
+  let all01 = List.nth Random_joins.figure5_configs 0 in
+  let mixed = List.nth Random_joins.figure5_configs 2 in
+  let r_eq = Random_joins.figure5_point all01 ~receivers:50 in
+  let r_mix = Random_joins.figure5_point mixed ~receivers:50 in
+  Alcotest.(check bool) "equal rates dominate" true (r_eq > r_mix)
+
+let test_appendix_b_vs_monte_carlo () =
+  let rng = Mmfair_prng.Xoshiro.create ~seed:99L () in
+  List.iter
+    (fun rates ->
+      let expected = Random_joins.expected_redundancy ~lambda:1.0 ~rates in
+      let simulated =
+        Random_joins.simulate_redundancy ~rng ~packets_per_quantum:1000 ~quanta:300 ~rates
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "closed form %.3f vs MC %.3f" expected simulated)
+        true
+        (Float.abs (expected -. simulated) < 0.05 *. expected))
+    [ Array.make 10 0.1; Array.make 20 0.5; Array.append [| 0.9 |] (Array.make 9 0.1) ]
+
+let test_random_joins_validation () =
+  Alcotest.check_raises "rate above lambda"
+    (Invalid_argument "Random_joins.expected_link_rate: rates must lie in [0, lambda]") (fun () ->
+      ignore (Random_joins.expected_link_rate ~lambda:1.0 ~rates:[| 1.5 |]))
+
+(* --- Quantum schedules --- *)
+
+let test_quantum_prefix_redundancy_one () =
+  let o =
+    Quantum.run ~strategy:Quantum.Prefix ~packets_per_quantum:100 ~quanta:50
+      ~rates:[| 0.3; 0.7; 0.5 |] ()
+  in
+  feq ~eps:1e-9 "nested subsets are free" 1.0 o.Quantum.redundancy;
+  feq ~eps:1e-9 "link carries exactly the peak" 0.7 o.Quantum.link_rate
+
+let test_quantum_achieves_average_rates () =
+  (* Fractional targets are met in long-run average via the carry
+     (footnote 7). *)
+  let o =
+    Quantum.run ~strategy:Quantum.Prefix ~packets_per_quantum:64 ~quanta:1000
+      ~rates:[| 0.333; 0.617 |] ()
+  in
+  Array.iteri
+    (fun k target ->
+      Alcotest.(check bool)
+        (Printf.sprintf "receiver %d long-run rate %.4f ~ %.4f" k o.Quantum.achieved_rates.(k) target)
+        true
+        (Float.abs (o.Quantum.achieved_rates.(k) -. target) < 0.002))
+    [| 0.333; 0.617 |]
+
+let test_quantum_random_matches_appendix_b () =
+  let rng = Mmfair_prng.Xoshiro.create ~seed:123L () in
+  let rates = Array.make 10 0.4 in
+  let o =
+    Quantum.run ~rng ~strategy:Quantum.Random_subset ~packets_per_quantum:500 ~quanta:400 ~rates ()
+  in
+  let expected = Random_joins.expected_redundancy ~lambda:1.0 ~rates in
+  Alcotest.(check bool)
+    (Printf.sprintf "random subsets ~ Appendix B (%.3f vs %.3f)" o.Quantum.redundancy expected)
+    true
+    (Float.abs (o.Quantum.redundancy -. expected) < 0.05 *. expected)
+
+let test_quantum_random_requires_rng () =
+  Alcotest.check_raises "rng required" (Invalid_argument "Quantum.run: Random_subset requires an rng")
+    (fun () ->
+      ignore
+        (Quantum.run ~strategy:Quantum.Random_subset ~packets_per_quantum:10 ~quanta:1
+           ~rates:[| 0.5 |] ()))
+
+(* --- Shared link / Figure 6 --- *)
+
+let test_fair_rate_formula () =
+  (* c=10, n=4, m=2, v=3: 10 / (2 + 6) = 1.25 *)
+  feq "closed form" 1.25 (Shared_link.fair_rate ~capacity:10.0 ~sessions:4 ~redundant:2 ~redundancy:3.0)
+
+let test_normalized_edges () =
+  feq "v=1 is 1" 1.0 (Shared_link.normalized_fair_rate ~sessions:10 ~redundant:3 ~redundancy:1.0);
+  feq "all redundant: 1/v" 0.25 (Shared_link.normalized_fair_rate ~sessions:10 ~redundant:10 ~redundancy:4.0)
+
+let test_network_matches_formula () =
+  List.iter
+    (fun (n, m, v) ->
+      let closed = Shared_link.fair_rate ~capacity:5.0 ~sessions:n ~redundant:m ~redundancy:v in
+      let net = Shared_link.network_for ~capacity:5.0 ~sessions:n ~redundant:m ~redundancy:v in
+      let alloc = Mmfair_core.Allocator.max_min net in
+      for i = 0 to n - 1 do
+        feq ~eps:1e-7
+          (Printf.sprintf "allocator matches formula (n=%d m=%d v=%g session %d)" n m v i)
+          closed
+          (Allocation.rate alloc { Network.session = i; index = 0 })
+      done)
+    [ (4, 2, 2.0); (10, 1, 5.0); (3, 3, 1.5); (5, 0, 1.0) ]
+
+let test_figure6_series_shape () =
+  let series = Shared_link.figure6_series ~ratios:[ 0.1; 1.0 ] ~redundancies:[ 1.0; 2.0; 4.0 ] ~sessions:100 in
+  Alcotest.(check int) "two curves" 2 (List.length series);
+  List.iter
+    (fun (_, points) ->
+      let rec decreasing = function
+        | (_, a) :: ((_, b) :: _ as rest) -> a >= b -. 1e-12 && decreasing rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "monotone decreasing in v" true (decreasing points))
+    series
+
+let suite =
+  [
+    Alcotest.test_case "scheme exponential" `Quick test_scheme_exponential;
+    Alcotest.test_case "scheme uniform" `Quick test_scheme_uniform;
+    Alcotest.test_case "scheme of_layer_rates" `Quick test_scheme_of_layer_rates;
+    Alcotest.test_case "scheme validation" `Quick test_scheme_validation;
+    Alcotest.test_case "scheme level_for_rate" `Quick test_scheme_level_for_rate;
+    Alcotest.test_case "scheme achievable" `Quick test_scheme_achievable;
+    Alcotest.test_case "Section-3 nonexistence" `Quick test_nonexistence_paper_example;
+    Alcotest.test_case "Section-3 exact feasible set" `Quick test_nonexistence_rate_set;
+    Alcotest.test_case "compatible layers admit MMF" `Quick test_compatible_layers_admit_mmf;
+    Alcotest.test_case "single-rate levels locked" `Quick test_single_rate_levels_locked;
+    Alcotest.test_case "Appendix B single receiver" `Quick test_expected_link_rate_single_receiver;
+    Alcotest.test_case "Appendix B formula" `Quick test_expected_link_rate_formula;
+    Alcotest.test_case "redundancy bounds (Fig 5)" `Quick test_expected_redundancy_bounds;
+    Alcotest.test_case "equal rates climb fastest (Fig 5)" `Quick test_figure5_equal_rates_climb_fastest;
+    Alcotest.test_case "Appendix B vs Monte Carlo" `Slow test_appendix_b_vs_monte_carlo;
+    Alcotest.test_case "random joins validation" `Quick test_random_joins_validation;
+    Alcotest.test_case "quantum prefix redundancy 1" `Quick test_quantum_prefix_redundancy_one;
+    Alcotest.test_case "quantum achieves average rates" `Quick test_quantum_achieves_average_rates;
+    Alcotest.test_case "quantum random matches Appendix B" `Slow test_quantum_random_matches_appendix_b;
+    Alcotest.test_case "quantum random requires rng" `Quick test_quantum_random_requires_rng;
+    Alcotest.test_case "fair rate formula (Fig 6)" `Quick test_fair_rate_formula;
+    Alcotest.test_case "normalized edges (Fig 6)" `Quick test_normalized_edges;
+    Alcotest.test_case "allocator matches formula (Fig 6)" `Quick test_network_matches_formula;
+    Alcotest.test_case "figure 6 series shape" `Quick test_figure6_series_shape;
+  ]

@@ -1,0 +1,182 @@
+(* Markov-chain tests: stochasticity, stationarity, agreement with
+   packet-level simulation, and the paper's analytical findings. *)
+
+module Two_receiver = Mmfair_markov.Two_receiver
+module Protocol = Mmfair_protocols.Protocol
+module Runner = Mmfair_protocols.Runner
+module Layer_schedule = Mmfair_protocols.Layer_schedule
+module Sparse = Mmfair_numerics.Sparse
+module Markov_solve = Mmfair_numerics.Markov_solve
+
+let feq ?(eps = 1e-9) what a b =
+  Alcotest.(check bool) (Printf.sprintf "%s: %g vs %g" what a b) true (Float.abs (a -. b) <= eps)
+
+let test_state_counts () =
+  let p kind layers = Two_receiver.params ~layers kind in
+  Alcotest.(check int) "uncoordinated 4 layers" 16 (Two_receiver.state_count (p Protocol.Uncoordinated 4));
+  Alcotest.(check int) "coordinated 4 layers" 16 (Two_receiver.state_count (p Protocol.Coordinated 4));
+  (* deterministic: per-receiver states 1 + 4 + 16 + 1 = 22 -> 484 *)
+  Alcotest.(check int) "deterministic 4 layers" 484 (Two_receiver.state_count (p Protocol.Deterministic 4))
+
+let test_transition_stochastic () =
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun layers ->
+          let p = Two_receiver.params ~layers ~shared_loss:0.02 ~loss1:0.03 ~loss2:0.05 kind in
+          let m = Two_receiver.transition_matrix p in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s M=%d rows sum to 1" (Protocol.kind_name kind) layers)
+            true
+            (Markov_solve.is_stochastic ~tol:1e-9 m))
+        [ 1; 2; 3; 4 ])
+    Protocol.all_kinds
+
+let test_stationary_is_fixed_point () =
+  List.iter
+    (fun kind ->
+      let p = Two_receiver.params ~layers:3 ~shared_loss:0.01 ~loss1:0.02 ~loss2:0.04 kind in
+      let m = Two_receiver.transition_matrix p in
+      let a = Two_receiver.analyze p in
+      let pi = a.Two_receiver.stationary in
+      let stepped = Sparse.vec_mul pi m in
+      feq ~eps:1e-8
+        (Printf.sprintf "%s: pi P = pi" (Protocol.kind_name kind))
+        0.0
+        (Mmfair_numerics.Vec.max_abs_diff pi stepped))
+    Protocol.all_kinds
+
+let test_levels_decode () =
+  let p = Two_receiver.params ~layers:4 Protocol.Uncoordinated in
+  let seen = Hashtbl.create 16 in
+  for s = 0 to Two_receiver.state_count p - 1 do
+    let l1, l2 = Two_receiver.levels_of_state p s in
+    Alcotest.(check bool) "levels in range" true (l1 >= 1 && l1 <= 4 && l2 >= 1 && l2 <= 4);
+    Hashtbl.replace seen (l1, l2) ()
+  done;
+  Alcotest.(check int) "all level pairs reachable in encoding" 16 (Hashtbl.length seen)
+
+let test_no_loss_sits_at_top () =
+  List.iter
+    (fun kind ->
+      let p = Two_receiver.params ~layers:3 ~shared_loss:0.0 ~loss1:0.0 ~loss2:0.0 kind in
+      let a = Two_receiver.analyze p in
+      let m1, m2 = a.Two_receiver.mean_levels in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: mean levels ~ top (%.2f, %.2f)" (Protocol.kind_name kind) m1 m2)
+        true
+        (m1 > 2.95 && m2 > 2.95);
+      feq ~eps:0.01 "redundancy 1 without loss" 1.0 a.Two_receiver.redundancy)
+    Protocol.all_kinds
+
+let test_redundancy_at_least_one () =
+  List.iter
+    (fun kind ->
+      let p = Two_receiver.params ~layers:4 ~shared_loss:0.01 ~loss1:0.05 ~loss2:0.02 kind in
+      let r = Two_receiver.redundancy p in
+      Alcotest.(check bool) (Printf.sprintf "%s: %.3f >= 1" (Protocol.kind_name kind) r) true
+        (r >= 1.0 -. 1e-9))
+    Protocol.all_kinds
+
+let test_coordinated_beats_uncoordinated () =
+  let red kind =
+    Two_receiver.redundancy (Two_receiver.params ~layers:4 ~shared_loss:0.0001 ~loss1:0.03 ~loss2:0.03 kind)
+  in
+  let c = red Protocol.Coordinated and u = red Protocol.Uncoordinated in
+  Alcotest.(check bool) (Printf.sprintf "coordinated %.3f <= uncoordinated %.3f" c u) true (c <= u)
+
+let test_symmetry () =
+  (* Swapping the two receivers' losses must not change redundancy. *)
+  List.iter
+    (fun kind ->
+      let r12 =
+        Two_receiver.redundancy (Two_receiver.params ~layers:3 ~shared_loss:0.01 ~loss1:0.02 ~loss2:0.08 kind)
+      in
+      let r21 =
+        Two_receiver.redundancy (Two_receiver.params ~layers:3 ~shared_loss:0.01 ~loss1:0.08 ~loss2:0.02 kind)
+      in
+      feq ~eps:1e-9 (Printf.sprintf "%s symmetric" (Protocol.kind_name kind)) r12 r21)
+    Protocol.all_kinds
+
+let test_equal_loss_maximizes_redundancy () =
+  (* The paper's headline analytical finding. *)
+  List.iter
+    (fun kind ->
+      let grids = Mmfair_experiments.Markov_redundancy.run ~layers:3 ~shared_loss:0.01 () in
+      let grid = List.find (fun g -> g.Mmfair_experiments.Markov_redundancy.kind = kind) grids in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: equal end-to-end loss dominates" (Protocol.kind_name kind))
+        true
+        (Mmfair_experiments.Markov_redundancy.equal_loss_dominates grid))
+    Protocol.all_kinds
+
+let test_markov_matches_simulation () =
+  (* The uncoordinated chain is exact for the Random layer schedule:
+     simulation of the same 2-receiver star must agree closely. *)
+  let loss1 = 0.03 and loss2 = 0.05 and shared = 0.01 in
+  let p = Two_receiver.params ~layers:4 ~shared_loss:shared ~loss1 ~loss2 Protocol.Uncoordinated in
+  let analytical = Two_receiver.redundancy p in
+  let star =
+    Mmfair_topology.Builders.modified_star ~shared_capacity:1e9 ~fanout_capacities:[| 1e9; 1e9 |]
+  in
+  let loss_rate l =
+    if l = star.Mmfair_topology.Builders.shared then shared
+    else if l = star.Mmfair_topology.Builders.fanout.(0) then loss1
+    else loss2
+  in
+  let samples =
+    Array.init 8 (fun i ->
+        let cfg =
+          Runner.config ~layers:4 ~packets:200_000 ~warmup:20_000
+            ~schedule_mode:Layer_schedule.Random
+            ~seed:(Int64.of_int (1000 + i))
+            Protocol.Uncoordinated
+        in
+        let r =
+          Runner.run_tree cfg ~graph:star.Mmfair_topology.Builders.graph
+            ~sender:star.Mmfair_topology.Builders.sender
+            ~receivers:star.Mmfair_topology.Builders.receivers ~loss_rate
+            ~measured_link:star.Mmfair_topology.Builders.shared
+        in
+        r.Runner.redundancy)
+  in
+  let simulated = Mmfair_stats.Descriptive.mean samples in
+  Alcotest.(check bool)
+    (Printf.sprintf "markov %.4f vs sim %.4f" analytical simulated)
+    true
+    (Float.abs (analytical -. simulated) < 0.03 *. analytical)
+
+let test_validation () =
+  Alcotest.check_raises "bad loss" (Invalid_argument "Two_receiver: loss rates must lie in [0,1]")
+    (fun () ->
+      ignore (Two_receiver.redundancy (Two_receiver.params ~loss1:1.5 Protocol.Uncoordinated)));
+  Alcotest.check_raises "bad layers" (Invalid_argument "Two_receiver: layers must be >= 1")
+    (fun () -> ignore (Two_receiver.redundancy (Two_receiver.params ~layers:0 Protocol.Uncoordinated)))
+
+let test_single_layer_trivial () =
+  (* With one layer there is nothing to join or leave; the only
+     redundancy left is the loss floor: the link still carries every
+     packet while the best receiver gets (1-p_s)(1-min loss) of them. *)
+  List.iter
+    (fun kind ->
+      let shared_loss = 0.05 and loss1 = 0.1 and loss2 = 0.02 in
+      let p = Two_receiver.params ~layers:1 ~shared_loss ~loss1 ~loss2 kind in
+      let floor = 1.0 /. ((1.0 -. shared_loss) *. (1.0 -. Stdlib.min loss1 loss2)) in
+      feq ~eps:1e-9 (Protocol.kind_name kind ^ " single layer") floor (Two_receiver.redundancy p))
+    Protocol.all_kinds
+
+let suite =
+  [
+    Alcotest.test_case "state counts" `Quick test_state_counts;
+    Alcotest.test_case "transition matrices stochastic" `Quick test_transition_stochastic;
+    Alcotest.test_case "stationary is fixed point" `Quick test_stationary_is_fixed_point;
+    Alcotest.test_case "levels decode" `Quick test_levels_decode;
+    Alcotest.test_case "no loss sits at top" `Quick test_no_loss_sits_at_top;
+    Alcotest.test_case "redundancy >= 1" `Quick test_redundancy_at_least_one;
+    Alcotest.test_case "coordinated beats uncoordinated" `Quick test_coordinated_beats_uncoordinated;
+    Alcotest.test_case "receiver symmetry" `Quick test_symmetry;
+    Alcotest.test_case "equal loss maximizes redundancy" `Quick test_equal_loss_maximizes_redundancy;
+    Alcotest.test_case "markov matches simulation" `Slow test_markov_matches_simulation;
+    Alcotest.test_case "parameter validation" `Quick test_validation;
+    Alcotest.test_case "single layer trivial" `Quick test_single_layer_trivial;
+  ]

@@ -1,0 +1,177 @@
+(* Membership (IGMP/PIM-style) state machine tests and the
+   leave-timeout study. *)
+
+module Membership = Mmfair_sim.Membership
+module Qrunner = Mmfair_protocols.Qrunner
+module Protocol = Mmfair_protocols.Protocol
+module E = Mmfair_experiments
+
+(* a 3-hop path: links 0 (sender side), 1, 2 (receiver side) *)
+let three_hop () =
+  Membership.create ~links:3 ~layers:4 ~leave_timeout:1.0 ~join_hop_delay:0.1
+
+let path = [| 0; 1; 2 |]
+
+let test_join_propagates_upward () =
+  let m = three_hop () in
+  Membership.join m ~now:0.0 ~path ~layer:2;
+  (* receiver-side link activates after one hop delay, sender-side
+     after three *)
+  Alcotest.(check bool) "nothing flows immediately" false (Membership.flowing m ~now:0.05 ~link:2 ~layer:2);
+  Alcotest.(check bool) "nearest link first" true (Membership.flowing m ~now:0.15 ~link:2 ~layer:2);
+  Alcotest.(check bool) "middle not yet" false (Membership.flowing m ~now:0.15 ~link:1 ~layer:2);
+  Alcotest.(check bool) "sender side last" true (Membership.flowing m ~now:0.35 ~link:0 ~layer:2);
+  Alcotest.(check int) "refcount" 1 (Membership.subscribers m ~link:0 ~layer:2)
+
+let test_leave_lingers_until_timeout () =
+  let m = three_hop () in
+  Membership.join m ~now:0.0 ~path ~layer:1;
+  Membership.leave m ~now:5.0 ~path ~layer:1;
+  Alcotest.(check int) "refcount zero" 0 (Membership.subscribers m ~link:1 ~layer:1);
+  Alcotest.(check bool) "still flowing before timeout" true
+    (Membership.flowing m ~now:5.5 ~link:1 ~layer:1);
+  Alcotest.(check bool) "pruned after timeout" false (Membership.flowing m ~now:6.5 ~link:1 ~layer:1)
+
+let test_rejoin_cancels_prune () =
+  let m = three_hop () in
+  Membership.join m ~now:0.0 ~path ~layer:1;
+  Membership.leave m ~now:5.0 ~path ~layer:1;
+  (* rejoin before the prune fires: the flow never stops *)
+  Membership.join m ~now:5.5 ~path ~layer:1;
+  Alcotest.(check bool) "flow continuous" true (Membership.flowing m ~now:7.0 ~link:1 ~layer:1)
+
+let test_second_subscriber_keeps_flow () =
+  let m = three_hop () in
+  let short_path = [| 0; 1 |] in
+  Membership.join m ~now:0.0 ~path ~layer:1;
+  Membership.join m ~now:0.0 ~path:short_path ~layer:1;
+  Membership.leave m ~now:5.0 ~path ~layer:1;
+  (* the shared upstream links still have the other subscriber *)
+  Alcotest.(check int) "link 0 keeps a subscriber" 1 (Membership.subscribers m ~link:0 ~layer:1);
+  Alcotest.(check bool) "link 0 flows far beyond the timeout" true
+    (Membership.flowing m ~now:100.0 ~link:0 ~layer:1);
+  (* the leaf link had only the departed receiver *)
+  Alcotest.(check bool) "leaf link prunes" false (Membership.flowing m ~now:100.0 ~link:2 ~layer:1)
+
+let test_leave_without_join_rejected () =
+  let m = three_hop () in
+  Alcotest.check_raises "not joined" (Invalid_argument "Membership.leave: receiver was not joined")
+    (fun () -> Membership.leave m ~now:0.0 ~path ~layer:1)
+
+let test_validation () =
+  Alcotest.check_raises "negative latency" (Invalid_argument "Membership.create: negative latency")
+    (fun () ->
+      ignore (Membership.create ~links:1 ~layers:1 ~leave_timeout:(-1.0) ~join_hop_delay:0.0));
+  let m = three_hop () in
+  Alcotest.check_raises "layer range" (Invalid_argument "Membership: layer out of range") (fun () ->
+      ignore (Membership.flowing m ~now:0.0 ~link:0 ~layer:9))
+
+(* --- integration: the study --- *)
+
+let test_igmp_ideal_equivalence_at_zero_timeout () =
+  (* with zero timeouts and zero hop delay, Igmp behaves like Ideal *)
+  let star =
+    Mmfair_topology.Builders.modified_star ~shared_capacity:400.0
+      ~fanout_capacities:(Array.make 8 40.0)
+  in
+  let run membership =
+    let cfg =
+      Qrunner.config ~layers:5 ~unit_rate:8.0 ~duration:40.0 ~warmup:10.0 ~membership ~seed:5L
+        Protocol.Deterministic
+    in
+    let r =
+      Qrunner.run_multi cfg ~graph:star.Mmfair_topology.Builders.graph
+        ~sessions:
+          [| Qrunner.layered ~sender:star.Mmfair_topology.Builders.sender
+               ~receivers:star.Mmfair_topology.Builders.receivers |]
+    in
+    r.Qrunner.sessions.(0).Qrunner.goodput
+  in
+  let ideal = run Qrunner.Ideal in
+  let igmp = run (Qrunner.Igmp { leave_timeout = 0.0; join_hop_delay = 0.0 }) in
+  Array.iteri
+    (fun k g ->
+      Alcotest.(check bool)
+        (Printf.sprintf "receiver %d: %.1f ~ %.1f" k g igmp.(k))
+        true
+        (Float.abs (g -. igmp.(k)) <= 0.05 *. Stdlib.max 1.0 g))
+    ideal
+
+let test_leave_timeout_raises_redundancy () =
+  let curves = E.Membership_study.run ~timeouts:[ 0.0; 2.0 ] ~receivers:10 ~duration:60.0 () in
+  List.iter
+    (fun c ->
+      let at t =
+        (List.find (fun p -> p.E.Membership_study.leave_timeout = t) c.E.Membership_study.points)
+          .E.Membership_study.redundancy
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: redundancy rises with the timeout (%.2f -> %.2f)"
+           (Protocol.kind_name c.E.Membership_study.kind) (at 0.0) (at 2.0))
+        true
+        (at 2.0 > at 0.0))
+    curves
+
+let suite =
+  [
+    Alcotest.test_case "join propagates upward" `Quick test_join_propagates_upward;
+    Alcotest.test_case "leave lingers until timeout" `Quick test_leave_lingers_until_timeout;
+    Alcotest.test_case "rejoin cancels prune" `Quick test_rejoin_cancels_prune;
+    Alcotest.test_case "second subscriber keeps flow" `Quick test_second_subscriber_keeps_flow;
+    Alcotest.test_case "leave without join rejected" `Quick test_leave_without_join_rejected;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "Igmp(0,0) = Ideal" `Slow test_igmp_ideal_equivalence_at_zero_timeout;
+    Alcotest.test_case "leave timeout raises redundancy" `Slow test_leave_timeout_raises_redundancy;
+  ]
+
+(* Random join/leave sequences must keep the tree consistent: if a
+   downstream link carries a layer, every link upstream of it (on the
+   path of some subscriber that activated it) carries it too once the
+   join has fully propagated. *)
+let qcheck_tree_consistency =
+  QCheck.Test.make ~name:"membership: random sequences keep refcounts consistent" ~count:200
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Mmfair_prng.Xoshiro.create ~seed:(Int64.of_int seed) () in
+      let layers = 3 in
+      (* star of 4 receivers: shared link 0, fanout links 1..4 *)
+      let paths = Array.init 4 (fun k -> [| 0; k + 1 |]) in
+      let m = Membership.create ~links:5 ~layers ~leave_timeout:0.5 ~join_hop_delay:0.01 in
+      (* track joined state per (receiver, layer) to produce legal
+         sequences, and expected refcounts *)
+      let joined = Array.make_matrix 4 layers false in
+      let ok = ref true in
+      let now = ref 0.0 in
+      for _ = 1 to 100 do
+        now := !now +. Mmfair_prng.Xoshiro.uniform rng 0.0 0.3;
+        let k = Mmfair_prng.Xoshiro.below rng 4 in
+        let layer = 1 + Mmfair_prng.Xoshiro.below rng layers in
+        if joined.(k).(layer - 1) then begin
+          Membership.leave m ~now:!now ~path:paths.(k) ~layer;
+          joined.(k).(layer - 1) <- false
+        end
+        else begin
+          Membership.join m ~now:!now ~path:paths.(k) ~layer;
+          joined.(k).(layer - 1) <- true
+        end;
+        (* refcount on the shared link = number of joined receivers *)
+        for l = 1 to layers do
+          let expected = Array.fold_left (fun acc row -> if row.(l - 1) then acc + 1 else acc) 0 joined in
+          if Membership.subscribers m ~link:0 ~layer:l <> expected then ok := false
+        done
+      done;
+      (* long after the last event: carrying downstream implies
+         carrying upstream (tree consistency), and flowing iff
+         subscribers > 0 *)
+      let late = !now +. 100.0 in
+      for k = 0 to 3 do
+        for l = 1 to layers do
+          let down = Membership.flowing m ~now:late ~link:(k + 1) ~layer:l in
+          let up = Membership.flowing m ~now:late ~link:0 ~layer:l in
+          if down && not up then ok := false;
+          if joined.(k).(l - 1) && not down then ok := false
+        done
+      done;
+      !ok)
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest qcheck_tree_consistency ]

@@ -1,0 +1,151 @@
+(* Network-model tests: validation, data-paths, R_{i,j}/R_j sets,
+   surgery operations. *)
+
+module Graph = Mmfair_topology.Graph
+module Network = Mmfair_core.Network
+module Redundancy_fn = Mmfair_core.Redundancy_fn
+
+(* sender 0 - l0 - 1 - l1 - 2; second branch 1 - l2 - 3 *)
+let small_net () =
+  let g = Graph.create ~nodes:4 in
+  let _l0 = Graph.add_link g 0 1 10.0 in
+  let _l1 = Graph.add_link g 1 2 5.0 in
+  let _l2 = Graph.add_link g 1 3 3.0 in
+  let s0 = Network.session ~sender:0 ~receivers:[| 2; 3 |] () in
+  let s1 = Network.session ~session_type:Network.Single_rate ~sender:1 ~receivers:[| 2 |] () in
+  Network.make g [| s0; s1 |]
+
+let test_counts () =
+  let net = small_net () in
+  Alcotest.(check int) "sessions" 2 (Network.session_count net);
+  Alcotest.(check int) "receivers" 3 (Network.receiver_count net)
+
+let test_data_paths () =
+  let net = small_net () in
+  Alcotest.(check (list int)) "r0,0 path" [ 0; 1 ] (Network.data_path net { Network.session = 0; index = 0 });
+  Alcotest.(check (list int)) "r0,1 path" [ 0; 2 ] (Network.data_path net { Network.session = 0; index = 1 });
+  Alcotest.(check (list int)) "r1,0 path" [ 1 ] (Network.data_path net { Network.session = 1; index = 0 })
+
+let test_session_links () =
+  let net = small_net () in
+  Alcotest.(check (list int)) "union of paths" [ 0; 1; 2 ] (Network.session_links net 0);
+  Alcotest.(check (list int)) "unicast session" [ 1 ] (Network.session_links net 1)
+
+let test_receivers_on_link () =
+  let net = small_net () in
+  let on l i = List.map (fun (r : Network.receiver_id) -> r.Network.index) (Network.receivers_on_link net ~session:i ~link:l) in
+  Alcotest.(check (list int)) "R_{0,0}" [ 0; 1 ] (on 0 0);
+  Alcotest.(check (list int)) "R_{0,1}" [ 0 ] (on 1 0);
+  Alcotest.(check (list int)) "R_{1,1}" [ 0 ] (on 1 1);
+  Alcotest.(check (list int)) "R_{1,0} empty" [] (on 0 1);
+  Alcotest.(check int) "R_1 size" 2 (List.length (Network.all_on_link net ~link:1))
+
+let test_crosses () =
+  let net = small_net () in
+  let r = { Network.session = 0; index = 0 } in
+  Alcotest.(check bool) "crosses l1" true (Network.crosses net r 1);
+  Alcotest.(check bool) "not l2" false (Network.crosses net r 2)
+
+let test_is_unicast () =
+  let net = small_net () in
+  Alcotest.(check bool) "S0 not unicast" false (Network.is_unicast net 0);
+  Alcotest.(check bool) "S1 unicast" true (Network.is_unicast net 1)
+
+let test_validation_empty_receivers () =
+  let g = Graph.create ~nodes:2 in
+  ignore (Graph.add_link g 0 1 1.0);
+  Alcotest.check_raises "no receivers" (Invalid_argument "Network.make: session 0 has no receivers")
+    (fun () -> ignore (Network.make g [| Network.session ~sender:0 ~receivers:[||] () |]))
+
+let test_validation_shared_member_node () =
+  let g = Graph.create ~nodes:2 in
+  ignore (Graph.add_link g 0 1 1.0);
+  Alcotest.check_raises "sender = receiver node"
+    (Invalid_argument "Network.make: session 0 maps two members to node 0") (fun () ->
+      ignore (Network.make g [| Network.session ~sender:0 ~receivers:[| 1; 0 |] () |]))
+
+let test_validation_unreachable () =
+  let g = Graph.create ~nodes:3 in
+  ignore (Graph.add_link g 0 1 1.0);
+  Alcotest.check_raises "unreachable receiver"
+    (Invalid_argument "Network.make: session 0 receiver 0 unreachable") (fun () ->
+      ignore (Network.make g [| Network.session ~sender:0 ~receivers:[| 2 |] () |]))
+
+let test_validation_bad_rho () =
+  let g = Graph.create ~nodes:2 in
+  ignore (Graph.add_link g 0 1 1.0);
+  Alcotest.check_raises "rho <= 0" (Invalid_argument "Network.make: session 0 has rho <= 0")
+    (fun () -> ignore (Network.make g [| Network.session ~rho:0.0 ~sender:0 ~receivers:[| 1 |] () |]))
+
+let test_different_sessions_share_nodes () =
+  (* Members of different sessions may share a node. *)
+  let g = Graph.create ~nodes:2 in
+  ignore (Graph.add_link g 0 1 1.0);
+  let s = Network.session ~sender:0 ~receivers:[| 1 |] () in
+  let net = Network.make g [| s; s |] in
+  Alcotest.(check int) "both sessions accepted" 2 (Network.session_count net)
+
+let test_with_session_types () =
+  let net = small_net () in
+  let flipped = Network.with_session_types net [| Network.Single_rate; Network.Multi_rate |] in
+  Alcotest.(check bool) "S0 flipped" true (Network.session_type flipped 0 = Network.Single_rate);
+  Alcotest.(check bool) "S1 flipped" true (Network.session_type flipped 1 = Network.Multi_rate);
+  (* original untouched *)
+  Alcotest.(check bool) "original S0" true (Network.session_type net 0 = Network.Multi_rate)
+
+let test_with_vfns () =
+  let net = small_net () in
+  let swapped = Network.with_vfns net [| Redundancy_fn.Scaled 2.0; Redundancy_fn.Efficient |] in
+  Alcotest.(check string) "vfn swapped" "scaled(2)" (Redundancy_fn.name (Network.vfn swapped 0))
+
+let test_without_receiver () =
+  let net = small_net () in
+  let removed = Network.without_receiver net { Network.session = 0; index = 0 } in
+  Alcotest.(check int) "one fewer receiver" 2 (Network.receiver_count removed);
+  Alcotest.(check (list int)) "remaining receiver's path" [ 0; 2 ]
+    (Network.data_path removed { Network.session = 0; index = 0 })
+
+let test_without_receiver_last () =
+  let net = small_net () in
+  Alcotest.check_raises "cannot empty a session"
+    (Invalid_argument "Network.without_receiver: session would become empty") (fun () ->
+      ignore (Network.without_receiver net { Network.session = 1; index = 0 }))
+
+let qcheck_random_nets_valid =
+  QCheck.Test.make ~name:"random networks respect the tau restriction" ~count:100
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Mmfair_prng.Xoshiro.create ~seed:(Int64.of_int seed) () in
+      let net = Mmfair_workload.Random_nets.generate ~rng Mmfair_workload.Random_nets.default in
+      (* every session: sender and receivers on distinct nodes, and
+         every receiver's path non-empty *)
+      let ok = ref true in
+      for i = 0 to Network.session_count net - 1 do
+        let spec = Network.session_spec net i in
+        let members = Array.to_list (Array.append [| spec.Network.sender |] spec.Network.receivers) in
+        if List.length (List.sort_uniq compare members) <> List.length members then ok := false;
+        Array.iter
+          (fun (r : Network.receiver_id) -> if Network.data_path net r = [] then ok := false)
+          (Network.receivers_of_session net i)
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "counts" `Quick test_counts;
+    Alcotest.test_case "data paths" `Quick test_data_paths;
+    Alcotest.test_case "session links" `Quick test_session_links;
+    Alcotest.test_case "receivers on link" `Quick test_receivers_on_link;
+    Alcotest.test_case "crosses" `Quick test_crosses;
+    Alcotest.test_case "is_unicast" `Quick test_is_unicast;
+    Alcotest.test_case "validation: empty receivers" `Quick test_validation_empty_receivers;
+    Alcotest.test_case "validation: shared member node" `Quick test_validation_shared_member_node;
+    Alcotest.test_case "validation: unreachable" `Quick test_validation_unreachable;
+    Alcotest.test_case "validation: bad rho" `Quick test_validation_bad_rho;
+    Alcotest.test_case "cross-session node sharing ok" `Quick test_different_sessions_share_nodes;
+    Alcotest.test_case "with_session_types" `Quick test_with_session_types;
+    Alcotest.test_case "with_vfns" `Quick test_with_vfns;
+    Alcotest.test_case "without_receiver" `Quick test_without_receiver;
+    Alcotest.test_case "without_receiver last" `Quick test_without_receiver_last;
+    QCheck_alcotest.to_alcotest qcheck_random_nets_valid;
+  ]

@@ -1,0 +1,130 @@
+(* Min-unfavorable ordering tests: Definition 2's laws, equivalence
+   with lexicographic comparison, and the Lemma-2 threshold
+   characterization. *)
+
+module Ordering = Mmfair_core.Ordering
+
+let ordered_vec_gen =
+  QCheck.Gen.(
+    map
+      (fun l ->
+        let a = Array.of_list l in
+        Array.sort compare a;
+        a)
+      (list_size (1 -- 8) (map (fun n -> float_of_int n) (0 -- 6))))
+
+let pair_same_length_gen =
+  QCheck.Gen.(
+    ordered_vec_gen >>= fun x ->
+    map
+      (fun l ->
+        let y = Array.of_list l in
+        Array.sort compare y;
+        (x, y))
+      (list_repeat (Array.length x) (map (fun n -> float_of_int n) (0 -- 6))))
+
+let arb_pair =
+  QCheck.make ~print:(fun (x, y) ->
+      Printf.sprintf "(%s, %s)"
+        (String.concat ";" (Array.to_list (Array.map string_of_float x)))
+        (String.concat ";" (Array.to_list (Array.map string_of_float y))))
+    pair_same_length_gen
+
+let arb_vec = QCheck.make ordered_vec_gen
+
+let test_paper_example () =
+  (* From the paper's single-link example: (c/3, c/2) vs (2c/3, 0),
+     with c = 6: sorted (2,3) vs (0,4).  Neither dominates... check
+     both directions with the definition. *)
+  let a = Ordering.sort [| 2.0; 3.0 |] and b = Ordering.sort [| 4.0; 0.0 |] in
+  Alcotest.(check bool) "b ≼m a" true (Ordering.leq b a);
+  Alcotest.(check bool) "a not ≼m b" false (Ordering.leq a b)
+
+let test_leq_basic () =
+  Alcotest.(check bool) "equal vectors" true (Ordering.leq [| 1.0; 2.0 |] [| 1.0; 2.0 |]);
+  Alcotest.(check bool) "dominated" true (Ordering.leq [| 1.0; 2.0 |] [| 1.0; 3.0 |]);
+  Alcotest.(check bool) "not dominated" false (Ordering.leq [| 1.0; 3.0 |] [| 1.0; 2.0 |]);
+  (* trade-off: lower min loses even with higher max *)
+  Alcotest.(check bool) "min matters first" true (Ordering.leq [| 0.0; 9.0 |] [| 1.0; 2.0 |])
+
+let test_lt () =
+  Alcotest.(check bool) "strict" true (Ordering.lt [| 1.0 |] [| 2.0 |]);
+  Alcotest.(check bool) "not strict on equal" false (Ordering.lt [| 1.0 |] [| 1.0 |])
+
+let test_mismatch () =
+  Alcotest.check_raises "length mismatch" (Invalid_argument "Ordering.leq: length mismatch")
+    (fun () -> ignore (Ordering.leq [| 1.0 |] [| 1.0; 2.0 |]));
+  Alcotest.check_raises "unordered input" (Invalid_argument "Ordering.leq: inputs must be ordered")
+    (fun () -> ignore (Ordering.leq [| 2.0; 1.0 |] [| 1.0; 2.0 |]))
+
+let test_count_at_or_below () =
+  let x = [| 1.0; 2.0; 2.0; 5.0 |] in
+  Alcotest.(check int) "below 0" 0 (Ordering.count_at_or_below x 0.5);
+  Alcotest.(check int) "at 2" 3 (Ordering.count_at_or_below x 2.0);
+  Alcotest.(check int) "all" 4 (Ordering.count_at_or_below x 10.0)
+
+let test_max_min_of () =
+  let best = Ordering.max_min_of [ [| 1.0; 2.0 |]; [| 0.0; 9.0 |]; [| 1.0; 3.0 |] ] in
+  Alcotest.(check (array (float 0.0))) "picks the ≼m-maximum" [| 1.0; 3.0 |] best
+
+let qcheck_reflexive =
+  QCheck.Test.make ~name:"≼m is reflexive" ~count:300 arb_vec (fun x -> Ordering.leq x x)
+
+let qcheck_total =
+  QCheck.Test.make ~name:"≼m is total" ~count:300 arb_pair (fun (x, y) ->
+      Ordering.leq x y || Ordering.leq y x)
+
+let qcheck_antisymmetric =
+  QCheck.Test.make ~name:"≼m is antisymmetric" ~count:300 arb_pair (fun (x, y) ->
+      if Ordering.leq x y && Ordering.leq y x then x = y else true)
+
+let qcheck_transitive =
+  QCheck.Test.make ~name:"≼m is transitive" ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         pair_same_length_gen >>= fun (x, y) ->
+         map
+           (fun l ->
+             let z = Array.of_list l in
+             Array.sort compare z;
+             (x, y, z))
+           (list_repeat (Array.length x) (map (fun n -> float_of_int n) (0 -- 6)))))
+    (fun (x, y, z) ->
+      if Ordering.leq x y && Ordering.leq y z then Ordering.leq x z else true)
+
+let qcheck_compare_consistent =
+  QCheck.Test.make ~name:"compare is consistent with leq" ~count:300 arb_pair (fun (x, y) ->
+      let c = Ordering.compare x y in
+      if c < 0 then Ordering.lt x y
+      else if c > 0 then Ordering.lt y x
+      else x = y)
+
+let qcheck_lemma2 =
+  QCheck.Test.make ~name:"Lemma 2: the threshold characterizes strict ordering" ~count:500 arb_pair
+    (fun (x, y) ->
+      match Ordering.lemma2_threshold x y with
+      | None -> not (Ordering.lt x y)
+      | Some x0 ->
+          Ordering.lt x y
+          && Ordering.count_at_or_below x x0 > Ordering.count_at_or_below y x0
+          && List.for_all
+               (fun z ->
+                 (not (z < x0))
+                 || Ordering.count_at_or_below x z >= Ordering.count_at_or_below y z)
+               (Array.to_list x @ Array.to_list y))
+
+let suite =
+  [
+    Alcotest.test_case "paper single-link example" `Quick test_paper_example;
+    Alcotest.test_case "leq basics" `Quick test_leq_basic;
+    Alcotest.test_case "lt" `Quick test_lt;
+    Alcotest.test_case "input validation" `Quick test_mismatch;
+    Alcotest.test_case "count_at_or_below" `Quick test_count_at_or_below;
+    Alcotest.test_case "max_min_of" `Quick test_max_min_of;
+    QCheck_alcotest.to_alcotest qcheck_reflexive;
+    QCheck_alcotest.to_alcotest qcheck_total;
+    QCheck_alcotest.to_alcotest qcheck_antisymmetric;
+    QCheck_alcotest.to_alcotest qcheck_transitive;
+    QCheck_alcotest.to_alcotest qcheck_compare_consistent;
+    QCheck_alcotest.to_alcotest qcheck_lemma2;
+  ]

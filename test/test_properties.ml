@@ -1,0 +1,164 @@
+(* Direct unit tests of the four fairness-property checkers on
+   hand-built allocations with known verdicts. *)
+
+module Graph = Mmfair_topology.Graph
+module Network = Mmfair_core.Network
+module Allocation = Mmfair_core.Allocation
+module Properties = Mmfair_core.Properties
+
+(* Two unicast sessions over one shared link (capacity 4). *)
+let shared_link_net () =
+  let g = Graph.create ~nodes:3 in
+  ignore (Graph.add_link g 0 1 4.0);
+  ignore (Graph.add_link g 1 2 10.0);
+  let s () = Network.session ~sender:0 ~receivers:[| 2 |] () in
+  Network.make g [| s (); s () |]
+
+let test_fp1_holds_on_even_split () =
+  let net = shared_link_net () in
+  let alloc = Allocation.make net [| [| 2.0 |]; [| 2.0 |] |] in
+  Alcotest.(check int) "no FP1 violations" 0
+    (List.length (Properties.fully_utilized_receiver_fair alloc))
+
+let test_fp1_fails_without_saturation () =
+  let net = shared_link_net () in
+  (* 1 + 1 = 2 < 4: nobody is bottlenecked, nobody at rho. *)
+  let alloc = Allocation.make net [| [| 1.0 |]; [| 1.0 |] |] in
+  Alcotest.(check int) "both receivers violate FP1" 2
+    (List.length (Properties.fully_utilized_receiver_fair alloc))
+
+let test_fp1_fails_on_uneven_split () =
+  let net = shared_link_net () in
+  (* 1 + 3 = 4 full, but the rate-1 receiver shares the full link
+     with a faster one. *)
+  let alloc = Allocation.make net [| [| 1.0 |]; [| 3.0 |] |] in
+  let violations = Properties.fully_utilized_receiver_fair alloc in
+  Alcotest.(check int) "one violation" 1 (List.length violations);
+  let v = List.hd violations in
+  Alcotest.(check int) "the slow receiver" 0 v.Properties.receiver.Network.session
+
+let test_fp1_rho_excuses () =
+  let g = Graph.create ~nodes:3 in
+  ignore (Graph.add_link g 0 1 4.0);
+  ignore (Graph.add_link g 1 2 10.0);
+  let s rho = Network.session ~rho ~sender:0 ~receivers:[| 2 |] () in
+  let net = Network.make g [| s 1.0; s infinity |] in
+  let alloc = Allocation.make net [| [| 1.0 |]; [| 3.0 |] |] in
+  Alcotest.(check int) "rho-pinned receiver is excused" 0
+    (List.length (Properties.fully_utilized_receiver_fair alloc))
+
+let test_fp2_holds_equal_rates () =
+  let net = shared_link_net () in
+  let alloc = Allocation.make net [| [| 2.0 |]; [| 2.0 |] |] in
+  Alcotest.(check int) "no FP2 violations" 0 (List.length (Properties.same_path_receiver_fair alloc))
+
+let test_fp2_fails_unequal () =
+  let net = shared_link_net () in
+  let alloc = Allocation.make net [| [| 1.0 |]; [| 3.0 |] |] in
+  let violations = Properties.same_path_receiver_fair alloc in
+  Alcotest.(check int) "one pair" 1 (List.length violations);
+  let v = List.hd violations in
+  Alcotest.(check bool) "rates recorded" true
+    (v.Properties.first_rate = 1.0 && v.Properties.second_rate = 3.0)
+
+let test_fp2_rho_excuses () =
+  let g = Graph.create ~nodes:3 in
+  ignore (Graph.add_link g 0 1 4.0);
+  ignore (Graph.add_link g 1 2 10.0);
+  let net =
+    Network.make g
+      [|
+        Network.session ~rho:1.0 ~sender:0 ~receivers:[| 2 |] ();
+        Network.session ~sender:0 ~receivers:[| 2 |] ();
+      |]
+  in
+  let alloc = Allocation.make net [| [| 1.0 |]; [| 3.0 |] |] in
+  Alcotest.(check int) "lower receiver at its rho" 0
+    (List.length (Properties.same_path_receiver_fair alloc))
+
+let test_fp2_different_paths_ignored () =
+  let g = Graph.create ~nodes:4 in
+  ignore (Graph.add_link g 0 1 4.0);
+  ignore (Graph.add_link g 1 2 4.0);
+  ignore (Graph.add_link g 1 3 4.0);
+  let net =
+    Network.make g
+      [|
+        Network.session ~sender:0 ~receivers:[| 2 |] ();
+        Network.session ~sender:0 ~receivers:[| 3 |] ();
+      |]
+  in
+  let alloc = Allocation.make net [| [| 1.0 |]; [| 3.0 |] |] in
+  Alcotest.(check int) "different paths: no pair to compare" 0
+    (List.length (Properties.same_path_receiver_fair alloc))
+
+let test_fp3_fp4_on_figure4 () =
+  (* Figure 4's discussion, directly: S1's inflated link rate starves
+     S2 of any fully-utilized link where S2 is maximal. *)
+  let { Mmfair_workload.Paper_nets.net; _ } = Mmfair_workload.Paper_nets.figure4 () in
+  let alloc = Allocation.make net [| [| 2.0; 2.0; 2.0 |]; [| 2.0 |] |] in
+  let fp3 = Properties.per_receiver_link_fair alloc in
+  let fp4 = Properties.per_session_link_fair alloc in
+  Alcotest.(check int) "FP3: S2's receiver" 1 (List.length fp3);
+  Alcotest.(check bool) "FP3 names session 2" true
+    (List.for_all (fun (v : Properties.per_receiver_link_violation) -> v.Properties.receiver.Network.session = 1) fp3);
+  Alcotest.(check int) "FP4: S2" 1 (List.length fp4);
+  Alcotest.(check bool) "FP4 names session 2" true
+    (List.for_all (fun (v : Properties.per_session_link_violation) -> v.Properties.session = 1) fp4)
+
+let test_fp4_weaker_than_fp3 () =
+  (* Any FP3-satisfying allocation satisfies FP4 (per session, one
+     receiver's witness serves the session): check on the multi-rate
+     figure-2 MMF allocation. *)
+  let { Mmfair_workload.Paper_nets.net; _ } =
+    Mmfair_workload.Paper_nets.figure2 ~session1_type:Network.Multi_rate ()
+  in
+  let alloc = Mmfair_core.Allocator.max_min net in
+  Alcotest.(check int) "FP3 clean" 0 (List.length (Properties.per_receiver_link_fair alloc));
+  Alcotest.(check int) "FP4 clean" 0 (List.length (Properties.per_session_link_fair alloc))
+
+let test_report_pretty_print () =
+  let net = shared_link_net () in
+  let alloc = Allocation.make net [| [| 1.0 |]; [| 3.0 |] |] in
+  let report = Properties.check_all alloc in
+  let buf = Buffer.create 128 in
+  let fmt = Format.formatter_of_buffer buf in
+  Properties.pp_report fmt report;
+  Format.pp_print_flush fmt ();
+  let s = Buffer.contents buf in
+  Alcotest.(check bool) "mentions FP1" true
+    (String.length s > 0 && String.index_opt s 'F' <> None)
+
+let test_holds_all_clean_report () =
+  let net = shared_link_net () in
+  let alloc = Allocation.make net [| [| 2.0 |]; [| 2.0 |] |] in
+  Alcotest.(check bool) "holds_all" true (Properties.holds_all alloc)
+
+let qcheck_fp3_implies_fp4 =
+  (* per-receiver-link-fairness implies per-session-link-fairness. *)
+  QCheck.Test.make ~name:"FP3 implies FP4 on random MMF allocations" ~count:150
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Mmfair_prng.Xoshiro.create ~seed:(Int64.of_int seed) () in
+      let net = Mmfair_workload.Random_nets.generate ~rng Mmfair_workload.Random_nets.default in
+      let alloc = Mmfair_core.Allocator.max_min net in
+      let fp3_clean = Properties.per_receiver_link_fair ~eps:1e-6 alloc = [] in
+      let fp4_clean = Properties.per_session_link_fair ~eps:1e-6 alloc = [] in
+      (not fp3_clean) || fp4_clean)
+
+let suite =
+  [
+    Alcotest.test_case "FP1 holds on even split" `Quick test_fp1_holds_on_even_split;
+    Alcotest.test_case "FP1 fails without saturation" `Quick test_fp1_fails_without_saturation;
+    Alcotest.test_case "FP1 fails on uneven split" `Quick test_fp1_fails_on_uneven_split;
+    Alcotest.test_case "FP1 rho excuses" `Quick test_fp1_rho_excuses;
+    Alcotest.test_case "FP2 holds on equal rates" `Quick test_fp2_holds_equal_rates;
+    Alcotest.test_case "FP2 fails unequal" `Quick test_fp2_fails_unequal;
+    Alcotest.test_case "FP2 rho excuses" `Quick test_fp2_rho_excuses;
+    Alcotest.test_case "FP2 ignores different paths" `Quick test_fp2_different_paths_ignored;
+    Alcotest.test_case "FP3/FP4 on figure 4" `Quick test_fp3_fp4_on_figure4;
+    Alcotest.test_case "FP4 weaker than FP3" `Quick test_fp4_weaker_than_fp3;
+    Alcotest.test_case "report pretty print" `Quick test_report_pretty_print;
+    Alcotest.test_case "holds_all on clean report" `Quick test_holds_all_clean_report;
+    QCheck_alcotest.to_alcotest qcheck_fp3_implies_fp4;
+  ]

@@ -1,0 +1,351 @@
+(* Protocol tests: layer schedule shares, the three receiver state
+   machines, coordinated sender signalling, and Figure-8 shape
+   assertions at reduced scale. *)
+
+module Scheme = Mmfair_layering.Scheme
+module Layer_schedule = Mmfair_protocols.Layer_schedule
+module Protocol = Mmfair_protocols.Protocol
+module Runner = Mmfair_protocols.Runner
+module Xoshiro = Mmfair_prng.Xoshiro
+
+let feq ?(eps = 1e-9) what a b =
+  Alcotest.(check bool) (Printf.sprintf "%s: %g vs %g" what a b) true (Float.abs (a -. b) <= eps)
+
+(* --- Layer schedule --- *)
+
+let test_wrr_shares_exact () =
+  let sched = Layer_schedule.create (Scheme.exponential ~layers:4) in
+  let rng = Xoshiro.create ~seed:1L () in
+  let counts = Array.make 4 0 in
+  let n = 8000 in
+  for _ = 1 to n do
+    let l = Layer_schedule.next sched ~rng in
+    counts.(l - 1) <- counts.(l - 1) + 1
+  done;
+  (* exponential: shares 1/8, 1/8, 2/8, 4/8; WRR is exact over full
+     periods (8000 = 1000 periods of 8). *)
+  Alcotest.(check (array int)) "exact WRR counts" [| 1000; 1000; 2000; 4000 |] counts
+
+let test_wrr_deterministic () =
+  let s1 = Layer_schedule.create (Scheme.exponential ~layers:3) in
+  let s2 = Layer_schedule.create (Scheme.exponential ~layers:3) in
+  let rng = Xoshiro.create ~seed:2L () in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same sequence" (Layer_schedule.next s1 ~rng) (Layer_schedule.next s2 ~rng)
+  done
+
+let test_wrr_no_starvation () =
+  let sched = Layer_schedule.create (Scheme.exponential ~layers:8) in
+  let rng = Xoshiro.create ~seed:3L () in
+  let seen = Array.make 8 false in
+  for _ = 1 to 256 do
+    seen.(Layer_schedule.next sched ~rng - 1) <- true
+  done;
+  Alcotest.(check bool) "every layer scheduled" true (Array.for_all Fun.id seen)
+
+let test_random_shares_approximate () =
+  let sched = Layer_schedule.create ~mode:Layer_schedule.Random (Scheme.exponential ~layers:3) in
+  let rng = Xoshiro.create ~seed:4L () in
+  let counts = Array.make 3 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    let l = Layer_schedule.next sched ~rng in
+    counts.(l - 1) <- counts.(l - 1) + 1
+  done;
+  (* shares 1/4, 1/4, 1/2 *)
+  feq ~eps:0.02 "layer 1 share" 0.25 (float_of_int counts.(0) /. float_of_int n);
+  feq ~eps:0.02 "layer 3 share" 0.5 (float_of_int counts.(2) /. float_of_int n)
+
+let test_share_accessor () =
+  let sched = Layer_schedule.create (Scheme.exponential ~layers:4) in
+  feq "share l1" 0.125 (Layer_schedule.share sched 1);
+  feq "share l4" 0.5 (Layer_schedule.share sched 4)
+
+(* --- join_period --- *)
+
+let test_join_period () =
+  Alcotest.(check int) "level 1" 1 (Protocol.join_period 1);
+  Alcotest.(check int) "level 2" 4 (Protocol.join_period 2);
+  Alcotest.(check int) "level 4" 64 (Protocol.join_period 4);
+  Alcotest.check_raises "level 0" (Invalid_argument "Protocol.join_period: level must be >= 1")
+    (fun () -> ignore (Protocol.join_period 0))
+
+(* --- receiver state machines --- *)
+
+let test_receiver_initial_state () =
+  let rng = Xoshiro.create ~seed:5L () in
+  let r = Protocol.receiver Protocol.Deterministic ~layers:8 ~rng in
+  Alcotest.(check int) "starts at layer 1" 1 (Protocol.level r);
+  Alcotest.(check bool) "subscribed to 1" true (Protocol.subscribed r ~layer:1);
+  Alcotest.(check bool) "not to 2" false (Protocol.subscribed r ~layer:2)
+
+let test_deterministic_joins_after_period () =
+  let rng = Xoshiro.create ~seed:6L () in
+  let r = Protocol.receiver Protocol.Deterministic ~layers:4 ~rng in
+  (* K_1 = 1: the first received packet triggers a join to level 2. *)
+  Protocol.on_received r ~signal:None;
+  Alcotest.(check int) "level 2 after 1 packet" 2 (Protocol.level r);
+  (* K_2 = 4: three more packets stay, the fourth joins. *)
+  for _ = 1 to 3 do
+    Protocol.on_received r ~signal:None
+  done;
+  Alcotest.(check int) "still level 2" 2 (Protocol.level r);
+  Protocol.on_received r ~signal:None;
+  Alcotest.(check int) "level 3 after 4 packets" 3 (Protocol.level r);
+  Alcotest.(check int) "two joins" 2 (Protocol.joins r)
+
+let test_congestion_leaves_and_resets () =
+  let rng = Xoshiro.create ~seed:7L () in
+  let r = Protocol.receiver Protocol.Deterministic ~layers:4 ~rng in
+  Protocol.on_received r ~signal:None;
+  (* -> 2 *)
+  for _ = 1 to 3 do
+    Protocol.on_received r ~signal:None
+  done;
+  Protocol.on_congestion r;
+  Alcotest.(check int) "dropped to 1" 1 (Protocol.level r);
+  Alcotest.(check int) "one leave" 1 (Protocol.leaves r);
+  (* the pacing counter reset with the event: next join needs a fresh
+     full period at level 1 (K_1 = 1, so one packet) *)
+  Protocol.on_received r ~signal:None;
+  Alcotest.(check int) "rejoined to 2" 2 (Protocol.level r)
+
+let test_congestion_at_level_one () =
+  let rng = Xoshiro.create ~seed:8L () in
+  let r = Protocol.receiver Protocol.Uncoordinated ~layers:4 ~rng in
+  Protocol.on_congestion r;
+  Alcotest.(check int) "never below 1" 1 (Protocol.level r);
+  Alcotest.(check int) "no leave counted at floor" 0 (Protocol.leaves r)
+
+let test_level_capped_at_top () =
+  let rng = Xoshiro.create ~seed:9L () in
+  let r = Protocol.receiver Protocol.Deterministic ~layers:2 ~rng in
+  for _ = 1 to 100 do
+    Protocol.on_received r ~signal:None
+  done;
+  Alcotest.(check int) "capped at layers" 2 (Protocol.level r)
+
+let test_uncoordinated_mean_join_time () =
+  (* At level 2 (K = 4), the mean number of received packets before a
+     join should be ~4. *)
+  let rng = Xoshiro.create ~seed:10L () in
+  let trials = 5000 in
+  let total = ref 0 in
+  for _ = 1 to trials do
+    let r = Protocol.receiver Protocol.Uncoordinated ~layers:8 ~rng in
+    Protocol.set_level r 2;
+    let count = ref 0 in
+    while Protocol.level r = 2 do
+      incr count;
+      Protocol.on_received r ~signal:None
+    done;
+    total := !total + !count
+  done;
+  let mean = float_of_int !total /. float_of_int trials in
+  Alcotest.(check bool) (Printf.sprintf "mean %.2f ~ 4" mean) true (Float.abs (mean -. 4.0) < 0.2)
+
+let test_coordinated_ignores_low_signal () =
+  let rng = Xoshiro.create ~seed:11L () in
+  let r = Protocol.receiver Protocol.Coordinated ~layers:8 ~rng in
+  Protocol.set_level r 3;
+  Protocol.on_received r ~signal:(Some 2);
+  Alcotest.(check int) "signal below level ignored" 3 (Protocol.level r);
+  Protocol.on_received r ~signal:(Some 3);
+  Alcotest.(check int) "signal at level joins" 4 (Protocol.level r);
+  Protocol.on_received r ~signal:None;
+  Alcotest.(check int) "no signal, no join" 4 (Protocol.level r)
+
+let test_coordinated_receiver_never_self_joins () =
+  let rng = Xoshiro.create ~seed:12L () in
+  let r = Protocol.receiver Protocol.Coordinated ~layers:8 ~rng in
+  for _ = 1 to 10_000 do
+    Protocol.on_received r ~signal:None
+  done;
+  Alcotest.(check int) "stays without signals" 1 (Protocol.level r)
+
+(* --- coordinated sender --- *)
+
+let test_sender_inert_for_uncoordinated () =
+  let s = Protocol.sender Protocol.Uncoordinated ~layers:8 in
+  for _ = 1 to 100 do
+    Alcotest.(check (option int)) "no signals" None (Protocol.on_send s ~layer:1)
+  done
+
+let test_sender_signals_on_layer1_only () =
+  let s = Protocol.sender Protocol.Coordinated ~layers:4 in
+  Alcotest.(check (option int)) "layer 2 carries nothing" None (Protocol.on_send s ~layer:2);
+  (* first layer-1 packet: counter_1 >= K_1 = 1 -> signal *)
+  match Protocol.on_send s ~layer:1 with
+  | Some s1 -> Alcotest.(check bool) "signal level >= 1" true (s1 >= 1)
+  | None -> Alcotest.fail "expected a signal on the layer-1 packet"
+
+let test_sender_signal_rates () =
+  (* Over a long WRR run, a level-i receiver should see roughly one
+     join opportunity per 2^(2(i-1)) packets it receives. *)
+  let layers = 4 in
+  let sched = Layer_schedule.create (Scheme.exponential ~layers) in
+  let s = Protocol.sender Protocol.Coordinated ~layers in
+  let rng = Xoshiro.create ~seed:13L () in
+  let slots = 200_000 in
+  let signals_ge = Array.make (layers + 1) 0 in
+  let sent_le = Array.make (layers + 1) 0 in
+  for _ = 1 to slots do
+    let layer = Layer_schedule.next sched ~rng in
+    for i = layer to layers do
+      sent_le.(i) <- sent_le.(i) + 1
+    done;
+    match Protocol.on_send s ~layer with
+    | Some sig_level ->
+        for i = 1 to sig_level do
+          signals_ge.(i) <- signals_ge.(i) + 1
+        done
+    | None -> ()
+  done;
+  for i = 1 to layers - 1 do
+    (* packets a level-i receiver gets per signal affecting level i *)
+    let period = float_of_int sent_le.(i) /. float_of_int signals_ge.(i) in
+    let expected = float_of_int (Protocol.join_period i) in
+    Alcotest.(check bool)
+      (Printf.sprintf "level %d period %.2f ~ %.0f" i period expected)
+      true
+      (Float.abs (period -. expected) /. expected < 0.2)
+  done
+
+(* --- runner / Figure 8 shape --- *)
+
+let test_runner_deterministic () =
+  let cfg = Runner.config ~packets:5_000 ~warmup:500 ~seed:77L Protocol.Uncoordinated in
+  let a = Runner.run_star cfg ~receivers:10 ~shared_loss:0.001 ~independent_loss:0.02 in
+  let b = Runner.run_star cfg ~receivers:10 ~shared_loss:0.001 ~independent_loss:0.02 in
+  Alcotest.(check (float 0.0)) "same seed same redundancy" a.Runner.redundancy b.Runner.redundancy
+
+let test_runner_seed_sensitivity () =
+  let make seed = Runner.config ~packets:5_000 ~warmup:500 ~seed Protocol.Uncoordinated in
+  let a = Runner.run_star (make 1L) ~receivers:10 ~shared_loss:0.001 ~independent_loss:0.02 in
+  let b = Runner.run_star (make 2L) ~receivers:10 ~shared_loss:0.001 ~independent_loss:0.02 in
+  Alcotest.(check bool) "different seeds differ" true (a.Runner.redundancy <> b.Runner.redundancy)
+
+let test_runner_no_loss_reaches_top () =
+  List.iter
+    (fun kind ->
+      let cfg = Runner.config ~layers:4 ~packets:10_000 ~warmup:2_000 kind in
+      let r = Runner.run_star cfg ~receivers:5 ~shared_loss:0.0 ~independent_loss:0.0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: mean level ~ top (%.2f)" (Protocol.kind_name kind) r.Runner.mean_level)
+        true
+        (r.Runner.mean_level > 3.9);
+      Alcotest.(check bool) "redundancy ~ 1" true (Float.abs (r.Runner.redundancy -. 1.0) < 0.05))
+    Protocol.all_kinds
+
+let test_runner_redundancy_at_least_one () =
+  List.iter
+    (fun kind ->
+      let cfg = Runner.config ~packets:10_000 ~warmup:1_000 kind in
+      let r = Runner.run_star cfg ~receivers:20 ~shared_loss:0.01 ~independent_loss:0.05 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s redundancy %.2f >= 1" (Protocol.kind_name kind) r.Runner.redundancy)
+        true (r.Runner.redundancy >= 1.0))
+    Protocol.all_kinds
+
+let test_figure8_shape_reduced () =
+  (* The paper's qualitative claims at reduced scale: redundancy below
+     ~5 everywhere, Coordinated no worse than the others, and loss-free
+     redundancy near 1. *)
+  let run kind independent_loss =
+    let cfg = Runner.config ~packets:30_000 ~warmup:3_000 ~seed:5L kind in
+    (Runner.run_star cfg ~receivers:30 ~shared_loss:0.0001 ~independent_loss).Runner.redundancy
+  in
+  List.iter
+    (fun loss ->
+      let u = run Protocol.Uncoordinated loss in
+      let d = run Protocol.Deterministic loss in
+      let c = run Protocol.Coordinated loss in
+      Alcotest.(check bool) (Printf.sprintf "all < 5.5 at loss %g (u=%.2f d=%.2f c=%.2f)" loss u d c)
+        true
+        (u < 5.5 && d < 5.5 && c < 5.5);
+      Alcotest.(check bool)
+        (Printf.sprintf "coordinated lowest-ish at loss %g (c=%.2f u=%.2f d=%.2f)" loss c u d)
+        true
+        (c <= u +. 0.3 && c <= d +. 0.3);
+      Alcotest.(check bool) (Printf.sprintf "coordinated < 2.5 at loss %g (c=%.2f)" loss c) true
+        (c < 2.5))
+    [ 0.02; 0.06; 0.1 ]
+
+let test_redundancy_grows_with_loss () =
+  let run loss =
+    let cfg = Runner.config ~packets:30_000 ~warmup:3_000 ~seed:6L Protocol.Uncoordinated in
+    (Runner.run_star cfg ~receivers:30 ~shared_loss:0.0001 ~independent_loss:loss).Runner.redundancy
+  in
+  let r0 = run 0.0 and r1 = run 0.05 in
+  Alcotest.(check bool) (Printf.sprintf "more loss, more redundancy (%.2f -> %.2f)" r0 r1) true
+    (r1 > r0)
+
+let test_replicate_ci () =
+  let f seed =
+    let cfg = Runner.config ~packets:5_000 ~warmup:500 ~seed Protocol.Coordinated in
+    Runner.run_star cfg ~receivers:10 ~shared_loss:0.001 ~independent_loss:0.02
+  in
+  let ci = Runner.replicate ~runs:5 f ~seed:3L in
+  Alcotest.(check int) "n" 5 ci.Mmfair_stats.Ci.n;
+  Alcotest.(check bool) "positive mean" true (ci.Mmfair_stats.Ci.mean > 0.0);
+  Alcotest.(check bool) "finite half width" true (Float.is_finite ci.Mmfair_stats.Ci.half_width)
+
+let test_run_tree_measured_link_validation () =
+  let s = Mmfair_topology.Builders.modified_star ~shared_capacity:1.0 ~fanout_capacities:[| 1.0 |] in
+  let g = s.Mmfair_topology.Builders.graph in
+  let extra = Mmfair_topology.Graph.add_node g in
+  let stray = Mmfair_topology.Graph.add_link g s.Mmfair_topology.Builders.receivers.(0) extra 1.0 in
+  let cfg = Runner.config ~packets:100 ~warmup:10 Protocol.Coordinated in
+  Alcotest.check_raises "measured link off-path"
+    (Invalid_argument "Runner.run_tree: measured link is not on the session's data-path") (fun () ->
+      ignore
+        (Runner.run_tree cfg ~graph:g ~sender:s.Mmfair_topology.Builders.sender
+           ~receivers:s.Mmfair_topology.Builders.receivers ~loss_rate:(fun _ -> 0.0)
+           ~measured_link:stray))
+
+let suite =
+  [
+    Alcotest.test_case "WRR exact shares" `Quick test_wrr_shares_exact;
+    Alcotest.test_case "WRR deterministic" `Quick test_wrr_deterministic;
+    Alcotest.test_case "WRR no starvation" `Quick test_wrr_no_starvation;
+    Alcotest.test_case "random shares approximate" `Quick test_random_shares_approximate;
+    Alcotest.test_case "share accessor" `Quick test_share_accessor;
+    Alcotest.test_case "join_period" `Quick test_join_period;
+    Alcotest.test_case "receiver initial state" `Quick test_receiver_initial_state;
+    Alcotest.test_case "deterministic join pacing" `Quick test_deterministic_joins_after_period;
+    Alcotest.test_case "congestion leaves and resets" `Quick test_congestion_leaves_and_resets;
+    Alcotest.test_case "congestion at level 1" `Quick test_congestion_at_level_one;
+    Alcotest.test_case "level capped at top" `Quick test_level_capped_at_top;
+    Alcotest.test_case "uncoordinated mean join time" `Slow test_uncoordinated_mean_join_time;
+    Alcotest.test_case "coordinated signal gating" `Quick test_coordinated_ignores_low_signal;
+    Alcotest.test_case "coordinated never self-joins" `Quick test_coordinated_receiver_never_self_joins;
+    Alcotest.test_case "sender inert for uncoordinated" `Quick test_sender_inert_for_uncoordinated;
+    Alcotest.test_case "sender signals on layer 1" `Quick test_sender_signals_on_layer1_only;
+    Alcotest.test_case "sender signal rates" `Slow test_sender_signal_rates;
+    Alcotest.test_case "runner deterministic" `Quick test_runner_deterministic;
+    Alcotest.test_case "runner seed sensitivity" `Quick test_runner_seed_sensitivity;
+    Alcotest.test_case "no loss reaches top layer" `Quick test_runner_no_loss_reaches_top;
+    Alcotest.test_case "redundancy >= 1" `Quick test_runner_redundancy_at_least_one;
+    Alcotest.test_case "figure 8 shape (reduced)" `Slow test_figure8_shape_reduced;
+    Alcotest.test_case "redundancy grows with loss" `Slow test_redundancy_grows_with_loss;
+    Alcotest.test_case "replicate CI" `Quick test_replicate_ci;
+    Alcotest.test_case "run_tree validation" `Quick test_run_tree_measured_link_validation;
+  ]
+
+let test_replicate_parallel_identical () =
+  let f seed =
+    let cfg = Runner.config ~packets:4_000 ~warmup:400 ~seed Protocol.Deterministic in
+    Runner.run_star cfg ~receivers:8 ~shared_loss:0.001 ~independent_loss:0.03
+  in
+  let serial = Runner.replicate ~runs:6 f ~seed:9L in
+  let parallel = Runner.replicate ~domains:3 ~runs:6 f ~seed:9L in
+  Alcotest.(check (float 0.0)) "identical mean" serial.Mmfair_stats.Ci.mean
+    parallel.Mmfair_stats.Ci.mean;
+  Alcotest.(check (float 0.0)) "identical half width" serial.Mmfair_stats.Ci.half_width
+    parallel.Mmfair_stats.Ci.half_width
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "replicate: parallel = serial" `Slow test_replicate_parallel_identical;
+    ]

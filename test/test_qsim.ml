@@ -1,0 +1,405 @@
+(* Closed-loop simulator tests: the drop-tail queue model and the
+   capacitated protocol runs against the allocator's predictions. *)
+
+module Qlink = Mmfair_sim.Qlink
+module Qrunner = Mmfair_protocols.Qrunner
+module Protocol = Mmfair_protocols.Protocol
+module E = Mmfair_experiments
+
+let feq ?(eps = 1e-9) what a b =
+  Alcotest.(check bool) (Printf.sprintf "%s: %g vs %g" what a b) true (Float.abs (a -. b) <= eps)
+
+(* --- Qlink --- *)
+
+let test_qlink_service_time () =
+  let l = Qlink.create ~capacity:10.0 ~delay:0.5 () in
+  (match Qlink.offer l ~now:0.0 with
+  | Qlink.Accepted { delivery; marked } ->
+      feq "first packet: service + delay" 0.6 delivery;
+      Alcotest.(check bool) "unmarked by default" false marked
+  | Qlink.Dropped -> Alcotest.fail "dropped on empty link");
+  (* second packet queues behind the first *)
+  match Qlink.offer l ~now:0.0 with
+  | Qlink.Accepted { delivery; _ } -> feq "second packet queues" 0.7 delivery
+  | Qlink.Dropped -> Alcotest.fail "dropped with room"
+
+let test_qlink_idle_resets () =
+  let l = Qlink.create ~capacity:10.0 ~delay:0.0 () in
+  ignore (Qlink.offer l ~now:0.0);
+  (* after the queue drains, a new packet starts service immediately *)
+  match Qlink.offer l ~now:5.0 with
+  | Qlink.Accepted { delivery; _ } -> feq "fresh service" 5.1 delivery
+  | Qlink.Dropped -> Alcotest.fail "dropped on idle link"
+
+let test_qlink_buffer_overflow () =
+  let l = Qlink.create ~capacity:1.0 ~delay:0.0 ~buffer:2 () in
+  (match Qlink.offer l ~now:0.0 with Qlink.Accepted _ -> () | _ -> Alcotest.fail "1st");
+  (match Qlink.offer l ~now:0.0 with Qlink.Accepted _ -> () | _ -> Alcotest.fail "2nd");
+  (match Qlink.offer l ~now:0.0 with
+  | Qlink.Dropped -> ()
+  | Qlink.Accepted _ -> Alcotest.fail "3rd should overflow");
+  Alcotest.(check int) "offered" 3 (Qlink.offered l);
+  Alcotest.(check int) "dropped" 1 (Qlink.dropped l);
+  Alcotest.(check int) "queue length" 2 (Qlink.queue_length l ~now:0.0);
+  (* after the first departs there is room again *)
+  match Qlink.offer l ~now:1.5 with
+  | Qlink.Accepted _ -> ()
+  | Qlink.Dropped -> Alcotest.fail "room after departure"
+
+let test_qlink_fifo_times_monotone () =
+  let l = Qlink.create ~capacity:100.0 ~delay:0.01 ~buffer:64 () in
+  let last = ref neg_infinity in
+  for i = 0 to 40 do
+    match Qlink.offer l ~now:(float_of_int i *. 0.001) with
+    | Qlink.Accepted { delivery; _ } ->
+        Alcotest.(check bool) "deliveries in order" true (delivery >= !last);
+        last := delivery
+    | Qlink.Dropped -> ()
+  done
+
+let test_qlink_time_travel () =
+  let l = Qlink.create ~capacity:1.0 () in
+  ignore (Qlink.offer l ~now:1.0);
+  Alcotest.check_raises "backwards" (Invalid_argument "Qlink.offer: time moved backwards") (fun () ->
+      ignore (Qlink.offer l ~now:0.5))
+
+let test_qlink_utilization () =
+  let l = Qlink.create ~capacity:10.0 ~delay:0.0 () in
+  for _ = 1 to 5 do
+    ignore (Qlink.offer l ~now:0.0)
+  done;
+  (* 5 packets x 0.1s service over 1s elapsed *)
+  feq ~eps:1e-9 "utilization" 0.5 (Qlink.utilization l ~now:1.0)
+
+let test_qlink_validation () =
+  Alcotest.check_raises "bad capacity" (Invalid_argument "Qlink.create: capacity must be positive")
+    (fun () -> ignore (Qlink.create ~capacity:0.0 ()));
+  Alcotest.check_raises "bad buffer" (Invalid_argument "Qlink.create: buffer must hold at least one packet")
+    (fun () -> ignore (Qlink.create ~capacity:1.0 ~buffer:0 ()))
+
+(* --- Qrunner --- *)
+
+let quick_cfg ?(duration = 60.0) kind =
+  Qrunner.config ~layers:5 ~unit_rate:8.0 ~duration ~warmup:(duration /. 4.0) ~seed:3L kind
+
+let test_uncongested_reaches_top () =
+  (* capacities far above the aggregate: everyone climbs to the top
+     layer and goodput = the full aggregate rate *)
+  let cfg = quick_cfg Protocol.Deterministic in
+  let r = Qrunner.run_star cfg ~shared_capacity:1000.0 ~fanout_capacities:[| 1000.0; 1000.0 |] in
+  Array.iter
+    (fun g -> Alcotest.(check bool) (Printf.sprintf "goodput %.1f ~ 128" g) true (g > 120.0))
+    r.Qrunner.goodput;
+  Array.iter
+    (fun l -> Alcotest.(check bool) "at top layer" true (l > 4.8))
+    r.Qrunner.mean_level;
+  List.iter (fun (_, d) -> Alcotest.(check int) "no drops" 0 d) r.Qrunner.drops
+
+let test_bottleneck_respected () =
+  (* a 40 pkt/s access link cannot deliver more than 40 *)
+  List.iter
+    (fun kind ->
+      let r = Qrunner.run_star (quick_cfg kind) ~shared_capacity:1000.0 ~fanout_capacities:[| 40.0 |] in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: goodput %.1f <= capacity" (Protocol.kind_name kind) r.Qrunner.goodput.(0))
+        true
+        (r.Qrunner.goodput.(0) <= 40.0 +. 1e-6);
+      Alcotest.(check bool) "reaches a useful fraction" true (r.Qrunner.goodput.(0) > 20.0))
+    Protocol.all_kinds
+
+let test_multicast_shares_bottleneck () =
+  (* two receivers behind one 40 pkt/s link: multicast sends ONE copy,
+     so each can exceed half the link *)
+  let cfg = quick_cfg Protocol.Coordinated in
+  let r = Qrunner.run_star cfg ~shared_capacity:40.0 ~fanout_capacities:[| 1000.0; 1000.0 |] in
+  Array.iter
+    (fun g ->
+      Alcotest.(check bool) (Printf.sprintf "goodput %.1f > half the link" g) true (g > 24.0))
+    r.Qrunner.goodput
+
+let test_heterogeneous_ordering () =
+  (* faster access must never end up with less goodput *)
+  List.iter
+    (fun kind ->
+      let r =
+        Qrunner.run_star (quick_cfg kind) ~shared_capacity:300.0
+          ~fanout_capacities:[| 160.0; 40.0; 20.0 |]
+      in
+      let g = r.Qrunner.goodput in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: ordering %.1f >= %.1f >= %.1f" (Protocol.kind_name kind) g.(0) g.(1) g.(2))
+        true
+        (g.(0) >= g.(1) -. 2.0 && g.(1) >= g.(2) -. 2.0))
+    Protocol.all_kinds
+
+let test_sustainable_rates () =
+  let cfg = quick_cfg Protocol.Coordinated in
+  let r = Qrunner.run_star cfg ~shared_capacity:300.0 ~fanout_capacities:[| 160.0; 40.0; 20.0 |] in
+  Alcotest.(check (array (float 1e-9))) "granularity targets" [| 128.0; 32.0; 16.0 |]
+    r.Qrunner.sustainable
+
+let test_deterministic_runs_reproducible () =
+  let cfg = quick_cfg ~duration:30.0 Protocol.Uncoordinated in
+  let a = Qrunner.run_star cfg ~shared_capacity:100.0 ~fanout_capacities:[| 50.0; 30.0 |] in
+  let b = Qrunner.run_star cfg ~shared_capacity:100.0 ~fanout_capacities:[| 50.0; 30.0 |] in
+  Alcotest.(check (array (float 0.0))) "same seed, same goodput" a.Qrunner.goodput b.Qrunner.goodput
+
+let test_closed_loop_experiment () =
+  let config kind = quick_cfg ~duration:90.0 kind in
+  let outcomes = E.Closed_loop.run ~config () in
+  Alcotest.(check int) "three protocols" 3 (List.length outcomes);
+  List.iter
+    (fun o ->
+      List.iter
+        (fun row ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s r%d: goodput %.1f below fluid fair %.1f"
+               (Protocol.kind_name o.E.Closed_loop.kind) row.E.Closed_loop.receiver
+               row.E.Closed_loop.goodput row.E.Closed_loop.fair_rate)
+            true
+            (row.E.Closed_loop.goodput <= row.E.Closed_loop.fair_rate +. 1e-6);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s r%d: attainment %.2f in sensible band"
+               (Protocol.kind_name o.E.Closed_loop.kind) row.E.Closed_loop.receiver
+               row.E.Closed_loop.attainment)
+            true
+            (row.E.Closed_loop.attainment > 0.55 && row.E.Closed_loop.attainment < 1.15))
+        o.E.Closed_loop.rows)
+    outcomes
+
+(* --- multi-session and ECN --- *)
+
+let competition_topology bottleneck =
+  let g = Mmfair_topology.Graph.create ~nodes:2 in
+  ignore (Mmfair_topology.Graph.add_link g 0 1 bottleneck);
+  let leaf1 = Mmfair_topology.Graph.add_node g in
+  let leaf2 = Mmfair_topology.Graph.add_node g in
+  ignore (Mmfair_topology.Graph.add_link g 1 leaf1 (bottleneck *. 100.0));
+  ignore (Mmfair_topology.Graph.add_link g 1 leaf2 (bottleneck *. 100.0));
+  (g, leaf1, leaf2)
+
+let test_multi_session_capacity_respected () =
+  let g, leaf1, leaf2 = competition_topology 60.0 in
+  let cfg = quick_cfg Protocol.Deterministic in
+  let r =
+    Qrunner.run_multi cfg ~graph:g
+      ~sessions:
+        [| Qrunner.layered ~sender:0 ~receivers:[| leaf1 |];
+           Qrunner.layered ~sender:0 ~receivers:[| leaf2 |] |]
+  in
+  let total =
+    Array.fold_left
+      (fun acc (s : Qrunner.session_result) -> acc +. s.Qrunner.goodput.(0))
+      0.0 r.Qrunner.sessions
+  in
+  Alcotest.(check bool) (Printf.sprintf "aggregate %.1f within bottleneck" total) true (total <= 60.0 +. 1e-6);
+  Alcotest.(check bool) "both sessions make progress" true
+    (Array.for_all (fun (s : Qrunner.session_result) -> s.Qrunner.goodput.(0) > 5.0) r.Qrunner.sessions)
+
+let test_single_session_wrapper_consistent () =
+  (* run vs run_multi with one session must agree exactly *)
+  let cfg = quick_cfg ~duration:30.0 Protocol.Coordinated in
+  let star =
+    Mmfair_topology.Builders.modified_star ~shared_capacity:100.0 ~fanout_capacities:[| 50.0 |]
+  in
+  let single =
+    Qrunner.run cfg ~graph:star.Mmfair_topology.Builders.graph
+      ~sender:star.Mmfair_topology.Builders.sender
+      ~receivers:star.Mmfair_topology.Builders.receivers
+  in
+  let multi =
+    Qrunner.run_multi cfg ~graph:star.Mmfair_topology.Builders.graph
+      ~sessions:
+        [| Qrunner.layered ~sender:star.Mmfair_topology.Builders.sender
+             ~receivers:star.Mmfair_topology.Builders.receivers |]
+  in
+  Alcotest.(check (array (float 0.0))) "identical goodput" single.Qrunner.goodput
+    multi.Qrunner.sessions.(0).Qrunner.goodput
+
+let test_ecn_cuts_losses () =
+  let base marking = { (quick_cfg ~duration:90.0 Protocol.Deterministic) with Qrunner.marking } in
+  let droptail =
+    Qrunner.run_star (base Qlink.No_marking) ~shared_capacity:300.0
+      ~fanout_capacities:[| 160.0; 40.0; 20.0 |]
+  in
+  let ecn =
+    Qrunner.run_star (base (Qlink.Threshold 4)) ~shared_capacity:300.0
+      ~fanout_capacities:[| 160.0; 40.0; 20.0 |]
+  in
+  let drops r = List.fold_left (fun acc (_, d) -> acc + d) 0 r.Qrunner.drops in
+  Alcotest.(check int) "no marks without ECN" 0 droptail.Qrunner.marks;
+  Alcotest.(check bool) "ECN marks happen" true (ecn.Qrunner.marks > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "losses shrink (%d -> %d)" (drops droptail) (drops ecn))
+    true
+    (drops ecn < drops droptail / 5);
+  let total r = Array.fold_left ( +. ) 0.0 r.Qrunner.goodput in
+  Alcotest.(check bool)
+    (Printf.sprintf "goodput retained (%.1f vs %.1f)" (total ecn) (total droptail))
+    true
+    (total ecn > 0.75 *. total droptail)
+
+let test_ecn_validation () =
+  Alcotest.check_raises "bad threshold" (Invalid_argument "Qlink.create: marking threshold must be >= 1")
+    (fun () ->
+      ignore (Qlink.create ~capacity:1.0 ~marking:(Qlink.Threshold 0) ()))
+
+let test_competition_ecn_fairer () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: ECN ratio %.2f <= drop-tail ratio %.2f"
+           (Protocol.kind_name r.E.Competition.kind) r.E.Competition.ecn_ratio
+           r.E.Competition.droptail_ratio)
+        true
+        (r.E.Competition.ecn_ratio <= r.E.Competition.droptail_ratio +. 0.1);
+      Alcotest.(check bool) "ECN split within 2x" true (r.E.Competition.ecn_ratio < 2.0))
+    (E.Competition.run ~duration:90.0 ())
+
+let test_ecn_study_rows () =
+  let rows = E.Ecn_study.run ~duration:60.0 () in
+  Alcotest.(check int) "three protocols" 3 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "ECN losses below drop-tail" true
+        (r.E.Ecn_study.ecn_drops <= r.E.Ecn_study.droptail_drops);
+      Alcotest.(check bool) "marks recorded" true (r.E.Ecn_study.ecn_marks > 0))
+    rows
+
+(* --- RED marking --- *)
+
+let test_red_marking () =
+  let rng = Mmfair_prng.Xoshiro.create ~seed:91L () in
+  let l =
+    Qlink.create ~capacity:10.0 ~delay:0.0 ~buffer:64
+      ~marking:(Qlink.Red { min_th = 2.0; max_th = 8.0; max_p = 0.5; weight = 0.5 })
+      ~rng ()
+  in
+  (* flood the link at time 0: the average queue climbs past min_th
+     and marks start appearing, reaching certainty past max_th *)
+  for _ = 1 to 40 do
+    ignore (Qlink.offer l ~now:0.0)
+  done;
+  Alcotest.(check bool) "some marks" true (Qlink.marked l > 0);
+  Alcotest.(check bool) "not everything marked" true (Qlink.marked l < 40);
+  Alcotest.(check bool) "avg queue tracked" true (Qlink.avg_queue l > 2.0);
+  (* an idle link marks nothing *)
+  let rng2 = Mmfair_prng.Xoshiro.create ~seed:92L () in
+  let calm =
+    Qlink.create ~capacity:1000.0 ~delay:0.0
+      ~marking:(Qlink.Red { min_th = 2.0; max_th = 8.0; max_p = 0.5; weight = 0.5 })
+      ~rng:rng2 ()
+  in
+  for i = 1 to 20 do
+    ignore (Qlink.offer calm ~now:(float_of_int i))
+  done;
+  Alcotest.(check int) "no marks when idle" 0 (Qlink.marked calm)
+
+let test_red_validation () =
+  Alcotest.check_raises "rng required" (Invalid_argument "Qlink.create: RED marking requires an rng")
+    (fun () ->
+      ignore
+        (Qlink.create ~capacity:1.0
+           ~marking:(Qlink.Red { min_th = 1.0; max_th = 2.0; max_p = 0.5; weight = 0.1 })
+           ()));
+  Alcotest.check_raises "bad thresholds" (Invalid_argument "Qlink.create: RED thresholds") (fun () ->
+      ignore
+        (Qlink.create ~capacity:1.0
+           ~marking:(Qlink.Red { min_th = 3.0; max_th = 2.0; max_p = 0.5; weight = 0.1 })
+           ~rng:(Mmfair_prng.Xoshiro.create ~seed:1L ())
+           ()))
+
+(* --- AIMD --- *)
+
+let test_aimd_alone () =
+  (* a single AIMD flow on a 50 pkt/s link should get most of it and
+     never exceed it *)
+  let g = Mmfair_topology.Graph.create ~nodes:2 in
+  ignore (Mmfair_topology.Graph.add_link g 0 1 50.0);
+  let leaf = Mmfair_topology.Graph.add_node g in
+  ignore (Mmfair_topology.Graph.add_link g 1 leaf 1000.0);
+  let cfg =
+    Qrunner.config ~duration:120.0 ~warmup:30.0 ~link_delay:0.02 ~seed:8L Protocol.Coordinated
+  in
+  let r = Qrunner.run_multi cfg ~graph:g ~sessions:[| Qrunner.aimd ~sender:0 ~receiver:leaf () |] in
+  let g0 = r.Qrunner.sessions.(0).Qrunner.goodput.(0) in
+  Alcotest.(check bool) (Printf.sprintf "goodput %.1f within capacity" g0) true (g0 <= 50.0 +. 1e-6);
+  Alcotest.(check bool) (Printf.sprintf "goodput %.1f uses most of it" g0) true (g0 > 30.0)
+
+let test_aimd_validation () =
+  Alcotest.check_raises "bad params" (Invalid_argument "Qrunner.aimd: bad parameters") (fun () ->
+      ignore (Qrunner.aimd ~alpha:0.0 ~sender:0 ~receiver:1 ()));
+  (* multi-receiver AIMD rejected at run time *)
+  let g = Mmfair_topology.Graph.create ~nodes:3 in
+  ignore (Mmfair_topology.Graph.add_link g 0 1 10.0);
+  ignore (Mmfair_topology.Graph.add_link g 0 2 10.0);
+  let bad = { (Qrunner.aimd ~sender:0 ~receiver:1 ()) with Qrunner.receivers = [| 1; 2 |] } in
+  Alcotest.check_raises "multi-receiver AIMD"
+    (Invalid_argument "Qrunner: AIMD sessions have exactly one receiver") (fun () ->
+      ignore (Qrunner.run_multi (quick_cfg Protocol.Coordinated) ~graph:g ~sessions:[| bad |]))
+
+let test_tcp_friendly_rows () =
+  let rows = E.Tcp_friendly.run ~duration:90.0 () in
+  Alcotest.(check int) "3 protocols x 3 queue regimes" 9 (List.length rows);
+  List.iter
+    (fun r ->
+      let total = r.E.Tcp_friendly.layered_goodput +. r.E.Tcp_friendly.aimd_goodput in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s: total %.1f within bottleneck" (Protocol.kind_name r.E.Tcp_friendly.kind)
+           r.E.Tcp_friendly.marking total)
+        true
+        (total <= 60.0 +. 1e-6);
+      Alcotest.(check bool) "both sides alive" true
+        (r.E.Tcp_friendly.layered_goodput > 4.0 && r.E.Tcp_friendly.aimd_goodput > 4.0))
+    rows
+
+let suite =
+  [
+    Alcotest.test_case "qlink service time" `Quick test_qlink_service_time;
+    Alcotest.test_case "qlink idle resets" `Quick test_qlink_idle_resets;
+    Alcotest.test_case "qlink buffer overflow" `Quick test_qlink_buffer_overflow;
+    Alcotest.test_case "qlink FIFO monotone" `Quick test_qlink_fifo_times_monotone;
+    Alcotest.test_case "qlink time travel" `Quick test_qlink_time_travel;
+    Alcotest.test_case "qlink utilization" `Quick test_qlink_utilization;
+    Alcotest.test_case "qlink validation" `Quick test_qlink_validation;
+    Alcotest.test_case "uncongested reaches top" `Slow test_uncongested_reaches_top;
+    Alcotest.test_case "bottleneck respected" `Slow test_bottleneck_respected;
+    Alcotest.test_case "multicast shares bottleneck" `Slow test_multicast_shares_bottleneck;
+    Alcotest.test_case "heterogeneous ordering" `Slow test_heterogeneous_ordering;
+    Alcotest.test_case "sustainable rates" `Slow test_sustainable_rates;
+    Alcotest.test_case "reproducible runs" `Slow test_deterministic_runs_reproducible;
+    Alcotest.test_case "closed-loop vs allocator" `Slow test_closed_loop_experiment;
+    Alcotest.test_case "multi-session capacity" `Slow test_multi_session_capacity_respected;
+    Alcotest.test_case "single-session wrapper" `Slow test_single_session_wrapper_consistent;
+    Alcotest.test_case "ECN cuts losses" `Slow test_ecn_cuts_losses;
+    Alcotest.test_case "ECN validation" `Quick test_ecn_validation;
+    Alcotest.test_case "ECN restores competitive fairness" `Slow test_competition_ecn_fairer;
+    Alcotest.test_case "ECN study rows" `Slow test_ecn_study_rows;
+    Alcotest.test_case "RED marks probabilistically" `Quick test_red_marking;
+    Alcotest.test_case "RED requires rng" `Quick test_red_validation;
+    Alcotest.test_case "AIMD respects bottleneck" `Slow test_aimd_alone;
+    Alcotest.test_case "AIMD validation" `Quick test_aimd_validation;
+    Alcotest.test_case "TCP-friendliness rows" `Slow test_tcp_friendly_rows;
+  ]
+
+(* Qlink conservation property: offered = accepted + dropped, queue
+   bounded by buffer, utilization bounded by 1. *)
+let qcheck_qlink_conservation =
+  QCheck.Test.make ~name:"qlink: conservation and bounds under random arrivals" ~count:200
+    QCheck.(pair (int_range 0 10_000) (int_range 1 8))
+    (fun (seed, buffer) ->
+      let rng = Mmfair_prng.Xoshiro.create ~seed:(Int64.of_int seed) () in
+      let l = Qlink.create ~capacity:50.0 ~delay:0.002 ~buffer () in
+      let now = ref 0.0 in
+      let accepted = ref 0 in
+      for _ = 1 to 200 do
+        now := !now +. Mmfair_prng.Xoshiro.uniform rng 0.0 0.05;
+        match Qlink.offer l ~now:!now with
+        | Qlink.Accepted _ -> incr accepted
+        | Qlink.Dropped -> ()
+      done;
+      Qlink.offered l = !accepted + Qlink.dropped l
+      && Qlink.queue_length l ~now:!now <= buffer
+      && Qlink.utilization l ~now:!now <= 1.0 +. 1e-9)
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest qcheck_qlink_conservation ]

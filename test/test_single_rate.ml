@@ -1,0 +1,76 @@
+(* Tests for the inter-receiver-fairness single-rate choice (related
+   work [6]). *)
+
+module Network = Mmfair_core.Network
+module Single_rate_choice = Mmfair_core.Single_rate_choice
+module Graph = Mmfair_topology.Graph
+module E = Mmfair_experiments
+
+let feq ?(eps = 1e-9) what a b =
+  Alcotest.(check bool) (Printf.sprintf "%s: %g vs %g" what a b) true (Float.abs (a -. b) <= eps)
+
+let test_figure2_optimal_is_bottleneck () =
+  let { Mmfair_workload.Paper_nets.net; _ } = Mmfair_workload.Paper_nets.figure2 () in
+  let o = Single_rate_choice.optimal net ~session:0 () in
+  (* The session's slowest branch caps it at 2; asking for more
+     changes nothing, asking for less wastes satisfaction. *)
+  feq "realized at bottleneck" 2.0 o.Single_rate_choice.realized;
+  Alcotest.(check bool) "satisfaction below 1 (multi-rate does better)" true
+    (o.Single_rate_choice.session_satisfaction < 1.0)
+
+let test_sweep_monotone_realized () =
+  let { Mmfair_workload.Paper_nets.net; _ } = Mmfair_workload.Paper_nets.figure2 () in
+  let points = Single_rate_choice.sweep net ~session:0 ~grid:10 () in
+  Alcotest.(check int) "grid size" 10 (List.length points);
+  let rec check_monotone = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "realized non-decreasing" true
+          (b.Single_rate_choice.realized >= a.Single_rate_choice.realized -. 1e-9);
+        Alcotest.(check bool) "satisfaction non-decreasing" true
+          (b.Single_rate_choice.session_satisfaction
+          >= a.Single_rate_choice.session_satisfaction -. 1e-9);
+        check_monotone rest
+    | _ -> ()
+  in
+  check_monotone points
+
+let test_realized_never_exceeds_rho () =
+  let { Mmfair_workload.Paper_nets.net; _ } = Mmfair_workload.Paper_nets.figure2 () in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "realized <= candidate" true
+        (p.Single_rate_choice.realized <= p.Single_rate_choice.rate +. 1e-9))
+    (Single_rate_choice.sweep net ~session:0 ~grid:16 ())
+
+let test_homogeneous_receivers_reach_full_satisfaction () =
+  (* When all receivers sit behind identical capacity, single-rate
+     costs nothing: optimal satisfaction = 1. *)
+  let g = Graph.create ~nodes:4 in
+  ignore (Graph.add_link g 0 1 10.0);
+  ignore (Graph.add_link g 1 2 3.0);
+  ignore (Graph.add_link g 1 3 3.0);
+  let net = Network.make g [| Network.session ~sender:0 ~receivers:[| 2; 3 |] () |] in
+  let o = Single_rate_choice.optimal net ~session:0 () in
+  feq "full satisfaction" 1.0 o.Single_rate_choice.session_satisfaction;
+  feq "rate 3" 3.0 o.Single_rate_choice.realized
+
+let test_unknown_session () =
+  let { Mmfair_workload.Paper_nets.net; _ } = Mmfair_workload.Paper_nets.figure2 () in
+  Alcotest.check_raises "bad session" (Invalid_argument "Single_rate_choice.sweep: unknown session")
+    (fun () -> ignore (Single_rate_choice.sweep net ~session:9 ()))
+
+let test_study_table () =
+  let o = E.Single_rate_study.run_figure2 ~grid:8 () in
+  Alcotest.(check int) "rows" 8 (List.length o.E.Single_rate_study.table.E.Table.rows);
+  feq "optimal realized" 2.0 o.E.Single_rate_study.optimal.Single_rate_choice.realized
+
+let suite =
+  [
+    Alcotest.test_case "figure-2 optimal is the bottleneck" `Quick test_figure2_optimal_is_bottleneck;
+    Alcotest.test_case "sweep monotone" `Quick test_sweep_monotone_realized;
+    Alcotest.test_case "realized <= rho" `Quick test_realized_never_exceeds_rho;
+    Alcotest.test_case "homogeneous receivers satisfied" `Quick
+      test_homogeneous_receivers_reach_full_satisfaction;
+    Alcotest.test_case "unknown session" `Quick test_unknown_session;
+    Alcotest.test_case "study table" `Quick test_study_table;
+  ]

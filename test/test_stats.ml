@@ -1,0 +1,199 @@
+(* Stats tests: descriptive, running moments, confidence intervals,
+   histograms. *)
+
+module D = Mmfair_stats.Descriptive
+module R = Mmfair_stats.Running
+module Ci = Mmfair_stats.Ci
+module H = Mmfair_stats.Histogram
+
+let feq ?(eps = 1e-9) what a b =
+  Alcotest.(check bool) (Printf.sprintf "%s: %g vs %g" what a b) true (Float.abs (a -. b) <= eps)
+
+let test_sum_empty () = feq "empty sum" 0.0 (D.sum [||])
+
+let test_sum_kahan () =
+  (* Tiny increments that naive summation loses. *)
+  let xs = Array.make 10_000_000 1e-10 in
+  feq ~eps:1e-12 "kahan sum" 1e-3 (D.sum xs)
+
+let test_mean_basic () = feq "mean" 2.5 (D.mean [| 1.0; 2.0; 3.0; 4.0 |])
+
+let test_mean_empty () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Descriptive.mean: empty") (fun () ->
+      ignore (D.mean [||]))
+
+let test_variance_known () = feq "variance" 2.5 (D.variance [| 1.0; 2.0; 3.0; 4.0; 5.0 |])
+
+let test_variance_constant () = feq "constant variance" 0.0 (D.variance [| 3.0; 3.0; 3.0 |])
+
+let test_variance_single () =
+  Alcotest.check_raises "single sample"
+    (Invalid_argument "Descriptive.variance: need at least two samples") (fun () ->
+      ignore (D.variance [| 1.0 |]))
+
+let test_minmax () =
+  feq "min" (-2.0) (D.min [| 3.0; -2.0; 7.0 |]);
+  feq "max" 7.0 (D.max [| 3.0; -2.0; 7.0 |])
+
+let test_median_odd () = feq "odd median" 3.0 (D.median [| 5.0; 1.0; 3.0 |])
+let test_median_even () = feq "even median" 2.5 (D.median [| 4.0; 1.0; 2.0; 3.0 |])
+
+let test_quantile_bounds () =
+  let xs = [| 10.0; 20.0; 30.0 |] in
+  feq "q0" 10.0 (D.quantile xs 0.0);
+  feq "q1" 30.0 (D.quantile xs 1.0)
+
+let test_quantile_interp () = feq "q0.25" 1.75 (D.quantile [| 1.0; 2.0; 3.0; 4.0 |] 0.25)
+
+let test_quantile_invalid () =
+  Alcotest.check_raises "q > 1" (Invalid_argument "Descriptive.quantile: q outside [0,1]") (fun () ->
+      ignore (D.quantile [| 1.0 |] 1.5))
+
+let test_running_matches_descriptive () =
+  let xs = Array.init 1000 (fun i -> sin (float_of_int i) *. 10.0) in
+  let r = R.create () in
+  Array.iter (R.add r) xs;
+  feq ~eps:1e-9 "running mean" (D.mean xs) (R.mean r);
+  feq ~eps:1e-6 "running variance" (D.variance xs) (R.variance r);
+  feq "running min" (D.min xs) (R.min r);
+  feq "running max" (D.max xs) (R.max r);
+  Alcotest.(check int) "count" 1000 (R.count r)
+
+let test_running_merge () =
+  let xs = Array.init 500 (fun i -> float_of_int i) in
+  let ys = Array.init 300 (fun i -> float_of_int (i * 2)) in
+  let ra = R.create () and rb = R.create () in
+  Array.iter (R.add ra) xs;
+  Array.iter (R.add rb) ys;
+  let merged = R.merge ra rb in
+  let all = Array.append xs ys in
+  feq ~eps:1e-9 "merged mean" (D.mean all) (R.mean merged);
+  feq ~eps:1e-6 "merged variance" (D.variance all) (R.variance merged);
+  Alcotest.(check int) "merged count" 800 (R.count merged)
+
+let test_running_merge_empty () =
+  let ra = R.create () and rb = R.create () in
+  R.add rb 5.0;
+  R.add rb 7.0;
+  let merged = R.merge ra rb in
+  feq "merge with empty" 6.0 (R.mean merged)
+
+let test_running_empty () =
+  Alcotest.check_raises "empty running mean" (Invalid_argument "Running.mean: empty") (fun () ->
+      ignore (R.mean (R.create ())))
+
+let test_t_critical_table () =
+  feq ~eps:1e-9 "df=1, 95%" 12.706 (Ci.t_critical ~level:0.95 ~df:1);
+  feq ~eps:1e-9 "df=29, 95%" 2.045 (Ci.t_critical ~level:0.95 ~df:29);
+  feq ~eps:1e-9 "df=10, 99%" 3.169 (Ci.t_critical ~level:0.99 ~df:10);
+  feq ~eps:1e-9 "big df -> normal" 1.960 (Ci.t_critical ~level:0.95 ~df:1000)
+
+let test_t_critical_invalid () =
+  Alcotest.check_raises "bad level"
+    (Invalid_argument "Ci.t_critical: supported levels are 0.90, 0.95, 0.99") (fun () ->
+      ignore (Ci.t_critical ~level:0.80 ~df:5))
+
+let test_ci_of_samples () =
+  let xs = [| 10.0; 12.0; 11.0; 13.0; 9.0 |] in
+  let ci = Ci.of_samples xs in
+  feq "point estimate" 11.0 ci.Ci.mean;
+  (* sd = sqrt(2.5); hw = 2.776*sd/sqrt(5) *)
+  feq ~eps:1e-6 "half width" (2.776 *. sqrt 2.5 /. sqrt 5.0) ci.Ci.half_width;
+  Alcotest.(check bool) "contains mean" true (Ci.contains ci 11.0);
+  Alcotest.(check bool) "excludes far value" false (Ci.contains ci 20.0)
+
+let test_ci_relative () =
+  let ci = { Ci.mean = 2.0; half_width = 0.02; level = 0.95; n = 30 } in
+  feq "relative half width" 0.01 (Ci.relative_half_width ci)
+
+let test_ci_coverage () =
+  (* Frequentist check: ~95% of CIs on N(0,1)-ish samples should cover 0. *)
+  let rng = Mmfair_prng.Xoshiro.create ~seed:77L () in
+  let trials = 400 and n = 20 in
+  let covered = ref 0 in
+  for _ = 1 to trials do
+    let xs =
+      Array.init n (fun _ ->
+          (* sum of 12 uniforms - 6 approximates a standard normal *)
+          let s = ref 0.0 in
+          for _ = 1 to 12 do
+            s := !s +. Mmfair_prng.Xoshiro.float rng
+          done;
+          !s -. 6.0)
+    in
+    if Ci.contains (Ci.of_samples xs) 0.0 then incr covered
+  done;
+  let rate = float_of_int !covered /. float_of_int trials in
+  Alcotest.(check bool) (Printf.sprintf "coverage %.3f in [0.90, 0.99]" rate) true
+    (rate >= 0.90 && rate <= 0.99)
+
+let test_histogram_basic () =
+  let h = H.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  List.iter (H.add h) [ 0.5; 1.5; 2.5; 9.9; -1.0; 10.0 ];
+  Alcotest.(check int) "count" 6 (H.count h);
+  Alcotest.(check int) "bin0" 2 (H.bin_count h 0);
+  Alcotest.(check int) "bin1" 1 (H.bin_count h 1);
+  Alcotest.(check int) "bin4" 1 (H.bin_count h 4);
+  Alcotest.(check int) "underflow" 1 (H.underflow h);
+  Alcotest.(check int) "overflow" 1 (H.overflow h)
+
+let test_histogram_edges () =
+  let h = H.create ~lo:0.0 ~hi:1.0 ~bins:4 in
+  let lo, hi = H.bin_edges h 1 in
+  feq "edge lo" 0.25 lo;
+  feq "edge hi" 0.5 hi
+
+let test_histogram_frequencies () =
+  let h = H.create ~lo:0.0 ~hi:1.0 ~bins:2 in
+  List.iter (H.add h) [ 0.1; 0.2; 0.7 ];
+  let f = H.frequencies h in
+  feq ~eps:1e-12 "freq0" (2.0 /. 3.0) f.(0);
+  feq ~eps:1e-12 "freq1" (1.0 /. 3.0) f.(1)
+
+let test_histogram_invalid () =
+  Alcotest.check_raises "lo >= hi" (Invalid_argument "Histogram.create: need lo < hi") (fun () ->
+      ignore (H.create ~lo:1.0 ~hi:1.0 ~bins:3))
+
+let qcheck_quantile_monotone =
+  QCheck.Test.make ~name:"quantiles are monotone in q" ~count:200
+    QCheck.(array_of_size Gen.(2 -- 30) (float_bound_inclusive 100.0))
+    (fun xs ->
+      let q1 = D.quantile xs 0.25 and q2 = D.quantile xs 0.75 in
+      q1 <= q2 +. 1e-9)
+
+let qcheck_variance_nonneg =
+  QCheck.Test.make ~name:"variance is non-negative" ~count:200
+    QCheck.(array_of_size Gen.(2 -- 30) (float_bound_inclusive 100.0))
+    (fun xs -> D.variance xs >= -1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "sum empty" `Quick test_sum_empty;
+    Alcotest.test_case "kahan sum" `Slow test_sum_kahan;
+    Alcotest.test_case "mean basic" `Quick test_mean_basic;
+    Alcotest.test_case "mean empty" `Quick test_mean_empty;
+    Alcotest.test_case "variance known" `Quick test_variance_known;
+    Alcotest.test_case "variance constant" `Quick test_variance_constant;
+    Alcotest.test_case "variance single" `Quick test_variance_single;
+    Alcotest.test_case "min/max" `Quick test_minmax;
+    Alcotest.test_case "median odd" `Quick test_median_odd;
+    Alcotest.test_case "median even" `Quick test_median_even;
+    Alcotest.test_case "quantile bounds" `Quick test_quantile_bounds;
+    Alcotest.test_case "quantile interpolation" `Quick test_quantile_interp;
+    Alcotest.test_case "quantile invalid" `Quick test_quantile_invalid;
+    Alcotest.test_case "running matches descriptive" `Quick test_running_matches_descriptive;
+    Alcotest.test_case "running merge" `Quick test_running_merge;
+    Alcotest.test_case "running merge with empty" `Quick test_running_merge_empty;
+    Alcotest.test_case "running empty" `Quick test_running_empty;
+    Alcotest.test_case "t critical table" `Quick test_t_critical_table;
+    Alcotest.test_case "t critical invalid" `Quick test_t_critical_invalid;
+    Alcotest.test_case "ci of samples" `Quick test_ci_of_samples;
+    Alcotest.test_case "ci relative half width" `Quick test_ci_relative;
+    Alcotest.test_case "ci coverage" `Slow test_ci_coverage;
+    Alcotest.test_case "histogram basic" `Quick test_histogram_basic;
+    Alcotest.test_case "histogram edges" `Quick test_histogram_edges;
+    Alcotest.test_case "histogram frequencies" `Quick test_histogram_frequencies;
+    Alcotest.test_case "histogram invalid" `Quick test_histogram_invalid;
+    QCheck_alcotest.to_alcotest qcheck_quantile_monotone;
+    QCheck_alcotest.to_alcotest qcheck_variance_nonneg;
+  ]

@@ -1,0 +1,191 @@
+(* Topology tests: graph construction, routing, builders. *)
+
+module Graph = Mmfair_topology.Graph
+module Routing = Mmfair_topology.Routing
+module Builders = Mmfair_topology.Builders
+
+let test_graph_basics () =
+  let g = Graph.create ~nodes:3 in
+  let l0 = Graph.add_link g 0 1 5.0 in
+  let l1 = Graph.add_link g 1 2 3.0 in
+  Alcotest.(check int) "nodes" 3 (Graph.node_count g);
+  Alcotest.(check int) "links" 2 (Graph.link_count g);
+  Alcotest.(check (float 0.0)) "cap l0" 5.0 (Graph.capacity g l0);
+  Alcotest.(check (pair int int)) "endpoints" (1, 2) (Graph.endpoints g l1);
+  Alcotest.(check int) "other end" 0 (Graph.other_end g l0 1)
+
+let test_graph_add_node () =
+  let g = Graph.create ~nodes:1 in
+  let n = Graph.add_node g in
+  Alcotest.(check int) "new id" 1 n;
+  Alcotest.(check int) "count" 2 (Graph.node_count g);
+  ignore (Graph.add_link g 0 1 1.0)
+
+let test_graph_invalid () =
+  let g = Graph.create ~nodes:2 in
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.add_link: self-loop") (fun () ->
+      ignore (Graph.add_link g 0 0 1.0));
+  Alcotest.check_raises "bad capacity" (Invalid_argument "Graph.add_link: capacity must be positive")
+    (fun () -> ignore (Graph.add_link g 0 1 0.0));
+  Alcotest.check_raises "unknown node" (Invalid_argument "Graph.add_link: unknown node 5") (fun () ->
+      ignore (Graph.add_link g 0 5 1.0))
+
+let test_graph_parallel_links () =
+  let g = Graph.create ~nodes:2 in
+  let a = Graph.add_link g 0 1 1.0 in
+  let b = Graph.add_link g 0 1 2.0 in
+  Alcotest.(check bool) "distinct ids" true (a <> b);
+  Alcotest.(check int) "two neighbors entries" 2 (List.length (Graph.neighbors g 0))
+
+let test_graph_neighbors_order () =
+  let g = Graph.create ~nodes:4 in
+  let l0 = Graph.add_link g 0 1 1.0 in
+  let l1 = Graph.add_link g 0 2 1.0 in
+  let l2 = Graph.add_link g 0 3 1.0 in
+  Alcotest.(check (list (pair int int))) "insertion order" [ (1, l0); (2, l1); (3, l2) ]
+    (Graph.neighbors g 0)
+
+let test_graph_dot () =
+  let g = Graph.create ~nodes:2 in
+  ignore (Graph.add_link g 0 1 4.0);
+  let dot = Graph.to_dot g in
+  Alcotest.(check bool) "mentions edge" true
+    (String.length dot > 0
+    && String.split_on_char '\n' dot |> List.exists (fun l -> String.trim l = "n0 -- n1 [label=\"l0: 4\"];"))
+
+let chain_graph n =
+  let g = Graph.create ~nodes:n in
+  for i = 0 to n - 2 do
+    ignore (Graph.add_link g i (i + 1) 1.0)
+  done;
+  g
+
+let test_routing_chain () =
+  let g = chain_graph 5 in
+  (match Routing.shortest_path g 0 4 with
+  | Some p -> Alcotest.(check (list int)) "chain path" [ 0; 1; 2; 3 ] p
+  | None -> Alcotest.fail "unreachable");
+  match Routing.shortest_path g 2 2 with
+  | Some p -> Alcotest.(check (list int)) "self path empty" [] p
+  | None -> Alcotest.fail "self unreachable"
+
+let test_routing_unreachable () =
+  let g = Graph.create ~nodes:3 in
+  ignore (Graph.add_link g 0 1 1.0);
+  Alcotest.(check bool) "disconnected" true (Routing.shortest_path g 0 2 = None);
+  Alcotest.(check bool) "reachable" true (Routing.reachable g 0 1);
+  Alcotest.(check bool) "not reachable" false (Routing.reachable g 0 2)
+
+let test_routing_shortest_over_long () =
+  (* Triangle with a two-hop detour: BFS must take the direct link. *)
+  let g = Graph.create ~nodes:3 in
+  let direct = Graph.add_link g 0 2 1.0 in
+  ignore (Graph.add_link g 0 1 1.0);
+  ignore (Graph.add_link g 1 2 1.0);
+  match Routing.shortest_path g 0 2 with
+  | Some p -> Alcotest.(check (list int)) "direct" [ direct ] p
+  | None -> Alcotest.fail "unreachable"
+
+let test_routing_paths_from_tree_property () =
+  (* Paths from one source agree on shared prefixes. *)
+  let star = Builders.modified_star ~shared_capacity:1.0 ~fanout_capacities:[| 1.0; 1.0; 1.0 |] in
+  let paths = Routing.paths_from star.Builders.graph star.Builders.sender in
+  Array.iter
+    (fun r ->
+      match paths.(r) with
+      | Some (first :: _) ->
+          Alcotest.(check int) "first hop is shared link" star.Builders.shared first
+      | _ -> Alcotest.fail "bad path")
+    star.Builders.receivers
+
+let test_routing_deterministic () =
+  let rng = Mmfair_prng.Xoshiro.create ~seed:5L () in
+  let g = Builders.random_connected ~rng ~nodes:20 ~extra_links:15 ~cap_lo:1.0 ~cap_hi:2.0 in
+  let p1 = Routing.shortest_path g 0 19 and p2 = Routing.shortest_path g 0 19 in
+  Alcotest.(check bool) "same path twice" true (p1 = p2)
+
+let test_same_path () =
+  Alcotest.(check bool) "order-insensitive" true (Routing.same_path [ 1; 2; 3 ] [ 3; 2; 1 ]);
+  Alcotest.(check bool) "different sets" false (Routing.same_path [ 1; 2 ] [ 1; 3 ])
+
+let test_builder_star () =
+  let s = Builders.star ~leaf_capacities:[| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check int) "nodes" 4 (Graph.node_count s.Builders.graph);
+  Alcotest.(check int) "links" 3 (Graph.link_count s.Builders.graph);
+  Alcotest.(check (float 0.0)) "spoke cap" 2.0 (Graph.capacity s.Builders.graph s.Builders.spokes.(1))
+
+let test_builder_modified_star () =
+  let s = Builders.modified_star ~shared_capacity:10.0 ~fanout_capacities:[| 1.0; 2.0 |] in
+  Alcotest.(check int) "nodes" 4 (Graph.node_count s.Builders.graph);
+  Alcotest.(check (float 0.0)) "shared cap" 10.0 (Graph.capacity s.Builders.graph s.Builders.shared);
+  (* Receiver paths go shared -> fanout. *)
+  match Routing.shortest_path s.Builders.graph s.Builders.sender s.Builders.receivers.(1) with
+  | Some p ->
+      Alcotest.(check (list int)) "two-hop path" [ s.Builders.shared; s.Builders.fanout.(1) ] p
+  | None -> Alcotest.fail "unreachable"
+
+let test_builder_chain () =
+  let c = Builders.chain ~capacities:[| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check int) "nodes" 4 (Array.length c.Builders.nodes);
+  Alcotest.(check int) "hops" 3 (Array.length c.Builders.hops)
+
+let test_builder_dumbbell () =
+  let d =
+    Builders.dumbbell ~left_capacities:[| 1.0; 1.0 |] ~bottleneck_capacity:5.0
+      ~right_capacities:[| 2.0 |]
+  in
+  let g = d.Builders.graph in
+  Alcotest.(check int) "links" 4 (Graph.link_count g);
+  match Routing.shortest_path g d.Builders.left.(0) d.Builders.right.(0) with
+  | Some p -> Alcotest.(check bool) "crosses bottleneck" true (List.mem d.Builders.bottleneck p)
+  | None -> Alcotest.fail "unreachable"
+
+let test_builder_balanced_tree () =
+  let t = Builders.balanced_tree ~depth:3 ~fanout:2 ~capacity_at:(fun d -> float_of_int (10 - d)) in
+  Alcotest.(check int) "leaves" 8 (Array.length t.Builders.level_nodes.(3));
+  Alcotest.(check int) "total nodes" 15 (Graph.node_count t.Builders.graph);
+  Alcotest.(check int) "total links" 14 (Graph.link_count t.Builders.graph)
+
+let test_builder_random_connected () =
+  let rng = Mmfair_prng.Xoshiro.create ~seed:6L () in
+  for nodes = 1 to 20 do
+    let g = Builders.random_connected ~rng ~nodes ~extra_links:3 ~cap_lo:1.0 ~cap_hi:2.0 in
+    let paths = Routing.paths_from g 0 in
+    Array.iteri
+      (fun dst p ->
+        Alcotest.(check bool) (Printf.sprintf "node %d reachable (n=%d)" dst nodes) true
+          (Option.is_some p))
+      paths
+  done
+
+let qcheck_random_graph_capacities =
+  QCheck.Test.make ~name:"random graph capacities stay in range" ~count:50
+    QCheck.(pair (int_range 2 15) (int_range 0 10))
+    (fun (nodes, extra) ->
+      let rng = Mmfair_prng.Xoshiro.create ~seed:(Int64.of_int ((nodes * 31) + extra)) () in
+      let g = Builders.random_connected ~rng ~nodes ~extra_links:extra ~cap_lo:2.0 ~cap_hi:5.0 in
+      Graph.fold_links g ~init:true ~f:(fun acc l ->
+          acc && Graph.capacity g l >= 2.0 && Graph.capacity g l < 5.0))
+
+let suite =
+  [
+    Alcotest.test_case "graph basics" `Quick test_graph_basics;
+    Alcotest.test_case "graph add_node" `Quick test_graph_add_node;
+    Alcotest.test_case "graph invalid" `Quick test_graph_invalid;
+    Alcotest.test_case "graph parallel links" `Quick test_graph_parallel_links;
+    Alcotest.test_case "graph neighbors order" `Quick test_graph_neighbors_order;
+    Alcotest.test_case "graph dot export" `Quick test_graph_dot;
+    Alcotest.test_case "routing chain" `Quick test_routing_chain;
+    Alcotest.test_case "routing unreachable" `Quick test_routing_unreachable;
+    Alcotest.test_case "routing shortest over long" `Quick test_routing_shortest_over_long;
+    Alcotest.test_case "routing tree prefix property" `Quick test_routing_paths_from_tree_property;
+    Alcotest.test_case "routing deterministic" `Quick test_routing_deterministic;
+    Alcotest.test_case "same_path set semantics" `Quick test_same_path;
+    Alcotest.test_case "builder star" `Quick test_builder_star;
+    Alcotest.test_case "builder modified star" `Quick test_builder_modified_star;
+    Alcotest.test_case "builder chain" `Quick test_builder_chain;
+    Alcotest.test_case "builder dumbbell" `Quick test_builder_dumbbell;
+    Alcotest.test_case "builder balanced tree" `Quick test_builder_balanced_tree;
+    Alcotest.test_case "builder random connected" `Quick test_builder_random_connected;
+    QCheck_alcotest.to_alcotest qcheck_random_graph_capacities;
+  ]

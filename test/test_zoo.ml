@@ -1,0 +1,114 @@
+(* Topology-zoo tests and allocator invariance properties. *)
+
+module Graph = Mmfair_topology.Graph
+module Routing = Mmfair_topology.Routing
+module Zoo = Mmfair_topology.Zoo
+module Network = Mmfair_core.Network
+module Allocator = Mmfair_core.Allocator
+module Allocation = Mmfair_core.Allocation
+module Random_nets = Mmfair_workload.Random_nets
+
+let test_abilene_shape () =
+  let t = Zoo.abilene () in
+  Alcotest.(check int) "11 PoPs" 11 (Graph.node_count t.Zoo.graph);
+  Alcotest.(check int) "14 links" 14 (Graph.link_count t.Zoo.graph);
+  (* fully connected *)
+  let paths = Routing.paths_from t.Zoo.graph 0 in
+  Array.iter (fun p -> Alcotest.(check bool) "reachable" true (Option.is_some p)) paths
+
+let test_nsfnet_shape () =
+  let t = Zoo.nsfnet () in
+  Alcotest.(check int) "14 nodes" 14 (Graph.node_count t.Zoo.graph);
+  Alcotest.(check int) "21 links" 21 (Graph.link_count t.Zoo.graph);
+  let paths = Routing.paths_from t.Zoo.graph 0 in
+  Array.iter (fun p -> Alcotest.(check bool) "reachable" true (Option.is_some p)) paths
+
+let test_node_named () =
+  let t = Zoo.abilene () in
+  Alcotest.(check bool) "Seattle is a node" true (Zoo.node_named t "Seattle" >= 0);
+  Alcotest.check_raises "unknown city" Not_found (fun () -> ignore (Zoo.node_named t "Boston"))
+
+let test_attach_hosts () =
+  let t = Zoo.abilene () in
+  let before = Graph.node_count t.Zoo.graph in
+  let hosts = Zoo.attach_hosts t ~at:"Denver" ~capacities:[| 5.0; 7.0 |] in
+  Alcotest.(check int) "two hosts added" (before + 2) (Graph.node_count t.Zoo.graph);
+  Alcotest.(check int) "distinct nodes" 2 (List.length (List.sort_uniq compare (Array.to_list hosts)));
+  (* hosts hang off Denver *)
+  Array.iter
+    (fun h ->
+      match Routing.shortest_path t.Zoo.graph (Zoo.node_named t "Denver") h with
+      | Some [ _one_link ] -> ()
+      | _ -> Alcotest.fail "host not adjacent to its PoP")
+    hosts
+
+let test_backbone_allocation_end_to_end () =
+  (* quick version of examples/backbone_study.ml: layered video across
+     Abilene gets access-limited rates *)
+  let t = Zoo.abilene ~backbone_capacity:30.0 () in
+  let src = (Zoo.attach_hosts t ~at:"Seattle" ~capacities:[| 1000.0 |]).(0) in
+  let ny = (Zoo.attach_hosts t ~at:"NewYork" ~capacities:[| 24.0 |]).(0) in
+  let la = (Zoo.attach_hosts t ~at:"LosAngeles" ~capacities:[| 3.0 |]).(0) in
+  let net = Network.make t.Zoo.graph [| Network.session ~sender:src ~receivers:[| ny; la |] () |] in
+  let alloc = Allocator.max_min net in
+  Alcotest.(check (float 1e-9)) "NY at access rate" 24.0
+    (Allocation.rate alloc { Network.session = 0; index = 0 });
+  Alcotest.(check (float 1e-9)) "LA at access rate" 3.0
+    (Allocation.rate alloc { Network.session = 0; index = 1 })
+
+(* --- allocator invariance properties --- *)
+
+let qcheck_session_order_invariance =
+  QCheck.Test.make ~name:"the MMF allocation is invariant under session reordering" ~count:100
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Mmfair_prng.Xoshiro.create ~seed:(Int64.of_int seed) () in
+      let net = Random_nets.generate ~rng Random_nets.default in
+      let m = Network.session_count net in
+      let specs = Array.init m (Network.session_spec net) in
+      let reversed = Network.make (Network.graph net) (Array.init m (fun i -> specs.(m - 1 - i))) in
+      let a = Allocator.max_min net and b = Allocator.max_min reversed in
+      let ok = ref true in
+      for i = 0 to m - 1 do
+        let ra = Allocation.rates_of_session a i in
+        let rb = Allocation.rates_of_session b (m - 1 - i) in
+        Array.iteri
+          (fun k x -> if Float.abs (x -. rb.(k)) > 1e-7 *. Stdlib.max 1.0 x then ok := false)
+          ra
+      done;
+      !ok)
+
+let qcheck_capacity_scaling =
+  QCheck.Test.make ~name:"scaling all capacities scales the MMF allocation" ~count:100
+    QCheck.(pair (int_range 0 100_000) (float_range 0.5 4.0))
+    (fun (seed, factor) ->
+      let rng = Mmfair_prng.Xoshiro.create ~seed:(Int64.of_int seed) () in
+      (* rho must not bind or the scaling property fails by design *)
+      let config = { Random_nets.default with Random_nets.finite_rho_prob = 0.0 } in
+      let net = Random_nets.generate ~rng config in
+      let g = Network.graph net in
+      let scaled_g = Graph.create ~nodes:(Graph.node_count g) in
+      List.iter
+        (fun l ->
+          let a, b = Graph.endpoints g l in
+          ignore (Graph.add_link scaled_g a b (factor *. Graph.capacity g l)))
+        (Graph.links g);
+      let specs = Array.init (Network.session_count net) (Network.session_spec net) in
+      let scaled = Network.make scaled_g specs in
+      let a = Allocator.max_min net and b = Allocator.max_min scaled in
+      Array.for_all
+        (fun (r : Network.receiver_id) ->
+          let x = factor *. Allocation.rate a r and y = Allocation.rate b r in
+          Float.abs (x -. y) <= 1e-6 *. Stdlib.max 1.0 (Float.abs x))
+        (Network.all_receivers net))
+
+let suite =
+  [
+    Alcotest.test_case "abilene shape" `Quick test_abilene_shape;
+    Alcotest.test_case "nsfnet shape" `Quick test_nsfnet_shape;
+    Alcotest.test_case "node_named" `Quick test_node_named;
+    Alcotest.test_case "attach_hosts" `Quick test_attach_hosts;
+    Alcotest.test_case "backbone allocation" `Quick test_backbone_allocation_end_to_end;
+    QCheck_alcotest.to_alcotest qcheck_session_order_invariance;
+    QCheck_alcotest.to_alcotest qcheck_capacity_scaling;
+  ]
