@@ -1,0 +1,422 @@
+(* Allocator scaling bench: sweeps random networks across session
+   counts for both engines, re-times the paper-figure nets, and emits
+   a machine-readable BENCH_allocator.json so the perf trajectory is
+   tracked across PRs.  Every entry also times the frozen
+   pre-optimization oracle (Allocator_reference) so the file carries
+   its own before/after evidence.
+
+   Run:      dune exec bench/scaling.exe                 (full sweep)
+             dune exec bench/scaling.exe -- --quick      (CI smoke)
+   Validate: dune exec bench/scaling.exe -- --validate BENCH_allocator.json
+
+   The JSON schema is documented in README.md ("Benchmarking"). *)
+
+module Network = Mmfair_core.Network
+module Allocator = Mmfair_core.Allocator
+module Allocator_reference = Mmfair_core.Allocator_reference
+module Paper_nets = Mmfair_workload.Paper_nets
+module Graph = Mmfair_topology.Graph
+
+let schema_id = "mmfair.bench.allocator/v1"
+
+(* --- timing -------------------------------------------------------- *)
+
+let time_run ~min_time f =
+  for _ = 1 to 3 do
+    ignore (f ())
+  done;
+  let t0 = Unix.gettimeofday () in
+  let runs = ref 0 in
+  let elapsed = ref 0.0 in
+  while !elapsed < min_time do
+    ignore (f ());
+    incr runs;
+    elapsed := Unix.gettimeofday () -. t0
+  done;
+  (!elapsed /. float_of_int !runs *. 1e9, !runs)
+
+(* --- workloads ----------------------------------------------------- *)
+
+let random_net sessions =
+  (* Same generator and seed as bench/main.ml's ablations, so the
+     "ablation/*" entries here and the Bechamel rows stay comparable. *)
+  let rng = Mmfair_prng.Xoshiro.create ~seed:123L () in
+  Mmfair_workload.Random_nets.generate ~rng
+    {
+      Mmfair_workload.Random_nets.default with
+      Mmfair_workload.Random_nets.sessions;
+      nodes = 4 * sessions;
+      max_receivers = 4;
+      extra_links = sessions;
+    }
+
+type entry = {
+  name : string;
+  kind : string; (* "figure" | "ablation" | "sweep" *)
+  engine : string; (* "auto" | "linear" | "bisection" *)
+  net : Network.t;
+  run : unit -> Mmfair_core.Allocation.t;
+  reference : (unit -> Mmfair_core.Allocation.t) option;
+}
+
+let entry ~kind ~name ~engine net =
+  let eng_of = function
+    | "linear" -> `Linear
+    | "bisection" -> `Bisection
+    | _ -> `Auto
+  in
+  {
+    name;
+    kind;
+    engine;
+    net;
+    run = (fun () -> Allocator.max_min ~engine:(eng_of engine) net);
+    reference = Some (fun () -> Allocator_reference.max_min ~engine:(eng_of engine) net);
+  }
+
+let entries ~quick =
+  let figures =
+    [
+      entry ~kind:"figure" ~name:"fig1/allocate" ~engine:"auto" (Paper_nets.figure1 ()).Paper_nets.net;
+      entry ~kind:"figure" ~name:"fig2/single-rate" ~engine:"auto"
+        (Paper_nets.figure2 ()).Paper_nets.net;
+      entry ~kind:"figure" ~name:"fig2/multi-rate" ~engine:"auto"
+        (Paper_nets.figure2 ~session1_type:Network.Multi_rate ()).Paper_nets.net;
+      entry ~kind:"figure" ~name:"fig3/removal-a" ~engine:"auto"
+        (fst (Paper_nets.figure3a ())).Paper_nets.net;
+      entry ~kind:"figure" ~name:"fig3/removal-b" ~engine:"auto"
+        (fst (Paper_nets.figure3b ())).Paper_nets.net;
+      entry ~kind:"figure" ~name:"fig4/redundant-allocate" ~engine:"auto"
+        (Paper_nets.figure4 ()).Paper_nets.net;
+    ]
+  in
+  let ablations =
+    [
+      entry ~kind:"ablation" ~name:"ablation/linear-engine-10-sessions" ~engine:"linear"
+        (random_net 10);
+      entry ~kind:"ablation" ~name:"ablation/bisection-engine-10-sessions" ~engine:"bisection"
+        (random_net 10);
+      entry ~kind:"ablation" ~name:"ablation/linear-engine-30-sessions" ~engine:"linear"
+        (random_net 30);
+      entry ~kind:"ablation" ~name:"ablation/bisection-engine-30-sessions" ~engine:"bisection"
+        (random_net 30);
+    ]
+  in
+  let sweep_sizes engine = if quick then [ 10 ] else match engine with
+    | "linear" -> [ 20; 50; 100; 200 ]
+    | _ -> [ 20; 50; 100 ]
+  in
+  let sweep =
+    List.concat_map
+      (fun engine ->
+        List.map
+          (fun sessions ->
+            let e =
+              entry ~kind:"sweep"
+                ~name:(Printf.sprintf "sweep/%s-engine-%d-sessions" engine sessions)
+                ~engine (random_net sessions)
+            in
+            (* The frozen oracle is quadratic-ish; cap its runs to the
+               sizes where a single run stays sub-second. *)
+            if sessions > 100 || (engine = "bisection" && sessions > 50) then
+              { e with reference = None }
+            else e)
+          (sweep_sizes engine))
+      [ "linear"; "bisection" ]
+  in
+  figures @ ablations @ sweep
+
+(* --- JSON emission ------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let emit ~quick ~min_time ~out rows =
+  let oc = open_out out in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"%s\",\n" (json_escape schema_id);
+  p "  \"generated_by\": \"bench/scaling.exe\",\n";
+  p "  \"quick\": %b,\n" quick;
+  p "  \"min_time_s\": %g,\n" min_time;
+  p "  \"entries\": [\n";
+  List.iteri
+    (fun idx (e, (ns, runs), ref_timing) ->
+      let g = Network.graph e.net in
+      p "    {\n";
+      p "      \"name\": \"%s\",\n" (json_escape e.name);
+      p "      \"kind\": \"%s\",\n" (json_escape e.kind);
+      p "      \"engine\": \"%s\",\n" (json_escape e.engine);
+      p "      \"sessions\": %d,\n" (Network.session_count e.net);
+      p "      \"receivers\": %d,\n" (Network.receiver_count e.net);
+      p "      \"links\": %d,\n" (Graph.link_count g);
+      p "      \"runs\": %d,\n" runs;
+      p "      \"time_ns\": %.1f,\n" ns;
+      (match ref_timing with
+      | Some (ref_ns, ref_runs) ->
+          p "      \"reference_runs\": %d,\n" ref_runs;
+          p "      \"reference_time_ns\": %.1f,\n" ref_ns;
+          p "      \"speedup_vs_reference\": %.2f\n" (ref_ns /. ns)
+      | None ->
+          p "      \"reference_runs\": null,\n";
+          p "      \"reference_time_ns\": null,\n";
+          p "      \"speedup_vs_reference\": null\n");
+      p "    }%s\n" (if idx = List.length rows - 1 then "" else ",")
+    )
+    rows;
+  p "  ]\n";
+  p "}\n";
+  close_out oc
+
+(* --- JSON validation (CI smoke) ------------------------------------ *)
+
+(* Minimal recursive-descent JSON reader — just enough to check the
+   schema of our own emission without pulling in a JSON dependency. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let skip_ws () =
+      while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+        incr pos
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then incr pos else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal lit v =
+      let l = String.length lit in
+      if !pos + l <= n && String.sub s !pos l = lit then begin
+        pos := !pos + l;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" lit)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            incr pos;
+            if !pos >= n then fail "bad escape";
+            (match s.[!pos] with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'u' ->
+                if !pos + 4 >= n then fail "bad \\u escape";
+                pos := !pos + 4;
+                Buffer.add_char buf '?'
+            | _ -> fail "bad escape");
+            incr pos;
+            go ()
+        | c ->
+            Buffer.add_char buf c;
+            incr pos;
+            go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      while
+        !pos < n
+        && match s.[!pos] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+      do
+        incr pos
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '"' -> Str (parse_string ())
+      | Some '{' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some '}' then begin
+            incr pos;
+            Obj []
+          end
+          else begin
+            let fields = ref [] in
+            let rec members () =
+              skip_ws ();
+              let key = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              fields := (key, v) :: !fields;
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  members ()
+              | Some '}' -> incr pos
+              | _ -> fail "expected ',' or '}'"
+            in
+            members ();
+            Obj (List.rev !fields)
+          end
+      | Some '[' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some ']' then begin
+            incr pos;
+            List []
+          end
+          else begin
+            let items = ref [] in
+            let rec elements () =
+              let v = parse_value () in
+              items := v :: !items;
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  elements ()
+              | Some ']' -> incr pos
+              | _ -> fail "expected ',' or ']'"
+            in
+            elements ();
+            List (List.rev !items)
+          end
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (parse_number ())
+      | None -> fail "unexpected end of input"
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+end
+
+let validate file =
+  let ic =
+    try open_in_bin file
+    with Sys_error msg ->
+      Printf.eprintf "BENCH_allocator.json validation FAILED: cannot read %s\n" msg;
+      exit 1
+  in
+  let len = in_channel_length ic in
+  let body = really_input_string ic len in
+  close_in ic;
+  let fail msg =
+    Printf.eprintf "BENCH_allocator.json validation FAILED (%s): %s\n" file msg;
+    exit 1
+  in
+  let doc = try Json.parse body with Json.Bad m -> fail ("not valid JSON: " ^ m) in
+  (match Json.member "schema" doc with
+  | Some (Json.Str s) when s = schema_id -> ()
+  | _ -> fail (Printf.sprintf "missing or wrong \"schema\" (want %s)" schema_id));
+  let entries =
+    match Json.member "entries" doc with
+    | Some (Json.List l) when l <> [] -> l
+    | _ -> fail "missing or empty \"entries\" array"
+  in
+  let num_field e k =
+    match Json.member k e with
+    | Some (Json.Num f) when f > 0.0 -> f
+    | _ -> fail (Printf.sprintf "entry missing positive numeric %S" k)
+  in
+  let str_field e k =
+    match Json.member k e with
+    | Some (Json.Str s) when s <> "" -> s
+    | _ -> fail (Printf.sprintf "entry missing string %S" k)
+  in
+  let names =
+    List.map
+      (fun e ->
+        let name = str_field e "name" in
+        ignore (str_field e "kind");
+        ignore (str_field e "engine");
+        ignore (num_field e "time_ns");
+        ignore (num_field e "runs");
+        ignore (num_field e "sessions");
+        (match Json.member "reference_time_ns" e with
+        | Some Json.Null | Some (Json.Num _) -> ()
+        | _ -> fail "entry missing \"reference_time_ns\" (number or null)");
+        name)
+      entries
+  in
+  if not (List.mem "ablation/linear-engine-30-sessions" names) then
+    fail "missing the ablation/linear-engine-30-sessions tracking entry";
+  Printf.printf "%s: schema %s OK, %d entries\n" file schema_id (List.length names)
+
+(* --- driver -------------------------------------------------------- *)
+
+let () =
+  let quick = ref false in
+  let out = ref "BENCH_allocator.json" in
+  let min_time = ref 0.0 in
+  let validate_file = ref None in
+  let args =
+    [
+      ("--quick", Arg.Set quick, " fast smoke sweep (CI): tiny sizes, short timing windows");
+      ("--out", Arg.Set_string out, "FILE output path (default BENCH_allocator.json)");
+      ("--min-time", Arg.Set_float min_time, "SECONDS per-measurement budget (default 0.5, quick 0.05)");
+      ( "--validate",
+        Arg.String (fun f -> validate_file := Some f),
+        "FILE validate an existing BENCH_allocator.json against the schema and exit" );
+    ]
+  in
+  Arg.parse (Arg.align args)
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "scaling.exe: allocator scaling benchmark (JSON trajectory)";
+  match !validate_file with
+  | Some f -> validate f
+  | None ->
+      let min_time = if !min_time > 0.0 then !min_time else if !quick then 0.05 else 0.5 in
+      let es = entries ~quick:!quick in
+      let rows =
+        List.map
+          (fun e ->
+            let timing = time_run ~min_time e.run in
+            let ref_timing = Option.map (fun f -> time_run ~min_time f) e.reference in
+            let ns, _ = timing in
+            Printf.printf "%-42s %12.1f ns/run%s\n%!" e.name ns
+              (match ref_timing with
+              | Some (rns, _) -> Printf.sprintf "  (reference %12.1f, speedup %.1fx)" rns (rns /. ns)
+              | None -> "");
+            (e, timing, ref_timing))
+          es
+      in
+      emit ~quick:!quick ~min_time ~out:!out rows;
+      Printf.printf "wrote %s (%d entries)\n" !out (List.length rows)

@@ -12,109 +12,259 @@ type result = { allocation : Allocation.t; rounds : round list }
 
 let tol_for x = 1e-9 *. Stdlib.max 1.0 (Float.abs x)
 
-(* Session link usage on [link] when every active receiver's rate is
-   [w·t] (its weight times the common normalized level) and frozen
-   receivers keep [rates]. *)
-let session_usage_at net rates active ~session ~link t =
-  let downstream = Network.receivers_on_link net ~session ~link in
-  match downstream with
-  | [] -> 0.0
-  | _ ->
-      let rate_of (r : Network.receiver_id) =
-        if active.(r.Network.session).(r.Network.index) then Network.weight net r *. t
-        else rates.(r.Network.session).(r.Network.index)
-      in
-      Redundancy_fn.apply (Network.vfn net session) (List.map rate_of downstream)
+(* The water-filling loop below works on the flat incidence index
+   (Network.incidence): receivers are global ids, each link×session
+   pair is a contiguous "cell" of [inc.link_cells], and all per-round
+   state lives in prevalidated flat arrays so the hot loops do no
+   bounds-checked record chasing and no per-call list allocation.
 
-let link_usage_at net rates active ~link t =
+   Per-round work is restricted to links that still carry active
+   receivers (the [active_links] compact set); when a receiver
+   freezes, only the cells on its own data-path are updated, which
+   keeps every link's linear usage model [const + slope·t] current
+   incrementally instead of rescanning links × sessions × receivers
+   each round. *)
+
+type state = {
+  net : Network.t;
+  inc : Network.incidence;
+  m : int; (* sessions *)
+  n : int; (* receivers (global ids) *)
+  nl : int; (* links *)
+  cap : float array; (* capacity per link *)
+  vfn : Redundancy_fn.t array; (* per session *)
+  rho : float array; (* per session *)
+  single_rate : bool array; (* per session *)
+  weight : float array; (* per gid *)
+  rates : float array; (* per gid *)
+  active : bool array; (* per gid *)
+  mutable n_active : int;
+  (* per link×session cell (index l*m + i) *)
+  cell_active : int array;
+  cell_max_frozen : float array;
+  cell_sum_frozen : float array;
+  (* per link: the usage model u(t) = const + slope·t (linear engine) *)
+  link_const : float array;
+  link_slope : float array;
+  link_active : int array; (* active receivers crossing the link *)
+  ever_saturated : bool array;
+  (* compact set of links with link_active > 0 *)
+  active_links : int array;
+  link_pos : int array; (* position in active_links, -1 once retired *)
+  mutable n_active_links : int;
+}
+
+let init_state net =
+  let g = Network.graph net in
+  let inc = Network.incidence net in
   let m = Network.session_count net in
-  let s = ref 0.0 in
+  let n = inc.Network.n_receivers in
+  let nl = Graph.link_count g in
+  let cap = Array.init nl (Graph.capacity g) in
+  let vfn = Array.init m (Network.vfn net) in
+  let rho = Array.init m (Network.rho net) in
+  let single_rate = Array.init m (fun i -> Network.session_type net i = Network.Single_rate) in
+  let weight = Array.make (Stdlib.max n 1) 1.0 in
   for i = 0 to m - 1 do
-    s := !s +. session_usage_at net rates active ~session:i ~link t
+    let w = (Network.session_spec net i).Network.weights in
+    Array.blit w 0 weight inc.Network.session_first.(i) (Array.length w)
+  done;
+  let row = inc.Network.link_session_row in
+  let cell_active = Array.make (Stdlib.max (nl * m) 1) 0 in
+  for c = 0 to (nl * m) - 1 do
+    cell_active.(c) <- row.(c + 1) - row.(c)
+  done;
+  let link_slope = Array.make (Stdlib.max nl 1) 0.0 in
+  let link_active = Array.make (Stdlib.max nl 1) 0 in
+  for l = 0 to nl - 1 do
+    link_active.(l) <- row.((l + 1) * m) - row.(l * m);
+    for i = 0 to m - 1 do
+      if cell_active.((l * m) + i) > 0 then
+        link_slope.(l) <-
+          link_slope.(l)
+          +.
+          match vfn.(i) with
+          | Redundancy_fn.Efficient -> 1.0
+          | Redundancy_fn.Scaled v -> v
+          | Redundancy_fn.Additive -> float_of_int cell_active.((l * m) + i)
+          | Redundancy_fn.Custom _ -> 0.0
+    done
+  done;
+  let active_links = Array.make (Stdlib.max nl 1) 0 in
+  let link_pos = Array.make (Stdlib.max nl 1) (-1) in
+  let n_active_links = ref 0 in
+  for l = 0 to nl - 1 do
+    if link_active.(l) > 0 then begin
+      active_links.(!n_active_links) <- l;
+      link_pos.(l) <- !n_active_links;
+      incr n_active_links
+    end
+  done;
+  {
+    net;
+    inc;
+    m;
+    n;
+    nl;
+    cap;
+    vfn;
+    rho;
+    single_rate;
+    weight;
+    rates = Array.make (Stdlib.max n 1) 0.0;
+    active = Array.make (Stdlib.max n 1) true;
+    n_active = n;
+    cell_active;
+    cell_max_frozen = Array.make (Stdlib.max (nl * m) 1) 0.0;
+    cell_sum_frozen = Array.make (Stdlib.max (nl * m) 1) 0.0;
+    link_const = Array.make (Stdlib.max nl 1) 0.0;
+    link_slope;
+    link_active;
+    ever_saturated = Array.make (Stdlib.max nl 1) false;
+    active_links;
+    link_pos;
+    n_active_links = !n_active_links;
+  }
+
+(* (const, slope) contribution of cell [c = l*m + i] to its link's
+   linear usage model — mirrors the reference engine's per-round
+   classification, but evaluated only when the cell changes. *)
+let cell_const st i c =
+  match st.vfn.(i) with
+  | Redundancy_fn.Efficient -> if st.cell_active.(c) > 0 then 0.0 else st.cell_max_frozen.(c)
+  | Redundancy_fn.Scaled v -> if st.cell_active.(c) > 0 then 0.0 else v *. st.cell_max_frozen.(c)
+  | Redundancy_fn.Additive -> st.cell_sum_frozen.(c)
+  | Redundancy_fn.Custom _ -> 0.0
+
+let cell_slope st i c =
+  match st.vfn.(i) with
+  | Redundancy_fn.Efficient -> if st.cell_active.(c) > 0 then 1.0 else 0.0
+  | Redundancy_fn.Scaled v -> if st.cell_active.(c) > 0 then v else 0.0
+  | Redundancy_fn.Additive -> float_of_int st.cell_active.(c)
+  | Redundancy_fn.Custom _ -> 0.0
+
+let retire_link st l =
+  let p = st.link_pos.(l) in
+  if p >= 0 then begin
+    let last = st.n_active_links - 1 in
+    let moved = st.active_links.(last) in
+    st.active_links.(p) <- moved;
+    st.link_pos.(moved) <- p;
+    st.n_active_links <- last;
+    st.link_pos.(l) <- -1
+  end
+
+(* Freeze one receiver at its current rate: O(|data-path|) — update
+   only the cells the receiver's path crosses. *)
+let freeze_gid st gid =
+  st.active.(gid) <- false;
+  st.n_active <- st.n_active - 1;
+  let a = st.rates.(gid) in
+  let i = (st.inc.Network.receiver_of_gid.(gid)).Network.session in
+  let rr = st.inc.Network.recv_row in
+  for p = rr.(gid) to rr.(gid + 1) - 1 do
+    let l = st.inc.Network.recv_cells.(p) in
+    let c = (l * st.m) + i in
+    let oc = cell_const st i c and os = cell_slope st i c in
+    st.cell_active.(c) <- st.cell_active.(c) - 1;
+    if a > st.cell_max_frozen.(c) then st.cell_max_frozen.(c) <- a;
+    st.cell_sum_frozen.(c) <- st.cell_sum_frozen.(c) +. a;
+    st.link_const.(l) <- st.link_const.(l) +. (cell_const st i c -. oc);
+    st.link_slope.(l) <- st.link_slope.(l) +. (cell_slope st i c -. os);
+    st.link_active.(l) <- st.link_active.(l) - 1;
+    if st.link_active.(l) = 0 then retire_link st l
+  done
+
+(* Session usage on one link at common normalized level [t]:
+   allocation-free fold over the cell's receivers (a [Custom] function
+   still materializes its rate list — it consumes one by construction). *)
+let cell_usage_at st ~cell_lo ~cell_hi i t =
+  let n = cell_hi - cell_lo in
+  if n = 0 then 0.0
+  else
+    let rate_at j =
+      let gid = st.inc.Network.link_cells.(cell_lo + j) in
+      if st.active.(gid) then st.weight.(gid) *. t else st.rates.(gid)
+    in
+    match st.vfn.(i) with
+    | Redundancy_fn.Efficient | Redundancy_fn.Scaled _ ->
+        let mx = ref 0.0 in
+        for j = 0 to n - 1 do
+          let x = rate_at j in
+          if x > !mx then mx := x
+        done;
+        (match st.vfn.(i) with
+        | Redundancy_fn.Scaled k ->
+            if k < 1.0 then invalid_arg "Allocator: Scaled factor must be >= 1";
+            k *. !mx
+        | _ -> !mx)
+    | Redundancy_fn.Additive ->
+        let s = ref 0.0 in
+        for j = 0 to n - 1 do
+          s := !s +. rate_at j
+        done;
+        !s
+    | Redundancy_fn.Custom _ -> Redundancy_fn.apply_fold st.vfn.(i) ~n ~get:rate_at
+
+let link_usage_at st ~link t =
+  let row = st.inc.Network.link_session_row in
+  let s = ref 0.0 in
+  for i = 0 to st.m - 1 do
+    let c = (link * st.m) + i in
+    s := !s +. cell_usage_at st ~cell_lo:row.(c) ~cell_hi:row.(c + 1) i t
   done;
   !s
 
-(* Linear engine: on each link, usage is [const + slope·t] for the
-   common active rate [t ≥ t_cur]; valid because every frozen rate is
-   at most [t_cur]. *)
-let linear_bound net rates active t_cur =
-  let g = Network.graph net in
-  let m = Network.session_count net in
+(* Linear engine round bound: the per-link (const, slope) pairs are
+   already current, so this is one division per link that still
+   carries active receivers. *)
+let linear_bound st t_cur =
   let bound = ref infinity in
-  for link = 0 to Graph.link_count g - 1 do
-    let const = ref 0.0 and slope = ref 0.0 in
-    for i = 0 to m - 1 do
-      let downstream = Network.receivers_on_link net ~session:i ~link in
-      if downstream <> [] then begin
-        let n_active = ref 0 and max_frozen = ref 0.0 and sum_frozen = ref 0.0 in
-        List.iter
-          (fun (r : Network.receiver_id) ->
-            if active.(r.Network.session).(r.Network.index) then incr n_active
-            else begin
-              let a = rates.(r.Network.session).(r.Network.index) in
-              if a > !max_frozen then max_frozen := a;
-              sum_frozen := !sum_frozen +. a
-            end)
-          downstream;
-        match Network.vfn net i with
-        | Redundancy_fn.Efficient ->
-            if !n_active > 0 then slope := !slope +. 1.0 else const := !const +. !max_frozen
-        | Redundancy_fn.Scaled v ->
-            if !n_active > 0 then slope := !slope +. v else const := !const +. (v *. !max_frozen)
-        | Redundancy_fn.Additive ->
-            const := !const +. !sum_frozen;
-            slope := !slope +. float_of_int !n_active
-        | Redundancy_fn.Custom _ ->
-            invalid_arg "Allocator: linear engine on non-linear session link-rate function"
-      end
-    done;
-    if !slope > 0.0 then begin
-      let b = (Graph.capacity g link -. !const) /. !slope in
+  for p = 0 to st.n_active_links - 1 do
+    let l = st.active_links.(p) in
+    if st.link_slope.(l) > 0.0 then begin
+      let b = (st.cap.(l) -. st.link_const.(l)) /. st.link_slope.(l) in
       if b < !bound then bound := b
     end
   done;
   Stdlib.max !bound t_cur
 
-let bisection_bound net rates active t_cur rho_bound =
-  let g = Network.graph net in
-  let feasible t =
+let bisection_bound st t_cur rho_bound =
+  (* Links with no active receiver have t-independent usage, so once
+     they pass at [t_cur] they pass at every t ≥ t_cur: the search
+     itself only re-evaluates links that still carry active
+     receivers. *)
+  let feasible_active t =
     let ok = ref true in
-    for link = 0 to Graph.link_count g - 1 do
-      let c = Graph.capacity g link in
-      if link_usage_at net rates active ~link t > c +. tol_for c then ok := false
+    let p = ref 0 in
+    while !ok && !p < st.n_active_links do
+      let l = st.active_links.(!p) in
+      if link_usage_at st ~link:l t > st.cap.(l) +. tol_for st.cap.(l) then ok := false;
+      incr p
     done;
     !ok
   in
-  let max_cap = Graph.fold_links g ~init:0.0 ~f:(fun acc l -> Stdlib.max acc (Graph.capacity g l)) in
-  (* every active receiver's rate w·t shows up on some link, so t is
-     bounded by max capacity over the smallest active weight *)
+  let feasible_all t =
+    let ok = ref true in
+    for l = 0 to st.nl - 1 do
+      if link_usage_at st ~link:l t > st.cap.(l) +. tol_for st.cap.(l) then ok := false
+    done;
+    !ok
+  in
+  let max_cap = Array.fold_left Stdlib.max 0.0 st.cap in
   let min_weight = ref infinity in
-  Array.iteri
-    (fun i per ->
-      Array.iteri
-        (fun k is_active ->
-          if is_active then
-            min_weight := Stdlib.min !min_weight (Network.weight net { Network.session = i; index = k }))
-        per)
-    active;
+  for gid = 0 to st.n - 1 do
+    if st.active.(gid) then min_weight := Stdlib.min !min_weight st.weight.(gid)
+  done;
   let weight_floor = if Float.is_finite !min_weight && !min_weight > 0.0 then !min_weight else 1.0 in
   let hi = Stdlib.min rho_bound (t_cur +. (max_cap /. weight_floor) +. 1.0) in
-  if not (feasible t_cur) then t_cur
-  else if feasible hi then hi
-  else Mmfair_numerics.Bisect.sup_satisfying feasible t_cur hi
+  if not (feasible_all t_cur) then t_cur
+  else if feasible_active hi then hi
+  else Mmfair_numerics.Bisect.sup_satisfying feasible_active t_cur hi
 
 let run engine net =
-  let g = Network.graph net in
-  let m = Network.session_count net in
-  let rates = Array.init m (fun i -> Array.map (fun _ -> 0.0) (Network.session_spec net i).Network.receivers) in
-  let active = Array.map (Array.map (fun _ -> true)) rates in
-  let all_linear =
-    let ok = ref true in
-    for i = 0 to m - 1 do
-      if not (Redundancy_fn.is_linear (Network.vfn net i)) then ok := false
-    done;
-    !ok
-  in
+  let st = init_state net in
+  let all_linear = Array.for_all Redundancy_fn.is_linear st.vfn in
   let unit_weights = Network.all_weights_unit net in
   let use_linear =
     match engine with
@@ -127,103 +277,119 @@ let run engine net =
     | `Bisection -> false
     | `Auto -> all_linear && unit_weights
   in
-  let any_active () = Array.exists (Array.exists Fun.id) active in
   let rounds = ref [] in
   let t_cur = ref 0.0 in
-  let guard = ref (Network.receiver_count net + Graph.link_count g + 2) in
-  while any_active () do
+  let guard = ref (st.n + st.nl + 2) in
+  let session_first = st.inc.Network.session_first in
+  while st.n_active > 0 do
     decr guard;
     if !guard < 0 then failwith "Allocator.max_min: no progress (non-monotone link-rate function?)";
     (* Largest normalized level t at which no active receiver's rate
        w·t exceeds its session's rho. *)
     let rho_bound = ref infinity in
-    for i = 0 to m - 1 do
-      let rho = Network.rho net i in
-      Array.iteri
-        (fun k is_active ->
-          if is_active then
-            rho_bound :=
-              Stdlib.min !rho_bound (rho /. Network.weight net { Network.session = i; index = k }))
-        active.(i)
+    for i = 0 to st.m - 1 do
+      let rho = st.rho.(i) in
+      if Float.is_finite rho then
+        for gid = session_first.(i) to session_first.(i + 1) - 1 do
+          if st.active.(gid) then rho_bound := Stdlib.min !rho_bound (rho /. st.weight.(gid))
+        done
     done;
     let t_new =
-      if use_linear then Stdlib.min (linear_bound net rates active !t_cur) !rho_bound
-      else bisection_bound net rates active !t_cur !rho_bound
+      if use_linear then Stdlib.min (linear_bound st !t_cur) !rho_bound
+      else bisection_bound st !t_cur !rho_bound
     in
     let t_new = Stdlib.max t_new !t_cur in
     (* Apply the increment to every active receiver. *)
-    Array.iteri
-      (fun i per ->
-        Array.iteri
-          (fun k is_active ->
-            if is_active then
-              rates.(i).(k) <- Network.weight net { Network.session = i; index = k } *. t_new)
-          per)
-      active;
-    (* Identify saturated links at the new rates. *)
-    let saturated = ref [] in
+    for gid = 0 to st.n - 1 do
+      if st.active.(gid) then st.rates.(gid) <- st.weight.(gid) *. t_new
+    done;
+    (* Saturation sweep, restricted to links with active receivers:
+       an all-frozen link's usage no longer changes, so it cannot
+       newly saturate (and its saturation round already froze every
+       receiver crossing it). *)
     let min_slack = ref infinity and min_slack_link = ref (-1) in
-    for link = Graph.link_count g - 1 downto 0 do
-      let c = Graph.capacity g link in
-      let u = link_usage_at net rates active ~link t_new in
-      let slack = c -. u in
-      if slack <= tol_for c then saturated := link :: !saturated;
-      (* Track the tightest link that still has active receivers, as a
-         numerical fallback for the bisection engine. *)
-      if slack < !min_slack && Network.all_on_link net ~link |> List.exists (fun (r : Network.receiver_id) -> active.(r.Network.session).(r.Network.index))
-      then begin
+    for p = st.n_active_links - 1 downto 0 do
+      let l = st.active_links.(p) in
+      let u =
+        if use_linear then st.link_const.(l) +. (st.link_slope.(l) *. t_new)
+        else link_usage_at st ~link:l t_new
+      in
+      let slack = st.cap.(l) -. u in
+      if slack <= tol_for st.cap.(l) then st.ever_saturated.(l) <- true;
+      if slack < !min_slack then begin
         min_slack := slack;
-        min_slack_link := link
+        min_slack_link := l
       end
     done;
-    let saturated_set = !saturated in
-    let on_saturated (r : Network.receiver_id) =
-      List.exists (fun l -> Network.crosses net r l) saturated_set
+    let saturated_set =
+      let acc = ref [] in
+      for l = st.nl - 1 downto 0 do
+        if st.ever_saturated.(l) then acc := l :: !acc
+      done;
+      !acc
     in
     let frozen = ref [] in
-    let freeze (r : Network.receiver_id) =
-      if active.(r.Network.session).(r.Network.index) then begin
-        active.(r.Network.session).(r.Network.index) <- false;
-        frozen := r :: !frozen
+    let freeze gid =
+      if st.active.(gid) then begin
+        freeze_gid st gid;
+        frozen := st.inc.Network.receiver_of_gid.(gid) :: !frozen
       end
     in
+    let on_saturated gid =
+      let rr = st.inc.Network.recv_row in
+      let hit = ref false in
+      let p = ref rr.(gid) in
+      let stop = rr.(gid + 1) in
+      while (not !hit) && !p < stop do
+        if st.ever_saturated.(st.inc.Network.recv_cells.(!p)) then hit := true;
+        incr p
+      done;
+      !hit
+    in
     (* Step 6: freeze receivers at rho or crossing a saturated link. *)
-    for i = 0 to m - 1 do
-      let rho = Network.rho net i in
-      Array.iteri
-        (fun k is_active ->
-          if is_active then begin
-            let r = { Network.session = i; index = k } in
-            if Network.weight net r *. t_new >= rho -. tol_for rho then begin
-              rates.(i).(k) <- rho;
-              freeze r
-            end
-            else if on_saturated r then freeze r
-          end)
-        active.(i)
+    for i = 0 to st.m - 1 do
+      let rho = st.rho.(i) in
+      for gid = session_first.(i) to session_first.(i + 1) - 1 do
+        if st.active.(gid) then
+          if st.weight.(gid) *. t_new >= rho -. tol_for rho then begin
+            st.rates.(gid) <- rho;
+            freeze gid
+          end
+          else if on_saturated gid then freeze gid
+      done
     done;
     (* Numerical fallback: bisection can stop a hair below saturation;
        force progress by freezing receivers on the tightest link. *)
     if !frozen = [] then begin
       if !min_slack_link < 0 then failwith "Allocator.max_min: stuck with no candidate link";
-      List.iter
-        (fun (r : Network.receiver_id) ->
-          if active.(r.Network.session).(r.Network.index) then freeze r)
-        (Network.all_on_link net ~link:!min_slack_link)
+      let l = !min_slack_link in
+      let row = st.inc.Network.link_session_row in
+      for p = row.(l * st.m) to row.((l + 1) * st.m) - 1 do
+        freeze st.inc.Network.link_cells.(p)
+      done
     end;
     (* Step 7: a single-rate session freezes as a unit. *)
-    for i = 0 to m - 1 do
-      if Network.session_type net i = Network.Single_rate then begin
-        let any_frozen = Array.exists (fun b -> not b) active.(i) in
-        if any_frozen then
-          Array.iteri
-            (fun k is_active -> if is_active then freeze { Network.session = i; index = k })
-            active.(i)
+    for i = 0 to st.m - 1 do
+      if st.single_rate.(i) then begin
+        let any_frozen = ref false in
+        for gid = session_first.(i) to session_first.(i + 1) - 1 do
+          if not st.active.(gid) then any_frozen := true
+        done;
+        if !any_frozen then
+          for gid = session_first.(i) to session_first.(i + 1) - 1 do
+            freeze gid
+          done
       end
     done;
-    rounds := { increment = t_new -. !t_cur; frozen = List.rev !frozen; saturated_links = saturated_set } :: !rounds;
+    rounds :=
+      { increment = t_new -. !t_cur; frozen = List.rev !frozen; saturated_links = saturated_set }
+      :: !rounds;
     t_cur := t_new
   done;
+  let rates =
+    Array.init st.m (fun i ->
+        Array.sub st.rates session_first.(i) (session_first.(i + 1) - session_first.(i)))
+  in
   { allocation = Allocation.make net rates; rounds = List.rev !rounds }
 
 let max_min_trace ?(engine = `Auto) net = run engine net

@@ -1,0 +1,210 @@
+(* The pre-incidence-index water-filling allocator, kept verbatim as a
+   frozen oracle: it recomputes every link×session cell from the
+   list-based [Network] views on every round.  The optimized
+   [Allocator] must match it to within float tolerance — see the
+   "optimized allocator equals reference" property test and
+   bench/scaling.ml's before/after columns.  Do not optimize this
+   module. *)
+
+module Graph = Mmfair_topology.Graph
+
+type engine = [ `Auto | `Linear | `Bisection ]
+
+let tol_for x = 1e-9 *. Stdlib.max 1.0 (Float.abs x)
+
+let session_usage_at net rates active ~session ~link t =
+  let downstream = Network.receivers_on_link net ~session ~link in
+  match downstream with
+  | [] -> 0.0
+  | _ ->
+      let rate_of (r : Network.receiver_id) =
+        if active.(r.Network.session).(r.Network.index) then Network.weight net r *. t
+        else rates.(r.Network.session).(r.Network.index)
+      in
+      Redundancy_fn.apply (Network.vfn net session) (List.map rate_of downstream)
+
+let link_usage_at net rates active ~link t =
+  let m = Network.session_count net in
+  let s = ref 0.0 in
+  for i = 0 to m - 1 do
+    s := !s +. session_usage_at net rates active ~session:i ~link t
+  done;
+  !s
+
+let linear_bound net rates active t_cur =
+  let g = Network.graph net in
+  let m = Network.session_count net in
+  let bound = ref infinity in
+  for link = 0 to Graph.link_count g - 1 do
+    let const = ref 0.0 and slope = ref 0.0 in
+    for i = 0 to m - 1 do
+      let downstream = Network.receivers_on_link net ~session:i ~link in
+      if downstream <> [] then begin
+        let n_active = ref 0 and max_frozen = ref 0.0 and sum_frozen = ref 0.0 in
+        List.iter
+          (fun (r : Network.receiver_id) ->
+            if active.(r.Network.session).(r.Network.index) then incr n_active
+            else begin
+              let a = rates.(r.Network.session).(r.Network.index) in
+              if a > !max_frozen then max_frozen := a;
+              sum_frozen := !sum_frozen +. a
+            end)
+          downstream;
+        match Network.vfn net i with
+        | Redundancy_fn.Efficient ->
+            if !n_active > 0 then slope := !slope +. 1.0 else const := !const +. !max_frozen
+        | Redundancy_fn.Scaled v ->
+            if !n_active > 0 then slope := !slope +. v else const := !const +. (v *. !max_frozen)
+        | Redundancy_fn.Additive ->
+            const := !const +. !sum_frozen;
+            slope := !slope +. float_of_int !n_active
+        | Redundancy_fn.Custom _ ->
+            invalid_arg "Allocator_reference: linear engine on non-linear session link-rate function"
+      end
+    done;
+    if !slope > 0.0 then begin
+      let b = (Graph.capacity g link -. !const) /. !slope in
+      if b < !bound then bound := b
+    end
+  done;
+  Stdlib.max !bound t_cur
+
+let bisection_bound net rates active t_cur rho_bound =
+  let g = Network.graph net in
+  let feasible t =
+    let ok = ref true in
+    for link = 0 to Graph.link_count g - 1 do
+      let c = Graph.capacity g link in
+      if link_usage_at net rates active ~link t > c +. tol_for c then ok := false
+    done;
+    !ok
+  in
+  let max_cap = Graph.fold_links g ~init:0.0 ~f:(fun acc l -> Stdlib.max acc (Graph.capacity g l)) in
+  let min_weight = ref infinity in
+  Array.iteri
+    (fun i per ->
+      Array.iteri
+        (fun k is_active ->
+          if is_active then
+            min_weight := Stdlib.min !min_weight (Network.weight net { Network.session = i; index = k }))
+        per)
+    active;
+  let weight_floor = if Float.is_finite !min_weight && !min_weight > 0.0 then !min_weight else 1.0 in
+  let hi = Stdlib.min rho_bound (t_cur +. (max_cap /. weight_floor) +. 1.0) in
+  if not (feasible t_cur) then t_cur
+  else if feasible hi then hi
+  else Mmfair_numerics.Bisect.sup_satisfying feasible t_cur hi
+
+let run engine net =
+  let g = Network.graph net in
+  let m = Network.session_count net in
+  let rates = Array.init m (fun i -> Array.map (fun _ -> 0.0) (Network.session_spec net i).Network.receivers) in
+  let active = Array.map (Array.map (fun _ -> true)) rates in
+  let all_linear =
+    let ok = ref true in
+    for i = 0 to m - 1 do
+      if not (Redundancy_fn.is_linear (Network.vfn net i)) then ok := false
+    done;
+    !ok
+  in
+  let unit_weights = Network.all_weights_unit net in
+  let use_linear =
+    match engine with
+    | `Linear ->
+        if not all_linear then
+          invalid_arg "Allocator_reference.max_min: linear engine requires linear link-rate functions";
+        if not unit_weights then
+          invalid_arg "Allocator_reference.max_min: linear engine requires unit weights";
+        true
+    | `Bisection -> false
+    | `Auto -> all_linear && unit_weights
+  in
+  let any_active () = Array.exists (Array.exists Fun.id) active in
+  let t_cur = ref 0.0 in
+  let guard = ref (Network.receiver_count net + Graph.link_count g + 2) in
+  while any_active () do
+    decr guard;
+    if !guard < 0 then
+      failwith "Allocator_reference.max_min: no progress (non-monotone link-rate function?)";
+    let rho_bound = ref infinity in
+    for i = 0 to m - 1 do
+      let rho = Network.rho net i in
+      Array.iteri
+        (fun k is_active ->
+          if is_active then
+            rho_bound :=
+              Stdlib.min !rho_bound (rho /. Network.weight net { Network.session = i; index = k }))
+        active.(i)
+    done;
+    let t_new =
+      if use_linear then Stdlib.min (linear_bound net rates active !t_cur) !rho_bound
+      else bisection_bound net rates active !t_cur !rho_bound
+    in
+    let t_new = Stdlib.max t_new !t_cur in
+    Array.iteri
+      (fun i per ->
+        Array.iteri
+          (fun k is_active ->
+            if is_active then
+              rates.(i).(k) <- Network.weight net { Network.session = i; index = k } *. t_new)
+          per)
+      active;
+    let saturated = ref [] in
+    let min_slack = ref infinity and min_slack_link = ref (-1) in
+    for link = Graph.link_count g - 1 downto 0 do
+      let c = Graph.capacity g link in
+      let u = link_usage_at net rates active ~link t_new in
+      let slack = c -. u in
+      if slack <= tol_for c then saturated := link :: !saturated;
+      if slack < !min_slack && Network.all_on_link net ~link |> List.exists (fun (r : Network.receiver_id) -> active.(r.Network.session).(r.Network.index))
+      then begin
+        min_slack := slack;
+        min_slack_link := link
+      end
+    done;
+    let saturated_set = !saturated in
+    let on_saturated (r : Network.receiver_id) =
+      List.exists (fun l -> Network.crosses net r l) saturated_set
+    in
+    let frozen = ref [] in
+    let freeze (r : Network.receiver_id) =
+      if active.(r.Network.session).(r.Network.index) then begin
+        active.(r.Network.session).(r.Network.index) <- false;
+        frozen := r :: !frozen
+      end
+    in
+    for i = 0 to m - 1 do
+      let rho = Network.rho net i in
+      Array.iteri
+        (fun k is_active ->
+          if is_active then begin
+            let r = { Network.session = i; index = k } in
+            if Network.weight net r *. t_new >= rho -. tol_for rho then begin
+              rates.(i).(k) <- rho;
+              freeze r
+            end
+            else if on_saturated r then freeze r
+          end)
+        active.(i)
+    done;
+    if !frozen = [] then begin
+      if !min_slack_link < 0 then failwith "Allocator_reference.max_min: stuck with no candidate link";
+      List.iter
+        (fun (r : Network.receiver_id) ->
+          if active.(r.Network.session).(r.Network.index) then freeze r)
+        (Network.all_on_link net ~link:!min_slack_link)
+    end;
+    for i = 0 to m - 1 do
+      if Network.session_type net i = Network.Single_rate then begin
+        let any_frozen = Array.exists (fun b -> not b) active.(i) in
+        if any_frozen then
+          Array.iteri
+            (fun k is_active -> if is_active then freeze { Network.session = i; index = k })
+            active.(i)
+      end
+    done;
+    t_cur := t_new
+  done;
+  Allocation.make net rates
+
+let max_min ?(engine = `Auto) net = run engine net

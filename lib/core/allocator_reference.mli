@@ -1,0 +1,21 @@
+(** The pre-optimization water-filling allocator, frozen as an oracle.
+
+    This is the seed repository's [Allocator] hot path verbatim: every
+    round it rescans all links × sessions through the list-based
+    [Network.receivers_on_link]/[all_on_link] views and allocates
+    intermediate lists per evaluation.  {!Allocator} replaced that with
+    the flat incidence index and incremental per-link bookkeeping; this
+    module stays behind so that
+
+    - the "optimized allocator equals reference" property test can
+      assert rate-level agreement on random networks, and
+    - [bench/scaling.exe] can report measured before/after numbers in
+      [BENCH_allocator.json].
+
+    Keep it slow and obvious; do not optimize it. *)
+
+type engine = [ `Auto | `Linear | `Bisection ]
+
+val max_min : ?engine:engine -> Network.t -> Allocation.t
+(** Same contract as {!Allocator.max_min}, computed by the original
+    per-round full rescan. *)

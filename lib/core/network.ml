@@ -23,6 +23,16 @@ let session ?(session_type = Multi_rate) ?(rho = infinity) ?(vfn = Redundancy_fn
 
 type receiver_id = { session : int; index : int }
 
+type incidence = {
+  n_receivers : int;
+  session_first : int array;
+  receiver_of_gid : receiver_id array;
+  link_session_row : int array;
+  link_cells : int array;
+  recv_row : int array;
+  recv_cells : int array;
+}
+
 type t = {
   graph : Graph.t;
   sessions : session_spec array;
@@ -30,7 +40,85 @@ type t = {
   (* on_link.(j).(i) = receivers of session i crossing link j, reversed order *)
   on_link : receiver_id list array array;
   session_link_union : Graph.link_id list array; (* session data-path *)
+  inc : incidence;
+  (* bit (gid * n_links + l) set iff receiver [gid] crosses link [l] *)
+  crosses_bits : Bytes.t;
+  all_on_link_cache : receiver_id list array;
 }
+
+(* Flat CSR views of the routing, shared by every [with_*] variant
+   (they never re-route): global receiver ids are session-major, links
+   are grouped session-by-session within each link's cell range. *)
+let build_incidence n_links paths =
+  let m = Array.length paths in
+  let session_first = Array.make (m + 1) 0 in
+  for i = 0 to m - 1 do
+    session_first.(i + 1) <- session_first.(i) + Array.length paths.(i)
+  done;
+  let n_receivers = session_first.(m) in
+  let receiver_of_gid = Array.make (Stdlib.max n_receivers 1) { session = 0; index = 0 } in
+  let recv_row = Array.make (n_receivers + 1) 0 in
+  Array.iteri
+    (fun i per_receiver ->
+      Array.iteri
+        (fun k path ->
+          let gid = session_first.(i) + k in
+          receiver_of_gid.(gid) <- { session = i; index = k };
+          recv_row.(gid + 1) <- List.length path)
+        per_receiver)
+    paths;
+  for gid = 0 to n_receivers - 1 do
+    recv_row.(gid + 1) <- recv_row.(gid + 1) + recv_row.(gid)
+  done;
+  let total = recv_row.(n_receivers) in
+  let recv_cells = Array.make (Stdlib.max total 1) 0 in
+  let link_session_row = Array.make ((n_links * m) + 1) 0 in
+  Array.iteri
+    (fun i per_receiver ->
+      Array.iteri
+        (fun k path ->
+          let gid = session_first.(i) + k in
+          let cursor = ref recv_row.(gid) in
+          List.iter
+            (fun l ->
+              recv_cells.(!cursor) <- l;
+              incr cursor;
+              link_session_row.((l * m) + i + 1) <- link_session_row.((l * m) + i + 1) + 1)
+            path)
+        per_receiver)
+    paths;
+  for c = 0 to (n_links * m) - 1 do
+    link_session_row.(c + 1) <- link_session_row.(c + 1) + link_session_row.(c)
+  done;
+  let link_cells = Array.make (Stdlib.max total 1) 0 in
+  let cursor = Array.sub link_session_row 0 (Stdlib.max (n_links * m) 1) in
+  (* Fill session-major, receiver-index ascending, so each cell lists
+     its receivers in the same order as [receivers_on_link]. *)
+  Array.iteri
+    (fun i per_receiver ->
+      Array.iteri
+        (fun k path ->
+          let gid = session_first.(i) + k in
+          List.iter
+            (fun l ->
+              let c = (l * m) + i in
+              link_cells.(cursor.(c)) <- gid;
+              cursor.(c) <- cursor.(c) + 1)
+            path)
+        per_receiver)
+    paths;
+  { n_receivers; session_first; receiver_of_gid; link_session_row; link_cells; recv_row; recv_cells }
+
+let build_crosses_bits n_links inc =
+  let bits = Bytes.make (((inc.n_receivers * n_links) + 7) / 8) '\000' in
+  for gid = 0 to inc.n_receivers - 1 do
+    for p = inc.recv_row.(gid) to inc.recv_row.(gid + 1) - 1 do
+      let bit = (gid * n_links) + inc.recv_cells.(p) in
+      Bytes.unsafe_set bits (bit lsr 3)
+        (Char.unsafe_chr (Char.code (Bytes.unsafe_get bits (bit lsr 3)) lor (1 lsl (bit land 7))))
+    done
+  done;
+  bits
 
 let validate_and_route graph sessions =
   let n_links = Graph.link_count graph in
@@ -94,7 +182,12 @@ let validate_and_route graph sessions =
         |> List.sort_uniq compare)
       paths
   in
-  { graph; sessions; paths; on_link; session_link_union }
+  let inc = build_incidence n_links paths in
+  let crosses_bits = build_crosses_bits n_links inc in
+  let all_on_link_cache =
+    Array.map (fun per_session -> List.concat (Array.to_list per_session)) on_link
+  in
+  { graph; sessions; paths; on_link; session_link_union; inc; crosses_bits; all_on_link_cache }
 
 let make graph sessions = validate_and_route graph (Array.copy sessions)
 
@@ -173,9 +266,21 @@ let receivers_on_link t ~session ~link =
 
 let all_on_link t ~link =
   if link < 0 || link >= Graph.link_count t.graph then invalid_arg "Network.all_on_link: unknown link";
-  Array.to_list t.on_link.(link) |> List.concat
+  t.all_on_link_cache.(link)
 
-let crosses t r l = List.exists (fun l' -> l' = l) (data_path t r)
+let incidence t = t.inc
+
+let receiver_gid t r =
+  check_receiver t r "receiver_gid";
+  t.inc.session_first.(r.session) + r.index
+
+let crosses t r l =
+  check_receiver t r "crosses";
+  l >= 0
+  && l < Graph.link_count t.graph
+  &&
+  let bit = ((t.inc.session_first.(r.session) + r.index) * Graph.link_count t.graph) + l in
+  Char.code (Bytes.unsafe_get t.crosses_bits (bit lsr 3)) land (1 lsl (bit land 7)) <> 0
 
 let is_unicast t i = Array.length (session_spec t i).receivers = 1
 

@@ -101,7 +101,41 @@ val all_on_link : t -> link:Mmfair_topology.Graph.link_id -> receiver_id list
 (** The paper's [R_j]. *)
 
 val crosses : t -> receiver_id -> Mmfair_topology.Graph.link_id -> bool
-(** Whether the receiver's data-path includes the link. *)
+(** Whether the receiver's data-path includes the link.  O(1): answered
+    from a precomputed link×receiver bitset. *)
+
+type incidence = private {
+  n_receivers : int;  (** Total receivers; global ids are [0..n_receivers-1]. *)
+  session_first : int array;
+      (** [m+1] entries; receiver [r_{i,k}]'s global id is
+          [session_first.(i) + k], and [session_first.(m)] is
+          [n_receivers]. *)
+  receiver_of_gid : receiver_id array;  (** Inverse of the global-id encoding. *)
+  link_session_row : int array;
+      (** [n_links·m + 1] offsets into [link_cells]: the receivers of
+          session [i] crossing link [l] (the paper's [R_{i,l}]) occupy
+          [link_cells.(link_session_row.(l·m+i))] up to (excl.)
+          [link_cells.(link_session_row.(l·m+i+1))], in receiver-index
+          order; link [l]'s full range ([R_l]) spans
+          [link_session_row.(l·m) .. link_session_row.((l+1)·m)]. *)
+  link_cells : int array;  (** Global receiver ids, grouped as above. *)
+  recv_row : int array;  (** [n_receivers + 1] offsets into [recv_cells]. *)
+  recv_cells : int array;
+      (** Link ids of each receiver's data-path, path order, grouped by
+          global receiver id. *)
+}
+(** Flat CSR-style incidence index over the frozen routing — the
+    allocator's hot loops iterate these int arrays instead of the
+    list-based [receivers_on_link]/[all_on_link] views.  Built once at
+    construction and shared (the [with_*] variants never re-route).
+    Exposed read-only: never mutate the arrays. *)
+
+val incidence : t -> incidence
+(** The precomputed incidence index.  O(1). *)
+
+val receiver_gid : t -> receiver_id -> int
+(** The receiver's global id in the incidence index
+    ([session_first.(session) + index]). *)
 
 val is_unicast : t -> int -> bool
 (** A session with exactly one receiver (the paper treats unicast as

@@ -18,6 +18,37 @@ let apply v rates =
       | Additive -> List.fold_left ( +. ) 0.0 rates
       | Custom (_, f) -> Stdlib.max (f rates) (max_rate rates))
 
+let apply_fold v ~n ~get =
+  if n = 0 then 0.0
+  else
+    match v with
+    | Efficient ->
+        let mx = ref 0.0 in
+        for j = 0 to n - 1 do
+          let x = get j in
+          if x > !mx then mx := x
+        done;
+        !mx
+    | Scaled k ->
+        if k < 1.0 then invalid_arg "Redundancy_fn.apply_fold: Scaled factor must be >= 1";
+        let mx = ref 0.0 in
+        for j = 0 to n - 1 do
+          let x = get j in
+          if x > !mx then mx := x
+        done;
+        k *. !mx
+    | Additive ->
+        let s = ref 0.0 in
+        for j = 0 to n - 1 do
+          s := !s +. get j
+        done;
+        !s
+    | Custom (_, f) ->
+        (* A [Custom] function consumes a list by construction, so this
+           shape alone must materialize the rates. *)
+        let rates = List.init n get in
+        Stdlib.max (f rates) (max_rate rates)
+
 let name = function
   | Efficient -> "efficient"
   | Scaled k -> Printf.sprintf "scaled(%g)" k

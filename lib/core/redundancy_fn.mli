@@ -36,6 +36,13 @@ val apply : t -> float list -> float
     receiver rates.  Returns [0.] on the empty set.  For [Custom] the
     result is clamped to at least [max rates]. *)
 
+val apply_fold : t -> n:int -> get:(int -> float) -> float
+(** [apply_fold v ~n ~get] is [apply v (List.init n get)] without
+    building the list for the linear shapes ([Efficient], [Scaled],
+    [Additive]) — the allocator's hot loops fold the downstream rates
+    directly.  [Custom] functions consume a [float list] by
+    construction, so that shape alone still materializes the rates. *)
+
 val name : t -> string
 (** Short human-readable name for reports. *)
 

@@ -446,9 +446,78 @@ let qcheck_weighted_unit_equals_unweighted =
           <= 1e-5 *. Stdlib.max 1.0 (Allocation.rate a r))
         (Network.all_receivers net))
 
+(* --- optimized hot path vs frozen reference --- *)
+
+(* The incidence-indexed allocator must reproduce the pre-optimization
+   implementation (Allocator_reference, kept verbatim from the seed)
+   rate-for-rate: random networks mixing Single_rate/Multi_rate
+   sessions, all three linear Redundancy_fn shapes (Efficient, Scaled,
+   Additive), finite and infinite rho, for both engines, and under
+   non-unit weights through the bisection engine. *)
+
+let agree ?(eps = 1e-6) ~engine net =
+  let opt = Allocator.max_min ~engine net in
+  let reference = Mmfair_core.Allocator_reference.max_min ~engine net in
+  Array.for_all
+    (fun (r : Network.receiver_id) ->
+      Float.abs (Allocation.rate opt r -. Allocation.rate reference r)
+      <= eps *. Stdlib.max 1.0 (Allocation.rate reference r))
+    (Network.all_receivers net)
+
+let mixed_shape_net seed =
+  let config =
+    {
+      Random_nets.default with
+      Random_nets.single_rate_prob = 0.4;
+      scaled_vfn_prob = 0.3;
+      sessions = 4;
+      finite_rho_prob = 0.3;
+    }
+  in
+  let net = net_of_seed ~config seed in
+  let rng = Mmfair_prng.Xoshiro.create ~seed:(Int64.of_int (seed + 31)) () in
+  (* the generator emits Efficient and Scaled; sprinkle in Additive so
+     all three linear shapes are exercised *)
+  let vfns =
+    Array.init (Network.session_count net) (fun i ->
+        match Network.vfn net i with
+        | Redundancy_fn.Scaled _ as v -> v
+        | v -> if Mmfair_prng.Xoshiro.bernoulli rng 0.3 then Redundancy_fn.Additive else v)
+  in
+  (Network.with_vfns net vfns, rng)
+
+let qcheck_optimized_equals_reference =
+  QCheck.Test.make ~name:"optimized allocator equals frozen reference (both engines)" ~count:30
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let net, rng = mixed_shape_net seed in
+      let unit_ok = agree ~engine:`Linear net && agree ~engine:`Bisection net in
+      let weights =
+        Array.init (Network.session_count net) (fun i ->
+            let k = Array.length (Network.session_spec net i).Network.receivers in
+            if Network.session_type net i = Network.Single_rate then
+              Array.make k (Mmfair_prng.Xoshiro.uniform rng 0.5 3.0)
+            else Array.init k (fun _ -> Mmfair_prng.Xoshiro.uniform rng 0.5 3.0))
+      in
+      unit_ok && agree ~engine:`Bisection (Network.with_weights net weights))
+
+let qcheck_certify_accepts_optimized =
+  (* On the networks Certify covers (all multi-rate, Efficient), the
+     optimized allocator's output must certify as max-min fair for
+     both engines. *)
+  QCheck.Test.make ~name:"Certify accepts the optimized allocator's output" ~count:30
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let config = { Random_nets.default with Random_nets.single_rate_prob = 0.0 } in
+      let net = net_of_seed ~config seed in
+      Mmfair_core.Certify.is_max_min ~eps:1e-6 (Allocator.max_min ~engine:`Linear net)
+      && Mmfair_core.Certify.is_max_min ~eps:1e-6 (Allocator.max_min ~engine:`Bisection net))
+
 let suite =
   suite
   @ [
       QCheck_alcotest.to_alcotest qcheck_certify_equals_fp1;
       QCheck_alcotest.to_alcotest qcheck_weighted_unit_equals_unweighted;
+      QCheck_alcotest.to_alcotest qcheck_optimized_equals_reference;
+      QCheck_alcotest.to_alcotest qcheck_certify_accepts_optimized;
     ]

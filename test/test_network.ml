@@ -130,6 +130,59 @@ let qcheck_random_nets_valid =
       done;
       !ok)
 
+let qcheck_incidence_matches_lists =
+  (* The CSR incidence index must agree with the list-based views it
+     accelerates: cells vs receivers_on_link/all_on_link, receiver
+     rows vs data_path, and the crosses bitset vs path membership. *)
+  QCheck.Test.make ~name:"incidence index agrees with the list-based views" ~count:100
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Mmfair_prng.Xoshiro.create ~seed:(Int64.of_int seed) () in
+      let net = Mmfair_workload.Random_nets.generate ~rng Mmfair_workload.Random_nets.default in
+      let g = Network.graph net in
+      let inc = Network.incidence net in
+      let m = Network.session_count net in
+      let gid_of (r : Network.receiver_id) = Network.receiver_gid net r in
+      let ok = ref true in
+      if inc.Network.n_receivers <> Network.receiver_count net then ok := false;
+      for l = 0 to Graph.link_count g - 1 do
+        for i = 0 to m - 1 do
+          let c = (l * m) + i in
+          let cell =
+            Array.to_list
+              (Array.sub inc.Network.link_cells
+                 inc.Network.link_session_row.(c)
+                 (inc.Network.link_session_row.(c + 1) - inc.Network.link_session_row.(c)))
+          in
+          let expected = List.map gid_of (Network.receivers_on_link net ~session:i ~link:l) in
+          if cell <> expected then ok := false
+        done;
+        let all = List.map gid_of (Network.all_on_link net ~link:l) in
+        let flat =
+          Array.to_list
+            (Array.sub inc.Network.link_cells
+               inc.Network.link_session_row.(l * m)
+               (inc.Network.link_session_row.((l + 1) * m) - inc.Network.link_session_row.(l * m)))
+        in
+        if List.sort compare all <> List.sort compare flat then ok := false
+      done;
+      Array.iter
+        (fun (r : Network.receiver_id) ->
+          let gid = gid_of r in
+          if inc.Network.receiver_of_gid.(gid) <> r then ok := false;
+          let row =
+            Array.to_list
+              (Array.sub inc.Network.recv_cells
+                 inc.Network.recv_row.(gid)
+                 (inc.Network.recv_row.(gid + 1) - inc.Network.recv_row.(gid)))
+          in
+          if row <> Network.data_path net r then ok := false;
+          for l = 0 to Graph.link_count g - 1 do
+            if Network.crosses net r l <> List.mem l (Network.data_path net r) then ok := false
+          done)
+        (Network.all_receivers net);
+      !ok)
+
 let suite =
   [
     Alcotest.test_case "counts" `Quick test_counts;
@@ -148,4 +201,5 @@ let suite =
     Alcotest.test_case "without_receiver" `Quick test_without_receiver;
     Alcotest.test_case "without_receiver last" `Quick test_without_receiver_last;
     QCheck_alcotest.to_alcotest qcheck_random_nets_valid;
+    QCheck_alcotest.to_alcotest qcheck_incidence_matches_lists;
   ]
