@@ -7,8 +7,15 @@ module Network = Mmfair_core.Network
 module Allocation = Mmfair_core.Allocation
 module Allocator = Mmfair_core.Allocator
 module Properties = Mmfair_core.Properties
+module Solver_error = Mmfair_core.Solver_error
 module Graph = Mmfair_topology.Graph
 module E = Mmfair_experiments
+
+(* Exit codes (documented in README "Errors & exit codes"): 0 success,
+   2 malformed input (parse/validation), 3 solver failure; cmdliner
+   keeps its own 124/125 for CLI usage errors. *)
+let exit_invalid_input = 2
+let exit_solver_error = 3
 
 let print_table ~csv table =
   if csv then print_string (E.Table.to_csv table) else E.Table.print table
@@ -33,7 +40,13 @@ let allocate_cmd =
   let run file engine trace =
     let parsed = Mmfair_workload.Net_parser.parse_file file in
     let net = parsed.Mmfair_workload.Net_parser.net in
-    let result = Allocator.max_min_trace ~engine net in
+    let result =
+      match Allocator.max_min_trace_result ~engine net with
+      | Ok result -> result
+      | Error e ->
+          Printf.eprintf "mmfair allocate: %s\n" (Solver_error.to_string e);
+          exit exit_solver_error
+    in
     if trace then Allocator.pp_trace Format.std_formatter result;
     let alloc = result.Allocator.allocation in
     let g = Network.graph net in
@@ -411,4 +424,23 @@ let main_cmd =
       compete_cmd; tcpfriendly_cmd; claims_cmd; membership_cmd; list_cmd; all_cmd;
     ]
 
-let () = exit (Cmd.eval main_cmd)
+(* Malformed inputs and solver stalls must exit with a short diagnostic
+   on stderr, not a raw backtrace (cmdliner's default catch prints the
+   exception and exits 125). *)
+let () =
+  let code =
+    try Cmd.eval ~catch:false main_cmd with
+    | Solver_error.Error e ->
+        Printf.eprintf "mmfair: solver error: %s\n" (Solver_error.to_string e);
+        exit_solver_error
+    | Mmfair_workload.Net_parser.Parse_error (line, msg) ->
+        Printf.eprintf "mmfair: parse error (line %d): %s\n" line msg;
+        exit_invalid_input
+    | Invalid_argument msg | Failure msg ->
+        Printf.eprintf "mmfair: invalid input: %s\n" msg;
+        exit_invalid_input
+    | Sys_error msg ->
+        Printf.eprintf "mmfair: %s\n" msg;
+        exit_invalid_input
+  in
+  exit code

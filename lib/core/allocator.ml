@@ -262,6 +262,8 @@ let bisection_bound st t_cur rho_bound =
   else if feasible_active hi then hi
   else Mmfair_numerics.Bisect.sup_satisfying feasible_active t_cur hi
 
+let solver_name = "Allocator"
+
 let run engine net =
   let st = init_state net in
   let all_linear = Array.for_all Redundancy_fn.is_linear st.vfn in
@@ -278,12 +280,18 @@ let run engine net =
     | `Auto -> all_linear && unit_weights
   in
   let rounds = ref [] in
+  let round_no = ref 0 in
+  let last_slack = ref infinity in
   let t_cur = ref 0.0 in
   let guard = ref (st.n + st.nl + 2) in
   let session_first = st.inc.Network.session_first in
   while st.n_active > 0 do
     decr guard;
-    if !guard < 0 then failwith "Allocator.max_min: no progress (non-monotone link-rate function?)";
+    incr round_no;
+    if !guard < 0 then
+      Solver_error.raise_error
+        (Solver_error.stalled ~solver:solver_name ~vfns:st.vfn ~round:!round_no
+           ~residual_slack:!last_slack);
     (* Largest normalized level t at which no active receiver's rate
        w·t exceeds its session's rho. *)
     let rho_bound = ref infinity in
@@ -321,6 +329,7 @@ let run engine net =
         min_slack_link := l
       end
     done;
+    last_slack := !min_slack;
     let saturated_set =
       let acc = ref [] in
       for l = st.nl - 1 downto 0 do
@@ -361,7 +370,18 @@ let run engine net =
     (* Numerical fallback: bisection can stop a hair below saturation;
        force progress by freezing receivers on the tightest link. *)
     if !frozen = [] then begin
-      if !min_slack_link < 0 then failwith "Allocator.max_min: stuck with no candidate link";
+      if !min_slack_link < 0 then begin
+        (* Every slack comparison failed — usage is NaN somewhere.
+           Name the first offending link for the report. *)
+        let nan_link = ref None in
+        for p = st.n_active_links - 1 downto 0 do
+          let l = st.active_links.(p) in
+          if not (Float.is_finite (link_usage_at st ~link:l t_new)) then nan_link := Some l
+        done;
+        Solver_error.raise_error
+          (Solver_error.Stuck_link
+             { solver = solver_name; round = !round_no; link = !nan_link; residual_slack = !min_slack })
+      end;
       let l = !min_slack_link in
       let row = st.inc.Network.link_session_row in
       for p = row.(l * st.m) to row.((l + 1) * st.m) - 1 do
@@ -394,6 +414,12 @@ let run engine net =
 
 let max_min_trace ?(engine = `Auto) net = run engine net
 let max_min ?(engine = `Auto) net = (run engine net).allocation
+
+let max_min_trace_result ?(engine = `Auto) net =
+  Solver_error.protect ~solver:solver_name (fun () -> run engine net)
+
+let max_min_result ?engine net =
+  Result.map (fun r -> r.allocation) (max_min_trace_result ?engine net)
 
 let pp_trace fmt { allocation; rounds } =
   List.iteri

@@ -39,13 +39,24 @@ type result = { allocation : Allocation.t; rounds : round list }
 
 val max_min : ?engine:engine -> Network.t -> Allocation.t
 (** [max_min net] is the max-min fair allocation of [net].  Raises
-    [Failure] if the algorithm fails to make progress (only possible
-    with a misbehaving [Custom] link-rate function that is not
-    monotone). *)
+    {!Solver_error.Error} if the algorithm fails to make progress
+    (only possible with a misbehaving [Custom] link-rate function that
+    is not monotone) and [Invalid_argument] on an engine/network
+    mismatch.  Use {!max_min_result} for a non-raising variant. *)
 
 val max_min_trace : ?engine:engine -> Network.t -> result
 (** Like {!max_min} but also returns the per-round trace in execution
     order. *)
+
+val max_min_result : ?engine:engine -> Network.t -> (Allocation.t, Solver_error.t) Stdlib.result
+(** Typed-error variant of {!max_min}: degenerate inputs and solver
+    stalls come back as [Error] instead of an exception, so a sweep
+    over many networks can report and skip a bad case.  Never raises
+    for any constructed {!Network.t} whose [Custom] link-rate
+    functions do not themselves raise. *)
+
+val max_min_trace_result : ?engine:engine -> Network.t -> (result, Solver_error.t) Stdlib.result
+(** Typed-error variant of {!max_min_trace}. *)
 
 val pp_trace : Format.formatter -> result -> unit
 (** Human-readable water-filling narration: one line per round with

@@ -95,6 +95,8 @@ let bisection_bound net rates active t_cur rho_bound =
   else if feasible hi then hi
   else Mmfair_numerics.Bisect.sup_satisfying feasible t_cur hi
 
+let solver_name = "Allocator_reference"
+
 let run engine net =
   let g = Network.graph net in
   let m = Network.session_count net in
@@ -121,11 +123,17 @@ let run engine net =
   in
   let any_active () = Array.exists (Array.exists Fun.id) active in
   let t_cur = ref 0.0 in
+  let round_no = ref 0 in
+  let last_slack = ref infinity in
   let guard = ref (Network.receiver_count net + Graph.link_count g + 2) in
   while any_active () do
     decr guard;
+    incr round_no;
     if !guard < 0 then
-      failwith "Allocator_reference.max_min: no progress (non-monotone link-rate function?)";
+      Solver_error.raise_error
+        (Solver_error.stalled ~solver:solver_name
+           ~vfns:(Array.init m (Network.vfn net))
+           ~round:!round_no ~residual_slack:!last_slack);
     let rho_bound = ref infinity in
     for i = 0 to m - 1 do
       let rho = Network.rho net i in
@@ -162,6 +170,7 @@ let run engine net =
         min_slack_link := link
       end
     done;
+    last_slack := !min_slack;
     let saturated_set = !saturated in
     let on_saturated (r : Network.receiver_id) =
       List.exists (fun l -> Network.crosses net r l) saturated_set
@@ -188,7 +197,16 @@ let run engine net =
         active.(i)
     done;
     if !frozen = [] then begin
-      if !min_slack_link < 0 then failwith "Allocator_reference.max_min: stuck with no candidate link";
+      if !min_slack_link < 0 then begin
+        let nan_link = ref None in
+        for link = Graph.link_count g - 1 downto 0 do
+          if not (Float.is_finite (link_usage_at net rates active ~link t_new)) then
+            nan_link := Some link
+        done;
+        Solver_error.raise_error
+          (Solver_error.Stuck_link
+             { solver = solver_name; round = !round_no; link = !nan_link; residual_slack = !min_slack })
+      end;
       List.iter
         (fun (r : Network.receiver_id) ->
           if active.(r.Network.session).(r.Network.index) then freeze r)
@@ -208,3 +226,6 @@ let run engine net =
   Allocation.make net rates
 
 let max_min ?(engine = `Auto) net = run engine net
+
+let max_min_result ?(engine = `Auto) net =
+  Solver_error.protect ~solver:solver_name (fun () -> run engine net)

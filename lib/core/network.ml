@@ -122,6 +122,14 @@ let build_crosses_bits n_links inc =
 
 let validate_and_route graph sessions =
   let n_links = Graph.link_count graph in
+  (* Graph.add_link already rejects NaN/zero/negative capacities; an
+     infinite capacity would make the water-filling bounds meaningless
+     (slack arithmetic produces NaN), so reject it here. *)
+  for l = 0 to n_links - 1 do
+    let c = Graph.capacity graph l in
+    if not (Float.is_finite c) then
+      invalid_arg (Printf.sprintf "Network.make: link %d has non-finite capacity %g" l c)
+  done;
   let paths =
     Array.mapi
       (fun i s ->
@@ -129,13 +137,22 @@ let validate_and_route graph sessions =
           invalid_arg (Printf.sprintf "Network.make: session %d has no receivers" i);
         if not (s.rho > 0.0) then
           invalid_arg (Printf.sprintf "Network.make: session %d has rho <= 0" i);
+        (match s.vfn with
+        | Redundancy_fn.Scaled k when not (Float.is_finite k && k >= 1.0) ->
+            invalid_arg
+              (Printf.sprintf "Network.make: session %d has Scaled redundancy factor %g (need a finite factor >= 1)" i k)
+        | _ -> ());
         if Array.length s.weights <> Array.length s.receivers then
           invalid_arg (Printf.sprintf "Network.make: session %d weight count mismatch" i);
         Array.iter
           (fun w ->
             if not (w > 0.0) then
-              invalid_arg (Printf.sprintf "Network.make: session %d has a non-positive weight" i))
+              invalid_arg (Printf.sprintf "Network.make: session %d has a non-positive weight" i);
+            if not (Float.is_finite w) then
+              invalid_arg (Printf.sprintf "Network.make: session %d has a non-finite weight" i))
           s.weights;
+        if s.sender < 0 || s.sender >= Graph.node_count graph then
+          invalid_arg (Printf.sprintf "Network.make: session %d sender on unknown node %d" i s.sender);
         (if s.session_type = Single_rate && Array.length s.weights > 0 then begin
            let w0 = s.weights.(0) in
            if Array.exists (fun w -> w <> w0) s.weights then
@@ -224,7 +241,9 @@ let with_weights t w =
         if Array.length w.(i) <> Array.length s.receivers then
           invalid_arg "Network.with_weights: receiver count mismatch";
         Array.iter
-          (fun x -> if not (x > 0.0) then invalid_arg "Network.with_weights: non-positive weight")
+          (fun x ->
+            if not (x > 0.0) then invalid_arg "Network.with_weights: non-positive weight";
+            if not (Float.is_finite x) then invalid_arg "Network.with_weights: non-finite weight")
           w.(i);
         (if s.session_type = Single_rate && Array.length w.(i) > 0 then begin
            let w0 = w.(i).(0) in

@@ -51,10 +51,14 @@ type t
 
 val make : Mmfair_topology.Graph.t -> session_spec array -> t
 (** [make g sessions] validates and routes.  Raises [Invalid_argument]
-    when a session has no receivers, [rho ≤ 0], a member node is
-    unknown, two members of one session share a node (the paper's
-    restriction on τ), or some receiver is unreachable from its
-    sender. *)
+    when a session has no receivers, [rho ≤ 0] (or NaN), a [Scaled]
+    redundancy factor is below 1 or non-finite, a weight is
+    non-positive or non-finite, some link capacity is non-finite, a
+    member node is unknown, two members of one session share a node
+    (the paper's restriction on τ), or some receiver is unreachable
+    from its sender.  Every constructed [t] is therefore safe to hand
+    to any solver: degenerate inputs are rejected here, with a
+    diagnostic naming the offending session or link. *)
 
 val graph : t -> Mmfair_topology.Graph.t
 val session_count : t -> int

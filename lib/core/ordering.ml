@@ -1,6 +1,6 @@
 let sort x =
   let c = Array.copy x in
-  Array.sort Stdlib.compare c;
+  Array.sort Float.compare c;
   c
 
 let is_ordered x =

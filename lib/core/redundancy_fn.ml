@@ -16,7 +16,13 @@ let apply v rates =
           if k < 1.0 then invalid_arg "Redundancy_fn.apply: Scaled factor must be >= 1";
           k *. max_rate rates
       | Additive -> List.fold_left ( +. ) 0.0 rates
-      | Custom (_, f) -> Stdlib.max (f rates) (max_rate rates))
+      | Custom (_, f) ->
+          (* Float.max, not the polymorphic max: the clamp to the
+             efficient lower bound must not swallow a NaN coming out
+             of a broken custom function — the solvers detect the NaN
+             and report a typed error instead of silently treating the
+             session as efficient. *)
+          Float.max (f rates) (max_rate rates))
 
 let apply_fold v ~n ~get =
   if n = 0 then 0.0
@@ -47,7 +53,7 @@ let apply_fold v ~n ~get =
         (* A [Custom] function consumes a list by construction, so this
            shape alone must materialize the rates. *)
         let rates = List.init n get in
-        Stdlib.max (f rates) (max_rate rates)
+        Float.max (f rates) (max_rate rates)
 
 let name = function
   | Efficient -> "efficient"

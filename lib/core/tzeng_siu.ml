@@ -15,6 +15,8 @@ let validate net =
    a session freezes when a link on its data-path saturates or rho is
    reached.  This is Tzeng & Siu's construction, written against the
    session-rate vector rather than receiver rates. *)
+let solver_name = "Tzeng_siu"
+
 let max_min_session_rates net =
   validate net;
   let g = Network.graph net in
@@ -24,10 +26,16 @@ let max_min_session_rates net =
   let active = Array.make m true in
   let crosses = Array.init m (fun i -> Network.session_links net i) in
   let t = ref 0.0 in
+  let round_no = ref 0 in
+  let last_slack = ref infinity in
   let guard = ref (m + n_links + 2) in
   while Array.exists Fun.id active do
     decr guard;
-    if !guard < 0 then failwith "Tzeng_siu: no progress";
+    incr round_no;
+    if !guard < 0 then
+      Solver_error.raise_error
+        (Solver_error.No_progress
+           { solver = solver_name; round = !round_no; residual_slack = !last_slack });
     (* per-link: frozen base and active count *)
     let base = Array.make n_links 0.0 in
     let slope = Array.make n_links 0 in
@@ -51,6 +59,15 @@ let max_min_session_rates net =
     let usage = Array.make n_links 0.0 in
     Array.iteri (fun i links -> List.iter (fun l -> usage.(l) <- usage.(l) +. rates.(i)) links) crosses;
     let saturated l = usage.(l) >= Graph.capacity g l -. (1e-9 *. Stdlib.max 1.0 (Graph.capacity g l)) in
+    let min_slack = ref infinity and min_slack_link = ref None in
+    for l = 0 to n_links - 1 do
+      let slack = Graph.capacity g l -. usage.(l) in
+      if slack < !min_slack then begin
+        min_slack := slack;
+        min_slack_link := Some l
+      end
+    done;
+    last_slack := !min_slack;
     let frozen_any = ref false in
     for i = 0 to m - 1 do
       if active.(i) then begin
@@ -66,10 +83,21 @@ let max_min_session_rates net =
         end
       end
     done;
-    if not !frozen_any then failwith "Tzeng_siu: stuck";
+    if not !frozen_any then
+      Solver_error.raise_error
+        (Solver_error.Stuck_link
+           {
+             solver = solver_name;
+             round = !round_no;
+             link = !min_slack_link;
+             residual_slack = !min_slack;
+           });
     t := t_new
   done;
   rates
+
+let max_min_session_rates_result net =
+  Solver_error.protect ~solver:solver_name (fun () -> max_min_session_rates net)
 
 let to_allocation net session_rates =
   if Array.length session_rates <> Network.session_count net then

@@ -16,8 +16,13 @@ val max_min_session_rates : Network.t -> float array
     progressive filling over sessions (a session freezes when any link
     on its data-path saturates or its [ρ_i] is reached).  Requires
     every session to be single-rate and every link-rate function
-    linear-efficient; raises [Invalid_argument] otherwise.  Weights
-    are ignored (the definition predates weighted variants). *)
+    linear-efficient; raises [Invalid_argument] otherwise, and
+    {!Solver_error.Error} if the water-filling stalls.  Weights are
+    ignored (the definition predates weighted variants). *)
+
+val max_min_session_rates_result : Network.t -> (float array, Solver_error.t) result
+(** Typed-error variant of {!max_min_session_rates}: contract
+    violations and stalls come back as [Error] instead of raising. *)
 
 val to_allocation : Network.t -> float array -> Allocation.t
 (** Expand session rates to the receiver-rate allocation (each

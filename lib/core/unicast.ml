@@ -14,6 +14,8 @@ let validate net =
    link's fair share (residual capacity / remaining flows crossing
    it); the minimum over links and over remaining rho limits fixes a
    batch of flows. *)
+let solver_name = "Unicast"
+
 let max_min_flow_rates net =
   validate net;
   let g = Network.graph net in
@@ -24,7 +26,9 @@ let max_min_flow_rates net =
   let residual = Array.init n_links (Graph.capacity g) in
   let crosses = Array.init m (fun i -> Network.session_links net i) in
   let remaining = ref m in
+  let round_no = ref 0 in
   while !remaining > 0 do
+    incr round_no;
     (* flows still unfixed per link *)
     let count = Array.make n_links 0 in
     Array.iteri
@@ -71,10 +75,16 @@ let max_min_flow_rates net =
           any_fixed := true
         end
       done;
-      if not !any_fixed then failwith "Unicast.max_min_flow_rates: no progress"
+      if not !any_fixed then
+        Solver_error.raise_error
+          (Solver_error.No_progress
+             { solver = solver_name; round = !round_no; residual_slack = share })
     end
   done;
   rates
+
+let max_min_flow_rates_result net =
+  Solver_error.protect ~solver:solver_name (fun () -> max_min_flow_rates net)
 
 let agrees_with_general_allocator ?(eps = 1e-7) net =
   let classic = max_min_flow_rates net in

@@ -16,7 +16,12 @@ val max_min_flow_rates : Network.t -> float array
     flows at that share, remove the link's capacity, and continue.
     One rate per session; requires every session to be unicast (one
     receiver) with the efficient link-rate function and unit weights
-    ([Invalid_argument] otherwise).  [ρ_i] limits are honored. *)
+    ([Invalid_argument] otherwise; {!Solver_error.Error} if the
+    construction stalls).  [ρ_i] limits are honored. *)
+
+val max_min_flow_rates_result : Network.t -> (float array, Solver_error.t) result
+(** Typed-error variant of {!max_min_flow_rates}: contract violations
+    and stalls come back as [Error] instead of raising. *)
 
 val agrees_with_general_allocator : ?eps:float -> Network.t -> bool
 (** Whether this construction matches {!Allocator.max_min} on the

@@ -50,7 +50,12 @@ let run_with_losses ~kind ~packets ~seed losses =
   Array.iteri (fun k l -> Hashtbl.add fanout_index l k) star.Builders.fanout;
   let loss_rate l =
     if l = shared then 0.0001
-    else losses.(Hashtbl.find fanout_index l)
+    else
+      match Hashtbl.find_opt fanout_index l with
+      | Some k -> losses.(k)
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Scaling_claims.run_with_losses: link %d is neither the shared link nor a fanout link" l)
   in
   let cfg = Runner.config ~packets ~warmup:(packets / 10) ~seed kind in
   (Runner.run_tree cfg ~graph:star.Builders.graph ~sender:star.Builders.sender

@@ -19,11 +19,14 @@ let cell_f x =
   else Printf.sprintf "%.4g" x
 
 let render fmt t =
+  (* Convert rows to arrays once: the [List.nth row i] per-column scan
+     was quadratic in the column count for every row. *)
+  let row_arrays = List.map Array.of_list t.rows in
   let widths =
     List.mapi
       (fun i col ->
-        List.fold_left (fun acc row -> Stdlib.max acc (String.length (List.nth row i))) (String.length col)
-          t.rows)
+        List.fold_left (fun acc row -> Stdlib.max acc (String.length row.(i))) (String.length col)
+          row_arrays)
       t.columns
   in
   let pad s w = s ^ String.make (w - String.length s) ' ' in

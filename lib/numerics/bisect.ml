@@ -30,7 +30,10 @@ let sup_satisfying ?(tol = 1e-12) ?(max_iter = 200) ok lo hi =
   else begin
     let lo = ref lo and hi = ref hi in
     let iter = ref 0 in
-    let scale = Stdlib.max 1.0 (Float.abs !hi) in
+    (* Same relative-tolerance scale as [root]: a large-magnitude [lo]
+       must widen the stopping window too, or brackets like
+       [-1e9, 0] spin until [max_iter]. *)
+    let scale = Stdlib.max 1.0 (Stdlib.max (Float.abs !lo) (Float.abs !hi)) in
     while !hi -. !lo > tol *. scale && !iter < max_iter do
       let mid = 0.5 *. (!lo +. !hi) in
       if ok mid then lo := mid else hi := mid;

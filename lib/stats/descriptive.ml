@@ -24,20 +24,24 @@ let variance xs =
 
 let stddev xs = sqrt (variance xs)
 
+(* Float.min/Float.max rather than the polymorphic Stdlib versions:
+   polymorphic [max] silently drops a NaN operand (NaN compares below
+   everything), so [min]/[max] would disagree on whether NaN
+   propagates.  Both now yield NaN whenever any sample is NaN. *)
 let min xs =
   if Array.length xs = 0 then invalid_arg "Descriptive.min: empty";
-  Array.fold_left Stdlib.min xs.(0) xs
+  Array.fold_left Float.min xs.(0) xs
 
 let max xs =
   if Array.length xs = 0 then invalid_arg "Descriptive.max: empty";
-  Array.fold_left Stdlib.max xs.(0) xs
+  Array.fold_left Float.max xs.(0) xs
 
 let quantile xs q =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Descriptive.quantile: empty";
   if q < 0.0 || q > 1.0 then invalid_arg "Descriptive.quantile: q outside [0,1]";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   (* Type-7 interpolation: h = (n-1)q. *)
   let h = float_of_int (n - 1) *. q in
   let lo = int_of_float (Float.floor h) in

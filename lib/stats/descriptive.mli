@@ -19,10 +19,13 @@ val stddev : float array -> float
 (** Square root of {!variance}. *)
 
 val min : float array -> float
-(** Smallest element; raises [Invalid_argument] on empty input. *)
+(** Smallest element; raises [Invalid_argument] on empty input.
+    NaN-propagating: the result is NaN when any sample is NaN. *)
 
 val max : float array -> float
-(** Largest element; raises [Invalid_argument] on empty input. *)
+(** Largest element; raises [Invalid_argument] on empty input.
+    NaN-propagating: the result is NaN when any sample is NaN (unlike
+    the polymorphic [Stdlib.max], which drops NaN operands). *)
 
 val quantile : float array -> float -> float
 (** [quantile xs q] is the [q]-quantile of [xs] for [q] in [[0, 1]],

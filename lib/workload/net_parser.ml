@@ -14,6 +14,7 @@ exception Parse_error of int * string
 let fail line msg = raise (Parse_error (line, msg))
 
 type pending_session = {
+  p_line : int;
   p_name : string;
   p_type : Network.session_type;
   p_rho : float;
@@ -55,6 +56,9 @@ let parse_string text =
         | [ "node"; name ] -> ignore (node_of name)
         | [ "link"; name; a; b; cap ] ->
             let cap = parse_float lineno "capacity" cap in
+            if not (Float.is_finite cap && cap > 0.0) then
+              fail lineno (Printf.sprintf "link %s: capacity must be a finite positive number, got %g" name cap);
+            if a = b then fail lineno (Printf.sprintf "link %s: endpoints must differ" name);
             links := (name, node_of a, node_of b, cap) :: !links
         | "session" :: name :: kind :: rest ->
             let p_type =
@@ -73,7 +77,11 @@ let parse_string text =
                     let key = String.sub tok 0 i in
                     let value = String.sub tok (i + 1) (String.length tok - i - 1) in
                     match key with
-                    | "rho" -> p_rho := parse_float lineno "rho" value
+                    | "rho" ->
+                        let rho = parse_float lineno "rho" value in
+                        if not (rho > 0.0) then
+                          fail lineno (Printf.sprintf "rho must be positive (and not NaN), got %g" rho);
+                        p_rho := rho
                     | "v" -> p_v := Some (parse_float lineno "v" value)
                     | "sender" -> p_sender := Some value
                     | "receivers" ->
@@ -89,7 +97,15 @@ let parse_string text =
               | _ -> fail lineno "session needs receivers=N1,N2,..."
             in
             sessions :=
-              { p_name = name; p_type; p_rho = !p_rho; p_v = !p_v; p_sender; p_receivers }
+              {
+                p_line = lineno;
+                p_name = name;
+                p_type;
+                p_rho = !p_rho;
+                p_v = !p_v;
+                p_sender;
+                p_receivers;
+              }
               :: !sessions
         | tok :: _ -> fail lineno (Printf.sprintf "unknown directive %S" tok)
         | [] -> ()
@@ -111,12 +127,23 @@ let parse_string text =
         let vfn =
           match p.p_v with
           | None -> Redundancy_fn.Efficient
-          | Some v when v >= 1.0 -> Redundancy_fn.Scaled v
-          | Some _ -> fail 0 (Printf.sprintf "session %s: v must be >= 1" p.p_name)
+          | Some v when Float.is_finite v && v >= 1.0 -> Redundancy_fn.Scaled v
+          | Some v ->
+              fail p.p_line (Printf.sprintf "session %s: v must be a finite factor >= 1, got %g" p.p_name v)
         in
-        Network.session ~session_type:p.p_type ~rho:p.p_rho ~vfn ~sender:(lookup_node 0 p.p_sender)
-          ~receivers:(Array.of_list (List.map (lookup_node 0) p.p_receivers))
-          ())
+        if p.p_receivers = [] then
+          fail p.p_line (Printf.sprintf "session %s: receiver list is empty" p.p_name);
+        let receivers = List.map (lookup_node p.p_line) p.p_receivers in
+        let sender = lookup_node p.p_line p.p_sender in
+        List.iteri
+          (fun k r ->
+            if r = sender then
+              fail p.p_line
+                (Printf.sprintf "session %s: receiver %d is co-located with the sender %s" p.p_name
+                   (k + 1) p.p_sender))
+          receivers;
+        Network.session ~session_type:p.p_type ~rho:p.p_rho ~vfn ~sender
+          ~receivers:(Array.of_list receivers) ())
       sessions
   in
   let node_names = Array.make (Hashtbl.length nodes) "" in
@@ -127,6 +154,12 @@ let parse_string text =
     link_names = Array.of_list (List.map (fun (n, _, _, _) -> n) links);
     session_names = Array.of_list (List.map (fun p -> p.p_name) sessions);
   }
+
+let parse_string_result text =
+  match parse_string text with
+  | t -> Ok t
+  | exception Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+  | exception Invalid_argument msg -> Error msg
 
 let parse_file path =
   let ic = open_in path in

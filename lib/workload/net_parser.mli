@@ -28,9 +28,18 @@ exception Parse_error of int * string
 (** Line number (1-based) and message. *)
 
 val parse_string : string -> t
-(** Raises {!Parse_error} on malformed input and [Invalid_argument]
-    when the described network is invalid (e.g. unreachable
-    receiver). *)
+(** Raises {!Parse_error} on malformed input — including non-finite,
+    zero or negative capacities, [rho ≤ 0] or NaN, [v < 1], empty
+    receiver lists, unknown node names, and a receiver co-located with
+    its sender, each reported with the offending line number — and
+    [Invalid_argument] when the well-formed description still builds an
+    invalid network (e.g. unreachable receiver). *)
+
+val parse_string_result : string -> (t, string) result
+(** Non-raising variant of {!parse_string}: both {!Parse_error} and
+    [Invalid_argument] come back as [Error] with a human-readable
+    message (parse errors are prefixed with ["line N: "]), so sweeps
+    over many description files can report and skip malformed ones. *)
 
 val parse_file : string -> t
 (** Reads the file and applies {!parse_string}.  Raises [Sys_error]

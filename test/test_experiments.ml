@@ -16,6 +16,29 @@ let test_table_make_and_render () =
   Alcotest.(check bool) "contains cell" true
     (String.split_on_char '\n' s |> List.exists (fun l -> String.trim l = "| 30 | 40 |"))
 
+let test_table_widths_from_later_rows () =
+  (* Column widths must account for every row, including ones wider
+     than the header — all boxed lines come out the same length. *)
+  let t =
+    Table.make ~title:"w" ~columns:[ "c1"; "c2" ]
+      [ [ "1"; "2" ]; [ "a-much-wider-cell"; "x" ]; [ "3"; "forty-two" ] ]
+  in
+  let buf = Buffer.create 64 in
+  let fmt = Format.formatter_of_buffer buf in
+  Table.render fmt t;
+  Format.pp_print_flush fmt ();
+  let boxed =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> String.length l > 0 && (l.[0] = '|' || l.[0] = '+'))
+  in
+  match boxed with
+  | [] -> Alcotest.fail "no boxed lines rendered"
+  | first :: rest ->
+      Alcotest.(check bool) "several boxed lines" true (List.length rest >= 5);
+      List.iter
+        (fun l -> Alcotest.(check int) ("width of " ^ l) (String.length first) (String.length l))
+        rest
+
 let test_table_width_mismatch () =
   Alcotest.check_raises "ragged rows" (Invalid_argument "Table.make: row 0 has 1 cells, expected 2")
     (fun () -> ignore (Table.make ~title:"t" ~columns:[ "a"; "b" ] [ [ "1" ] ]))
@@ -166,6 +189,7 @@ let test_fig8_table_smoke () =
 let suite =
   [
     Alcotest.test_case "table make and render" `Quick test_table_make_and_render;
+    Alcotest.test_case "table widths from later rows" `Quick test_table_widths_from_later_rows;
     Alcotest.test_case "table width mismatch" `Quick test_table_width_mismatch;
     Alcotest.test_case "table csv" `Quick test_table_csv;
     Alcotest.test_case "cell formatting" `Quick test_cell_f;

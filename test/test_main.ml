@@ -24,6 +24,7 @@ let () =
       ("qsim", Test_qsim.suite);
       ("definitions", Test_definitions.suite);
       ("certify", Test_certify.suite);
+      ("solver-errors", Test_solver_errors.suite);
       ("zoo", Test_zoo.suite);
       ("claims", Test_claims.suite);
       ("misc", Test_misc.suite);

@@ -204,6 +204,21 @@ let test_sup_satisfying () =
 
 let test_sup_all_ok () = feq "whole interval" 3.0 (Bisect.sup_satisfying (fun _ -> true) 1.0 3.0)
 
+let test_sup_large_negative_bracket () =
+  (* Regression: the stopping tolerance must scale with |lo| as well
+     as |hi| (like [root]); with scale 1.0 this bracket cannot reach
+     [tol] in ~40 halvings and burns the whole iteration budget. *)
+  let calls = ref 0 in
+  let ok x =
+    incr calls;
+    x <= -2e8
+  in
+  let sup = Bisect.sup_satisfying ok (-1e9) 0.0 in
+  feq ~eps:1e-2 "sup at threshold" (-2e8) sup;
+  Alcotest.(check bool)
+    (Printf.sprintf "converges without exhausting max_iter (%d calls)" !calls)
+    true (!calls <= 50)
+
 let test_sup_invalid () =
   Alcotest.check_raises "lo infeasible"
     (Invalid_argument "Bisect.sup_satisfying: predicate false at lo") (fun () ->
@@ -235,5 +250,6 @@ let suite =
     Alcotest.test_case "bisect no bracket" `Quick test_root_no_bracket;
     Alcotest.test_case "bisect sup" `Quick test_sup_satisfying;
     Alcotest.test_case "bisect sup all ok" `Quick test_sup_all_ok;
+    Alcotest.test_case "bisect sup large negative bracket" `Quick test_sup_large_negative_bracket;
     Alcotest.test_case "bisect sup invalid" `Quick test_sup_invalid;
   ]

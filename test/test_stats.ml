@@ -35,6 +35,12 @@ let test_minmax () =
   feq "min" (-2.0) (D.min [| 3.0; -2.0; 7.0 |]);
   feq "max" 7.0 (D.max [| 3.0; -2.0; 7.0 |])
 
+let test_minmax_nan () =
+  (* Both extremes must propagate NaN; the polymorphic [Stdlib.max]
+     used to drop it silently while [min] kept it. *)
+  Alcotest.(check bool) "min propagates NaN" true (Float.is_nan (D.min [| 3.0; Float.nan; 7.0 |]));
+  Alcotest.(check bool) "max propagates NaN" true (Float.is_nan (D.max [| 3.0; Float.nan; 7.0 |]))
+
 let test_median_odd () = feq "odd median" 3.0 (D.median [| 5.0; 1.0; 3.0 |])
 let test_median_even () = feq "even median" 2.5 (D.median [| 4.0; 1.0; 2.0; 3.0 |])
 
@@ -176,6 +182,7 @@ let suite =
     Alcotest.test_case "variance constant" `Quick test_variance_constant;
     Alcotest.test_case "variance single" `Quick test_variance_single;
     Alcotest.test_case "min/max" `Quick test_minmax;
+    Alcotest.test_case "min/max NaN propagation" `Quick test_minmax_nan;
     Alcotest.test_case "median odd" `Quick test_median_odd;
     Alcotest.test_case "median even" `Quick test_median_even;
     Alcotest.test_case "quantile bounds" `Quick test_quantile_bounds;

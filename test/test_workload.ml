@@ -91,8 +91,30 @@ let test_parser_errors () =
   check_parse_error "bad capacity" "link l a b nope\n" 1;
   check_parse_error "bad session type" "link l a b 1\nsession s dual sender=a receivers=b\n" 2;
   check_parse_error "missing sender" "link l a b 1\nsession s single receivers=b\n" 2;
-  check_parse_error "unknown node" "link l a b 1\nsession s single sender=zz receivers=b\n" 0;
-  check_parse_error "no links" "session s single sender=a receivers=b\n" 0
+  (* unknown-node diagnostics now carry the session's own line *)
+  check_parse_error "unknown node" "link l a b 1\nsession s single sender=zz receivers=b\n" 2;
+  check_parse_error "no links" "session s single sender=a receivers=b\n" 0;
+  (* degraded-input hardening: non-finite / non-positive capacities and
+     rho are parse errors at the offending line *)
+  check_parse_error "zero capacity" "link l a b 0\nsession s single sender=a receivers=b\n" 1;
+  check_parse_error "negative capacity" "link l a b -3\nsession s single sender=a receivers=b\n" 1;
+  check_parse_error "nan capacity" "link l a b nan\nsession s single sender=a receivers=b\n" 1;
+  check_parse_error "inf capacity" "link l a b inf\nsession s single sender=a receivers=b\n" 1;
+  check_parse_error "self-loop link" "link l a a 1\nsession s single sender=a receivers=b\n" 1;
+  check_parse_error "rho zero" "link l a b 1\nsession s single rho=0 sender=a receivers=b\n" 2;
+  check_parse_error "rho nan" "link l a b 1\nsession s single rho=nan sender=a receivers=b\n" 2;
+  check_parse_error "v below one" "link l a b 1\nsession s multi v=0.5 sender=a receivers=b\n" 2;
+  check_parse_error "colocated receiver" "link l a b 1\nsession s single sender=a receivers=a\n" 2
+
+let test_parser_result () =
+  (match Net_parser.parse_string_result "link l a b nan\nsession s single sender=a receivers=b\n" with
+  | Ok _ -> Alcotest.fail "expected Error for NaN capacity"
+  | Error msg ->
+      Alcotest.(check bool) (Printf.sprintf "message has line prefix: %s" msg) true
+        (String.length msg > 7 && String.sub msg 0 7 = "line 1:"));
+  match Net_parser.parse_string_result Net_parser.example with
+  | Ok parsed -> Alcotest.(check int) "example parses" 2 (Network.session_count parsed.Net_parser.net)
+  | Error msg -> Alcotest.fail ("example should parse: " ^ msg)
 
 let test_random_feasible_allocation () =
   let rng = Mmfair_prng.Xoshiro.create ~seed:55L () in
@@ -128,6 +150,7 @@ let suite =
     Alcotest.test_case "parser session attributes" `Quick test_parser_session_attrs;
     Alcotest.test_case "parser comments and blanks" `Quick test_parser_comments_and_blanks;
     Alcotest.test_case "parser errors" `Quick test_parser_errors;
+    Alcotest.test_case "parser result API" `Quick test_parser_result;
     Alcotest.test_case "random feasible allocation" `Quick test_random_feasible_allocation;
     Alcotest.test_case "random nets config validation" `Quick test_random_nets_config_validation;
     Alcotest.test_case "random nets respect probabilities" `Quick test_random_nets_respect_probs;
