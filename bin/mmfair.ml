@@ -17,8 +17,14 @@ module E = Mmfair_experiments
 let exit_invalid_input = 2
 let exit_solver_error = 3
 
+(* Diagnostics must reach the terminal even though [exit] is imminent:
+   always flush stderr before exiting. *)
+let die code fmt = Printf.ksprintf (fun s -> Printf.eprintf "%s\n%!" s; exit code) fmt
+
 let print_table ~csv table =
   if csv then print_string (E.Table.to_csv table) else E.Table.print table
+
+let tele_term = Telemetry.term
 
 let csv_flag =
   Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of an ASCII table.")
@@ -37,15 +43,14 @@ let allocate_cmd =
     Arg.(value & opt engine_conv `Auto & info [ "engine" ] ~doc:"Water-filling engine: auto, linear or bisection.")
   in
   let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Narrate the water-filling rounds.") in
-  let run file engine trace =
+  let run tele file engine trace =
+    Telemetry.wrap tele @@ fun () ->
     let parsed = Mmfair_workload.Net_parser.parse_file file in
     let net = parsed.Mmfair_workload.Net_parser.net in
     let result =
       match Allocator.max_min_trace_result ~engine net with
       | Ok result -> result
-      | Error e ->
-          Printf.eprintf "mmfair allocate: %s\n" (Solver_error.to_string e);
-          exit exit_solver_error
+      | Error e -> die exit_solver_error "mmfair allocate: %s" (Solver_error.to_string e)
     in
     if trace then Allocator.pp_trace Format.std_formatter result;
     let alloc = result.Allocator.allocation in
@@ -98,83 +103,92 @@ let allocate_cmd =
       `Pre Mmfair_workload.Net_parser.example;
     ]
   in
-  Cmd.v (Cmd.info "allocate" ~doc ~man) Term.(const run $ file $ engine $ trace)
+  Cmd.v (Cmd.info "allocate" ~doc ~man) Term.(const run $ tele_term $ file $ engine $ trace)
 
 let dot_cmd =
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Network description file.")
   in
-  let run file =
+  let run tele file =
+    Telemetry.wrap tele @@ fun () ->
     let parsed = Mmfair_workload.Net_parser.parse_file file in
     print_string (Graph.to_dot (Network.graph parsed.Mmfair_workload.Net_parser.net))
   in
   Cmd.v
     (Cmd.info "dot" ~doc:"export a network description file as Graphviz DOT")
-    Term.(const run $ file)
+    Term.(const run $ tele_term $ file)
 
 let example_net_cmd =
-  let run () = print_string Mmfair_workload.Net_parser.example in
+  let run tele = Telemetry.wrap tele @@ fun () -> print_string Mmfair_workload.Net_parser.example in
   Cmd.v
     (Cmd.info "example-net" ~doc:"print an example network description (the paper's Figure 2)")
-    Term.(const run $ const ())
+    Term.(const run $ tele_term)
 
 (* ------------------------------------------------------------------ *)
 
 let fig1_cmd =
-  let run () =
+  let run tele =
+    Telemetry.wrap tele @@ fun () ->
     let o = E.Fig_examples.run_figure1 () in
     E.Table.print o.E.Fig_examples.table
   in
   Cmd.v (Cmd.info "fig1" ~doc:"reproduce Figure 1 (multi-rate max-min fair example)")
-    Term.(const run $ const ())
+    Term.(const run $ tele_term)
 
 let fig2_cmd =
   let multi = Arg.(value & flag & info [ "multi" ] ~doc:"Make S1 multi-rate instead of single-rate.") in
-  let run multi =
+  let run tele multi =
+    Telemetry.wrap tele @@ fun () ->
     let session1_type = if multi then Network.Multi_rate else Network.Single_rate in
     let o = E.Fig_examples.run_figure2 ~session1_type () in
     E.Table.print o.E.Fig_examples.table;
     Properties.pp_report Format.std_formatter o.E.Fig_examples.properties
   in
   Cmd.v (Cmd.info "fig2" ~doc:"reproduce Figure 2 (single-rate sessions break fairness properties)")
-    Term.(const run $ multi)
+    Term.(const run $ tele_term $ multi)
 
 let fig3_cmd =
-  let run () =
+  let run tele =
+    Telemetry.wrap tele @@ fun () ->
     let a = E.Fig_examples.run_figure3a () in
     E.Table.print a.E.Fig_examples.table;
     let b = E.Fig_examples.run_figure3b () in
     E.Table.print b.E.Fig_examples.table
   in
   Cmd.v (Cmd.info "fig3" ~doc:"reproduce Figure 3 (receiver removal moves fair rates both ways)")
-    Term.(const run $ const ())
+    Term.(const run $ tele_term)
 
 let fig4_cmd =
-  let run () =
+  let run tele =
+    Telemetry.wrap tele @@ fun () ->
     let o = E.Fig_examples.run_figure4 () in
     E.Table.print o.E.Fig_examples.table;
     Properties.pp_report Format.std_formatter o.E.Fig_examples.properties
   in
   Cmd.v (Cmd.info "fig4" ~doc:"reproduce Figure 4 (redundancy breaks session-perspective fairness)")
-    Term.(const run $ const ())
+    Term.(const run $ tele_term)
 
 let fig5_cmd =
   let simulate =
     Arg.(value & flag & info [ "simulate" ] ~doc:"Add Monte-Carlo cross-checks next to the closed form.")
   in
-  let run simulate csv seed =
+  let run tele simulate csv seed =
+    Telemetry.wrap tele @@ fun () ->
     print_table ~csv (E.Fig5_random_joins.to_table (E.Fig5_random_joins.run ~simulate ~seed ()))
   in
   Cmd.v (Cmd.info "fig5" ~doc:"reproduce Figure 5 (single-layer redundancy under random joins)")
-    Term.(const run $ simulate $ csv_flag $ seed_arg)
+    Term.(const run $ tele_term $ simulate $ csv_flag $ seed_arg)
 
 let fig6_cmd =
   let sessions =
     Arg.(value & opt int 100 & info [ "sessions" ] ~docv:"N" ~doc:"Sessions sharing the bottleneck.")
   in
-  let run sessions csv = print_table ~csv (E.Fig6_fair_rate.to_table (E.Fig6_fair_rate.run ~sessions ())) in
+  let run tele sessions csv =
+    Telemetry.wrap tele @@ fun () ->
+    print_table ~csv (E.Fig6_fair_rate.to_table (E.Fig6_fair_rate.run ~sessions ()))
+  in
   Cmd.v (Cmd.info "fig6" ~doc:"reproduce Figure 6 (fair rate vs redundancy)")
-    Term.(const run $ sessions $ csv_flag)
+    Term.(const run $ tele_term $ sessions $ csv_flag)
 
 let scale_conv =
   Arg.enum [ ("quick", E.Fig8_protocols.quick_scale); ("paper", E.Fig8_protocols.paper_scale) ]
@@ -190,19 +204,21 @@ let fig8_cmd =
   let domains =
     Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"Parallel domains for the replicate runs.")
   in
-  let run shared scale domains csv seed =
+  let run tele shared scale domains csv seed =
+    Telemetry.wrap tele @@ fun () ->
     let curves = E.Fig8_protocols.run ~scale ~domains ~shared_loss:shared ~seed () in
     print_table ~csv (E.Fig8_protocols.to_table ~shared_loss:shared curves)
   in
   Cmd.v (Cmd.info "fig8" ~doc:"reproduce Figure 8 (protocol redundancy vs independent loss)")
-    Term.(const run $ shared $ scale $ domains $ csv_flag $ seed_arg)
+    Term.(const run $ tele_term $ shared $ scale $ domains $ csv_flag $ seed_arg)
 
 let markov_cmd =
   let shared =
     Arg.(value & opt float 0.0001 & info [ "shared" ] ~docv:"P" ~doc:"Shared-link loss rate.")
   in
   let layers = Arg.(value & opt int 4 & info [ "layers" ] ~docv:"M" ~doc:"Layers (exact chains; keep small).") in
-  let run shared layers =
+  let run tele shared layers =
+    Telemetry.wrap tele @@ fun () ->
     List.iter
       (fun grid ->
         E.Table.print (E.Markov_redundancy.to_table grid);
@@ -211,67 +227,73 @@ let markov_cmd =
       (E.Markov_redundancy.run ~layers ~shared_loss:shared ())
   in
   Cmd.v (Cmd.info "markov" ~doc:"exact 2-receiver Markov analysis of the three protocols (Figure 7a)")
-    Term.(const run $ shared $ layers)
+    Term.(const run $ tele_term $ shared $ layers)
 
 let nonexist_cmd =
   let capacity = Arg.(value & opt float 6.0 & info [ "capacity" ] ~docv:"C" ~doc:"Link capacity.") in
-  let run capacity =
+  let run tele capacity =
+    Telemetry.wrap tele @@ fun () ->
     let o = E.Nonexistence.run ~capacity () in
     E.Table.print o.E.Nonexistence.table;
     Printf.printf "feasible allocations: %d; max-min fair allocation exists: %b\n"
       o.E.Nonexistence.feasible_count o.E.Nonexistence.max_min_exists
   in
   Cmd.v (Cmd.info "nonexist" ~doc:"Section-3 example: fixed layers admit no max-min fair allocation")
-    Term.(const run $ capacity)
+    Term.(const run $ tele_term $ capacity)
 
 let replace_cmd =
   let random = Arg.(value & flag & info [ "random" ] ~doc:"Use a random network instead of Figure 2.") in
-  let run random seed =
+  let run tele random seed =
+    Telemetry.wrap tele @@ fun () ->
     let o = if random then E.Replacement.run_random ~seed () else E.Replacement.run_figure2 () in
     E.Table.print o.E.Replacement.table
   in
   Cmd.v (Cmd.info "replace" ~doc:"Lemma 3 replacement study: single-rate -> multi-rate, step by step")
-    Term.(const run $ random $ seed_arg)
+    Term.(const run $ tele_term $ random $ seed_arg)
 
 let latency_cmd =
   let loss = Arg.(value & opt float 0.03 & info [ "loss" ] ~docv:"P" ~doc:"Fanout-link loss rate.") in
-  let run loss seed csv =
+  let run tele loss seed csv =
+    Telemetry.wrap tele @@ fun () ->
     let curves = E.Extensions.leave_latency ~seed ~independent_loss:loss () in
     print_table ~csv (E.Extensions.latency_table curves)
   in
   Cmd.v
     (Cmd.info "latency" ~doc:"extension: redundancy vs leave latency (Section-5 prediction)")
-    Term.(const run $ loss $ seed_arg $ csv_flag)
+    Term.(const run $ tele_term $ loss $ seed_arg $ csv_flag)
 
 let priority_cmd =
   let loss = Arg.(value & opt float 0.03 & info [ "loss" ] ~docv:"P" ~doc:"Fanout-link loss rate.") in
-  let run loss seed csv =
+  let run tele loss seed csv =
+    Telemetry.wrap tele @@ fun () ->
     let rows = E.Extensions.priority_dropping ~seed ~independent_loss:loss () in
     print_table ~csv (E.Extensions.priority_table rows)
   in
   Cmd.v
     (Cmd.info "priority" ~doc:"extension: uniform vs priority (layer-biased) dropping")
-    Term.(const run $ loss $ seed_arg $ csv_flag)
+    Term.(const run $ tele_term $ loss $ seed_arg $ csv_flag)
 
 let layers_cmd =
   let receivers =
     Arg.(value & opt int 50 & info [ "receivers" ] ~docv:"N" ~doc:"Receivers sharing the link.")
   in
   let rate = Arg.(value & opt float 0.35 & info [ "rate" ] ~docv:"A" ~doc:"Common receiver rate in (0,1].") in
-  let run receivers rate csv =
+  let run tele receivers rate csv =
+    Telemetry.wrap tele @@ fun () ->
     let pts = E.Extensions.layers_vs_redundancy ~receivers ~rate () in
     print_table ~csv (E.Extensions.layers_table ~receivers ~rate pts)
   in
   Cmd.v
     (Cmd.info "layers" ~doc:"extension (TR App. E): redundancy vs number of layers")
-    Term.(const run $ receivers $ rate $ csv_flag)
+    Term.(const run $ tele_term $ receivers $ rate $ csv_flag)
 
 let tcpfair_cmd =
   let rtts =
     Arg.(value & opt (list float) [ 0.01; 0.02; 0.05; 0.1 ]
          & info [ "rtts" ] ~docv:"R1,R2,..." ~doc:"Round-trip times of the competing flows.")
   in
-  let run rtts csv =
+  let run tele rtts csv =
+    Telemetry.wrap tele @@ fun () ->
     let o = E.Extensions.tcp_fairness ~rtts:(Array.of_list rtts) () in
     print_table ~csv o.E.Extensions.table;
     if not csv then
@@ -279,11 +301,12 @@ let tcpfair_cmd =
   in
   Cmd.v
     (Cmd.info "tcpfair" ~doc:"extension: weighted (1/RTT) max-min fairness on a bottleneck")
-    Term.(const run $ rtts $ csv_flag)
+    Term.(const run $ tele_term $ rtts $ csv_flag)
 
 let churn_cmd =
   let sessions = Arg.(value & opt int 4 & info [ "sessions" ] ~docv:"N" ~doc:"Arriving/departing sessions.") in
-  let run sessions seed csv =
+  let run tele sessions seed csv =
+    Telemetry.wrap tele @@ fun () ->
     let o = E.Extensions.churn ~seed ~sessions () in
     print_table ~csv o.E.Extensions.table;
     if not csv then
@@ -292,55 +315,68 @@ let churn_cmd =
   in
   Cmd.v
     (Cmd.info "churn" ~doc:"extension: fair rates under session arrivals and departures")
-    Term.(const run $ sessions $ seed_arg $ csv_flag)
+    Term.(const run $ tele_term $ sessions $ seed_arg $ csv_flag)
 
 let single_rate_cmd =
   let grid = Arg.(value & opt int 12 & info [ "grid" ] ~docv:"N" ~doc:"Candidate rates to sweep.") in
-  let run grid csv =
+  let run tele grid csv =
+    Telemetry.wrap tele @@ fun () ->
     let o = E.Single_rate_study.run_figure2 ~grid () in
     print_table ~csv o.E.Single_rate_study.table
   in
   Cmd.v
     (Cmd.info "single-rate" ~doc:"related-work [6]: pick a constrained session's single rate by inter-receiver fairness")
-    Term.(const run $ grid $ csv_flag)
+    Term.(const run $ tele_term $ grid $ csv_flag)
 
 let convergence_cmd =
   let loss = Arg.(value & opt float 0.02 & info [ "loss" ] ~docv:"P" ~doc:"Fanout-link loss rate.") in
-  let run loss seed csv =
+  let run tele loss seed csv =
+    Telemetry.wrap tele @@ fun () ->
     print_table ~csv (E.Convergence.to_table (E.Convergence.run ~loss ~seed ()))
   in
   Cmd.v
     (Cmd.info "convergence" ~doc:"extension: protocol climb time, exact transient vs simulation")
-    Term.(const run $ loss $ seed_arg $ csv_flag)
+    Term.(const run $ tele_term $ loss $ seed_arg $ csv_flag)
 
 let closedloop_cmd =
-  let run () =
+  let run tele =
+    Telemetry.wrap tele @@ fun () ->
     List.iter (fun o -> E.Table.print o.E.Closed_loop.table) (E.Closed_loop.run ())
   in
   Cmd.v
     (Cmd.info "closed-loop" ~doc:"validation: protocols vs the allocator's fair rates on real queues")
-    Term.(const run $ const ())
+    Term.(const run $ tele_term)
 
 let ecn_cmd =
-  let run seed csv = print_table ~csv (E.Ecn_study.to_table (E.Ecn_study.run ~seed ())) in
+  let run tele seed csv =
+    Telemetry.wrap tele @@ fun () ->
+    print_table ~csv (E.Ecn_study.to_table (E.Ecn_study.run ~seed ()))
+  in
   Cmd.v (Cmd.info "ecn" ~doc:"extension: ECN marking vs drop-tail congestion signalling")
-    Term.(const run $ seed_arg $ csv_flag)
+    Term.(const run $ tele_term $ seed_arg $ csv_flag)
 
 let compete_cmd =
-  let run seed csv = print_table ~csv (E.Competition.to_table (E.Competition.run ~seed ())) in
+  let run tele seed csv =
+    Telemetry.wrap tele @@ fun () ->
+    print_table ~csv (E.Competition.to_table (E.Competition.run ~seed ()))
+  in
   Cmd.v
     (Cmd.info "compete" ~doc:"extension: two sessions on one bottleneck (Section-3 nonexistence, live)")
-    Term.(const run $ seed_arg $ csv_flag)
+    Term.(const run $ tele_term $ seed_arg $ csv_flag)
 
 let tcpfriendly_cmd =
-  let run seed csv = print_table ~csv (E.Tcp_friendly.to_table (E.Tcp_friendly.run ~seed ())) in
+  let run tele seed csv =
+    Telemetry.wrap tele @@ fun () ->
+    print_table ~csv (E.Tcp_friendly.to_table (E.Tcp_friendly.run ~seed ()))
+  in
   Cmd.v
     (Cmd.info "tcpfriendly" ~doc:"extension: layered multicast vs an AIMD (TCP-like) flow")
-    Term.(const run $ seed_arg $ csv_flag)
+    Term.(const run $ tele_term $ seed_arg $ csv_flag)
 
 let claims_cmd =
   let loss = Arg.(value & opt float 0.03 & info [ "loss" ] ~docv:"P" ~doc:"Mean fanout loss rate.") in
-  let run loss seed csv =
+  let run tele loss seed csv =
+    Telemetry.wrap tele @@ fun () ->
     print_table ~csv
       (E.Scaling_claims.scaling_table (E.Scaling_claims.receiver_scaling ~seed ~independent_loss:loss ()));
     print_table ~csv
@@ -348,23 +384,25 @@ let claims_cmd =
   in
   Cmd.v
     (Cmd.info "claims" ~doc:"verify Section 4's side claims: receiver-count saturation; equal loss is worst")
-    Term.(const run $ loss $ seed_arg $ csv_flag)
+    Term.(const run $ tele_term $ loss $ seed_arg $ csv_flag)
 
 let list_cmd =
-  let run csv = print_table ~csv (E.Index.to_table ()) in
+  let run tele csv = Telemetry.wrap tele @@ fun () -> print_table ~csv (E.Index.to_table ()) in
   Cmd.v (Cmd.info "list" ~doc:"list every reproduced experiment and the command that regenerates it")
-    Term.(const run $ csv_flag)
+    Term.(const run $ tele_term $ csv_flag)
 
 let membership_cmd =
-  let run seed csv =
+  let run tele seed csv =
+    Telemetry.wrap tele @@ fun () ->
     print_table ~csv (E.Membership_study.to_table (E.Membership_study.run ~seed ()))
   in
   Cmd.v
     (Cmd.info "membership" ~doc:"extension: IGMP leave timeouts vs redundancy, closed loop")
-    Term.(const run $ seed_arg $ csv_flag)
+    Term.(const run $ tele_term $ seed_arg $ csv_flag)
 
 let all_cmd =
-  let run seed =
+  let run tele seed =
+    Telemetry.wrap tele @@ fun () ->
     let o = E.Fig_examples.run_figure1 () in
     E.Table.print o.E.Fig_examples.table;
     let o = E.Fig_examples.run_figure2 ~session1_type:Network.Single_rate () in
@@ -412,7 +450,7 @@ let all_cmd =
     E.Table.print (E.Membership_study.to_table (E.Membership_study.run ~seed ~duration:90.0 ()))
   in
   Cmd.v (Cmd.info "all" ~doc:"run every experiment at quick scale (the EXPERIMENTS.md sweep)")
-    Term.(const run $ seed_arg)
+    Term.(const run $ tele_term $ seed_arg)
 
 let main_cmd =
   let doc = "reproduction of 'The Impact of Multicast Layering on Network Fairness' (SIGCOMM 1999)" in
@@ -431,16 +469,16 @@ let () =
   let code =
     try Cmd.eval ~catch:false main_cmd with
     | Solver_error.Error e ->
-        Printf.eprintf "mmfair: solver error: %s\n" (Solver_error.to_string e);
+        Printf.eprintf "mmfair: solver error: %s\n%!" (Solver_error.to_string e);
         exit_solver_error
     | Mmfair_workload.Net_parser.Parse_error (line, msg) ->
-        Printf.eprintf "mmfair: parse error (line %d): %s\n" line msg;
+        Printf.eprintf "mmfair: parse error (line %d): %s\n%!" line msg;
         exit_invalid_input
     | Invalid_argument msg | Failure msg ->
-        Printf.eprintf "mmfair: invalid input: %s\n" msg;
+        Printf.eprintf "mmfair: invalid input: %s\n%!" msg;
         exit_invalid_input
     | Sys_error msg ->
-        Printf.eprintf "mmfair: %s\n" msg;
+        Printf.eprintf "mmfair: %s\n%!" msg;
         exit_invalid_input
   in
   exit code

@@ -1,0 +1,103 @@
+(* Global --metrics / --trace-out plumbing shared by every mmfair
+   subcommand.  The flags install a probe sink for the duration of the
+   command; finalization is hooked both on normal return and [at_exit],
+   so the error paths that [exit 2]/[exit 3] still produce a valid
+   trace file and a metrics summary. *)
+
+open Cmdliner
+module Obs = Mmfair_obs
+
+type t = {
+  metrics : string option;
+      (* [Some ""] = bare [--metrics]: Prometheus text to stderr;
+         [Some file] = JSON snapshot to [file]. *)
+  trace_out : string option;
+}
+
+let term =
+  let metrics =
+    Arg.(
+      value
+      & opt ~vopt:(Some "") (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Collect solver/simulator metrics.  Bare $(b,--metrics) prints a \
+             Prometheus text exposition to stderr on exit; \
+             $(b,--metrics)=$(docv) writes a JSON snapshot to $(docv) instead.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace_event JSON trace of solver rounds, spans and \
+             simulator activity to $(docv) (loadable in chrome://tracing or \
+             Perfetto).")
+  in
+  let make metrics trace_out = { metrics; trace_out } in
+  Term.(const make $ metrics $ trace_out)
+
+let enabled t = t.metrics <> None || t.trace_out <> None
+
+let wrap t f =
+  if not (enabled t) then f ()
+  else begin
+    let registry = Obs.Registry.create () in
+    let sinks = ref [ Obs.Registry.sink registry ] in
+    let finalizers = ref [] in
+    (* Prepend order is reversed at run time: trace close first, then
+       the metrics output, then the one-line summary. *)
+    (match t.trace_out with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        let writer = Obs.Chrome_trace.create ~emit:(output_string oc) () in
+        sinks := Obs.Chrome_trace.sink writer :: !sinks;
+        finalizers :=
+          (fun () ->
+            Obs.Chrome_trace.close writer;
+            close_out oc;
+            Printf.eprintf "mmfair: trace: %d events -> %s\n%!"
+              (Obs.Chrome_trace.event_count writer)
+              file)
+          :: !finalizers);
+    (match t.metrics with
+    | None -> ()
+    | Some "" ->
+        finalizers :=
+          (fun () ->
+            prerr_string (Obs.Registry.to_prometheus registry);
+            flush stderr)
+          :: !finalizers
+    | Some file ->
+        finalizers :=
+          (fun () ->
+            let oc = open_out file in
+            output_string oc (Obs.Json.to_string (Obs.Registry.snapshot registry));
+            output_char oc '\n';
+            close_out oc;
+            Printf.eprintf "mmfair: metrics snapshot -> %s\n%!" file)
+          :: !finalizers);
+    finalizers :=
+      (fun () ->
+        let c name = Obs.Registry.counter_value (Obs.Registry.counter registry name) in
+        let sim =
+          c "sim.events.scheduled.total" + c "sim.events.fired.total"
+          + c "sim.events.dropped.total"
+        in
+        Printf.eprintf "mmfair: telemetry: %d solver rounds, %d sim events\n%!"
+          (c "solver.rounds.total") sim)
+      :: !finalizers;
+    let finalized = ref false in
+    let finalize () =
+      if not !finalized then begin
+        finalized := true;
+        Obs.Probe.set Obs.Sink.null;
+        List.iter (fun g -> g ()) (List.rev !finalizers)
+      end
+    in
+    at_exit finalize;
+    Obs.Probe.set (Obs.Sink.tee_all !sinks);
+    Fun.protect ~finally:finalize f
+  end

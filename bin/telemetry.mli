@@ -1,0 +1,18 @@
+(** Global [--metrics] / [--trace-out] flags for the mmfair CLI.
+
+    Every subcommand composes {!term} into its cmdliner term and wraps
+    its body in {!wrap}; with neither flag given, [wrap] is exactly the
+    wrapped thunk (the probe sink stays {!Mmfair_obs.Sink.null}). *)
+
+type t
+
+val term : t Cmdliner.Term.t
+
+val enabled : t -> bool
+(** Whether either flag was given. *)
+
+val wrap : t -> (unit -> 'a) -> 'a
+(** [wrap t f] runs [f] with the requested exporters installed as the
+    process-wide probe sink, finalizing (trace close, metrics output,
+    one-line stderr summary) on return — and via [at_exit], so the CLI
+    error paths that call [exit] directly still produce valid files. *)

@@ -1,4 +1,12 @@
-(* Convergence traces: each protocol's expected joined level as it
+(* Convergence traces, two timescales.
+
+   First the allocator itself: the water-filling rounds of one
+   [Allocator.max_min] run, observed through the probe stream
+   ([Mmfair_obs.Probe] with a collecting sink) rather than by
+   constructing trace records by hand — the probe API supersedes
+   direct [pp_trace]-style round construction.
+
+   Then the protocols: each protocol's expected joined level as it
    climbs from layer 1, rendered as ASCII trajectories from the exact
    transient Markov chain, next to a simulated run.
 
@@ -9,6 +17,10 @@ module Two_receiver = Mmfair_markov.Two_receiver
 module Transient = Mmfair_markov.Transient
 module Runner = Mmfair_protocols.Runner
 module Layer_schedule = Mmfair_protocols.Layer_schedule
+module Graph = Mmfair_topology.Graph
+module Network = Mmfair_core.Network
+module Allocator = Mmfair_core.Allocator
+module Obs = Mmfair_obs
 
 let sparkline values ~lo ~hi =
   let glyphs = [| '_'; '.'; '-'; '='; '*'; '#' |] in
@@ -17,7 +29,48 @@ let sparkline values ~lo ~hi =
       let idx = int_of_float (Float.round (x *. float_of_int (Array.length glyphs - 1))) in
       glyphs.(Stdlib.max 0 (Stdlib.min (Array.length glyphs - 1) idx)))
 
+(* One multicast session over a shared uplink plus unequal access
+   links: the probe stream shows the fill level climbing round by
+   round as each bottleneck saturates. *)
+let water_filling_section () =
+  let g = Graph.create ~nodes:2 in
+  ignore (Graph.add_link g 0 1 10.0);
+  let leaves =
+    Array.map
+      (fun c ->
+        let leaf = Graph.add_node g in
+        ignore (Graph.add_link g 1 leaf c);
+        leaf)
+      [| 8.0; 4.0; 2.0 |]
+  in
+  let net =
+    Network.make g
+      [|
+        Network.session ~sender:0 ~receivers:leaves ();
+        Network.session ~sender:0 ~receivers:[| leaves.(0) |] ();
+      |]
+  in
+  let rounds = ref [] in
+  let sink = Obs.Sink.make ~on_round:(fun ev -> rounds := ev :: !rounds) () in
+  let alloc = Obs.Probe.with_sink sink (fun () -> Allocator.max_min net) in
+  ignore alloc;
+  let rounds = List.rev !rounds in
+  Format.printf "Water-filling convergence of one max-min run (via the probe stream):@.@.";
+  List.iter
+    (fun (ev : Obs.Events.round) ->
+      Format.printf "  round %d: level %-6g +%-6g active %d, froze %d receiver(s)%s@."
+        ev.Obs.Events.round ev.level ev.increment ev.active (List.length ev.frozen)
+        (match ev.bottleneck_link with
+        | None -> ""
+        | Some l -> Printf.sprintf " at link l%d" l))
+    rounds;
+  let levels = Array.of_list (List.map (fun (ev : Obs.Events.round) -> ev.Obs.Events.level) rounds) in
+  let hi = Array.fold_left Float.max 1.0 levels in
+  Format.printf "  level trajectory: %s (%d rounds to converge)@.@." (sparkline levels ~lo:0.0 ~hi)
+    (List.length rounds)
+
 let () =
+  water_filling_section ();
   let layers = 4 and loss = 0.02 and slots = 1536 in
   Format.printf
     "Expected joined level climbing from layer 1 (exact transient chain; %d layers, fanout loss %g):@.@."

@@ -1,4 +1,5 @@
 module Graph = Mmfair_topology.Graph
+module Obs = Mmfair_obs
 
 type engine = [ `Auto | `Linear | `Bisection ]
 
@@ -264,7 +265,14 @@ let bisection_bound st t_cur rho_bound =
 
 let solver_name = "Allocator"
 
-let run engine net =
+(* The water-filling loop is instrumented with per-round probe events
+   (Mmfair_obs.Probe): the round trace consumed by [max_min_trace] /
+   [pp_trace] is reconstructed from the same event stream that
+   external sinks (metrics registry, Chrome trace, JSONL) observe.
+   When probes are disabled and no local [on_round] collector is
+   passed, no per-round payload is built at all — the hot loop pays
+   one flag check per round. *)
+let run ?on_round engine net =
   let st = init_state net in
   let all_linear = Array.for_all Redundancy_fn.is_linear st.vfn in
   let unit_weights = Network.all_weights_unit net in
@@ -279,13 +287,15 @@ let run engine net =
     | `Bisection -> false
     | `Auto -> all_linear && unit_weights
   in
-  let rounds = ref [] in
   let round_no = ref 0 in
   let last_slack = ref infinity in
   let t_cur = ref 0.0 in
   let guard = ref (st.n + st.nl + 2) in
   let session_first = st.inc.Network.session_first in
   while st.n_active > 0 do
+    (* One flag check per round: when nobody listens, the per-round
+       trace payload (frozen list, saturated set) is never built. *)
+    let want = Option.is_some on_round || Obs.Probe.enabled () in
     decr guard;
     incr round_no;
     if !guard < 0 then
@@ -331,17 +341,25 @@ let run engine net =
     done;
     last_slack := !min_slack;
     let saturated_set =
-      let acc = ref [] in
-      for l = st.nl - 1 downto 0 do
-        if st.ever_saturated.(l) then acc := l :: !acc
-      done;
-      !acc
+      if not want then []
+      else begin
+        let acc = ref [] in
+        for l = st.nl - 1 downto 0 do
+          if st.ever_saturated.(l) then acc := l :: !acc
+        done;
+        !acc
+      end
     in
-    let frozen = ref [] in
+    let frozen_count = ref 0 in
+    let frozen_evs = ref [] in
     let freeze gid =
       if st.active.(gid) then begin
         freeze_gid st gid;
-        frozen := st.inc.Network.receiver_of_gid.(gid) :: !frozen
+        incr frozen_count;
+        if want then begin
+          let r = st.inc.Network.receiver_of_gid.(gid) in
+          frozen_evs := (r.Network.session, r.Network.index, st.rates.(gid)) :: !frozen_evs
+        end
       end
     in
     let on_saturated gid =
@@ -369,7 +387,7 @@ let run engine net =
     done;
     (* Numerical fallback: bisection can stop a hair below saturation;
        force progress by freezing receivers on the tightest link. *)
-    if !frozen = [] then begin
+    if !frozen_count = 0 then begin
       if !min_slack_link < 0 then begin
         (* Every slack comparison failed — usage is NaN somewhere.
            Name the first offending link for the report. *)
@@ -401,25 +419,54 @@ let run engine net =
           done
       end
     done;
-    rounds :=
-      { increment = t_new -. !t_cur; frozen = List.rev !frozen; saturated_links = saturated_set }
-      :: !rounds;
+    if want then begin
+      let ev =
+        {
+          Obs.Events.solver = solver_name;
+          round = !round_no;
+          level = t_new;
+          increment = t_new -. !t_cur;
+          active = st.n_active;
+          frozen = List.rev !frozen_evs;
+          saturated_links = saturated_set;
+          bottleneck_link = (if !min_slack_link >= 0 then Some !min_slack_link else None);
+          residual_slack = !min_slack;
+        }
+      in
+      Obs.Probe.round ev;
+      match on_round with Some f -> f ev | None -> ()
+    end;
     t_cur := t_new
   done;
   let rates =
     Array.init st.m (fun i ->
         Array.sub st.rates session_first.(i) (session_first.(i + 1) - session_first.(i)))
   in
-  { allocation = Allocation.make net rates; rounds = List.rev !rounds }
+  Allocation.make net rates
 
-let max_min_trace ?(engine = `Auto) net = run engine net
-let max_min ?(engine = `Auto) net = (run engine net).allocation
+(* The round trace is a pure view of the probe stream: collect the
+   events of one run and rebuild the classic [round] records. *)
+let round_of_event (ev : Obs.Events.round) =
+  {
+    increment = ev.Obs.Events.increment;
+    frozen =
+      List.map (fun (s, i, _) -> { Network.session = s; Network.index = i }) ev.Obs.Events.frozen;
+    saturated_links = ev.Obs.Events.saturated_links;
+  }
+
+let run_trace engine net =
+  let events = ref [] in
+  let allocation = run ~on_round:(fun ev -> events := ev :: !events) engine net in
+  { allocation; rounds = List.rev_map round_of_event !events }
+
+let max_min_trace ?(engine = `Auto) net = run_trace engine net
+let max_min ?(engine = `Auto) net = run engine net
 
 let max_min_trace_result ?(engine = `Auto) net =
-  Solver_error.protect ~solver:solver_name (fun () -> run engine net)
+  Solver_error.protect ~solver:solver_name (fun () -> run_trace engine net)
 
-let max_min_result ?engine net =
-  Result.map (fun r -> r.allocation) (max_min_trace_result ?engine net)
+let max_min_result ?(engine = `Auto) net =
+  Solver_error.protect ~solver:solver_name (fun () -> run engine net)
 
 let pp_trace fmt { allocation; rounds } =
   List.iteri

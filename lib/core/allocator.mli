@@ -33,7 +33,16 @@ type round = {
   saturated_links : Mmfair_topology.Graph.link_id list;
       (** Links that became fully utilized this round. *)
 }
-(** One iteration of the water-filling loop, for tracing/reports. *)
+(** One iteration of the water-filling loop, for tracing/reports.
+
+    Since the telemetry layer landed, [round] values are a {e view} of
+    the probe stream: every round the solver executes is emitted as a
+    {!Mmfair_obs.Events.round} event (richer — it also carries the
+    bottleneck level, active-set size and residual slack), and this
+    record is rebuilt from that event.  Constructing [round] lists by
+    hand is deprecated; subscribe to the probe stream instead
+    ([Mmfair_obs.Probe.with_sink (Mmfair_obs.Sink.make ~on_round ())
+    ...]). *)
 
 type result = { allocation : Allocation.t; rounds : round list }
 
@@ -62,7 +71,9 @@ val pp_trace : Format.formatter -> result -> unit
 (** Human-readable water-filling narration: one line per round with
     the increment, the links that saturated, and the receivers frozen
     — the Appendix-A execution made visible (used by
-    [mmfair allocate --trace]). *)
+    [mmfair allocate --trace]).  Kept as a thin wrapper over the
+    probe-derived rounds in [result]; for machine consumption prefer
+    the probe stream itself (see {!round}). *)
 
 val bottleneck_links : Allocation.t -> Network.receiver_id -> Mmfair_topology.Graph.link_id list
 (** The fully utilized links on a receiver's data-path under the given

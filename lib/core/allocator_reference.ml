@@ -7,6 +7,7 @@
    module. *)
 
 module Graph = Mmfair_topology.Graph
+module Obs = Mmfair_obs
 
 type engine = [ `Auto | `Linear | `Bisection ]
 
@@ -221,6 +222,32 @@ let run engine net =
             active.(i)
       end
     done;
+    (* Probe emission only — the reference oracle stays un-optimized
+       (see module header), so the event is built from the list-based
+       state it already has, and only when somebody listens. *)
+    if Obs.Probe.enabled () then begin
+      let n_active =
+        Array.fold_left
+          (fun acc per -> Array.fold_left (fun acc b -> if b then acc + 1 else acc) acc per)
+          0 active
+      in
+      Obs.Probe.round
+        {
+          Obs.Events.solver = solver_name;
+          round = !round_no;
+          level = t_new;
+          increment = t_new -. !t_cur;
+          active = n_active;
+          frozen =
+            List.rev_map
+              (fun (r : Network.receiver_id) ->
+                (r.Network.session, r.Network.index, rates.(r.Network.session).(r.Network.index)))
+              !frozen;
+          saturated_links = saturated_set;
+          bottleneck_link = (if !min_slack_link >= 0 then Some !min_slack_link else None);
+          residual_slack = !min_slack;
+        }
+    end;
     t_cur := t_new
   done;
   Allocation.make net rates

@@ -1,4 +1,5 @@
 module Graph = Mmfair_topology.Graph
+module Obs = Mmfair_obs
 
 let validate net =
   for i = 0 to Network.session_count net - 1 do
@@ -68,6 +69,8 @@ let max_min_session_rates net =
       end
     done;
     last_slack := !min_slack;
+    let want = Obs.Probe.enabled () in
+    let frozen_evs = ref [] in
     let frozen_any = ref false in
     for i = 0 to m - 1 do
       if active.(i) then begin
@@ -75,11 +78,13 @@ let max_min_session_rates net =
         if t_new >= rho -. (1e-9 *. Stdlib.max 1.0 rho) then begin
           rates.(i) <- rho;
           active.(i) <- false;
-          frozen_any := true
+          frozen_any := true;
+          if want then frozen_evs := (i, -1, rates.(i)) :: !frozen_evs
         end
         else if List.exists saturated crosses.(i) then begin
           active.(i) <- false;
-          frozen_any := true
+          frozen_any := true;
+          if want then frozen_evs := (i, -1, rates.(i)) :: !frozen_evs
         end
       end
     done;
@@ -92,6 +97,30 @@ let max_min_session_rates net =
              link = !min_slack_link;
              residual_slack = !min_slack;
            });
+    if want then begin
+      let n_active = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 active in
+      let saturated_set =
+        let acc = ref [] in
+        for l = n_links - 1 downto 0 do
+          if saturated l then acc := l :: !acc
+        done;
+        !acc
+      in
+      (* frozen entries use receiver-index -1: this solver freezes
+         whole single-rate sessions, not individual receivers. *)
+      Obs.Probe.round
+        {
+          Obs.Events.solver = solver_name;
+          round = !round_no;
+          level = t_new;
+          increment = t_new -. !t;
+          active = n_active;
+          frozen = List.rev !frozen_evs;
+          saturated_links = saturated_set;
+          bottleneck_link = !min_slack_link;
+          residual_slack = !min_slack;
+        }
+    end;
     t := t_new
   done;
   rates

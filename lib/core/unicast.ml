@@ -1,4 +1,5 @@
 module Graph = Mmfair_topology.Graph
+module Obs = Mmfair_obs
 
 let validate net =
   for i = 0 to Network.session_count net - 1 do
@@ -27,8 +28,12 @@ let max_min_flow_rates net =
   let crosses = Array.init m (fun i -> Network.session_links net i) in
   let remaining = ref m in
   let round_no = ref 0 in
+  let last_level = ref 0.0 in
   while !remaining > 0 do
     incr round_no;
+    let want = Obs.Probe.enabled () in
+    let fixed_evs = ref [] in
+    let record i = if want then fixed_evs := (i, -1, rates.(i)) :: !fixed_evs in
     (* flows still unfixed per link *)
     let count = Array.make n_links 0 in
     Array.iteri
@@ -51,7 +56,8 @@ let max_min_flow_rates net =
           rates.(i) <- Network.rho net i;
           fixed.(i) <- true;
           decr remaining;
-          List.iter (fun l -> residual.(l) <- residual.(l) -. rates.(i)) crosses.(i)
+          List.iter (fun l -> residual.(l) <- residual.(l) -. rates.(i)) crosses.(i);
+          record i
         end
       done
     end
@@ -72,13 +78,45 @@ let max_min_flow_rates net =
           fixed.(i) <- true;
           decr remaining;
           List.iter (fun l -> residual.(l) <- residual.(l) -. share) crosses.(i);
-          any_fixed := true
+          any_fixed := true;
+          record i
         end
       done;
       if not !any_fixed then
         Solver_error.raise_error
           (Solver_error.No_progress
              { solver = solver_name; round = !round_no; residual_slack = share })
+    end;
+    if want then begin
+      (* Batch filling, not uniform filling: [level] is the rate the
+         round's batch was fixed at; [frozen] entries use
+         receiver-index -1 (whole unicast flows).  [residual_slack] is
+         the headroom the tightest link kept above the batch level. *)
+      let level = Stdlib.min !best_share !rho_bound in
+      let bottleneck_link =
+        if !rho_bound <= !best_share then None
+        else begin
+          let found = ref None in
+          for l = n_links - 1 downto 0 do
+            if count.(l) > 0 && residual.(l) <= 1e-12 *. Stdlib.max 1.0 (Graph.capacity g l) then
+              found := Some l
+          done;
+          !found
+        end
+      in
+      Obs.Probe.round
+        {
+          Obs.Events.solver = solver_name;
+          round = !round_no;
+          level;
+          increment = Stdlib.max 0.0 (level -. !last_level);
+          active = !remaining;
+          frozen = List.rev !fixed_evs;
+          saturated_links = [];
+          bottleneck_link;
+          residual_slack = Stdlib.max 0.0 (!best_share -. level);
+        };
+      last_level := level
     end
   done;
   rates

@@ -1,0 +1,95 @@
+(* Chrome trace_event writer (the JSON-object format with a
+   "traceEvents" array), streamed incrementally so a crash mid-run
+   still leaves a mostly-loadable file and memory use stays O(1).
+   chrome://tracing and Perfetto both accept it.  Format reference:
+   the "Trace Event Format" document (catapult project). *)
+
+type t = {
+  emit : string -> unit;
+  clock : unit -> float;
+  t0 : float;
+  mutable events : int;
+  mutable closed : bool;
+}
+
+let create ?clock ~emit () =
+  let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
+  emit "{\"traceEvents\":[";
+  { emit; clock; t0 = clock (); events = 0; closed = false }
+
+let event_count t = t.events
+
+let push t (json : Json.t) =
+  if not t.closed then begin
+    t.emit (if t.events = 0 then "\n" else ",\n");
+    t.emit (Json.to_string json);
+    t.events <- t.events + 1
+  end
+
+let ts_us t = (t.clock () -. t.t0) *. 1e6
+
+let base ~name ~cat ~ph ~ts rest =
+  Json.Obj
+    ([
+       ("name", Json.Str name);
+       ("cat", Json.Str cat);
+       ("ph", Json.Str ph);
+       ("ts", Json.Num ts);
+       ("pid", Json.Num 1.0);
+       ("tid", Json.Num 1.0);
+     ]
+    @ rest)
+
+let counter t ~name ~ts fields = push t (base ~name ~cat:"counter" ~ph:"C" ~ts [ ("args", Json.Obj fields) ])
+
+let on_round t (ev : Events.round) =
+  let ts = ts_us t in
+  push t
+    (base ~name:"round" ~cat:"solver" ~ph:"i" ~ts
+       [
+         ("s", Json.Str "t");
+         ( "args",
+           Json.Obj
+             [
+               ("solver", Json.Str ev.Events.solver);
+               ("round", Json.Num (float_of_int ev.Events.round));
+               ("level", Json.Num ev.Events.level);
+               ("increment", Json.Num ev.Events.increment);
+               ("active", Json.Num (float_of_int ev.Events.active));
+               ("frozen", Json.Num (float_of_int (List.length ev.Events.frozen)));
+               ( "saturated_links",
+                 Json.List (List.map (fun l -> Json.Num (float_of_int l)) ev.Events.saturated_links)
+               );
+               ( "bottleneck_link",
+                 match ev.Events.bottleneck_link with
+                 | Some l -> Json.Num (float_of_int l)
+                 | None -> Json.Null );
+               ("residual_slack", Json.Num ev.Events.residual_slack);
+             ] );
+       ]);
+  counter t ~name:("active:" ^ ev.Events.solver) ~ts
+    [ ("receivers", Json.Num (float_of_int ev.Events.active)) ]
+
+let on_sim t (ev : Events.sim) =
+  let ts = ts_us t in
+  match ev with
+  | Events.Scheduled { depth; _ } | Events.Fired { depth; _ } ->
+      counter t ~name:"sim:queue-depth" ~ts [ ("depth", Json.Num (float_of_int depth)) ]
+  | Events.Dropped { count } ->
+      push t
+        (base ~name:"sim:dropped" ~cat:"sim" ~ph:"i" ~ts
+           [ ("s", Json.Str "t"); ("args", Json.Obj [ ("count", Json.Num (float_of_int count)) ]) ])
+
+let on_span t ph name = push t (base ~name ~cat:"span" ~ph ~ts:(ts_us t) [])
+
+let sink t =
+  Sink.make ~on_round:(on_round t) ~on_sim:(on_sim t)
+    ~on_span_begin:(on_span t "B")
+    ~on_span_end:(on_span t "E")
+    ()
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    t.emit "\n]}\n"
+  end

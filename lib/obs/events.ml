@@ -1,0 +1,26 @@
+(* Probe event payloads.  Pure data, no behaviour: this module sits
+   below every instrumented library (core solvers, sim), so it must
+   not mention their types — receivers travel as (session, index)
+   pairs and links as raw indices. *)
+
+type round = {
+  solver : string;  (** "Allocator", "Allocator_reference", "Tzeng_siu", "Unicast". *)
+  round : int;  (** 1-based water-filling round index. *)
+  level : float;  (** Common normalized level t after the round (the bottleneck level). *)
+  increment : float;  (** Uniform rate increase applied this round. *)
+  active : int;  (** Active receivers (or sessions/flows for the session-rate solvers) remaining {e after} this round's freezes. *)
+  frozen : (int * int * float) list;
+      (** Receivers frozen this round as (session, receiver-index, rate); session-rate
+          solvers (Tzeng_siu, Unicast) use receiver-index [-1] for a whole session. *)
+  saturated_links : int list;  (** Links saturated so far (the solver's cumulative or per-round set — see each solver's doc). *)
+  bottleneck_link : int option;  (** The tightest (minimum-slack) link considered this round. *)
+  residual_slack : float;  (** Slack remaining on that tightest link. *)
+}
+
+type sim =
+  | Scheduled of { time : float; depth : int }
+      (** An event was enqueued at simulation time [time]; [depth] is the queue size after insertion. *)
+  | Fired of { time : float; depth : int }
+      (** The engine popped and is handling an event; [depth] is the queue size after the pop. *)
+  | Dropped of { count : int }
+      (** [count] pending events were discarded (queue cleared / engine reset). *)

@@ -1,0 +1,63 @@
+let round_json ~ts (ev : Events.round) : Json.t =
+  Json.Obj
+    [
+      ("type", Json.Str "round");
+      ("ts", Json.Num ts);
+      ("solver", Json.Str ev.Events.solver);
+      ("round", Json.Num (float_of_int ev.Events.round));
+      ("level", Json.Num ev.Events.level);
+      ("increment", Json.Num ev.Events.increment);
+      ("active", Json.Num (float_of_int ev.Events.active));
+      ( "frozen",
+        Json.List
+          (List.map
+             (fun (s, i, rate) ->
+               Json.List [ Json.Num (float_of_int s); Json.Num (float_of_int i); Json.Num rate ])
+             ev.Events.frozen) );
+      ( "saturated_links",
+        Json.List (List.map (fun l -> Json.Num (float_of_int l)) ev.Events.saturated_links) );
+      ( "bottleneck_link",
+        match ev.Events.bottleneck_link with
+        | Some l -> Json.Num (float_of_int l)
+        | None -> Json.Null );
+      ("residual_slack", Json.Num ev.Events.residual_slack);
+    ]
+
+let sim_json ~ts (ev : Events.sim) : Json.t =
+  match ev with
+  | Events.Scheduled { time; depth } ->
+      Json.Obj
+        [
+          ("type", Json.Str "sim.scheduled");
+          ("ts", Json.Num ts);
+          ("time", Json.Num time);
+          ("depth", Json.Num (float_of_int depth));
+        ]
+  | Events.Fired { time; depth } ->
+      Json.Obj
+        [
+          ("type", Json.Str "sim.fired");
+          ("ts", Json.Num ts);
+          ("time", Json.Num time);
+          ("depth", Json.Num (float_of_int depth));
+        ]
+  | Events.Dropped { count } ->
+      Json.Obj
+        [ ("type", Json.Str "sim.dropped"); ("ts", Json.Num ts); ("count", Json.Num (float_of_int count)) ]
+
+let span_json ~ts ~phase name : Json.t =
+  Json.Obj [ ("type", Json.Str ("span." ^ phase)); ("ts", Json.Num ts); ("name", Json.Str name) ]
+
+let sink ?(clock = Unix.gettimeofday) ~emit () =
+  let line json =
+    emit (Json.to_string json);
+    emit "\n"
+  in
+  Sink.make
+    ~on_round:(fun ev -> line (round_json ~ts:(clock ()) ev))
+    ~on_sim:(fun ev -> line (sim_json ~ts:(clock ()) ev))
+    ~on_span_begin:(fun name -> line (span_json ~ts:(clock ()) ~phase:"begin" name))
+    ~on_span_end:(fun name -> line (span_json ~ts:(clock ()) ~phase:"end" name))
+    ()
+
+let channel_sink ?clock oc = sink ?clock ~emit:(output_string oc) ()

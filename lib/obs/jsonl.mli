@@ -1,0 +1,21 @@
+(** JSONL structured-log exporter: one compact JSON object per probe
+    event, newline-terminated, suitable for [jq]/grep pipelines.
+
+    Every line carries a ["type"] ([round], [sim.scheduled],
+    [sim.fired], [sim.dropped], [span.begin], [span.end]) and a ["ts"]
+    stamped by [clock] at event receipt (default wall-clock seconds
+    via [Unix.gettimeofday]). *)
+
+val sink : ?clock:(unit -> float) -> emit:(string -> unit) -> unit -> Sink.t
+(** A sink writing each event through [emit] (called once for the
+    line, once for the newline). *)
+
+val channel_sink : ?clock:(unit -> float) -> out_channel -> Sink.t
+(** [sink] over [output_string oc].  The caller owns the channel
+    (flush/close). *)
+
+val round_json : ts:float -> Events.round -> Json.t
+(** The line payload for one solver round (exposed for tests and
+    custom writers). *)
+
+val sim_json : ts:float -> Events.sim -> Json.t

@@ -1,0 +1,34 @@
+let current = ref Sink.null
+
+let get () = !current
+let set s = current := s
+let enabled () = !current.Sink.enabled
+
+let with_sink s f =
+  let prev = !current in
+  current := s;
+  Fun.protect ~finally:(fun () -> current := prev) f
+
+let round ev =
+  let s = !current in
+  if s.Sink.enabled then s.Sink.on_round ev
+
+let sim ev =
+  let s = !current in
+  if s.Sink.enabled then s.Sink.on_sim ev
+
+let span_begin name =
+  let s = !current in
+  if s.Sink.enabled then s.Sink.on_span_begin name
+
+let span_end name =
+  let s = !current in
+  if s.Sink.enabled then s.Sink.on_span_end name
+
+let span name f =
+  let s = !current in
+  if not s.Sink.enabled then f ()
+  else begin
+    s.Sink.on_span_begin name;
+    Fun.protect ~finally:(fun () -> span_end name) f
+  end

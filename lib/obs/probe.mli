@@ -1,0 +1,43 @@
+(** The process-wide probe: instrumented code emits here, tools decide
+    where events go by installing a {!Sink.t}.
+
+    The default sink is {!Sink.null}, so a program that never installs
+    one pays a single load + branch per probe point and constructs no
+    event payloads.  Instrumented call sites must guard payload
+    construction themselves:
+
+    {[
+      if Mmfair_obs.Probe.enabled () then
+        Mmfair_obs.Probe.round { solver; round; ... }
+    ]}
+
+    Single-threaded by design, like the rest of the repo: the current
+    sink is a plain [ref]. *)
+
+val get : unit -> Sink.t
+(** The currently installed sink. *)
+
+val set : Sink.t -> unit
+(** Install a sink globally (until the next [set]).  Prefer
+    {!with_sink} for scoped installation. *)
+
+val enabled : unit -> bool
+(** Whether the current sink wants events.  Check this before building
+    an event payload on a hot path. *)
+
+val with_sink : Sink.t -> (unit -> 'a) -> 'a
+(** [with_sink s f] runs [f] with [s] installed and restores the
+    previous sink afterwards (also on exceptions). *)
+
+val round : Events.round -> unit
+(** Emit a solver round event (no-op when disabled). *)
+
+val sim : Events.sim -> unit
+(** Emit a simulator event (no-op when disabled). *)
+
+val span_begin : string -> unit
+val span_end : string -> unit
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] wraps [f] in a begin/end pair on the current sink
+    (ends also on exceptions).  When disabled it is exactly [f ()]. *)

@@ -1,0 +1,208 @@
+module Histogram = Mmfair_stats.Histogram
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float; mutable g_set : bool }
+
+type histogram = {
+  h_name : string;
+  h_lo : float;
+  h_hi : float;
+  h_bins : int;
+  h : Histogram.t;
+  mutable h_sum : float;
+}
+
+type instrument = Counter of counter | Gauge of gauge | Histo of histogram
+type t = { instruments : (string, instrument) Hashtbl.t }
+
+let create () = { instruments = Hashtbl.create 32 }
+
+let kind_name = function Counter _ -> "counter" | Gauge _ -> "gauge" | Histo _ -> "histogram"
+
+let clash name want got =
+  invalid_arg
+    (Printf.sprintf "Registry.%s: %S is already registered as a %s" want name (kind_name got))
+
+let counter t name =
+  match Hashtbl.find_opt t.instruments name with
+  | Some (Counter c) -> c
+  | Some other -> clash name "counter" other
+  | None ->
+      let c = { c_name = name; c_value = 0 } in
+      Hashtbl.add t.instruments name (Counter c);
+      c
+
+let incr ?(by = 1) c =
+  if by < 0 then
+    invalid_arg (Printf.sprintf "Registry.incr: counter %S is monotonic (by = %d)" c.c_name by);
+  c.c_value <- c.c_value + by
+
+let counter_value c = c.c_value
+
+let gauge t name =
+  match Hashtbl.find_opt t.instruments name with
+  | Some (Gauge g) -> g
+  | Some other -> clash name "gauge" other
+  | None ->
+      let g = { g_name = name; g_value = 0.0; g_set = false } in
+      Hashtbl.add t.instruments name (Gauge g);
+      g
+
+let set g v =
+  g.g_value <- v;
+  g.g_set <- true
+
+let set_max g v = if (not g.g_set) || v > g.g_value then set g v
+let gauge_value g = g.g_value
+
+let histogram t ~lo ~hi ~bins name =
+  match Hashtbl.find_opt t.instruments name with
+  | Some (Histo h) ->
+      if h.h_lo <> lo || h.h_hi <> hi || h.h_bins <> bins then
+        invalid_arg
+          (Printf.sprintf "Registry.histogram: %S re-registered with different bucketing" name);
+      h
+  | Some other -> clash name "histogram" other
+  | None ->
+      let h = { h_name = name; h_lo = lo; h_hi = hi; h_bins = bins; h = Histogram.create ~lo ~hi ~bins; h_sum = 0.0 } in
+      Hashtbl.add t.instruments name (Histo h);
+      h
+
+let observe h x =
+  Histogram.add h.h x;
+  h.h_sum <- h.h_sum +. x
+
+(* --- snapshot ------------------------------------------------------- *)
+
+let sorted_instruments t =
+  Hashtbl.fold (fun _ i acc -> i :: acc) t.instruments []
+  |> List.sort
+       (fun a b ->
+         let name = function Counter c -> c.c_name | Gauge g -> g.g_name | Histo h -> h.h_name in
+         compare (name a) (name b))
+
+let schema_id = "mmfair.metrics/v1"
+
+let snapshot t : Json.t =
+  let instruments = sorted_instruments t in
+  let counters =
+    List.filter_map
+      (function Counter c -> Some (c.c_name, Json.Num (float_of_int c.c_value)) | _ -> None)
+      instruments
+  in
+  let gauges =
+    List.filter_map (function Gauge g -> Some (g.g_name, Json.Num g.g_value) | _ -> None) instruments
+  in
+  let histograms =
+    List.filter_map
+      (function
+        | Histo h ->
+            let counts =
+              List.init h.h_bins (fun i -> Json.Num (float_of_int (Histogram.bin_count h.h i)))
+            in
+            Some
+              ( h.h_name,
+                Json.Obj
+                  [
+                    ("lo", Json.Num h.h_lo);
+                    ("hi", Json.Num h.h_hi);
+                    ("bins", Json.Num (float_of_int h.h_bins));
+                    ("count", Json.Num (float_of_int (Histogram.count h.h)));
+                    ("sum", Json.Num h.h_sum);
+                    ("underflow", Json.Num (float_of_int (Histogram.underflow h.h)));
+                    ("overflow", Json.Num (float_of_int (Histogram.overflow h.h)));
+                    ("counts", Json.List counts);
+                  ] )
+        | _ -> None)
+      instruments
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str schema_id);
+      ("counters", Json.Obj counters);
+      ("gauges", Json.Obj gauges);
+      ("histograms", Json.Obj histograms);
+    ]
+
+(* --- Prometheus text exposition ------------------------------------- *)
+
+let prom_name name =
+  let b = Buffer.create (String.length name + 7) in
+  Buffer.add_string b "mmfair_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let to_prometheus t =
+  let b = Buffer.create 1024 in
+  List.iter
+    (function
+      | Counter c ->
+          let n = prom_name c.c_name in
+          Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n c.c_value)
+      | Gauge g ->
+          let n = prom_name g.g_name in
+          Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n%s %s\n" n n (Json.to_string (Json.Num g.g_value)))
+      | Histo h ->
+          let n = prom_name h.h_name in
+          Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+          (* Cumulative buckets; underflow observations (x < lo) are
+             counted as <= every edge, which is the tightest sound
+             bound available without their values. *)
+          let cum = ref (Histogram.underflow h.h) in
+          for i = 0 to h.h_bins - 1 do
+            cum := !cum + Histogram.bin_count h.h i;
+            let _, edge = Histogram.bin_edges h.h i in
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n
+                 (Json.to_string (Json.Num edge))
+                 !cum)
+          done;
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n (Histogram.count h.h));
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum %s\n" n (Json.to_string (Json.Num h.h_sum)));
+          Buffer.add_string b (Printf.sprintf "%s_count %d\n" n (Histogram.count h.h)))
+    (sorted_instruments t);
+  Buffer.contents b
+
+(* --- the standard probe -> registry bridge --------------------------- *)
+
+let sink ?(clock = Unix.gettimeofday) t =
+  let rounds_total = counter t "solver.rounds.total" in
+  let freezes_total = counter t "solver.freezes.total" in
+  let saturations = counter t "solver.saturated.links.total" in
+  let active_hist = histogram t ~lo:0.0 ~hi:256.0 ~bins:32 "solver.round.active" in
+  let scheduled = counter t "sim.events.scheduled.total" in
+  let fired = counter t "sim.events.fired.total" in
+  let dropped = counter t "sim.events.dropped.total" in
+  let depth_hwm = gauge t "sim.queue.depth.hwm" in
+  let span_seconds = histogram t ~lo:0.0 ~hi:10.0 ~bins:50 "span.seconds" in
+  let span_stack = ref [] in
+  Sink.make
+    ~on_round:(fun (ev : Events.round) ->
+      incr rounds_total;
+      incr ~by:(List.length ev.Events.frozen) freezes_total;
+      incr ~by:(List.length ev.Events.saturated_links) saturations;
+      observe active_hist (float_of_int ev.Events.active);
+      incr (counter t ("solver.rounds." ^ ev.Events.solver));
+      set (gauge t ("solver.level." ^ ev.Events.solver)) ev.Events.level)
+    ~on_sim:(function
+      | Events.Scheduled { depth; _ } ->
+          incr scheduled;
+          set_max depth_hwm (float_of_int depth)
+      | Events.Fired _ -> incr fired
+      | Events.Dropped { count } -> incr ~by:count dropped)
+    ~on_span_begin:(fun name -> span_stack := (name, clock ()) :: !span_stack)
+    ~on_span_end:(fun name ->
+      match !span_stack with
+      | (top, t0) :: rest when top = name ->
+          span_stack := rest;
+          incr (counter t ("span.count." ^ name));
+          observe span_seconds (clock () -. t0)
+      | _ -> ())
+    ()

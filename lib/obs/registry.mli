@@ -1,0 +1,66 @@
+(** A named-metrics registry: monotonic counters, gauges, and
+    fixed-bucket histograms (bucketing semantics are exactly
+    {!Mmfair_stats.Histogram}'s: half-open [\[lo, hi)] range, equal
+    bins, separate under/overflow tallies).
+
+    Instruments are get-or-create by name; asking for an existing name
+    with a different kind (or a histogram with different bucketing)
+    raises [Invalid_argument].  Not called [Metrics] on purpose:
+    [Mmfair_core.Metrics] already means fairness indexes. *)
+
+type t
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Get or create a monotonic counter (initial value 0). *)
+
+val incr : ?by:int -> counter -> unit
+(** Add [by] (default 1).  Raises [Invalid_argument] when [by < 0] —
+    counters only go up. *)
+
+val counter_value : counter -> int
+
+val gauge : t -> string -> gauge
+(** Get or create a gauge (initial value 0, marked unset). *)
+
+val set : gauge -> float -> unit
+
+val set_max : gauge -> float -> unit
+(** High-water-mark update: keep the larger of the current and new
+    value (the first [set_max] on a fresh gauge always wins). *)
+
+val gauge_value : gauge -> float
+
+val histogram : t -> lo:float -> hi:float -> bins:int -> string -> histogram
+(** Get or create a histogram over [\[lo, hi)] with [bins] equal
+    buckets.  Raises [Invalid_argument] on a bucketing mismatch with
+    an existing histogram of the same name. *)
+
+val observe : histogram -> float -> unit
+
+val schema_id : string
+(** The [schema] field of {!snapshot}: ["mmfair.metrics/v1"]. *)
+
+val snapshot : t -> Json.t
+(** Deterministic snapshot: instruments sorted by name, shape
+    [{schema; counters; gauges; histograms}].  Histograms carry
+    [lo/hi/bins/count/sum/underflow/overflow/counts]. *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition.  Names are sanitized ([^a-zA-Z0-9_]
+    becomes [_]) and prefixed [mmfair_]; histograms emit cumulative
+    [_bucket{le=...}] lines plus [_sum]/[_count]. *)
+
+val sink : ?clock:(unit -> float) -> t -> Sink.t
+(** The standard probe-to-registry bridge.  Solver rounds feed
+    [solver.rounds.total], per-solver [solver.rounds.<name>] and
+    [solver.level.<name>], [solver.freezes.total],
+    [solver.saturated.links.total] and the [solver.round.active]
+    histogram; sim events feed [sim.events.{scheduled,fired,dropped}.total]
+    and the [sim.queue.depth.hwm] gauge; spans feed
+    [span.count.<name>] and the [span.seconds] histogram.  [clock]
+    (default [Unix.gettimeofday]) only times spans. *)

@@ -13,6 +13,7 @@ let schedule_at t ~time ev =
   Event_queue.add t.queue ~time ev
 
 let pending t = Event_queue.size t.queue
+let queue_high_water_mark t = Event_queue.high_water_mark t.queue
 
 type control = Continue | Stop
 
@@ -29,6 +30,9 @@ let run ?(until = infinity) t ~handler =
         | None -> continue := false
         | Some (time, payload) -> (
             t.clock <- time;
+            if Mmfair_obs.Probe.enabled () then
+              Mmfair_obs.Probe.sim
+                (Mmfair_obs.Events.Fired { time; depth = Event_queue.size t.queue });
             match handler time payload with Continue -> () | Stop -> continue := false))
   done
 

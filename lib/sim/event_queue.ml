@@ -1,15 +1,19 @@
+module Obs = Mmfair_obs
+
 type 'a entry = { time : float; seq : int; payload : 'a }
 
 type 'a t = {
   mutable heap : 'a entry array;
   mutable size : int;
   mutable next_seq : int;
+  mutable hwm : int;
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0 }
+let create () = { heap = [||]; size = 0; next_seq = 0; hwm = 0 }
 
 let is_empty t = t.size = 0
 let size t = t.size
+let high_water_mark t = t.hwm
 
 let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
@@ -49,7 +53,9 @@ let add t ~time payload =
   end;
   t.heap.(t.size) <- entry;
   t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  if t.size > t.hwm then t.hwm <- t.size;
+  sift_up t (t.size - 1);
+  if Obs.Probe.enabled () then Obs.Probe.sim (Obs.Events.Scheduled { time; depth = t.size })
 
 let peek t = if t.size = 0 then None else Some (t.heap.(0).time, t.heap.(0).payload)
 
@@ -66,5 +72,8 @@ let pop t =
   end
 
 let clear t =
+  if t.size > 0 && Obs.Probe.enabled () then
+    Obs.Probe.sim (Obs.Events.Dropped { count = t.size });
   t.size <- 0;
-  t.next_seq <- 0
+  t.next_seq <- 0;
+  t.hwm <- 0

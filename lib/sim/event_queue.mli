@@ -14,9 +14,16 @@ val is_empty : 'a t -> bool
 
 val size : 'a t -> int
 
+val high_water_mark : 'a t -> int
+(** The largest queue depth seen since creation (or the last {!clear}).
+    Maintained unconditionally — it is a single integer compare — so it
+    is available even when telemetry probes are disabled. *)
+
 val add : 'a t -> time:float -> 'a -> unit
 (** Enqueue an event at the given time.  Raises [Invalid_argument] on
-    a NaN time. *)
+    a NaN time.  When the telemetry probe sink is enabled
+    ({!Mmfair_obs.Probe.enabled}), emits a
+    [Mmfair_obs.Events.Scheduled] event carrying the post-add depth. *)
 
 val peek : 'a t -> (float * 'a) option
 (** The earliest event without removing it. *)
@@ -25,3 +32,6 @@ val pop : 'a t -> (float * 'a) option
 (** Remove and return the earliest event ([None] when empty). *)
 
 val clear : 'a t -> unit
+(** Drop all pending events and reset the high-water mark.  When the
+    probe sink is enabled and events were pending, emits a
+    [Mmfair_obs.Events.Dropped] event with the dropped count. *)

@@ -28,6 +28,7 @@ module Redundancy_fn = Mmfair_core.Redundancy_fn
 module Random_nets = Mmfair_workload.Random_nets
 module Net_parser = Mmfair_workload.Net_parser
 module Xoshiro = Mmfair_prng.Xoshiro
+module Obs = Mmfair_obs
 
 let failures = ref 0
 let checked_valid = ref 0
@@ -62,9 +63,35 @@ let all_sessions_satisfy net p =
 
 let is_efficient net i = Network.vfn net i = Redundancy_fn.Efficient
 
+(* When a differential check fails, re-run the optimized engine under
+   a collecting sink and dump its per-round probe stream so the
+   divergence is diagnosable from the failure log alone.  Capped: a
+   pathological case can run for thousands of rounds. *)
+let dump_probe_stream ~case net =
+  let rounds = ref [] in
+  let sink = Obs.Sink.make ~on_round:(fun ev -> rounds := ev :: !rounds) () in
+  (try Obs.Probe.with_sink sink (fun () -> ignore (Allocator.max_min_result net))
+   with _ -> ());
+  let evs = List.rev !rounds in
+  let total = List.length evs in
+  let cap = 40 in
+  Printf.eprintf "  probe stream [%s]: %d optimized rounds%s\n%!" case total
+    (if total > cap then Printf.sprintf " (showing first %d)" cap else "");
+  List.iteri
+    (fun i (ev : Obs.Events.round) ->
+      if i < cap then
+        Printf.eprintf
+          "    round %d: level=%.17g increment=%.17g active=%d frozen=%d saturated=[%s]%s slack=%.3g\n%!"
+          ev.Obs.Events.round ev.level ev.increment ev.active (List.length ev.frozen)
+          (String.concat "," (List.map string_of_int ev.saturated_links))
+          (match ev.bottleneck_link with None -> "" | Some l -> Printf.sprintf " bottleneck=%d" l)
+          ev.residual_slack)
+    evs
+
 (* The core differential check: both engines return the same shape
    (Ok/Error), agree on Ok, and never let an exception escape. *)
 let differential ~case net =
+  let failures_before = !failures in
   let opt =
     try `R (Allocator.max_min_result net)
     with e -> `Exn (Printexc.to_string e)
@@ -73,7 +100,7 @@ let differential ~case net =
     try `R (Allocator_reference.max_min_result net)
     with e -> `Exn (Printexc.to_string e)
   in
-  match (opt, ref_) with
+  (match (opt, ref_) with
   | `Exn e, _ -> fail_case ~case "optimized engine raised: %s" e
   | _, `Exn e -> fail_case ~case "reference engine raised: %s" e
   | `R (Error e), `R (Error _) ->
@@ -120,7 +147,8 @@ let differential ~case net =
         (Solver_error.to_string e)
   | `R (Error e), `R (Ok _) ->
       fail_case ~case "engines disagree on validity: optimized Error (%s), reference Ok"
-        (Solver_error.to_string e)
+        (Solver_error.to_string e));
+  if !failures > failures_before then dump_probe_stream ~case net
 
 let random_config rng ~cap_lo ~cap_hi =
   let nodes = 3 + Xoshiro.below rng 8 in

@@ -1,0 +1,21 @@
+(* Golden-trace generator: the Chrome trace of one [Allocator.max_min]
+   run on a corpus net, under a deterministic fake clock (1 ms per
+   event receipt).  The committed test/golden/trace_figure2.json is
+   diffed against this output on every `dune runtest`; regenerate an
+   intentional change with `dune promote`. *)
+
+module Obs = Mmfair_obs
+
+let () =
+  let file = Sys.argv.(1) in
+  let net = (Mmfair_workload.Net_parser.parse_file file).Mmfair_workload.Net_parser.net in
+  let n = ref 0 in
+  let clock () =
+    let t = float_of_int !n /. 1000.0 in
+    incr n;
+    t
+  in
+  let writer = Obs.Chrome_trace.create ~clock ~emit:print_string () in
+  Obs.Probe.with_sink (Obs.Chrome_trace.sink writer) (fun () ->
+      ignore (Mmfair_core.Allocator.max_min net));
+  Obs.Chrome_trace.close writer

@@ -29,4 +29,5 @@ let () =
       ("claims", Test_claims.suite);
       ("misc", Test_misc.suite);
       ("membership", Test_membership.suite);
+      ("obs", Test_obs.suite);
     ]
