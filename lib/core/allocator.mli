@@ -67,6 +67,36 @@ val max_min_result : ?engine:engine -> Network.t -> (Allocation.t, Solver_error.
 val max_min_trace_result : ?engine:engine -> Network.t -> (result, Solver_error.t) Stdlib.result
 (** Typed-error variant of {!max_min_trace}. *)
 
+val max_min_partial :
+  ?engine:engine -> sessions:int array -> frozen:float array array -> Network.t -> Allocation.t
+(** [max_min_partial ~sessions ~frozen net] is the warm-start entry
+    point for incremental re-solves (the churn engine in
+    [Mmfair_dynamic]): water-fill only the sessions listed in
+    [sessions], holding every other session's receivers fixed at
+    [frozen.(i).(k)] as background load from round one.  [frozen] must
+    have one row per session of [net] with exact per-receiver lengths
+    for the pinned sessions (rows of listed sessions are ignored).
+    The per-round scans visit only the listed sessions, so the cost
+    scales with the fairness component, not the network.
+
+    This computes the exact max-min fair allocation of the {e
+    restricted} problem (pinned rates as constants).  It equals the
+    global [max_min] precisely when no link carrying both solved and
+    pinned receivers is saturated in the combined result — the
+    fairness-component invariant that [Mmfair_dynamic.Engine]
+    establishes before calling (see DESIGN.md §11).  Raises
+    [Invalid_argument] on an unknown session id, shape mismatch,
+    negative or non-finite pinned rates, or an engine/network
+    mismatch; {!Solver_error.Error} as for {!max_min}. *)
+
+val max_min_partial_result :
+  ?engine:engine ->
+  sessions:int array ->
+  frozen:float array array ->
+  Network.t ->
+  (Allocation.t, Solver_error.t) Stdlib.result
+(** Typed-error variant of {!max_min_partial}. *)
+
 val pp_trace : Format.formatter -> result -> unit
 (** Human-readable water-filling narration: one line per round with
     the increment, the links that saturated, and the receivers frozen

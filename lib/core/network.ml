@@ -25,30 +25,36 @@ type receiver_id = { session : int; index : int }
 
 type incidence = {
   n_receivers : int;
+  n_cells : int;
   session_first : int array;
   receiver_of_gid : receiver_id array;
-  link_session_row : int array;
+  link_row : int array;
+  cell_session : int array;
+  cell_first : int array;
   link_cells : int array;
   recv_row : int array;
   recv_cells : int array;
+  recv_cell_of : int array;
 }
 
 type t = {
   graph : Graph.t;
   sessions : session_spec array;
   paths : Routing.path array array; (* paths.(i).(k) = data-path of r_{i,k} *)
-  (* on_link.(j).(i) = receivers of session i crossing link j, reversed order *)
-  on_link : receiver_id list array array;
-  session_link_union : Graph.link_id list array; (* session data-path *)
   inc : incidence;
-  (* bit (gid * n_links + l) set iff receiver [gid] crosses link [l] *)
-  crosses_bits : Bytes.t;
-  all_on_link_cache : receiver_id list array;
+  (* bit (gid * n_links + l) set iff receiver [gid] crosses link [l].
+     Lazy: only [crosses] (the reference allocator, tests) reads it,
+     and the churn surgeries would otherwise pay a full rebuild of the
+     bitset on every event. *)
+  crosses_bits : Bytes.t Lazy.t;
 }
 
 (* Flat CSR views of the routing, shared by every [with_*] variant
-   (they never re-route): global receiver ids are session-major, links
-   are grouped session-by-session within each link's cell range. *)
+   (they never re-route): global receiver ids are session-major.  The
+   link→receiver direction is {e compact}: only the (link, session)
+   pairs some receiver actually crosses get a cell, so every pass here
+   — and the allocator's warm-up — is linear in the routed path length
+   plus [n_links], never in [n_links * sessions]. *)
 let build_incidence n_links paths =
   let m = Array.length paths in
   let session_first = Array.make (m + 1) 0 in
@@ -72,42 +78,345 @@ let build_incidence n_links paths =
   done;
   let total = recv_row.(n_receivers) in
   let recv_cells = Array.make (Stdlib.max total 1) 0 in
-  let link_session_row = Array.make ((n_links * m) + 1) 0 in
-  Array.iteri
-    (fun i per_receiver ->
-      Array.iteri
-        (fun k path ->
-          let gid = session_first.(i) + k in
-          let cursor = ref recv_row.(gid) in
-          List.iter
-            (fun l ->
-              recv_cells.(!cursor) <- l;
-              incr cursor;
-              link_session_row.((l * m) + i + 1) <- link_session_row.((l * m) + i + 1) + 1)
-            path)
-        per_receiver)
-    paths;
-  for c = 0 to (n_links * m) - 1 do
-    link_session_row.(c + 1) <- link_session_row.(c + 1) + link_session_row.(c)
+  (* Pass 1: flatten paths into [recv_cells]; count each link's compact
+     cells with a last-session-seen mark (receivers of one session are
+     contiguous in gid order, so a repeat visit of (l, i) is exactly
+     [last_seen.(l) = i]). *)
+  let last_seen = Array.make (Stdlib.max n_links 1) (-1) in
+  let link_ncells = Array.make (Stdlib.max n_links 1) 0 in
+  for gid = 0 to n_receivers - 1 do
+    let i = receiver_of_gid.(gid).session in
+    let cursor = ref recv_row.(gid) in
+    let k = receiver_of_gid.(gid).index in
+    List.iter
+      (fun l ->
+        recv_cells.(!cursor) <- l;
+        incr cursor;
+        if last_seen.(l) <> i then begin
+          last_seen.(l) <- i;
+          link_ncells.(l) <- link_ncells.(l) + 1
+        end)
+      paths.(i).(k)
   done;
+  let link_row = Array.make (n_links + 1) 0 in
+  for l = 0 to n_links - 1 do
+    link_row.(l + 1) <- link_row.(l) + link_ncells.(l)
+  done;
+  let n_cells = link_row.(n_links) in
+  let cell_session = Array.make (Stdlib.max n_cells 1) 0 in
+  let cell_first = Array.make (n_cells + 1) 0 in
+  let recv_cell_of = Array.make (Stdlib.max total 1) 0 in
+  (* Pass 2: assign compact cell ids (ascending sessions within each
+     link, because gids — hence sessions — ascend), tag every path
+     entry with its cell, and count cell sizes. *)
+  Array.fill last_seen 0 (Array.length last_seen) (-1);
+  let cell_cursor = Array.sub link_row 0 (Stdlib.max n_links 1) in
+  let cell_at = Array.make (Stdlib.max n_links 1) 0 in
+  for gid = 0 to n_receivers - 1 do
+    let i = receiver_of_gid.(gid).session in
+    for p = recv_row.(gid) to recv_row.(gid + 1) - 1 do
+      let l = recv_cells.(p) in
+      if last_seen.(l) <> i then begin
+        last_seen.(l) <- i;
+        let c = cell_cursor.(l) in
+        cell_cursor.(l) <- c + 1;
+        cell_session.(c) <- i;
+        cell_at.(l) <- c
+      end;
+      let c = cell_at.(l) in
+      recv_cell_of.(p) <- c;
+      cell_first.(c + 1) <- cell_first.(c + 1) + 1
+    done
+  done;
+  for c = 0 to n_cells - 1 do
+    cell_first.(c + 1) <- cell_first.(c + 1) + cell_first.(c)
+  done;
+  (* Pass 3: fill each cell's receivers, gid-ascending. *)
   let link_cells = Array.make (Stdlib.max total 1) 0 in
-  let cursor = Array.sub link_session_row 0 (Stdlib.max (n_links * m) 1) in
-  (* Fill session-major, receiver-index ascending, so each cell lists
-     its receivers in the same order as [receivers_on_link]. *)
-  Array.iteri
-    (fun i per_receiver ->
-      Array.iteri
-        (fun k path ->
-          let gid = session_first.(i) + k in
-          List.iter
-            (fun l ->
-              let c = (l * m) + i in
-              link_cells.(cursor.(c)) <- gid;
-              cursor.(c) <- cursor.(c) + 1)
-            path)
-        per_receiver)
-    paths;
-  { n_receivers; session_first; receiver_of_gid; link_session_row; link_cells; recv_row; recv_cells }
+  let fill_cursor = Array.sub cell_first 0 (Stdlib.max n_cells 1) in
+  for gid = 0 to n_receivers - 1 do
+    for p = recv_row.(gid) to recv_row.(gid + 1) - 1 do
+      let c = recv_cell_of.(p) in
+      link_cells.(fill_cursor.(c)) <- gid;
+      fill_cursor.(c) <- fill_cursor.(c) + 1
+    done
+  done;
+  {
+    n_receivers;
+    n_cells;
+    session_first;
+    receiver_of_gid;
+    link_row;
+    cell_session;
+    cell_first;
+    link_cells;
+    recv_row;
+    recv_cells;
+    recv_cell_of;
+  }
+
+(* --- incremental incidence surgery ---------------------------------- *)
+
+(* Splice one receiver out of / into the CSR without the full
+   [build_incidence] rebuild.  Both directions are O(total path length
+   + n_links + n_cells) with straight array blits and one compaction
+   pass — a handful of microseconds on the bench topologies, versus
+   the three routing-order passes of a rebuild.  The dynamic engine's
+   Join/Leave surgery sits on this path, and its speedup over a
+   from-scratch solve is bounded by exactly this constant.
+
+   Invariants preserved (the same ones [build_incidence] establishes,
+   checked field-by-field against a scratch rebuild in the test
+   suite): gids are session-major, a link's cells ascend by session,
+   a cell's member gids ascend, and [recv_cell_of] tags every path
+   position with its compact cell. *)
+
+(* Remove global receiver [g0]: every gid above it shifts down one,
+   each cell on its path loses a member, and a cell whose only member
+   it was dies (later cell ids compact down). *)
+let incidence_remove inc ~g0 =
+  let n = inc.n_receivers in
+  let m = Array.length inc.session_first - 1 in
+  let n_links = Array.length inc.link_row - 1 in
+  let i = inc.receiver_of_gid.(g0).session in
+  let lo = inc.recv_row.(g0) and hi = inc.recv_row.(g0 + 1) in
+  let plen = hi - lo in
+  let total = inc.recv_row.(n) in
+  let total' = total - plen in
+  (* Which cells shrink, and which die (single-member cells on the
+     removed path)?  [dead_before] then maps surviving old cell ids to
+     their compacted ids. *)
+  let loses = Array.make (Stdlib.max inc.n_cells 1) false in
+  let dead_before = Array.make (inc.n_cells + 1) 0 in
+  for p = lo to hi - 1 do
+    let c = inc.recv_cell_of.(p) in
+    loses.(c) <- true;
+    if inc.cell_first.(c + 1) - inc.cell_first.(c) = 1 then dead_before.(c + 1) <- 1
+  done;
+  for c = 1 to inc.n_cells do
+    dead_before.(c) <- dead_before.(c) + dead_before.(c - 1)
+  done;
+  let n_cells' = inc.n_cells - dead_before.(inc.n_cells) in
+  let session_first = Array.make (m + 1) 0 in
+  for j = 0 to m do
+    session_first.(j) <- inc.session_first.(j) - (if inc.session_first.(j) > g0 then 1 else 0)
+  done;
+  let receiver_of_gid = Array.make (Stdlib.max (n - 1) 1) { session = 0; index = 0 } in
+  Array.blit inc.receiver_of_gid 0 receiver_of_gid 0 g0;
+  for g = g0 to n - 2 do
+    let r = inc.receiver_of_gid.(g + 1) in
+    receiver_of_gid.(g) <- (if r.session = i then { r with index = r.index - 1 } else r)
+  done;
+  let recv_row = Array.make n 0 in
+  for g = 0 to n - 1 do
+    recv_row.(g) <- (if g <= g0 then inc.recv_row.(g) else inc.recv_row.(g + 1) - plen)
+  done;
+  let recv_cells = Array.make (Stdlib.max total' 1) 0 in
+  Array.blit inc.recv_cells 0 recv_cells 0 lo;
+  Array.blit inc.recv_cells hi recv_cells lo (total - hi);
+  (* Surviving path positions can only reference surviving cells: a
+     cell dies exactly when its whole membership was the dropped span. *)
+  (* The remap and compaction loops below run over every path position
+     and cell on each churn event — unsafe accesses, with every index
+     bounded by the CSR invariants (and the whole result checked
+     field-by-field against a scratch rebuild in the test suite). *)
+  let recv_cell_of = Array.make (Stdlib.max total' 1) 0 in
+  for p = 0 to lo - 1 do
+    let c = Array.unsafe_get inc.recv_cell_of p in
+    Array.unsafe_set recv_cell_of p (c - Array.unsafe_get dead_before c)
+  done;
+  for p = lo to total' - 1 do
+    let c = Array.unsafe_get inc.recv_cell_of (p + plen) in
+    Array.unsafe_set recv_cell_of p (c - Array.unsafe_get dead_before c)
+  done;
+  (* One compaction sweep rebuilds the link→cell→gid direction: cells
+     keep their relative (hence session-ascending) order, members drop
+     [g0] and shift the gids above it. *)
+  let link_row = Array.make (n_links + 1) 0 in
+  let cell_session = Array.make (Stdlib.max n_cells' 1) 0 in
+  let cell_first = Array.make (n_cells' + 1) 0 in
+  let link_cells = Array.make (Stdlib.max total' 1) 0 in
+  let wc = ref 0 and wp = ref 0 in
+  for l = 0 to n_links - 1 do
+    link_row.(l) <- !wc;
+    for c = inc.link_row.(l) to inc.link_row.(l + 1) - 1 do
+      let clo = Array.unsafe_get inc.cell_first c
+      and chi = Array.unsafe_get inc.cell_first (c + 1) in
+      if not (Array.unsafe_get loses c && chi - clo = 1) then begin
+        Array.unsafe_set cell_session !wc (Array.unsafe_get inc.cell_session c);
+        Array.unsafe_set cell_first !wc !wp;
+        for p = clo to chi - 1 do
+          let g = Array.unsafe_get inc.link_cells p in
+          if g <> g0 then begin
+            Array.unsafe_set link_cells !wp (if g > g0 then g - 1 else g);
+            incr wp
+          end
+        done;
+        incr wc
+      end
+    done
+  done;
+  link_row.(n_links) <- !wc;
+  cell_first.(n_cells') <- !wp;
+  {
+    n_receivers = n - 1;
+    n_cells = n_cells';
+    session_first;
+    receiver_of_gid;
+    link_row;
+    cell_session;
+    cell_first;
+    link_cells;
+    recv_row;
+    recv_cells;
+    recv_cell_of;
+  }
+
+(* Find the compact cell of (link, session), if any: the link's cells
+   list sessions in ascending order and there are few of them, so a
+   linear scan beats a binary search at realistic fan-in. *)
+let find_cell inc ~session ~link =
+  let lo = inc.link_row.(link) and hi = inc.link_row.(link + 1) in
+  let found = ref (-1) in
+  let c = ref lo in
+  while !found < 0 && !c < hi do
+    let s = inc.cell_session.(!c) in
+    if s = session then found := !c else if s > session then c := hi else incr c
+  done;
+  !found
+
+(* Append a receiver to session [i] with data path [path].  The
+   newcomer takes gid [session_first.(i + 1)] (last of its session),
+   so inside any existing (link, i) cell it appends after the cell's
+   members — all smaller session-[i] gids — and a link the session did
+   not cross gets a cell born at the session-ascending slot. *)
+let incidence_add inc ~session:i ~path =
+  let n = inc.n_receivers in
+  let m = Array.length inc.session_first - 1 in
+  let n_links = Array.length inc.link_row - 1 in
+  let g0 = inc.session_first.(i + 1) in
+  let plen = List.length path in
+  let total = inc.recv_row.(n) in
+  let total' = total + plen in
+  (* Per path link: does (link, i) already exist (gains the newcomer)
+     or is it born?  A born cell's insertion slot is the old cell id it
+     lands in front of; [bump] prefix-sums those slots into the old→new
+     cell id shift. *)
+  let touch = Array.make (Stdlib.max n_links 1) 0 in
+  let bump = Array.make (inc.n_cells + 1) 0 in
+  List.iter
+    (fun l ->
+      if find_cell inc ~session:i ~link:l >= 0 then touch.(l) <- 1
+      else begin
+        touch.(l) <- 2;
+        let slot = ref inc.link_row.(l) in
+        while !slot < inc.link_row.(l + 1) && inc.cell_session.(!slot) < i do
+          incr slot
+        done;
+        (* The birth is emitted before old cell [slot], so that cell
+           shifts too: mark the slot itself. *)
+        bump.(!slot) <- bump.(!slot) + 1
+      end)
+    path;
+  for c = 1 to inc.n_cells do
+    bump.(c) <- bump.(c) + bump.(c - 1)
+  done;
+  let n_born = bump.(inc.n_cells) in
+  let n_cells' = inc.n_cells + n_born in
+  let session_first = Array.make (m + 1) 0 in
+  for j = 0 to m do
+    session_first.(j) <- inc.session_first.(j) + (if j > i then 1 else 0)
+  done;
+  let receiver_of_gid = Array.make (n + 1) { session = 0; index = 0 } in
+  Array.blit inc.receiver_of_gid 0 receiver_of_gid 0 g0;
+  receiver_of_gid.(g0) <- { session = i; index = g0 - inc.session_first.(i) };
+  Array.blit inc.receiver_of_gid g0 receiver_of_gid (g0 + 1) (n - g0);
+  let lo = inc.recv_row.(g0) in
+  let recv_row = Array.make (n + 2) 0 in
+  for g = 0 to g0 do
+    recv_row.(g) <- inc.recv_row.(g)
+  done;
+  for g = g0 + 1 to n + 1 do
+    recv_row.(g) <- inc.recv_row.(g - 1) + plen
+  done;
+  let recv_cells = Array.make (Stdlib.max total' 1) 0 in
+  Array.blit inc.recv_cells 0 recv_cells 0 lo;
+  List.iteri (fun j l -> recv_cells.(lo + j) <- l) path;
+  Array.blit inc.recv_cells lo recv_cells (lo + plen) (total - lo);
+  (* One merge sweep rebuilds the link→cell→gid direction: existing
+     members' gids at or above [g0] shift up, gaining cells append the
+     newcomer, born cells slot in at session order.  The sweep also
+     records each path link's cell id ([cell_of_link]) — the write
+     cursor is the ground truth for new cell ids, which sidesteps the
+     corner where two births land on the same insertion slot (end of
+     one link's range, start of the next). *)
+  let link_row = Array.make (n_links + 1) 0 in
+  let cell_session = Array.make (Stdlib.max n_cells' 1) 0 in
+  let cell_first = Array.make (n_cells' + 1) 0 in
+  let link_cells = Array.make (Stdlib.max total' 1) 0 in
+  let cell_of_link = Array.make (Stdlib.max n_links 1) (-1) in
+  let wc = ref 0 and wp = ref 0 in
+  for l = 0 to n_links - 1 do
+    link_row.(l) <- !wc;
+    let pending_birth = ref (touch.(l) = 2) in
+    for c = inc.link_row.(l) to inc.link_row.(l + 1) - 1 do
+      if !pending_birth && Array.unsafe_get inc.cell_session c > i then begin
+        pending_birth := false;
+        cell_of_link.(l) <- !wc;
+        Array.unsafe_set cell_session !wc i;
+        Array.unsafe_set cell_first !wc !wp;
+        Array.unsafe_set link_cells !wp g0;
+        incr wp;
+        incr wc
+      end;
+      Array.unsafe_set cell_session !wc (Array.unsafe_get inc.cell_session c);
+      Array.unsafe_set cell_first !wc !wp;
+      for p = Array.unsafe_get inc.cell_first c to Array.unsafe_get inc.cell_first (c + 1) - 1 do
+        let g = Array.unsafe_get inc.link_cells p in
+        Array.unsafe_set link_cells !wp (if g >= g0 then g + 1 else g);
+        incr wp
+      done;
+      if touch.(l) = 1 && Array.unsafe_get inc.cell_session c = i then begin
+        cell_of_link.(l) <- !wc;
+        Array.unsafe_set link_cells !wp g0;
+        incr wp
+      end;
+      incr wc
+    done;
+    if !pending_birth then begin
+      cell_of_link.(l) <- !wc;
+      Array.unsafe_set cell_session !wc i;
+      Array.unsafe_set cell_first !wc !wp;
+      Array.unsafe_set link_cells !wp g0;
+      incr wp;
+      incr wc
+    end
+  done;
+  link_row.(n_links) <- !wc;
+  cell_first.(n_cells') <- !wp;
+  let recv_cell_of = Array.make (Stdlib.max total' 1) 0 in
+  for p = 0 to lo - 1 do
+    let c = Array.unsafe_get inc.recv_cell_of p in
+    Array.unsafe_set recv_cell_of p (c + Array.unsafe_get bump c)
+  done;
+  List.iteri (fun j l -> recv_cell_of.(lo + j) <- cell_of_link.(l)) path;
+  for p = lo + plen to total' - 1 do
+    let c = Array.unsafe_get inc.recv_cell_of (p - plen) in
+    Array.unsafe_set recv_cell_of p (c + Array.unsafe_get bump c)
+  done;
+  {
+    n_receivers = n + 1;
+    n_cells = n_cells';
+    session_first;
+    receiver_of_gid;
+    link_row;
+    cell_session;
+    cell_first;
+    link_cells;
+    recv_row;
+    recv_cells;
+    recv_cell_of;
+  }
 
 let build_crosses_bits n_links inc =
   let bits = Bytes.make (((inc.n_receivers * n_links) + 7) / 8) '\000' in
@@ -120,91 +429,90 @@ let build_crosses_bits n_links inc =
   done;
   bits
 
-let validate_and_route graph sessions =
-  let n_links = Graph.link_count graph in
+(* Per-session validation (everything but routing).  Factored out so
+   the incremental surgeries ([with_receiver]/[without_receiver]) can
+   re-validate only the touched session instead of the whole network. *)
+let validate_session graph i s =
+  if Array.length s.receivers = 0 then
+    invalid_arg (Printf.sprintf "Network.make: session %d has no receivers" i);
+  if not (s.rho > 0.0) then
+    invalid_arg (Printf.sprintf "Network.make: session %d has rho <= 0" i);
+  (match s.vfn with
+  | Redundancy_fn.Scaled k when not (Float.is_finite k && k >= 1.0) ->
+      invalid_arg
+        (Printf.sprintf "Network.make: session %d has Scaled redundancy factor %g (need a finite factor >= 1)" i k)
+  | _ -> ());
+  if Array.length s.weights <> Array.length s.receivers then
+    invalid_arg (Printf.sprintf "Network.make: session %d weight count mismatch" i);
+  Array.iter
+    (fun w ->
+      if not (w > 0.0) then
+        invalid_arg (Printf.sprintf "Network.make: session %d has a non-positive weight" i);
+      if not (Float.is_finite w) then
+        invalid_arg (Printf.sprintf "Network.make: session %d has a non-finite weight" i))
+    s.weights;
+  if s.sender < 0 || s.sender >= Graph.node_count graph then
+    invalid_arg (Printf.sprintf "Network.make: session %d sender on unknown node %d" i s.sender);
+  (if s.session_type = Single_rate && Array.length s.weights > 0 then begin
+     let w0 = s.weights.(0) in
+     if Array.exists (fun w -> w <> w0) s.weights then
+       invalid_arg (Printf.sprintf "Network.make: single-rate session %d has unequal weights" i)
+   end);
+  (* The paper's restriction on τ: no two members of one session
+     share a node. *)
+  let members = Array.append [| s.sender |] s.receivers in
+  let sorted = Array.copy members in
+  Array.sort compare sorted;
+  for k = 1 to Array.length sorted - 1 do
+    if sorted.(k) = sorted.(k - 1) then
+      invalid_arg (Printf.sprintf "Network.make: session %d maps two members to node %d" i sorted.(k))
+  done
+
+(* One BFS from the session's sender routes all its receivers. *)
+let route_session graph i s =
+  let from_sender = Routing.paths_from graph s.sender in
+  Array.mapi
+    (fun k r ->
+      if r < 0 || r >= Graph.node_count graph then
+        invalid_arg (Printf.sprintf "Network.make: session %d receiver %d on unknown node" i k);
+      match from_sender.(r) with
+      | Some p -> p
+      | None -> invalid_arg (Printf.sprintf "Network.make: session %d receiver %d unreachable" i k))
+    s.receivers
+
+let check_capacities graph =
   (* Graph.add_link already rejects NaN/zero/negative capacities; an
      infinite capacity would make the water-filling bounds meaningless
      (slack arithmetic produces NaN), so reject it here. *)
-  for l = 0 to n_links - 1 do
+  for l = 0 to Graph.link_count graph - 1 do
     let c = Graph.capacity graph l in
     if not (Float.is_finite c) then
       invalid_arg (Printf.sprintf "Network.make: link %d has non-finite capacity %g" l c)
-  done;
+  done
+
+(* Rebuild the derived views from validated sessions and frozen
+   per-receiver paths.  Linear in [n_links * sessions] (the CSR offset
+   arrays) plus the total routed path length — the incremental
+   surgeries pay this (cheap) assembly but skip global re-validation
+   and re-routing (the per-session BFS passes).  The list-shaped
+   views ([receivers_on_link], [all_on_link], [session_links]) are
+   materialized on demand from the CSR rather than cached here, so
+   surgery does not pay for views the caller never reads. *)
+let assemble graph sessions paths =
+  let n_links = Graph.link_count graph in
+  let inc = build_incidence n_links paths in
+  { graph; sessions; paths; inc; crosses_bits = lazy (build_crosses_bits n_links inc) }
+
+let validate_and_route graph sessions =
+  check_capacities graph;
   let paths =
     Array.mapi
       (fun i s ->
-        if Array.length s.receivers = 0 then
-          invalid_arg (Printf.sprintf "Network.make: session %d has no receivers" i);
-        if not (s.rho > 0.0) then
-          invalid_arg (Printf.sprintf "Network.make: session %d has rho <= 0" i);
-        (match s.vfn with
-        | Redundancy_fn.Scaled k when not (Float.is_finite k && k >= 1.0) ->
-            invalid_arg
-              (Printf.sprintf "Network.make: session %d has Scaled redundancy factor %g (need a finite factor >= 1)" i k)
-        | _ -> ());
-        if Array.length s.weights <> Array.length s.receivers then
-          invalid_arg (Printf.sprintf "Network.make: session %d weight count mismatch" i);
-        Array.iter
-          (fun w ->
-            if not (w > 0.0) then
-              invalid_arg (Printf.sprintf "Network.make: session %d has a non-positive weight" i);
-            if not (Float.is_finite w) then
-              invalid_arg (Printf.sprintf "Network.make: session %d has a non-finite weight" i))
-          s.weights;
-        if s.sender < 0 || s.sender >= Graph.node_count graph then
-          invalid_arg (Printf.sprintf "Network.make: session %d sender on unknown node %d" i s.sender);
-        (if s.session_type = Single_rate && Array.length s.weights > 0 then begin
-           let w0 = s.weights.(0) in
-           if Array.exists (fun w -> w <> w0) s.weights then
-             invalid_arg
-               (Printf.sprintf "Network.make: single-rate session %d has unequal weights" i)
-         end);
-        (* The paper's restriction on τ: no two members of one session
-           share a node. *)
-        let members = Array.append [| s.sender |] s.receivers in
-        let sorted = Array.copy members in
-        Array.sort compare sorted;
-        for k = 1 to Array.length sorted - 1 do
-          if sorted.(k) = sorted.(k - 1) then
-            invalid_arg
-              (Printf.sprintf "Network.make: session %d maps two members to node %d" i sorted.(k))
-        done;
-        let from_sender = Routing.paths_from graph s.sender in
-        Array.mapi
-          (fun k r ->
-            if r < 0 || r >= Graph.node_count graph then
-              invalid_arg (Printf.sprintf "Network.make: session %d receiver %d on unknown node" i k);
-            match from_sender.(r) with
-            | Some p -> p
-            | None ->
-                invalid_arg
-                  (Printf.sprintf "Network.make: session %d receiver %d unreachable" i k))
-          s.receivers)
+        validate_session graph i s;
+        route_session graph i s)
       sessions
   in
-  let on_link = Array.init n_links (fun _ -> Array.make (Array.length sessions) []) in
-  Array.iteri
-    (fun i per_receiver ->
-      Array.iteri
-        (fun k path ->
-          List.iter (fun l -> on_link.(l).(i) <- { session = i; index = k } :: on_link.(l).(i)) path)
-        per_receiver)
-    paths;
-  (* Restore receiver-index order within each R_{i,j}. *)
-  Array.iter (fun per_session -> Array.iteri (fun i l -> per_session.(i) <- List.rev l) per_session) on_link;
-  let session_link_union =
-    Array.map
-      (fun per_receiver ->
-        Array.fold_left (fun acc p -> List.rev_append p acc) [] per_receiver
-        |> List.sort_uniq compare)
-      paths
-  in
-  let inc = build_incidence n_links paths in
-  let crosses_bits = build_crosses_bits n_links inc in
-  let all_on_link_cache =
-    Array.map (fun per_session -> List.concat (Array.to_list per_session)) on_link
-  in
-  { graph; sessions; paths; on_link; session_link_union; inc; crosses_bits; all_on_link_cache }
+  assemble graph sessions paths
 
 let make graph sessions = validate_and_route graph (Array.copy sessions)
 
@@ -275,17 +583,36 @@ let data_path t r =
 
 let session_links t i =
   check_session t i "session_links";
-  t.session_link_union.(i)
+  let inc = t.inc in
+  let links = ref [] in
+  for gid = inc.session_first.(i) to inc.session_first.(i + 1) - 1 do
+    for p = inc.recv_row.(gid) to inc.recv_row.(gid + 1) - 1 do
+      links := inc.recv_cells.(p) :: !links
+    done
+  done;
+  List.sort_uniq compare !links
 
+(* A cell lists its gids ascending, i.e. receiver-index ascending —
+   the order the cached lists kept. *)
 let receivers_on_link t ~session ~link =
   check_session t session "receivers_on_link";
   if link < 0 || link >= Graph.link_count t.graph then
     invalid_arg "Network.receivers_on_link: unknown link";
-  t.on_link.(link).(session)
+  let inc = t.inc in
+  match find_cell inc ~session ~link with
+  | -1 -> []
+  | c ->
+      List.init
+        (inc.cell_first.(c + 1) - inc.cell_first.(c))
+        (fun j -> inc.receiver_of_gid.(inc.link_cells.(inc.cell_first.(c) + j)))
 
+(* A link's whole cell range spans its sessions in ascending order, so
+   this is the session-major concatenation the cache used to hold. *)
 let all_on_link t ~link =
   if link < 0 || link >= Graph.link_count t.graph then invalid_arg "Network.all_on_link: unknown link";
-  t.all_on_link_cache.(link)
+  let inc = t.inc in
+  let lo = inc.cell_first.(inc.link_row.(link)) and hi = inc.cell_first.(inc.link_row.(link + 1)) in
+  List.init (hi - lo) (fun j -> inc.receiver_of_gid.(inc.link_cells.(lo + j)))
 
 let incidence t = t.inc
 
@@ -299,7 +626,7 @@ let crosses t r l =
   && l < Graph.link_count t.graph
   &&
   let bit = ((t.inc.session_first.(r.session) + r.index) * Graph.link_count t.graph) + l in
-  Char.code (Bytes.unsafe_get t.crosses_bits (bit lsr 3)) land (1 lsl (bit land 7)) <> 0
+  Char.code (Bytes.unsafe_get (Lazy.force t.crosses_bits) (bit lsr 3)) land (1 lsl (bit land 7)) <> 0
 
 let is_unicast t i = Array.length (session_spec t i).receivers = 1
 
@@ -309,27 +636,86 @@ let with_session_types t types =
   let sessions = Array.mapi (fun i s -> { s with session_type = types.(i) }) t.sessions in
   { t with sessions }
 
+let with_rho t i rho =
+  check_session t i "with_rho";
+  if not (rho > 0.0) then invalid_arg "Network.with_rho: rho must be positive";
+  let sessions = Array.copy t.sessions in
+  sessions.(i) <- { sessions.(i) with rho };
+  { t with sessions }
+
 let with_vfns t vfns =
   if Array.length vfns <> Array.length t.sessions then invalid_arg "Network.with_vfns: length mismatch";
   let sessions = Array.mapi (fun i s -> { s with vfn = vfns.(i) }) t.sessions in
   { t with sessions }
+
+let drop_index arr k = Array.init (Array.length arr - 1) (fun j -> if j < k then arr.(j) else arr.(j + 1))
 
 let without_receiver t r =
   check_receiver t r "without_receiver";
   let s = t.sessions.(r.session) in
   if Array.length s.receivers <= 1 then
     invalid_arg "Network.without_receiver: session would become empty";
-  let receivers =
-    Array.of_list
-      (List.filteri (fun k _ -> k <> r.index) (Array.to_list s.receivers))
+  (* Removal cannot invalidate anything (members shrink, weights and
+     rho are untouched, every other path is unchanged), so skip global
+     re-validation and re-routing: drop the receiver's row and splice
+     it out of the incidence in place of a rebuild. *)
+  let sessions = Array.copy t.sessions in
+  sessions.(r.session) <-
+    { s with receivers = drop_index s.receivers r.index; weights = drop_index s.weights r.index };
+  let paths = Array.copy t.paths in
+  paths.(r.session) <- drop_index t.paths.(r.session) r.index;
+  let inc = incidence_remove t.inc ~g0:(t.inc.session_first.(r.session) + r.index) in
+  { t with sessions; paths; inc;
+    crosses_bits = lazy (build_crosses_bits (Graph.link_count t.graph) inc) }
+
+let with_receiver ?weight t ~session ~node =
+  check_session t session "with_receiver";
+  let s = t.sessions.(session) in
+  let weight = match weight with Some w -> w | None -> s.weights.(0) in
+  if not (weight > 0.0 && Float.is_finite weight) then
+    invalid_arg "Network.with_receiver: weight must be positive and finite";
+  if s.session_type = Single_rate && weight <> s.weights.(0) then
+    invalid_arg "Network.with_receiver: unequal weights in single-rate session";
+  if node < 0 || node >= Graph.node_count t.graph then
+    invalid_arg (Printf.sprintf "Network.with_receiver: unknown node %d" node);
+  if s.sender = node || Array.exists (fun r -> r = node) s.receivers then
+    invalid_arg
+      (Printf.sprintf "Network.with_receiver: session %d already has a member on node %d" session node);
+  let s' =
+    { s with
+      receivers = Array.append s.receivers [| node |];
+      weights = Array.append s.weights [| weight |] }
   in
-  let weights =
-    Array.of_list (List.filteri (fun k _ -> k <> r.index) (Array.to_list s.weights))
+  let sessions = Array.copy t.sessions in
+  sessions.(session) <- s';
+  let paths = Array.copy t.paths in
+  (* Route only the newcomer: one early-exit BFS from the session's
+     sender.  BFS is deterministic, so this is the exact path a full
+     re-route of the session would assign, and every existing
+     receiver's frozen path is reused verbatim. *)
+  let new_path =
+    match Routing.shortest_path t.graph s.sender node with
+    | Some p -> p
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Network.make: session %d receiver %d unreachable" session
+             (Array.length s.receivers))
   in
-  let sessions =
-    Array.mapi (fun i s' -> if i = r.session then { s' with receivers; weights } else s') t.sessions
-  in
-  validate_and_route t.graph sessions
+  paths.(session) <- Array.append t.paths.(session) [| new_path |];
+  let inc = incidence_add t.inc ~session ~path:new_path in
+  { t with sessions; paths; inc;
+    crosses_bits = lazy (build_crosses_bits (Graph.link_count t.graph) inc) }
+
+let with_capacity t link cap =
+  if link < 0 || link >= Graph.link_count t.graph then
+    invalid_arg (Printf.sprintf "Network.with_capacity: unknown link %d" link);
+  if not (Float.is_finite cap && cap > 0.0) then
+    invalid_arg (Printf.sprintf "Network.with_capacity: capacity must be positive and finite (got %g)" cap);
+  let graph = Graph.copy t.graph in
+  Graph.set_capacity graph link cap;
+  (* Routing is hop-count BFS, capacity-independent: paths and every
+     view derived from them survive a capacity change untouched. *)
+  { t with graph }
 
 let pp fmt t =
   Array.iteri

@@ -110,23 +110,34 @@ val crosses : t -> receiver_id -> Mmfair_topology.Graph.link_id -> bool
 
 type incidence = private {
   n_receivers : int;  (** Total receivers; global ids are [0..n_receivers-1]. *)
+  n_cells : int;  (** Compact (link, session) cells some receiver crosses. *)
   session_first : int array;
       (** [m+1] entries; receiver [r_{i,k}]'s global id is
           [session_first.(i) + k], and [session_first.(m)] is
           [n_receivers]. *)
   receiver_of_gid : receiver_id array;  (** Inverse of the global-id encoding. *)
-  link_session_row : int array;
-      (** [n_links·m + 1] offsets into [link_cells]: the receivers of
-          session [i] crossing link [l] (the paper's [R_{i,l}]) occupy
-          [link_cells.(link_session_row.(l·m+i))] up to (excl.)
-          [link_cells.(link_session_row.(l·m+i+1))], in receiver-index
-          order; link [l]'s full range ([R_l]) spans
-          [link_session_row.(l·m) .. link_session_row.((l+1)·m)]. *)
+  link_row : int array;
+      (** [n_links + 1] offsets into [cell_session]/[cell_first]: link
+          [l]'s compact cells are [link_row.(l) .. link_row.(l+1))], in
+          ascending session order.  Only (link, session) pairs some
+          receiver crosses get a cell, so the index costs
+          O(total path length + n_links), not O(n_links · m). *)
+  cell_session : int array;  (** Session of each compact cell. *)
+  cell_first : int array;
+      (** [n_cells + 1] offsets into [link_cells]: cell [c]'s receivers
+          (the paper's [R_{i,l}] for [i = cell_session.(c)]) occupy
+          [link_cells.(cell_first.(c)) .. link_cells.(cell_first.(c+1)))],
+          in receiver-index order; link [l]'s full range ([R_l]) spans
+          [cell_first.(link_row.(l)) .. cell_first.(link_row.(l+1)))]. *)
   link_cells : int array;  (** Global receiver ids, grouped as above. *)
   recv_row : int array;  (** [n_receivers + 1] offsets into [recv_cells]. *)
   recv_cells : int array;
       (** Link ids of each receiver's data-path, path order, grouped by
           global receiver id. *)
+  recv_cell_of : int array;
+      (** Parallel to [recv_cells]: the compact cell of each path entry,
+          so per-receiver updates (freezes) reach their cells without a
+          lookup. *)
 }
 (** Flat CSR-style incidence index over the frozen routing — the
     allocator's hot loops iterate these int arrays instead of the
@@ -154,9 +165,38 @@ val with_session_types : t -> session_type array -> t
 val with_vfns : t -> Redundancy_fn.t array -> t
 (** Lemma-4 replacement: same network, new redundancy functions. *)
 
+val with_rho : t -> int -> float -> t
+(** [with_rho t i rho] replaces session [i]'s maximum desired rate
+    ([infinity] = unbounded).  Paths are untouched.  Raises
+    [Invalid_argument] on an unknown session or [rho ≤ 0] (or NaN). *)
+
 val without_receiver : t -> receiver_id -> t
-(** Section-2.5 surgery: remove one receiver (re-validates; the
-    session must keep at least one receiver). *)
+(** Section-2.5 surgery: remove one receiver.  Incremental: only the
+    touched session is rebuilt (removal cannot invalidate anything
+    else — every other session's validation and routing is reused), so
+    churn replay stays linear in path length rather than re-validating
+    the whole network.  The session must keep at least one receiver;
+    receivers after the removed index shift down by one. *)
+
+val with_receiver : ?weight:float -> t -> session:int -> node:Mmfair_topology.Graph.node -> t
+(** Join surgery: add a receiver on [node] to [session], appended at
+    the highest index.  Incremental like {!without_receiver}: only the
+    touched session is validated and re-routed (one BFS from its
+    sender); all other sessions' frozen paths are reused.  [weight]
+    defaults to the session's first receiver's weight.  Raises
+    [Invalid_argument] when the session is unknown, the node is
+    unknown or already hosts a member of this session (the paper's τ
+    restriction), the weight is non-positive or non-finite, the weight
+    differs inside a single-rate session, or the node is unreachable
+    from the sender. *)
+
+val with_capacity : t -> Mmfair_topology.Graph.link_id -> float -> t
+(** Capacity surgery: an otherwise identical network with the link's
+    capacity replaced.  Routing is hop-count BFS and therefore
+    capacity-independent, so paths and all derived views are shared
+    unchanged; the graph is copied, never mutated in place.  Raises
+    [Invalid_argument] on an unknown link or a non-positive or
+    non-finite capacity. *)
 
 val pp : Format.formatter -> t -> unit
 (** Sessions with their types, senders, receivers and paths. *)

@@ -1,0 +1,77 @@
+(** The incremental churn engine: epoch-to-epoch max-min re-solves.
+
+    On each event the engine computes the {e fairness component} — the
+    sessions transitively coupled to the touched session or link
+    through binding (saturated within [1e-7] relative slack) links —
+    freezes every session outside it at its previous-epoch rates, and
+    re-runs water-filling only inside
+    ({!Mmfair_core.Allocator.max_min_partial}).  A restricted solve
+    whose result saturates a link shared with frozen sessions is not
+    yet sound; such boundary links' sessions are absorbed and the
+    component re-solved until no saturated link crosses the boundary,
+    at which point the problem decomposes and the restricted optimum
+    {e is} the global max-min fair allocation (DESIGN.md §11).  When
+    the component grows to the whole network the engine falls back to
+    a plain from-scratch solve.
+
+    The differential harness ([test/churn_differential.ml], CI-gated)
+    asserts after every event that the result matches
+    [Allocator.max_min] from scratch within [1e-9]. *)
+
+type stats = {
+  kind : string;  (** {!Event.kind} of the applied event. *)
+  component_sessions : int;  (** Sessions re-solved this epoch. *)
+  component_receivers : int;  (** Receivers re-solved this epoch. *)
+  total_receivers : int;  (** Receivers in the post-event network. *)
+  reuse_fraction : float;  (** Receivers carried over frozen / total; 0 on a full solve. *)
+  full_solve : bool;  (** Whether the engine fell back to from-scratch. *)
+  solves : int;  (** Water-filling passes run (1 + boundary expansions; 0 when nothing could move). *)
+}
+(** What one {!apply} did — also emitted as an [epoch] probe event
+    ({!Mmfair_obs.Events.epoch}) for the telemetry sinks. *)
+
+type t
+
+val create :
+  ?engine:Mmfair_core.Allocator.engine ->
+  ?retain:int ->
+  ?allocation:Mmfair_core.Allocation.t ->
+  Mmfair_core.Network.t ->
+  t
+(** [create net] solves epoch 0 from scratch and seeds the store.
+    [engine] (default [`Auto]) is used for every subsequent solve;
+    [retain] bounds the store window ({!Store.create}).  [allocation]
+    is a {e trusted} warm restore: the caller asserts it is the
+    max-min fair allocation of [net] (used by benchmarks to reset an
+    engine between repetitions without paying the initial solve) —
+    passing anything else silently corrupts every later epoch. *)
+
+val create_result :
+  ?engine:Mmfair_core.Allocator.engine ->
+  ?retain:int ->
+  ?allocation:Mmfair_core.Allocation.t ->
+  Mmfair_core.Network.t ->
+  (t, Mmfair_core.Solver_error.t) result
+(** Typed-error variant of {!create}. *)
+
+val network : t -> Mmfair_core.Network.t
+(** The current (post-last-event) network. *)
+
+val allocation : t -> Mmfair_core.Allocation.t
+(** The current epoch's max-min fair allocation. *)
+
+val epoch : t -> int
+val store : t -> Store.t
+
+val apply : t -> Event.t -> stats
+(** Apply one churn event: network surgery, component construction,
+    restricted solve(s), store push, [epoch] probe emission.  Raises
+    [Invalid_argument] on an event that does not type-check against
+    the current network (unknown session/link/node, leave of an
+    absent receiver, a join that would empty-out validation — see
+    {!Mmfair_core.Network.with_receiver}) and {!Mmfair_core.Solver_error.Error}
+    as the underlying solver does.  On a raise the engine state is
+    unchanged (surgery and solve happen before any mutation). *)
+
+val apply_result : t -> Event.t -> (stats, Mmfair_core.Solver_error.t) result
+(** Typed-error variant of {!apply}. *)

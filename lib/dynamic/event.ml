@@ -1,0 +1,21 @@
+module Graph = Mmfair_topology.Graph
+
+type t =
+  | Join of { session : int; node : Graph.node; weight : float option }
+  | Leave of { session : int; node : Graph.node }
+  | Rho_change of { session : int; rho : float }
+  | Capacity_change of { link : Graph.link_id; cap : float }
+
+let kind = function
+  | Join _ -> "join"
+  | Leave _ -> "leave"
+  | Rho_change _ -> "rho"
+  | Capacity_change _ -> "cap"
+
+let pp fmt = function
+  | Join { session; node; weight = None } -> Format.fprintf fmt "join S%d @%d" (session + 1) node
+  | Join { session; node; weight = Some w } ->
+      Format.fprintf fmt "join S%d @%d w=%g" (session + 1) node w
+  | Leave { session; node } -> Format.fprintf fmt "leave S%d @%d" (session + 1) node
+  | Rho_change { session; rho } -> Format.fprintf fmt "rho S%d %g" (session + 1) rho
+  | Capacity_change { link; cap } -> Format.fprintf fmt "cap l%d %g" link cap

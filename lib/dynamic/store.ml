@@ -1,0 +1,38 @@
+module Network = Mmfair_core.Network
+module Allocation = Mmfair_core.Allocation
+
+type entry = {
+  epoch : int;
+  event : Event.t option;
+  network : Network.t;
+  allocation : Allocation.t;
+}
+
+type t = {
+  retain : int;
+  mutable entries : entry list; (* newest first, length <= retain *)
+  mutable epoch : int;
+}
+
+let create ?(retain = 8) network allocation =
+  if retain < 1 then invalid_arg "Store.create: retain must be >= 1";
+  { retain; entries = [ { epoch = 0; event = None; network; allocation } ]; epoch = 0 }
+
+let retain t = t.retain
+let epoch t = t.epoch
+
+let current t =
+  match t.entries with
+  | e :: _ -> e
+  | [] -> assert false (* create seeds one entry; push never empties *)
+
+let truncate n l = List.filteri (fun i _ -> i < n) l
+
+let push t ~event ~network ~allocation =
+  t.epoch <- t.epoch + 1;
+  let e = { epoch = t.epoch; event = Some event; network; allocation } in
+  t.entries <- e :: truncate (t.retain - 1) t.entries;
+  e
+
+let find t epoch = List.find_opt (fun (e : entry) -> e.epoch = epoch) t.entries
+let retained_epochs t = List.map (fun (e : entry) -> e.epoch) t.entries

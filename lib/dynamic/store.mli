@@ -1,0 +1,39 @@
+(** Epoch-versioned allocation store.
+
+    Each applied churn event advances the store by one {e epoch}: the
+    event, the post-event network, and its max-min allocation are
+    recorded together.  A bounded window of recent epochs is retained
+    so callers can diff allocations across events (the paper's [≼_m]
+    comparisons between before/after snapshots) without the store
+    growing with trace length. *)
+
+type entry = {
+  epoch : int;  (** 0 for the initial solve, then 1, 2, … per event. *)
+  event : Event.t option;  (** The event that produced this epoch; [None] at epoch 0. *)
+  network : Mmfair_core.Network.t;  (** The network {e after} the event. *)
+  allocation : Mmfair_core.Allocation.t;  (** Its max-min fair allocation. *)
+}
+
+type t
+
+val create : ?retain:int -> Mmfair_core.Network.t -> Mmfair_core.Allocation.t -> t
+(** A store seeded at epoch 0 with the initial network and allocation.
+    [retain] (default 8, min 1) bounds how many recent epochs stay
+    queryable. *)
+
+val retain : t -> int
+val epoch : t -> int
+(** The current (newest) epoch number. *)
+
+val current : t -> entry
+(** The newest entry; never fails. *)
+
+val push : t -> event:Event.t -> network:Mmfair_core.Network.t -> allocation:Mmfair_core.Allocation.t -> entry
+(** Record the outcome of one applied event as the next epoch,
+    evicting the oldest retained entry when the window is full. *)
+
+val find : t -> int -> entry option
+(** Look up a retained epoch by number; [None] once evicted. *)
+
+val retained_epochs : t -> int list
+(** Retained epoch numbers, newest first. *)

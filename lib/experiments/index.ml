@@ -30,7 +30,7 @@ let all =
     entry "ext-priority" "Section 5" "priority dropping reduces redundancy" "mmfair priority";
     entry "ext-layers" "TR App. E" "more layers reduce random-join redundancy" "mmfair layers";
     entry "ext-tcpfair" "Section 5" "weighted (1/RTT) max-min fairness" "mmfair tcpfair";
-    entry "ext-churn" "Section 5" "fair rates under session arrivals/departures" "mmfair churn";
+    entry "ext-churn" "Section 5" "fair rates under session arrivals/departures" "mmfair session-churn";
     entry "ext-convergence" "Section 4" "ramp time from layer 1: transient chains vs simulation"
       "mmfair convergence";
     entry "ext-single-rate" "Related [6]" "inter-receiver-fair single-rate choice" "mmfair single-rate";

@@ -70,6 +70,27 @@ let on_round t (ev : Events.round) =
   counter t ~name:("active:" ^ ev.Events.solver) ~ts
     [ ("receivers", Json.Num (float_of_int ev.Events.active)) ]
 
+let on_epoch t (ev : Events.epoch) =
+  let ts = ts_us t in
+  push t
+    (base ~name:"epoch" ~cat:"dynamic" ~ph:"i" ~ts
+       [
+         ("s", Json.Str "t");
+         ( "args",
+           Json.Obj
+             [
+               ("epoch", Json.Num (float_of_int ev.Events.epoch));
+               ("kind", Json.Str ev.Events.kind);
+               ("component_sessions", Json.Num (float_of_int ev.Events.component_sessions));
+               ("component_receivers", Json.Num (float_of_int ev.Events.component_receivers));
+               ("total_receivers", Json.Num (float_of_int ev.Events.total_receivers));
+               ("reuse_fraction", Json.Num ev.Events.reuse_fraction);
+               ("full_solve", Json.Bool ev.Events.full_solve);
+               ("solves", Json.Num (float_of_int ev.Events.solves));
+             ] );
+       ]);
+  counter t ~name:"dynamic:reuse" ~ts [ ("fraction", Json.Num ev.Events.reuse_fraction) ]
+
 let on_sim t (ev : Events.sim) =
   let ts = ts_us t in
   match ev with
@@ -83,7 +104,7 @@ let on_sim t (ev : Events.sim) =
 let on_span t ph name = push t (base ~name ~cat:"span" ~ph ~ts:(ts_us t) [])
 
 let sink t =
-  Sink.make ~on_round:(on_round t) ~on_sim:(on_sim t)
+  Sink.make ~on_round:(on_round t) ~on_epoch:(on_epoch t) ~on_sim:(on_sim t)
     ~on_span_begin:(on_span t "B")
     ~on_span_end:(on_span t "E")
     ()

@@ -17,6 +17,26 @@ type round = {
   residual_slack : float;  (** Slack remaining on that tightest link. *)
 }
 
+type epoch = {
+  epoch : int;  (** 1-based epoch index: one per applied churn event. *)
+  kind : string;  (** Churn event class: "join", "leave", "rho", "cap". *)
+  component_sessions : int;  (** Sessions inside the re-solved fairness component. *)
+  component_receivers : int;  (** Receivers inside the component. *)
+  total_receivers : int;  (** Receivers in the whole network after the event. *)
+  reuse_fraction : float;
+      (** Fraction of receivers whose rates were carried over frozen
+          from the previous epoch ([1 - component/total]; 0 on a full
+          solve). *)
+  full_solve : bool;  (** Whether the engine fell back to a from-scratch solve. *)
+  solves : int;
+      (** Restricted water-filling passes this epoch (1 + component
+          expansions; 1 for a full solve). *)
+}
+(** One epoch of the incremental churn engine ([Mmfair_dynamic]):
+    emitted after each applied event with the size of the re-solved
+    fairness component and how much of the previous allocation was
+    reused. *)
+
 type sim =
   | Scheduled of { time : float; depth : int }
       (** An event was enqueued at simulation time [time]; [depth] is the queue size after insertion. *)

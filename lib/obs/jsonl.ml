@@ -23,6 +23,21 @@ let round_json ~ts (ev : Events.round) : Json.t =
       ("residual_slack", Json.Num ev.Events.residual_slack);
     ]
 
+let epoch_json ~ts (ev : Events.epoch) : Json.t =
+  Json.Obj
+    [
+      ("type", Json.Str "epoch");
+      ("ts", Json.Num ts);
+      ("epoch", Json.Num (float_of_int ev.Events.epoch));
+      ("kind", Json.Str ev.Events.kind);
+      ("component_sessions", Json.Num (float_of_int ev.Events.component_sessions));
+      ("component_receivers", Json.Num (float_of_int ev.Events.component_receivers));
+      ("total_receivers", Json.Num (float_of_int ev.Events.total_receivers));
+      ("reuse_fraction", Json.Num ev.Events.reuse_fraction);
+      ("full_solve", Json.Bool ev.Events.full_solve);
+      ("solves", Json.Num (float_of_int ev.Events.solves));
+    ]
+
 let sim_json ~ts (ev : Events.sim) : Json.t =
   match ev with
   | Events.Scheduled { time; depth } ->
@@ -55,6 +70,7 @@ let sink ?(clock = Unix.gettimeofday) ~emit () =
   in
   Sink.make
     ~on_round:(fun ev -> line (round_json ~ts:(clock ()) ev))
+    ~on_epoch:(fun ev -> line (epoch_json ~ts:(clock ()) ev))
     ~on_sim:(fun ev -> line (sim_json ~ts:(clock ()) ev))
     ~on_span_begin:(fun name -> line (span_json ~ts:(clock ()) ~phase:"begin" name))
     ~on_span_end:(fun name -> line (span_json ~ts:(clock ()) ~phase:"end" name))

@@ -1,7 +1,7 @@
 (** JSONL structured-log exporter: one compact JSON object per probe
     event, newline-terminated, suitable for [jq]/grep pipelines.
 
-    Every line carries a ["type"] ([round], [sim.scheduled],
+    Every line carries a ["type"] ([round], [epoch], [sim.scheduled],
     [sim.fired], [sim.dropped], [span.begin], [span.end]) and a ["ts"]
     stamped by [clock] at event receipt (default wall-clock seconds
     via [Unix.gettimeofday]). *)
@@ -17,5 +17,8 @@ val channel_sink : ?clock:(unit -> float) -> out_channel -> Sink.t
 val round_json : ts:float -> Events.round -> Json.t
 (** The line payload for one solver round (exposed for tests and
     custom writers). *)
+
+val epoch_json : ts:float -> Events.epoch -> Json.t
+(** The line payload for one churn epoch. *)
 
 val sim_json : ts:float -> Events.sim -> Json.t

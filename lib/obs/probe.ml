@@ -13,6 +13,10 @@ let round ev =
   let s = !current in
   if s.Sink.enabled then s.Sink.on_round ev
 
+let epoch ev =
+  let s = !current in
+  if s.Sink.enabled then s.Sink.on_epoch ev
+
 let sim ev =
   let s = !current in
   if s.Sink.enabled then s.Sink.on_sim ev

@@ -32,6 +32,9 @@ val with_sink : Sink.t -> (unit -> 'a) -> 'a
 val round : Events.round -> unit
 (** Emit a solver round event (no-op when disabled). *)
 
+val epoch : Events.epoch -> unit
+(** Emit a churn epoch event (no-op when disabled). *)
+
 val sim : Events.sim -> unit
 (** Emit a simulator event (no-op when disabled). *)
 

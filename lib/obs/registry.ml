@@ -177,6 +177,11 @@ let sink ?(clock = Unix.gettimeofday) t =
   let freezes_total = counter t "solver.freezes.total" in
   let saturations = counter t "solver.saturated.links.total" in
   let active_hist = histogram t ~lo:0.0 ~hi:256.0 ~bins:32 "solver.round.active" in
+  let epochs_total = counter t "dynamic.epochs.total" in
+  let full_solves = counter t "dynamic.full_solves.total" in
+  let component_solves = counter t "dynamic.solves.total" in
+  let reuse_hist = histogram t ~lo:0.0 ~hi:1.0 ~bins:20 "dynamic.epoch.reuse_fraction" in
+  let component_hist = histogram t ~lo:0.0 ~hi:256.0 ~bins:32 "dynamic.epoch.component_receivers" in
   let scheduled = counter t "sim.events.scheduled.total" in
   let fired = counter t "sim.events.fired.total" in
   let dropped = counter t "sim.events.dropped.total" in
@@ -191,6 +196,13 @@ let sink ?(clock = Unix.gettimeofday) t =
       observe active_hist (float_of_int ev.Events.active);
       incr (counter t ("solver.rounds." ^ ev.Events.solver));
       set (gauge t ("solver.level." ^ ev.Events.solver)) ev.Events.level)
+    ~on_epoch:(fun (ev : Events.epoch) ->
+      incr epochs_total;
+      incr ~by:ev.Events.solves component_solves;
+      if ev.Events.full_solve then incr full_solves;
+      incr (counter t ("dynamic.events." ^ ev.Events.kind));
+      observe reuse_hist ev.Events.reuse_fraction;
+      observe component_hist (float_of_int ev.Events.component_receivers))
     ~on_sim:(function
       | Events.Scheduled { depth; _ } ->
           incr scheduled;

@@ -1,6 +1,7 @@
 type t = {
   enabled : bool;
   on_round : Events.round -> unit;
+  on_epoch : Events.epoch -> unit;
   on_sim : Events.sim -> unit;
   on_span_begin : string -> unit;
   on_span_end : string -> unit;
@@ -10,14 +11,15 @@ let null =
   {
     enabled = false;
     on_round = ignore;
+    on_epoch = ignore;
     on_sim = ignore;
     on_span_begin = ignore;
     on_span_end = ignore;
   }
 
-let make ?(on_round = ignore) ?(on_sim = ignore) ?(on_span_begin = ignore) ?(on_span_end = ignore)
-    () =
-  { enabled = true; on_round; on_sim; on_span_begin; on_span_end }
+let make ?(on_round = ignore) ?(on_epoch = ignore) ?(on_sim = ignore) ?(on_span_begin = ignore)
+    ?(on_span_end = ignore) () =
+  { enabled = true; on_round; on_epoch; on_sim; on_span_begin; on_span_end }
 
 let tee a b =
   match (a.enabled, b.enabled) with
@@ -31,6 +33,10 @@ let tee a b =
           (fun ev ->
             a.on_round ev;
             b.on_round ev);
+        on_epoch =
+          (fun ev ->
+            a.on_epoch ev;
+            b.on_epoch ev);
         on_sim =
           (fun ev ->
             a.on_sim ev;

@@ -47,14 +47,27 @@ let join t ~now ~path ~layer =
     if not carrying_before then c.active_from <- arrival
   done
 
+let solver_name = "Membership"
+
 let leave t ~now ~path ~layer =
+  (* Validate the whole path before mutating anything: a double-leave
+     must not decrement the early links and then raise halfway. *)
   Array.iter
     (fun l ->
       let c = cell t l layer in
-      if c.subscribers <= 0 then invalid_arg "Membership.leave: receiver was not joined";
+      if c.subscribers <= 0 then
+        invalid_arg
+          (Printf.sprintf "Membership.leave: receiver was not joined (link %d layer %d)" l layer))
+    path;
+  Array.iter
+    (fun l ->
+      let c = cell t l layer in
       c.subscribers <- c.subscribers - 1;
       if c.subscribers = 0 then c.prune_at <- now +. t.leave_timeout)
     path
+
+let leave_result t ~now ~path ~layer =
+  Mmfair_core.Solver_error.protect ~solver:solver_name (fun () -> leave t ~now ~path ~layer)
 
 let flowing t ~now ~link ~layer = is_carrying (cell t link layer) ~now
 

@@ -34,8 +34,21 @@ val join : t -> now:float -> path:Mmfair_topology.Graph.link_id array -> layer:i
 val leave : t -> now:float -> path:Mmfair_topology.Graph.link_id array -> layer:int -> unit
 (** The receiver leaves [layer]: counts drop along the path; links
     whose count reaches zero schedule a prune at [now + leave_timeout].
-    Raises [Invalid_argument] if the receiver was not joined (counts
-    would go negative — a caller bug). *)
+    Raises [Invalid_argument] if the receiver was not joined on some
+    link of the path (counts would go negative — a caller bug); the
+    whole path is validated {e before} any count changes, so a failed
+    leave never half-applies. *)
+
+val leave_result :
+  t ->
+  now:float ->
+  path:Mmfair_topology.Graph.link_id array ->
+  layer:int ->
+  (unit, Mmfair_core.Solver_error.t) result
+(** Typed-error variant of {!leave}, following the solver [_result]
+    convention: a double-leave comes back as
+    [Error (Invalid_input {solver = "Membership"; _})] instead of an
+    exception, and state is untouched on [Error]. *)
 
 val flowing : t -> now:float -> link:Mmfair_topology.Graph.link_id -> layer:int -> bool
 (** Whether the link currently forwards the layer: it has reached-in

@@ -47,6 +47,14 @@ let add_link g a b cap =
 let node_count g = g.nodes
 let link_count g = g.nlinks
 
+let copy g =
+  { nodes = g.nodes; links = Array.copy g.links; nlinks = g.nlinks; adj = Array.copy g.adj }
+
+let set_capacity g l cap =
+  if l < 0 || l >= g.nlinks then invalid_arg (Printf.sprintf "Graph.set_capacity: unknown link %d" l);
+  if not (cap > 0.0) then invalid_arg "Graph.set_capacity: capacity must be positive";
+  g.links.(l) <- { (g.links.(l)) with cap }
+
 let check_link g l name =
   if l < 0 || l >= g.nlinks then invalid_arg (Printf.sprintf "Graph.%s: unknown link %d" name l)
 
@@ -68,6 +76,21 @@ let other_end g l v =
 let neighbors g v =
   check_node g v "neighbors";
   List.rev g.adj.(v)
+
+(* Same visit order as [neighbors] (insertion order) without building
+   the reversed list — the adjacency is stored newest-first, so the
+   callback fires on the unwind.  Recursion depth is the node degree.
+   Search loops (BFS / Dijkstra) call this per dequeued node; the
+   per-call [List.rev] of [neighbors] was their dominant allocation. *)
+let iter_neighbors g v ~f =
+  check_node g v "iter_neighbors";
+  let rec go = function
+    | [] -> ()
+    | (w, l) :: rest ->
+        go rest;
+        f w l
+  in
+  go g.adj.(v)
 
 let links g = List.init g.nlinks Fun.id
 

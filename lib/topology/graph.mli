@@ -35,6 +35,18 @@ val add_link : t -> node -> node -> float -> link_id
 val node_count : t -> int
 val link_count : t -> int
 
+val copy : t -> t
+(** An independent copy: later [add_node]/[add_link]/[set_capacity] on
+    either graph do not affect the other.  Node and link ids are
+    preserved. *)
+
+val set_capacity : t -> link_id -> float -> unit
+(** Replace a link's capacity in place (endpoints and id unchanged).
+    Raises [Invalid_argument] on a bad id or a non-positive capacity.
+    Callers sharing a routed graph should {!copy} first — capacities
+    feed the fairness solvers, not the frozen paths, so paths stay
+    valid. *)
+
 val capacity : t -> link_id -> float
 (** The paper's [c_j].  Raises [Invalid_argument] on a bad id. *)
 
@@ -47,6 +59,11 @@ val other_end : t -> link_id -> node -> node
 
 val neighbors : t -> node -> (node * link_id) list
 (** Adjacent nodes with the connecting link, in insertion order. *)
+
+val iter_neighbors : t -> node -> f:(node -> link_id -> unit) -> unit
+(** [iter_neighbors g v ~f] calls [f w l] for each neighbor in the same
+    order as {!neighbors}, without building the list.  Search loops
+    that visit every node (BFS, Dijkstra) should prefer it. *)
 
 val links : t -> link_id list
 (** All link ids, ascending. *)

@@ -2,8 +2,14 @@ type path = Graph.link_id list
 
 (* BFS with deterministic tie-breaking: neighbors are explored in
    insertion order, and a node's parent is fixed by the first visit, so
-   the resulting shortest-path tree is unique for a given graph. *)
-let bfs g src =
+   the resulting shortest-path tree is unique for a given graph.
+
+   [stop_at] cuts the search once that node has been visited — its
+   parent chain is final on first visit, so the extracted path is
+   identical to the full sweep's.  Single-target callers (the dynamic
+   engine's join surgery routes exactly one newcomer) then pay only
+   for the searched prefix of the graph. *)
+let bfs ?(stop_at = -1) g src =
   let n = Graph.node_count g in
   if src < 0 || src >= n then invalid_arg "Routing.bfs: unknown source";
   let parent = Array.make n (-1) in
@@ -12,17 +18,17 @@ let bfs g src =
   visited.(src) <- true;
   let q = Queue.create () in
   Queue.add src q;
-  while not (Queue.is_empty q) do
+  let stop = ref (src = stop_at) in
+  while (not !stop) && not (Queue.is_empty q) do
     let v = Queue.pop q in
-    List.iter
-      (fun (w, l) ->
+    Graph.iter_neighbors g v ~f:(fun w l ->
         if not visited.(w) then begin
           visited.(w) <- true;
           parent.(w) <- v;
           parent_link.(w) <- l;
+          if w = stop_at then stop := true;
           Queue.add w q
         end)
-      (Graph.neighbors g v)
   done;
   (visited, parent, parent_link)
 
@@ -38,7 +44,7 @@ let paths_from g src =
 let shortest_path g src dst =
   let n = Graph.node_count g in
   if dst < 0 || dst >= n then invalid_arg "Routing.shortest_path: unknown destination";
-  let visited, parent, parent_link = bfs g src in
+  let visited, parent, parent_link = bfs ~stop_at:dst g src in
   if not visited.(dst) then None else Some (extract_path src parent parent_link dst)
 
 let path_links p = p
@@ -72,8 +78,7 @@ let dijkstra g ~weight src =
     else begin
       let v = !best in
       settled.(v) <- true;
-      List.iter
-        (fun (w, l) ->
+      Graph.iter_neighbors g v ~f:(fun w l ->
           let wl = weight l in
           if wl < 0.0 then invalid_arg "Routing.dijkstra: negative weight";
           if (not settled.(w)) && dist.(v) +. wl < dist.(w) then begin
@@ -81,7 +86,6 @@ let dijkstra g ~weight src =
             parent.(w) <- v;
             parent_link.(w) <- l
           end)
-        (Graph.neighbors g v)
     end
   done;
   Array.init n (fun dst ->
@@ -108,15 +112,13 @@ let widest_path g src dst =
     else begin
       let v = !best in
       settled.(v) <- true;
-      List.iter
-        (fun (w, l) ->
+      Graph.iter_neighbors g v ~f:(fun w l ->
           let through = Stdlib.min width.(v) (Graph.capacity g l) in
           if (not settled.(w)) && through > width.(w) then begin
             width.(w) <- through;
             parent.(w) <- v;
             parent_link.(w) <- l
           end)
-        (Graph.neighbors g v)
     end
   done;
   if width.(dst) = neg_infinity then None

@@ -1,0 +1,120 @@
+module Event = Mmfair_dynamic.Event
+
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+let split_ws s =
+  String.split_on_char ' ' s |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun tok -> tok <> "")
+
+let strip_comment s = match String.index_opt s '#' with Some i -> String.sub s 0 i | None -> s
+
+let parse_float line what s =
+  match float_of_string_opt s with Some f -> f | None -> fail line (Printf.sprintf "bad %s: %S" what s)
+
+let index_of names line what name =
+  let found = ref (-1) in
+  Array.iteri (fun i n -> if n = name && !found < 0 then found := i) names;
+  if !found < 0 then fail line (Printf.sprintf "unknown %s %S" what name);
+  !found
+
+let parse_string (p : Net_parser.t) text =
+  let session line name = index_of p.Net_parser.session_names line "session" name in
+  let node line name = index_of p.Net_parser.node_names line "node" name in
+  let link line name = index_of p.Net_parser.link_names line "link" name in
+  let events = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let line = String.trim (strip_comment raw) in
+      if line <> "" then
+        match split_ws line with
+        | [ "join"; s; n ] ->
+            events := Event.Join { session = session lineno s; node = node lineno n; weight = None } :: !events
+        | [ "join"; s; n; w ] ->
+            let weight =
+              match String.index_opt w '=' with
+              | Some i when String.sub w 0 i = "w" ->
+                  let v = parse_float lineno "weight" (String.sub w (i + 1) (String.length w - i - 1)) in
+                  if not (Float.is_finite v && v > 0.0) then
+                    fail lineno (Printf.sprintf "weight must be a finite positive number, got %g" v);
+                  v
+              | _ -> fail lineno (Printf.sprintf "expected w=FLOAT, got %S" w)
+            in
+            events :=
+              Event.Join { session = session lineno s; node = node lineno n; weight = Some weight }
+              :: !events
+        | [ "leave"; s; n ] ->
+            events := Event.Leave { session = session lineno s; node = node lineno n } :: !events
+        | [ "rho"; s; r ] ->
+            let rho = parse_float lineno "rho" r in
+            if not (rho > 0.0) then
+              fail lineno (Printf.sprintf "rho must be positive (and not NaN), got %g" rho);
+            events := Event.Rho_change { session = session lineno s; rho } :: !events
+        | [ "cap"; l; c ] ->
+            let cap = parse_float lineno "capacity" c in
+            if not (Float.is_finite cap && cap > 0.0) then
+              fail lineno (Printf.sprintf "capacity must be a finite positive number, got %g" cap);
+            events := Event.Capacity_change { link = link lineno l; cap } :: !events
+        | tok :: _ -> fail lineno (Printf.sprintf "unknown directive %S (want join|leave|rho|cap)" tok)
+        | [] -> ())
+    lines;
+  List.rev !events
+
+let parse_string_result p text =
+  match parse_string p text with
+  | evs -> Ok evs
+  | exception Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+  | exception Invalid_argument msg -> Error msg
+
+let parse_file p path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse_string p (really_input_string ic (in_channel_length ic)))
+
+(* Default names match [Net_parser.render]'s conventions (n<i>, l<j>,
+   s<i>), so a generated trace round-trips against a rendered net. *)
+let render ?names events =
+  let session_name, node_name, link_name =
+    match names with
+    | Some (p : Net_parser.t) ->
+        ( (fun i -> p.Net_parser.session_names.(i)),
+          (fun v -> p.Net_parser.node_names.(v)),
+          fun l -> p.Net_parser.link_names.(l) )
+    | None -> (Printf.sprintf "s%d", Printf.sprintf "n%d", Printf.sprintf "l%d")
+  in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (ev : Event.t) ->
+      (match ev with
+      | Event.Join { session; node; weight = None } ->
+          Buffer.add_string buf (Printf.sprintf "join %s %s" (session_name session) (node_name node))
+      | Event.Join { session; node; weight = Some w } ->
+          Buffer.add_string buf
+            (Printf.sprintf "join %s %s w=%.17g" (session_name session) (node_name node) w)
+      | Event.Leave { session; node } ->
+          Buffer.add_string buf (Printf.sprintf "leave %s %s" (session_name session) (node_name node))
+      | Event.Rho_change { session; rho } ->
+          Buffer.add_string buf (Printf.sprintf "rho %s %.17g" (session_name session) rho)
+      | Event.Capacity_change { link; cap } ->
+          Buffer.add_string buf (Printf.sprintf "cap %s %.17g" (link_name link) cap));
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.contents buf
+
+let example =
+  String.concat "\n"
+    [
+      "# Churn over the Figure-2 network (see `mmfair parse --example`):";
+      "# one event per line, applied in order.";
+      "leave s1 leaf2          # Figure-3 style removal";
+      "join s2 leaf3           # Figure-5 style join";
+      "join s2 leaf2 w=0.5     # weighted receiver";
+      "rho s1 2.5              # cap the session's desired rate";
+      "rho s1 inf              # ...and lift it again";
+      "cap l1 4                # shrink a link";
+      "";
+    ]

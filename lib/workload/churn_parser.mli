@@ -1,0 +1,46 @@
+(** A small text format for churn traces ([.churn] files).
+
+    One event per line, applied in order by [mmfair churn]; [#] starts
+    a comment; blank lines are ignored.  Names refer to the
+    description the network was parsed from ({!Net_parser.t}):
+
+    {v
+    join SESSION NODE [w=FLOAT]   # add a receiver on NODE
+    leave SESSION NODE            # remove the receiver on NODE
+    rho SESSION FLOAT|inf         # replace the session's rho
+    cap LINK FLOAT                # replace the link's capacity
+    v}
+
+    Receivers are named by node, not index, so a trace stays valid as
+    earlier leaves shift in-session indices.  Parsing validates names
+    and literals with line-numbered diagnostics; whether an event
+    type-checks against the {e evolving} network (e.g. a [leave] of a
+    receiver that already left) is only known at replay time and is
+    reported by the engine then. *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val parse_string : Net_parser.t -> string -> Mmfair_dynamic.Event.t list
+(** Raises {!Parse_error} on an unknown directive, unknown
+    session/node/link name, or a malformed/out-of-range literal
+    ([rho ≤ 0], non-finite capacity, non-positive weight), each
+    reported with the offending line number. *)
+
+val parse_string_result : Net_parser.t -> string -> (Mmfair_dynamic.Event.t list, string) result
+(** Non-raising variant of {!parse_string}; parse errors are prefixed
+    with ["line N: "]. *)
+
+val parse_file : Net_parser.t -> string -> Mmfair_dynamic.Event.t list
+(** Reads the file and applies {!parse_string}.  Raises [Sys_error]
+    when unreadable. *)
+
+val render : ?names:Net_parser.t -> Mmfair_dynamic.Event.t list -> string
+(** A [.churn] document that {!parse_string} reconstructs into the
+    same event list.  Without [names], uses the [n<i>]/[l<j>]/[s<i>]
+    conventions of {!Net_parser.render}, so generated traces pair with
+    rendered networks. *)
+
+val example : string
+(** A self-contained example trace over the Figure-2 network, suitable
+    for [--help] output and tests. *)

@@ -1,0 +1,137 @@
+(* Differential harness for the incremental churn engine.
+
+   For each seed: generate a random network (mixed session types,
+   rho limits, Scaled link-rate functions), draw a random churn trace
+   (Churn_gen), and replay it through Mmfair_dynamic.Engine.  After
+   EVERY event the incremental allocation must match a from-scratch
+   Allocator.max_min on the post-event network within a relative 1e-9
+   — the correctness gate for the fairness-component construction
+   (DESIGN.md §11).  Seeds alternate the `Auto and `Bisection engines
+   so both bound computations are exercised.
+
+     churn_differential.exe [--events N] [--seeds S1,S2,...]
+
+   Exits non-zero on the first divergence. *)
+
+module Network = Mmfair_core.Network
+module Allocation = Mmfair_core.Allocation
+module Allocator = Mmfair_core.Allocator
+module Solver_error = Mmfair_core.Solver_error
+module Engine = Mmfair_dynamic.Engine
+module Event = Mmfair_dynamic.Event
+module Random_nets = Mmfair_workload.Random_nets
+module Churn_gen = Mmfair_workload.Churn_gen
+module Churn_parser = Mmfair_workload.Churn_parser
+module Net_parser = Mmfair_workload.Net_parser
+module Xoshiro = Mmfair_prng.Xoshiro
+
+let failures = ref 0
+let events_checked = ref 0
+let full_solves = ref 0
+let reuse_sum = ref 0.0
+
+let fail_case ~case fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.eprintf "CHURN FAILURE [%s]: %s\n%!" case msg)
+    fmt
+
+(* The gate's tolerance: relative 1e-9, the same scaling as the
+   solvers' internal tol_for. *)
+let agree a b = Float.abs (a -. b) <= 1e-9 *. Stdlib.max 1.0 (Stdlib.max (Float.abs a) (Float.abs b))
+
+let check_event ~case ~idx ~event eng engine =
+  let net = Engine.network eng in
+  let incremental = Engine.allocation eng in
+  match Allocator.max_min_result ~engine net with
+  | Error e ->
+      fail_case ~case "event %d (%s): scratch solve errored: %s" idx
+        (Format.asprintf "%a" Event.pp event)
+        (Solver_error.to_string e)
+  | Ok scratch ->
+      incr events_checked;
+      Array.iter
+        (fun r ->
+          let x = Allocation.rate incremental r and y = Allocation.rate scratch r in
+          if not (agree x y) then
+            fail_case ~case "event %d (%s): receiver (%d,%d): incremental %.17g vs scratch %.17g" idx
+              (Format.asprintf "%a" Event.pp event)
+              r.Network.session r.Network.index x y)
+        (Network.all_receivers net)
+
+let net_config rng =
+  let nodes = 10 + Xoshiro.below rng 8 in
+  {
+    Random_nets.nodes;
+    extra_links = 3 + Xoshiro.below rng 5;
+    sessions = 4 + Xoshiro.below rng 4;
+    max_receivers = 4;
+    single_rate_prob = 0.3;
+    finite_rho_prob = 0.3;
+    scaled_vfn_prob = 0.2;
+    cap_lo = 1.0;
+    cap_hi = 10.0;
+  }
+
+let run_seed ~events seed seed_idx =
+  let engine = if seed_idx mod 2 = 0 then `Auto else `Bisection in
+  let case =
+    Printf.sprintf "seed=%Ld engine=%s" seed (match engine with `Bisection -> "bisection" | _ -> "auto")
+  in
+  let rng = Xoshiro.create ~seed () in
+  let net = Random_nets.generate ~rng (net_config rng) in
+  let trace =
+    Churn_gen.generate ~rng net { Churn_gen.default with Churn_gen.events; max_receivers = 5 }
+  in
+  match Engine.create_result ~engine net with
+  | Error e -> fail_case ~case "initial solve errored: %s" (Solver_error.to_string e)
+  | Ok eng ->
+      List.iteri
+        (fun idx event ->
+          match Engine.apply_result eng event with
+          | Error e ->
+              fail_case ~case "event %d (%s): engine errored: %s" idx
+                (Format.asprintf "%a" Event.pp event)
+                (Solver_error.to_string e)
+          | Ok stats ->
+              if stats.Engine.full_solve then incr full_solves;
+              reuse_sum := !reuse_sum +. stats.Engine.reuse_fraction;
+              check_event ~case ~idx ~event eng engine)
+        trace;
+      (* The trace must round-trip through the .churn renderer/parser:
+         parse the rendered trace against the rendered net, then
+         re-render with the parsed name tables — the text must come
+         back identical (the parser renumbers nodes by first
+         appearance, so index-level equality is not the invariant). *)
+      (match Net_parser.parse_string_result (Net_parser.render net) with
+      | Error e -> fail_case ~case "rendered net does not re-parse: %s" e
+      | Ok parsed -> (
+          let text = Churn_parser.render trace in
+          match Churn_parser.parse_string_result parsed text with
+          | Error e -> fail_case ~case "rendered trace does not re-parse: %s" e
+          | Ok trace' ->
+              if Churn_parser.render ~names:parsed trace' <> text then
+                fail_case ~case "trace round-trip changed the events"))
+
+let () =
+  let events = ref 500 and seeds = ref [ 41L; 42L; 43L ] in
+  let spec =
+    [
+      ("--events", Arg.Set_int events, "N  events per seed (default 500)");
+      ( "--seeds",
+        Arg.String
+          (fun s ->
+            seeds := String.split_on_char ',' s |> List.filter (( <> ) "") |> List.map Int64.of_string),
+        "S1,S2,...  seeds (default 41,42,43)" );
+    ]
+  in
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "churn_differential [options]";
+  List.iteri (fun i seed -> run_seed ~events:!events seed i) !seeds;
+  let n = Stdlib.max 1 !events_checked in
+  Printf.printf
+    "churn: %d events checked over %d seeds (%d full solves, mean reuse %.2f), %d failures\n%!"
+    !events_checked (List.length !seeds) !full_solves
+    (!reuse_sum /. float_of_int n)
+    !failures;
+  if !failures > 0 then exit 1

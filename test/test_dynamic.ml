@@ -1,0 +1,288 @@
+(* Dynamic engine tests: engine-vs-scratch agreement on the paper's
+   networks (including Figure 3's intra-session rate swings replayed
+   as churn), store retention and eviction, the leave/rejoin
+   restoration property (a receiver that leaves and immediately
+   rejoins puts every rate back where it was), .churn parsing
+   diagnostics, generator determinism, and epoch probe emission into
+   the metrics registry.
+
+   Deep cross-checking against from-scratch solves over long random
+   traces lives in test/churn_differential.ml (CI-gated); these are
+   the unit-level behaviors. *)
+
+module Graph = Mmfair_topology.Graph
+module Network = Mmfair_core.Network
+module Allocation = Mmfair_core.Allocation
+module Allocator = Mmfair_core.Allocator
+module Engine = Mmfair_dynamic.Engine
+module Event = Mmfair_dynamic.Event
+module Store = Mmfair_dynamic.Store
+module Paper_nets = Mmfair_workload.Paper_nets
+module Random_nets = Mmfair_workload.Random_nets
+module Churn_gen = Mmfair_workload.Churn_gen
+module Churn_parser = Mmfair_workload.Churn_parser
+module Net_parser = Mmfair_workload.Net_parser
+module Xoshiro = Mmfair_prng.Xoshiro
+module Obs = Mmfair_obs
+
+(* The differential gate's tolerance: relative 1e-9, matching the
+   solvers' internal tol_for scaling. *)
+let agree a b = Float.abs (a -. b) <= 1e-9 *. Stdlib.max 1.0 (Stdlib.max (Float.abs a) (Float.abs b))
+
+let feq what a b =
+  Alcotest.(check bool) (Printf.sprintf "%s: %.17g vs %.17g" what a b) true (agree a b)
+
+let check_matches_scratch what eng =
+  let net = Engine.network eng in
+  let incremental = Engine.allocation eng in
+  let scratch = Allocator.max_min net in
+  Array.iter
+    (fun (r : Network.receiver_id) ->
+      feq
+        (Printf.sprintf "%s: receiver (%d,%d)" what r.Network.session r.Network.index)
+        (Allocation.rate incremental r) (Allocation.rate scratch r))
+    (Network.all_receivers net)
+
+let receiver_node net (r : Network.receiver_id) =
+  (Network.session_spec net r.Network.session).Network.receivers.(r.Network.index)
+
+(* --- engine vs scratch on the paper networks -------------------------- *)
+
+let test_engine_on_figure2 () =
+  let { Paper_nets.net; _ } = Paper_nets.figure2 ~session1_type:Network.Multi_rate () in
+  let eng = Engine.create net in
+  (* Multi-rate Figure 2 golden: (2.5, 2, 3) / 2.5. *)
+  feq "fig2 a1,1" 2.5 (Allocation.rate (Engine.allocation eng) { Network.session = 0; index = 0 });
+  let r13_node = receiver_node net { Network.session = 0; index = 2 } in
+  let steps =
+    [
+      Event.Leave { session = 0; node = r13_node };
+      Event.Join { session = 0; node = r13_node; weight = None };
+      Event.Rho_change { session = 1; rho = 1.5 };
+      Event.Rho_change { session = 1; rho = 100.0 };
+      Event.Capacity_change { link = 0; cap = 4.0 };
+    ]
+  in
+  List.iteri
+    (fun i ev ->
+      ignore (Engine.apply eng ev);
+      check_matches_scratch (Printf.sprintf "fig2 step %d (%s)" i (Event.kind ev)) eng)
+    steps;
+  Alcotest.(check int) "five epochs applied" 5 (Engine.epoch eng)
+
+(* Figure 3's Section-2.5 examples, replayed as churn: removing r3,2
+   drops r3,1 (8 -> 6) while r1,1 rises (2 -> 4) in (a), and raises
+   r3,1 (6 -> 7) while r1,1 drops (6 -> 5) in (b). *)
+let test_engine_figure3_swings () =
+  let check_swing what build ~before ~after =
+    let { Paper_nets.net; _ }, victim = build () in
+    let (b31, b11), (a31, a11) = (before, after) in
+    let eng = Engine.create net in
+    feq (what ^ " r3,1 before") b31
+      (Allocation.rate (Engine.allocation eng) { Network.session = 2; index = 0 });
+    feq (what ^ " r1,1 before") b11
+      (Allocation.rate (Engine.allocation eng) { Network.session = 0; index = 0 });
+    let node = receiver_node net victim in
+    ignore (Engine.apply eng (Event.Leave { session = victim.Network.session; node }));
+    check_matches_scratch (what ^ " after leave") eng;
+    feq (what ^ " r3,1 after") a31
+      (Allocation.rate (Engine.allocation eng) { Network.session = 2; index = 0 });
+    feq (what ^ " r1,1 after") a11
+      (Allocation.rate (Engine.allocation eng) { Network.session = 0; index = 0 })
+  in
+  check_swing "fig3a" Paper_nets.figure3a ~before:(8.0, 2.0) ~after:(6.0, 4.0);
+  check_swing "fig3b" Paper_nets.figure3b ~before:(6.0, 6.0) ~after:(7.0, 5.0)
+
+(* --- store retention / eviction --------------------------------------- *)
+
+let test_store_retention () =
+  let { Paper_nets.net; _ } = Paper_nets.figure2 () in
+  let eng = Engine.create ~retain:3 net in
+  let store = Engine.store eng in
+  Alcotest.(check int) "epoch 0 at creation" 0 (Store.epoch store);
+  Alcotest.(check bool) "epoch 0 has no event" true ((Store.current store).Store.event = None);
+  for k = 1 to 5 do
+    ignore (Engine.apply eng (Event.Rho_change { session = 1; rho = float_of_int k }))
+  done;
+  Alcotest.(check int) "five epochs" 5 (Store.epoch store);
+  Alcotest.(check (list int)) "window keeps the newest three" [ 5; 4; 3 ]
+    (Store.retained_epochs store);
+  Alcotest.(check bool) "epoch 1 evicted" true (Store.find store 1 = None);
+  (match Store.find store 4 with
+  | None -> Alcotest.fail "epoch 4 should be retained"
+  | Some e -> (
+      Alcotest.(check int) "entry numbering" 4 e.Store.epoch;
+      match e.Store.event with
+      | Some (Event.Rho_change { rho; _ }) -> feq "entry keeps its event" 4.0 rho
+      | _ -> Alcotest.fail "epoch 4 should record its rho change"));
+  (* A retained entry's allocation is the post-event solve, not a
+     reference to the live head. *)
+  (match Store.find store 3 with
+  | None -> Alcotest.fail "epoch 3 should be retained"
+  | Some e -> feq "epoch 3 rho bound applied" 3.0 (Network.rho e.Store.network 1));
+  Alcotest.check_raises "retain floor is 1" (Invalid_argument "Store.create: retain must be >= 1")
+    (fun () -> ignore (Store.create ~retain:0 net (Engine.allocation eng)))
+
+(* --- leave + immediate rejoin restores the allocation ------------------ *)
+
+(* The fuzz corpus seeds (fuzz_differential.ml defaults to 42; the
+   churn gate runs 41-43): for every receiver whose session keeps at
+   least one member, leaving and immediately rejoining must restore
+   every receiver's rate — the engine's warm-started component
+   re-solve has to walk the allocation back exactly, not just to a
+   nearby fixed point. *)
+let test_leave_rejoin_restores () =
+  List.iter
+    (fun seed ->
+      let rng = Xoshiro.create ~seed () in
+      let config =
+        {
+          Random_nets.nodes = 10 + Xoshiro.below rng 8;
+          extra_links = 3 + Xoshiro.below rng 5;
+          sessions = 4 + Xoshiro.below rng 4;
+          max_receivers = 4;
+          single_rate_prob = 0.3;
+          finite_rho_prob = 0.3;
+          scaled_vfn_prob = 0.2;
+          cap_lo = 1.0;
+          cap_hi = 10.0;
+        }
+      in
+      let net = Random_nets.generate ~rng config in
+      let base = Allocator.max_min net in
+      for i = 0 to Network.session_count net - 1 do
+        let receivers = (Network.session_spec net i).Network.receivers in
+        if Array.length receivers >= 2 then begin
+          let k = Xoshiro.below rng (Array.length receivers) in
+          let node = receivers.(k) in
+          let eng = Engine.create ~allocation:base net in
+          ignore (Engine.apply eng (Event.Leave { session = i; node }));
+          ignore (Engine.apply eng (Event.Join { session = i; node; weight = None }));
+          let restored = Engine.allocation eng in
+          let net' = Engine.network eng in
+          (* The rejoined receiver re-enters at the session's tail, so
+             compare by node placement, not by index. *)
+          for j = 0 to Network.session_count net - 1 do
+            let spec = Network.session_spec net j in
+            Array.iteri
+              (fun k0 node0 ->
+                let spec' = Network.session_spec net' j in
+                let k' = ref (-1) in
+                Array.iteri (fun x n -> if n = node0 && !k' < 0 then k' := x) spec'.Network.receivers;
+                Alcotest.(check bool) "receiver survived the round-trip" true (!k' >= 0);
+                feq
+                  (Printf.sprintf "seed %Ld: leave/rejoin (%d,%d) perturbs (%d,%d)" seed i k j k0)
+                  (Allocation.rate base { Network.session = j; index = k0 })
+                  (Allocation.rate restored { Network.session = j; index = !k' }))
+              spec.Network.receivers
+          done
+        end
+      done)
+    [ 41L; 42L; 43L ]
+
+(* --- .churn parsing diagnostics ---------------------------------------- *)
+
+let parse_err names text =
+  match Churn_parser.parse_string_result names text with
+  | Ok _ -> Alcotest.fail (Printf.sprintf "expected a parse error for %S" text)
+  | Error msg -> msg
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let test_churn_parser_diagnostics () =
+  let names =
+    Net_parser.parse_string
+      "link l1 a b 5.0\nlink l2 b c 2.0\nsession s1 multi sender=a receivers=c\nsession s2 multi sender=a receivers=b\n"
+  in
+  (match Churn_parser.parse_string names "# warm-up\n\njoin s2 c w=2.0\nleave s1 c\nrho s1 inf\ncap l2 3.5\n" with
+  | [ Event.Join { session = 1; weight = Some 2.0; _ }; Event.Leave { session = 0; _ };
+      Event.Rho_change { session = 0; rho }; Event.Capacity_change { cap = 3.5; _ } ] ->
+      Alcotest.(check bool) "inf lifts the bound" true (rho = infinity)
+  | evs -> Alcotest.fail (Printf.sprintf "unexpected parse: %d events" (List.length evs)));
+  (* Each malformed line is reported with its 1-based number. *)
+  List.iter
+    (fun (text, line) ->
+      let msg = parse_err names text in
+      let prefix = Printf.sprintf "line %d:" line in
+      Alcotest.(check bool) (Printf.sprintf "%S -> %S" text msg) true (starts_with ~prefix msg))
+    [
+      ("jump s1 c", 1);
+      ("join s1", 1);
+      ("\n\njoin nosuch c", 3);
+      ("leave s1 zz", 1);
+      ("# ok\ncap l9 1.0", 2);
+      ("rho s1 0", 1);
+      ("rho s1 wat", 1);
+      ("cap l1 nan", 1);
+      ("join s1 b w=-1", 1);
+    ];
+  (* The shipped example must parse against the example network. *)
+  let fig2 = Net_parser.parse_string Net_parser.example in
+  Alcotest.(check bool) "example trace parses" true
+    (Churn_parser.parse_string fig2 Churn_parser.example <> [])
+
+(* --- generator determinism --------------------------------------------- *)
+
+let test_generator_determinism () =
+  let { Paper_nets.net; _ } = Paper_nets.figure2 () in
+  let gen seed =
+    Churn_gen.generate ~rng:(Xoshiro.create ~seed ())
+      net { Churn_gen.default with Churn_gen.events = 40; max_receivers = 5 }
+  in
+  let a = gen 7L and b = gen 7L in
+  Alcotest.(check string) "one seed, one trace" (Churn_parser.render a) (Churn_parser.render b);
+  Alcotest.(check bool) "different seed, different trace" true
+    (Churn_parser.render a <> Churn_parser.render (gen 8L));
+  (* Every event is applicable when replayed in order, and joins
+     respect the membership cap. *)
+  let eng = Engine.create net in
+  List.iter
+    (fun ev ->
+      ignore (Engine.apply eng ev);
+      for i = 0 to Network.session_count (Engine.network eng) - 1 do
+        Alcotest.(check bool) "membership cap respected" true
+          (Array.length (Network.session_spec (Engine.network eng) i).Network.receivers <= 5)
+      done)
+    a;
+  Alcotest.(check int) "trace drives one epoch per event" (List.length a) (Engine.epoch eng)
+
+(* --- epoch probes reach the metrics registry --------------------------- *)
+
+let test_epoch_probe_registry () =
+  let { Paper_nets.net; _ } = Paper_nets.figure2 ~session1_type:Network.Multi_rate () in
+  let r = Obs.Registry.create () in
+  Obs.Probe.with_sink (Obs.Registry.sink r) (fun () ->
+      let eng = Engine.create net in
+      let r13_node = receiver_node net { Network.session = 0; index = 2 } in
+      ignore (Engine.apply eng (Event.Leave { session = 0; node = r13_node }));
+      ignore (Engine.apply eng (Event.Join { session = 0; node = r13_node; weight = None }));
+      ignore (Engine.apply eng (Event.Rho_change { session = 1; rho = 2.0 })));
+  Alcotest.(check int) "one epoch counter tick per event" 3
+    (Obs.Registry.counter_value (Obs.Registry.counter r "dynamic.epochs.total"));
+  Alcotest.(check int) "per-kind counters" 1
+    (Obs.Registry.counter_value (Obs.Registry.counter r "dynamic.events.leave"))
+
+(* --- failed events leave the engine untouched -------------------------- *)
+
+let test_invalid_event_state_unchanged () =
+  let { Paper_nets.net; _ } = Paper_nets.figure2 () in
+  let eng = Engine.create net in
+  let before = Engine.allocation eng in
+  (match Engine.apply_result eng (Event.Leave { session = 0; node = 999 }) with
+  | Ok _ -> Alcotest.fail "leave of an absent receiver must not succeed"
+  | Error _ -> ());
+  Alcotest.(check int) "epoch unchanged" 0 (Engine.epoch eng);
+  Alcotest.(check bool) "allocation unchanged" true (Engine.allocation eng == before)
+
+let suite =
+  [
+    Alcotest.test_case "engine matches scratch on figure 2 churn" `Quick test_engine_on_figure2;
+    Alcotest.test_case "figure 3 intra-session swings as churn" `Quick test_engine_figure3_swings;
+    Alcotest.test_case "store retention and eviction" `Quick test_store_retention;
+    Alcotest.test_case "leave then rejoin restores the allocation" `Quick test_leave_rejoin_restores;
+    Alcotest.test_case "churn parser diagnostics" `Quick test_churn_parser_diagnostics;
+    Alcotest.test_case "churn generator determinism" `Quick test_generator_determinism;
+    Alcotest.test_case "epoch probes reach the registry" `Quick test_epoch_probe_registry;
+    Alcotest.test_case "invalid events leave state unchanged" `Quick test_invalid_event_state_unchanged;
+  ]

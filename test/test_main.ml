@@ -29,5 +29,6 @@ let () =
       ("claims", Test_claims.suite);
       ("misc", Test_misc.suite);
       ("membership", Test_membership.suite);
+      ("dynamic", Test_dynamic.suite);
       ("obs", Test_obs.suite);
     ]

@@ -55,8 +55,59 @@ let test_second_subscriber_keeps_flow () =
 
 let test_leave_without_join_rejected () =
   let m = three_hop () in
-  Alcotest.check_raises "not joined" (Invalid_argument "Membership.leave: receiver was not joined")
-    (fun () -> Membership.leave m ~now:0.0 ~path ~layer:1)
+  Alcotest.check_raises "not joined"
+    (Invalid_argument "Membership.leave: receiver was not joined (link 0 layer 1)") (fun () ->
+      Membership.leave m ~now:0.0 ~path ~layer:1)
+
+let test_double_leave_typed_error () =
+  let m = three_hop () in
+  Membership.join m ~now:0.0 ~path ~layer:1;
+  (match Membership.leave_result m ~now:5.0 ~path ~layer:1 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "first leave errored: %s" (Mmfair_core.Solver_error.to_string e));
+  (match Membership.leave_result m ~now:6.0 ~path ~layer:1 with
+  | Error (Mmfair_core.Solver_error.Invalid_input { solver; _ }) ->
+      Alcotest.(check string) "solver name" "Membership" solver
+  | Error e ->
+      Alcotest.failf "double leave: wrong error class %s" (Mmfair_core.Solver_error.to_string e)
+  | Ok () -> Alcotest.fail "double leave accepted");
+  (* the failed leave must not have touched any refcount *)
+  Array.iter
+    (fun l -> Alcotest.(check int) "refcount untouched" 0 (Membership.subscribers m ~link:l ~layer:1))
+    path
+
+let test_failed_leave_does_not_half_apply () =
+  let m = three_hop () in
+  (* join only the tail of the path: a leave over the full path must
+     fail on link 0 and leave links 1 and 2 untouched *)
+  Membership.join m ~now:0.0 ~path:[| 1; 2 |] ~layer:1;
+  (match Membership.leave_result m ~now:1.0 ~path ~layer:1 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "leave over an unjoined link accepted");
+  Alcotest.(check int) "link 1 refcount intact" 1 (Membership.subscribers m ~link:1 ~layer:1);
+  Alcotest.(check int) "link 2 refcount intact" 1 (Membership.subscribers m ~link:2 ~layer:1)
+
+let test_leave_rejoin_prune_race () =
+  (* Regression: a rejoin cancels the pending prune; a later leave must
+     schedule a FRESH deadline from its own time, not inherit the
+     stale one.  With leave_timeout = 1: leave@5 (prune@6), rejoin@5.5
+     (cancel), leave@5.8 (prune@6.8) — the link must still flow at 6.5
+     and stop only after 6.8. *)
+  let m = three_hop () in
+  Membership.join m ~now:0.0 ~path ~layer:1;
+  Membership.leave m ~now:5.0 ~path ~layer:1;
+  Membership.join m ~now:5.5 ~path ~layer:1;
+  Membership.leave m ~now:5.8 ~path ~layer:1;
+  Alcotest.(check bool) "still flowing past the stale deadline" true
+    (Membership.flowing m ~now:6.5 ~link:1 ~layer:1);
+  Alcotest.(check bool) "pruned after the fresh deadline" false
+    (Membership.flowing m ~now:6.9 ~link:1 ~layer:1);
+  (* and the prune-cancelling rejoin must not have left a zombie
+     subscriber: a further leave is a typed error *)
+  match Membership.leave_result m ~now:7.0 ~path ~layer:1 with
+  | Error (Mmfair_core.Solver_error.Invalid_input _) -> ()
+  | Error e -> Alcotest.failf "wrong error class %s" (Mmfair_core.Solver_error.to_string e)
+  | Ok () -> Alcotest.fail "leave after the refcount hit zero accepted"
 
 let test_validation () =
   Alcotest.check_raises "negative latency" (Invalid_argument "Membership.create: negative latency")
@@ -119,6 +170,9 @@ let suite =
     Alcotest.test_case "rejoin cancels prune" `Quick test_rejoin_cancels_prune;
     Alcotest.test_case "second subscriber keeps flow" `Quick test_second_subscriber_keeps_flow;
     Alcotest.test_case "leave without join rejected" `Quick test_leave_without_join_rejected;
+    Alcotest.test_case "double leave is a typed error" `Quick test_double_leave_typed_error;
+    Alcotest.test_case "failed leave does not half-apply" `Quick test_failed_leave_does_not_half_apply;
+    Alcotest.test_case "leave/rejoin prune race" `Quick test_leave_rejoin_prune_race;
     Alcotest.test_case "validation" `Quick test_validation;
     Alcotest.test_case "Igmp(0,0) = Ideal" `Slow test_igmp_ideal_equivalence_at_zero_timeout;
     Alcotest.test_case "leave timeout raises redundancy" `Slow test_leave_timeout_raises_redundancy;

@@ -131,10 +131,12 @@ let qcheck_random_nets_valid =
       !ok)
 
 let qcheck_incidence_matches_lists =
-  (* The CSR incidence index must agree with the list-based views it
-     accelerates: cells vs receivers_on_link/all_on_link, receiver
-     rows vs data_path, and the crosses bitset vs path membership. *)
-  QCheck.Test.make ~name:"incidence index agrees with the list-based views" ~count:100
+  (* The compact CSR incidence index — and the list views derived from
+     it — must agree with the raw per-receiver routing ([data_path]
+     reads the frozen paths directly, independently of the index):
+     per-(link, session) cells, whole-link ranges, receiver rows, the
+     [recv_cell_of] back-pointers and the crosses bitset. *)
+  QCheck.Test.make ~name:"incidence index agrees with the raw routing" ~count:100
     QCheck.(int_range 0 10_000)
     (fun seed ->
       let rng = Mmfair_prng.Xoshiro.create ~seed:(Int64.of_int seed) () in
@@ -145,26 +147,47 @@ let qcheck_incidence_matches_lists =
       let gid_of (r : Network.receiver_id) = Network.receiver_gid net r in
       let ok = ref true in
       if inc.Network.n_receivers <> Network.receiver_count net then ok := false;
+      if inc.Network.n_cells <> inc.Network.link_row.(Graph.link_count g) then ok := false;
+      (* Oracle from the raw routing: which gids cross (l, i)? *)
+      let expected_cell l i =
+        List.filter_map
+          (fun (r : Network.receiver_id) ->
+            if r.Network.session = i && List.mem l (Network.data_path net r) then Some (gid_of r)
+            else None)
+          (Array.to_list (Network.all_receivers net))
+      in
       for l = 0 to Graph.link_count g - 1 do
-        for i = 0 to m - 1 do
-          let c = (l * m) + i in
-          let cell =
-            Array.to_list
-              (Array.sub inc.Network.link_cells
-                 inc.Network.link_session_row.(c)
-                 (inc.Network.link_session_row.(c + 1) - inc.Network.link_session_row.(c)))
-          in
-          let expected = List.map gid_of (Network.receivers_on_link net ~session:i ~link:l) in
-          if cell <> expected then ok := false
-        done;
-        let all = List.map gid_of (Network.all_on_link net ~link:l) in
-        let flat =
-          Array.to_list
-            (Array.sub inc.Network.link_cells
-               inc.Network.link_session_row.(l * m)
-               (inc.Network.link_session_row.((l + 1) * m) - inc.Network.link_session_row.(l * m)))
+        (* The link's compact cells carry ascending sessions and exactly
+           the non-empty expected cells, in receiver-index order. *)
+        let cells =
+          List.init
+            (inc.Network.link_row.(l + 1) - inc.Network.link_row.(l))
+            (fun j ->
+              let c = inc.Network.link_row.(l) + j in
+              ( inc.Network.cell_session.(c),
+                Array.to_list
+                  (Array.sub inc.Network.link_cells
+                     inc.Network.cell_first.(c)
+                     (inc.Network.cell_first.(c + 1) - inc.Network.cell_first.(c))) ))
         in
-        if List.sort compare all <> List.sort compare flat then ok := false
+        let expected =
+          List.filter_map
+            (fun i -> match expected_cell l i with [] -> None | gids -> Some (i, gids))
+            (List.init m Fun.id)
+        in
+        if cells <> expected then ok := false;
+        (* ...and the list views agree with the same oracle. *)
+        List.iter
+          (fun i ->
+            if
+              List.map gid_of (Network.receivers_on_link net ~session:i ~link:l)
+              <> expected_cell l i
+            then ok := false)
+          (List.init m Fun.id);
+        if
+          List.map gid_of (Network.all_on_link net ~link:l)
+          <> List.concat_map (fun i -> expected_cell l i) (List.init m Fun.id)
+        then ok := false
       done;
       Array.iter
         (fun (r : Network.receiver_id) ->
@@ -177,10 +200,80 @@ let qcheck_incidence_matches_lists =
                  (inc.Network.recv_row.(gid + 1) - inc.Network.recv_row.(gid)))
           in
           if row <> Network.data_path net r then ok := false;
+          (* Each path entry's back-pointer lands in its link's cell
+             range, on this receiver's session. *)
+          for p = inc.Network.recv_row.(gid) to inc.Network.recv_row.(gid + 1) - 1 do
+            let l = inc.Network.recv_cells.(p) in
+            let c = inc.Network.recv_cell_of.(p) in
+            if c < inc.Network.link_row.(l) || c >= inc.Network.link_row.(l + 1) then ok := false;
+            if inc.Network.cell_session.(c) <> r.Network.session then ok := false
+          done;
           for l = 0 to Graph.link_count g - 1 do
             if Network.crosses net r l <> List.mem l (Network.data_path net r) then ok := false
           done)
         (Network.all_receivers net);
+      !ok)
+
+let qcheck_surgery_matches_rebuild =
+  (* The incremental incidence splices ([without_receiver] /
+     [with_receiver]) must leave the network indistinguishable from a
+     from-scratch [Network.make] on the same graph and specs: routing
+     is deterministic BFS, so the frozen paths coincide and the whole
+     incidence record — offsets, cells, back-pointers, padding — must
+     be structurally equal.  This is the oracle the churn differential
+     gate cannot provide (both of its sides share the surgical net). *)
+  QCheck.Test.make ~name:"receiver surgery incidence equals scratch rebuild" ~count:60
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Mmfair_prng.Xoshiro.create ~seed:(Int64.of_int seed) () in
+      (* Small, congested nets: joins must regularly give birth to new
+         (link, session) cells mid-CSR — the regime where the splice's
+         id shifting can go wrong.  The roomy default config barely
+         exercises it. *)
+      let cfg =
+        {
+          Mmfair_workload.Random_nets.default with
+          Mmfair_workload.Random_nets.nodes = 8 + Mmfair_prng.Xoshiro.below rng 8;
+          extra_links = 3 + Mmfair_prng.Xoshiro.below rng 5;
+          sessions = 4 + Mmfair_prng.Xoshiro.below rng 4;
+          max_receivers = 4;
+        }
+      in
+      let net = ref (Mmfair_workload.Random_nets.generate ~rng cfg) in
+      let ok = ref true in
+      let check () =
+        let specs = Array.init (Network.session_count !net) (Network.session_spec !net) in
+        let scratch = Network.make (Network.graph !net) specs in
+        if Network.incidence !net <> Network.incidence scratch then ok := false;
+        Array.iter
+          (fun (r : Network.receiver_id) ->
+            if Network.data_path !net r <> Network.data_path scratch r then ok := false)
+          (Network.all_receivers !net)
+      in
+      for _step = 1 to 10 do
+        let m = Network.session_count !net in
+        let i = Mmfair_prng.Xoshiro.below rng m in
+        let spec = Network.session_spec !net i in
+        let n_recv = Array.length spec.Network.receivers in
+        if Mmfair_prng.Xoshiro.bool rng && n_recv >= 2 then begin
+          let k = Mmfair_prng.Xoshiro.below rng n_recv in
+          net := Network.without_receiver !net { Network.session = i; index = k };
+          check ()
+        end
+        else begin
+          let node =
+            Mmfair_prng.Xoshiro.below rng (Graph.node_count (Network.graph !net))
+          in
+          (* Skip draws the surgery legitimately rejects (member node
+             collisions, unreachable nodes): the walk only has to keep
+             exercising valid splices. *)
+          match Network.with_receiver !net ~session:i ~node with
+          | net' ->
+              net := net';
+              check ()
+          | exception Invalid_argument _ -> ()
+        end
+      done;
       !ok)
 
 let suite =
@@ -202,4 +295,5 @@ let suite =
     Alcotest.test_case "without_receiver last" `Quick test_without_receiver_last;
     QCheck_alcotest.to_alcotest qcheck_random_nets_valid;
     QCheck_alcotest.to_alcotest qcheck_incidence_matches_lists;
+    QCheck_alcotest.to_alcotest qcheck_surgery_matches_rebuild;
   ]
