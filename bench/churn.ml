@@ -12,25 +12,31 @@
    - scratch: the same network surgery followed by a full
      Allocator.max_min on the post-event network.
 
+   The "batch" section times a 16-event flash-crowd join burst two
+   ways on the same restored engine: applied per event (16 epochs) vs
+   coalesced into one Batch.apply (a single union-component solve).
+
    Run:      dune exec bench/churn.exe                 (full sweep)
              dune exec bench/churn.exe -- --quick      (CI smoke)
    Validate: dune exec bench/churn.exe -- --validate BENCH_churn.json
 
    The JSON schema is documented in README.md ("Benchmarking").  The
-   acceptance gate lives in --validate: a non-quick file must record a
-   median speedup >= 3x for the join and leave classes. *)
+   acceptance gates live in --validate: a non-quick file must record a
+   median speedup >= 3x for the join and leave classes and a batch
+   speedup >= 1.5x for the flash-crowd burst. *)
 
 module Network = Mmfair_core.Network
 module Allocator = Mmfair_core.Allocator
 module Allocation = Mmfair_core.Allocation
 module Graph = Mmfair_topology.Graph
 module Engine = Mmfair_dynamic.Engine
+module Batch = Mmfair_dynamic.Batch
 module Event = Mmfair_dynamic.Event
 module Churn_gen = Mmfair_workload.Churn_gen
 module Obs = Mmfair_obs
 module Json = Mmfair_obs.Json
 
-let schema_id = "mmfair.bench.churn/v1"
+let schema_id = "mmfair.bench.churn/v2"
 let classes = [ "join"; "leave"; "rho"; "cap" ]
 
 (* --- timing (same discipline as bench/scaling.ml) ------------------- *)
@@ -204,6 +210,75 @@ let measure ~engine ~min_time net base_alloc (kind, events) =
     row.full_fraction;
   row
 
+(* --- flash-crowd batch ---------------------------------------------- *)
+
+(* The coalescing gate: a 16-event join burst (flash crowd) applied on
+   one restored engine, per event (16 epochs, 16 component solves) vs
+   as a single Batch.apply (one union-component solve).  Join-only so
+   the burst models the paper's flash-crowd scenario and nothing nets
+   out — the speedup comes purely from coalescing the solves, not from
+   cancellation. *)
+type batch_row = {
+  burst_events : int;
+  per_event_ns : float;
+  batched_ns : float;
+  batch_speedup : float;
+  net_events : int;
+  batch_solves : int;
+  batch_full : bool;
+}
+
+let flash_crowd net =
+  let rng = Mmfair_prng.Xoshiro.create ~seed:777L () in
+  let burst =
+    Churn_gen.generate ~rng net
+      {
+        Churn_gen.default with
+        Churn_gen.events = 16;
+        join_weight = 1.0;
+        leave_weight = 0.0;
+        rho_weight = 0.0;
+        cap_weight = 0.0;
+        max_receivers = 8;
+      }
+  in
+  if List.length burst <> 16 then (
+    Printf.eprintf "churn bench: flash-crowd burst came out at %d events, want 16\n%!"
+      (List.length burst);
+    exit 1);
+  burst
+
+let measure_batch ~engine ~min_time net base_alloc burst =
+  let per_event_ns =
+    time_best ~min_time (fun () ->
+        let eng = Engine.create ~engine ~allocation:base_alloc net in
+        List.iter (fun ev -> ignore (Engine.apply eng ev)) burst)
+  in
+  let batched_ns =
+    time_best ~min_time (fun () ->
+        let eng = Engine.create ~engine ~allocation:base_alloc net in
+        Batch.apply eng burst)
+  in
+  (* One untimed batched apply for the coalescing statistics. *)
+  let eng = Engine.create ~engine ~allocation:base_alloc net in
+  let stats = Batch.apply eng burst in
+  let row =
+    {
+      burst_events = List.length burst;
+      per_event_ns;
+      batched_ns;
+      batch_speedup = per_event_ns /. batched_ns;
+      net_events = stats.Batch.net_events;
+      batch_solves = stats.Batch.solves;
+      batch_full = stats.Batch.full_solve;
+    }
+  in
+  Printf.printf
+    "batch  %3d events  per-event   %10.1f ns  batched %12.1f ns  speedup %6.2fx  net %d  solves %d\n%!"
+    row.burst_events row.per_event_ns row.batched_ns row.batch_speedup row.net_events
+    row.batch_solves;
+  row
+
 (* --- JSON emission -------------------------------------------------- *)
 
 let json_escape s =
@@ -219,7 +294,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let emit ~quick ~min_time ~out net rows =
+let emit ~quick ~min_time ~out net rows batch =
   let g = Network.graph net in
   let oc = open_out out in
   let p fmt = Printf.fprintf oc fmt in
@@ -244,7 +319,16 @@ let emit ~quick ~min_time ~out net rows =
       p "      \"full_solve_fraction\": %.4f\n" r.full_fraction;
       p "    }%s\n" (if idx = List.length rows - 1 then "" else ","))
     rows;
-  p "  ]\n";
+  p "  ],\n";
+  p "  \"batch\": {\n";
+  p "    \"burst_events\": %d,\n" batch.burst_events;
+  p "    \"per_event_time_ns\": %.1f,\n" batch.per_event_ns;
+  p "    \"batched_time_ns\": %.1f,\n" batch.batched_ns;
+  p "    \"speedup\": %.2f,\n" batch.batch_speedup;
+  p "    \"net_events\": %d,\n" batch.net_events;
+  p "    \"solves\": %d,\n" batch.batch_solves;
+  p "    \"full_solve\": %b\n" batch.batch_full;
+  p "  }\n";
   p "}\n";
   close_out oc
 
@@ -306,8 +390,23 @@ let validate file =
         if s < 3.0 then
           fail (Printf.sprintf "class %S median speedup %.2fx is below the required 3x" k s))
       [ "join"; "leave" ];
-  Printf.printf "%s: schema %s OK, %d classes%s\n" file schema_id (List.length by_kind)
-    (if quick then " (quick: speedup gate skipped)" else "")
+  (* The PR-5 acceptance criterion: coalescing a 16-event flash-crowd
+     burst into one Batch.apply must beat per-event application by
+     >= 1.5x.  Same quick exemption as above. *)
+  let batch =
+    match Json.member "batch" doc with
+    | Some (Json.Obj _ as b) -> b
+    | _ -> fail "missing \"batch\" object"
+  in
+  ignore (num_field batch "burst_events");
+  ignore (num_field batch "per_event_time_ns");
+  ignore (num_field batch "batched_time_ns");
+  let batch_speedup = num_field batch "speedup" in
+  if (not quick) && batch_speedup < 1.5 then
+    fail (Printf.sprintf "batch speedup %.2fx is below the required 1.5x" batch_speedup);
+  Printf.printf "%s: schema %s OK, %d classes, batch speedup %.2fx%s\n" file schema_id
+    (List.length by_kind) batch_speedup
+    (if quick then " (quick: speedup gates skipped)" else "")
 
 (* --- driver --------------------------------------------------------- *)
 
@@ -325,7 +424,7 @@ let () =
       ("--per-class", Arg.Set_int per_class, "N events per class (default 15, quick 4)");
       ( "--validate",
         Arg.String (fun f -> validate_file := Some f),
-        "FILE validate an existing BENCH_churn.json (schema + the 3x join/leave gate) and exit" );
+        "FILE validate an existing BENCH_churn.json (schema + the 3x join/leave and 1.5x batch gates) and exit" );
     ]
   in
   Arg.parse (Arg.align args)
@@ -347,5 +446,6 @@ let () =
             exit 1))
         buckets;
       let rows = List.map (measure ~engine ~min_time net base_alloc) buckets in
-      emit ~quick:!quick ~min_time ~out:!out net rows;
-      Printf.printf "wrote %s (%d classes)\n" !out (List.length rows)
+      let batch = measure_batch ~engine ~min_time net base_alloc (flash_crowd net) in
+      emit ~quick:!quick ~min_time ~out:!out net rows batch;
+      Printf.printf "wrote %s (%d classes + batch)\n" !out (List.length rows)

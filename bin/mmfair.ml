@@ -318,9 +318,13 @@ let session_churn_cmd =
     Term.(const run $ tele_term $ sessions $ seed_arg $ csv_flag)
 
 (* `mmfair churn`: replay a .churn trace (or a seeded random one)
-   through the incremental engine of lib/dynamic. *)
+   through the incremental engine of lib/dynamic.  Both trace sources
+   feed one shared driver that applies replay *steps* — lone events or
+   coalesced batches (file `batch ... end` blocks, or --coalesce
+   re-chunking). *)
 let churn_cmd =
   let module Engine = Mmfair_dynamic.Engine in
+  let module Batch = Mmfair_dynamic.Batch in
   let module Churn_parser = Mmfair_workload.Churn_parser in
   let module Churn_gen = Mmfair_workload.Churn_gen in
   let module Net_parser = Mmfair_workload.Net_parser in
@@ -341,23 +345,48 @@ let churn_cmd =
   in
   let verify =
     Arg.(value & flag
-         & info [ "verify" ] ~doc:"After every event, cross-check the incremental allocation \
+         & info [ "verify" ] ~doc:"After every step, cross-check the incremental allocation \
                                    against a from-scratch solve (relative 1e-9).")
   in
   let rates = Arg.(value & flag & info [ "rates" ] ~doc:"Also print the final receiver rates.") in
-  let run tele net_file trace_file random_events engine verify rates seed csv =
+  let coalesce =
+    Arg.(value & opt ~vopt:(Some 16) (some int) None
+         & info [ "coalesce" ] ~docv:"N"
+             ~doc:"Re-chunk the whole trace into batches of N events (16 when given bare), each \
+                   applied as one coalesced epoch (Mmfair_dynamic.Batch).  Overrides any batch \
+                   blocks in the file; without this flag, file batch blocks are honored as \
+                   written.")
+  in
+  let run tele net_file trace_file random_events engine verify rates coalesce seed csv =
     Telemetry.wrap tele @@ fun () ->
     let parsed = Net_parser.parse_file net_file in
     let net = parsed.Net_parser.net in
-    let trace =
+    let items =
       match (trace_file, random_events) with
       | Some _, Some _ -> die exit_invalid_input "mmfair churn: --replay and --random are exclusive"
-      | Some f, None -> Churn_parser.parse_file parsed f
+      | Some f, None -> Churn_parser.parse_items_file parsed f
       | None, Some n ->
           if n < 0 then die exit_invalid_input "mmfair churn: --random must be non-negative";
           let rng = Mmfair_prng.Xoshiro.create ~seed () in
-          Churn_gen.generate ~rng net { Churn_gen.default with Churn_gen.events = n }
+          List.map
+            (fun ev -> Churn_parser.Single ev)
+            (Churn_gen.generate ~rng net { Churn_gen.default with Churn_gen.events = n })
       | None, None -> die exit_invalid_input "mmfair churn: give a trace with --replay FILE or --random N"
+    in
+    (* Replay steps: each inner list is applied as one epoch. *)
+    let steps =
+      match coalesce with
+      | None ->
+          List.map (function Churn_parser.Single ev -> [ ev ] | Churn_parser.Batch evs -> evs) items
+      | Some n ->
+          if n < 1 then die exit_invalid_input "mmfair churn: --coalesce wants a positive batch size";
+          let rec chunk acc cur k = function
+            | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+            | ev :: rest ->
+                if k + 1 = n then chunk (List.rev (ev :: cur) :: acc) [] 0 rest
+                else chunk acc (ev :: cur) (k + 1) rest
+          in
+          chunk [] [] 0 (Churn_parser.flatten items)
     in
     let eng =
       match Engine.create_result ~engine net with
@@ -368,24 +397,31 @@ let churn_cmd =
       Float.abs (a -. b) <= 1e-9 *. Stdlib.max 1.0 (Stdlib.max (Float.abs a) (Float.abs b))
     in
     let full_solves = ref 0 and reuse_sum = ref 0.0 and divergences = ref 0 in
+    let events_total = ref 0 and cancelled_total = ref 0 in
     let rows =
       List.mapi
-        (fun idx event ->
-          let label = String.trim (Churn_parser.render ~names:parsed [ event ]) in
+        (fun idx step ->
+          let label =
+            match step with
+            | [ ev ] -> String.trim (Churn_parser.render ~names:parsed [ ev ])
+            | evs -> Printf.sprintf "batch of %d" (List.length evs)
+          in
           let stats =
-            match Engine.apply_result eng event with
+            match Batch.apply_result eng step with
             | Ok s -> s
             | Error e ->
-                die exit_solver_error "mmfair churn: event %d (%s): %s" (idx + 1) label
+                die exit_solver_error "mmfair churn: step %d (%s): %s" (idx + 1) label
                   (Solver_error.to_string e)
           in
-          if stats.Engine.full_solve then incr full_solves;
-          reuse_sum := !reuse_sum +. stats.Engine.reuse_fraction;
+          if stats.Batch.full_solve then incr full_solves;
+          reuse_sum := !reuse_sum +. stats.Batch.reuse_fraction;
+          events_total := !events_total + stats.Batch.events;
+          cancelled_total := !cancelled_total + stats.Batch.cancelled;
           if verify then begin
             let incremental = Engine.allocation eng and now = Engine.network eng in
             match Allocator.max_min_result ~engine now with
             | Error e ->
-                die exit_solver_error "mmfair churn: event %d (%s): scratch solve: %s" (idx + 1)
+                die exit_solver_error "mmfair churn: step %d (%s): scratch solve: %s" (idx + 1)
                   label (Solver_error.to_string e)
             | Ok scratch ->
                 Array.iter
@@ -393,7 +429,7 @@ let churn_cmd =
                     if not (agree (Allocation.rate incremental r) (Allocation.rate scratch r)) then begin
                       incr divergences;
                       Printf.eprintf
-                        "mmfair churn: event %d (%s): receiver (%d,%d): incremental %.17g vs scratch %.17g\n%!"
+                        "mmfair churn: step %d (%s): receiver (%d,%d): incremental %.17g vs scratch %.17g\n%!"
                         (idx + 1) label r.Network.session r.Network.index
                         (Allocation.rate incremental r) (Allocation.rate scratch r)
                     end)
@@ -402,17 +438,18 @@ let churn_cmd =
           [
             string_of_int (idx + 1);
             label;
-            string_of_int stats.Engine.component_sessions;
-            string_of_int stats.Engine.component_receivers;
-            Printf.sprintf "%.2f" stats.Engine.reuse_fraction;
-            string_of_int stats.Engine.solves;
-            (if stats.Engine.full_solve then "full" else "incremental");
+            string_of_int stats.Batch.events;
+            string_of_int stats.Batch.component_sessions;
+            string_of_int stats.Batch.component_receivers;
+            Printf.sprintf "%.2f" stats.Batch.reuse_fraction;
+            string_of_int stats.Batch.solves;
+            (if stats.Batch.full_solve then "full" else "incremental");
           ])
-        trace
+        steps
     in
     print_table ~csv
-      (E.Table.make ~title:"Churn replay (incremental re-solve per event)"
-         ~columns:[ "#"; "event"; "comp sess"; "comp recv"; "reuse"; "solves"; "mode" ]
+      (E.Table.make ~title:"Churn replay (incremental re-solve per step)"
+         ~columns:[ "#"; "step"; "events"; "comp sess"; "comp recv"; "reuse"; "solves"; "mode" ]
          rows);
     if rates then begin
       let alloc = Engine.allocation eng and now = Engine.network eng in
@@ -432,30 +469,34 @@ let churn_cmd =
       print_table ~csv (E.Table.make ~title:"Final receiver rates" ~columns:[ "receiver"; "rate" ] rate_rows)
     end;
     if not csv then
-      Printf.printf "events: %d, full solves: %d, mean reuse: %.2f, final epoch: %d\n"
-        (List.length trace) !full_solves
-        (!reuse_sum /. float_of_int (Stdlib.max 1 (List.length trace)))
+      Printf.printf
+        "steps: %d, events: %d, coalesced away: %d, full solves: %d, mean reuse: %.2f, final epoch: %d\n"
+        (List.length steps) !events_total !cancelled_total !full_solves
+        (!reuse_sum /. float_of_int (Stdlib.max 1 (List.length steps)))
         (Engine.epoch eng);
     if verify && !divergences > 0 then
       die exit_solver_error "mmfair churn: %d receiver rate(s) diverged from the from-scratch solve"
         !divergences
-    else if verify && not csv then print_endline "verify: every event matched the from-scratch solve"
+    else if verify && not csv then print_endline "verify: every step matched the from-scratch solve"
   in
   let doc = "replay a churn trace through the incremental re-solve engine" in
   let man =
     [
       `S Manpage.s_description;
       `P "Replays join/leave/rho/cap events against a network description, re-solving only the \
-          affected fairness component after each event (lib/dynamic).  The trace format \
-          ($(b,#) comments allowed):";
-      `Pre "join SESSION NODE [w=FLOAT]\nleave SESSION NODE\nrho SESSION FLOAT|inf\ncap LINK FLOAT";
+          affected fairness component after each step (lib/dynamic).  A step is one event, or a \
+          $(b,batch ... end) block coalesced into a single union-component re-solve; \
+          $(b,--coalesce) re-chunks the whole trace into fixed-size batches instead.  The trace \
+          format ($(b,#) comments allowed):";
+      `Pre "join SESSION NODE [w=FLOAT]\nleave SESSION NODE\nrho SESSION FLOAT|inf\ncap LINK FLOAT\n\
+            batch\n  EVENT...\nend";
       `P "Example (against $(b,mmfair example-net)):";
       `Pre Mmfair_workload.Churn_parser.example;
     ]
   in
   Cmd.v (Cmd.info "churn" ~doc ~man)
     Term.(const run $ tele_term $ net_file $ trace_file $ random_events $ engine $ verify $ rates
-          $ seed_arg $ csv_flag)
+          $ coalesce $ seed_arg $ csv_flag)
 
 let single_rate_cmd =
   let grid = Arg.(value & opt int 12 & info [ "grid" ] ~docv:"N" ~doc:"Candidate rates to sweep.") in

@@ -1,0 +1,135 @@
+module Graph = Mmfair_topology.Graph
+
+(* Links whose slack could flip a freeze decision are treated as
+   binding.  Wider than the solvers' 1e-9 working tolerance on
+   purpose: a link within 1e-7 (relative) of saturation joins the
+   coupling graph, so float drift between an incremental and a
+   from-scratch solve stays well inside the differential gate. *)
+let eps_bind = 1e-7
+
+type t = {
+  net : Network.t;
+  in_comp : bool array; (* per session *)
+  mutable n_sessions : int;
+}
+
+let create net =
+  { net; in_comp = Array.make (Network.session_count net) false; n_sessions = 0 }
+
+let network t = t.net
+let mem t i = t.in_comp.(i)
+let cardinal t = t.n_sessions
+let is_empty t = t.n_sessions = 0
+let is_full t = t.n_sessions = Array.length t.in_comp
+
+let fill t =
+  Array.fill t.in_comp 0 (Array.length t.in_comp) true;
+  t.n_sessions <- Array.length t.in_comp
+
+let sessions t =
+  let out = Array.make t.n_sessions 0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun i inside ->
+      if inside then begin
+        out.(!k) <- i;
+        incr k
+      end)
+    t.in_comp;
+  out
+
+let receiver_count t =
+  let n = ref 0 in
+  Array.iteri
+    (fun i inside ->
+      if inside then
+        n := !n + Array.length (Network.session_spec t.net i).Network.receivers)
+    t.in_comp;
+  !n
+
+(* Per-link binding test, lazy and memoized: 0 unknown / 1 binding /
+   2 slack.  Capacities come from the allocation's own network, so a
+   pre-surgery allocation is judged against pre-surgery capacities. *)
+let binding alloc =
+  let g = Network.graph (Allocation.network alloc) in
+  let cache = Array.make (Stdlib.max (Graph.link_count g) 1) 0 in
+  fun l ->
+    match cache.(l) with
+    | 1 -> true
+    | 2 -> false
+    | _ ->
+        let c = Graph.capacity g l in
+        let b = Allocation.link_rate alloc l >= c -. (eps_bind *. Stdlib.max 1.0 c) in
+        cache.(l) <- (if b then 1 else 2);
+        b
+
+let add t i =
+  if not t.in_comp.(i) then begin
+    t.in_comp.(i) <- true;
+    t.n_sessions <- t.n_sessions + 1
+  end
+
+(* Grow by session [i] and everything reachable from it over binding
+   links, stack-based. *)
+let absorb t ~binding i =
+  let stack = ref [ i ] in
+  add t i;
+  while
+    match !stack with
+    | [] -> false
+    | s :: rest ->
+        stack := rest;
+        List.iter
+          (fun l ->
+            if binding l then
+              List.iter
+                (fun (r : Network.receiver_id) ->
+                  let j = r.Network.session in
+                  if not t.in_comp.(j) then begin
+                    add t j;
+                    stack := j :: !stack
+                  end)
+                (Network.all_on_link t.net ~link:l))
+          (Network.session_links t.net s);
+        true
+  do
+    ()
+  done
+
+let absorb_link t ~binding l =
+  if binding l then
+    List.iter
+      (fun (r : Network.receiver_id) -> absorb t ~binding r.Network.session)
+      (Network.all_on_link t.net ~link:l)
+
+let boundary_links t ~binding =
+  let inc = Network.incidence t.net in
+  let nl = Graph.link_count (Network.graph t.net) in
+  let seen = Array.make (Stdlib.max nl 1) false in
+  let boundary = ref [] in
+  (* A boundary link carries at least one member receiver, so only
+     links on the member sessions' paths can qualify: enumerate those
+     straight off the receiver CSR instead of scanning every link. *)
+  for i = 0 to Array.length t.in_comp - 1 do
+    if t.in_comp.(i) then
+      for gid = inc.Network.session_first.(i) to inc.Network.session_first.(i + 1) - 1 do
+        for p = inc.Network.recv_row.(gid) to inc.Network.recv_row.(gid + 1) - 1 do
+          let l = inc.Network.recv_cells.(p) in
+          if not seen.(l) then begin
+            seen.(l) <- true;
+            if binding l then begin
+              (* Straight off the CSR: does the saturated link carry
+                 both member and frozen receivers? *)
+              let has_in = ref false and has_out = ref false in
+              for q = inc.Network.cell_first.(inc.Network.link_row.(l))
+                   to inc.Network.cell_first.(inc.Network.link_row.(l + 1)) - 1 do
+                let r = inc.Network.receiver_of_gid.(inc.Network.link_cells.(q)) in
+                if t.in_comp.(r.Network.session) then has_in := true else has_out := true
+              done;
+              if !has_in && !has_out then boundary := l :: !boundary
+            end
+          end
+        done
+      done
+  done;
+  !boundary

@@ -1,0 +1,315 @@
+module Graph = Mmfair_topology.Graph
+module Network = Mmfair_core.Network
+module Allocation = Mmfair_core.Allocation
+module Component = Mmfair_core.Component
+module Solve_engine = Mmfair_core.Solve_engine
+module Solver_error = Mmfair_core.Solver_error
+module Obs = Mmfair_obs
+
+type stats = {
+  events : int;
+  net_events : int;
+  cancelled : int;
+  component_sessions : int;
+  component_receivers : int;
+  total_receivers : int;
+  reuse_fraction : float;
+  full_solve : bool;
+  solves : int;
+}
+
+type scheduler = { run : (unit -> unit) list -> unit }
+
+let sequential = { run = (fun tasks -> List.iter (fun f -> f ()) tasks) }
+
+type t = {
+  solver : Solve_engine.t;
+  scheduler : scheduler;
+  store : Store.t;
+  mutable network : Network.t;
+  mutable allocation : Allocation.t;
+}
+
+let solver_name = "Dynamic"
+
+let create ?(solver = Solve_engine.default) ?(scheduler = sequential) ?retain ?allocation net =
+  let allocation =
+    match allocation with
+    | Some a -> a
+    | None ->
+        let (module E : Solve_engine.S) = solver in
+        E.solve net
+  in
+  { solver; scheduler; store = Store.create ?retain net allocation; network = net; allocation }
+
+let create_result ?solver ?scheduler ?retain ?allocation net =
+  Solver_error.protect ~solver:solver_name (fun () ->
+      create ?solver ?scheduler ?retain ?allocation net)
+
+let network t = t.network
+let allocation t = t.allocation
+let epoch t = Store.epoch t.store
+let store t = t.store
+let solver t = t.solver
+
+(* --- event application ------------------------------------------------ *)
+
+let find_receiver net ~session ~node ~what =
+  if session < 0 || session >= Network.session_count net then
+    invalid_arg (Printf.sprintf "Dynamic.Engine.apply: %s targets unknown session %d" what session);
+  let receivers = (Network.session_spec net session).Network.receivers in
+  let found = ref (-1) in
+  Array.iteri (fun k r -> if r = node && !found < 0 then found := k) receivers;
+  if !found < 0 then
+    invalid_arg
+      (Printf.sprintf "Dynamic.Engine.apply: session %d has no receiver on node %d" session node);
+  { Network.session; Network.index = !found }
+
+let apply_event net (event : Event.t) =
+  match event with
+  | Event.Join { session; node; weight } -> Network.with_receiver ?weight net ~session ~node
+  | Event.Leave { session; node } ->
+      Network.without_receiver net (find_receiver net ~session ~node ~what:"leave")
+  | Event.Rho_change { session; rho } -> Network.with_rho net session rho
+  | Event.Capacity_change { link; cap } -> Network.with_capacity net link cap
+
+(* --- coalescing diff --------------------------------------------------- *)
+
+(* What a session looks like after the whole batch, relative to before.
+   Coalescing is a *state* diff, not an event-log transform: the max-min
+   allocation depends only on the final network, so a join/leave pair on
+   one node nets out to nothing and repeated rho/cap writes keep only
+   the last value, with no bookkeeping of the path taken. *)
+type session_diff = {
+  changed : bool;
+      (* The receiver multiset (node, weight) moved; rates cannot be
+         carried over (and receiver indices may have shifted). *)
+  arrived : int; (* Final nodes absent before, or present with a new weight. *)
+  departed : int; (* Initial nodes absent after. *)
+  frozen_row : float array;
+      (* Old rates remapped to the final receiver order by node; [||]
+         when [changed] (the row is ignored for seeded sessions). *)
+  departed_paths : Mmfair_topology.Routing.path list;
+      (* Old data-paths of the net-departed receivers: links the new
+         network no longer associates with the session but whose freed
+         capacity lets bystanders rise. *)
+}
+
+let unchanged_diff old_alloc i n =
+  {
+    changed = false;
+    arrived = 0;
+    departed = 0;
+    frozen_row = Array.init n (fun index -> Allocation.rate old_alloc { Network.session = i; index });
+    departed_paths = [];
+  }
+
+let diff_session old_net old_alloc new_net i =
+  let old_spec = Network.session_spec old_net i in
+  let new_spec = Network.session_spec new_net i in
+  let old_recv = old_spec.Network.receivers in
+  let new_recv = new_spec.Network.receivers in
+  (* Surgeries copy the sessions array but share untouched specs (and
+     their receiver/weight arrays) physically, so pointer equality
+     proves the membership never moved — the common case for every
+     session a batch does not touch.  A touched-but-netted-out session
+     (leave + rejoin) gets fresh arrays and takes the full diff. *)
+  if old_recv == new_recv && old_spec.Network.weights == new_spec.Network.weights then
+    unchanged_diff old_alloc i (Array.length new_recv)
+  else
+  let n_old = Array.length old_recv and n_new = Array.length new_recv in
+  (* Nodes are distinct within a session (the paper's τ restriction),
+     so node -> old index is a bijection on the old membership. *)
+  let old_index = Hashtbl.create (2 * n_old) in
+  Array.iteri (fun k node -> Hashtbl.replace old_index node k) old_recv;
+  let arrived = ref 0 in
+  let frozen_row = Array.make n_new 0.0 in
+  let ok = ref true in
+  Array.iteri
+    (fun k node ->
+      match Hashtbl.find_opt old_index node with
+      | None ->
+          incr arrived;
+          ok := false
+      | Some k_old ->
+          let w_old = Network.weight old_net { Network.session = i; index = k_old } in
+          let w_new = Network.weight new_net { Network.session = i; index = k } in
+          if w_old <> w_new then begin
+            incr arrived;
+            ok := false
+          end
+          else if !ok then
+            frozen_row.(k) <- Allocation.rate old_alloc { Network.session = i; index = k_old })
+    new_recv;
+  let departed = ref 0 in
+  let departed_paths = ref [] in
+  let new_nodes = Hashtbl.create (2 * n_new) in
+  Array.iter (fun node -> Hashtbl.replace new_nodes node ()) new_recv;
+  Array.iteri
+    (fun k node ->
+      if not (Hashtbl.mem new_nodes node) then begin
+        incr departed;
+        departed_paths :=
+          Network.data_path old_net { Network.session = i; index = k } :: !departed_paths
+      end)
+    old_recv;
+  let changed = (not !ok) || !departed > 0 in
+  {
+    changed;
+    arrived = !arrived;
+    departed = !departed;
+    frozen_row = (if changed then [||] else frozen_row);
+    departed_paths = !departed_paths;
+  }
+
+let apply t events =
+  if events = [] then invalid_arg "Dynamic.Batch.apply: empty batch";
+  let old_net = t.network in
+  let old_alloc = t.allocation in
+  (* Surgeries run on a local accumulator: a mid-batch validation
+     failure (unknown session, leave of an absent receiver, …) raises
+     before any engine state mutates, exactly like the per-event
+     path. *)
+  let new_net = List.fold_left apply_event old_net events in
+  let m = Network.session_count new_net in
+  let total_receivers = Network.receiver_count new_net in
+  let raw = List.length events in
+  (* Net out the batch per entity. *)
+  let diffs = Array.init m (fun i -> diff_session old_net old_alloc new_net i) in
+  let old_g = Network.graph old_net and new_g = Network.graph new_net in
+  let changed_links = ref [] in
+  let cap_net = ref 0 in
+  for l = Graph.link_count new_g - 1 downto 0 do
+    if Graph.capacity old_g l <> Graph.capacity new_g l then begin
+      incr cap_net;
+      changed_links := l :: !changed_links
+    end
+  done;
+  let rho_net = ref 0 in
+  let seeds = ref [] in
+  for i = m - 1 downto 0 do
+    let rho_moved = Network.rho old_net i <> Network.rho new_net i in
+    if rho_moved then incr rho_net;
+    if diffs.(i).changed || rho_moved then seeds := i :: !seeds
+  done;
+  let net_events =
+    Array.fold_left (fun acc d -> acc + d.arrived + d.departed) 0 diffs + !rho_net + !cap_net
+  in
+  let cancelled = raw - net_events in
+  (* The union fairness component: everything any surviving change can
+     reach over the previous epoch's binding links. *)
+  let comp = Component.create new_net in
+  let old_binding = Component.binding old_alloc in
+  List.iter (fun i -> Component.absorb comp ~binding:old_binding i) !seeds;
+  List.iter
+    (fun l ->
+      List.iter
+        (fun (r : Network.receiver_id) ->
+          Component.absorb comp ~binding:old_binding r.Network.session)
+        (Network.all_on_link new_net ~link:l))
+    !changed_links;
+  (* Departed receivers' old paths are gone from their sessions' new
+     link sets; absorb the bystanders on their binding links directly. *)
+  Array.iter
+    (fun d ->
+      List.iter
+        (fun path -> List.iter (fun l -> Component.absorb_link comp ~binding:old_binding l) path)
+        d.departed_paths)
+    diffs;
+  let frozen = Array.map (fun d -> d.frozen_row) diffs in
+  let (module E : Solve_engine.S) = t.solver in
+  let has_partial = E.capabilities.Solve_engine.partial in
+  let solves = ref 0 in
+  let full = ref false in
+  (* Every water-filling pass goes through the scheduler seam as a task
+     list (singleton today).  Domain-sharded component solves slot in
+     here: partition the component, one task per shard. *)
+  let schedule f =
+    let out = ref None in
+    t.scheduler.run [ (fun () -> out := Some (f ())) ];
+    match !out with
+    | Some a -> a
+    | None -> failwith "Dynamic.Batch.apply: scheduler dropped the solve task"
+  in
+  let solve_full () =
+    full := true;
+    Component.fill comp;
+    incr solves;
+    schedule (fun () -> E.solve new_net)
+  in
+  let solve_restricted () =
+    incr solves;
+    let sessions = Component.sessions comp in
+    schedule (fun () -> E.solve_partial ~sessions ~frozen new_net)
+  in
+  let alloc =
+    if Component.is_empty comp then
+      (* Nobody's rates can move (pure cancellation, or a capacity
+         change on an unused link): carry every rate forward verbatim.
+         All frozen rows are full here — only unchanged sessions leave
+         the component empty. *)
+      ref (Allocation.make new_net (Array.map Array.copy frozen))
+    else if Component.is_full comp || not has_partial then ref (solve_full ())
+    else ref (solve_restricted ())
+  in
+  if (not (Component.is_empty comp)) && not !full then begin
+    (* Expansion to a sound fixed point: a restricted solve is the
+       global optimum only if no saturated link ends up carrying both
+       solved and frozen receivers.  A component receiver rising onto
+       a previously slack link can saturate it and demand that frozen
+       receivers there drop — absorb such boundary links' sessions and
+       re-solve until none remain (worst case: the full network). *)
+    let continue_ = ref true in
+    while !continue_ do
+      let new_binding = Component.binding !alloc in
+      match Component.boundary_links comp ~binding:new_binding with
+      | [] -> continue_ := false
+      | links ->
+          let binding l = old_binding l || new_binding l in
+          List.iter (fun l -> Component.absorb_link comp ~binding l) links;
+          alloc :=
+            (if Component.is_full comp || not has_partial then solve_full ()
+             else solve_restricted ());
+          if !full then continue_ := false
+    done
+  end;
+  let component_receivers = Component.receiver_count comp in
+  let reuse_fraction =
+    if total_receivers = 0 || !full then 0.0
+    else 1.0 -. (float_of_int component_receivers /. float_of_int total_receivers)
+  in
+  let stats =
+    {
+      events = raw;
+      net_events;
+      cancelled;
+      component_sessions = Component.cardinal comp;
+      component_receivers;
+      total_receivers;
+      reuse_fraction;
+      full_solve = !full;
+      solves = !solves;
+    }
+  in
+  t.network <- new_net;
+  t.allocation <- !alloc;
+  let entry = Store.push t.store ~events ~network:new_net ~allocation:!alloc in
+  if Obs.Probe.enabled () then begin
+    let kind = match events with [ e ] -> Event.kind e | _ -> "batch" in
+    Obs.Probe.epoch
+      {
+        Obs.Events.epoch = entry.Store.epoch;
+        kind;
+        component_sessions = stats.component_sessions;
+        component_receivers = stats.component_receivers;
+        total_receivers = stats.total_receivers;
+        reuse_fraction = stats.reuse_fraction;
+        full_solve = stats.full_solve;
+        solves = stats.solves;
+      };
+    Obs.Probe.batch
+      { Obs.Events.b_epoch = entry.Store.epoch; events = raw; net_events; cancelled }
+  end;
+  stats
+
+let apply_result t events = Solver_error.protect ~solver:solver_name (fun () -> apply t events)

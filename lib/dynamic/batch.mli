@@ -1,0 +1,98 @@
+(** Coalesced churn: one re-solve for a burst of events.
+
+    A flash crowd delivers joins, leaves and operator knob-turns
+    faster than per-event re-solving can keep up.  [Batch] applies a
+    whole burst as {e one} epoch: the events' surgeries are applied in
+    order to produce the final network, the burst is netted out
+    against the starting state (a join/leave pair on one node cancels;
+    repeated [ρ]/capacity writes keep the last value — the max-min
+    allocation depends only on the final network, not the event path),
+    and the {e union} fairness component of all surviving changes is
+    re-solved once through the {!Mmfair_core.Solve_engine} seam with
+    everyone outside frozen at their previous rates, boundary-expanded
+    to the same sound fixed point as the per-event engine (DESIGN.md
+    §11–12).
+
+    {!Engine.apply} is the singleton case of {!apply}: both paths are
+    one implementation, so the per-event differential gate covers the
+    batch machinery too; a dedicated gate replays random traces at
+    batch sizes 1/4/16 and requires identical final rates. *)
+
+type stats = {
+  events : int;  (** Raw events submitted. *)
+  net_events : int;  (** Changes surviving the netting-out. *)
+  cancelled : int;  (** [events - net_events]. *)
+  component_sessions : int;  (** Sessions inside the union component. *)
+  component_receivers : int;  (** Receivers inside the union component. *)
+  total_receivers : int;  (** Receivers in the post-batch network. *)
+  reuse_fraction : float;  (** Receivers carried over frozen / total; 0 on a full solve. *)
+  full_solve : bool;  (** Whether the engine fell back to from-scratch. *)
+  solves : int;  (** Water-filling passes (1 + boundary expansions; 0 when nothing could move). *)
+}
+(** What one {!apply} did — also emitted as paired [epoch] and [batch]
+    probe events ({!Mmfair_obs.Events.epoch}, {!Mmfair_obs.Events.batch})
+    for the telemetry sinks. *)
+
+type scheduler = { run : (unit -> unit) list -> unit }
+(** How the batch's water-filling passes execute.  [run] receives the
+    ready tasks and must complete them all before returning; the
+    engine hands it singleton lists today.  This is the seam for the
+    ROADMAP's multicore domain-sharding: a domain-pool scheduler (and
+    a component partitioner producing one task per shard) drops in
+    without touching the coalescing logic. *)
+
+val sequential : scheduler
+(** Runs each task in order on the calling thread. *)
+
+type t
+
+val create :
+  ?solver:Mmfair_core.Solve_engine.t ->
+  ?scheduler:scheduler ->
+  ?retain:int ->
+  ?allocation:Mmfair_core.Allocation.t ->
+  Mmfair_core.Network.t ->
+  t
+(** [create net] solves epoch 0 through [solver]
+    ({!Mmfair_core.Solve_engine.default} unless given) and seeds the
+    store.  Engines whose {!Mmfair_core.Solve_engine.capabilities}
+    lack [partial] still work: every non-empty component falls back to
+    a full solve.  [retain] bounds the store window ({!Store.create}).
+    [allocation] is a {e trusted} warm restore: the caller asserts it
+    is the max-min fair allocation of [net] (benchmarks use it to
+    reset an engine between repetitions without paying the initial
+    solve) — passing anything else silently corrupts every later
+    epoch. *)
+
+val create_result :
+  ?solver:Mmfair_core.Solve_engine.t ->
+  ?scheduler:scheduler ->
+  ?retain:int ->
+  ?allocation:Mmfair_core.Allocation.t ->
+  Mmfair_core.Network.t ->
+  (t, Mmfair_core.Solver_error.t) result
+(** Typed-error variant of {!create}. *)
+
+val network : t -> Mmfair_core.Network.t
+(** The current (post-last-batch) network. *)
+
+val allocation : t -> Mmfair_core.Allocation.t
+(** The current epoch's max-min fair allocation. *)
+
+val epoch : t -> int
+val store : t -> Store.t
+val solver : t -> Mmfair_core.Solve_engine.t
+
+val apply : t -> Event.t list -> stats
+(** Apply one batch of churn events as a single epoch: sequential
+    surgeries, state diff, union component, restricted solve(s), store
+    push, [epoch] + [batch] probe emission.  Events validate against
+    the {e evolving} network in list order, with the same
+    [Invalid_argument] conditions as {!Engine.apply} (so a join
+    followed by a leave of the same node is legal in one batch, and a
+    leave of a receiver that never existed is not); the empty batch is
+    rejected.  On a raise the engine state is unchanged — surgeries
+    and solves happen before any mutation. *)
+
+val apply_result : t -> Event.t list -> (stats, Mmfair_core.Solver_error.t) result
+(** Typed-error variant of {!apply}. *)

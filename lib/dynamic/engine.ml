@@ -1,16 +1,11 @@
-module Graph = Mmfair_topology.Graph
-module Network = Mmfair_core.Network
-module Allocation = Mmfair_core.Allocation
-module Allocator = Mmfair_core.Allocator
+module Solve_engine = Mmfair_core.Solve_engine
 module Solver_error = Mmfair_core.Solver_error
-module Obs = Mmfair_obs
 
-(* Links whose slack could flip a freeze decision are treated as
-   binding.  Wider than the solvers' 1e-9 working tolerance on
-   purpose: a link within 1e-7 (relative) of saturation joins the
-   coupling graph, so float drift between an incremental and a
-   from-scratch solve stays well inside the differential gate. *)
-let eps_bind = 1e-7
+(* The per-event engine is the singleton case of Batch.apply: one
+   implementation carries both paths, so the per-event differential
+   gate exercises the batch machinery on every event.  This module
+   only adapts the interface (an Allocator.engine choice instead of a
+   Solve_engine.t, per-event stats with the event's kind). *)
 
 type stats = {
   kind : string;
@@ -22,289 +17,31 @@ type stats = {
   solves : int;
 }
 
-type t = {
-  engine : Allocator.engine;
-  store : Store.t;
-  mutable network : Network.t;
-  mutable allocation : Allocation.t;
-}
+type t = Batch.t
 
 let solver_name = "Dynamic"
 
 let create ?(engine = `Auto) ?retain ?allocation net =
-  let allocation =
-    match allocation with Some a -> a | None -> Allocator.max_min ~engine net
-  in
-  { engine; store = Store.create ?retain net allocation; network = net; allocation }
+  Batch.create ~solver:(Solve_engine.allocator ~engine ()) ?retain ?allocation net
 
 let create_result ?engine ?retain ?allocation net =
   Solver_error.protect ~solver:solver_name (fun () -> create ?engine ?retain ?allocation net)
 
-let network t = t.network
-let allocation t = t.allocation
-let epoch t = Store.epoch t.store
-let store t = t.store
-
-(* --- fairness component ---------------------------------------------- *)
-
-(* The component is session-granular: single-rate coupling and the
-   max-shape of the Efficient/Scaled link-rate functions tie a
-   session's receivers together, so sessions join or stay out whole.
-   Two sessions are coupled when they share a binding link; the
-   component is the transitive closure of the touched sessions over
-   that relation (DESIGN.md §11). *)
-type component = {
-  in_comp : bool array; (* per session *)
-  mutable n_sessions : int;
-}
-
-let receiver_count_of net i = Array.length (Network.session_spec net i).Network.receivers
-
-let component_receivers net comp =
-  let n = ref 0 in
-  Array.iteri (fun i inside -> if inside then n := !n + receiver_count_of net i) comp.in_comp;
-  !n
-
-(* Grow [comp] by session [i] and everything reachable from it over
-   binding links.  [binding l] answers for the coupling allocation
-   (the previous epoch's, or the freshly solved one during
-   expansion); session membership on links is read from [net] (the
-   post-event network). *)
-let absorb net binding comp i =
-  let stack = ref [ i ] in
-  if not comp.in_comp.(i) then begin
-    comp.in_comp.(i) <- true;
-    comp.n_sessions <- comp.n_sessions + 1
-  end;
-  while
-    match !stack with
-    | [] -> false
-    | s :: rest ->
-        stack := rest;
-        List.iter
-          (fun l ->
-            if binding l then
-              List.iter
-                (fun (r : Network.receiver_id) ->
-                  let j = r.Network.session in
-                  if not comp.in_comp.(j) then begin
-                    comp.in_comp.(j) <- true;
-                    comp.n_sessions <- comp.n_sessions + 1;
-                    stack := j :: !stack
-                  end)
-                (Network.all_on_link net ~link:l))
-          (Network.session_links net s);
-        true
-  do
-    ()
-  done
-
-let sessions_of comp =
-  let out = Array.make comp.n_sessions 0 in
-  let k = ref 0 in
-  Array.iteri
-    (fun i inside ->
-      if inside then begin
-        out.(!k) <- i;
-        incr k
-      end)
-    comp.in_comp;
-  out
-
-(* --- event application ------------------------------------------------ *)
-
-let find_receiver net ~session ~node ~what =
-  if session < 0 || session >= Network.session_count net then
-    invalid_arg (Printf.sprintf "Dynamic.Engine.apply: %s targets unknown session %d" what session);
-  let receivers = (Network.session_spec net session).Network.receivers in
-  let found = ref (-1) in
-  Array.iteri (fun k r -> if r = node && !found < 0 then found := k) receivers;
-  if !found < 0 then
-    invalid_arg
-      (Printf.sprintf "Dynamic.Engine.apply: session %d has no receiver on node %d" session node);
-  { Network.session; Network.index = !found }
-
-(* Apply the surgery and name the component's seeds: the sessions
-   whose own rates the event perturbs, plus (for Leave) the departed
-   receiver's old path — links the new network no longer associates
-   with the session but whose freed capacity lets bystanders rise. *)
-let surgery net event =
-  match (event : Event.t) with
-  | Event.Join { session; node; weight } ->
-      (Network.with_receiver ?weight net ~session ~node, [ session ], [])
-  | Event.Leave { session; node } ->
-      let r = find_receiver net ~session ~node ~what:"leave" in
-      let old_path = Network.data_path net r in
-      (Network.without_receiver net r, [ session ], old_path)
-  | Event.Rho_change { session; rho } -> (Network.with_rho net session rho, [ session ], [])
-  | Event.Capacity_change { link; cap } ->
-      let net' = Network.with_capacity net link cap in
-      let seeds =
-        List.sort_uniq compare
-          (List.map (fun (r : Network.receiver_id) -> r.Network.session)
-             (Network.all_on_link net ~link))
-      in
-      (net', seeds, [])
-
-let rebuild_rates net old_alloc ~touched =
-  Array.init (Network.session_count net) (fun i ->
-      if i = touched then [||] else Allocation.rates_of_session old_alloc i)
-
-let touched_session (event : Event.t) =
-  match event with
-  | Event.Join { session; _ } | Event.Leave { session; _ } -> session
-  | Event.Rho_change _ | Event.Capacity_change _ -> -1
+let network = Batch.network
+let allocation = Batch.allocation
+let epoch = Batch.epoch
+let store = Batch.store
 
 let apply t event =
-  let old_net = t.network in
-  let old_alloc = t.allocation in
-  let new_net, seeds, seed_links = surgery old_net event in
-  let m = Network.session_count new_net in
-  let total_receivers = Network.receiver_count new_net in
-  (* Binding links of the previous epoch: where the old allocation
-     left (almost) no slack, a rate change propagates to every session
-     crossing.  Link ids are stable across all four surgeries. *)
-  let nl = Graph.link_count (Network.graph new_net) in
-  (* Per-link binding test, lazy and memoized: the component closure
-     and the boundary check only ever ask about the links the touched
-     sessions cross, so sweeping every link's usage up front
-     (Allocation.link_usages) wastes most of the incremental path's
-     budget.  Usages are judged against the allocation's own
-     capacities — for the old epoch those are the pre-event
-     capacities, which is what its binding set means. *)
-  let binding_of alloc =
-    let g = Network.graph (Allocation.network alloc) in
-    let cache = Array.make (Stdlib.max nl 1) 0 in
-    fun l ->
-      match cache.(l) with
-      | 1 -> true
-      | 2 -> false
-      | _ ->
-          let c = Graph.capacity g l in
-          let b = Allocation.link_rate alloc l >= c -. (eps_bind *. Stdlib.max 1.0 c) in
-          cache.(l) <- (if b then 1 else 2);
-          b
-  in
-  let old_binding = binding_of old_alloc in
-  let comp = { in_comp = Array.make m false; n_sessions = 0 } in
-  List.iter (fun s -> absorb new_net old_binding comp s) seeds;
-  (* The departed receiver's old path is gone from the session's new
-     link set; absorb the bystanders on its binding links directly. *)
-  List.iter
-    (fun l ->
-      if old_binding l then
-        List.iter
-          (fun (r : Network.receiver_id) -> absorb new_net old_binding comp r.Network.session)
-          (Network.all_on_link new_net ~link:l))
-    seed_links;
-  let frozen = rebuild_rates new_net old_alloc ~touched:(touched_session event) in
-  let solves = ref 0 in
-  let full = ref false in
-  let solve_full () =
-    full := true;
-    Array.iteri (fun i _ -> comp.in_comp.(i) <- true) comp.in_comp;
-    comp.n_sessions <- m;
-    incr solves;
-    Allocator.max_min ~engine:t.engine new_net
-  in
-  let solve_restricted () =
-    incr solves;
-    Allocator.max_min_partial ~engine:t.engine ~sessions:(sessions_of comp) ~frozen new_net
-  in
-  let alloc =
-    if comp.n_sessions = 0 then
-      (* Nobody's rates can move (e.g. a capacity change on an unused
-         link): carry every rate forward verbatim. *)
-      ref
-        (Allocation.make new_net
-           (Array.init m (fun i -> Allocation.rates_of_session old_alloc i)))
-    else ref (if comp.n_sessions = m then solve_full () else solve_restricted ())
-  in
-  if comp.n_sessions > 0 && not !full then begin
-    (* Expansion to a sound fixed point: a restricted solve is the
-       global optimum only if no saturated link ends up carrying both
-       solved and frozen receivers.  A component receiver rising onto
-       a previously slack link can saturate it and demand that frozen
-       receivers there drop — absorb such boundary links' sessions and
-       re-solve until none remain (worst case: the full network). *)
-    let inc = Network.incidence new_net in
-    let seen = Array.make (Stdlib.max nl 1) false in
-    let continue_ = ref true in
-    while !continue_ do
-      let new_binding = binding_of !alloc in
-      (* A boundary link carries at least one component receiver, so
-         only links on the component sessions' paths can qualify:
-         enumerate those straight off the receiver CSR instead of
-         scanning every link of the network. *)
-      Array.fill seen 0 (Array.length seen) false;
-      let boundary = ref [] in
-      for i = 0 to m - 1 do
-        if comp.in_comp.(i) then
-          for gid = inc.Network.session_first.(i) to inc.Network.session_first.(i + 1) - 1 do
-            for p = inc.Network.recv_row.(gid) to inc.Network.recv_row.(gid + 1) - 1 do
-              let l = inc.Network.recv_cells.(p) in
-              if not seen.(l) then begin
-                seen.(l) <- true;
-                if new_binding l then begin
-                  (* Straight off the CSR: does the saturated link carry
-                     both component and frozen receivers? *)
-                  let has_in = ref false and has_out = ref false in
-                  for q = inc.Network.cell_first.(inc.Network.link_row.(l))
-                       to inc.Network.cell_first.(inc.Network.link_row.(l + 1)) - 1 do
-                    let r = inc.Network.receiver_of_gid.(inc.Network.link_cells.(q)) in
-                    if comp.in_comp.(r.Network.session) then has_in := true else has_out := true
-                  done;
-                  if !has_in && !has_out then boundary := l :: !boundary
-                end
-              end
-            done
-          done
-      done;
-      match !boundary with
-      | [] -> continue_ := false
-      | links ->
-          let binding l = old_binding l || new_binding l in
-          List.iter
-            (fun l ->
-              List.iter
-                (fun (r : Network.receiver_id) -> absorb new_net binding comp r.Network.session)
-                (Network.all_on_link new_net ~link:l))
-            links;
-          alloc := (if comp.n_sessions = m then solve_full () else solve_restricted ());
-          if !full then continue_ := false
-    done
-  end;
-  let component_receivers = component_receivers new_net comp in
-  let reuse_fraction =
-    if total_receivers = 0 || !full then 0.0
-    else 1.0 -. (float_of_int component_receivers /. float_of_int total_receivers)
-  in
-  let stats =
-    {
-      kind = Event.kind event;
-      component_sessions = comp.n_sessions;
-      component_receivers;
-      total_receivers;
-      reuse_fraction;
-      full_solve = !full;
-      solves = !solves;
-    }
-  in
-  t.network <- new_net;
-  t.allocation <- !alloc;
-  let entry = Store.push t.store ~event ~network:new_net ~allocation:!alloc in
-  if Obs.Probe.enabled () then
-    Obs.Probe.epoch
-      {
-        Obs.Events.epoch = entry.Store.epoch;
-        kind = stats.kind;
-        component_sessions = stats.component_sessions;
-        component_receivers = stats.component_receivers;
-        total_receivers = stats.total_receivers;
-        reuse_fraction = stats.reuse_fraction;
-        full_solve = stats.full_solve;
-        solves = stats.solves;
-      };
-  stats
+  let s = Batch.apply t [ event ] in
+  {
+    kind = Event.kind event;
+    component_sessions = s.Batch.component_sessions;
+    component_receivers = s.Batch.component_receivers;
+    total_receivers = s.Batch.total_receivers;
+    reuse_fraction = s.Batch.reuse_fraction;
+    full_solve = s.Batch.full_solve;
+    solves = s.Batch.solves;
+  }
 
 let apply_result t event = Solver_error.protect ~solver:solver_name (fun () -> apply t event)

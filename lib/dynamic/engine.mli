@@ -14,6 +14,16 @@
     the component grows to the whole network the engine falls back to
     a plain from-scratch solve.
 
+    The component/freeze/boundary machinery lives in
+    {!Mmfair_core.Component}; the application path lives in {!Batch} —
+    {!apply} is exactly [Batch.apply] with a singleton batch ([t] {e
+    is} [Batch.t], and the equality is exposed so callers can mix
+    per-event and coalesced application on one engine).  This module
+    keeps the original per-event interface: an
+    {!Mmfair_core.Allocator.engine} choice instead of a
+    {!Mmfair_core.Solve_engine.t}, and per-event stats carrying the
+    event's kind.
+
     The differential harness ([test/churn_differential.ml], CI-gated)
     asserts after every event that the result matches
     [Allocator.max_min] from scratch within [1e-9]. *)
@@ -30,7 +40,10 @@ type stats = {
 (** What one {!apply} did — also emitted as an [epoch] probe event
     ({!Mmfair_obs.Events.epoch}) for the telemetry sinks. *)
 
-type t
+type t = Batch.t
+(** A churn engine {e is} a batch engine; {!create} merely fixes the
+    solver to {!Mmfair_core.Solve_engine.allocator} over the chosen
+    allocator engine. *)
 
 val create :
   ?engine:Mmfair_core.Allocator.engine ->

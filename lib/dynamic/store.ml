@@ -3,7 +3,7 @@ module Allocation = Mmfair_core.Allocation
 
 type entry = {
   epoch : int;
-  event : Event.t option;
+  events : Event.t list;
   network : Network.t;
   allocation : Allocation.t;
 }
@@ -16,7 +16,7 @@ type t = {
 
 let create ?(retain = 8) network allocation =
   if retain < 1 then invalid_arg "Store.create: retain must be >= 1";
-  { retain; entries = [ { epoch = 0; event = None; network; allocation } ]; epoch = 0 }
+  { retain; entries = [ { epoch = 0; events = []; network; allocation } ]; epoch = 0 }
 
 let retain t = t.retain
 let epoch t = t.epoch
@@ -28,11 +28,19 @@ let current t =
 
 let truncate n l = List.filteri (fun i _ -> i < n) l
 
-let push t ~event ~network ~allocation =
+let push t ~events ~network ~allocation =
   t.epoch <- t.epoch + 1;
-  let e = { epoch = t.epoch; event = Some event; network; allocation } in
+  let e = { epoch = t.epoch; events; network; allocation } in
   t.entries <- e :: truncate (t.retain - 1) t.entries;
   e
 
 let find t epoch = List.find_opt (fun (e : entry) -> e.epoch = epoch) t.entries
 let retained_epochs t = List.map (fun (e : entry) -> e.epoch) t.entries
+
+let fold_epochs ?lo ?hi t ~init ~f =
+  (* entries are newest first; a right fold visits them oldest first. *)
+  let hi = match hi with Some h -> h | None -> t.epoch in
+  let in_range (e : entry) =
+    e.epoch <= hi && match lo with Some l -> e.epoch >= l | None -> true
+  in
+  List.fold_right (fun e acc -> if in_range e then f acc e else acc) t.entries init

@@ -1,16 +1,19 @@
 (** Epoch-versioned allocation store.
 
-    Each applied churn event advances the store by one {e epoch}: the
-    event, the post-event network, and its max-min allocation are
-    recorded together.  A bounded window of recent epochs is retained
-    so callers can diff allocations across events (the paper's [≼_m]
-    comparisons between before/after snapshots) without the store
-    growing with trace length. *)
+    Each applied churn {e batch} advances the store by one epoch: the
+    batch's events, the post-batch network, and its max-min allocation
+    are recorded together (a per-event apply is just a singleton
+    batch).  A bounded window of recent epochs is retained so callers
+    can diff allocations across events (the paper's [≼_m] comparisons
+    between before/after snapshots) without the store growing with
+    trace length. *)
 
 type entry = {
-  epoch : int;  (** 0 for the initial solve, then 1, 2, … per event. *)
-  event : Event.t option;  (** The event that produced this epoch; [None] at epoch 0. *)
-  network : Mmfair_core.Network.t;  (** The network {e after} the event. *)
+  epoch : int;  (** 0 for the initial solve, then 1, 2, … per batch. *)
+  events : Event.t list;
+      (** The events that produced this epoch, in application order;
+          [[]] at epoch 0.  A per-event apply records a singleton. *)
+  network : Mmfair_core.Network.t;  (** The network {e after} the batch. *)
   allocation : Mmfair_core.Allocation.t;  (** Its max-min fair allocation. *)
 }
 
@@ -28,8 +31,8 @@ val epoch : t -> int
 val current : t -> entry
 (** The newest entry; never fails. *)
 
-val push : t -> event:Event.t -> network:Mmfair_core.Network.t -> allocation:Mmfair_core.Allocation.t -> entry
-(** Record the outcome of one applied event as the next epoch,
+val push : t -> events:Event.t list -> network:Mmfair_core.Network.t -> allocation:Mmfair_core.Allocation.t -> entry
+(** Record the outcome of one applied batch as the next epoch,
     evicting the oldest retained entry when the window is full. *)
 
 val find : t -> int -> entry option
@@ -37,3 +40,12 @@ val find : t -> int -> entry option
 
 val retained_epochs : t -> int list
 (** Retained epoch numbers, newest first. *)
+
+val fold_epochs : ?lo:int -> ?hi:int -> t -> init:'a -> f:('a -> entry -> 'a) -> 'a
+(** [fold_epochs ~lo ~hi t ~init ~f] folds [f] over the retained
+    entries with [lo <= epoch <= hi], in {e ascending} epoch order
+    (the order the epochs happened).  [lo] defaults to the oldest
+    retained epoch, [hi] to the newest; epochs outside the retention
+    window are silently absent — pair with {!retained_epochs} when the
+    caller must distinguish "evicted" from "never existed".  An empty
+    or inverted range folds nothing and returns [init]. *)

@@ -91,6 +91,24 @@ let on_epoch t (ev : Events.epoch) =
        ]);
   counter t ~name:"dynamic:reuse" ~ts [ ("fraction", Json.Num ev.Events.reuse_fraction) ]
 
+let on_batch t (ev : Events.batch) =
+  let ts = ts_us t in
+  push t
+    (base ~name:"batch" ~cat:"dynamic" ~ph:"i" ~ts
+       [
+         ("s", Json.Str "t");
+         ( "args",
+           Json.Obj
+             [
+               ("epoch", Json.Num (float_of_int ev.Events.b_epoch));
+               ("events", Json.Num (float_of_int ev.Events.events));
+               ("net_events", Json.Num (float_of_int ev.Events.net_events));
+               ("cancelled", Json.Num (float_of_int ev.Events.cancelled));
+             ] );
+       ]);
+  counter t ~name:"dynamic:batch-events" ~ts
+    [ ("events", Json.Num (float_of_int ev.Events.events)) ]
+
 let on_sim t (ev : Events.sim) =
   let ts = ts_us t in
   match ev with
@@ -104,7 +122,8 @@ let on_sim t (ev : Events.sim) =
 let on_span t ph name = push t (base ~name ~cat:"span" ~ph ~ts:(ts_us t) [])
 
 let sink t =
-  Sink.make ~on_round:(on_round t) ~on_epoch:(on_epoch t) ~on_sim:(on_sim t)
+  Sink.make ~on_round:(on_round t) ~on_epoch:(on_epoch t) ~on_batch:(on_batch t)
+    ~on_sim:(on_sim t)
     ~on_span_begin:(on_span t "B")
     ~on_span_end:(on_span t "E")
     ()

@@ -37,6 +37,21 @@ type epoch = {
     fairness component and how much of the previous allocation was
     reused. *)
 
+type batch = {
+  b_epoch : int;  (** The epoch the batch produced (matches the paired {!epoch} event). *)
+  events : int;  (** Raw churn events submitted in the batch. *)
+  net_events : int;
+      (** Surviving changes after coalescing: net receiver arrivals and
+          departures (join/leave pairs on one node cancel), sessions
+          whose [ρ] actually moved, links whose capacity actually moved
+          (last writer wins). *)
+  cancelled : int;  (** [events - net_events]: changes coalescing eliminated. *)
+}
+(** One coalesced batch applied by [Mmfair_dynamic.Batch]: how much of
+    the submitted burst survived netting-out.  Emitted alongside the
+    {!epoch} event for the same epoch (a per-event apply is a
+    singleton batch with [events = 1]). *)
+
 type sim =
   | Scheduled of { time : float; depth : int }
       (** An event was enqueued at simulation time [time]; [depth] is the queue size after insertion. *)

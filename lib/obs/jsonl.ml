@@ -38,6 +38,17 @@ let epoch_json ~ts (ev : Events.epoch) : Json.t =
       ("solves", Json.Num (float_of_int ev.Events.solves));
     ]
 
+let batch_json ~ts (ev : Events.batch) : Json.t =
+  Json.Obj
+    [
+      ("type", Json.Str "batch");
+      ("ts", Json.Num ts);
+      ("epoch", Json.Num (float_of_int ev.Events.b_epoch));
+      ("events", Json.Num (float_of_int ev.Events.events));
+      ("net_events", Json.Num (float_of_int ev.Events.net_events));
+      ("cancelled", Json.Num (float_of_int ev.Events.cancelled));
+    ]
+
 let sim_json ~ts (ev : Events.sim) : Json.t =
   match ev with
   | Events.Scheduled { time; depth } ->
@@ -71,6 +82,7 @@ let sink ?(clock = Unix.gettimeofday) ~emit () =
   Sink.make
     ~on_round:(fun ev -> line (round_json ~ts:(clock ()) ev))
     ~on_epoch:(fun ev -> line (epoch_json ~ts:(clock ()) ev))
+    ~on_batch:(fun ev -> line (batch_json ~ts:(clock ()) ev))
     ~on_sim:(fun ev -> line (sim_json ~ts:(clock ()) ev))
     ~on_span_begin:(fun name -> line (span_json ~ts:(clock ()) ~phase:"begin" name))
     ~on_span_end:(fun name -> line (span_json ~ts:(clock ()) ~phase:"end" name))

@@ -1,8 +1,9 @@
 (** JSONL structured-log exporter: one compact JSON object per probe
     event, newline-terminated, suitable for [jq]/grep pipelines.
 
-    Every line carries a ["type"] ([round], [epoch], [sim.scheduled],
-    [sim.fired], [sim.dropped], [span.begin], [span.end]) and a ["ts"]
+    Every line carries a ["type"] ([round], [epoch], [batch],
+    [sim.scheduled], [sim.fired], [sim.dropped], [span.begin],
+    [span.end]) and a ["ts"]
     stamped by [clock] at event receipt (default wall-clock seconds
     via [Unix.gettimeofday]). *)
 
@@ -20,5 +21,8 @@ val round_json : ts:float -> Events.round -> Json.t
 
 val epoch_json : ts:float -> Events.epoch -> Json.t
 (** The line payload for one churn epoch. *)
+
+val batch_json : ts:float -> Events.batch -> Json.t
+(** The line payload for one coalesced churn batch. *)
 
 val sim_json : ts:float -> Events.sim -> Json.t

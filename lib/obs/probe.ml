@@ -17,6 +17,10 @@ let epoch ev =
   let s = !current in
   if s.Sink.enabled then s.Sink.on_epoch ev
 
+let batch ev =
+  let s = !current in
+  if s.Sink.enabled then s.Sink.on_batch ev
+
 let sim ev =
   let s = !current in
   if s.Sink.enabled then s.Sink.on_sim ev

@@ -35,6 +35,9 @@ val round : Events.round -> unit
 val epoch : Events.epoch -> unit
 (** Emit a churn epoch event (no-op when disabled). *)
 
+val batch : Events.batch -> unit
+(** Emit a coalesced churn batch event (no-op when disabled). *)
+
 val sim : Events.sim -> unit
 (** Emit a simulator event (no-op when disabled). *)
 

@@ -182,6 +182,10 @@ let sink ?(clock = Unix.gettimeofday) t =
   let component_solves = counter t "dynamic.solves.total" in
   let reuse_hist = histogram t ~lo:0.0 ~hi:1.0 ~bins:20 "dynamic.epoch.reuse_fraction" in
   let component_hist = histogram t ~lo:0.0 ~hi:256.0 ~bins:32 "dynamic.epoch.component_receivers" in
+  let batches_total = counter t "dynamic.batches.total" in
+  let batch_events = counter t "dynamic.batch.events.total" in
+  let batch_cancelled = counter t "dynamic.batch.cancelled.total" in
+  let batch_size_hist = histogram t ~lo:0.0 ~hi:64.0 ~bins:32 "dynamic.batch.events" in
   let scheduled = counter t "sim.events.scheduled.total" in
   let fired = counter t "sim.events.fired.total" in
   let dropped = counter t "sim.events.dropped.total" in
@@ -203,6 +207,11 @@ let sink ?(clock = Unix.gettimeofday) t =
       incr (counter t ("dynamic.events." ^ ev.Events.kind));
       observe reuse_hist ev.Events.reuse_fraction;
       observe component_hist (float_of_int ev.Events.component_receivers))
+    ~on_batch:(fun (ev : Events.batch) ->
+      incr batches_total;
+      incr ~by:ev.Events.events batch_events;
+      incr ~by:ev.Events.cancelled batch_cancelled;
+      observe batch_size_hist (float_of_int ev.Events.events))
     ~on_sim:(function
       | Events.Scheduled { depth; _ } ->
           incr scheduled;

@@ -60,7 +60,10 @@ val sink : ?clock:(unit -> float) -> t -> Sink.t
     [solver.rounds.total], per-solver [solver.rounds.<name>] and
     [solver.level.<name>], [solver.freezes.total],
     [solver.saturated.links.total] and the [solver.round.active]
-    histogram; sim events feed [sim.events.{scheduled,fired,dropped}.total]
+    histogram; batch events feed [dynamic.batches.total],
+    [dynamic.batch.events.total], [dynamic.batch.cancelled.total] and
+    the [dynamic.batch.events] size histogram; sim events feed
+    [sim.events.{scheduled,fired,dropped}.total]
     and the [sim.queue.depth.hwm] gauge; spans feed
     [span.count.<name>] and the [span.seconds] histogram.  [clock]
     (default [Unix.gettimeofday]) only times spans. *)

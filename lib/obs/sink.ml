@@ -2,6 +2,7 @@ type t = {
   enabled : bool;
   on_round : Events.round -> unit;
   on_epoch : Events.epoch -> unit;
+  on_batch : Events.batch -> unit;
   on_sim : Events.sim -> unit;
   on_span_begin : string -> unit;
   on_span_end : string -> unit;
@@ -12,14 +13,15 @@ let null =
     enabled = false;
     on_round = ignore;
     on_epoch = ignore;
+    on_batch = ignore;
     on_sim = ignore;
     on_span_begin = ignore;
     on_span_end = ignore;
   }
 
-let make ?(on_round = ignore) ?(on_epoch = ignore) ?(on_sim = ignore) ?(on_span_begin = ignore)
-    ?(on_span_end = ignore) () =
-  { enabled = true; on_round; on_epoch; on_sim; on_span_begin; on_span_end }
+let make ?(on_round = ignore) ?(on_epoch = ignore) ?(on_batch = ignore) ?(on_sim = ignore)
+    ?(on_span_begin = ignore) ?(on_span_end = ignore) () =
+  { enabled = true; on_round; on_epoch; on_batch; on_sim; on_span_begin; on_span_end }
 
 let tee a b =
   match (a.enabled, b.enabled) with
@@ -37,6 +39,10 @@ let tee a b =
           (fun ev ->
             a.on_epoch ev;
             b.on_epoch ev);
+        on_batch =
+          (fun ev ->
+            a.on_batch ev;
+            b.on_batch ev);
         on_sim =
           (fun ev ->
             a.on_sim ev;

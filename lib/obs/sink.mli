@@ -11,6 +11,7 @@ type t = {
   enabled : bool;  (** [false] only for {!null}: lets call sites skip event construction entirely. *)
   on_round : Events.round -> unit;  (** One water-filling round completed. *)
   on_epoch : Events.epoch -> unit;  (** One churn epoch applied by the incremental engine. *)
+  on_batch : Events.batch -> unit;  (** One coalesced churn batch (how much of the burst netted out). *)
   on_sim : Events.sim -> unit;  (** Discrete-event simulator activity. *)
   on_span_begin : string -> unit;  (** A named region opened.  The sink stamps its own clock. *)
   on_span_end : string -> unit;  (** The matching region closed. *)
@@ -22,6 +23,7 @@ val null : t
 val make :
   ?on_round:(Events.round -> unit) ->
   ?on_epoch:(Events.epoch -> unit) ->
+  ?on_batch:(Events.batch -> unit) ->
   ?on_sim:(Events.sim -> unit) ->
   ?on_span_begin:(string -> unit) ->
   ?on_span_end:(string -> unit) ->

@@ -1,5 +1,7 @@
 module Event = Mmfair_dynamic.Event
 
+type item = Single of Event.t | Batch of Event.t list
+
 exception Parse_error of int * string
 
 let fail line msg = raise (Parse_error (line, msg))
@@ -19,91 +21,133 @@ let index_of names line what name =
   if !found < 0 then fail line (Printf.sprintf "unknown %s %S" what name);
   !found
 
-let parse_string (p : Net_parser.t) text =
+let parse_items (p : Net_parser.t) text =
   let session line name = index_of p.Net_parser.session_names line "session" name in
   let node line name = index_of p.Net_parser.node_names line "node" name in
   let link line name = index_of p.Net_parser.link_names line "link" name in
-  let events = ref [] in
+  let event lineno = function
+    | [ "join"; s; n ] ->
+        Event.Join { session = session lineno s; node = node lineno n; weight = None }
+    | [ "join"; s; n; w ] ->
+        let weight =
+          match String.index_opt w '=' with
+          | Some i when String.sub w 0 i = "w" ->
+              let v = parse_float lineno "weight" (String.sub w (i + 1) (String.length w - i - 1)) in
+              if not (Float.is_finite v && v > 0.0) then
+                fail lineno (Printf.sprintf "weight must be a finite positive number, got %g" v);
+              v
+          | _ -> fail lineno (Printf.sprintf "expected w=FLOAT, got %S" w)
+        in
+        Event.Join { session = session lineno s; node = node lineno n; weight = Some weight }
+    | [ "leave"; s; n ] -> Event.Leave { session = session lineno s; node = node lineno n }
+    | [ "rho"; s; r ] ->
+        let rho = parse_float lineno "rho" r in
+        if not (rho > 0.0) then
+          fail lineno (Printf.sprintf "rho must be positive (and not NaN), got %g" rho);
+        Event.Rho_change { session = session lineno s; rho }
+    | [ "cap"; l; c ] ->
+        let cap = parse_float lineno "capacity" c in
+        if not (Float.is_finite cap && cap > 0.0) then
+          fail lineno (Printf.sprintf "capacity must be a finite positive number, got %g" cap);
+        Event.Capacity_change { link = link lineno l; cap }
+    | tok :: _ ->
+        fail lineno (Printf.sprintf "unknown directive %S (want join|leave|rho|cap|batch|end)" tok)
+    | [] -> assert false (* blank lines are filtered before dispatch *)
+  in
+  let items = ref [] in
+  (* [Some (line, events-reversed)] while inside a batch ... end block. *)
+  let open_batch = ref None in
   let lines = String.split_on_char '\n' text in
   List.iteri
     (fun idx raw ->
       let lineno = idx + 1 in
       let line = String.trim (strip_comment raw) in
       if line <> "" then
-        match split_ws line with
-        | [ "join"; s; n ] ->
-            events := Event.Join { session = session lineno s; node = node lineno n; weight = None } :: !events
-        | [ "join"; s; n; w ] ->
-            let weight =
-              match String.index_opt w '=' with
-              | Some i when String.sub w 0 i = "w" ->
-                  let v = parse_float lineno "weight" (String.sub w (i + 1) (String.length w - i - 1)) in
-                  if not (Float.is_finite v && v > 0.0) then
-                    fail lineno (Printf.sprintf "weight must be a finite positive number, got %g" v);
-                  v
-              | _ -> fail lineno (Printf.sprintf "expected w=FLOAT, got %S" w)
-            in
-            events :=
-              Event.Join { session = session lineno s; node = node lineno n; weight = Some weight }
-              :: !events
-        | [ "leave"; s; n ] ->
-            events := Event.Leave { session = session lineno s; node = node lineno n } :: !events
-        | [ "rho"; s; r ] ->
-            let rho = parse_float lineno "rho" r in
-            if not (rho > 0.0) then
-              fail lineno (Printf.sprintf "rho must be positive (and not NaN), got %g" rho);
-            events := Event.Rho_change { session = session lineno s; rho } :: !events
-        | [ "cap"; l; c ] ->
-            let cap = parse_float lineno "capacity" c in
-            if not (Float.is_finite cap && cap > 0.0) then
-              fail lineno (Printf.sprintf "capacity must be a finite positive number, got %g" cap);
-            events := Event.Capacity_change { link = link lineno l; cap } :: !events
-        | tok :: _ -> fail lineno (Printf.sprintf "unknown directive %S (want join|leave|rho|cap)" tok)
-        | [] -> ())
+        match (split_ws line, !open_batch) with
+        | [ "batch" ], None -> open_batch := Some (lineno, [])
+        | [ "batch" ], Some (opened, _) ->
+            fail lineno (Printf.sprintf "nested batch (previous batch opened at line %d)" opened)
+        | "batch" :: _, _ -> fail lineno "batch takes no arguments"
+        | [ "end" ], Some (opened, evs) ->
+            if evs = [] then fail opened "empty batch (batch blocks need at least one event)";
+            open_batch := None;
+            items := Batch (List.rev evs) :: !items
+        | [ "end" ], None -> fail lineno "end without a matching batch"
+        | "end" :: _, _ -> fail lineno "end takes no arguments"
+        | toks, Some (opened, evs) -> open_batch := Some (opened, event lineno toks :: evs)
+        | toks, None -> items := Single (event lineno toks) :: !items)
     lines;
-  List.rev !events
+  (match !open_batch with
+  | Some (opened, _) -> fail opened "batch never closed (missing end)"
+  | None -> ());
+  List.rev !items
 
-let parse_string_result p text =
-  match parse_string p text with
-  | evs -> Ok evs
+let flatten items =
+  List.concat_map (function Single ev -> [ ev ] | Batch evs -> evs) items
+
+let parse_string p text = flatten (parse_items p text)
+
+let wrap_errors f =
+  match f () with
+  | v -> Ok v
   | exception Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
   | exception Invalid_argument msg -> Error msg
 
-let parse_file p path =
+let parse_items_result p text = wrap_errors (fun () -> parse_items p text)
+let parse_string_result p text = wrap_errors (fun () -> parse_string p text)
+
+let read_file path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> parse_string p (really_input_string ic (in_channel_length ic)))
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_file p path = parse_string p (read_file path)
+let parse_items_file p path = parse_items p (read_file path)
 
 (* Default names match [Net_parser.render]'s conventions (n<i>, l<j>,
    s<i>), so a generated trace round-trips against a rendered net. *)
-let render ?names events =
-  let session_name, node_name, link_name =
-    match names with
-    | Some (p : Net_parser.t) ->
-        ( (fun i -> p.Net_parser.session_names.(i)),
-          (fun v -> p.Net_parser.node_names.(v)),
-          fun l -> p.Net_parser.link_names.(l) )
-    | None -> (Printf.sprintf "s%d", Printf.sprintf "n%d", Printf.sprintf "l%d")
-  in
+let renderers names =
+  match names with
+  | Some (p : Net_parser.t) ->
+      ( (fun i -> p.Net_parser.session_names.(i)),
+        (fun v -> p.Net_parser.node_names.(v)),
+        fun l -> p.Net_parser.link_names.(l) )
+  | None -> (Printf.sprintf "s%d", Printf.sprintf "n%d", Printf.sprintf "l%d")
+
+let render_event (session_name, node_name, link_name) (ev : Event.t) =
+  match ev with
+  | Event.Join { session; node; weight = None } ->
+      Printf.sprintf "join %s %s" (session_name session) (node_name node)
+  | Event.Join { session; node; weight = Some w } ->
+      Printf.sprintf "join %s %s w=%.17g" (session_name session) (node_name node) w
+  | Event.Leave { session; node } ->
+      Printf.sprintf "leave %s %s" (session_name session) (node_name node)
+  | Event.Rho_change { session; rho } -> Printf.sprintf "rho %s %.17g" (session_name session) rho
+  | Event.Capacity_change { link; cap } -> Printf.sprintf "cap %s %.17g" (link_name link) cap
+
+let render_items ?names items =
   let buf = Buffer.create 256 in
+  let r = renderers names in
   List.iter
-    (fun (ev : Event.t) ->
-      (match ev with
-      | Event.Join { session; node; weight = None } ->
-          Buffer.add_string buf (Printf.sprintf "join %s %s" (session_name session) (node_name node))
-      | Event.Join { session; node; weight = Some w } ->
-          Buffer.add_string buf
-            (Printf.sprintf "join %s %s w=%.17g" (session_name session) (node_name node) w)
-      | Event.Leave { session; node } ->
-          Buffer.add_string buf (Printf.sprintf "leave %s %s" (session_name session) (node_name node))
-      | Event.Rho_change { session; rho } ->
-          Buffer.add_string buf (Printf.sprintf "rho %s %.17g" (session_name session) rho)
-      | Event.Capacity_change { link; cap } ->
-          Buffer.add_string buf (Printf.sprintf "cap %s %.17g" (link_name link) cap));
-      Buffer.add_char buf '\n')
-    events;
+    (fun item ->
+      match item with
+      | Single ev ->
+          Buffer.add_string buf (render_event r ev);
+          Buffer.add_char buf '\n'
+      | Batch evs ->
+          Buffer.add_string buf "batch\n";
+          List.iter
+            (fun ev ->
+              Buffer.add_string buf "  ";
+              Buffer.add_string buf (render_event r ev);
+              Buffer.add_char buf '\n')
+            evs;
+          Buffer.add_string buf "end\n")
+    items;
   Buffer.contents buf
+
+let render ?names events = render_items ?names (List.map (fun ev -> Single ev) events)
 
 let example =
   String.concat "\n"
@@ -115,6 +159,9 @@ let example =
       "join s2 leaf2 w=0.5     # weighted receiver";
       "rho s1 2.5              # cap the session's desired rate";
       "rho s1 inf              # ...and lift it again";
-      "cap l1 4                # shrink a link";
+      "batch                   # a burst applied as one epoch";
+      "  cap l1 4              #   shrink a link";
+      "  join s1 leaf2         #   undo the removal above";
+      "end";
       "";
     ]

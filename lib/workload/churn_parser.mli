@@ -9,7 +9,18 @@
     leave SESSION NODE            # remove the receiver on NODE
     rho SESSION FLOAT|inf         # replace the session's rho
     cap LINK FLOAT                # replace the link's capacity
+
+    batch                         # a burst applied as ONE epoch:
+      join SESSION NODE           #   events between batch and end
+      cap LINK FLOAT              #   coalesce into a single re-solve
+    end                           #   (Mmfair_dynamic.Batch.apply)
     v}
+
+    A [batch ... end] block groups events into one
+    {!Mmfair_dynamic.Batch} application: join/leave pairs on one node
+    net out, repeated [rho]/[cap] writes keep the last value, and the
+    union fairness component is re-solved once.  Blocks cannot nest
+    and must contain at least one event.
 
     Receivers are named by node, not index, so a trace stays valid as
     earlier leaves shift in-session indices.  Parsing validates names
@@ -18,29 +29,53 @@
     receiver that already left) is only known at replay time and is
     reported by the engine then. *)
 
+type item = Single of Mmfair_dynamic.Event.t | Batch of Mmfair_dynamic.Event.t list
+(** One replay step: a lone event, or a [batch ... end] block's events
+    in file order. *)
+
 exception Parse_error of int * string
 (** Line number (1-based) and message. *)
 
+val parse_items : Net_parser.t -> string -> item list
+(** The trace's replay steps.  Raises {!Parse_error} on an unknown
+    directive, unknown session/node/link name, a malformed or
+    out-of-range literal ([rho ≤ 0], non-finite capacity, non-positive
+    weight), a nested [batch], an [end] without a [batch], an empty
+    block, or a [batch] left unclosed at end of input (reported at the
+    opening line) — each with the offending line number. *)
+
+val parse_items_result : Net_parser.t -> string -> (item list, string) result
+(** Non-raising variant of {!parse_items}; parse errors are prefixed
+    with ["line N: "]. *)
+
+val parse_items_file : Net_parser.t -> string -> item list
+(** Reads the file and applies {!parse_items}.  Raises [Sys_error]
+    when unreadable. *)
+
+val flatten : item list -> Mmfair_dynamic.Event.t list
+(** The trace's events in application order, batch structure erased. *)
+
 val parse_string : Net_parser.t -> string -> Mmfair_dynamic.Event.t list
-(** Raises {!Parse_error} on an unknown directive, unknown
-    session/node/link name, or a malformed/out-of-range literal
-    ([rho ≤ 0], non-finite capacity, non-positive weight), each
-    reported with the offending line number. *)
+(** [flatten] of {!parse_items}: the flat event list, for consumers
+    that replay per-event regardless of batch blocks. *)
 
 val parse_string_result : Net_parser.t -> string -> (Mmfair_dynamic.Event.t list, string) result
-(** Non-raising variant of {!parse_string}; parse errors are prefixed
-    with ["line N: "]. *)
+(** Non-raising variant of {!parse_string}. *)
 
 val parse_file : Net_parser.t -> string -> Mmfair_dynamic.Event.t list
 (** Reads the file and applies {!parse_string}.  Raises [Sys_error]
     when unreadable. *)
 
+val render_items : ?names:Net_parser.t -> item list -> string
+(** A [.churn] document that {!parse_items} reconstructs into the same
+    item list ([batch] blocks rendered with two-space indentation).
+    Without [names], uses the [n<i>]/[l<j>]/[s<i>] conventions of
+    {!Net_parser.render}, so generated traces pair with rendered
+    networks. *)
+
 val render : ?names:Net_parser.t -> Mmfair_dynamic.Event.t list -> string
-(** A [.churn] document that {!parse_string} reconstructs into the
-    same event list.  Without [names], uses the [n<i>]/[l<j>]/[s<i>]
-    conventions of {!Net_parser.render}, so generated traces pair with
-    rendered networks. *)
+(** {!render_items} over lone events: one line per event, no blocks. *)
 
 val example : string
-(** A self-contained example trace over the Figure-2 network, suitable
-    for [--help] output and tests. *)
+(** A self-contained example trace over the Figure-2 network (including
+    a [batch] block), suitable for [--help] output and tests. *)

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Merge every committed BENCH_*.json into one trajectory document.
+
+The repo's benchmarks each write their own machine-readable file
+(BENCH_allocator.json, BENCH_churn.json, ...), one schema per bench.
+CI and humans tracking performance over time want a single artifact;
+this script globs the bench files and writes
+results/bench_trajectory.json:
+
+    {
+      "schema": "mmfair.bench.trajectory/v1",
+      "sources": ["BENCH_allocator.json", "BENCH_churn.json"],
+      "benches": {
+        "allocator": { ...BENCH_allocator.json verbatim... },
+        "churn":     { ...BENCH_churn.json verbatim... }
+      }
+    }
+
+Bench documents are embedded verbatim (their own "schema" fields keep
+them self-describing); the key is the BENCH_<key>.json stem.  Stdlib
+only — no third-party imports.
+
+Usage: scripts/bench_trajectory.py [--repo DIR] [--out FILE]
+Exits non-zero when no bench files are found or one fails to parse.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--repo",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root to glob BENCH_*.json in (default: the script's repo)",
+    )
+    ap.add_argument(
+        "--out",
+        default=None,
+        help="output path (default: <repo>/results/bench_trajectory.json)",
+    )
+    args = ap.parse_args()
+
+    paths = sorted(glob.glob(os.path.join(args.repo, "BENCH_*.json")))
+    if not paths:
+        print(f"bench_trajectory: no BENCH_*.json under {args.repo}", file=sys.stderr)
+        return 1
+
+    benches = {}
+    sources = []
+    for path in paths:
+        name = os.path.basename(path)
+        key = name[len("BENCH_") : -len(".json")]
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"bench_trajectory: {name}: {exc}", file=sys.stderr)
+            return 1
+        if not isinstance(doc, dict) or "schema" not in doc:
+            print(f"bench_trajectory: {name}: missing \"schema\" field", file=sys.stderr)
+            return 1
+        benches[key] = doc
+        sources.append(name)
+
+    out = args.out or os.path.join(args.repo, "results", "bench_trajectory.json")
+    os.makedirs(os.path.dirname(out), exist_ok=True)
+    merged = {
+        "schema": "mmfair.bench.trajectory/v1",
+        "generated_by": "scripts/bench_trajectory.py",
+        "sources": sources,
+        "benches": benches,
+    }
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(merged, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out} ({len(benches)} benches: {', '.join(sorted(benches))})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,16 @@
    (DESIGN.md §11).  Seeds alternate the `Auto and `Bisection engines
    so both bound computations are exercised.
 
+   With --batch-sizes B1,B2,... the same trace is additionally
+   replayed coalesced: for each size a fresh engine applies the trace
+   in B-event Batch.apply chunks, the allocation is checked against a
+   from-scratch solve after EVERY batch, and the final rates must
+   match the per-event replay within the same 1e-9 — the coalescing
+   gate (DESIGN.md §12: the final allocation depends only on the final
+   network, not the event path).
+
      churn_differential.exe [--events N] [--seeds S1,S2,...]
+                            [--batch-sizes B1,B2,...]
 
    Exits non-zero on the first divergence. *)
 
@@ -18,6 +27,7 @@ module Allocation = Mmfair_core.Allocation
 module Allocator = Mmfair_core.Allocator
 module Solver_error = Mmfair_core.Solver_error
 module Engine = Mmfair_dynamic.Engine
+module Batch = Mmfair_dynamic.Batch
 module Event = Mmfair_dynamic.Event
 module Random_nets = Mmfair_workload.Random_nets
 module Churn_gen = Mmfair_workload.Churn_gen
@@ -27,6 +37,7 @@ module Xoshiro = Mmfair_prng.Xoshiro
 
 let failures = ref 0
 let events_checked = ref 0
+let batches_checked = ref 0
 let full_solves = ref 0
 let reuse_sum = ref 0.0
 
@@ -60,6 +71,54 @@ let check_event ~case ~idx ~event eng engine =
               r.Network.session r.Network.index x y)
         (Network.all_receivers net)
 
+let chunks n l =
+  let acc, cur, _ =
+    List.fold_left
+      (fun (acc, cur, k) x ->
+        if k = n then (List.rev cur :: acc, [ x ], 1) else (acc, x :: cur, k + 1))
+      ([], [], 0) l
+  in
+  List.rev (if cur = [] then acc else List.rev cur :: acc)
+
+(* Replay [trace] coalesced into [size]-event batches on a fresh
+   engine: from-scratch agreement after every batch, and final rates
+   against the per-event replay's [reference] allocation. *)
+let check_batched ~case ~engine ~size net trace reference =
+  let case = Printf.sprintf "%s batch=%d" case size in
+  match Engine.create_result ~engine net with
+  | Error e -> fail_case ~case "initial solve errored: %s" (Solver_error.to_string e)
+  | Ok eng ->
+      List.iteri
+        (fun bidx batch ->
+          match Batch.apply_result eng batch with
+          | Error e -> fail_case ~case "batch %d: engine errored: %s" bidx (Solver_error.to_string e)
+          | Ok _stats -> (
+              incr batches_checked;
+              let bnet = Engine.network eng in
+              let incremental = Engine.allocation eng in
+              match Allocator.max_min_result ~engine bnet with
+              | Error e ->
+                  fail_case ~case "batch %d: scratch solve errored: %s" bidx
+                    (Solver_error.to_string e)
+              | Ok scratch ->
+                  Array.iter
+                    (fun r ->
+                      let x = Allocation.rate incremental r and y = Allocation.rate scratch r in
+                      if not (agree x y) then
+                        fail_case ~case
+                          "batch %d: receiver (%d,%d): batched %.17g vs scratch %.17g" bidx
+                          r.Network.session r.Network.index x y)
+                    (Network.all_receivers bnet)))
+        (chunks size trace);
+      let final = Engine.allocation eng in
+      Array.iter
+        (fun r ->
+          let x = Allocation.rate final r and y = Allocation.rate reference r in
+          if not (agree x y) then
+            fail_case ~case "final rates: receiver (%d,%d): batched %.17g vs per-event %.17g"
+              r.Network.session r.Network.index x y)
+        (Network.all_receivers (Engine.network eng))
+
 let net_config rng =
   let nodes = 10 + Xoshiro.below rng 8 in
   {
@@ -74,7 +133,7 @@ let net_config rng =
     cap_hi = 10.0;
   }
 
-let run_seed ~events seed seed_idx =
+let run_seed ~events ~batch_sizes seed seed_idx =
   let engine = if seed_idx mod 2 = 0 then `Auto else `Bisection in
   let case =
     Printf.sprintf "seed=%Ld engine=%s" seed (match engine with `Bisection -> "bisection" | _ -> "auto")
@@ -112,10 +171,12 @@ let run_seed ~events seed seed_idx =
           | Error e -> fail_case ~case "rendered trace does not re-parse: %s" e
           | Ok trace' ->
               if Churn_parser.render ~names:parsed trace' <> text then
-                fail_case ~case "trace round-trip changed the events"))
+                fail_case ~case "trace round-trip changed the events"));
+      let reference = Engine.allocation eng in
+      List.iter (fun size -> check_batched ~case ~engine ~size net trace reference) batch_sizes
 
 let () =
-  let events = ref 500 and seeds = ref [ 41L; 42L; 43L ] in
+  let events = ref 500 and seeds = ref [ 41L; 42L; 43L ] and batch_sizes = ref [] in
   let spec =
     [
       ("--events", Arg.Set_int events, "N  events per seed (default 500)");
@@ -124,14 +185,24 @@ let () =
           (fun s ->
             seeds := String.split_on_char ',' s |> List.filter (( <> ) "") |> List.map Int64.of_string),
         "S1,S2,...  seeds (default 41,42,43)" );
+      ( "--batch-sizes",
+        Arg.String
+          (fun s ->
+            batch_sizes :=
+              String.split_on_char ',' s |> List.filter (( <> ) "")
+              |> List.map (fun b ->
+                     let b = int_of_string b in
+                     if b < 1 then raise (Arg.Bad "batch sizes must be positive");
+                     b)),
+        "B1,B2,...  also replay each trace coalesced into B-event batches (default: off)" );
     ]
   in
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "churn_differential [options]";
-  List.iteri (fun i seed -> run_seed ~events:!events seed i) !seeds;
+  List.iteri (fun i seed -> run_seed ~events:!events ~batch_sizes:!batch_sizes seed i) !seeds;
   let n = Stdlib.max 1 !events_checked in
   Printf.printf
-    "churn: %d events checked over %d seeds (%d full solves, mean reuse %.2f), %d failures\n%!"
+    "churn: %d events checked over %d seeds (%d full solves, mean reuse %.2f), %d batches, %d failures\n%!"
     !events_checked (List.length !seeds) !full_solves
     (!reuse_sum /. float_of_int n)
-    !failures;
+    !batches_checked !failures;
   if !failures > 0 then exit 1

@@ -1,0 +1,97 @@
+(* Fairness-component machinery (lib/core/component.ml), extracted
+   from the churn engine in PR 5: the binding-link predicate on the
+   paper's Figure 2, transitive closure under absorb, the boundary
+   scan's emptiness at an optimum, and the bookkeeping accessors the
+   batch coalescer leans on.
+
+   End-to-end soundness (incremental == from-scratch after every
+   event/batch) is the differential harness's job; these pin the
+   component primitives in isolation. *)
+
+module Graph = Mmfair_topology.Graph
+module Network = Mmfair_core.Network
+module Allocator = Mmfair_core.Allocator
+module Component = Mmfair_core.Component
+module Paper_nets = Mmfair_workload.Paper_nets
+
+(* Multi-rate Figure 2: rates (2.5, 2, 3) / 2.5 saturate l1 (2.5 + 2.5
+   on cap 5), l2 (2 on cap 2) and l3 (3 on cap 3) while the uplink l4
+   keeps slack (max-shape 3 + 2.5 on cap 6). *)
+let fig2 () = (Paper_nets.figure2 ~session1_type:Network.Multi_rate ()).Paper_nets.net
+
+let test_binding_predicate () =
+  let net = fig2 () in
+  let alloc = Allocator.max_min net in
+  let binding = Component.binding alloc in
+  List.iter
+    (fun (l, expect) ->
+      Alcotest.(check bool) (Printf.sprintf "link %d binding" l) expect (binding l))
+    [ (0, true); (1, true); (2, true); (3, false) ]
+
+let test_absorb_closure () =
+  let net = fig2 () in
+  let binding = Component.binding (Allocator.max_min net) in
+  let comp = Component.create net in
+  Alcotest.(check bool) "starts empty" true (Component.is_empty comp);
+  Alcotest.(check int) "no receivers yet" 0 (Component.receiver_count comp);
+  (* S2's path crosses the saturated l1, which S1 also crosses: the
+     closure of S2 is both sessions. *)
+  Component.absorb comp ~binding 1;
+  Alcotest.(check bool) "seed session inside" true (Component.mem comp 1);
+  Alcotest.(check bool) "coupled session pulled in" true (Component.mem comp 0);
+  Alcotest.(check bool) "component is full" true (Component.is_full comp);
+  Alcotest.(check (array int)) "sessions ascending" [| 0; 1 |] (Component.sessions comp);
+  Alcotest.(check int) "all four receivers" 4 (Component.receiver_count comp);
+  (* Absorbing again is idempotent. *)
+  Component.absorb comp ~binding 1;
+  Alcotest.(check int) "idempotent" 2 (Component.cardinal comp)
+
+let test_absorb_isolated () =
+  (* Figure 3(a): S2 sits alone on its private saturated link z, so
+     its closure is itself and the optimum has no boundary. *)
+  let { Paper_nets.net; _ }, _ = Paper_nets.figure3a () in
+  let binding = Component.binding (Allocator.max_min net) in
+  let comp = Component.create net in
+  Component.absorb comp ~binding 1;
+  Alcotest.(check (array int)) "closure of the isolated session" [| 1 |] (Component.sessions comp);
+  Alcotest.(check bool) "not full" false (Component.is_full comp);
+  Alcotest.(check (list int)) "no boundary at the optimum" []
+    (Component.boundary_links comp ~binding);
+  (* S1 and S3 share the saturated q: one seed absorbs both, and their
+     joint component is also boundary-free at the optimum. *)
+  let comp2 = Component.create net in
+  Component.absorb comp2 ~binding 0;
+  Alcotest.(check (array int)) "q couples S1 and S3" [| 0; 2 |] (Component.sessions comp2);
+  Alcotest.(check (list int)) "no boundary at the optimum either" []
+    (Component.boundary_links comp2 ~binding)
+
+let test_absorb_link () =
+  let net = fig2 () in
+  let binding = Component.binding (Allocator.max_min net) in
+  (* Absorbing via a saturated link pulls in every session crossing
+     it; via an unsaturated one it is a no-op. *)
+  let comp = Component.create net in
+  Component.absorb_link comp ~binding 0;
+  Alcotest.(check bool) "saturated link absorbs its sessions" true (Component.is_full comp);
+  let comp2 = Component.create net in
+  Component.absorb_link comp2 ~binding 3;
+  Alcotest.(check bool) "slack link absorbs nothing" true (Component.is_empty comp2)
+
+let test_fill () =
+  let net = fig2 () in
+  let comp = Component.create net in
+  Component.fill comp;
+  Alcotest.(check bool) "fill makes it full" true (Component.is_full comp);
+  Alcotest.(check int) "cardinal is the session count" (Network.session_count net)
+    (Component.cardinal comp);
+  Alcotest.(check int) "receiver_count is the network's" (Network.receiver_count net)
+    (Component.receiver_count comp)
+
+let suite =
+  [
+    Alcotest.test_case "binding links on figure 2" `Quick test_binding_predicate;
+    Alcotest.test_case "absorb takes the transitive closure" `Quick test_absorb_closure;
+    Alcotest.test_case "isolated session stays alone, boundary empty" `Quick test_absorb_isolated;
+    Alcotest.test_case "absorb_link seeds from a saturated link" `Quick test_absorb_link;
+    Alcotest.test_case "fill covers every session" `Quick test_fill;
+  ]

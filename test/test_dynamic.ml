@@ -15,6 +15,7 @@ module Network = Mmfair_core.Network
 module Allocation = Mmfair_core.Allocation
 module Allocator = Mmfair_core.Allocator
 module Engine = Mmfair_dynamic.Engine
+module Batch = Mmfair_dynamic.Batch
 module Event = Mmfair_dynamic.Event
 module Store = Mmfair_dynamic.Store
 module Paper_nets = Mmfair_workload.Paper_nets
@@ -100,7 +101,7 @@ let test_store_retention () =
   let eng = Engine.create ~retain:3 net in
   let store = Engine.store eng in
   Alcotest.(check int) "epoch 0 at creation" 0 (Store.epoch store);
-  Alcotest.(check bool) "epoch 0 has no event" true ((Store.current store).Store.event = None);
+  Alcotest.(check bool) "epoch 0 has no events" true ((Store.current store).Store.events = []);
   for k = 1 to 5 do
     ignore (Engine.apply eng (Event.Rho_change { session = 1; rho = float_of_int k }))
   done;
@@ -112,8 +113,8 @@ let test_store_retention () =
   | None -> Alcotest.fail "epoch 4 should be retained"
   | Some e -> (
       Alcotest.(check int) "entry numbering" 4 e.Store.epoch;
-      match e.Store.event with
-      | Some (Event.Rho_change { rho; _ }) -> feq "entry keeps its event" 4.0 rho
+      match e.Store.events with
+      | [ Event.Rho_change { rho; _ } ] -> feq "entry keeps its event" 4.0 rho
       | _ -> Alcotest.fail "epoch 4 should record its rho change"));
   (* A retained entry's allocation is the post-event solve, not a
      reference to the live head. *)
@@ -275,6 +276,201 @@ let test_invalid_event_state_unchanged () =
   Alcotest.(check int) "epoch unchanged" 0 (Engine.epoch eng);
   Alcotest.(check bool) "allocation unchanged" true (Engine.allocation eng == before)
 
+(* --- batch coalescing --------------------------------------------------- *)
+
+(* Compare two allocations by node placement (membership churn shifts
+   in-session indices). *)
+let check_same_rates what netA allocA netB allocB =
+  Alcotest.(check int) (what ^ ": same session count") (Network.session_count netA)
+    (Network.session_count netB);
+  for i = 0 to Network.session_count netA - 1 do
+    let specA = Network.session_spec netA i and specB = Network.session_spec netB i in
+    Array.iteri
+      (fun k node ->
+        let k' = ref (-1) in
+        Array.iteri (fun x n -> if n = node && !k' < 0 then k' := x) specB.Network.receivers;
+        Alcotest.(check bool) (what ^ ": receiver present in both") true (!k' >= 0);
+        feq
+          (Printf.sprintf "%s: session %d node %d" what i node)
+          (Allocation.rate allocA { Network.session = i; index = k })
+          (Allocation.rate allocB { Network.session = i; index = !k' }))
+      specA.Network.receivers
+  done
+
+let test_batch_matches_per_event () =
+  let { Paper_nets.net; _ } = Paper_nets.figure2 ~session1_type:Network.Multi_rate () in
+  let burst =
+    [
+      Event.Leave { session = 0; node = 4 };
+      Event.Rho_change { session = 1; rho = 1.5 };
+      Event.Capacity_change { link = 0; cap = 4.0 };
+    ]
+  in
+  let per_event = Engine.create net and batched = Engine.create net in
+  List.iter (fun ev -> ignore (Engine.apply per_event ev)) burst;
+  let stats = Batch.apply batched burst in
+  Alcotest.(check int) "three epochs per-event" 3 (Engine.epoch per_event);
+  Alcotest.(check int) "one epoch batched" 1 (Engine.epoch batched);
+  Alcotest.(check int) "three raw events" 3 stats.Batch.events;
+  Alcotest.(check int) "nothing nets out" 3 stats.Batch.net_events;
+  Alcotest.(check int) "nothing cancelled" 0 stats.Batch.cancelled;
+  check_same_rates "batched vs per-event" (Engine.network per_event)
+    (Engine.allocation per_event) (Engine.network batched) (Engine.allocation batched);
+  check_matches_scratch "batched vs scratch" batched
+
+let test_batch_cancellation () =
+  let { Paper_nets.net; _ } = Paper_nets.figure2 ~session1_type:Network.Multi_rate () in
+  let eng = Engine.create net in
+  let before = Engine.allocation eng in
+  let stats =
+    Batch.apply eng
+      [ Event.Leave { session = 0; node = 3 }; Event.Join { session = 0; node = 3; weight = None } ]
+  in
+  Alcotest.(check int) "both events net out" 0 stats.Batch.net_events;
+  Alcotest.(check int) "both cancelled" 2 stats.Batch.cancelled;
+  Alcotest.(check int) "no solve needed" 0 stats.Batch.solves;
+  Alcotest.(check bool) "not a full solve" false stats.Batch.full_solve;
+  Alcotest.(check int) "still one epoch" 1 (Engine.epoch eng);
+  (* The rejoined receiver moved to the session's tail; rates must be
+     identical node-by-node all the same. *)
+  check_same_rates "pure cancellation leaves rates alone" net before (Engine.network eng)
+    (Engine.allocation eng)
+
+let test_batch_last_writer_wins () =
+  let { Paper_nets.net; _ } = Paper_nets.figure2 ~session1_type:Network.Multi_rate () in
+  let direct = Engine.create net in
+  ignore (Engine.apply direct (Event.Rho_change { session = 1; rho = 2.0 }));
+  let batched = Engine.create net in
+  let stats =
+    Batch.apply batched
+      [
+        Event.Rho_change { session = 1; rho = 0.75 };
+        Event.Rho_change { session = 1; rho = 2.0 };
+      ]
+  in
+  Alcotest.(check int) "one surviving rho write" 1 stats.Batch.net_events;
+  Alcotest.(check int) "the overwritten one cancelled" 1 stats.Batch.cancelled;
+  feq "last write applied" 2.0 (Network.rho (Engine.network batched) 1);
+  check_same_rates "last-writer-wins matches a direct write" (Engine.network direct)
+    (Engine.allocation direct) (Engine.network batched) (Engine.allocation batched);
+  (* A write that lands back on the starting value nets out entirely. *)
+  let noop = Engine.create net in
+  let stats =
+    Batch.apply noop
+      [
+        Event.Rho_change { session = 1; rho = 1.5 };
+        Event.Rho_change { session = 1; rho = Network.rho net 1 };
+      ]
+  in
+  Alcotest.(check int) "round-trip rho nets out" 0 stats.Batch.net_events;
+  Alcotest.(check int) "round-trip needs no solve" 0 stats.Batch.solves
+
+let test_batch_empty_rejected () =
+  let { Paper_nets.net; _ } = Paper_nets.figure2 () in
+  let eng = Engine.create net in
+  (match Batch.apply_result eng [] with
+  | Ok _ -> Alcotest.fail "an empty batch must be rejected"
+  | Error _ -> ());
+  Alcotest.(check int) "epoch unchanged" 0 (Engine.epoch eng)
+
+(* --- epoch range queries over the store -------------------------------- *)
+
+let test_fold_epochs () =
+  let { Paper_nets.net; _ } = Paper_nets.figure2 () in
+  let eng = Engine.create ~retain:3 net in
+  let store = Engine.store eng in
+  for k = 1 to 5 do
+    ignore (Engine.apply eng (Event.Rho_change { session = 1; rho = float_of_int k }))
+  done;
+  let epochs ?lo ?hi () =
+    List.rev (Store.fold_epochs ?lo ?hi store ~init:[] ~f:(fun acc e -> e.Store.epoch :: acc))
+  in
+  (* The fold is ascending and, like find, silently misses evicted
+     epochs: asking from 1 only surfaces what retention kept. *)
+  Alcotest.(check (list int)) "defaults cover the window, ascending" [ 3; 4; 5 ] (epochs ());
+  Alcotest.(check (list int)) "evicted epochs silently absent" [ 3; 4; 5 ] (epochs ~lo:1 ~hi:5 ());
+  Alcotest.(check (list int)) "lo clips" [ 4; 5 ] (epochs ~lo:4 ());
+  Alcotest.(check (list int)) "hi clips" [ 3; 4 ] (epochs ~hi:4 ());
+  Alcotest.(check (list int)) "point query" [ 4 ] (epochs ~lo:4 ~hi:4 ());
+  Alcotest.(check (list int)) "inverted range is empty" [] (epochs ~lo:5 ~hi:4 ());
+  Alcotest.(check (list int)) "fully evicted range is empty" [] (epochs ~hi:2 ());
+  Alcotest.(check int) "entries carry their events" 3
+    (Store.fold_epochs store ~init:0 ~f:(fun acc e -> acc + List.length e.Store.events))
+
+(* --- batch probes reach the metrics registry --------------------------- *)
+
+let test_batch_probe_registry () =
+  let { Paper_nets.net; _ } = Paper_nets.figure2 ~session1_type:Network.Multi_rate () in
+  let r = Obs.Registry.create () in
+  Obs.Probe.with_sink (Obs.Registry.sink r) (fun () ->
+      let eng = Engine.create net in
+      ignore
+        (Batch.apply eng
+           [
+             Event.Leave { session = 0; node = 3 };
+             Event.Join { session = 0; node = 3; weight = None };
+           ]);
+      ignore (Engine.apply eng (Event.Rho_change { session = 1; rho = 2.0 })));
+  (* Engine.apply is Batch.apply of a singleton, so it too counts as a
+     batch of one. *)
+  Alcotest.(check int) "two batches" 2
+    (Obs.Registry.counter_value (Obs.Registry.counter r "dynamic.batches.total"));
+  Alcotest.(check int) "three raw events" 3
+    (Obs.Registry.counter_value (Obs.Registry.counter r "dynamic.batch.events.total"));
+  Alcotest.(check int) "two cancelled" 2
+    (Obs.Registry.counter_value (Obs.Registry.counter r "dynamic.batch.cancelled.total"));
+  Alcotest.(check int) "each batch is one epoch" 2
+    (Obs.Registry.counter_value (Obs.Registry.counter r "dynamic.epochs.total"))
+
+(* --- .churn batch blocks ------------------------------------------------ *)
+
+let test_churn_parser_batches () =
+  let names =
+    Net_parser.parse_string
+      "link l1 a b 5.0\nlink l2 b c 2.0\nsession s1 multi sender=a receivers=c\nsession s2 multi sender=a receivers=b\n"
+  in
+  let text = "join s2 c\nbatch\n  cap l1 4.5\n  leave s1 c\nend\nrho s2 2.0\n" in
+  (match Churn_parser.parse_items_result names text with
+  | Ok
+      [
+        Churn_parser.Single (Event.Join { session = 1; _ });
+        Churn_parser.Batch [ Event.Capacity_change { cap = 4.5; _ }; Event.Leave { session = 0; _ } ];
+        Churn_parser.Single (Event.Rho_change { rho = 2.0; _ });
+      ] ->
+      ()
+  | Ok items -> Alcotest.fail (Printf.sprintf "unexpected items: %d" (List.length items))
+  | Error e -> Alcotest.fail e);
+  (* Rendering the items and re-parsing must reproduce the text. *)
+  let items = Churn_parser.parse_items names text in
+  let rendered = Churn_parser.render_items ~names items in
+  Alcotest.(check string) "batch blocks round-trip"
+    rendered
+    (Churn_parser.render_items ~names (Churn_parser.parse_items names rendered));
+  (* flatten erases the block structure but keeps the order. *)
+  Alcotest.(check int) "flatten keeps every event" 4 (List.length (Churn_parser.flatten items));
+  (* Malformed block structure, each reported at the right line. *)
+  List.iter
+    (fun (text, line) ->
+      match Churn_parser.parse_items_result names text with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "expected a parse error for %S" text)
+      | Error msg ->
+          let prefix = Printf.sprintf "line %d:" line in
+          Alcotest.(check bool) (Printf.sprintf "%S -> %S" text msg) true (starts_with ~prefix msg))
+    [
+      ("batch\nend", 1);
+      ("join s2 c\nbatch\njoin s2 c\nbatch", 4);
+      ("end", 1);
+      ("join s2 c\nbatch\njoin s2 c", 2);
+      ("batch now", 1);
+      ("batch\njoin s2 c\nend here", 3);
+    ];
+  (* The shipped example exercises a batch block. *)
+  let fig2 = Net_parser.parse_string Net_parser.example in
+  Alcotest.(check bool) "example includes a batch" true
+    (List.exists
+       (function Churn_parser.Batch _ -> true | Churn_parser.Single _ -> false)
+       (Churn_parser.parse_items fig2 Churn_parser.example))
+
 let suite =
   [
     Alcotest.test_case "engine matches scratch on figure 2 churn" `Quick test_engine_on_figure2;
@@ -285,4 +481,11 @@ let suite =
     Alcotest.test_case "churn generator determinism" `Quick test_generator_determinism;
     Alcotest.test_case "epoch probes reach the registry" `Quick test_epoch_probe_registry;
     Alcotest.test_case "invalid events leave state unchanged" `Quick test_invalid_event_state_unchanged;
+    Alcotest.test_case "batch matches per-event replay" `Quick test_batch_matches_per_event;
+    Alcotest.test_case "cancelling batches skip the solve" `Quick test_batch_cancellation;
+    Alcotest.test_case "repeated writes keep the last value" `Quick test_batch_last_writer_wins;
+    Alcotest.test_case "empty batches are rejected" `Quick test_batch_empty_rejected;
+    Alcotest.test_case "fold_epochs range queries" `Quick test_fold_epochs;
+    Alcotest.test_case "batch probes reach the registry" `Quick test_batch_probe_registry;
+    Alcotest.test_case "churn parser batch blocks" `Quick test_churn_parser_batches;
   ]

@@ -29,6 +29,8 @@ let () =
       ("claims", Test_claims.suite);
       ("misc", Test_misc.suite);
       ("membership", Test_membership.suite);
+      ("solve-engine", Test_solve_engine.suite);
+      ("component", Test_component.suite);
       ("dynamic", Test_dynamic.suite);
       ("obs", Test_obs.suite);
     ]
