@@ -16,14 +16,23 @@
    ways on the same restored engine: applied per event (16 epochs) vs
    coalesced into one Batch.apply (a single union-component solve).
 
+   The "parallel" section (schema v3) times one 16-join batch on a
+   star-of-stars network whose 16 clusters are link-disjoint — the
+   batch partitions into 16 independent fairness components — at
+   --domains 1, 2, 4 and 8 on the shared domain pool.  Allocations are
+   asserted bitwise identical across domain counts before any timing.
+
    Run:      dune exec bench/churn.exe                 (full sweep)
              dune exec bench/churn.exe -- --quick      (CI smoke)
    Validate: dune exec bench/churn.exe -- --validate BENCH_churn.json
 
    The JSON schema is documented in README.md ("Benchmarking").  The
    acceptance gates live in --validate: a non-quick file must record a
-   median speedup >= 3x for the join and leave classes and a batch
-   speedup >= 1.5x for the flash-crowd burst. *)
+   median speedup >= 3x for the join and leave classes, a batch
+   speedup >= 1.5x for the flash-crowd burst, and — when the
+   generating host had >= 4 CPUs ("host_cpus") — a parallel speedup
+   >= 2x at 4 domains; on smaller hosts the parallel gate is waived
+   with a warning, since domains cannot beat cores. *)
 
 module Network = Mmfair_core.Network
 module Allocator = Mmfair_core.Allocator
@@ -36,7 +45,7 @@ module Churn_gen = Mmfair_workload.Churn_gen
 module Obs = Mmfair_obs
 module Json = Mmfair_obs.Json
 
-let schema_id = "mmfair.bench.churn/v2"
+let schema_id = "mmfair.bench.churn/v3"
 let classes = [ "join"; "leave"; "rho"; "cap" ]
 
 (* --- timing (same discipline as bench/scaling.ml) ------------------- *)
@@ -279,6 +288,120 @@ let measure_batch ~engine ~min_time net base_alloc burst =
     row.batch_solves;
   row
 
+(* --- parallel disjoint components ----------------------------------- *)
+
+(* Star-of-stars: a root R with [clusters] hubs hanging off it, one
+   tight trunk link R--hub per cluster, and [cluster_sessions]
+   sessions per cluster sending from R through the trunk to leaf
+   receivers below the hub.  The trunk is the only link that can bind
+   (leaf links are overprovisioned), so each cluster's sessions form
+   one fairness component and no link is shared between clusters: a
+   batch with one join per cluster partitions into [clusters]
+   link-disjoint components, each solvable on its own domain.  One
+   spare leaf per cluster hosts the joining receiver. *)
+
+let clusters = 16
+let cluster_sessions = 6
+let receivers_per_session = 3
+let parallel_domain_counts = [ 1; 2; 4; 8 ]
+
+let star_of_stars () =
+  let g = Graph.create ~nodes:1 in
+  let root = 0 in
+  let specs = ref [] in
+  let spares = ref [] in
+  for _c = 1 to clusters do
+    let hub = Graph.add_node g in
+    ignore (Graph.add_link g root hub (2.5 *. float_of_int cluster_sessions));
+    for _s = 1 to cluster_sessions do
+      let receivers =
+        Array.init receivers_per_session (fun _ ->
+            let leaf = Graph.add_node g in
+            ignore (Graph.add_link g hub leaf 10.0);
+            leaf)
+      in
+      specs := Network.session ~sender:root ~receivers () :: !specs
+    done;
+    let spare = Graph.add_node g in
+    ignore (Graph.add_link g hub spare 10.0);
+    spares := spare :: !spares
+  done;
+  (Network.make g (Array.of_list (List.rev !specs)), List.rev !spares)
+
+type parallel_row = { p_domains : int; p_batched_ns : float; p_speedup : float }
+
+type parallel_section = {
+  par_sessions : int;
+  par_links : int;
+  par_burst : int;
+  par_components : int;
+  par_host_cpus : int;
+  par_rows : parallel_row list;
+}
+
+let rate_matrix net alloc =
+  Array.init (Network.session_count net) (fun i -> Allocation.rates_of_session alloc i)
+
+let measure_parallel ~engine ~min_time () =
+  let net, spares = star_of_stars () in
+  let base_alloc = Allocator.max_min ~engine net in
+  let burst =
+    List.mapi
+      (fun c spare ->
+        Event.Join { session = c * cluster_sessions; node = spare; weight = None })
+      spares
+  in
+  let apply ~domains =
+    let eng = Engine.create ~engine ~domains ~allocation:base_alloc net in
+    let stats = Batch.apply eng burst in
+    (stats, rate_matrix (Engine.network eng) (Engine.allocation eng))
+  in
+  (* Correctness preflight, before any timing: the batch must actually
+     split into [clusters] disjoint components, and every domain count
+     must land on bitwise identical allocations. *)
+  let stats1, rates1 = apply ~domains:1 in
+  if stats1.Batch.components <> clusters then (
+    Printf.eprintf "churn bench: parallel batch produced %d components, want %d\n%!"
+      stats1.Batch.components clusters;
+    exit 1);
+  List.iter
+    (fun domains ->
+      let _, rates = apply ~domains in
+      if rates <> rates1 then (
+        Printf.eprintf
+          "churn bench: parallel batch at %d domains is not bitwise identical to 1 domain\n%!"
+          domains;
+        exit 1))
+    (List.filter (fun d -> d > 1) parallel_domain_counts);
+  let timings =
+    List.map
+      (fun domains ->
+        ( domains,
+          time_best ~min_time (fun () ->
+              let eng = Engine.create ~engine ~domains ~allocation:base_alloc net in
+              Batch.apply eng burst) ))
+      parallel_domain_counts
+  in
+  let t1 = List.assoc 1 timings in
+  let rows =
+    List.map
+      (fun (domains, ns) -> { p_domains = domains; p_batched_ns = ns; p_speedup = t1 /. ns })
+      timings
+  in
+  List.iter
+    (fun r ->
+      Printf.printf "parallel %2d domains  batched %12.1f ns  speedup vs 1 %6.2fx\n%!" r.p_domains
+        r.p_batched_ns r.p_speedup)
+    rows;
+  {
+    par_sessions = Network.session_count net;
+    par_links = Graph.link_count (Network.graph net);
+    par_burst = List.length burst;
+    par_components = stats1.Batch.components;
+    par_host_cpus = Domain.recommended_domain_count ();
+    par_rows = rows;
+  }
+
 (* --- JSON emission -------------------------------------------------- *)
 
 let json_escape s =
@@ -294,7 +417,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let emit ~quick ~min_time ~out net rows batch =
+let emit ~quick ~min_time ~out net rows batch par =
   let g = Network.graph net in
   let oc = open_out out in
   let p fmt = Printf.fprintf oc fmt in
@@ -328,6 +451,21 @@ let emit ~quick ~min_time ~out net rows batch =
   p "    \"net_events\": %d,\n" batch.net_events;
   p "    \"solves\": %d,\n" batch.batch_solves;
   p "    \"full_solve\": %b\n" batch.batch_full;
+  p "  },\n";
+  p "  \"parallel\": {\n";
+  p "    \"topology\": { \"clusters\": %d, \"sessions\": %d, \"links\": %d },\n" clusters
+    par.par_sessions par.par_links;
+  p "    \"burst_events\": %d,\n" par.par_burst;
+  p "    \"components\": %d,\n" par.par_components;
+  p "    \"host_cpus\": %d,\n" par.par_host_cpus;
+  p "    \"rows\": [\n";
+  List.iteri
+    (fun idx r ->
+      p "      { \"domains\": %d, \"batched_time_ns\": %.1f, \"speedup_vs_1\": %.2f }%s\n"
+        r.p_domains r.p_batched_ns r.p_speedup
+        (if idx = List.length par.par_rows - 1 then "" else ","))
+    par.par_rows;
+  p "    ]\n";
   p "  }\n";
   p "}\n";
   close_out oc
@@ -404,9 +542,60 @@ let validate file =
   let batch_speedup = num_field batch "speedup" in
   if (not quick) && batch_speedup < 1.5 then
     fail (Printf.sprintf "batch speedup %.2fx is below the required 1.5x" batch_speedup);
-  Printf.printf "%s: schema %s OK, %d classes, batch speedup %.2fx%s\n" file schema_id
-    (List.length by_kind) batch_speedup
-    (if quick then " (quick: speedup gates skipped)" else "")
+  (* The ISSUE-6 acceptance criterion: one domain per disjoint fairness
+     component must give >= 2x at 4 domains on the star-of-stars batch
+     — but only when the generating host actually had >= 4 CPUs
+     ("host_cpus" is recorded in the file); OCaml domains cannot beat
+     cores, so on smaller hosts the gate is waived with a warning. *)
+  let parallel =
+    match Json.member "parallel" doc with
+    | Some (Json.Obj _ as b) -> b
+    | _ -> fail "missing \"parallel\" object"
+  in
+  let par_components =
+    match Json.member "components" parallel with
+    | Some (Json.Num f) -> int_of_float f
+    | _ -> fail "parallel missing numeric \"components\""
+  in
+  if par_components < 16 then
+    fail (Printf.sprintf "parallel components %d is below the required 16" par_components);
+  let host_cpus =
+    match Json.member "host_cpus" parallel with
+    | Some (Json.Num f) when f >= 1.0 -> int_of_float f
+    | _ -> fail "parallel missing positive numeric \"host_cpus\""
+  in
+  let par_rows =
+    match Json.member "rows" parallel with
+    | Some (Json.List l) when l <> [] -> l
+    | _ -> fail "parallel missing non-empty \"rows\" array"
+  in
+  let speedup_at d =
+    let row =
+      List.find_opt
+        (fun r -> match Json.member "domains" r with Some (Json.Num f) -> int_of_float f = d | _ -> false)
+        par_rows
+    in
+    match row with
+    | None -> fail (Printf.sprintf "parallel rows missing the %d-domain entry" d)
+    | Some r ->
+        ignore (num_field r "batched_time_ns");
+        num_field r "speedup_vs_1"
+  in
+  List.iter (fun d -> ignore (speedup_at d)) [ 1; 2; 4; 8 ];
+  let par_speedup = speedup_at 4 in
+  let par_note =
+    if quick then " (quick: speedup gates skipped)"
+    else if host_cpus < 4 then
+      Printf.sprintf " (parallel gate waived: generating host had %d CPU%s)" host_cpus
+        (if host_cpus = 1 then "" else "s")
+    else if par_speedup < 2.0 then
+      fail
+        (Printf.sprintf "parallel speedup %.2fx at 4 domains is below the required 2x (host_cpus %d)"
+           par_speedup host_cpus)
+    else ""
+  in
+  Printf.printf "%s: schema %s OK, %d classes, batch speedup %.2fx, parallel %.2fx at 4 domains%s\n"
+    file schema_id (List.length by_kind) batch_speedup par_speedup par_note
 
 (* --- driver --------------------------------------------------------- *)
 
@@ -447,5 +636,6 @@ let () =
         buckets;
       let rows = List.map (measure ~engine ~min_time net base_alloc) buckets in
       let batch = measure_batch ~engine ~min_time net base_alloc (flash_crowd net) in
-      emit ~quick:!quick ~min_time ~out:!out net rows batch;
-      Printf.printf "wrote %s (%d classes + batch)\n" !out (List.length rows)
+      let par = measure_parallel ~engine ~min_time () in
+      emit ~quick:!quick ~min_time ~out:!out net rows batch par;
+      Printf.printf "wrote %s (%d classes + batch + parallel)\n" !out (List.length rows)

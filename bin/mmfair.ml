@@ -349,6 +349,12 @@ let churn_cmd =
                                    against a from-scratch solve (relative 1e-9).")
   in
   let rates = Arg.(value & flag & info [ "rates" ] ~doc:"Also print the final receiver rates.") in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Solve each epoch's disjoint fairness components on a pool of N OCaml domains \
+                   (default 1 = sequential).  Allocations are identical at every N.")
+  in
   let coalesce =
     Arg.(value & opt ~vopt:(Some 16) (some int) None
          & info [ "coalesce" ] ~docv:"N"
@@ -357,8 +363,9 @@ let churn_cmd =
                    blocks in the file; without this flag, file batch blocks are honored as \
                    written.")
   in
-  let run tele net_file trace_file random_events engine verify rates coalesce seed csv =
+  let run tele net_file trace_file random_events engine verify rates domains coalesce seed csv =
     Telemetry.wrap tele @@ fun () ->
+    if domains < 1 then die exit_invalid_input "mmfair churn: --domains wants a positive count";
     let parsed = Net_parser.parse_file net_file in
     let net = parsed.Net_parser.net in
     let items =
@@ -389,7 +396,7 @@ let churn_cmd =
           chunk [] [] 0 (Churn_parser.flatten items)
     in
     let eng =
-      match Engine.create_result ~engine net with
+      match Engine.create_result ~engine ~domains net with
       | Ok eng -> eng
       | Error e -> die exit_solver_error "mmfair churn: initial solve: %s" (Solver_error.to_string e)
     in
@@ -439,6 +446,7 @@ let churn_cmd =
             string_of_int (idx + 1);
             label;
             string_of_int stats.Batch.events;
+            string_of_int stats.Batch.components;
             string_of_int stats.Batch.component_sessions;
             string_of_int stats.Batch.component_receivers;
             Printf.sprintf "%.2f" stats.Batch.reuse_fraction;
@@ -449,7 +457,7 @@ let churn_cmd =
     in
     print_table ~csv
       (E.Table.make ~title:"Churn replay (incremental re-solve per step)"
-         ~columns:[ "#"; "step"; "events"; "comp sess"; "comp recv"; "reuse"; "solves"; "mode" ]
+         ~columns:[ "#"; "step"; "events"; "comps"; "comp sess"; "comp recv"; "reuse"; "solves"; "mode" ]
          rows);
     if rates then begin
       let alloc = Engine.allocation eng and now = Engine.network eng in
@@ -496,7 +504,7 @@ let churn_cmd =
   in
   Cmd.v (Cmd.info "churn" ~doc ~man)
     Term.(const run $ tele_term $ net_file $ trace_file $ random_events $ engine $ verify $ rates
-          $ coalesce $ seed_arg $ csv_flag)
+          $ domains $ coalesce $ seed_arg $ csv_flag)
 
 let single_rate_cmd =
   let grid = Arg.(value & opt int 12 & info [ "grid" ] ~docv:"N" ~doc:"Candidate rates to sweep.") in

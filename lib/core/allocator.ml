@@ -53,6 +53,11 @@ type state = {
   active_links : int array;
   link_pos : int array; (* position in active_links, -1 once retired *)
   mutable n_active_links : int;
+  touched_links : bool array option;
+      (* Warm starts: the links the solved sessions cross.  Only these
+         carry initialized cell/link aggregates, and only these
+         constrain the solve — frozen usage elsewhere is t-independent
+         and none of the solved sessions' business. *)
 }
 
 (* [warm], when given, pins part of the population before the first
@@ -61,8 +66,17 @@ type state = {
    and the active-link set come out of one pass over the cells —
    instead of constructing the all-active state and re-freezing
    receivers one at a time (the warm start used to dominate small
-   incremental re-solves). *)
-let init_state ?warm net =
+   incremental re-solves).
+
+   [touched] (warm starts only) masks the links the solved sessions
+   cross.  Cell and link aggregates are initialized for those links
+   only: no other link is ever read by the rounds (active receivers
+   all belong to solved sessions, so untouched links retire before
+   round one), which makes a restricted solve's setup proportional to
+   the component's neighborhood, not the network — the difference
+   between one batched re-solve and sixteen when a churn batch
+   partitions into sixteen disjoint components. *)
+let init_state ?warm ?touched net =
   let g = Network.graph net in
   let inc = Network.incidence net in
   let m = Network.session_count net in
@@ -100,31 +114,43 @@ let init_state ?warm net =
         cell_active.(c) <- cell_first.(c + 1) - cell_first.(c)
       done
   | Some _ ->
-      (* Warm-start hot path (every incremental re-solve pays this
-         full-cell pass): indices come straight off the CSR, so skip
-         the bounds checks like the incidence splice does. *)
+      (* Warm-start hot path: indices come straight off the CSR, so
+         skip the bounds checks like the incidence splice does.  With
+         a [touched] mask only the solved sessions' links pay the
+         pass. *)
       let link_cells = inc.Network.link_cells in
-      for c = 0 to nc - 1 do
-        let lo = Array.unsafe_get cell_first c and hi = Array.unsafe_get cell_first (c + 1) in
-        let n_act = ref 0 in
-        let mx = ref 0.0 and sum = ref 0.0 in
-        for p = lo to hi - 1 do
-          let gid = Array.unsafe_get link_cells p in
-          if Array.unsafe_get active gid then incr n_act
-          else begin
-            let a = Array.unsafe_get rates gid in
-            if a > !mx then mx := a;
-            sum := !sum +. a
-          end
-        done;
-        Array.unsafe_set cell_active c !n_act;
-        Array.unsafe_set cell_max_frozen c !mx;
-        Array.unsafe_set cell_sum_frozen c !sum
-      done);
+      let cells_of_link l =
+        for c = link_row.(l) to link_row.(l + 1) - 1 do
+          let lo = Array.unsafe_get cell_first c and hi = Array.unsafe_get cell_first (c + 1) in
+          let n_act = ref 0 in
+          let mx = ref 0.0 and sum = ref 0.0 in
+          for p = lo to hi - 1 do
+            let gid = Array.unsafe_get link_cells p in
+            if Array.unsafe_get active gid then incr n_act
+            else begin
+              let a = Array.unsafe_get rates gid in
+              if a > !mx then mx := a;
+              sum := !sum +. a
+            end
+          done;
+          Array.unsafe_set cell_active c !n_act;
+          Array.unsafe_set cell_max_frozen c !mx;
+          Array.unsafe_set cell_sum_frozen c !sum
+        done
+      in
+      (match touched with
+      | Some mask ->
+          for l = 0 to nl - 1 do
+            if Array.unsafe_get mask l then cells_of_link l
+          done
+      | None ->
+          for l = 0 to nl - 1 do
+            cells_of_link l
+          done));
   let link_const = Array.make (Stdlib.max nl 1) 0.0 in
   let link_slope = Array.make (Stdlib.max nl 1) 0.0 in
   let link_active = Array.make (Stdlib.max nl 1) 0 in
-  for l = 0 to nl - 1 do
+  let model_link l =
     for c = link_row.(l) to link_row.(l + 1) - 1 do
       (match vfn.(inc.Network.cell_session.(c)) with
       | Redundancy_fn.Efficient ->
@@ -139,7 +165,16 @@ let init_state ?warm net =
       | Redundancy_fn.Custom _ -> ());
       link_active.(l) <- link_active.(l) + cell_active.(c)
     done
-  done;
+  in
+  (match touched with
+  | Some mask when warm <> None ->
+      for l = 0 to nl - 1 do
+        if Array.unsafe_get mask l then model_link l
+      done
+  | _ ->
+      for l = 0 to nl - 1 do
+        model_link l
+      done);
   let active_links = Array.make (Stdlib.max nl 1) 0 in
   let link_pos = Array.make (Stdlib.max nl 1) (-1) in
   let n_active_links = ref 0 in
@@ -174,6 +209,7 @@ let init_state ?warm net =
     active_links;
     link_pos;
     n_active_links = !n_active_links;
+    touched_links = (if warm = None then None else touched);
   }
 
 (* (const, slope) contribution of compact cell [c] (session [i]) to
@@ -298,10 +334,21 @@ let bisection_bound st t_cur rho_bound =
     !ok
   in
   let feasible_all t =
+    (* Restricted solves judge feasibility on the solved sessions'
+       links only: usage elsewhere is all-frozen, t-independent, and
+       no concern of this solve's — a stale pin overfilling a link the
+       component never crosses must not clamp the component to zero. *)
+    let check l ok = if link_usage_at st ~link:l t > st.cap.(l) +. tol_for st.cap.(l) then ok := false in
     let ok = ref true in
-    for l = 0 to st.nl - 1 do
-      if link_usage_at st ~link:l t > st.cap.(l) +. tol_for st.cap.(l) then ok := false
-    done;
+    (match st.touched_links with
+    | Some mask ->
+        for l = 0 to st.nl - 1 do
+          if Array.unsafe_get mask l then check l ok
+        done
+    | None ->
+        for l = 0 to st.nl - 1 do
+          check l ok
+        done);
     !ok
   in
   let max_cap = Array.fold_left Stdlib.max 0.0 st.cap in
@@ -367,9 +414,25 @@ let run ?on_round ?partial engine net =
             done
           end
         done;
-        Some (component, active0, rates0)
+        let nl = Graph.link_count (Network.graph net) in
+        let mask = Array.make (Stdlib.max nl 1) false in
+        let rr = inc.Network.recv_row and rc = inc.Network.recv_cells in
+        Array.iter
+          (fun i ->
+            for gid = inc.Network.session_first.(i) to inc.Network.session_first.(i + 1) - 1 do
+              for p = rr.(gid) to rr.(gid + 1) - 1 do
+                mask.(rc.(p)) <- true
+              done
+            done)
+          component;
+        Some (component, active0, rates0, mask)
   in
-  let st = init_state ?warm:(Option.map (fun (_, a, r) -> (a, r)) warm) net in
+  let st =
+    init_state
+      ?warm:(Option.map (fun (_, a, r, _) -> (a, r)) warm)
+      ?touched:(Option.map (fun (_, _, _, mask) -> mask) warm)
+      net
+  in
   let all_linear = Array.for_all Redundancy_fn.is_linear st.vfn in
   let unit_weights = Network.all_weights_unit net in
   let use_linear =
@@ -385,7 +448,7 @@ let run ?on_round ?partial engine net =
   in
   let session_first = st.inc.Network.session_first in
   let solve_sessions =
-    match warm with None -> Array.init st.m Fun.id | Some (component, _, _) -> component
+    match warm with None -> Array.init st.m Fun.id | Some (component, _, _, _) -> component
   in
   let n_solve = Array.length solve_sessions in
   let round_no = ref 0 in

@@ -7,14 +7,21 @@ module Graph = Mmfair_topology.Graph
    from-scratch solve stays well inside the differential gate. *)
 let eps_bind = 1e-7
 
+(* Beyond the member set, [parent] tracks which members were absorbed
+   through a shared binding link (union-find, union-by-min so a
+   group's root is its smallest session).  Disjoint groups are
+   independent sub-problems: their restricted solves commute, which is
+   what lets the batch engine hand each group to its own domain. *)
 type t = {
   net : Network.t;
   in_comp : bool array; (* per session *)
+  parent : int array; (* per session; meaningful for members *)
   mutable n_sessions : int;
 }
 
 let create net =
-  { net; in_comp = Array.make (Network.session_count net) false; n_sessions = 0 }
+  let n = Network.session_count net in
+  { net; in_comp = Array.make n false; parent = Array.init n (fun i -> i); n_sessions = 0 }
 
 let network t = t.net
 let mem t i = t.in_comp.(i)
@@ -22,9 +29,24 @@ let cardinal t = t.n_sessions
 let is_empty t = t.n_sessions = 0
 let is_full t = t.n_sessions = Array.length t.in_comp
 
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find t p in
+    t.parent.(i) <- root;
+    root
+  end
+
+let union t i j =
+  let ri = find t i and rj = find t j in
+  if ri < rj then t.parent.(rj) <- ri else if rj < ri then t.parent.(ri) <- rj
+
 let fill t =
-  Array.fill t.in_comp 0 (Array.length t.in_comp) true;
-  t.n_sessions <- Array.length t.in_comp
+  let n = Array.length t.in_comp in
+  Array.fill t.in_comp 0 n true;
+  Array.fill t.parent 0 n 0;
+  t.n_sessions <- n
 
 let sessions t =
   let out = Array.make t.n_sessions 0 in
@@ -37,6 +59,24 @@ let sessions t =
       end)
     t.in_comp;
   out
+
+let groups t =
+  (* Ascending iteration meets each group at its smallest session,
+     which union-by-min makes the root: buckets come out keyed and
+     ordered by root, members ascending within. *)
+  let buckets = Hashtbl.create 16 in
+  let roots = ref [] in
+  Array.iteri
+    (fun i inside ->
+      if inside then
+        let r = find t i in
+        match Hashtbl.find_opt buckets r with
+        | None ->
+            Hashtbl.add buckets r (ref [ i ]);
+            roots := r :: !roots
+        | Some members -> members := i :: !members)
+    t.in_comp;
+  List.rev_map (fun r -> Array.of_list (List.rev !(Hashtbl.find buckets r))) !roots
 
 let receiver_count t =
   let n = ref 0 in
@@ -70,7 +110,9 @@ let add t i =
   end
 
 (* Grow by session [i] and everything reachable from it over binding
-   links, stack-based. *)
+   links, stack-based.  Sessions met across a binding link are
+   unioned with the session being expanded — also when already
+   members, which is how separately-seeded groups merge on contact. *)
 let absorb t ~binding i =
   let stack = ref [ i ] in
   add t i;
@@ -87,8 +129,10 @@ let absorb t ~binding i =
                   let j = r.Network.session in
                   if not t.in_comp.(j) then begin
                     add t j;
+                    union t s j;
                     stack := j :: !stack
-                  end)
+                  end
+                  else union t s j)
                 (Network.all_on_link t.net ~link:l))
           (Network.session_links t.net s);
         true
@@ -102,7 +146,9 @@ let absorb_link t ~binding l =
       (fun (r : Network.receiver_id) -> absorb t ~binding r.Network.session)
       (Network.all_on_link t.net ~link:l)
 
-let boundary_links t ~binding =
+(* Shared scan: links on the given sessions' paths that are binding
+   and carry both a [member] and a non-[member] receiver. *)
+let boundary_scan t ~binding ~member iter_sessions =
   let inc = Network.incidence t.net in
   let nl = Graph.link_count (Network.graph t.net) in
   let seen = Array.make (Stdlib.max nl 1) false in
@@ -110,8 +156,7 @@ let boundary_links t ~binding =
   (* A boundary link carries at least one member receiver, so only
      links on the member sessions' paths can qualify: enumerate those
      straight off the receiver CSR instead of scanning every link. *)
-  for i = 0 to Array.length t.in_comp - 1 do
-    if t.in_comp.(i) then
+  iter_sessions (fun i ->
       for gid = inc.Network.session_first.(i) to inc.Network.session_first.(i + 1) - 1 do
         for p = inc.Network.recv_row.(gid) to inc.Network.recv_row.(gid + 1) - 1 do
           let l = inc.Network.recv_cells.(p) in
@@ -124,12 +169,25 @@ let boundary_links t ~binding =
               for q = inc.Network.cell_first.(inc.Network.link_row.(l))
                    to inc.Network.cell_first.(inc.Network.link_row.(l + 1)) - 1 do
                 let r = inc.Network.receiver_of_gid.(inc.Network.link_cells.(q)) in
-                if t.in_comp.(r.Network.session) then has_in := true else has_out := true
+                if member r.Network.session then has_in := true else has_out := true
               done;
               if !has_in && !has_out then boundary := l :: !boundary
             end
           end
         done
-      done
-  done;
+      done);
   !boundary
+
+let boundary_links t ~binding =
+  boundary_scan t ~binding
+    ~member:(fun s -> t.in_comp.(s))
+    (fun f -> Array.iteri (fun i inside -> if inside then f i) t.in_comp)
+
+let group_boundary_links t ~binding group =
+  if Array.length group = 0 then []
+  else begin
+    let root = find t group.(0) in
+    boundary_scan t ~binding
+      ~member:(fun s -> t.in_comp.(s) && find t s = root)
+      (fun f -> Array.iter f group)
+  end

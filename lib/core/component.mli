@@ -50,6 +50,30 @@ val fill : t -> unit
 val sessions : t -> int array
 (** The member sessions, ascending. *)
 
+val groups : t -> int array list
+(** The member sessions partitioned into {e disjoint} groups: two
+    members land in the same group iff one was absorbed through a
+    binding link touching the other (transitively) — separately-seeded
+    closures that never met stay separate.  Groups are ordered by
+    their smallest session, members ascending within.  Disjoint
+    groups share no binding link, so their restricted solves are
+    independent sub-problems; the batch engine hands each to its own
+    scheduler task and re-checks the split against the merged
+    candidate with {!group_boundary_links}. *)
+
+val group_boundary_links :
+  t ->
+  binding:(Mmfair_topology.Graph.link_id -> bool) ->
+  int array ->
+  Mmfair_topology.Graph.link_id list
+(** {!boundary_links} restricted to one group of {!groups}: the links
+    that are saturated (per [binding]) and carry both a receiver of
+    the group and a receiver outside it — where "outside" includes
+    {e other groups'} members, so a link two groups both lean on is
+    flagged and absorbing it merges them.  The empty list certifies
+    the group's restricted solve against everything it was frozen
+    against. *)
+
 val receiver_count : t -> int
 (** Total receivers over the member sessions. *)
 

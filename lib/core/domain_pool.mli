@@ -1,0 +1,68 @@
+(** A persistent pool of OCaml 5 domains for embarrassingly parallel
+    solve tasks.
+
+    The multicore seams in this repo (the batch engine's per-component
+    solve tasks, the differential harness's from-scratch reference
+    solves, {!Mmfair_protocols.Runner.replicate}'s independent
+    replication runs) all reduce to "run these independent thunks,
+    then join".  [Domain_pool] owns the domains: spawn once, reuse
+    across calls, so repeated batches stop paying [Domain.spawn] cost
+    (~tens of µs each) on every epoch.
+
+    {b Determinism contract.}  [run] imposes {e no} structure on the
+    tasks beyond completion: callers must make each task a pure
+    function writing into its own disjoint slots, so the result is
+    identical at every pool size — the batch engine's differential
+    gate enforces bitwise-identical allocations for [--domains 1,2,4].
+    Probe events emitted inside a task are buffered per task and
+    flushed to the submitting domain's sink in task order after the
+    join, so the telemetry stream is also independent of the pool size
+    and of scheduling (see the span caveat in {!run}).
+
+    {b Exceptions.}  A task that raises does not poison the pool: the
+    remaining tasks still run, and after the join the lowest-indexed
+    failure is re-raised on the submitting domain.  Solver-contract
+    exceptions ({!Solver_error.Error}, [Invalid_argument]) re-raise
+    as themselves; anything else is wrapped as
+    {!Solver_error.Scheduler_failure} carrying the task's index.
+
+    The pool API is meant to be driven from one coordinating domain
+    (the main domain): [run], [shared] and [shutdown] are not
+    themselves re-entrant from concurrent domains. *)
+
+type t
+
+val create : domains:int -> t
+(** [create ~domains] spawns [domains - 1] worker domains (the
+    submitting domain is the remaining executor, so [~domains:1]
+    spawns nothing and [run] degenerates to [List.iter]).  Raises
+    [Invalid_argument] when [domains < 1].  Prefer {!shared} unless
+    the pool's lifetime must be scoped — a created pool should be
+    {!shutdown} when no longer needed. *)
+
+val domains : t -> int
+(** The parallelism this pool offers, counting the submitting
+    domain (= 1 + spawned workers). *)
+
+val run : t -> (unit -> unit) list -> unit
+(** [run t tasks] executes every task and returns when all have
+    completed.  The submitting domain participates, so all [domains t]
+    execution streams are used.  Task probe events are buffered and
+    flushed in task-index order to the submitting domain's sink after
+    the join (worker domains' own sinks stay {!Mmfair_obs.Sink.null});
+    span begin/end pairs are therefore stamped at flush time — span
+    {e durations} measured through a worker task are not meaningful.
+    On task failure, see the exception policy above.  Raises
+    [Invalid_argument] if the pool has been {!shutdown}. *)
+
+val shared : domains:int -> t
+(** The process-wide pool of the given size, created on first request
+    and cached (one pool per distinct size; idle workers block on a
+    condition variable and cost nothing).  All shared pools are shut
+    down via [at_exit], so spawned domains never block process
+    termination.  Call from the coordinating domain only. *)
+
+val shutdown : t -> unit
+(** Join and release the pool's workers.  Idempotent.  Subsequent
+    {!run} calls on a multi-domain pool raise [Invalid_argument];
+    a [~domains:1] pool has no workers and keeps working. *)

@@ -8,6 +8,7 @@ type t =
       residual_slack : float;
     }
   | Non_monotone_vfn of { solver : string; session : int; round : int }
+  | Scheduler_failure of { solver : string; task : int; what : string }
 
 exception Error of t
 
@@ -15,7 +16,8 @@ let solver = function
   | Invalid_input { solver; _ }
   | No_progress { solver; _ }
   | Stuck_link { solver; _ }
-  | Non_monotone_vfn { solver; _ } ->
+  | Non_monotone_vfn { solver; _ }
+  | Scheduler_failure { solver; _ } ->
       solver
 
 let to_string = function
@@ -38,6 +40,8 @@ let to_string = function
         "%s: stalled at round %d; session %d uses a custom link-rate function that appears \
          non-monotone"
         solver round session
+  | Scheduler_failure { solver; task; what } ->
+      Printf.sprintf "%s: scheduler failed solve task %d: %s" solver task what
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)
 

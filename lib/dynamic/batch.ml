@@ -10,6 +10,7 @@ type stats = {
   events : int;
   net_events : int;
   cancelled : int;
+  components : int;
   component_sessions : int;
   component_receivers : int;
   total_receivers : int;
@@ -22,6 +23,12 @@ type scheduler = { run : (unit -> unit) list -> unit }
 
 let sequential = { run = (fun tasks -> List.iter (fun f -> f ()) tasks) }
 
+let pool ~domains =
+  if domains < 1 then
+    invalid_arg (Printf.sprintf "Dynamic.Batch.pool: domains must be >= 1 (got %d)" domains);
+  let p = Mmfair_core.Domain_pool.shared ~domains in
+  { run = (fun tasks -> Mmfair_core.Domain_pool.run p tasks) }
+
 type t = {
   solver : Solve_engine.t;
   scheduler : scheduler;
@@ -32,7 +39,17 @@ type t = {
 
 let solver_name = "Dynamic"
 
-let create ?(solver = Solve_engine.default) ?(scheduler = sequential) ?retain ?allocation net =
+let create ?(solver = Solve_engine.default) ?scheduler ?(domains = 1) ?retain ?allocation net =
+  let scheduler =
+    match scheduler with
+    | Some s -> s
+    | None ->
+        if domains < 1 then
+          invalid_arg
+            (Printf.sprintf "Dynamic.Batch.create: domains must be >= 1 (got %d)" domains)
+        else if domains > 1 then pool ~domains
+        else sequential
+  in
   let allocation =
     match allocation with
     | Some a -> a
@@ -42,9 +59,9 @@ let create ?(solver = Solve_engine.default) ?(scheduler = sequential) ?retain ?a
   in
   { solver; scheduler; store = Store.create ?retain net allocation; network = net; allocation }
 
-let create_result ?solver ?scheduler ?retain ?allocation net =
+let create_result ?solver ?scheduler ?domains ?retain ?allocation net =
   Solver_error.protect ~solver:solver_name (fun () ->
-      create ?solver ?scheduler ?retain ?allocation net)
+      create ?solver ?scheduler ?domains ?retain ?allocation net)
 
 let network t = t.network
 let allocation t = t.allocation
@@ -87,8 +104,12 @@ type session_diff = {
   arrived : int; (* Final nodes absent before, or present with a new weight. *)
   departed : int; (* Initial nodes absent after. *)
   frozen_row : float array;
-      (* Old rates remapped to the final receiver order by node; [||]
-         when [changed] (the row is ignored for seeded sessions). *)
+      (* Old rates remapped to the final receiver order by node (0.0
+         for arrived or weight-changed nodes).  For an unchanged
+         session this is exactly its previous row; a changed session's
+         row is never its own pin (it is always inside some solved
+         group) but serves as background load when *other* disjoint
+         groups solve with this session frozen. *)
   departed_paths : Mmfair_topology.Routing.path list;
       (* Old data-paths of the net-departed receivers: links the new
          network no longer associates with the session but whose freed
@@ -138,8 +159,7 @@ let diff_session old_net old_alloc new_net i =
             incr arrived;
             ok := false
           end
-          else if !ok then
-            frozen_row.(k) <- Allocation.rate old_alloc { Network.session = i; index = k_old })
+          else frozen_row.(k) <- Allocation.rate old_alloc { Network.session = i; index = k_old })
     new_recv;
   let departed = ref 0 in
   let departed_paths = ref [] in
@@ -158,7 +178,7 @@ let diff_session old_net old_alloc new_net i =
     changed;
     arrived = !arrived;
     departed = !departed;
-    frozen_row = (if changed then [||] else frozen_row);
+    frozen_row;
     departed_paths = !departed_paths;
   }
 
@@ -216,63 +236,199 @@ let apply t events =
         (fun path -> List.iter (fun l -> Component.absorb_link comp ~binding:old_binding l) path)
         d.departed_paths)
     diffs;
-  let frozen = Array.map (fun d -> d.frozen_row) diffs in
+  let pinned = Array.map (fun d -> d.frozen_row) diffs in
   let (module E : Solve_engine.S) = t.solver in
   let has_partial = E.capabilities.Solve_engine.partial in
   let solves = ref 0 in
   let full = ref false in
-  (* Every water-filling pass goes through the scheduler seam as a task
-     list (singleton today).  Domain-sharded component solves slot in
-     here: partition the component, one task per shard. *)
-  let schedule f =
-    let out = ref None in
-    t.scheduler.run [ (fun () -> out := Some (f ())) ];
-    match !out with
-    | Some a -> a
-    | None -> failwith "Dynamic.Batch.apply: scheduler dropped the solve task"
+  (* Every water-filling pass goes through the scheduler seam — one
+     task per disjoint group.  Each task writes its allocation into
+     its own slot, so tasks never share mutable state; a slot the
+     scheduler left empty is a typed scheduler failure. *)
+  let run_tasks fs =
+    let out = Array.make (List.length fs) None in
+    t.scheduler.run (List.mapi (fun k f () -> out.(k) <- Some (f ())) fs);
+    Array.mapi
+      (fun k slot ->
+        match slot with
+        | Some a -> a
+        | None ->
+            Solver_error.raise_error
+              (Solver_error.Scheduler_failure
+                 { solver = solver_name; task = k; what = "scheduler dropped the solve task" }))
+      out
   in
   let solve_full () =
     full := true;
     Component.fill comp;
     incr solves;
-    schedule (fun () -> E.solve new_net)
+    (run_tasks [ (fun () -> E.solve new_net) ]).(0)
   in
-  let solve_restricted () =
-    incr solves;
-    let sessions = Component.sessions comp in
-    schedule (fun () -> E.solve_partial ~sessions ~frozen new_net)
+  (* The frozen background a group solves against.  Fellow component
+     members (always solved by *some* group) are pinned at zero, not
+     at their carried rates: a changed session's carry row remaps old
+     rates onto new paths and can overfill a link the victim group
+     never crosses, and an infeasible background poisons the whole
+     water-filling (the engines see no headroom anywhere).  Zeros keep
+     every background feasible — non-members' old rates fit the new
+     capacities because every crosser of a capacity-changed link was
+     absorbed — at worst a group rises too high onto a link another
+     group also wants, which the merged-candidate binding check
+     catches and resolves by merging.  Recomputed per round: expansion
+     absorbs new members. *)
+  let background () =
+    Array.mapi
+      (fun i row -> if Component.mem comp i then Array.make (Array.length row) 0.0 else row)
+      pinned
   in
+  (* Scheduler-task granularity: a restricted solve pays O(network)
+     setup no matter how few sessions it lists, so scheduling every
+     tiny component as its own task would make a 16-singleton flash
+     crowd pay sixteen setups where the old union solve paid one.
+     Groups are packed, in root order, into tasks of at least
+     [min_task_sessions] sessions; components stay the unit of
+     independence and merging, packing only amortizes solver setup.
+     Packing is deterministic — independent of the domain count — so
+     allocations stay bitwise identical at every count. *)
+  let min_task_sessions = 8 in
+  let pack_groups groups =
+    let packs, last, _ =
+      List.fold_left
+        (fun (packs, cur, cur_n) g ->
+          if cur_n >= min_task_sessions then (List.rev cur :: packs, [ g ], Array.length g)
+          else (packs, g :: cur, cur_n + Array.length g))
+        ([], [], 0) groups
+    in
+    List.rev (match last with [] -> packs | _ -> List.rev last :: packs)
+  in
+  let solve_groups groups =
+    let packs = pack_groups groups in
+    solves := !solves + List.length packs;
+    let frozen = background () in
+    let solved =
+      run_tasks
+        (List.map
+           (fun pack ->
+             let sessions = Array.concat pack in
+             fun () -> E.solve_partial ~sessions ~frozen new_net)
+           packs)
+    in
+    (* Fan the pack allocations back out, one per group, aligned with
+       the incoming group order. *)
+    List.concat (List.mapi (fun k pack -> List.map (fun _ -> solved.(k)) pack) packs)
+  in
+  (* Stitch per-group solves into one candidate allocation: every
+     group solved over the same pinned background, and the groups are
+     disjoint, so each group's rows come from its own solve and every
+     unsolved session keeps its pin.  (Row-sharing is fine:
+     [Allocation.make] copies.) *)
+  let merge groups allocs =
+    match allocs with
+    | [ a ] -> a
+    | _ ->
+        let rates = Array.copy pinned in
+        List.iter2
+          (fun g a -> Array.iter (fun i -> rates.(i) <- Allocation.rates_of_session a i) g)
+          groups allocs;
+        Allocation.make new_net rates
+  in
+  let final_components = ref 0 in
   let alloc =
     if Component.is_empty comp then
       (* Nobody's rates can move (pure cancellation, or a capacity
          change on an unused link): carry every rate forward verbatim.
          All frozen rows are full here — only unchanged sessions leave
          the component empty. *)
-      ref (Allocation.make new_net (Array.map Array.copy frozen))
-    else if Component.is_full comp || not has_partial then ref (solve_full ())
-    else ref (solve_restricted ())
+      Allocation.make new_net pinned
+    else if
+      (not has_partial)
+      || (Component.is_full comp && match Component.groups comp with [ _ ] -> true | _ -> false)
+    then begin
+      (* A full component in one piece pins nothing — solve fresh.  A
+         full component that still splits into disjoint groups (e.g. a
+         flash crowd touching every cluster of a link-disjoint
+         network) keeps the partitioned path: the groups are
+         independent solves, one scheduler task each. *)
+      let a = solve_full () in
+      final_components := 1;
+      a
+    end
+    else begin
+      let groups = ref (Component.groups comp) in
+      let allocs = ref (solve_groups !groups) in
+      let merged = ref (merge !groups !allocs) in
+      (* Expansion to a sound fixed point: a restricted solve is the
+         global optimum only if no saturated link ends up carrying
+         both solved and frozen receivers.  With disjoint groups
+         "frozen" includes the *other* groups, and a link can look
+         saturated in three distinct views: under the previous epoch
+         (its freeze certificates), under one group's own solve (the
+         group froze against it while the merged candidate has the
+         far side dropping), or under the merged candidate (two
+         groups independently rose onto a shared link and overcommit
+         it).  A boundary link in any view is absorbed — which also
+         merges the groups leaning on it — and only the dirtied
+         groups re-solve, until no view flags anything (worst case:
+         the full network). *)
+      let continue_ = ref true in
+      while !continue_ do
+        let merged_binding = Component.binding !merged in
+        let flagged = ref false in
+        List.iter2
+          (fun g a ->
+            let view_binding =
+              match !allocs with [ _ ] -> merged_binding | _ -> Component.binding a
+            in
+            let bind l = old_binding l || view_binding l || merged_binding l in
+            match Component.group_boundary_links comp ~binding:bind g with
+            | [] -> ()
+            | links ->
+                flagged := true;
+                List.iter (fun l -> Component.absorb_link comp ~binding:bind l) links)
+          !groups !allocs;
+        if not !flagged then continue_ := false
+        else begin
+          let next_groups = Component.groups comp in
+          match next_groups with
+          | [ g ] when Array.length g = Network.session_count new_net ->
+              (* Everything leans on everything: the worst case. *)
+              merged := solve_full ();
+              continue_ := false
+          | _ ->
+              (* Memberships only grow and a group's root stays its
+                 smallest session, so a regrouped partition can be
+                 diffed against the previous one by (root, size): a
+                 match *is* the same session set — keep its
+                 allocation; everything else (grown or merged groups)
+                 re-solves. *)
+              let prev = Hashtbl.create 16 in
+              List.iter2
+                (fun g a -> Hashtbl.replace prev (g.(0), Array.length g) a)
+                !groups !allocs;
+              let dirty =
+                List.filter (fun g -> not (Hashtbl.mem prev (g.(0), Array.length g))) next_groups
+              in
+              let fresh = Hashtbl.create 16 in
+              List.iter2
+                (fun g a -> Hashtbl.replace fresh (g.(0), Array.length g) a)
+                dirty (solve_groups dirty);
+              groups := next_groups;
+              allocs :=
+                List.map
+                  (fun g ->
+                    let key = (g.(0), Array.length g) in
+                    match Hashtbl.find_opt prev key with
+                    | Some a -> a
+                    | None -> Hashtbl.find fresh key)
+                  next_groups;
+              merged := merge !groups !allocs
+        end
+      done;
+      final_components := (if !full then 1 else List.length !groups);
+      !merged
+    end
   in
-  if (not (Component.is_empty comp)) && not !full then begin
-    (* Expansion to a sound fixed point: a restricted solve is the
-       global optimum only if no saturated link ends up carrying both
-       solved and frozen receivers.  A component receiver rising onto
-       a previously slack link can saturate it and demand that frozen
-       receivers there drop — absorb such boundary links' sessions and
-       re-solve until none remain (worst case: the full network). *)
-    let continue_ = ref true in
-    while !continue_ do
-      let new_binding = Component.binding !alloc in
-      match Component.boundary_links comp ~binding:new_binding with
-      | [] -> continue_ := false
-      | links ->
-          let binding l = old_binding l || new_binding l in
-          List.iter (fun l -> Component.absorb_link comp ~binding l) links;
-          alloc :=
-            (if Component.is_full comp || not has_partial then solve_full ()
-             else solve_restricted ());
-          if !full then continue_ := false
-    done
-  end;
+  let alloc = ref alloc in
   let component_receivers = Component.receiver_count comp in
   let reuse_fraction =
     if total_receivers = 0 || !full then 0.0
@@ -283,6 +439,7 @@ let apply t events =
       events = raw;
       net_events;
       cancelled;
+      components = !final_components;
       component_sessions = Component.cardinal comp;
       component_receivers;
       total_receivers;

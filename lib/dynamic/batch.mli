@@ -7,11 +7,16 @@
     against the starting state (a join/leave pair on one node cancels;
     repeated [ρ]/capacity writes keep the last value — the max-min
     allocation depends only on the final network, not the event path),
-    and the {e union} fairness component of all surviving changes is
-    re-solved once through the {!Mmfair_core.Solve_engine} seam with
-    everyone outside frozen at their previous rates, boundary-expanded
-    to the same sound fixed point as the per-event engine (DESIGN.md
-    §11–12).
+    and the fairness closure of all surviving changes is partitioned
+    into {e disjoint} components ({!Mmfair_core.Component.groups}) —
+    each re-solved as its own restricted problem through the
+    {!Mmfair_core.Solve_engine} seam with everything outside it frozen
+    at the carried-over rates, one {!scheduler} task per component (a
+    domain {!pool} runs them in parallel), the per-component solves
+    stitched into one candidate and boundary-expanded — merging
+    components that turn out to lean on a shared saturated link — to
+    the same sound fixed point as the per-event engine (DESIGN.md
+    §11–13).
 
     {!Engine.apply} is the singleton case of {!apply}: both paths are
     one implementation, so the per-event differential gate covers the
@@ -22,33 +27,54 @@ type stats = {
   events : int;  (** Raw events submitted. *)
   net_events : int;  (** Changes surviving the netting-out. *)
   cancelled : int;  (** [events - net_events]. *)
+  components : int;
+      (** Disjoint fairness components in the final partition — the
+          unit of independence (small ones share a scheduler task, see
+          {!scheduler}); [1] on a full solve, [0] when nothing could
+          move. *)
   component_sessions : int;  (** Sessions inside the union component. *)
   component_receivers : int;  (** Receivers inside the union component. *)
   total_receivers : int;  (** Receivers in the post-batch network. *)
   reuse_fraction : float;  (** Receivers carried over frozen / total; 0 on a full solve. *)
   full_solve : bool;  (** Whether the engine fell back to from-scratch. *)
-  solves : int;  (** Water-filling passes (1 + boundary expansions; 0 when nothing could move). *)
+  solves : int;
+      (** Restricted water-filling passes actually run (one per solve
+          task, summed over boundary-expansion rounds); [1] on a full
+          solve, [0] when nothing could move. *)
 }
 (** What one {!apply} did — also emitted as paired [epoch] and [batch]
     probe events ({!Mmfair_obs.Events.epoch}, {!Mmfair_obs.Events.batch})
     for the telemetry sinks. *)
 
 type scheduler = { run : (unit -> unit) list -> unit }
-(** How the batch's water-filling passes execute.  [run] receives the
-    ready tasks and must complete them all before returning; the
-    engine hands it singleton lists today.  This is the seam for the
-    ROADMAP's multicore domain-sharding: a domain-pool scheduler (and
-    a component partitioner producing one task per shard) drops in
-    without touching the coalescing logic. *)
+(** How the batch's water-filling passes execute.  [run] receives one
+    task per {e pack} of disjoint fairness components — a restricted
+    solve pays O(network) setup however small the component, so
+    components are coalesced (in deterministic root order) into tasks
+    of at least a few sessions each; a component above that floor is
+    its own task.  Tasks must all complete before [run] returns; they
+    write to disjoint slots, so any execution order (or true
+    parallelism) yields the same result.  A task the scheduler drops
+    surfaces as {!Mmfair_core.Solver_error.Scheduler_failure}. *)
 
 val sequential : scheduler
 (** Runs each task in order on the calling thread. *)
+
+val pool : domains:int -> scheduler
+(** Tasks run on the process-wide domain pool of that size
+    ({!Mmfair_core.Domain_pool.shared}) — the submitting domain plus
+    [domains - 1] persistent workers.  [pool ~domains:1] behaves
+    exactly like {!sequential}.  Allocations are bitwise identical at
+    every pool size: tasks are deterministic and share nothing, and
+    their probe events are buffered per task and replayed in task
+    order on the caller's sink. *)
 
 type t
 
 val create :
   ?solver:Mmfair_core.Solve_engine.t ->
   ?scheduler:scheduler ->
+  ?domains:int ->
   ?retain:int ->
   ?allocation:Mmfair_core.Allocation.t ->
   Mmfair_core.Network.t ->
@@ -57,7 +83,9 @@ val create :
     ({!Mmfair_core.Solve_engine.default} unless given) and seeds the
     store.  Engines whose {!Mmfair_core.Solve_engine.capabilities}
     lack [partial] still work: every non-empty component falls back to
-    a full solve.  [retain] bounds the store window ({!Store.create}).
+    a full solve.  [domains] (default [1]) picks {!pool} over that
+    many domains as the scheduler; an explicit [scheduler] wins over
+    [domains].  [retain] bounds the store window ({!Store.create}).
     [allocation] is a {e trusted} warm restore: the caller asserts it
     is the max-min fair allocation of [net] (benchmarks use it to
     reset an engine between repetitions without paying the initial
@@ -67,6 +95,7 @@ val create :
 val create_result :
   ?solver:Mmfair_core.Solve_engine.t ->
   ?scheduler:scheduler ->
+  ?domains:int ->
   ?retain:int ->
   ?allocation:Mmfair_core.Allocation.t ->
   Mmfair_core.Network.t ->

@@ -21,11 +21,12 @@ type t = Batch.t
 
 let solver_name = "Dynamic"
 
-let create ?(engine = `Auto) ?retain ?allocation net =
-  Batch.create ~solver:(Solve_engine.allocator ~engine ()) ?retain ?allocation net
+let create ?(engine = `Auto) ?domains ?retain ?allocation net =
+  Batch.create ~solver:(Solve_engine.allocator ~engine ()) ?domains ?retain ?allocation net
 
-let create_result ?engine ?retain ?allocation net =
-  Solver_error.protect ~solver:solver_name (fun () -> create ?engine ?retain ?allocation net)
+let create_result ?engine ?domains ?retain ?allocation net =
+  Solver_error.protect ~solver:solver_name (fun () ->
+      create ?engine ?domains ?retain ?allocation net)
 
 let network = Batch.network
 let allocation = Batch.allocation

@@ -47,12 +47,16 @@ type t = Batch.t
 
 val create :
   ?engine:Mmfair_core.Allocator.engine ->
+  ?domains:int ->
   ?retain:int ->
   ?allocation:Mmfair_core.Allocation.t ->
   Mmfair_core.Network.t ->
   t
 (** [create net] solves epoch 0 from scratch and seeds the store.
     [engine] (default [`Auto]) is used for every subsequent solve;
+    [domains] (default [1]) runs each epoch's disjoint component
+    solves on the shared domain pool of that size ({!Batch.pool}) —
+    allocations are bitwise identical at every count;
     [retain] bounds the store window ({!Store.create}).  [allocation]
     is a {e trusted} warm restore: the caller asserts it is the
     max-min fair allocation of [net] (used by benchmarks to reset an
@@ -61,6 +65,7 @@ val create :
 
 val create_result :
   ?engine:Mmfair_core.Allocator.engine ->
+  ?domains:int ->
   ?retain:int ->
   ?allocation:Mmfair_core.Allocation.t ->
   Mmfair_core.Network.t ->

@@ -11,8 +11,13 @@
         Mmfair_obs.Probe.round { solver; round; ... }
     ]}
 
-    Single-threaded by design, like the rest of the repo: the current
-    sink is a plain [ref]. *)
+    The installed sink is {e domain-local} (OCaml 5 [Domain.DLS]):
+    every domain starts at {!Sink.null}, so worker domains spawned by
+    a pool (see [Mmfair_core.Domain_pool]) never observe — or race on
+    — the main domain's sink.  Within one domain the semantics are
+    those of a plain [ref]; code that wants worker-side telemetry
+    installs a buffering sink inside the worker and flushes the
+    buffer on the joining domain. *)
 
 val get : unit -> Sink.t
 (** The currently installed sink. *)

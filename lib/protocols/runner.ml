@@ -183,19 +183,21 @@ let replicate ?(domains = 1) ~runs f ~seed =
   let samples =
     if domains = 1 then Array.map (fun s -> (f s).redundancy) seeds
     else begin
-      (* static chunking: each domain takes a contiguous seed slice, so
-         results do not depend on scheduling *)
+      (* The shared pool replaces per-call Domain.spawn: repeated
+         sweeps reuse the same workers.  Static chunking keeps each
+         run's slot fixed, so results do not depend on scheduling. *)
       let out = Array.make runs 0.0 in
       let chunk = (runs + domains - 1) / domains in
-      let worker d () =
+      let task d () =
         let lo = d * chunk in
         let hi = Stdlib.min runs (lo + chunk) in
         for i = lo to hi - 1 do
           out.(i) <- (f seeds.(i)).redundancy
         done
       in
-      let spawned = List.init domains (fun d -> Domain.spawn (worker d)) in
-      List.iter Domain.join spawned;
+      Mmfair_core.Domain_pool.run
+        (Mmfair_core.Domain_pool.shared ~domains)
+        (List.init domains task);
       out
     end
   in

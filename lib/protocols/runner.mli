@@ -101,7 +101,10 @@ val replicate :
 (** [replicate ~runs f ~seed] calls [f] with [runs] seeds derived
     deterministically from [seed] and returns the 95% confidence
     interval of the redundancy — the statistic the paper reports (mean
-    of 30 runs).  With [domains > 1] the runs execute on that many
-    OCaml 5 domains in parallel; results are identical to the serial
-    order (each run is self-contained and seeded), so parallelism is
-    purely a wall-clock optimization for paper-scale sweeps. *)
+    of 30 runs).  With [domains > 1] the runs execute on the
+    process-wide domain pool of that size
+    ({!Mmfair_core.Domain_pool.shared} — workers are spawned once and
+    reused across sweeps); results are identical to the serial order
+    (each run is self-contained and seeded, and runs map to slots by
+    static chunking), so parallelism is purely a wall-clock
+    optimization for paper-scale sweeps. *)

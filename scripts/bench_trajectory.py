@@ -13,12 +13,20 @@ results/bench_trajectory.json:
       "benches": {
         "allocator": { ...BENCH_allocator.json verbatim... },
         "churn":     { ...BENCH_churn.json verbatim... }
+      },
+      "headlines": {
+        "churn": { "batch_speedup": 1.66, "parallel_speedup_at_4_domains": 2.01,
+                   "parallel_host_cpus": 1 }
       }
     }
 
 Bench documents are embedded verbatim (their own "schema" fields keep
-them self-describing); the key is the BENCH_<key>.json stem.  Stdlib
-only — no third-party imports.
+them self-describing); the key is the BENCH_<key>.json stem.  For
+schemas the script knows (mmfair.bench.churn/v2+, whose v3 added the
+"parallel" domain-scaling section) it also lifts the headline gate
+numbers into "headlines" so the trajectory is scannable without
+digging into each embedded document.  Stdlib only — no third-party
+imports.
 
 Usage: scripts/bench_trajectory.py [--repo DIR] [--out FILE]
 Exits non-zero when no bench files are found or one fails to parse.
@@ -29,6 +37,27 @@ import glob
 import json
 import os
 import sys
+
+
+def headline(doc):
+    """Gate numbers for schemas we know; None for the rest."""
+    schema = doc.get("schema", "")
+    if not schema.startswith("mmfair.bench.churn/"):
+        return None
+    h = {}
+    try:
+        h["batch_speedup"] = doc["batch"]["speedup"]
+    except (KeyError, TypeError):
+        pass
+    par = doc.get("parallel")  # churn/v3 and later
+    if isinstance(par, dict):
+        try:
+            rows = {r["domains"]: r["speedup_vs_1"] for r in par["rows"]}
+            h["parallel_speedup_at_4_domains"] = rows.get(4)
+            h["parallel_host_cpus"] = par["host_cpus"]
+        except (KeyError, TypeError):
+            pass
+    return h or None
 
 
 def main():
@@ -67,6 +96,12 @@ def main():
         benches[key] = doc
         sources.append(name)
 
+    headlines = {}
+    for key, doc in benches.items():
+        h = headline(doc)
+        if h is not None:
+            headlines[key] = h
+
     out = args.out or os.path.join(args.repo, "results", "bench_trajectory.json")
     os.makedirs(os.path.dirname(out), exist_ok=True)
     merged = {
@@ -74,6 +109,7 @@ def main():
         "generated_by": "scripts/bench_trajectory.py",
         "sources": sources,
         "benches": benches,
+        "headlines": headlines,
     }
     with open(out, "w", encoding="utf-8") as fh:
         json.dump(merged, fh, indent=2)

@@ -17,8 +17,16 @@
    gate (DESIGN.md §12: the final allocation depends only on the final
    network, not the event path).
 
+   With --domains D1,D2,... each coalesced replay additionally runs
+   at every listed domain-pool size, and every batch's allocation must
+   be BITWISE identical across the counts — the multicore gate
+   (DESIGN.md §13: partitioned component solves may not depend on the
+   pool size).  The from-scratch reference solves themselves are
+   farmed out to the pool (largest listed count), which is where the
+   harness spends its time; the 1e-9 comparisons are unchanged.
+
      churn_differential.exe [--events N] [--seeds S1,S2,...]
-                            [--batch-sizes B1,B2,...]
+                            [--batch-sizes B1,B2,...] [--domains D1,D2,...]
 
    Exits non-zero on the first divergence. *)
 
@@ -52,24 +60,57 @@ let fail_case ~case fmt =
    solvers' internal tol_for. *)
 let agree a b = Float.abs (a -. b) <= 1e-9 *. Stdlib.max 1.0 (Stdlib.max (Float.abs a) (Float.abs b))
 
-let check_event ~case ~idx ~event eng engine =
-  let net = Engine.network eng in
-  let incremental = Engine.allocation eng in
-  match Allocator.max_min_result ~engine net with
-  | Error e ->
-      fail_case ~case "event %d (%s): scratch solve errored: %s" idx
-        (Format.asprintf "%a" Event.pp event)
-        (Solver_error.to_string e)
-  | Ok scratch ->
-      incr events_checked;
-      Array.iter
-        (fun r ->
-          let x = Allocation.rate incremental r and y = Allocation.rate scratch r in
-          if not (agree x y) then
-            fail_case ~case "event %d (%s): receiver (%d,%d): incremental %.17g vs scratch %.17g" idx
-              (Format.asprintf "%a" Event.pp event)
-              r.Network.session r.Network.index x y)
-        (Network.all_receivers net)
+(* Pool size for the from-scratch reference solves (the harness's
+   cost center): the largest count given to --domains. *)
+let scratch_domains = ref 1
+
+(* One captured replay step awaiting its from-scratch check. *)
+type snapshot = {
+  s_case : string;
+  s_label : string;
+  s_engine : Mmfair_core.Allocator.engine;
+  s_net : Network.t;
+  s_alloc : Allocation.t; (* the incremental engine's answer *)
+}
+
+(* Scratch-solve every snapshot on the pool — networks and allocations
+   are immutable and each task writes only its own slot — then report
+   in replay order from the submitting domain (counters and stderr
+   are not touched by workers). *)
+let check_snapshots ~counter snapshots =
+  let snapshots = Array.of_list (List.rev snapshots) in
+  let n = Array.length snapshots in
+  let slots = Array.make n (Ok []) in
+  let task k () =
+    let s = snapshots.(k) in
+    slots.(k) <-
+      (match Allocator.max_min_result ~engine:s.s_engine s.s_net with
+      | Error e -> Error (Solver_error.to_string e)
+      | Ok scratch ->
+          let msgs = ref [] in
+          Array.iter
+            (fun r ->
+              let x = Allocation.rate s.s_alloc r and y = Allocation.rate scratch r in
+              if not (agree x y) then
+                msgs :=
+                  Printf.sprintf "receiver (%d,%d): incremental %.17g vs scratch %.17g"
+                    r.Network.session r.Network.index x y
+                  :: !msgs)
+            (Network.all_receivers s.s_net);
+          Ok (List.rev !msgs))
+  in
+  Mmfair_core.Domain_pool.run
+    (Mmfair_core.Domain_pool.shared ~domains:!scratch_domains)
+    (List.init n task);
+  Array.iteri
+    (fun k slot ->
+      let s = snapshots.(k) in
+      match slot with
+      | Error msg -> fail_case ~case:s.s_case "%s: scratch solve errored: %s" s.s_label msg
+      | Ok msgs ->
+          incr counter;
+          List.iter (fun m -> fail_case ~case:s.s_case "%s: %s" s.s_label m) msgs)
+    slots
 
 let chunks n l =
   let acc, cur, _ =
@@ -81,43 +122,82 @@ let chunks n l =
   List.rev (if cur = [] then acc else List.rev cur :: acc)
 
 (* Replay [trace] coalesced into [size]-event batches on a fresh
-   engine: from-scratch agreement after every batch, and final rates
-   against the per-event replay's [reference] allocation. *)
-let check_batched ~case ~engine ~size net trace reference =
-  let case = Printf.sprintf "%s batch=%d" case size in
-  match Engine.create_result ~engine net with
-  | Error e -> fail_case ~case "initial solve errored: %s" (Solver_error.to_string e)
+   engine with a [domains]-sized pool; per-batch allocations in replay
+   order, or [None] after any engine error. *)
+let replay_batched ~case ~engine ~domains ~size net trace =
+  match Engine.create_result ~engine ~domains net with
+  | Error e ->
+      fail_case ~case "initial solve errored: %s" (Solver_error.to_string e);
+      None
   | Ok eng ->
+      let allocs = ref [] in
+      let ok = ref true in
       List.iteri
         (fun bidx batch ->
-          match Batch.apply_result eng batch with
-          | Error e -> fail_case ~case "batch %d: engine errored: %s" bidx (Solver_error.to_string e)
-          | Ok _stats -> (
-              incr batches_checked;
-              let bnet = Engine.network eng in
-              let incremental = Engine.allocation eng in
-              match Allocator.max_min_result ~engine bnet with
-              | Error e ->
-                  fail_case ~case "batch %d: scratch solve errored: %s" bidx
-                    (Solver_error.to_string e)
-              | Ok scratch ->
-                  Array.iter
-                    (fun r ->
-                      let x = Allocation.rate incremental r and y = Allocation.rate scratch r in
-                      if not (agree x y) then
-                        fail_case ~case
-                          "batch %d: receiver (%d,%d): batched %.17g vs scratch %.17g" bidx
-                          r.Network.session r.Network.index x y)
-                    (Network.all_receivers bnet)))
+          if !ok then
+            match Batch.apply_result eng batch with
+            | Error e ->
+                fail_case ~case "batch %d: engine errored: %s" bidx (Solver_error.to_string e);
+                ok := false
+            | Ok _stats -> allocs := (Engine.network eng, Engine.allocation eng) :: !allocs)
         (chunks size trace);
-      let final = Engine.allocation eng in
-      Array.iter
-        (fun r ->
-          let x = Allocation.rate final r and y = Allocation.rate reference r in
-          if not (agree x y) then
-            fail_case ~case "final rates: receiver (%d,%d): batched %.17g vs per-event %.17g"
-              r.Network.session r.Network.index x y)
-        (Network.all_receivers (Engine.network eng))
+      if !ok then Some (List.rev !allocs) else None
+
+(* Coalescing + multicore gates for one batch size: the first domain
+   count is scratch-checked after every batch (1e-9) and its final
+   rates compared against the per-event replay; every further count
+   must reproduce each batch's allocation BITWISE. *)
+let check_batched ~case ~engine ~domain_counts ~size net trace reference =
+  let case0 = Printf.sprintf "%s batch=%d" case size in
+  match domain_counts with
+  | [] -> ()
+  | d0 :: rest -> (
+      let case = Printf.sprintf "%s domains=%d" case0 d0 in
+      match replay_batched ~case ~engine ~domains:d0 ~size net trace with
+      | None -> ()
+      | Some ref_allocs ->
+          check_snapshots ~counter:batches_checked
+            (List.rev
+               (List.mapi
+                  (fun bidx (bnet, alloc) ->
+                    {
+                      s_case = case;
+                      s_label = Printf.sprintf "batch %d" bidx;
+                      s_engine = engine;
+                      s_net = bnet;
+                      s_alloc = alloc;
+                    })
+                  ref_allocs));
+          (match List.rev ref_allocs with
+          | (fnet, final) :: _ ->
+              Array.iter
+                (fun r ->
+                  let x = Allocation.rate final r and y = Allocation.rate reference r in
+                  if not (agree x y) then
+                    fail_case ~case
+                      "final rates: receiver (%d,%d): batched %.17g vs per-event %.17g"
+                      r.Network.session r.Network.index x y)
+                (Network.all_receivers fnet)
+          | [] -> ());
+          List.iter
+            (fun d ->
+              let case = Printf.sprintf "%s domains=%d" case0 d in
+              match replay_batched ~case ~engine ~domains:d ~size net trace with
+              | None -> ()
+              | Some allocs ->
+                  List.iteri
+                    (fun bidx ((bnet, a), (_, a0)) ->
+                      Array.iter
+                        (fun r ->
+                          let x = Allocation.rate a r and y = Allocation.rate a0 r in
+                          if x <> y then
+                            fail_case ~case
+                              "batch %d: receiver (%d,%d): %.17g not bitwise identical to \
+                               domains=%d's %.17g"
+                              bidx r.Network.session r.Network.index x d0 y)
+                        (Network.all_receivers bnet))
+                    (List.combine allocs ref_allocs))
+            rest)
 
 let net_config rng =
   let nodes = 10 + Xoshiro.below rng 8 in
@@ -133,7 +213,7 @@ let net_config rng =
     cap_hi = 10.0;
   }
 
-let run_seed ~events ~batch_sizes seed seed_idx =
+let run_seed ~events ~batch_sizes ~domain_counts seed seed_idx =
   let engine = if seed_idx mod 2 = 0 then `Auto else `Bisection in
   let case =
     Printf.sprintf "seed=%Ld engine=%s" seed (match engine with `Bisection -> "bisection" | _ -> "auto")
@@ -146,6 +226,7 @@ let run_seed ~events ~batch_sizes seed seed_idx =
   match Engine.create_result ~engine net with
   | Error e -> fail_case ~case "initial solve errored: %s" (Solver_error.to_string e)
   | Ok eng ->
+      let snaps = ref [] in
       List.iteri
         (fun idx event ->
           match Engine.apply_result eng event with
@@ -156,8 +237,20 @@ let run_seed ~events ~batch_sizes seed seed_idx =
           | Ok stats ->
               if stats.Engine.full_solve then incr full_solves;
               reuse_sum := !reuse_sum +. stats.Engine.reuse_fraction;
-              check_event ~case ~idx ~event eng engine)
+              (* Networks and allocations are immutable snapshots;
+                 defer the expensive from-scratch checks to one pooled
+                 pass after the replay. *)
+              snaps :=
+                {
+                  s_case = case;
+                  s_label = Printf.sprintf "event %d (%s)" idx (Format.asprintf "%a" Event.pp event);
+                  s_engine = engine;
+                  s_net = Engine.network eng;
+                  s_alloc = Engine.allocation eng;
+                }
+                :: !snaps)
         trace;
+      check_snapshots ~counter:events_checked !snaps;
       (* The trace must round-trip through the .churn renderer/parser:
          parse the rendered trace against the rendered net, then
          re-render with the parsed name tables — the text must come
@@ -173,10 +266,20 @@ let run_seed ~events ~batch_sizes seed seed_idx =
               if Churn_parser.render ~names:parsed trace' <> text then
                 fail_case ~case "trace round-trip changed the events"));
       let reference = Engine.allocation eng in
-      List.iter (fun size -> check_batched ~case ~engine ~size net trace reference) batch_sizes
+      List.iter
+        (fun size -> check_batched ~case ~engine ~domain_counts ~size net trace reference)
+        batch_sizes
 
 let () =
-  let events = ref 500 and seeds = ref [ 41L; 42L; 43L ] and batch_sizes = ref [] in
+  let events = ref 500 and seeds = ref [ 41L; 42L; 43L ] in
+  let batch_sizes = ref [] and domain_counts = ref [ 1 ] in
+  let positive_ints ~what s =
+    String.split_on_char ',' s |> List.filter (( <> ) "")
+    |> List.map (fun b ->
+           let b = int_of_string b in
+           if b < 1 then raise (Arg.Bad (what ^ " must be positive"));
+           b)
+  in
   let spec =
     [
       ("--events", Arg.Set_int events, "N  events per seed (default 500)");
@@ -186,19 +289,21 @@ let () =
             seeds := String.split_on_char ',' s |> List.filter (( <> ) "") |> List.map Int64.of_string),
         "S1,S2,...  seeds (default 41,42,43)" );
       ( "--batch-sizes",
-        Arg.String
-          (fun s ->
-            batch_sizes :=
-              String.split_on_char ',' s |> List.filter (( <> ) "")
-              |> List.map (fun b ->
-                     let b = int_of_string b in
-                     if b < 1 then raise (Arg.Bad "batch sizes must be positive");
-                     b)),
+        Arg.String (fun s -> batch_sizes := positive_ints ~what:"batch sizes" s),
         "B1,B2,...  also replay each trace coalesced into B-event batches (default: off)" );
+      ( "--domains",
+        Arg.String (fun s -> domain_counts := positive_ints ~what:"domain counts" s),
+        "D1,D2,...  replay each coalesced trace at every pool size, require bitwise-identical \
+         allocations, and pool the scratch solves over the largest (default: 1)" );
     ]
   in
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "churn_differential [options]";
-  List.iteri (fun i seed -> run_seed ~events:!events ~batch_sizes:!batch_sizes seed i) !seeds;
+  if !domain_counts = [] then domain_counts := [ 1 ];
+  scratch_domains := List.fold_left Stdlib.max 1 !domain_counts;
+  List.iteri
+    (fun i seed ->
+      run_seed ~events:!events ~batch_sizes:!batch_sizes ~domain_counts:!domain_counts seed i)
+    !seeds;
   let n = Stdlib.max 1 !events_checked in
   Printf.printf
     "churn: %d events checked over %d seeds (%d full solves, mean reuse %.2f), %d batches, %d failures\n%!"

@@ -87,6 +87,69 @@ let test_fill () =
   Alcotest.(check int) "receiver_count is the network's" (Network.receiver_count net)
     (Component.receiver_count comp)
 
+(* Boundary expansion can force two disjoint groups to merge: two
+   sessions pinned by private saturated leaves share a slack trunk;
+   raising the leaf capacities lets both rise until the trunk
+   saturates, and the per-group boundary scan must flag the trunk for
+   both groups — absorbing it merges them into one. *)
+let test_groups_merge_on_expansion () =
+  let build ~leaf_cap =
+    let g = Graph.create ~nodes:4 in
+    let trunk = Graph.add_link g 0 1 4.0 in
+    let l1 = Graph.add_link g 1 2 leaf_cap in
+    let l2 = Graph.add_link g 1 3 leaf_cap in
+    let net =
+      Network.make g
+        [|
+          Network.session ~sender:0 ~receivers:[| 2 |] ();
+          Network.session ~sender:0 ~receivers:[| 3 |] ();
+        |]
+    in
+    (net, trunk, l1, l2)
+  in
+  let net_old, trunk, l1, l2 = build ~leaf_cap:1.0 in
+  (* Old optimum (1, 1): the private leaves bind, the trunk keeps
+     2 of 4 slack. *)
+  let old_binding = Component.binding (Allocator.max_min net_old) in
+  Alcotest.(check bool) "leaf l1 binds before" true (old_binding l1);
+  Alcotest.(check bool) "leaf l2 binds before" true (old_binding l2);
+  Alcotest.(check bool) "trunk slack before" false (old_binding trunk);
+  (* The batch raises both leaf capacities; growing the touched
+     sessions' closures under the old binding view leaves them
+     separate — each was pinned by its own private leaf. *)
+  let net_new, trunk', _, _ = build ~leaf_cap:3.0 in
+  let comp = Component.create net_new in
+  Component.absorb comp ~binding:old_binding 0;
+  Component.absorb comp ~binding:old_binding 1;
+  (match Component.groups comp with
+  | [ a; b ] ->
+      Alcotest.(check (array int)) "first group" [| 0 |] a;
+      Alcotest.(check (array int)) "second group" [| 1 |] b
+  | gs -> Alcotest.fail (Printf.sprintf "expected two groups, got %d" (List.length gs)));
+  Alcotest.(check bool) "full component, still split" true (Component.is_full comp);
+  (* The merged candidate (both groups re-solved at the new leaf caps)
+     rises to (2, 2) and saturates the trunk; the per-group scan must
+     flag it for each group — the "outside" receiver is the other
+     group's. *)
+  let new_binding = Component.binding (Allocator.max_min net_new) in
+  let either l = old_binding l || new_binding l in
+  List.iter
+    (fun grp ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "trunk flagged for group of session %d" grp.(0))
+        [ trunk' ]
+        (Component.group_boundary_links comp ~binding:either grp))
+    (Component.groups comp);
+  (* Absorbing the flagged link merges the groups; the merged group
+     certifies — its boundary is empty. *)
+  Component.absorb_link comp ~binding:either trunk';
+  (match Component.groups comp with
+  | [ merged ] ->
+      Alcotest.(check (array int)) "one merged group" [| 0; 1 |] merged;
+      Alcotest.(check (list int)) "merged group certifies" []
+        (Component.group_boundary_links comp ~binding:either merged)
+  | gs -> Alcotest.fail (Printf.sprintf "expected one merged group, got %d" (List.length gs)))
+
 let suite =
   [
     Alcotest.test_case "binding links on figure 2" `Quick test_binding_predicate;
@@ -94,4 +157,6 @@ let suite =
     Alcotest.test_case "isolated session stays alone, boundary empty" `Quick test_absorb_isolated;
     Alcotest.test_case "absorb_link seeds from a saturated link" `Quick test_absorb_link;
     Alcotest.test_case "fill covers every session" `Quick test_fill;
+    Alcotest.test_case "boundary expansion merges disjoint groups" `Quick
+      test_groups_merge_on_expansion;
   ]

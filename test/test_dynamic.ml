@@ -471,6 +471,76 @@ let test_churn_parser_batches () =
        (function Churn_parser.Batch _ -> true | Churn_parser.Single _ -> false)
        (Churn_parser.parse_items fig2 Churn_parser.example))
 
+(* --- domain-count independence ------------------------------------------ *)
+
+(* The determinism contract of DESIGN.md §13: the batch engine's
+   component partition, pack order and merge are all independent of
+   the scheduler's parallelism, so replaying one burst at every pool
+   size must produce bitwise-identical rates (exact float equality,
+   not the differential gate's 1e-9) and identical stats. *)
+let qcheck_domains_bitwise_identical =
+  QCheck.Test.make ~name:"Batch.apply is bitwise identical at domains 1/2/4" ~count:25
+    QCheck.(int_range 0 100_000)
+    (fun case ->
+      let rng = Xoshiro.create ~seed:(Int64.of_int (0x5eed + case)) () in
+      let config =
+        {
+          Random_nets.nodes = 10 + Xoshiro.below rng 10;
+          extra_links = 3 + Xoshiro.below rng 6;
+          sessions = 4 + Xoshiro.below rng 5;
+          max_receivers = 4;
+          single_rate_prob = 0.2;
+          finite_rho_prob = 0.3;
+          scaled_vfn_prob = 0.2;
+          cap_lo = 1.0;
+          cap_hi = 10.0;
+        }
+      in
+      let net = Random_nets.generate ~rng config in
+      let burst =
+        Churn_gen.generate ~rng net
+          { Churn_gen.default with Churn_gen.events = 2 + Xoshiro.below rng 8; max_receivers = 5 }
+      in
+      let base = Allocator.max_min net in
+      let replay domains =
+        let eng = Engine.create ~domains ~allocation:base net in
+        let stats = Batch.apply eng burst in
+        (stats, Engine.network eng, Engine.allocation eng)
+      in
+      let stats1, net1, alloc1 = replay 1 in
+      List.for_all
+        (fun domains ->
+          let stats, _, alloc = replay domains in
+          stats = stats1
+          && Array.for_all
+               (fun (r : Network.receiver_id) ->
+                 Allocation.rate alloc r = Allocation.rate alloc1 r)
+               (Network.all_receivers net1))
+        [ 2; 4 ])
+
+(* --- a scheduler that drops tasks surfaces as a typed error ------------- *)
+
+let test_scheduler_dropped_task () =
+  let { Paper_nets.net; _ } = Paper_nets.figure2 ~session1_type:Network.Multi_rate () in
+  let drop_all = { Batch.run = (fun _tasks -> ()) } in
+  let eng = Batch.create ~scheduler:drop_all net in
+  let before = Engine.allocation eng in
+  (match Batch.apply_result eng [ Event.Rho_change { session = 1; rho = 1.5 } ] with
+  | Ok _ -> Alcotest.fail "a dropped solve task must not look like success"
+  | Error (Mmfair_core.Solver_error.Scheduler_failure { task; what; _ }) ->
+      Alcotest.(check int) "the first dropped slot is blamed" 0 task;
+      Alcotest.(check string) "dropped-task diagnostic" "scheduler dropped the solve task" what
+  | Error e ->
+      Alcotest.fail
+        (Printf.sprintf "expected Scheduler_failure, got %s" (Mmfair_core.Solver_error.to_string e)));
+  (* The failed batch left the engine at epoch 0 with its allocation
+     untouched, and a working scheduler is all it takes to proceed. *)
+  Alcotest.(check int) "epoch unchanged" 0 (Engine.epoch eng);
+  Alcotest.(check bool) "allocation unchanged" true (Engine.allocation eng == before);
+  let eng2 = Batch.create ~scheduler:Batch.sequential ~allocation:before net in
+  ignore (Batch.apply eng2 [ Event.Rho_change { session = 1; rho = 1.5 } ]);
+  check_matches_scratch "sequential replay of the dropped batch" eng2
+
 let suite =
   [
     Alcotest.test_case "engine matches scratch on figure 2 churn" `Quick test_engine_on_figure2;
@@ -488,4 +558,6 @@ let suite =
     Alcotest.test_case "fold_epochs range queries" `Quick test_fold_epochs;
     Alcotest.test_case "batch probes reach the registry" `Quick test_batch_probe_registry;
     Alcotest.test_case "churn parser batch blocks" `Quick test_churn_parser_batches;
+    QCheck_alcotest.to_alcotest qcheck_domains_bitwise_identical;
+    Alcotest.test_case "dropped solve tasks are typed errors" `Quick test_scheduler_dropped_task;
   ]

@@ -30,6 +30,7 @@ let () =
       ("misc", Test_misc.suite);
       ("membership", Test_membership.suite);
       ("solve-engine", Test_solve_engine.suite);
+      ("domain-pool", Test_domain_pool.suite);
       ("component", Test_component.suite);
       ("dynamic", Test_dynamic.suite);
       ("obs", Test_obs.suite);

@@ -67,7 +67,7 @@ let nan_above_one = Redundancy_fn.Custom ("nan-above-1", fun rates ->
 
 let is_solver_error = function
   | Solver_error.Stuck_link _ | Solver_error.No_progress _ | Solver_error.Non_monotone_vfn _ -> true
-  | Solver_error.Invalid_input _ -> false
+  | Solver_error.Invalid_input _ | Solver_error.Scheduler_failure _ -> false
 
 let test_nan_vfn_typed_error_optimized () =
   match Allocator.max_min_result (star ~vfn:nan_above_one ()) with
@@ -127,6 +127,23 @@ let test_unicast_contract_violation () =
   | Error (Solver_error.Invalid_input { solver = "Unicast"; _ }) -> ()
   | Error e -> Alcotest.fail ("wrong error: " ^ Solver_error.to_string e)
 
+(* Scheduler_failure: rendering, attribution, and the of_exn contract
+   (an unrecognized exception is a bug, not a typed error — only the
+   scheduler seam itself wraps them, with the task index attached). *)
+let test_scheduler_failure_shape () =
+  let e =
+    Solver_error.Scheduler_failure { solver = "Domain_pool"; task = 3; what = "Stack_overflow" }
+  in
+  Alcotest.(check string) "rendering names the task"
+    "Domain_pool: scheduler failed solve task 3: Stack_overflow" (Solver_error.to_string e);
+  Alcotest.(check string) "solver attribution" "Domain_pool" (Solver_error.solver e);
+  Alcotest.(check bool) "not a water-filling failure" false (is_solver_error e);
+  (match Solver_error.of_exn ~solver:"Allocator" (Solver_error.Error e) with
+  | Some e' -> Alcotest.(check bool) "of_exn keeps the typed error" true (e' = e)
+  | None -> Alcotest.fail "Error must map back to its payload");
+  Alcotest.(check bool) "foreign exceptions stay raises" true
+    (Solver_error.of_exn ~solver:"Allocator" Stack_overflow = None)
+
 let suite =
   [
     Alcotest.test_case "zero/NaN capacity rejected" `Quick test_zero_capacity_link;
@@ -140,4 +157,5 @@ let suite =
     Alcotest.test_case "engine mismatch is Invalid_input" `Quick test_engine_mismatch_is_invalid_input;
     Alcotest.test_case "result Ok agrees with classic" `Quick test_result_ok_agrees_with_classic;
     Alcotest.test_case "unicast contract violation" `Quick test_unicast_contract_violation;
+    Alcotest.test_case "scheduler failure shape" `Quick test_scheduler_failure_shape;
   ]
