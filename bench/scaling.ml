@@ -34,15 +34,19 @@ type timing = { ns : float; runs : int; samples_ns : float list }
 (* [ns] is the best (minimum) of [best_of] sample averages; [runs] is
    the run count behind that best sample. *)
 
+(* Monotonic, like bench/main.ml's Bechamel instance: an NTP step mid
+   sample must not record negative or skewed durations and trip (or
+   mask) the overhead/speedup gates.  Wall time is fine only for
+   metadata. *)
 let one_sample ~min_time f =
   Obs.Probe.with_sink Obs.Sink.null @@ fun () ->
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now_ns () in
   let runs = ref 0 in
   let elapsed = ref 0.0 in
   while !elapsed < min_time do
     ignore (f ());
     incr runs;
-    elapsed := Unix.gettimeofday () -. t0
+    elapsed := Obs.Clock.since_s t0
   done;
   (!elapsed /. float_of_int !runs *. 1e9, !runs)
 

@@ -506,6 +506,281 @@ let churn_cmd =
     Term.(const run $ tele_term $ net_file $ trace_file $ random_events $ engine $ verify $ rates
           $ domains $ coalesce $ seed_arg $ csv_flag)
 
+(* `mmfair churnd`: the serving daemon.  Long-running: ingest .churn
+   events from a pipe/FIFO/stdin or a Unix-domain socket, coalesce each
+   wakeup's arrivals into one epoch, answer rate/epoch/metrics queries
+   (lib/serve).  SIGINT/SIGTERM shut the loop down cleanly; the final
+   metrics snapshot can be written to a file on the way out. *)
+let churnd_cmd =
+  let module Net_parser = Mmfair_workload.Net_parser in
+  let module Daemon = Mmfair_serve.Daemon in
+  let net_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Network description file.")
+  in
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Serve a Unix-domain socket at PATH (any number of concurrent clients; an \
+                   existing file is replaced, the path is unlinked on shutdown).")
+  in
+  let input =
+    Arg.(value & opt string "-"
+         & info [ "input" ] ~docv:"FILE"
+             ~doc:"Without --socket: the event stream to serve — a file or FIFO, or - for stdin \
+                   (default).  Responses go to stdout.")
+  in
+  let engine_conv = Arg.enum [ ("auto", `Auto); ("linear", `Linear); ("bisection", `Bisection) ] in
+  let engine =
+    Arg.(value & opt engine_conv `Auto & info [ "engine" ] ~doc:"Water-filling engine: auto, linear or bisection.")
+  in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"N" ~doc:"Parallel domains for each epoch's component solves.")
+  in
+  let retain =
+    Arg.(value & opt int 8 & info [ "retain" ] ~docv:"N" ~doc:"Recent epochs kept queryable in the store.")
+  in
+  let max_batch =
+    Arg.(value & opt int 256
+         & info [ "max-batch" ] ~docv:"N" ~doc:"Most events one coalesced epoch may apply.")
+  in
+  let ack =
+    Arg.(value & flag & info [ "ack" ] ~doc:"Answer 'ok epoch N' for every accepted ingestion line.")
+  in
+  let poll =
+    Arg.(value & opt float 0.05
+         & info [ "poll-interval" ] ~docv:"SECONDS" ~doc:"Idle wakeup period (stop-flag polling).")
+  in
+  let snapshot_out =
+    Arg.(value & opt (some string) None
+         & info [ "snapshot-out" ] ~docv:"FILE"
+             ~doc:"Write the final metrics registry snapshot (JSON) to FILE on shutdown.")
+  in
+  let run tele net_file socket input engine domains retain max_batch ack poll snapshot_out =
+    Telemetry.wrap tele @@ fun () ->
+    if domains < 1 then die exit_invalid_input "mmfair churnd: --domains wants a positive count";
+    if max_batch < 1 then die exit_invalid_input "mmfair churnd: --max-batch wants a positive count";
+    if poll <= 0.0 then die exit_invalid_input "mmfair churnd: --poll-interval wants a positive duration";
+    let parsed = Net_parser.parse_file net_file in
+    let config =
+      { Mmfair_serve.Daemon.engine; domains; retain; max_batch; ack; poll_interval = poll }
+    in
+    let daemon =
+      match Daemon.create ~config parsed with
+      | Ok d -> d
+      | Error e -> die exit_solver_error "mmfair churnd: initial solve: %s" (Solver_error.to_string e)
+    in
+    let write_snapshot () =
+      match snapshot_out with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () ->
+              output_string oc (Mmfair_obs.Json.to_string (Daemon.snapshot daemon));
+              output_char oc '\n')
+    in
+    (* The snapshot is the daemon's last word: written after the serve
+       loop returns (EOF, quit, or SIGINT/SIGTERM via the stop flag) —
+       and the engine's shared domain pool tears down later still, at
+       its module-init at_exit hook. *)
+    Fun.protect ~finally:write_snapshot @@ fun () ->
+    match socket with
+    | Some path -> Daemon.serve_socket daemon ~path
+    | None ->
+        let input_fd = if input = "-" then Unix.stdin else Unix.openfile input [ Unix.O_RDONLY ] 0 in
+        Fun.protect
+          ~finally:(fun () -> if input <> "-" then try Unix.close input_fd with Unix.Unix_error _ -> ())
+          (fun () -> Daemon.serve_fd daemon ~input:input_fd ~output:Unix.stdout)
+  in
+  let doc = "serve churn events and rate queries from a pipe or Unix-domain socket" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "A long-running loop around the incremental engine of $(b,mmfair churn): events arriving \
+          between wakeups coalesce into one epoch (one union-component re-solve per burst), rate \
+          and epoch queries flush first so answers are never stale, and malformed lines are \
+          rejected with their line number without killing the loop.  The line protocol is the \
+          .churn grammar plus queries:";
+      `Pre "rate SESSION NODE\nrates\nepoch\nmetrics [json|prom]\nquit";
+      `P "SIGINT/SIGTERM finish the loop cleanly (flush, snapshot, restore signal dispositions); \
+          SIGPIPE is ignored while serving.  Pair with $(b,mmfair churnd-load) for soak testing.";
+    ]
+  in
+  Cmd.v (Cmd.info "churnd" ~doc ~man)
+    Term.(const run $ tele_term $ net_file $ socket $ input $ engine $ domains $ retain $ max_batch
+          $ ack $ poll $ snapshot_out)
+
+(* `mmfair churnd-load`: load generator and soak harness for churnd.
+   Generates a seeded Churn_gen trace; either prints it (pipe mode) or
+   drives a live daemon over its socket, optionally verifying the
+   daemon's final rates against an offline replay of the same trace. *)
+let churnd_load_cmd =
+  let module Net_parser = Mmfair_workload.Net_parser in
+  let module Churn_parser = Mmfair_workload.Churn_parser in
+  let module Churn_gen = Mmfair_workload.Churn_gen in
+  let module Engine = Mmfair_dynamic.Engine in
+  let module Line_reader = Mmfair_serve.Line_reader in
+  let net_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Network description file.")
+  in
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Connect to a running churnd at PATH and stream the trace; without this, print \
+                   the trace to stdout (pipe it to churnd --input -).")
+  in
+  let events =
+    Arg.(value & opt int 200 & info [ "events" ] ~docv:"N" ~doc:"Trace length to generate.")
+  in
+  let verify =
+    Arg.(value & flag
+         & info [ "verify" ]
+             ~doc:"After streaming, query the daemon's final rates and cross-check them against \
+                   an offline replay of the same trace (relative 1e-9).  Needs --socket.")
+  in
+  let connect_timeout =
+    Arg.(value & opt float 5.0
+         & info [ "connect-timeout" ] ~docv:"SECONDS"
+             ~doc:"How long to retry connecting while the daemon boots.")
+  in
+  let run tele net_file socket events verify connect_timeout seed =
+    Telemetry.wrap tele @@ fun () ->
+    if events < 0 then die exit_invalid_input "mmfair churnd-load: --events must be non-negative";
+    if verify && socket = None then
+      die exit_invalid_input "mmfair churnd-load: --verify needs --socket (a live daemon to ask)";
+    let parsed = Net_parser.parse_file net_file in
+    let net = parsed.Net_parser.net in
+    let rng = Mmfair_prng.Xoshiro.create ~seed () in
+    let trace = Churn_gen.generate ~rng net { Churn_gen.default with Churn_gen.events } in
+    let rendered = Churn_parser.render ~names:parsed trace in
+    match socket with
+    | None -> print_string rendered
+    | Some path ->
+        let deadline = Mmfair_obs.Clock.now_s () +. connect_timeout in
+        let rec connect () =
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          match Unix.connect fd (Unix.ADDR_UNIX path) with
+          | () -> fd
+          | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+            when Mmfair_obs.Clock.now_s () < deadline ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              Unix.sleepf 0.05;
+              connect ()
+          | exception Unix.Unix_error (err, _, _) ->
+              die exit_invalid_input "mmfair churnd-load: connect %s: %s" path (Unix.error_message err)
+        in
+        let fd = connect () in
+        Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        @@ fun () ->
+        let send s =
+          let b = Bytes.of_string s in
+          let rec go pos =
+            if pos < Bytes.length b then
+              match Unix.write fd b pos (Bytes.length b - pos) with
+              | n -> go (pos + n)
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+          in
+          go 0
+        in
+        send rendered;
+        let reader = Line_reader.of_fd fd in
+        let read_line what =
+          match Line_reader.next_line reader with
+          | Some l -> l
+          | None -> die exit_invalid_input "mmfair churnd-load: connection closed waiting for %s" what
+        in
+        let mismatches = ref 0 in
+        if verify then begin
+          send "rates\n";
+          let header = read_line "rates header" in
+          let k, daemon_epoch =
+            match String.split_on_char ' ' header with
+            | [ "rates"; k; "epoch"; e ] -> (int_of_string k, int_of_string e)
+            | _ -> die exit_invalid_input "mmfair churnd-load: unexpected rates header %S" header
+          in
+          let daemon_rates = Hashtbl.create k in
+          for _ = 1 to k do
+            match String.split_on_char ' ' (read_line "a rates row") with
+            | [ s; n; r ] -> Hashtbl.replace daemon_rates (s, n) (float_of_string r)
+            | row -> die exit_invalid_input "mmfair churnd-load: unexpected rates row %S" (String.concat " " row)
+          done;
+          (* Offline replay of the identical trace: the daemon's epoch
+             chunking is arbitrary, but max-min fairness depends only
+             on the final network, so rates must agree within 1e-9. *)
+          let offline =
+            match Engine.create_result net with
+            | Ok eng -> eng
+            | Error e -> die exit_solver_error "mmfair churnd-load: offline replay: %s" (Solver_error.to_string e)
+          in
+          List.iter
+            (fun ev ->
+              match Engine.apply_result offline ev with
+              | Ok _ -> ()
+              | Error e -> die exit_solver_error "mmfair churnd-load: offline replay: %s" (Solver_error.to_string e))
+            trace;
+          let agree a b =
+            Float.abs (a -. b) <= 1e-9 *. Stdlib.max 1.0 (Stdlib.max (Float.abs a) (Float.abs b))
+          in
+          let now = Engine.network offline and alloc = Engine.allocation offline in
+          let offline_receivers = Network.all_receivers now in
+          if Array.length offline_receivers <> k then begin
+            incr mismatches;
+            Printf.eprintf "mmfair churnd-load: daemon served %d receivers, offline replay has %d\n%!"
+              k (Array.length offline_receivers)
+          end;
+          Array.iter
+            (fun (r : Network.receiver_id) ->
+              let spec = Network.session_spec now r.Network.session in
+              let key =
+                ( parsed.Net_parser.session_names.(r.Network.session),
+                  parsed.Net_parser.node_names.(spec.Network.receivers.(r.Network.index)) )
+              in
+              let expected = Allocation.rate alloc r in
+              match Hashtbl.find_opt daemon_rates key with
+              | Some got when agree got expected -> ()
+              | Some got ->
+                  incr mismatches;
+                  Printf.eprintf "mmfair churnd-load: %s %s: daemon %.17g vs offline %.17g\n%!"
+                    (fst key) (snd key) got expected
+              | None ->
+                  incr mismatches;
+                  Printf.eprintf "mmfair churnd-load: daemon reported no rate for %s %s\n%!"
+                    (fst key) (snd key))
+            offline_receivers;
+          Printf.printf "verify: %d receiver rates checked against offline replay (epoch %d)\n"
+            (Array.length offline_receivers) daemon_epoch
+        end;
+        send "quit\n";
+        (* Drain until the daemon says bye, so the socket closes after
+           every response (acks included) has been delivered. *)
+        let rec drain () =
+          match Line_reader.next_line reader with
+          | Some "bye" | None -> ()
+          | Some _ -> drain ()
+        in
+        drain ();
+        Printf.printf "sent %d events to %s\n" (List.length trace) path;
+        if !mismatches > 0 then
+          die exit_solver_error "mmfair churnd-load: %d receiver rate(s) diverged from the offline replay"
+            !mismatches
+  in
+  let doc = "generate churn load for a running churnd (soak harness)" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "Generates a seeded random churn trace (the same generator as $(b,mmfair churn --random)) \
+          and either prints it for piping, or streams it into a live $(b,mmfair churnd) socket.  \
+          With $(b,--verify), the daemon's final rates are fetched over the same connection and \
+          cross-checked against an offline replay of the identical trace — the daemon's coalescing \
+          must not change where the allocation lands (max-min fairness depends only on the final \
+          network).";
+    ]
+  in
+  Cmd.v (Cmd.info "churnd-load" ~doc ~man)
+    Term.(const run $ tele_term $ net_file $ socket $ events $ verify $ connect_timeout $ seed_arg)
+
 let single_rate_cmd =
   let grid = Arg.(value & opt int 12 & info [ "grid" ] ~docv:"N" ~doc:"Candidate rates to sweep.") in
   let run tele grid csv =
@@ -647,7 +922,7 @@ let main_cmd =
     [
       allocate_cmd; dot_cmd; example_net_cmd; fig1_cmd; fig2_cmd; fig3_cmd; fig4_cmd; fig5_cmd; fig6_cmd;
       fig8_cmd; markov_cmd; nonexist_cmd; replace_cmd; latency_cmd; priority_cmd; layers_cmd;
-      tcpfair_cmd; churn_cmd; session_churn_cmd; convergence_cmd; single_rate_cmd; closedloop_cmd; ecn_cmd;
+      tcpfair_cmd; churn_cmd; churnd_cmd; churnd_load_cmd; session_churn_cmd; convergence_cmd; single_rate_cmd; closedloop_cmd; ecn_cmd;
       compete_cmd; tcpfriendly_cmd; claims_cmd; membership_cmd; list_cmd; all_cmd;
     ]
 

@@ -154,18 +154,28 @@ let run t tasks =
       reraise_first failures
 
 let shared_pools : (int, t) Hashtbl.t = Hashtbl.create 4
-let exit_hook_installed = ref false
+
+(* The OCaml 5 runtime waits for every live domain at exit, so parked
+   workers would hang the process without this hook.  It is registered
+   at module-initialization time, NOT lazily on the first [shared]
+   call: [at_exit] hooks run LIFO, and every command-scoped finalizer
+   (e.g. the CLI telemetry flush in bin/telemetry.ml, churnd's
+   snapshot writer) is registered later — at command start — so
+   telemetry finalization is guaranteed to run BEFORE the pools tear
+   down, whatever order the program first touched them in.  With the
+   old first-use registration, a command that installed its telemetry
+   hook before ever touching a pool would have torn the pool down
+   first. *)
+let () = at_exit (fun () -> Hashtbl.iter (fun _ pool -> shutdown pool) shared_pools)
 
 let shared ~domains =
   match Hashtbl.find_opt shared_pools domains with
   | Some pool -> pool
   | None ->
-      (* The OCaml 5 runtime waits for every live domain at exit, so
-         parked workers would hang the process without this hook. *)
-      if not !exit_hook_installed then begin
-        exit_hook_installed := true;
-        at_exit (fun () -> Hashtbl.iter (fun _ pool -> shutdown pool) shared_pools)
-      end;
       let pool = create ~domains in
       Hashtbl.add shared_pools domains pool;
       pool
+
+let shutdown_shared () =
+  Hashtbl.iter (fun _ pool -> shutdown pool) shared_pools;
+  Hashtbl.reset shared_pools

@@ -59,10 +59,26 @@ val shared : domains:int -> t
 (** The process-wide pool of the given size, created on first request
     and cached (one pool per distinct size; idle workers block on a
     condition variable and cost nothing).  All shared pools are shut
-    down via [at_exit], so spawned domains never block process
-    termination.  Call from the coordinating domain only. *)
+    down via an [at_exit] hook registered at module-initialization
+    time, so spawned domains never block process termination — and,
+    because [at_exit] runs LIFO, every finalizer registered later
+    (i.e. any command-scoped telemetry flush) is guaranteed to run
+    {e before} the pools tear down.  Call from the coordinating domain
+    only. *)
+
+val shutdown_shared : unit -> unit
+(** Shut down and evict {e every} cached {!shared} pool; later
+    {!shared} calls spawn fresh ones.  Parked workers are cheap but
+    not free — each minor collection is a stop-the-world rendezvous
+    across all live domains — so a phase that is done with
+    multi-domain pools should release them before handing over to a
+    latency-sensitive single-domain phase (the churn bench does this
+    between its parallel and serving sections).  Idempotent; call
+    from the coordinating domain only. *)
 
 val shutdown : t -> unit
-(** Join and release the pool's workers.  Idempotent.  Subsequent
-    {!run} calls on a multi-domain pool raise [Invalid_argument];
-    a [~domains:1] pool has no workers and keeps working. *)
+(** Join and release the pool's workers.  Idempotent — a second call
+    (e.g. an explicit teardown followed by the [at_exit] sweep) is a
+    no-op.  Subsequent {!run} calls on a multi-domain pool raise
+    [Invalid_argument]; a [~domains:1] pool has no workers and keeps
+    working. *)

@@ -417,9 +417,26 @@ let apply t events =
                 List.map
                   (fun g ->
                     let key = (g.(0), Array.length g) in
-                    match Hashtbl.find_opt prev key with
-                    | Some a -> a
-                    | None -> Hashtbl.find fresh key)
+                    match (Hashtbl.find_opt prev key, Hashtbl.find_opt fresh key) with
+                    | Some a, _ | None, Some a -> a
+                    | None, None ->
+                        (* Unreachable by construction: [dirty] is
+                           exactly the groups absent from [prev], and
+                           [solve_groups] returns one allocation per
+                           group.  Surface a miss as a typed error with
+                           the group's root as context, not a bare
+                           [Not_found]. *)
+                        Solver_error.raise_error
+                          (Solver_error.Scheduler_failure
+                             {
+                               solver = solver_name;
+                               task = g.(0);
+                               what =
+                                 Printf.sprintf
+                                   "regrouped component (root %d, %d sessions) has neither a \
+                                    carried nor a fresh solve"
+                                   g.(0) (Array.length g);
+                             }))
                   next_groups;
               merged := merge !groups !allocs
         end

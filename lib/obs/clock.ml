@@ -1,0 +1,6 @@
+external now_ns : unit -> (int64[@unboxed])
+  = "mmfair_clock_monotonic_ns_byte" "mmfair_clock_monotonic_ns_unboxed"
+[@@noalloc]
+
+let now_s () = Int64.to_float (now_ns ()) *. 1e-9
+let since_s t0 = Int64.to_float (Int64.sub (now_ns ()) t0) *. 1e-9

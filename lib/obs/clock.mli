@@ -1,0 +1,19 @@
+(** A monotonic clock (CLOCK_MONOTONIC) for timing and staleness.
+
+    [Unix.gettimeofday] is wall time: an NTP step mid-measurement can
+    make an elapsed interval negative or wildly skewed, which is fatal
+    for benchmark gates and for the serving daemon's staleness
+    accounting.  This clock only moves forward; its epoch is
+    unspecified, so only {e differences} between readings mean
+    anything.  Keep wall time ([Unix.gettimeofday]) for metadata
+    timestamps that must be human-datable. *)
+
+val now_ns : unit -> int64
+(** The monotonic clock, in nanoseconds since an unspecified origin. *)
+
+val now_s : unit -> float
+(** {!now_ns} in seconds (float). *)
+
+val since_s : int64 -> float
+(** [since_s t0] is the elapsed seconds from reading [t0] (a previous
+    {!now_ns}) to now; always [>= 0.0] on a monotonic host. *)

@@ -1,0 +1,416 @@
+module Network = Mmfair_core.Network
+module Allocation = Mmfair_core.Allocation
+module Solver_error = Mmfair_core.Solver_error
+module Engine = Mmfair_dynamic.Engine
+module Batch = Mmfair_dynamic.Batch
+module Event = Mmfair_dynamic.Event
+module Net_parser = Mmfair_workload.Net_parser
+module Churn_parser = Mmfair_workload.Churn_parser
+module Registry = Mmfair_obs.Registry
+module Probe = Mmfair_obs.Probe
+module Sink = Mmfair_obs.Sink
+module Clock = Mmfair_obs.Clock
+module Json = Mmfair_obs.Json
+
+type config = {
+  engine : Mmfair_core.Allocator.engine;
+  domains : int;
+  retain : int;
+  max_batch : int;
+  ack : bool;
+  poll_interval : float;
+}
+
+let default_config =
+  { engine = `Auto; domains = 1; retain = 8; max_batch = 256; ack = false; poll_interval = 0.05 }
+
+(* One queued ingestion item: a lone event or a whole [batch ... end]
+   block (blocks stay atomic through coalescing and fallback). *)
+type pending = { events : Event.t list; lineno : int; respond : string -> unit }
+
+type t = {
+  config : config;
+  parsed : Net_parser.t;
+  engine : Engine.t;
+  registry : Registry.t;
+  stop : bool Atomic.t;
+  mutable queue : pending list;  (* newest first *)
+  mutable queued_events : int;
+  mutable first_arrival : int64 option;  (* of the oldest queued event *)
+  ingested : Registry.counter;
+  rejected : Registry.counter;
+  queries : Registry.counter;
+  epochs : Registry.counter;
+  connections : Registry.counter;
+  solve_h : Registry.histogram;
+  staleness_h : Registry.histogram;
+  staleness_max : Registry.gauge;
+}
+
+let create ?(config = default_config) parsed =
+  if config.max_batch < 1 then
+    invalid_arg
+      (Printf.sprintf "Daemon.create: max_batch must be >= 1 (got %d)" config.max_batch);
+  match
+    Engine.create_result ~engine:config.engine ~domains:config.domains ~retain:config.retain
+      parsed.Net_parser.net
+  with
+  | Error _ as e -> e
+  | Ok engine ->
+      let registry = Registry.create () in
+      Ok
+        {
+          config;
+          parsed;
+          engine;
+          registry;
+          stop = Atomic.make false;
+          queue = [];
+          queued_events = 0;
+          first_arrival = None;
+          ingested = Registry.counter registry "serve.events.ingested.total";
+          rejected = Registry.counter registry "serve.events.rejected.total";
+          queries = Registry.counter registry "serve.queries.total";
+          epochs = Registry.counter registry "serve.epochs.total";
+          connections = Registry.counter registry "serve.connections.total";
+          solve_h = Registry.histogram registry ~lo:0.0 ~hi:0.1 ~bins:20 "serve.solve.seconds";
+          staleness_h =
+            Registry.histogram registry ~lo:0.0 ~hi:1.0 ~bins:20 "serve.staleness.seconds";
+          staleness_max = Registry.gauge registry "serve.staleness.max.seconds";
+        }
+
+let engine t = t.engine
+let registry t = t.registry
+let snapshot t = Registry.snapshot t.registry
+let prometheus t = Registry.to_prometheus t.registry
+let stop t = Atomic.set t.stop true
+let stopped t = Atomic.get t.stop
+
+(* ------------------------------------------------------------------ *)
+(* Ingestion: queue, coalesce, flush as one epoch.                     *)
+
+let flush t =
+  match t.queue with
+  | [] -> ()
+  | newest_first ->
+      let items = List.rev newest_first in
+      t.queue <- [];
+      t.queued_events <- 0;
+      (match t.first_arrival with
+      | Some t0 ->
+          let staleness = Clock.since_s t0 in
+          Registry.observe t.staleness_h staleness;
+          Registry.set_max t.staleness_max staleness
+      | None -> ());
+      t.first_arrival <- None;
+      let apply items events =
+        let t0 = Clock.now_ns () in
+        match Batch.apply_result t.engine events with
+        | Ok _ ->
+            Registry.observe t.solve_h (Clock.since_s t0);
+            Registry.incr t.epochs;
+            if t.config.ack then begin
+              let e = Engine.epoch t.engine in
+              List.iter (fun p -> p.respond (Printf.sprintf "ok epoch %d" e)) items
+            end;
+            Ok ()
+        | Error _ as e -> e
+      in
+      let events = List.concat_map (fun p -> p.events) items in
+      (match apply items events with
+      | Ok () -> ()
+      | Error _ ->
+          (* The coalesced epoch failed — some queued event no longer
+             type-checks against the evolving network (e.g. a leave of
+             a receiver that already left), or the solver stalled.
+             Isolate the offender(s): re-apply item by item, each lone
+             event or batch block as its own epoch, and report
+             failures to their own submitter with the original line
+             number.  Survivors still land; the daemon never dies on
+             bad input. *)
+          List.iter
+            (fun p ->
+              match apply [ p ] p.events with
+              | Ok () -> ()
+              | Error e ->
+                  Registry.incr ~by:(List.length p.events) t.rejected;
+                  p.respond
+                    (Printf.sprintf "err line %d: %s" p.lineno (Solver_error.to_string e)))
+            items)
+
+let enqueue t ~lineno ~respond events =
+  if t.first_arrival = None then t.first_arrival <- Some (Clock.now_ns ());
+  let n = List.length events in
+  Registry.incr ~by:n t.ingested;
+  t.queue <- { events; lineno; respond } :: t.queue;
+  t.queued_events <- t.queued_events + n;
+  if t.queued_events >= t.config.max_batch then flush t
+
+(* ------------------------------------------------------------------ *)
+(* Queries.                                                            *)
+
+let find_name lineno what names name =
+  let found = ref (-1) in
+  Array.iteri (fun i n -> if n = name && !found < 0 then found := i) names;
+  if !found < 0 then
+    raise (Churn_parser.Parse_error (lineno, Printf.sprintf "unknown %s %S" what name));
+  !found
+
+let receiver_rows t =
+  let net = Engine.network t.engine and alloc = Engine.allocation t.engine in
+  Array.to_list (Network.all_receivers net)
+  |> List.map (fun (r : Network.receiver_id) ->
+         let spec = Network.session_spec net r.Network.session in
+         Printf.sprintf "%s %s %.17g"
+           t.parsed.Net_parser.session_names.(r.Network.session)
+           t.parsed.Net_parser.node_names.(spec.Network.receivers.(r.Network.index))
+           (Allocation.rate alloc r))
+
+let answer t ~lineno ~respond (q : Protocol.query) =
+  Registry.incr t.queries;
+  match q with
+  | Protocol.Epoch ->
+      flush t;
+      respond (Printf.sprintf "epoch %d" (Engine.epoch t.engine))
+  | Protocol.Rates ->
+      flush t;
+      let rows = receiver_rows t in
+      respond (Printf.sprintf "rates %d epoch %d" (List.length rows) (Engine.epoch t.engine));
+      List.iter respond rows
+  | Protocol.Rate { session; node } ->
+      flush t;
+      let si = find_name lineno "session" t.parsed.Net_parser.session_names session in
+      let ni = find_name lineno "node" t.parsed.Net_parser.node_names node in
+      let net = Engine.network t.engine in
+      let spec = Network.session_spec net si in
+      let index = ref (-1) in
+      Array.iteri (fun k n -> if n = ni && !index < 0 then index := k) spec.Network.receivers;
+      if !index < 0 then
+        raise
+          (Churn_parser.Parse_error
+             (lineno, Printf.sprintf "session %s has no receiver on node %s" session node));
+      respond
+        (Printf.sprintf "rate %.17g"
+           (Allocation.rate (Engine.allocation t.engine)
+              { Network.session = si; Network.index = !index }))
+  | Protocol.Metrics `Json -> respond ("metrics " ^ Json.to_string (snapshot t))
+  | Protocol.Metrics `Prometheus ->
+      let lines =
+        String.split_on_char '\n' (prometheus t) |> List.filter (fun l -> l <> "")
+      in
+      respond (Printf.sprintf "metrics prom %d" (List.length lines));
+      List.iter respond lines
+
+(* ------------------------------------------------------------------ *)
+(* Per-connection line handling.                                       *)
+
+type conn = {
+  mutable lineno : int;
+  mutable block : Churn_parser.batch_state;  (* open [batch ... end], if any *)
+  respond : string -> unit;
+}
+
+let make_conn respond = { lineno = 0; block = None; respond }
+
+(* Feed one raw line.  A malformed line answers [err line N: ...] and
+   the loop lives on; a structural block error (nested batch, empty
+   block, end-without-batch) additionally abandons any open block — a
+   half-burst must never be applied. *)
+let handle_line t (c : conn) raw =
+  c.lineno <- c.lineno + 1;
+  let lineno = c.lineno in
+  let reject (l, msg) =
+    Registry.incr t.rejected;
+    c.respond (Printf.sprintf "err line %d: %s" l msg)
+  in
+  match Protocol.parse t.parsed ~lineno raw with
+  | exception Churn_parser.Parse_error (l, msg) ->
+      reject (l, msg);
+      `Continue
+  | Protocol.Quit ->
+      c.respond "bye";
+      `Quit
+  | Protocol.Query q -> (
+      match answer t ~lineno ~respond:c.respond q with
+      | () -> `Continue
+      | exception Churn_parser.Parse_error (l, msg) ->
+          reject (l, msg);
+          `Continue)
+  | Protocol.Churn line -> (
+      match Churn_parser.step_line c.block ~lineno line with
+      | exception Churn_parser.Parse_error (l, msg) ->
+          c.block <- None;
+          reject (l, msg);
+          `Continue
+      | block, item ->
+          c.block <- block;
+          (match item with
+          | Some (Churn_parser.Single ev) -> enqueue t ~lineno ~respond:c.respond [ ev ]
+          | Some (Churn_parser.Batch evs) -> enqueue t ~lineno ~respond:c.respond evs
+          | None -> ());
+          `Continue)
+
+(* End-of-stream bookkeeping: a block left open is a trace error,
+   reported at its opening line (like the offline parser). *)
+let finish_conn t (c : conn) =
+  match Churn_parser.close_batch c.block with
+  | () -> ()
+  | exception Churn_parser.Parse_error (l, msg) ->
+      c.block <- None;
+      Registry.incr t.rejected;
+      c.respond (Printf.sprintf "err line %d: %s" l msg)
+
+(* ------------------------------------------------------------------ *)
+(* Transports.                                                         *)
+
+(* Full write, EINTR-safe.  EPIPE/ECONNRESET raise to the caller, which
+   drops the connection (SIGPIPE itself is ignored while serving). *)
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go pos =
+    if pos < n then
+      match Unix.write fd b pos (n - pos) with
+      | written -> go (pos + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+  in
+  go 0
+
+let respond_fd fd line = write_all fd (line ^ "\n")
+
+(* Serve with SIGINT/SIGTERM flipping the stop flag (the select loop
+   polls it) and SIGPIPE ignored (a dead client must surface as EPIPE
+   on its own write, not kill the process).  Previous dispositions are
+   restored on the way out, whatever the loop did. *)
+let with_signals t f =
+  let install signal behavior =
+    match Sys.signal signal behavior with
+    | prev -> Some prev
+    | exception (Invalid_argument _ | Sys_error _) -> None
+  in
+  let stop_on _ = stop t in
+  let saved =
+    [
+      (Sys.sigint, install Sys.sigint (Sys.Signal_handle stop_on));
+      (Sys.sigterm, install Sys.sigterm (Sys.Signal_handle stop_on));
+      (Sys.sigpipe, install Sys.sigpipe Sys.Signal_ignore);
+    ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (function s, Some prev -> (try Sys.set_signal s prev with _ -> ()) | _, None -> ())
+        saved)
+    f
+
+(* The registry observes the engine's own probe stream (epoch and batch
+   events feed the dynamic.* instruments) tee'd onto whatever sink the
+   caller already installed. *)
+let with_probe t f =
+  Probe.with_sink (Sink.tee (Probe.get ()) (Registry.sink ~clock:Clock.now_s t.registry)) f
+
+let select_read fds timeout =
+  match Unix.select fds [] [] timeout with
+  | ready, _, _ -> ready
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+
+let serve_fd t ~input ~output =
+  with_signals t @@ fun () ->
+  with_probe t @@ fun () ->
+  Registry.incr t.connections;
+  let reader = Line_reader.of_fd input in
+  let c = make_conn (respond_fd output) in
+  let quit = ref false in
+  (* One wakeup = at most one read() plus every line it completed;
+     the queue coalesces into a single epoch per wakeup. *)
+  let drain_lines () =
+    let rec go () =
+      match Line_reader.pending_line reader with
+      | None -> ()
+      | Some raw -> ( match handle_line t c raw with `Quit -> quit := true | `Continue -> go ())
+    in
+    go ()
+  in
+  while (not (stopped t)) && (not !quit) && not (Line_reader.at_eof reader) do
+    (match select_read [ input ] t.config.poll_interval with
+    | [] -> ()
+    | _ :: _ ->
+        ignore (Line_reader.refill reader);
+        drain_lines ());
+    flush t
+  done;
+  (* EOF may leave a terminator-less trailing line buffered. *)
+  drain_lines ();
+  finish_conn t c;
+  flush t
+
+let serve_socket t ~path =
+  with_signals t @@ fun () ->
+  with_probe t @@ fun () ->
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  Unix.bind listener (Unix.ADDR_UNIX path);
+  Unix.listen listener 16;
+  (* fd -> live connection *)
+  let conns : (Unix.file_descr, Line_reader.t * conn) Hashtbl.t = Hashtbl.create 8 in
+  let close_conn fd =
+    match Hashtbl.find_opt conns fd with
+    | None -> ()
+    | Some (_, c) ->
+        finish_conn t c;
+        Hashtbl.remove conns fd;
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+  in
+  let respond_conn fd line =
+    try respond_fd fd line
+    with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+      (* The client went away mid-answer; drop it, keep serving. *)
+      close_conn fd
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter close_conn (Hashtbl.fold (fun fd _ acc -> fd :: acc) conns []);
+      (try Unix.close listener with Unix.Unix_error _ -> ());
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      flush t)
+    (fun () ->
+      while not (stopped t) do
+        let fds = listener :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
+        let ready = select_read fds t.config.poll_interval in
+        List.iter
+          (fun fd ->
+            if fd = listener then begin
+              match Unix.accept listener with
+              | client, _ ->
+                  Unix.set_nonblock client;
+                  Registry.incr t.connections;
+                  Hashtbl.replace conns client
+                    (Line_reader.of_fd client, make_conn (respond_conn client))
+              | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+                -> ()
+            end
+            else
+              match Hashtbl.find_opt conns fd with
+              | None -> ()
+              | Some (reader, c) -> (
+                  match Line_reader.refill reader with
+                  | status -> (
+                      let rec go () =
+                        match Line_reader.pending_line reader with
+                        | None -> `Continue
+                        | Some raw -> (
+                            match handle_line t c raw with
+                            | `Quit -> `Quit
+                            | `Continue -> go ())
+                      in
+                      match (go (), status) with
+                      | `Quit, _ | _, `Eof -> close_conn fd
+                      | `Continue, `Data -> ())
+                  | exception
+                      Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                      ()
+                  | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> close_conn fd))
+          ready;
+        (* One coalesced epoch per wakeup, across every connection. *)
+        flush t
+      done)

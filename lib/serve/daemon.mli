@@ -1,0 +1,93 @@
+(** The [mmfair churnd] serving loop.
+
+    A daemon wraps one incremental churn engine
+    ({!Mmfair_dynamic.Engine}) and feeds it from a byte stream — a
+    pipe/FIFO ({!serve_fd}) or a Unix-domain socket with any number of
+    concurrent clients ({!serve_socket}) — speaking the {!Protocol}
+    line language.
+
+    {b Coalescing.}  Events arriving between wakeups queue up; each
+    wakeup drains the queue into {e one} [Batch.apply] epoch, so a
+    burst of joins costs one union-component re-solve instead of one
+    per event (the engine's whole point).  [batch ... end] blocks stay
+    atomic through coalescing.  [max_batch] caps how much one epoch
+    may swallow; rate/epoch queries flush first, so answers are never
+    stale.
+
+    {b Staleness.}  At every flush the age of the oldest queued event
+    (monotonic clock) lands in the [serve.staleness.seconds] histogram
+    and the [serve.staleness.max.seconds] high-water gauge — the bound
+    the bench gate holds the daemon to.
+
+    {b Failure isolation.}  A malformed line answers
+    [err line N: ...] and the loop continues.  A queued event the
+    evolving network rejects (or a solver failure) fails only its own
+    item: the coalesced epoch is retried item by item and survivors
+    still land.
+
+    {b Signals and teardown.}  While serving, SIGINT/SIGTERM flip the
+    stop flag (the poll loop notices within [poll_interval]) and
+    SIGPIPE is ignored so a dead client surfaces as [EPIPE] on its own
+    write.  Previous dispositions are restored when the serve call
+    returns.  The engine's shared {!Mmfair_core.Domain_pool} is torn
+    down by its module-init [at_exit] hook, which runs {e after} any
+    later-registered telemetry finalizer — snapshot writers may still
+    query the registry after serving ends. *)
+
+type config = {
+  engine : Mmfair_core.Allocator.engine;  (** Water-filling engine (default [`Auto]). *)
+  domains : int;  (** Component-solve parallelism ({!Mmfair_dynamic.Engine.create}). *)
+  retain : int;  (** Epoch-store window ({!Mmfair_dynamic.Store.create}). *)
+  max_batch : int;  (** Most events one coalesced epoch may apply (default 256). *)
+  ack : bool;  (** Answer [ok epoch N] per accepted ingestion line (default off). *)
+  poll_interval : float;  (** Seconds between stop-flag polls when idle (default 0.05). *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> Mmfair_workload.Net_parser.t -> (t, Mmfair_core.Solver_error.t) result
+(** Solve epoch 0 and stand the daemon up (no I/O yet).  Raises
+    [Invalid_argument] when [config.max_batch < 1]. *)
+
+val engine : t -> Mmfair_dynamic.Engine.t
+(** The underlying engine (current network, allocation, epoch store). *)
+
+val registry : t -> Mmfair_obs.Registry.t
+(** The daemon's metrics: [serve.events.ingested.total],
+    [serve.events.rejected.total], [serve.queries.total],
+    [serve.epochs.total], [serve.connections.total], the
+    [serve.solve.seconds] and [serve.staleness.seconds] histograms and
+    the [serve.staleness.max.seconds] gauge — plus the standard
+    [dynamic.*] instruments bridged from the engine's probe stream
+    while serving. *)
+
+val snapshot : t -> Mmfair_obs.Json.t
+(** {!Mmfair_obs.Registry.snapshot} of {!registry}. *)
+
+val prometheus : t -> string
+(** {!Mmfair_obs.Registry.to_prometheus} of {!registry}. *)
+
+val stop : t -> unit
+(** Ask the serve loop to finish (signal-handler safe: one atomic
+    store).  The loop notices within [poll_interval], flushes queued
+    events, and returns. *)
+
+val stopped : t -> bool
+
+val flush : t -> unit
+(** Apply queued events as one coalesced epoch now.  Called by the
+    serve loops at each wakeup and before answering rate/epoch
+    queries; exposed for tests. *)
+
+val serve_fd : t -> input:Unix.file_descr -> output:Unix.file_descr -> unit
+(** Serve one pre-connected stream (pipe, FIFO, stdin/stdout) until
+    EOF, a [quit] line, or {!stop}.  Responses go to [output]. *)
+
+val serve_socket : t -> path:string -> unit
+(** Listen on a Unix-domain socket (an existing file at [path] is
+    replaced; the path is unlinked on the way out) and serve clients
+    until {!stop}.  Clients come and go freely; each gets its own line
+    numbering and [batch] block state, while churn events from all of
+    them coalesce into shared epochs. *)

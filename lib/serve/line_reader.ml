@@ -1,0 +1,81 @@
+type t = {
+  read : bytes -> int -> int -> int;
+  chunk : bytes;
+  acc : Buffer.t;  (* the trailing partial line, terminator not yet seen *)
+  lines : string Queue.t;  (* complete lines, terminators stripped *)
+  mutable eof : bool;
+  mutable drained : bool;  (* the post-EOF partial has been surfaced *)
+}
+
+let create ?(buf_size = 4096) read =
+  if buf_size < 1 then
+    invalid_arg (Printf.sprintf "Line_reader.create: buf_size must be >= 1 (got %d)" buf_size);
+  {
+    read;
+    chunk = Bytes.create buf_size;
+    acc = Buffer.create 256;
+    lines = Queue.create ();
+    eof = false;
+    drained = false;
+  }
+
+let of_fd ?buf_size fd =
+  create ?buf_size (fun buf pos len ->
+      let rec go () =
+        match Unix.read fd buf pos len with
+        | n -> n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      in
+      go ())
+
+let strip_cr s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+(* Absorb [n] fresh bytes from [t.chunk]: every '\n' completes the line
+   accumulated so far (possibly spanning many reads), the remainder
+   stays in [acc] for the next read. *)
+let absorb t n =
+  let start = ref 0 in
+  for i = 0 to n - 1 do
+    if Bytes.get t.chunk i = '\n' then begin
+      Buffer.add_subbytes t.acc t.chunk !start (i - !start);
+      Queue.add (strip_cr (Buffer.contents t.acc)) t.lines;
+      Buffer.clear t.acc;
+      start := i + 1
+    end
+  done;
+  Buffer.add_subbytes t.acc t.chunk !start (n - !start)
+
+let refill t =
+  if t.eof then `Eof
+  else
+    let n = t.read t.chunk 0 (Bytes.length t.chunk) in
+    if n = 0 then begin
+      t.eof <- true;
+      `Eof
+    end
+    else begin
+      absorb t n;
+      `Data
+    end
+
+let pending_line t =
+  match Queue.take_opt t.lines with
+  | Some line -> Some line
+  | None ->
+      if t.eof && (not t.drained) && Buffer.length t.acc > 0 then begin
+        t.drained <- true;
+        let line = strip_cr (Buffer.contents t.acc) in
+        Buffer.clear t.acc;
+        Some line
+      end
+      else None
+
+let at_eof t =
+  t.eof && Queue.is_empty t.lines && (t.drained || Buffer.length t.acc = 0)
+
+let rec next_line t =
+  match pending_line t with
+  | Some _ as line -> line
+  | None -> ( match refill t with `Data -> next_line t | `Eof -> pending_line t)

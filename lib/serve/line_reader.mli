@@ -1,0 +1,40 @@
+(** Incremental line assembly over raw [read()] chunks.
+
+    A churnd connection delivers bytes, not lines: one [read] may carry
+    half a line, three lines, or a line whose terminator only arrives in
+    the next chunk.  [Line_reader] buffers the partial tail across
+    arbitrary read boundaries and surfaces complete lines one at a time.
+    Terminators are ['\n']; a preceding ['\r'] is stripped (CRLF input);
+    a non-terminated trailing line is surfaced once after EOF, matching
+    how a text editor would read the file. *)
+
+type t
+
+val create : ?buf_size:int -> (bytes -> int -> int -> int) -> t
+(** [create read] over a [read buf pos len] function returning the
+    byte count ([0] = EOF).  [buf_size] (default 4096) is the chunk
+    size per {!refill}.  Raises [Invalid_argument] when
+    [buf_size < 1]. *)
+
+val of_fd : ?buf_size:int -> Unix.file_descr -> t
+(** A reader over [Unix.read], retrying [EINTR] (signals must wake the
+    serve loop, not kill a read). *)
+
+val refill : t -> [ `Data | `Eof ]
+(** Issue exactly one [read] and absorb its bytes; [`Eof] when the
+    source is exhausted (then and on every later call).  The daemon
+    calls this once per readiness wakeup, then drains
+    {!pending_line} — so one wakeup never blocks on a second read. *)
+
+val pending_line : t -> string option
+(** The next already-complete line, if any, terminator stripped —
+    never reads.  After EOF, a non-terminated trailing partial is
+    returned (once). *)
+
+val at_eof : t -> bool
+(** EOF reached and every line (including the trailing partial) has
+    been consumed. *)
+
+val next_line : t -> string option
+(** Blocking convenience for tests and offline replay: {!refill} until
+    a line completes; [None] at exhaustion. *)

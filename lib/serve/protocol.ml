@@ -1,0 +1,35 @@
+module Churn_parser = Mmfair_workload.Churn_parser
+
+type query =
+  | Rate of { session : string; node : string }
+  | Rates
+  | Epoch
+  | Metrics of [ `Json | `Prometheus ]
+
+type command = Churn of Churn_parser.line | Query of query | Quit
+
+let fail lineno msg = raise (Churn_parser.Parse_error (lineno, msg))
+
+let strip_comment s =
+  match String.index_opt s '#' with Some i -> String.sub s 0 i | None -> s
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun tok -> tok <> "")
+
+let parse p ~lineno raw =
+  match split_ws (String.trim (strip_comment raw)) with
+  | [] -> Churn Churn_parser.Blank
+  | [ "rate"; session; node ] -> Query (Rate { session; node })
+  | "rate" :: _ -> fail lineno "rate wants: rate SESSION NODE"
+  | [ "rates" ] -> Query Rates
+  | "rates" :: _ -> fail lineno "rates takes no arguments"
+  | [ "epoch" ] -> Query Epoch
+  | "epoch" :: _ -> fail lineno "epoch takes no arguments"
+  | [ "metrics" ] | [ "metrics"; "json" ] -> Query (Metrics `Json)
+  | [ "metrics"; "prom" ] | [ "metrics"; "prometheus" ] -> Query (Metrics `Prometheus)
+  | "metrics" :: _ -> fail lineno "metrics wants: metrics [json|prom]"
+  | [ "quit" ] -> Quit
+  | "quit" :: _ -> fail lineno "quit takes no arguments"
+  | _ -> Churn (Churn_parser.parse_line p ~lineno raw)

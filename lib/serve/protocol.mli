@@ -1,0 +1,36 @@
+(** The churnd line protocol: churn events plus queries.
+
+    Every input line is either a [.churn] directive (the
+    {!Mmfair_workload.Churn_parser} grammar, verbatim — including
+    [batch ... end] blocks and [#] comments) or one of the serving
+    extensions:
+
+    {v
+    rate SESSION NODE   -> rate FLOAT
+    rates               -> rates K epoch E, then K lines "SESSION NODE FLOAT"
+    epoch               -> epoch E
+    metrics [json]      -> metrics {...}          (one-line JSON snapshot)
+    metrics prom        -> metrics prom N, then N Prometheus text lines
+    quit                -> bye                    (close this connection)
+    v}
+
+    Rate and epoch queries flush any coalesced-but-unapplied events
+    first, so answers are never stale; a rejected line answers
+    [err line N: ...] and the connection lives on. *)
+
+type query =
+  | Rate of { session : string; node : string }
+  | Rates
+  | Epoch
+  | Metrics of [ `Json | `Prometheus ]
+
+type command =
+  | Churn of Mmfair_workload.Churn_parser.line
+  | Query of query
+  | Quit
+
+val parse : Mmfair_workload.Net_parser.t -> lineno:int -> string -> command
+(** Classify one raw line.  Query keywords are matched first; anything
+    else falls through to {!Mmfair_workload.Churn_parser.parse_line}.
+    Raises {!Mmfair_workload.Churn_parser.Parse_error} (carrying
+    [lineno]) on a malformed query or churn directive. *)

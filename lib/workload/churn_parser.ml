@@ -21,7 +21,9 @@ let index_of names line what name =
   if !found < 0 then fail line (Printf.sprintf "unknown %s %S" what name);
   !found
 
-let parse_items (p : Net_parser.t) text =
+type line = Blank | Event of Event.t | Batch_open | Batch_end
+
+let event_of_tokens (p : Net_parser.t) lineno toks =
   let session line name = index_of p.Net_parser.session_names line "session" name in
   let node line name = index_of p.Net_parser.node_names line "node" name in
   let link line name = index_of p.Net_parser.link_names line "link" name in
@@ -54,32 +56,55 @@ let parse_items (p : Net_parser.t) text =
         fail lineno (Printf.sprintf "unknown directive %S (want join|leave|rho|cap|batch|end)" tok)
     | [] -> assert false (* blank lines are filtered before dispatch *)
   in
+  event lineno toks
+
+let parse_line p ~lineno raw =
+  let line = String.trim (strip_comment raw) in
+  if line = "" then Blank
+  else
+    match split_ws line with
+    | [ "batch" ] -> Batch_open
+    | "batch" :: _ -> fail lineno "batch takes no arguments"
+    | [ "end" ] -> Batch_end
+    | "end" :: _ -> fail lineno "end takes no arguments"
+    | toks -> Event (event_of_tokens p lineno toks)
+
+(* Fold the line classifier through batch ... end structure.  Shared by
+   the whole-document parser below and the serving daemon's streaming
+   reader, so the two agree byte-for-byte on the grammar. *)
+type batch_state = (int * Event.t list) option
+(* [Some (opening line, events-reversed)] while inside a block. *)
+
+let step_line (state : batch_state) ~lineno line =
+  match (line, state) with
+  | Blank, st -> (st, None)
+  | Batch_open, None -> (Some (lineno, []), None)
+  | Batch_open, Some (opened, _) ->
+      fail lineno (Printf.sprintf "nested batch (previous batch opened at line %d)" opened)
+  | Batch_end, Some (opened, evs) ->
+      if evs = [] then fail opened "empty batch (batch blocks need at least one event)";
+      (None, Some (Batch (List.rev evs)))
+  | Batch_end, None -> fail lineno "end without a matching batch"
+  | Event ev, Some (opened, evs) -> (Some (opened, ev :: evs), None)
+  | Event ev, None -> (None, Some (Single ev))
+
+let close_batch (state : batch_state) =
+  match state with
+  | Some (opened, _) -> fail opened "batch never closed (missing end)"
+  | None -> ()
+
+let parse_items (p : Net_parser.t) text =
   let items = ref [] in
-  (* [Some (line, events-reversed)] while inside a batch ... end block. *)
-  let open_batch = ref None in
+  let state = ref None in
   let lines = String.split_on_char '\n' text in
   List.iteri
     (fun idx raw ->
       let lineno = idx + 1 in
-      let line = String.trim (strip_comment raw) in
-      if line <> "" then
-        match (split_ws line, !open_batch) with
-        | [ "batch" ], None -> open_batch := Some (lineno, [])
-        | [ "batch" ], Some (opened, _) ->
-            fail lineno (Printf.sprintf "nested batch (previous batch opened at line %d)" opened)
-        | "batch" :: _, _ -> fail lineno "batch takes no arguments"
-        | [ "end" ], Some (opened, evs) ->
-            if evs = [] then fail opened "empty batch (batch blocks need at least one event)";
-            open_batch := None;
-            items := Batch (List.rev evs) :: !items
-        | [ "end" ], None -> fail lineno "end without a matching batch"
-        | "end" :: _, _ -> fail lineno "end takes no arguments"
-        | toks, Some (opened, evs) -> open_batch := Some (opened, event lineno toks :: evs)
-        | toks, None -> items := Single (event lineno toks) :: !items)
+      let st, item = step_line !state ~lineno (parse_line p ~lineno raw) in
+      state := st;
+      match item with Some it -> items := it :: !items | None -> ())
     lines;
-  (match !open_batch with
-  | Some (opened, _) -> fail opened "batch never closed (missing end)"
-  | None -> ());
+  close_batch !state;
   List.rev !items
 
 let flatten items =

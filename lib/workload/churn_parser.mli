@@ -36,6 +36,34 @@ type item = Single of Mmfair_dynamic.Event.t | Batch of Mmfair_dynamic.Event.t l
 exception Parse_error of int * string
 (** Line number (1-based) and message. *)
 
+type line = Blank | Event of Mmfair_dynamic.Event.t | Batch_open | Batch_end
+(** One classified input line: nothing (blank / comment-only), a churn
+    event, or a [batch] / [end] block delimiter. *)
+
+val parse_line : Net_parser.t -> lineno:int -> string -> line
+(** Classify a single raw line (comments stripped, whitespace
+    trimmed).  Raises {!Parse_error} carrying [lineno] on an unknown
+    directive, unknown name, or malformed literal — exactly the
+    diagnostics {!parse_items} would report for the same text.  This
+    is the streaming entry point: the serving daemon feeds it one line
+    at a time as bytes arrive, with [lineno] counted per connection. *)
+
+type batch_state = (int * Mmfair_dynamic.Event.t list) option
+(** Accumulator for [batch ... end] structure across consecutive
+    {!line}s: [Some (opening line, events in reverse)] while inside a
+    block, [None] outside.  Start at [None]. *)
+
+val step_line : batch_state -> lineno:int -> line -> batch_state * item option
+(** Fold one classified line through the block grammar, yielding a
+    completed {!item} when the line finishes one (a lone event outside
+    a block, or [end] closing a block).  Raises {!Parse_error} on a
+    nested [batch], an [end] without a matching [batch], or an empty
+    block (reported at the opening line). *)
+
+val close_batch : batch_state -> unit
+(** Assert end-of-input state: raises {!Parse_error} at the opening
+    line if a [batch] block was left unclosed. *)
+
 val parse_items : Net_parser.t -> string -> item list
 (** The trace's replay steps.  Raises {!Parse_error} on an unknown
     directive, unknown session/node/link name, a malformed or

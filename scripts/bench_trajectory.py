@@ -16,14 +16,16 @@ results/bench_trajectory.json:
       },
       "headlines": {
         "churn": { "batch_speedup": 1.66, "parallel_speedup_at_4_domains": 2.01,
-                   "parallel_host_cpus": 1 }
+                   "parallel_host_cpus": 1, "serving_events_per_s": 2000.0,
+                   "serving_max_staleness_s": 0.01 }
       }
     }
 
 Bench documents are embedded verbatim (their own "schema" fields keep
 them self-describing); the key is the BENCH_<key>.json stem.  For
 schemas the script knows (mmfair.bench.churn/v2+, whose v3 added the
-"parallel" domain-scaling section) it also lifts the headline gate
+"parallel" domain-scaling section and v4 the "serving" churnd
+sustained-ingest section) it also lifts the headline gate
 numbers into "headlines" so the trajectory is scannable without
 digging into each embedded document.  Stdlib only — no third-party
 imports.
@@ -55,6 +57,13 @@ def headline(doc):
             rows = {r["domains"]: r["speedup_vs_1"] for r in par["rows"]}
             h["parallel_speedup_at_4_domains"] = rows.get(4)
             h["parallel_host_cpus"] = par["host_cpus"]
+        except (KeyError, TypeError):
+            pass
+    srv = doc.get("serving")  # churn/v4 and later: churnd sustained ingest
+    if isinstance(srv, dict):
+        try:
+            h["serving_events_per_s"] = srv["events_per_s"]
+            h["serving_max_staleness_s"] = srv["max_staleness_s"]
         except (KeyError, TypeError):
             pass
     return h or None

@@ -128,6 +128,43 @@ let test_shared_pools () =
   Domain_pool.run a [ (fun () -> ok := true) ];
   Alcotest.(check bool) "shared pool runs" true !ok
 
+let test_exit_hook_ordering () =
+  (* Simulate process exit: [at_exit] hooks run LIFO, and the shared
+     pools' teardown hook is registered at module-initialization time,
+     i.e. before any command-scoped finalizer.  So a telemetry
+     finalizer registered later must (a) run first and (b) still be
+     able to drive the pool.  We model the hook stack explicitly —
+     registration order below mirrors the real program — and unwind it
+     in LIFO order like the runtime would. *)
+  let order = ref [] in
+  let hooks = ref [] in
+  let register name f = hooks := (name, f) :: !hooks in
+  (* Registered "at module init": tear the shared pool down. *)
+  let pool = Domain_pool.shared ~domains:5 in
+  register "pool-teardown" (fun () -> Domain_pool.shutdown pool);
+  (* Registered "at command start": flush telemetry, which may itself
+     still need the pool. *)
+  register "telemetry-finalize" (fun () ->
+      let ok = ref false in
+      Domain_pool.run pool [ (fun () -> ok := true) ];
+      Alcotest.(check bool) "finalizer can still use the pool" true !ok);
+  (* [register] prepends, so !hooks is already LIFO. *)
+  List.iter
+    (fun (name, f) ->
+      f ();
+      order := name :: !order)
+    !hooks;
+  Alcotest.(check (list string))
+    "telemetry finalizes before pool teardown"
+    [ "telemetry-finalize"; "pool-teardown" ]
+    (List.rev !order);
+  (* Idempotence: the real at_exit sweep will shut this pool down a
+     second time at process exit — that second call must be a no-op. *)
+  Domain_pool.shutdown pool;
+  Alcotest.check_raises "run after teardown raises"
+    (Invalid_argument "Domain_pool.run: pool has been shut down") (fun () ->
+      Domain_pool.run pool [ (fun () -> ()) ])
+
 let suite =
   [
     Alcotest.test_case "domains:1 degenerates to in-order calls" `Quick test_sequential_degenerate;
@@ -136,4 +173,5 @@ let suite =
     Alcotest.test_case "exception policy: wrap, re-raise, survive" `Quick test_exception_policy;
     Alcotest.test_case "task probes replay in task order" `Quick test_probe_replay_order;
     Alcotest.test_case "shared pools are cached per size" `Quick test_shared_pools;
+    Alcotest.test_case "exit hooks: finalize before teardown" `Quick test_exit_hook_ordering;
   ]

@@ -34,4 +34,5 @@ let () =
       ("component", Test_component.suite);
       ("dynamic", Test_dynamic.suite);
       ("obs", Test_obs.suite);
+      ("serve", Test_serve.suite);
     ]
