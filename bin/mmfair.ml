@@ -551,19 +551,28 @@ let churnd_cmd =
     Arg.(value & opt float 0.05
          & info [ "poll-interval" ] ~docv:"SECONDS" ~doc:"Idle wakeup period (stop-flag polling).")
   in
+  let write_timeout =
+    Arg.(value & opt float 5.0
+         & info [ "write-timeout" ] ~docv:"SECONDS"
+             ~doc:"Drop a socket client whose full send buffer stalls a response write this long.")
+  in
   let snapshot_out =
     Arg.(value & opt (some string) None
          & info [ "snapshot-out" ] ~docv:"FILE"
              ~doc:"Write the final metrics registry snapshot (JSON) to FILE on shutdown.")
   in
-  let run tele net_file socket input engine domains retain max_batch ack poll snapshot_out =
+  let run tele net_file socket input engine domains retain max_batch ack poll write_timeout
+      snapshot_out =
     Telemetry.wrap tele @@ fun () ->
     if domains < 1 then die exit_invalid_input "mmfair churnd: --domains wants a positive count";
     if max_batch < 1 then die exit_invalid_input "mmfair churnd: --max-batch wants a positive count";
     if poll <= 0.0 then die exit_invalid_input "mmfair churnd: --poll-interval wants a positive duration";
+    if write_timeout <= 0.0 then
+      die exit_invalid_input "mmfair churnd: --write-timeout wants a positive duration";
     let parsed = Net_parser.parse_file net_file in
     let config =
-      { Mmfair_serve.Daemon.engine; domains; retain; max_batch; ack; poll_interval = poll }
+      { Mmfair_serve.Daemon.engine; domains; retain; max_batch; ack; poll_interval = poll;
+        write_timeout }
     in
     let daemon =
       match Daemon.create ~config parsed with
@@ -610,7 +619,7 @@ let churnd_cmd =
   in
   Cmd.v (Cmd.info "churnd" ~doc ~man)
     Term.(const run $ tele_term $ net_file $ socket $ input $ engine $ domains $ retain $ max_batch
-          $ ack $ poll $ snapshot_out)
+          $ ack $ poll $ write_timeout $ snapshot_out)
 
 (* `mmfair churnd-load`: load generator and soak harness for churnd.
    Generates a seeded Churn_gen trace; either prints it (pipe mode) or
@@ -672,29 +681,76 @@ let churnd_load_cmd =
               die exit_invalid_input "mmfair churnd-load: connect %s: %s" path (Unix.error_message err)
         in
         let fd = connect () in
+        (* A dead daemon must surface as EPIPE on our own write (and a
+           clean diagnostic), not a fatal SIGPIPE. *)
+        (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> ());
         Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
         @@ fun () ->
+        let reader = Line_reader.of_fd fd in
+        (* Consume whatever response lines the daemon has already sent
+           (--ack oks, rejection errs) without blocking.  Interleaved
+           with the send below: against an --ack daemon, per-event
+           replies would otherwise fill both socket buffers and
+           deadlock the pair once the trace outgrows them. *)
+        let drain_ready () =
+          let rec go () =
+            match Unix.select [ fd ] [] [] 0.0 with
+            | [], _, _ -> ()
+            | _ :: _, _, _ -> (
+                match Line_reader.refill reader with
+                | `Eof -> ()
+                | `Data ->
+                    let rec eat () =
+                      match Line_reader.pending_line reader with
+                      | None -> ()
+                      | Some l ->
+                          if String.starts_with ~prefix:"err " l then
+                            Printf.eprintf "mmfair churnd-load: daemon: %s\n%!" l;
+                          eat ()
+                    in
+                    eat ();
+                    go ())
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+          in
+          go ()
+        in
         let send s =
           let b = Bytes.of_string s in
+          let n = Bytes.length b in
           let rec go pos =
-            if pos < Bytes.length b then
-              match Unix.write fd b pos (Bytes.length b - pos) with
-              | n -> go (pos + n)
+            if pos < n then begin
+              drain_ready ();
+              match Unix.write fd b pos (Stdlib.min 4096 (n - pos)) with
+              | written -> go (pos + written)
               | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+              | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+                  die exit_invalid_input
+                    "mmfair churnd-load: connection to %s closed while streaming" path
+            end
           in
           go 0
         in
         send rendered;
-        let reader = Line_reader.of_fd fd in
         let read_line what =
           match Line_reader.next_line reader with
           | Some l -> l
           | None -> die exit_invalid_input "mmfair churnd-load: connection closed waiting for %s" what
         in
+        (* Per-ingestion responses (--ack oks, errs) ride ahead of a
+           query's answer on the same stream; skip past them. *)
+        let rec read_answer what =
+          let l = read_line what in
+          if String.starts_with ~prefix:"ok " l then read_answer what
+          else if String.starts_with ~prefix:"err " l then begin
+            Printf.eprintf "mmfair churnd-load: daemon: %s\n%!" l;
+            read_answer what
+          end
+          else l
+        in
         let mismatches = ref 0 in
         if verify then begin
           send "rates\n";
-          let header = read_line "rates header" in
+          let header = read_answer "rates header" in
           let k, daemon_epoch =
             match String.split_on_char ' ' header with
             | [ "rates"; k; "epoch"; e ] -> (int_of_string k, int_of_string e)

@@ -19,10 +19,19 @@ type config = {
   max_batch : int;
   ack : bool;
   poll_interval : float;
+  write_timeout : float;
 }
 
 let default_config =
-  { engine = `Auto; domains = 1; retain = 8; max_batch = 256; ack = false; poll_interval = 0.05 }
+  {
+    engine = `Auto;
+    domains = 1;
+    retain = 8;
+    max_batch = 256;
+    ack = false;
+    poll_interval = 0.05;
+    write_timeout = 5.0;
+  }
 
 (* One queued ingestion item: a lone event or a whole [batch ... end]
    block (blocks stay atomic through coalescing and fallback). *)
@@ -51,6 +60,9 @@ let create ?(config = default_config) parsed =
   if config.max_batch < 1 then
     invalid_arg
       (Printf.sprintf "Daemon.create: max_batch must be >= 1 (got %d)" config.max_batch);
+  if config.write_timeout <= 0.0 then
+    invalid_arg
+      (Printf.sprintf "Daemon.create: write_timeout must be > 0 (got %g)" config.write_timeout);
   match
     Engine.create_result ~engine:config.engine ~domains:config.domains ~retain:config.retain
       parsed.Net_parser.net
@@ -263,9 +275,17 @@ let finish_conn t (c : conn) =
 (* ------------------------------------------------------------------ *)
 (* Transports.                                                         *)
 
-(* Full write, EINTR-safe.  EPIPE/ECONNRESET raise to the caller, which
-   drops the connection (SIGPIPE itself is ignored while serving). *)
-let write_all fd s =
+exception Write_timeout
+
+(* Full write, EINTR-safe.  On a non-blocking fd a full send buffer
+   surfaces as EAGAIN/EWOULDBLOCK; we then wait for writability via
+   select — bounded by [timeout] seconds for the whole write when
+   given, raising [Write_timeout] on expiry so one client that stopped
+   reading costs its own connection, never the daemon.
+   EPIPE/ECONNRESET raise to the caller, which drops the connection
+   (SIGPIPE itself is ignored while serving). *)
+let write_all ?timeout fd s =
+  let deadline = Option.map (fun d -> Clock.now_s () +. d) timeout in
   let b = Bytes.of_string s in
   let n = Bytes.length b in
   let rec go pos =
@@ -273,6 +293,20 @@ let write_all fd s =
       match Unix.write fd b pos (n - pos) with
       | written -> go (pos + written)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          let wait =
+            match deadline with
+            | None -> -1.0 (* unbounded: block until writable *)
+            | Some d ->
+                let left = d -. Clock.now_s () in
+                if left <= 0.0 then raise Write_timeout;
+                left
+          in
+          (match Unix.select [] [ fd ] [] wait with
+          | _, [], _ -> if deadline <> None then raise Write_timeout
+          | _, _ :: _, _ -> ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          go pos
   in
   go 0
 
@@ -339,9 +373,13 @@ let serve_fd t ~input ~output =
         drain_lines ());
     flush t
   done;
-  (* EOF may leave a terminator-less trailing line buffered. *)
-  drain_lines ();
-  finish_conn t c;
+  (* EOF may leave a terminator-less trailing line buffered; after a
+     [quit], though, anything still buffered (commands sent past quit
+     in the same chunk) is dead input and must not be answered. *)
+  if not !quit then begin
+    drain_lines ();
+    if not !quit then finish_conn t c
+  end;
   flush t
 
 let serve_socket t ~path =
@@ -351,21 +389,36 @@ let serve_socket t ~path =
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   Unix.bind listener (Unix.ADDR_UNIX path);
   Unix.listen listener 16;
-  (* fd -> live connection *)
-  let conns : (Unix.file_descr, Line_reader.t * conn) Hashtbl.t = Hashtbl.create 8 in
+  (* Non-blocking, so a connection aborted between select and accept
+     surfaces as EAGAIN below instead of blocking the whole loop. *)
+  Unix.set_nonblock listener;
+  (* fd -> live connection.  The [bool ref] is a liveness guard:
+     respond closures outlive the socket (queued acks, lines still
+     draining after a drop), and a raw fd number freed by close can be
+     reused at once by a concurrent connect/accept — so every respond
+     checks the guard first and a stale one becomes a no-op instead of
+     a write into somebody else's socket. *)
+  let conns : (Unix.file_descr, Line_reader.t * conn * bool ref) Hashtbl.t = Hashtbl.create 8 in
   let close_conn fd =
     match Hashtbl.find_opt conns fd with
     | None -> ()
-    | Some (_, c) ->
-        finish_conn t c;
+    | Some (_, c, alive) ->
         Hashtbl.remove conns fd;
+        finish_conn t c;
+        alive := false;
         (try Unix.close fd with Unix.Unix_error _ -> ())
   in
-  let respond_conn fd line =
-    try respond_fd fd line
-    with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
-      (* The client went away mid-answer; drop it, keep serving. *)
-      close_conn fd
+  let respond_conn fd alive line =
+    if !alive then
+      try write_all ~timeout:t.config.write_timeout fd (line ^ "\n") with
+      | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+          (* The client went away mid-answer; drop it, keep serving. *)
+          close_conn fd
+      | Write_timeout ->
+          (* The client stopped reading and its buffer stayed full for
+             write_timeout seconds; drop it rather than wedge every
+             other connection behind one stalled fd. *)
+          close_conn fd
   in
   Fun.protect
     ~finally:(fun () ->
@@ -384,24 +437,30 @@ let serve_socket t ~path =
               | client, _ ->
                   Unix.set_nonblock client;
                   Registry.incr t.connections;
+                  let alive = ref true in
                   Hashtbl.replace conns client
-                    (Line_reader.of_fd client, make_conn (respond_conn client))
+                    (Line_reader.of_fd client, make_conn (respond_conn client alive), alive)
               | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
                 -> ()
             end
             else
               match Hashtbl.find_opt conns fd with
               | None -> ()
-              | Some (reader, c) -> (
+              | Some (reader, c, alive) -> (
                   match Line_reader.refill reader with
                   | status -> (
+                      (* A respond mid-loop may drop the connection
+                         (slow or dead client); its remaining lines are
+                         then dead input, not commands. *)
                       let rec go () =
-                        match Line_reader.pending_line reader with
-                        | None -> `Continue
-                        | Some raw -> (
-                            match handle_line t c raw with
-                            | `Quit -> `Quit
-                            | `Continue -> go ())
+                        if not !alive then `Continue
+                        else
+                          match Line_reader.pending_line reader with
+                          | None -> `Continue
+                          | Some raw -> (
+                              match handle_line t c raw with
+                              | `Quit -> `Quit
+                              | `Continue -> go ())
                       in
                       match (go (), status) with
                       | `Quit, _ | _, `Eof -> close_conn fd

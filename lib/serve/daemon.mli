@@ -41,6 +41,9 @@ type config = {
   max_batch : int;  (** Most events one coalesced epoch may apply (default 256). *)
   ack : bool;  (** Answer [ok epoch N] per accepted ingestion line (default off). *)
   poll_interval : float;  (** Seconds between stop-flag polls when idle (default 0.05). *)
+  write_timeout : float;
+      (** How long a socket client's full send buffer may stall a
+          response write before the client is dropped (default 5.0). *)
 }
 
 val default_config : config
@@ -49,7 +52,8 @@ type t
 
 val create : ?config:config -> Mmfair_workload.Net_parser.t -> (t, Mmfair_core.Solver_error.t) result
 (** Solve epoch 0 and stand the daemon up (no I/O yet).  Raises
-    [Invalid_argument] when [config.max_batch < 1]. *)
+    [Invalid_argument] when [config.max_batch < 1] or
+    [config.write_timeout <= 0]. *)
 
 val engine : t -> Mmfair_dynamic.Engine.t
 (** The underlying engine (current network, allocation, epoch store). *)
@@ -90,4 +94,7 @@ val serve_socket : t -> path:string -> unit
     replaced; the path is unlinked on the way out) and serve clients
     until {!stop}.  Clients come and go freely; each gets its own line
     numbering and [batch] block state, while churn events from all of
-    them coalesce into shared epochs. *)
+    them coalesce into shared epochs.  A client that stops reading
+    (its full send buffer stalls a response write for longer than
+    [config.write_timeout]) is dropped; the other connections and the
+    daemon itself live on. *)

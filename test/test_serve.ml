@@ -299,6 +299,13 @@ let test_daemon_unclosed_batch () =
     responses;
   Alcotest.(check int) "no epoch advanced" 0 (Engine.epoch (Daemon.engine daemon))
 
+let test_daemon_quit_discards_buffered () =
+  (* Commands buffered behind a quit in the same chunk are dead input:
+     nothing may be answered after bye. *)
+  let _, daemon = make_daemon () in
+  let responses = serve_string daemon "epoch\nquit\nrates\nmetrics\n" in
+  Alcotest.(check (list string)) "bye is the last word" [ "epoch 0"; "bye" ] responses
+
 let test_daemon_queries () =
   let parsed, daemon = make_daemon () in
   let responses =
@@ -419,6 +426,77 @@ let test_socket_e2e_matches_offline_replay () =
                   expected)
         receivers)
 
+let test_socket_slow_client_dropped () =
+  (* A client that stops reading fills the daemon's send buffer; the
+     response write must time out and drop that client alone — the
+     daemon and later connections live on (the write path used to leak
+     EAGAIN and tear the whole serve loop down). *)
+  let _, daemon =
+    make_daemon
+      ~config:
+        { Daemon.default_config with Daemon.poll_interval = 0.005; write_timeout = 0.2 }
+      ()
+  in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mmfair-slow-%d.sock" (Unix.getpid ()))
+  in
+  (* Writes to a dropped connection must surface as EPIPE, not SIGPIPE. *)
+  let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let server = Domain.spawn (fun () -> Daemon.serve_socket daemon ~path) in
+  Fun.protect
+    ~finally:(fun () ->
+      Daemon.stop daemon;
+      Domain.join server;
+      Sys.set_signal Sys.sigpipe prev_pipe;
+      (try Unix.unlink path with Unix.Unix_error _ -> ()))
+    (fun () ->
+      let connect () =
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        let rec go tries =
+          match Unix.connect fd (Unix.ADDR_UNIX path) with
+          | () -> fd
+          | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) when tries > 0
+            ->
+              Unix.sleepf 0.02;
+              go (tries - 1)
+        in
+        go 250
+      in
+      (* The slow client: a flood of queries whose answers vastly
+         outgrow the socket buffers, and not one read. *)
+      let slow = connect () in
+      Fun.protect ~finally:(fun () -> try Unix.close slow with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      let queries = String.concat "" (List.init 20_000 (fun _ -> "rates\n")) in
+      write_all slow queries;
+      (* Once dropped, our next write fails; give the daemon ample time
+         to hit its 0.2s write timeout. *)
+      let deadline = Unix.gettimeofday () +. 20.0 in
+      let rec await_drop () =
+        match write_all slow "epoch\n" with
+        | () ->
+            if Unix.gettimeofday () > deadline then
+              Alcotest.fail "slow client was never dropped";
+            Unix.sleepf 0.05;
+            await_drop ()
+        | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+      in
+      await_drop ();
+      (* The daemon survived: a fresh client still gets answers. *)
+      let live = connect () in
+      Fun.protect ~finally:(fun () -> try Unix.close live with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      write_all live "epoch\nquit\n";
+      let reader = Line_reader.of_fd live in
+      let line what =
+        match Line_reader.next_line reader with
+        | Some l -> l
+        | None -> Alcotest.failf "connection closed waiting for %s" what
+      in
+      Alcotest.(check string) "fresh client answered" "epoch 0" (line "epoch answer");
+      Alcotest.(check string) "fresh client bids bye" "bye" (line "bye"))
+
 let suite =
   [
     Alcotest.test_case "line reader: arbitrary read boundaries" `Quick test_line_reader_boundaries;
@@ -435,7 +513,11 @@ let suite =
       test_daemon_batch_block_and_failure_isolation;
     Alcotest.test_case "daemon: unclosed batch reported at opening line" `Quick
       test_daemon_unclosed_batch;
+    Alcotest.test_case "daemon: quit discards buffered commands" `Quick
+      test_daemon_quit_discards_buffered;
     Alcotest.test_case "daemon: rate/rates/metrics answers" `Quick test_daemon_queries;
     Alcotest.test_case "socket e2e matches offline replay at 1e-9" `Quick
       test_socket_e2e_matches_offline_replay;
+    Alcotest.test_case "socket: slow client dropped, daemon survives" `Quick
+      test_socket_slow_client_dropped;
   ]
