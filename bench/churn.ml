@@ -30,6 +30,18 @@
    epochs (so mean coalesced batch size is events/epochs), and the
    max observed staleness from the daemon's own monotonic gauge.
 
+   The serving "sampler" subsection (schema v5) prices the PR-8
+   time-series sampler: the same trace is served a second time with
+   the sampler running at an aggressive 20 Hz cadence (20x the 1 Hz
+   default — "bench scale"), and one sampler tick (GC gauges +
+   registry walk + per-series append) is then timed directly against
+   the fully populated registry.  The gated number is the duty cycle —
+   mean tick cost over the bench cadence — which must stay <= 5%, the
+   same tolerance as the disabled-probe overhead gate; the A/B
+   throughput delta is recorded for the trajectory but not gated
+   (single-run throughput noise on a CI box exceeds any honest
+   sampler cost).
+
    Run:      dune exec bench/churn.exe                 (full sweep)
              dune exec bench/churn.exe -- --quick      (CI smoke)
    Validate: dune exec bench/churn.exe -- --validate BENCH_churn.json
@@ -41,7 +53,8 @@
    >= 1000 events/sec with max staleness <= 0.5 s, and — when the
    generating host had >= 4 CPUs ("host_cpus") — a parallel speedup
    >= 2x at 4 domains; on smaller hosts the parallel gate is waived
-   with a warning, since domains cannot beat cores. *)
+   with a warning, since domains cannot beat cores.  Non-quick files
+   must also keep the sampler duty cycle <= 5%. *)
 
 module Network = Mmfair_core.Network
 module Allocator = Mmfair_core.Allocator
@@ -54,7 +67,7 @@ module Churn_gen = Mmfair_workload.Churn_gen
 module Obs = Mmfair_obs
 module Json = Mmfair_obs.Json
 
-let schema_id = "mmfair.bench.churn/v4"
+let schema_id = "mmfair.bench.churn/v5"
 let classes = [ "join"; "leave"; "rho"; "cap" ]
 
 (* --- timing (same discipline as bench/scaling.ml) ------------------- *)
@@ -431,12 +444,23 @@ let measure_parallel ~engine ~min_time () =
 
 let serving_max_batch = 512
 
+(* The sampler's bench cadence: 20x the 1 Hz default, so the duty
+   cycle measured here bounds the default-configuration overhead with
+   a 20x margin. *)
+let serving_sample_interval = 0.05
+
 type serving_row = {
   srv_events : int;
   srv_elapsed_s : float;
   srv_events_per_s : float;
   srv_epochs : int;
   srv_max_staleness_s : float;
+  (* sampler A/B + direct tick pricing (schema v5) *)
+  srv_sampled_events_per_s : float;
+  srv_sampler_ticks : int;
+  srv_sampler_overhead : float;  (* 1 - sampled/plain throughput; informational *)
+  srv_sampler_tick_cost_s : float;  (* directly timed mean tick cost *)
+  srv_sampler_duty : float;  (* tick cost / bench cadence; gated <= 5% *)
 }
 
 (* Daemon.create wants parsed names; the bench network is synthetic, so
@@ -451,21 +475,17 @@ let synthetic_names net =
     session_names = Array.init (Network.session_count net) (Printf.sprintf "s%d");
   }
 
-let measure_serving ~quick net =
+(* One full pipe-fed serving run; [sample_interval = 0.0] disables the
+   sampler so the plain run stays the headline throughput. *)
+let serving_run ~sample_interval net trace rendered =
   let module Daemon = Mmfair_serve.Daemon in
-  let events = if quick then 500 else 5000 in
-  let rng = Mmfair_prng.Xoshiro.create ~seed:555L () in
-  let trace =
-    Churn_gen.generate ~rng net
-      { Churn_gen.default with Churn_gen.events; max_receivers = 4 }
-  in
-  let rendered = Mmfair_workload.Churn_parser.render trace in
   let config =
     {
       Daemon.default_config with
       Daemon.engine = `Linear;
       max_batch = serving_max_batch;
       poll_interval = 0.005;
+      sample_interval;
     }
   in
   let daemon =
@@ -504,14 +524,71 @@ let measure_serving ~quick net =
     Printf.eprintf "churn bench: serving ingested %d/%d events (%d rejected)\n%!" ingested
       (List.length trace) rejected;
     exit 1);
+  (daemon, elapsed, ingested)
+
+let measure_serving ~quick net =
+  let module Daemon = Mmfair_serve.Daemon in
+  let events = if quick then 500 else 5000 in
+  let rng = Mmfair_prng.Xoshiro.create ~seed:555L () in
+  let trace =
+    Churn_gen.generate ~rng net
+      { Churn_gen.default with Churn_gen.events; max_receivers = 4 }
+  in
+  let rendered = Mmfair_workload.Churn_parser.render trace in
+  (* A/B with the bench's usual best-of discipline, plain and sampled
+     runs alternating: single-run elapsed times on a loaded (or
+     1-CPU) host wobble far more than any honest sampler cost, but
+     the per-variant minimum converges on the uncontaminated run. *)
+  let reps = if quick then 1 else 3 in
+  let best = ref None in
+  let sampled_elapsed = ref Float.infinity in
+  let sampled_daemon = ref None in
+  for _ = 1 to reps do
+    let (_, e, _) as plain = serving_run ~sample_interval:0.0 net trace rendered in
+    (match !best with
+    | Some (_, be, _) when be <= e -> ()
+    | _ -> best := Some plain);
+    let sd, se, _ = serving_run ~sample_interval:serving_sample_interval net trace rendered in
+    if se < !sampled_elapsed then sampled_elapsed := se;
+    sampled_daemon := Some sd
+  done;
+  let daemon, elapsed, ingested = Option.get !best in
+  let sampled_elapsed = !sampled_elapsed in
+  let sampled_daemon = Option.get !sampled_daemon in
+  let reg = Daemon.registry daemon in
+  let counter name = Obs.Registry.counter_value (Obs.Registry.counter reg name) in
+  let sampler_ticks =
+    List.length (Mmfair_obs.Timeseries.points (Daemon.series sampled_daemon) "serve.epochs.total")
+  in
+  (* Direct tick pricing against the now fully populated registry
+     (every instrument the serve path touches exists, so the walk cost
+     is the steady-state one, not an empty-registry best case). *)
+  let tick_cost_s =
+    for _ = 1 to 3 do
+      Daemon.sample sampled_daemon
+    done;
+    let ticks = 100 in
+    let t0 = Obs.Clock.now_ns () in
+    for _ = 1 to ticks do
+      Daemon.sample sampled_daemon
+    done;
+    Obs.Clock.since_s t0 /. float_of_int ticks
+  in
+  let events_per_s = float_of_int ingested /. elapsed in
+  let sampled_events_per_s = float_of_int ingested /. sampled_elapsed in
   let row =
     {
       srv_events = ingested;
       srv_elapsed_s = elapsed;
-      srv_events_per_s = float_of_int ingested /. elapsed;
+      srv_events_per_s = events_per_s;
       srv_epochs = counter "serve.epochs.total";
       srv_max_staleness_s =
         Obs.Registry.gauge_value (Obs.Registry.gauge reg "serve.staleness.max.seconds");
+      srv_sampled_events_per_s = sampled_events_per_s;
+      srv_sampler_ticks = sampler_ticks;
+      srv_sampler_overhead = 1.0 -. (sampled_events_per_s /. events_per_s);
+      srv_sampler_tick_cost_s = tick_cost_s;
+      srv_sampler_duty = tick_cost_s /. serving_sample_interval;
     }
   in
   Printf.printf
@@ -520,6 +597,11 @@ let measure_serving ~quick net =
   Printf.printf "serving   engine: %d batches  %d solves (%d full)  %d rounds\n%!"
     (counter "dynamic.batches.total") (counter "dynamic.solves.total")
     (counter "dynamic.full_solves.total") (counter "solver.rounds.total");
+  Printf.printf
+    "serving   sampler: %d ticks at %g s, %10.1f events/s sampled (overhead %+.1f%%), tick %.1f us, duty %.4f%%\n%!"
+    row.srv_sampler_ticks serving_sample_interval row.srv_sampled_events_per_s
+    (row.srv_sampler_overhead *. 100.0) (row.srv_sampler_tick_cost_s *. 1e6)
+    (row.srv_sampler_duty *. 100.0);
   row
 
 (* --- JSON emission -------------------------------------------------- *)
@@ -593,7 +675,15 @@ let emit ~quick ~min_time ~out net rows batch par serving =
   p "    \"events_per_s\": %.1f,\n" serving.srv_events_per_s;
   p "    \"epochs\": %d,\n" serving.srv_epochs;
   p "    \"max_batch\": %d,\n" serving_max_batch;
-  p "    \"max_staleness_s\": %.6f\n" serving.srv_max_staleness_s;
+  p "    \"max_staleness_s\": %.6f,\n" serving.srv_max_staleness_s;
+  p "    \"sampler\": {\n";
+  p "      \"interval_s\": %g,\n" serving_sample_interval;
+  p "      \"ticks\": %d,\n" serving.srv_sampler_ticks;
+  p "      \"events_per_s\": %.1f,\n" serving.srv_sampled_events_per_s;
+  p "      \"overhead_fraction\": %.4f,\n" serving.srv_sampler_overhead;
+  p "      \"tick_cost_s\": %.9f,\n" serving.srv_sampler_tick_cost_s;
+  p "      \"duty_cycle\": %.6f\n" serving.srv_sampler_duty;
+  p "    }\n";
   p "  }\n";
   p "}\n";
   close_out oc
@@ -749,10 +839,39 @@ let validate file =
       fail
         (Printf.sprintf "serving max staleness %.4f s is above the allowed 0.5 s" max_staleness)
   end;
+  (* The PR-8 acceptance criterion: the time-series sampler must stay
+     within the same <= 5% tolerance as the disabled-probe overhead
+     gate.  The gated number is the duty cycle — directly timed mean
+     tick cost over the bench cadence — because a single-run A/B
+     throughput delta is dominated by machine noise, not sampler cost
+     (the delta is recorded as "overhead_fraction" for the
+     trajectory).  Quick files record the section but skip the
+     threshold, like every other timing gate. *)
+  let sampler =
+    match Json.member "sampler" serving with
+    | Some (Json.Obj _ as s) -> s
+    | _ -> fail "serving missing \"sampler\" object"
+  in
+  ignore (num_field sampler "interval_s");
+  ignore (num_field sampler "tick_cost_s");
+  (match Json.member "ticks" sampler with
+  | Some (Json.Num f) when f >= 0.0 -> ()
+  | _ -> fail "sampler missing non-negative numeric \"ticks\"");
+  (match Json.member "overhead_fraction" sampler with
+  | Some (Json.Num _) -> ()
+  | _ -> fail "sampler missing numeric \"overhead_fraction\"");
+  let duty =
+    match Json.member "duty_cycle" sampler with
+    | Some (Json.Num f) when f >= 0.0 -> f
+    | _ -> fail "sampler missing non-negative numeric \"duty_cycle\""
+  in
+  if (not quick) && duty > 0.05 then
+    fail
+      (Printf.sprintf "sampler duty cycle %.2f%% is above the allowed 5%%" (duty *. 100.0));
   Printf.printf
-    "%s: schema %s OK, %d classes, batch speedup %.2fx, parallel %.2fx at 4 domains, serving %.0f events/s (staleness %.4f s)%s\n"
+    "%s: schema %s OK, %d classes, batch speedup %.2fx, parallel %.2fx at 4 domains, serving %.0f events/s (staleness %.4f s, sampler duty %.4f%%)%s\n"
     file schema_id (List.length by_kind) batch_speedup par_speedup events_per_s max_staleness
-    par_note
+    (duty *. 100.0) par_note
 
 (* --- driver --------------------------------------------------------- *)
 

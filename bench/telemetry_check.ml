@@ -110,6 +110,43 @@ let check_metrics file =
       | Some (Json.List counts) when List.length counts = int_of_float bins -> ()
       | _ -> fail "%s: histogram %S \"counts\" length does not match \"bins\"" file k)
     (obj "histograms");
+  List.iter
+    (fun (k, h) ->
+      let num f =
+        match Json.member f h with
+        | Some (Json.Num v) -> v
+        | _ -> fail "%s: log histogram %S missing numeric %S" file k f
+      in
+      let bins = num "bins" in
+      let lo = num "lo" and hi = num "hi" in
+      if not (0.0 < lo && lo < hi) then
+        fail "%s: log histogram %S needs 0 < lo < hi" file k;
+      ignore (num "sum");
+      let count = num "count" in
+      let underflow = num "underflow" and overflow = num "overflow" in
+      (* Quantiles and max degrade to null while the histogram is
+         empty (JSON has no NaN); once populated they must be numbers. *)
+      List.iter
+        (fun f ->
+          match Json.member f h with
+          | Some (Json.Num _) -> ()
+          | Some Json.Null when count = 0.0 -> ()
+          | _ -> fail "%s: log histogram %S missing numeric %S" file k f)
+        [ "p50"; "p90"; "p99"; "max" ];
+      match Json.member "counts" h with
+      | Some (Json.List counts) when List.length counts = int_of_float bins ->
+          let in_range =
+            List.fold_left
+              (fun acc c ->
+                match c with
+                | Json.Num v when v >= 0.0 && Float.is_integer v -> acc +. v
+                | _ -> fail "%s: log histogram %S has a non-integer bucket count" file k)
+              0.0 counts
+          in
+          if in_range +. underflow +. overflow <> count then
+            fail "%s: log histogram %S bucket counts do not sum to \"count\"" file k
+      | _ -> fail "%s: log histogram %S \"counts\" length does not match \"bins\"" file k)
+    (obj "log_histograms");
   let rounds =
     match List.assoc_opt "solver.rounds.total" counters with
     | Some (Json.Num v) -> int_of_float v

@@ -561,18 +561,36 @@ let churnd_cmd =
          & info [ "snapshot-out" ] ~docv:"FILE"
              ~doc:"Write the final metrics registry snapshot (JSON) to FILE on shutdown.")
   in
+  let sample_interval =
+    Arg.(value & opt float 1.0
+         & info [ "sample-interval" ] ~docv:"SECONDS"
+             ~doc:"Time-series sampler cadence; 0 disables sampling (and the series query).")
+  in
+  let series_out =
+    Arg.(value & opt (some string) None
+         & info [ "series-out" ] ~docv:"FILE"
+             ~doc:"Append every sampler tick to FILE as mmfair.series/v1 JSONL (one header line \
+                   per daemon start, one line per tick, flushed per line).")
+  in
+  let series_capacity =
+    Arg.(value & opt int 512
+         & info [ "series-capacity" ] ~docv:"N"
+             ~doc:"Windows retained per in-memory series before downsampling halves them.")
+  in
   let run tele net_file socket input engine domains retain max_batch ack poll write_timeout
-      snapshot_out =
+      snapshot_out sample_interval series_out series_capacity =
     Telemetry.wrap tele @@ fun () ->
     if domains < 1 then die exit_invalid_input "mmfair churnd: --domains wants a positive count";
     if max_batch < 1 then die exit_invalid_input "mmfair churnd: --max-batch wants a positive count";
     if poll <= 0.0 then die exit_invalid_input "mmfair churnd: --poll-interval wants a positive duration";
     if write_timeout <= 0.0 then
       die exit_invalid_input "mmfair churnd: --write-timeout wants a positive duration";
+    if series_capacity < 2 then
+      die exit_invalid_input "mmfair churnd: --series-capacity wants at least 2 windows";
     let parsed = Net_parser.parse_file net_file in
     let config =
       { Mmfair_serve.Daemon.engine; domains; retain; max_batch; ack; poll_interval = poll;
-        write_timeout }
+        write_timeout; sample_interval; series_capacity; series_out }
     in
     let daemon =
       match Daemon.create ~config parsed with
@@ -612,14 +630,19 @@ let churnd_cmd =
           and epoch queries flush first so answers are never stale, and malformed lines are \
           rejected with their line number without killing the loop.  The line protocol is the \
           .churn grammar plus queries:";
-      `Pre "rate SESSION NODE\nrates\nepoch\nmetrics [json|prom]\nquit";
+      `Pre "rate SESSION NODE\nrates\nepoch\nmetrics [json|prom]\nstats\nseries METRIC [WINDOW]\nquit";
       `P "SIGINT/SIGTERM finish the loop cleanly (flush, snapshot, restore signal dispositions); \
-          SIGPIPE is ignored while serving.  Pair with $(b,mmfair churnd-load) for soak testing.";
+          SIGPIPE is ignored while serving.  A sampler walks the metrics registry every \
+          $(b,--sample-interval) seconds into fixed-capacity in-memory time series (queryable \
+          live via $(b,series), renderable via $(b,mmfair watch)) and, with $(b,--series-out), \
+          appends each tick to a JSONL file for offline plotting.  Pair with \
+          $(b,mmfair churnd-load) for soak testing.";
     ]
   in
   Cmd.v (Cmd.info "churnd" ~doc ~man)
     Term.(const run $ tele_term $ net_file $ socket $ input $ engine $ domains $ retain $ max_batch
-          $ ack $ poll $ write_timeout $ snapshot_out)
+          $ ack $ poll $ write_timeout $ snapshot_out $ sample_interval $ series_out
+          $ series_capacity)
 
 (* `mmfair churnd-load`: load generator and soak harness for churnd.
    Generates a seeded Churn_gen trace; either prints it (pipe mode) or
@@ -654,11 +677,20 @@ let churnd_load_cmd =
          & info [ "connect-timeout" ] ~docv:"SECONDS"
              ~doc:"How long to retry connecting while the daemon boots.")
   in
-  let run tele net_file socket events verify connect_timeout seed =
+  let report =
+    Arg.(value & flag
+         & info [ "report" ]
+             ~doc:"Stream line by line, time each ingestion's ack round-trip, and print \
+                   client-side end-to-end latency quantiles (p50/p90/p99/max) at the end.  \
+                   Needs --socket and a daemon running with --ack.")
+  in
+  let run tele net_file socket events verify connect_timeout report seed =
     Telemetry.wrap tele @@ fun () ->
     if events < 0 then die exit_invalid_input "mmfair churnd-load: --events must be non-negative";
     if verify && socket = None then
       die exit_invalid_input "mmfair churnd-load: --verify needs --socket (a live daemon to ask)";
+    if report && socket = None then
+      die exit_invalid_input "mmfair churnd-load: --report needs --socket (acks to time)";
     let parsed = Net_parser.parse_file net_file in
     let net = parsed.Net_parser.net in
     let rng = Mmfair_prng.Xoshiro.create ~seed () in
@@ -687,6 +719,23 @@ let churnd_load_cmd =
         Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
         @@ fun () ->
         let reader = Line_reader.of_fd fd in
+        (* --report bookkeeping: each completed ingestion item (a lone
+           event line, or a whole batch block at its [end]) pushes its
+           send instant; each ack/err response pops one.  The daemon
+           answers items in submission order, so FIFO matching gives
+           honest per-item round-trips — including the coalescing
+           delay, which IS part of end-to-end latency. *)
+        let pending_sends : int64 Queue.t = Queue.create () in
+        let latencies = ref [] in
+        let note_response l =
+          if
+            report
+            && (String.starts_with ~prefix:"ok " l || String.starts_with ~prefix:"err " l)
+          then
+            match Queue.take_opt pending_sends with
+            | Some t0 -> latencies := Mmfair_obs.Clock.since_s t0 :: !latencies
+            | None -> ()
+        in
         (* Consume whatever response lines the daemon has already sent
            (--ack oks, rejection errs) without blocking.  Interleaved
            with the send below: against an --ack daemon, per-event
@@ -704,6 +753,7 @@ let churnd_load_cmd =
                       match Line_reader.pending_line reader with
                       | None -> ()
                       | Some l ->
+                          note_response l;
                           if String.starts_with ~prefix:"err " l then
                             Printf.eprintf "mmfair churnd-load: daemon: %s\n%!" l;
                           eat ()
@@ -730,7 +780,32 @@ let churnd_load_cmd =
           in
           go 0
         in
-        send rendered;
+        if not report then send rendered
+        else begin
+          (* Line-at-a-time so each item's send instant is sharp.  A
+             batch block is one ingestion item: its clock starts at the
+             [end] line that completes it. *)
+          let in_batch = ref false in
+          List.iter
+            (fun line ->
+              send (line ^ "\n");
+              let body =
+                match String.index_opt line '#' with
+                | Some i -> String.sub line 0 i
+                | None -> line
+              in
+              match String.trim body with
+              | "" -> ()
+              | "batch" -> in_batch := true
+              | "end" ->
+                  in_batch := false;
+                  Queue.add (Mmfair_obs.Clock.now_ns ()) pending_sends
+              | _ -> if not !in_batch then Queue.add (Mmfair_obs.Clock.now_ns ()) pending_sends)
+            (match String.split_on_char '\n' rendered with
+            | lines -> (
+                (* render ends with a newline: drop the empty tail. *)
+                match List.rev lines with "" :: rest -> List.rev rest | _ -> lines))
+        end;
         let read_line what =
           match Line_reader.next_line reader with
           | Some l -> l
@@ -740,8 +815,12 @@ let churnd_load_cmd =
            query's answer on the same stream; skip past them. *)
         let rec read_answer what =
           let l = read_line what in
-          if String.starts_with ~prefix:"ok " l then read_answer what
+          if String.starts_with ~prefix:"ok " l then begin
+            note_response l;
+            read_answer what
+          end
           else if String.starts_with ~prefix:"err " l then begin
+            note_response l;
             Printf.eprintf "mmfair churnd-load: daemon: %s\n%!" l;
             read_answer what
           end
@@ -814,10 +893,29 @@ let churnd_load_cmd =
         let rec drain () =
           match Line_reader.next_line reader with
           | Some "bye" | None -> ()
-          | Some _ -> drain ()
+          | Some l ->
+              note_response l;
+              drain ()
         in
         drain ();
         Printf.printf "sent %d events to %s\n" (List.length trace) path;
+        if report then begin
+          match List.sort compare !latencies with
+          | [] ->
+              Printf.eprintf
+                "mmfair churnd-load: --report saw no acks — is the daemon running with --ack?\n%!"
+          | sorted ->
+              let arr = Array.of_list sorted in
+              let n = Array.length arr in
+              (* Exact nearest-rank quantiles: every round-trip was kept. *)
+              let q p =
+                arr.(Stdlib.min (n - 1)
+                       (Stdlib.max 0 (int_of_float (ceil (p *. float_of_int n)) - 1)))
+              in
+              Printf.printf
+                "report: acks=%d rtt-ms p50=%.3f p90=%.3f p99=%.3f max=%.3f\n" n
+                (1e3 *. q 0.50) (1e3 *. q 0.90) (1e3 *. q 0.99) (1e3 *. arr.(n - 1))
+        end;
         if !mismatches > 0 then
           die exit_solver_error "mmfair churnd-load: %d receiver rate(s) diverged from the offline replay"
             !mismatches
@@ -831,11 +929,168 @@ let churnd_load_cmd =
           With $(b,--verify), the daemon's final rates are fetched over the same connection and \
           cross-checked against an offline replay of the identical trace — the daemon's coalescing \
           must not change where the allocation lands (max-min fairness depends only on the final \
-          network).";
+          network).  With $(b,--report) (against a daemon running with $(b,--ack)), every \
+          ingestion's ack round-trip is timed and client-side end-to-end latency quantiles are \
+          printed — so a soak reports both sides of the socket.";
     ]
   in
   Cmd.v (Cmd.info "churnd-load" ~doc ~man)
-    Term.(const run $ tele_term $ net_file $ socket $ events $ verify $ connect_timeout $ seed_arg)
+    Term.(const run $ tele_term $ net_file $ socket $ events $ verify $ connect_timeout $ report
+          $ seed_arg)
+
+(* `mmfair watch`: live terminal dashboard over a running churnd.
+   Polls the daemon's socket with the `stats` verb and renders a
+   refreshing summary — rates are computed client-side from successive
+   snapshots (the daemon timestamps each with its monotonic clock). *)
+let watch_cmd =
+  let module Line_reader = Mmfair_serve.Line_reader in
+  let module Json = Mmfair_obs.Json in
+  let socket =
+    Arg.(required & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH" ~doc:"The running churnd's Unix-domain socket.")
+  in
+  let interval =
+    Arg.(value & opt float 1.0 & info [ "interval" ] ~docv:"SECONDS" ~doc:"Refresh period.")
+  in
+  let count =
+    Arg.(value & opt (some int) None
+         & info [ "count" ] ~docv:"N"
+             ~doc:"Render N frames then exit (default: until interrupted or the daemon goes away).")
+  in
+  let once =
+    Arg.(value & flag
+         & info [ "once" ] ~doc:"Print one snapshot without clearing the screen (implies --count 1).")
+  in
+  let connect_timeout =
+    Arg.(value & opt float 5.0
+         & info [ "connect-timeout" ] ~docv:"SECONDS"
+             ~doc:"How long to retry connecting while the daemon boots.")
+  in
+  let run tele socket interval count once connect_timeout =
+    Telemetry.wrap tele @@ fun () ->
+    if interval <= 0.0 then die exit_invalid_input "mmfair watch: --interval wants a positive duration";
+    let frames = if once then Some 1 else count in
+    (match frames with
+    | Some n when n < 1 -> die exit_invalid_input "mmfair watch: --count wants a positive count"
+    | _ -> ());
+    let deadline = Mmfair_obs.Clock.now_s () +. connect_timeout in
+    let rec connect () =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX socket) with
+      | () -> fd
+      | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+        when Mmfair_obs.Clock.now_s () < deadline ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Unix.sleepf 0.05;
+          connect ()
+      | exception Unix.Unix_error (err, _, _) ->
+          die exit_invalid_input "mmfair watch: connect %s: %s" socket (Unix.error_message err)
+    in
+    let fd = connect () in
+    (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> ());
+    Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    let reader = Line_reader.of_fd fd in
+    let send s =
+      match Unix.write_substring fd s 0 (String.length s) with
+      | _ -> ()
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          die exit_invalid_input "mmfair watch: daemon at %s went away" socket
+    in
+    let num j k = match Json.member k j with Some (Json.Num v) -> Some v | _ -> None in
+    let sub j k1 k2 =
+      match Json.member k1 j with Some o -> (match Json.member k2 o with Some (Json.Num v) -> Some v | _ -> None) | None -> None
+    in
+    let fmt_ms = function None -> "    n/a" | Some s -> Printf.sprintf "%7.3f" (1e3 *. s) in
+    let fmt_rate = function None -> "     n/a" | Some r -> Printf.sprintf "%8.1f" r in
+    let prev = ref None in
+    let render stats =
+      let b = Buffer.create 1024 in
+      let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+      let t = num stats "t" in
+      let rate key =
+        match (!prev, t) with
+        | Some (pt, pstats), Some now when now > pt -> (
+            match (num stats key, num pstats key) with
+            | Some v, Some pv -> Some ((v -. pv) /. (now -. pt))
+            | _ -> None)
+        | _ -> None
+      in
+      let i key = match num stats key with Some v -> Printf.sprintf "%.0f" v | None -> "n/a" in
+      line "mmfair watch — %s" socket;
+      line "  epoch %s   epochs/s %s   ingest/s %s" (i "epoch") (fmt_rate (rate "epochs"))
+        (fmt_rate (rate "ingested"));
+      line "  totals: ingested %s  rejected %s  epochs %s  queries %s  connections %s"
+        (i "ingested") (i "rejected") (i "epochs") (i "queries") (i "connections");
+      line "  solve ms:     p50 %s  p90 %s  p99 %s  max %s" (fmt_ms (sub stats "solve" "p50"))
+        (fmt_ms (sub stats "solve" "p90")) (fmt_ms (sub stats "solve" "p99"))
+        (fmt_ms (sub stats "solve" "max"));
+      line "  staleness ms: p50 %s  p90 %s  p99 %s  hwm %s" (fmt_ms (sub stats "staleness" "p50"))
+        (fmt_ms (sub stats "staleness" "p90")) (fmt_ms (sub stats "staleness" "p99"))
+        (fmt_ms (num stats "staleness_max"));
+      let jain = match num stats "jain" with Some v -> Printf.sprintf "%.4f" v | None -> "n/a" in
+      let util =
+        match num stats "pool_utilization" with
+        | Some v -> Printf.sprintf "%.0f%%" (100.0 *. v)
+        | None -> "n/a"
+      in
+      line "  fairness jain %s   pool utilization %s" jain util;
+      line "  gc: minor %s  major %s  heap %s words" (sub stats "gc" "minor" |> function Some v -> Printf.sprintf "%.0f" v | None -> "n/a")
+        (sub stats "gc" "major" |> function Some v -> Printf.sprintf "%.0f" v | None -> "n/a")
+        (sub stats "gc" "heap_words" |> function Some v -> Printf.sprintf "%.0f" v | None -> "n/a");
+      (match t with Some now -> prev := Some (now, stats) | None -> ());
+      Buffer.contents b
+    in
+    let frame k =
+      send "stats\n";
+      let rec answer () =
+        match Line_reader.next_line reader with
+        | None -> die exit_invalid_input "mmfair watch: daemon at %s closed the connection" socket
+        | Some l when String.starts_with ~prefix:"stats " l ->
+            String.sub l 6 (String.length l - 6)
+        | Some _ -> answer () (* unrelated chatter (acks to others never reach us; be safe) *)
+      in
+      let payload = answer () in
+      let stats =
+        match Json.parse payload with
+        | j -> j
+        | exception Json.Bad msg ->
+            die exit_invalid_input "mmfair watch: malformed stats payload (%s)" msg
+      in
+      let text = render stats in
+      if once then print_string text
+      else begin
+        (* Clear + home, then the frame: a cheap full-redraw dashboard. *)
+        print_string "\027[2J\027[H";
+        print_string text;
+        Printf.printf "  [frame %d, every %gs — Ctrl-C to stop]\n" k interval
+      end;
+      Stdlib.flush Stdlib.stdout
+    in
+    let rec loop k =
+      frame k;
+      let continue_ = match frames with Some n -> k < n | None -> true in
+      if continue_ then begin
+        Unix.sleepf interval;
+        loop (k + 1)
+      end
+    in
+    loop 1
+  in
+  let doc = "live terminal dashboard over a running churnd (polls the stats verb)" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "Connects to a $(b,mmfair churnd --socket) daemon, polls its $(b,stats) protocol verb \
+          every $(b,--interval) seconds, and renders a refreshing dashboard: epochs/s and \
+          ingest/s (computed from successive snapshots), solve and staleness latency quantiles \
+          (from the daemon's log-bucketed histograms), the Jain fairness index of the current \
+          allocation, domain-pool utilization, and GC counters.  Use $(b,--once) in scripts to \
+          print a single parseable snapshot.";
+    ]
+  in
+  Cmd.v (Cmd.info "watch" ~doc ~man)
+    Term.(const run $ tele_term $ socket $ interval $ count $ once $ connect_timeout)
 
 let single_rate_cmd =
   let grid = Arg.(value & opt int 12 & info [ "grid" ] ~docv:"N" ~doc:"Candidate rates to sweep.") in
@@ -978,7 +1233,7 @@ let main_cmd =
     [
       allocate_cmd; dot_cmd; example_net_cmd; fig1_cmd; fig2_cmd; fig3_cmd; fig4_cmd; fig5_cmd; fig6_cmd;
       fig8_cmd; markov_cmd; nonexist_cmd; replace_cmd; latency_cmd; priority_cmd; layers_cmd;
-      tcpfair_cmd; churn_cmd; churnd_cmd; churnd_load_cmd; session_churn_cmd; convergence_cmd; single_rate_cmd; closedloop_cmd; ecn_cmd;
+      tcpfair_cmd; churn_cmd; churnd_cmd; churnd_load_cmd; watch_cmd; session_churn_cmd; convergence_cmd; single_rate_cmd; closedloop_cmd; ecn_cmd;
       compete_cmd; tcpfriendly_cmd; claims_cmd; membership_cmd; list_cmd; all_cmd;
     ]
 

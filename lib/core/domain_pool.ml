@@ -1,5 +1,6 @@
 module Sink = Mmfair_obs.Sink
 module Probe = Mmfair_obs.Probe
+module Clock = Mmfair_obs.Clock
 
 (* One submitted batch.  [next] is the claim cursor, [pending] the
    tasks not yet finished; both are protected by the pool mutex.  The
@@ -106,6 +107,46 @@ let reraise_first failures =
                { solver = "Domain_pool"; task; what = Printexc.to_string e }))
     failures
 
+(* Aggregate the per-task timing samples into one pool event.  All
+   times are monotonic-clock nanoseconds captured inside the task
+   wrapper; [submit] is the instant the batch was formed, so
+   start - submit is the task's queue wait and end - start its busy
+   time.  Per-domain busy totals are keyed by the executing domain's
+   id, then emitted identity-free (sorted descending) — which physical
+   domain claimed which task is scheduling noise. *)
+let emit_pool_event ~domains ~submit ~starts ~ends ~executors =
+  let n = Array.length starts in
+  let ns d = Int64.to_float d *. 1e-9 in
+  let wait_total = ref 0.0 and wait_max = ref 0.0 in
+  let busy_total = ref 0.0 and busy_max = ref 0.0 in
+  let by_domain = Hashtbl.create 8 in
+  for i = 0 to n - 1 do
+    let wait = ns (Int64.sub starts.(i) submit) in
+    let busy = ns (Int64.sub ends.(i) starts.(i)) in
+    wait_total := !wait_total +. wait;
+    if wait > !wait_max then wait_max := wait;
+    busy_total := !busy_total +. busy;
+    if busy > !busy_max then busy_max := busy;
+    let prev = Option.value ~default:0.0 (Hashtbl.find_opt by_domain executors.(i)) in
+    Hashtbl.replace by_domain executors.(i) (prev +. busy)
+  done;
+  let busy_by_domain =
+    Hashtbl.fold (fun _ busy acc -> busy :: acc) by_domain []
+    |> List.sort (fun a b -> compare b a)
+    |> Array.of_list
+  in
+  Probe.pool
+    {
+      Mmfair_obs.Events.p_domains = domains;
+      p_tasks = n;
+      p_wall = Clock.since_s submit;
+      p_wait_total = !wait_total;
+      p_wait_max = !wait_max;
+      p_busy_total = !busy_total;
+      p_busy_max = !busy_max;
+      p_busy_by_domain = busy_by_domain;
+    }
+
 let run t tasks =
   match tasks with
   | [] -> ()
@@ -117,12 +158,26 @@ let run t tasks =
          runs here under the caller's own sink, which keeps span
          timestamps meaningful on the sequential path. *)
       let observe = t.n_domains > 1 && Probe.enabled () in
+      (* Task timing (queue wait, busy time, per-domain spread) is
+         cheaper — four clock reads and three array stores per task —
+         and meaningful at every pool size, so it keys off the probe
+         flag alone. *)
+      let timing = Probe.enabled () in
+      let submit = if timing then Clock.now_ns () else 0L in
+      let starts = if timing then Array.make n 0L else [||] in
+      let ends = if timing then Array.make n 0L else [||] in
+      let executors = if timing then Array.make n (-1) else [||] in
       let buffers = if observe then Array.init n (fun _ -> ref []) else [||] in
       let wrap i thunk () =
+        if timing then begin
+          starts.(i) <- Clock.now_ns ();
+          executors.(i) <- (Domain.self () :> int)
+        end;
         let body () =
           if observe then Probe.with_sink (buffering buffers.(i)) thunk else thunk ()
         in
-        match body () with () -> () | exception e -> failures.(i) <- Some e
+        (match body () with () -> () | exception e -> failures.(i) <- Some e);
+        if timing then ends.(i) <- Clock.now_ns ()
       in
       let cells = Array.of_list (List.mapi wrap tasks) in
       if t.n_domains = 1 then Array.iter (fun cell -> cell ()) cells
@@ -151,6 +206,10 @@ let run t tasks =
         let sink = Probe.get () in
         Array.iter (fun buf -> List.iter (fun emit -> emit sink) (List.rev !buf)) buffers
       end;
+      (* After the task-telemetry replay, so the batch's summary event
+         follows its constituents in every exporter's stream; emitted
+         even when a task failed — the timing is real either way. *)
+      if timing then emit_pool_event ~domains:t.n_domains ~submit ~starts ~ends ~executors;
       reraise_first failures
 
 let shared_pools : (int, t) Hashtbl.t = Hashtbl.create 4

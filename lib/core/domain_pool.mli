@@ -52,8 +52,13 @@ val run : t -> (unit -> unit) list -> unit
     the join (worker domains' own sinks stay {!Mmfair_obs.Sink.null});
     span begin/end pairs are therefore stamped at flush time — span
     {e durations} measured through a worker task are not meaningful.
-    On task failure, see the exception policy above.  Raises
-    [Invalid_argument] if the pool has been {!shutdown}. *)
+    When a probe sink is installed, one [Mmfair_obs.Events.pool]
+    event summarizing the batch (per-task queue wait, busy time,
+    per-domain spread) is emitted after the telemetry replay; unlike
+    the task streams, its timing payload is genuinely
+    scheduling-dependent.  On task failure, see the exception policy
+    above.  Raises [Invalid_argument] if the pool has been
+    {!shutdown}. *)
 
 val shared : domains:int -> t
 (** The process-wide pool of the given size, created on first request

@@ -482,7 +482,39 @@ let apply t events =
         solves = stats.solves;
       };
     Obs.Probe.batch
-      { Obs.Events.b_epoch = entry.Store.epoch; events = raw; net_events; cancelled }
+      { Obs.Events.b_epoch = entry.Store.epoch; events = raw; net_events; cancelled };
+    (* Fairness telemetry: how fair the landed allocation is and how
+       hard rates moved this epoch.  [pinned] rows are the previous
+       rates remapped to the new receiver order by node (0 for
+       arrivals), so the per-receiver delta matches receivers across
+       the splice and counts a join's rate as a move from zero. *)
+    let max_delta = ref 0.0 in
+    for s = 0 to Network.session_count new_net - 1 do
+      let now = Allocation.rates_of_session !alloc s in
+      let before = pinned.(s) in
+      Array.iteri
+        (fun k r ->
+          let d = Float.abs (r -. before.(k)) in
+          if d > !max_delta then max_delta := d)
+        now
+    done;
+    let largest =
+      if Component.is_empty comp then 0
+      else if stats.full_solve then Component.cardinal comp
+      else
+        List.fold_left
+          (fun acc g -> Stdlib.max acc (Array.length g))
+          0 (Component.groups comp)
+    in
+    Obs.Probe.fairness
+      {
+        Obs.Events.f_epoch = entry.Store.epoch;
+        jain = Mmfair_core.Metrics.jain_index !alloc;
+        max_delta_rate = !max_delta;
+        components = stats.components;
+        component_sessions = stats.component_sessions;
+        largest_component = largest;
+      }
   end;
   stats
 

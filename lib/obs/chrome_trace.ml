@@ -109,6 +109,50 @@ let on_batch t (ev : Events.batch) =
   counter t ~name:"dynamic:batch-events" ~ts
     [ ("events", Json.Num (float_of_int ev.Events.events)) ]
 
+let on_fairness t (ev : Events.fairness) =
+  let ts = ts_us t in
+  push t
+    (base ~name:"fairness" ~cat:"dynamic" ~ph:"i" ~ts
+       [
+         ("s", Json.Str "t");
+         ( "args",
+           Json.Obj
+             [
+               ("epoch", Json.Num (float_of_int ev.Events.f_epoch));
+               ("jain", Json.Num ev.Events.jain);
+               ("max_delta_rate", Json.Num ev.Events.max_delta_rate);
+               ("components", Json.Num (float_of_int ev.Events.components));
+               ("component_sessions", Json.Num (float_of_int ev.Events.component_sessions));
+               ("largest_component", Json.Num (float_of_int ev.Events.largest_component));
+             ] );
+       ]);
+  counter t ~name:"dynamic:jain" ~ts [ ("index", Json.Num ev.Events.jain) ]
+
+let on_pool t (ev : Events.pool) =
+  let ts = ts_us t in
+  let util =
+    if ev.Events.p_wall > 0.0 && ev.Events.p_domains > 0 then
+      ev.Events.p_busy_total /. (ev.Events.p_wall *. float_of_int ev.Events.p_domains)
+    else 0.0
+  in
+  push t
+    (base ~name:"pool" ~cat:"pool" ~ph:"i" ~ts
+       [
+         ("s", Json.Str "t");
+         ( "args",
+           Json.Obj
+             [
+               ("domains", Json.Num (float_of_int ev.Events.p_domains));
+               ("tasks", Json.Num (float_of_int ev.Events.p_tasks));
+               ("wall", Json.Num ev.Events.p_wall);
+               ("wait_total", Json.Num ev.Events.p_wait_total);
+               ("wait_max", Json.Num ev.Events.p_wait_max);
+               ("busy_total", Json.Num ev.Events.p_busy_total);
+               ("busy_max", Json.Num ev.Events.p_busy_max);
+             ] );
+       ]);
+  counter t ~name:"pool:utilization" ~ts [ ("fraction", Json.Num util) ]
+
 let on_sim t (ev : Events.sim) =
   let ts = ts_us t in
   match ev with
@@ -123,7 +167,7 @@ let on_span t ph name = push t (base ~name ~cat:"span" ~ph ~ts:(ts_us t) [])
 
 let sink t =
   Sink.make ~on_round:(on_round t) ~on_epoch:(on_epoch t) ~on_batch:(on_batch t)
-    ~on_sim:(on_sim t)
+    ~on_fairness:(on_fairness t) ~on_pool:(on_pool t) ~on_sim:(on_sim t)
     ~on_span_begin:(on_span t "B")
     ~on_span_end:(on_span t "E")
     ()

@@ -52,6 +52,38 @@ type batch = {
     {!epoch} event for the same epoch (a per-event apply is a
     singleton batch with [events = 1]). *)
 
+type fairness = {
+  f_epoch : int;  (** The epoch this snapshot describes (matches the paired {!epoch} event). *)
+  jain : float;  (** Jain fairness index over every receiver rate after the epoch. *)
+  max_delta_rate : float;
+      (** Largest per-receiver rate move this epoch, matched by
+          (session, node); a receiver that just arrived moves from 0. *)
+  components : int;  (** Disjoint component groups solved this epoch (0 when nothing moved). *)
+  component_sessions : int;  (** Sessions across all solved groups. *)
+  largest_component : int;  (** Sessions in the largest solved group (0 when nothing moved). *)
+}
+(** Per-epoch fairness telemetry from the incremental engine: how fair
+    the allocation is, how hard rates moved, and how the re-solved
+    component partitioned.  Emitted alongside {!epoch}/{!batch}. *)
+
+type pool = {
+  p_domains : int;  (** Pool parallelism (submitting domain included). *)
+  p_tasks : int;  (** Tasks in this batch. *)
+  p_wall : float;  (** Submit-to-join wall seconds for the whole batch. *)
+  p_wait_total : float;  (** Summed per-task queue wait (submit to first claim), seconds. *)
+  p_wait_max : float;  (** Largest single task wait. *)
+  p_busy_total : float;  (** Summed per-task execution time, seconds. *)
+  p_busy_max : float;  (** Largest single task execution time. *)
+  p_busy_by_domain : float array;
+      (** Per-executing-domain busy seconds, sorted descending (one
+          entry per domain that claimed at least one task — identity-free:
+          which physical domain is which is scheduling noise). *)
+}
+(** One [Mmfair_core.Domain_pool.run] batch: queue wait, execution
+    time, and how evenly the work spread across domains.
+    [p_busy_total /. (p_wall *. float p_domains)] is the batch's pool
+    utilization. *)
+
 type sim =
   | Scheduled of { time : float; depth : int }
       (** An event was enqueued at simulation time [time]; [depth] is the queue size after insertion. *)

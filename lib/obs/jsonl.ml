@@ -49,6 +49,35 @@ let batch_json ~ts (ev : Events.batch) : Json.t =
       ("cancelled", Json.Num (float_of_int ev.Events.cancelled));
     ]
 
+let fairness_json ~ts (ev : Events.fairness) : Json.t =
+  Json.Obj
+    [
+      ("type", Json.Str "fairness");
+      ("ts", Json.Num ts);
+      ("epoch", Json.Num (float_of_int ev.Events.f_epoch));
+      ("jain", Json.Num ev.Events.jain);
+      ("max_delta_rate", Json.Num ev.Events.max_delta_rate);
+      ("components", Json.Num (float_of_int ev.Events.components));
+      ("component_sessions", Json.Num (float_of_int ev.Events.component_sessions));
+      ("largest_component", Json.Num (float_of_int ev.Events.largest_component));
+    ]
+
+let pool_json ~ts (ev : Events.pool) : Json.t =
+  Json.Obj
+    [
+      ("type", Json.Str "pool");
+      ("ts", Json.Num ts);
+      ("domains", Json.Num (float_of_int ev.Events.p_domains));
+      ("tasks", Json.Num (float_of_int ev.Events.p_tasks));
+      ("wall", Json.Num ev.Events.p_wall);
+      ("wait_total", Json.Num ev.Events.p_wait_total);
+      ("wait_max", Json.Num ev.Events.p_wait_max);
+      ("busy_total", Json.Num ev.Events.p_busy_total);
+      ("busy_max", Json.Num ev.Events.p_busy_max);
+      ( "busy_by_domain",
+        Json.List (Array.to_list (Array.map (fun s -> Json.Num s) ev.Events.p_busy_by_domain)) );
+    ]
+
 let sim_json ~ts (ev : Events.sim) : Json.t =
   match ev with
   | Events.Scheduled { time; depth } ->
@@ -83,6 +112,8 @@ let sink ?(clock = Unix.gettimeofday) ~emit () =
     ~on_round:(fun ev -> line (round_json ~ts:(clock ()) ev))
     ~on_epoch:(fun ev -> line (epoch_json ~ts:(clock ()) ev))
     ~on_batch:(fun ev -> line (batch_json ~ts:(clock ()) ev))
+    ~on_fairness:(fun ev -> line (fairness_json ~ts:(clock ()) ev))
+    ~on_pool:(fun ev -> line (pool_json ~ts:(clock ()) ev))
     ~on_sim:(fun ev -> line (sim_json ~ts:(clock ()) ev))
     ~on_span_begin:(fun name -> line (span_json ~ts:(clock ()) ~phase:"begin" name))
     ~on_span_end:(fun name -> line (span_json ~ts:(clock ()) ~phase:"end" name))

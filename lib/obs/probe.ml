@@ -27,6 +27,14 @@ let batch ev =
   let s = Domain.DLS.get key in
   if s.Sink.enabled then s.Sink.on_batch ev
 
+let fairness ev =
+  let s = Domain.DLS.get key in
+  if s.Sink.enabled then s.Sink.on_fairness ev
+
+let pool ev =
+  let s = Domain.DLS.get key in
+  if s.Sink.enabled then s.Sink.on_pool ev
+
 let sim ev =
   let s = Domain.DLS.get key in
   if s.Sink.enabled then s.Sink.on_sim ev

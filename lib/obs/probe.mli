@@ -43,6 +43,12 @@ val epoch : Events.epoch -> unit
 val batch : Events.batch -> unit
 (** Emit a coalesced churn batch event (no-op when disabled). *)
 
+val fairness : Events.fairness -> unit
+(** Emit a per-epoch fairness event (no-op when disabled). *)
+
+val pool : Events.pool -> unit
+(** Emit a domain-pool batch event (no-op when disabled). *)
+
 val sim : Events.sim -> unit
 (** Emit a simulator event (no-op when disabled). *)
 

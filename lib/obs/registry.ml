@@ -1,4 +1,5 @@
 module Histogram = Mmfair_stats.Histogram
+module Log_histogram = Mmfair_stats.Log_histogram
 
 type counter = { c_name : string; mutable c_value : int }
 type gauge = { g_name : string; mutable g_value : float; mutable g_set : bool }
@@ -12,12 +13,23 @@ type histogram = {
   mutable h_sum : float;
 }
 
-type instrument = Counter of counter | Gauge of gauge | Histo of histogram
+type log_histogram = { l_name : string; l_lo : float; l_hi : float; l_bins : int; l : Log_histogram.t }
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histo of histogram
+  | Log_histo of log_histogram
+
 type t = { instruments : (string, instrument) Hashtbl.t }
 
 let create () = { instruments = Hashtbl.create 32 }
 
-let kind_name = function Counter _ -> "counter" | Gauge _ -> "gauge" | Histo _ -> "histogram"
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histo _ -> "histogram"
+  | Log_histo _ -> "log_histogram"
 
 let clash name want got =
   invalid_arg
@@ -54,6 +66,7 @@ let set g v =
 
 let set_max g v = if (not g.g_set) || v > g.g_value then set g v
 let gauge_value g = g.g_value
+let gauge_is_set g = g.g_set
 
 let histogram t ~lo ~hi ~bins name =
   match Hashtbl.find_opt t.instruments name with
@@ -72,16 +85,38 @@ let observe h x =
   Histogram.add h.h x;
   h.h_sum <- h.h_sum +. x
 
+let log_histogram t ~lo ~hi ~bins name =
+  match Hashtbl.find_opt t.instruments name with
+  | Some (Log_histo l) ->
+      if l.l_lo <> lo || l.l_hi <> hi || l.l_bins <> bins then
+        invalid_arg
+          (Printf.sprintf "Registry.log_histogram: %S re-registered with different bucketing" name);
+      l
+  | Some other -> clash name "log_histogram" other
+  | None ->
+      let l = { l_name = name; l_lo = lo; l_hi = hi; l_bins = bins; l = Log_histogram.create ~lo ~hi ~bins } in
+      Hashtbl.add t.instruments name (Log_histo l);
+      l
+
+let observe_log l x = Log_histogram.add l.l x
+let log_quantile l q = Log_histogram.quantile l.l q
+let log_histogram_stats l = l.l
+
 (* --- snapshot ------------------------------------------------------- *)
 
 let sorted_instruments t =
   Hashtbl.fold (fun _ i acc -> i :: acc) t.instruments []
   |> List.sort
        (fun a b ->
-         let name = function Counter c -> c.c_name | Gauge g -> g.g_name | Histo h -> h.h_name in
+         let name = function
+           | Counter c -> c.c_name
+           | Gauge g -> g.g_name
+           | Histo h -> h.h_name
+           | Log_histo l -> l.l_name
+         in
          compare (name a) (name b))
 
-let schema_id = "mmfair.metrics/v1"
+let schema_id = "mmfair.metrics/v2"
 
 let snapshot t : Json.t =
   let instruments = sorted_instruments t in
@@ -116,13 +151,67 @@ let snapshot t : Json.t =
         | _ -> None)
       instruments
   in
+  let log_histograms =
+    List.filter_map
+      (function
+        | Log_histo l ->
+            let counts =
+              List.init l.l_bins (fun i -> Json.Num (float_of_int (Log_histogram.bin_count l.l i)))
+            in
+            Some
+              ( l.l_name,
+                Json.Obj
+                  [
+                    ("lo", Json.Num l.l_lo);
+                    ("hi", Json.Num l.l_hi);
+                    ("bins", Json.Num (float_of_int l.l_bins));
+                    ("count", Json.Num (float_of_int (Log_histogram.count l.l)));
+                    ("sum", Json.Num (Log_histogram.sum l.l));
+                    ("underflow", Json.Num (float_of_int (Log_histogram.underflow l.l)));
+                    ("overflow", Json.Num (float_of_int (Log_histogram.overflow l.l)));
+                    ("max", Json.Num (Log_histogram.max_value l.l));
+                    ("p50", Json.Num (Log_histogram.quantile l.l 0.50));
+                    ("p90", Json.Num (Log_histogram.quantile l.l 0.90));
+                    ("p99", Json.Num (Log_histogram.quantile l.l 0.99));
+                    ("counts", Json.List counts);
+                  ] )
+        | _ -> None)
+      instruments
+  in
   Json.Obj
     [
       ("schema", Json.Str schema_id);
       ("counters", Json.Obj counters);
       ("gauges", Json.Obj gauges);
       ("histograms", Json.Obj histograms);
+      ("log_histograms", Json.Obj log_histograms);
     ]
+
+(* --- the flat sample readout (for time-series capture) --------------- *)
+
+let sample t =
+  List.concat_map
+    (function
+      | Counter c -> [ (c.c_name, float_of_int c.c_value) ]
+      | Gauge g -> if g.g_set then [ (g.g_name, g.g_value) ] else []
+      | Histo h ->
+          let n = Histogram.count h.h in
+          [
+            (h.h_name ^ ".count", float_of_int n);
+            (h.h_name ^ ".mean", if n = 0 then 0.0 else h.h_sum /. float_of_int n);
+          ]
+      | Log_histo l ->
+          let n = Log_histogram.count l.l in
+          if n = 0 then [ (l.l_name ^ ".count", 0.0) ]
+          else
+            [
+              (l.l_name ^ ".count", float_of_int n);
+              (l.l_name ^ ".p50", Log_histogram.quantile l.l 0.50);
+              (l.l_name ^ ".p90", Log_histogram.quantile l.l 0.90);
+              (l.l_name ^ ".p99", Log_histogram.quantile l.l 0.99);
+              (l.l_name ^ ".max", Log_histogram.max_value l.l);
+            ])
+    (sorted_instruments t)
 
 (* --- Prometheus text exposition ------------------------------------- *)
 
@@ -137,6 +226,23 @@ let prom_name name =
     name;
   Buffer.contents b
 
+(* Cumulative buckets; underflow observations (x < lo) are counted as
+   <= every edge, which is the tightest sound bound available without
+   their values.  Shared by the linear and log kinds — only the edge
+   sequence differs. *)
+let prom_histogram b ~name ~bins ~underflow ~edge ~bin_count ~total ~sum =
+  let n = prom_name name in
+  Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+  let cum = ref underflow in
+  for i = 0 to bins - 1 do
+    cum := !cum + bin_count i;
+    Buffer.add_string b
+      (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n (Json.to_string (Json.Num (edge i))) !cum)
+  done;
+  Buffer.add_string b (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n total);
+  Buffer.add_string b (Printf.sprintf "%s_sum %s\n" n (Json.to_string (Json.Num sum)));
+  Buffer.add_string b (Printf.sprintf "%s_count %d\n" n total)
+
 let to_prometheus t =
   let b = Buffer.create 1024 in
   List.iter
@@ -148,25 +254,14 @@ let to_prometheus t =
           let n = prom_name g.g_name in
           Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n%s %s\n" n n (Json.to_string (Json.Num g.g_value)))
       | Histo h ->
-          let n = prom_name h.h_name in
-          Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
-          (* Cumulative buckets; underflow observations (x < lo) are
-             counted as <= every edge, which is the tightest sound
-             bound available without their values. *)
-          let cum = ref (Histogram.underflow h.h) in
-          for i = 0 to h.h_bins - 1 do
-            cum := !cum + Histogram.bin_count h.h i;
-            let _, edge = Histogram.bin_edges h.h i in
-            Buffer.add_string b
-              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n
-                 (Json.to_string (Json.Num edge))
-                 !cum)
-          done;
-          Buffer.add_string b
-            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n (Histogram.count h.h));
-          Buffer.add_string b
-            (Printf.sprintf "%s_sum %s\n" n (Json.to_string (Json.Num h.h_sum)));
-          Buffer.add_string b (Printf.sprintf "%s_count %d\n" n (Histogram.count h.h)))
+          prom_histogram b ~name:h.h_name ~bins:h.h_bins ~underflow:(Histogram.underflow h.h)
+            ~edge:(fun i -> snd (Histogram.bin_edges h.h i))
+            ~bin_count:(Histogram.bin_count h.h) ~total:(Histogram.count h.h) ~sum:h.h_sum
+      | Log_histo l ->
+          prom_histogram b ~name:l.l_name ~bins:l.l_bins ~underflow:(Log_histogram.underflow l.l)
+            ~edge:(fun i -> snd (Log_histogram.bin_edges l.l i))
+            ~bin_count:(Log_histogram.bin_count l.l) ~total:(Log_histogram.count l.l)
+            ~sum:(Log_histogram.sum l.l))
     (sorted_instruments t);
   Buffer.contents b
 
@@ -186,6 +281,17 @@ let sink ?(clock = Unix.gettimeofday) t =
   let batch_events = counter t "dynamic.batch.events.total" in
   let batch_cancelled = counter t "dynamic.batch.cancelled.total" in
   let batch_size_hist = histogram t ~lo:0.0 ~hi:64.0 ~bins:32 "dynamic.batch.events" in
+  let jain_g = gauge t "fairness.jain" in
+  let delta_lh = log_histogram t ~lo:1e-6 ~hi:1e3 ~bins:36 "fairness.delta_rate" in
+  let delta_max_g = gauge t "fairness.delta_rate.max" in
+  let components_g = gauge t "fairness.components" in
+  let largest_g = gauge t "fairness.largest_component" in
+  let pool_batches = counter t "pool.batches.total" in
+  let pool_tasks = counter t "pool.tasks.total" in
+  let pool_domains_g = gauge t "pool.domains" in
+  let pool_util_g = gauge t "pool.utilization" in
+  let pool_wait_lh = log_histogram t ~lo:1e-7 ~hi:10.0 ~bins:32 "pool.task.wait.seconds" in
+  let pool_busy_lh = log_histogram t ~lo:1e-7 ~hi:10.0 ~bins:32 "pool.task.busy.seconds" in
   let scheduled = counter t "sim.events.scheduled.total" in
   let fired = counter t "sim.events.fired.total" in
   let dropped = counter t "sim.events.dropped.total" in
@@ -212,6 +318,25 @@ let sink ?(clock = Unix.gettimeofday) t =
       incr ~by:ev.Events.events batch_events;
       incr ~by:ev.Events.cancelled batch_cancelled;
       observe batch_size_hist (float_of_int ev.Events.events))
+    ~on_fairness:(fun (ev : Events.fairness) ->
+      set jain_g ev.Events.jain;
+      observe_log delta_lh ev.Events.max_delta_rate;
+      set_max delta_max_g ev.Events.max_delta_rate;
+      set components_g (float_of_int ev.Events.components);
+      set largest_g (float_of_int ev.Events.largest_component))
+    ~on_pool:(fun (ev : Events.pool) ->
+      incr pool_batches;
+      incr ~by:ev.Events.p_tasks pool_tasks;
+      set pool_domains_g (float_of_int ev.Events.p_domains);
+      if ev.Events.p_wall > 0.0 && ev.Events.p_domains > 0 then
+        set pool_util_g
+          (ev.Events.p_busy_total /. (ev.Events.p_wall *. float_of_int ev.Events.p_domains));
+      if ev.Events.p_tasks > 0 then begin
+        (* One histogram entry per batch (the mean), plus the max:
+           per-task entries would be O(tasks) work inside the bridge. *)
+        observe_log pool_wait_lh (ev.Events.p_wait_total /. float_of_int ev.Events.p_tasks);
+        observe_log pool_busy_lh (ev.Events.p_busy_total /. float_of_int ev.Events.p_tasks)
+      end)
     ~on_sim:(function
       | Events.Scheduled { depth; _ } ->
           incr scheduled;

@@ -1,7 +1,9 @@
-(** A named-metrics registry: monotonic counters, gauges, and
-    fixed-bucket histograms (bucketing semantics are exactly
+(** A named-metrics registry: monotonic counters, gauges, fixed-bucket
+    histograms (bucketing semantics are exactly
     {!Mmfair_stats.Histogram}'s: half-open [\[lo, hi)] range, equal
-    bins, separate under/overflow tallies).
+    bins, separate under/overflow tallies), and log-bucketed quantile
+    histograms ({!Mmfair_stats.Log_histogram}: geometric bucket edges,
+    bucket-bound quantile estimates, exact max).
 
     Instruments are get-or-create by name; asking for an existing name
     with a different kind (or a histogram with different bucketing)
@@ -12,6 +14,7 @@ type t
 type counter
 type gauge
 type histogram
+type log_histogram
 
 val create : unit -> t
 
@@ -35,6 +38,10 @@ val set_max : gauge -> float -> unit
 
 val gauge_value : gauge -> float
 
+val gauge_is_set : gauge -> bool
+(** Whether the gauge has ever been [set] (a fresh gauge reads 0.0 but
+    is unset — consumers rendering "n/a" need the distinction). *)
+
 val histogram : t -> lo:float -> hi:float -> bins:int -> string -> histogram
 (** Get or create a histogram over [\[lo, hi)] with [bins] equal
     buckets.  Raises [Invalid_argument] on a bucketing mismatch with
@@ -42,18 +49,46 @@ val histogram : t -> lo:float -> hi:float -> bins:int -> string -> histogram
 
 val observe : histogram -> float -> unit
 
+val log_histogram : t -> lo:float -> hi:float -> bins:int -> string -> log_histogram
+(** Get or create a log-bucketed histogram over [\[lo, hi)] with [bins]
+    geometrically-spaced buckets (see {!Mmfair_stats.Log_histogram}).
+    Raises [Invalid_argument] on a bucketing mismatch, a kind clash,
+    or [lo <= 0]. *)
+
+val observe_log : log_histogram -> float -> unit
+
+val log_quantile : log_histogram -> float -> float
+(** Quantile estimate (upper bucket edge; exact max for the overflow
+    tail) — {!Mmfair_stats.Log_histogram.quantile}.  [nan] when
+    empty. *)
+
+val log_histogram_stats : log_histogram -> Mmfair_stats.Log_histogram.t
+(** The underlying histogram, for count/sum/max/bounds access. *)
+
 val schema_id : string
-(** The [schema] field of {!snapshot}: ["mmfair.metrics/v1"]. *)
+(** The [schema] field of {!snapshot}: ["mmfair.metrics/v2"]. *)
 
 val snapshot : t -> Json.t
 (** Deterministic snapshot: instruments sorted by name, shape
-    [{schema; counters; gauges; histograms}].  Histograms carry
-    [lo/hi/bins/count/sum/underflow/overflow/counts]. *)
+    [{schema; counters; gauges; histograms; log_histograms}].
+    Histograms carry [lo/hi/bins/count/sum/underflow/overflow/counts];
+    log histograms additionally carry [max] and the [p50/p90/p99]
+    quantile estimates (so over/underflow and tails are visible to
+    every snapshot consumer). *)
+
+val sample : t -> (string * float) list
+(** Deterministic flat readout for time-series capture, sorted by
+    instrument name: a counter or set gauge contributes its value
+    under its own name (unset gauges are skipped); a histogram
+    contributes [name.count] and [name.mean]; a log histogram
+    contributes [name.count] plus — once non-empty —
+    [name.p50]/[name.p90]/[name.p99]/[name.max]. *)
 
 val to_prometheus : t -> string
 (** Prometheus text exposition.  Names are sanitized ([^a-zA-Z0-9_]
-    becomes [_]) and prefixed [mmfair_]; histograms emit cumulative
-    [_bucket{le=...}] lines plus [_sum]/[_count]. *)
+    becomes [_]) and prefixed [mmfair_]; both histogram kinds emit
+    cumulative [_bucket{le=...}] lines (log histograms with geometric
+    [le] boundaries) plus [_sum]/[_count]. *)
 
 val sink : ?clock:(unit -> float) -> t -> Sink.t
 (** The standard probe-to-registry bridge.  Solver rounds feed
@@ -62,7 +97,13 @@ val sink : ?clock:(unit -> float) -> t -> Sink.t
     [solver.saturated.links.total] and the [solver.round.active]
     histogram; batch events feed [dynamic.batches.total],
     [dynamic.batch.events.total], [dynamic.batch.cancelled.total] and
-    the [dynamic.batch.events] size histogram; sim events feed
+    the [dynamic.batch.events] size histogram; fairness events feed
+    the [fairness.jain]/[fairness.components]/
+    [fairness.largest_component] gauges, the [fairness.delta_rate]
+    log histogram and the [fairness.delta_rate.max] high-water gauge;
+    pool events feed [pool.batches.total], [pool.tasks.total], the
+    [pool.domains]/[pool.utilization] gauges and the per-batch-mean
+    [pool.task.{wait,busy}.seconds] log histograms; sim events feed
     [sim.events.{scheduled,fired,dropped}.total]
     and the [sim.queue.depth.hwm] gauge; spans feed
     [span.count.<name>] and the [span.seconds] histogram.  [clock]

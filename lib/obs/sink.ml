@@ -3,6 +3,8 @@ type t = {
   on_round : Events.round -> unit;
   on_epoch : Events.epoch -> unit;
   on_batch : Events.batch -> unit;
+  on_fairness : Events.fairness -> unit;
+  on_pool : Events.pool -> unit;
   on_sim : Events.sim -> unit;
   on_span_begin : string -> unit;
   on_span_end : string -> unit;
@@ -14,14 +16,26 @@ let null =
     on_round = ignore;
     on_epoch = ignore;
     on_batch = ignore;
+    on_fairness = ignore;
+    on_pool = ignore;
     on_sim = ignore;
     on_span_begin = ignore;
     on_span_end = ignore;
   }
 
-let make ?(on_round = ignore) ?(on_epoch = ignore) ?(on_batch = ignore) ?(on_sim = ignore)
-    ?(on_span_begin = ignore) ?(on_span_end = ignore) () =
-  { enabled = true; on_round; on_epoch; on_batch; on_sim; on_span_begin; on_span_end }
+let make ?(on_round = ignore) ?(on_epoch = ignore) ?(on_batch = ignore) ?(on_fairness = ignore)
+    ?(on_pool = ignore) ?(on_sim = ignore) ?(on_span_begin = ignore) ?(on_span_end = ignore) () =
+  {
+    enabled = true;
+    on_round;
+    on_epoch;
+    on_batch;
+    on_fairness;
+    on_pool;
+    on_sim;
+    on_span_begin;
+    on_span_end;
+  }
 
 let tee a b =
   match (a.enabled, b.enabled) with
@@ -43,6 +57,14 @@ let tee a b =
           (fun ev ->
             a.on_batch ev;
             b.on_batch ev);
+        on_fairness =
+          (fun ev ->
+            a.on_fairness ev;
+            b.on_fairness ev);
+        on_pool =
+          (fun ev ->
+            a.on_pool ev;
+            b.on_pool ev);
         on_sim =
           (fun ev ->
             a.on_sim ev;

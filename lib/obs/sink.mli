@@ -12,6 +12,8 @@ type t = {
   on_round : Events.round -> unit;  (** One water-filling round completed. *)
   on_epoch : Events.epoch -> unit;  (** One churn epoch applied by the incremental engine. *)
   on_batch : Events.batch -> unit;  (** One coalesced churn batch (how much of the burst netted out). *)
+  on_fairness : Events.fairness -> unit;  (** Per-epoch fairness telemetry (Jain index, rate movement, components). *)
+  on_pool : Events.pool -> unit;  (** One domain-pool batch (queue wait, busy time, spread). *)
   on_sim : Events.sim -> unit;  (** Discrete-event simulator activity. *)
   on_span_begin : string -> unit;  (** A named region opened.  The sink stamps its own clock. *)
   on_span_end : string -> unit;  (** The matching region closed. *)
@@ -24,6 +26,8 @@ val make :
   ?on_round:(Events.round -> unit) ->
   ?on_epoch:(Events.epoch -> unit) ->
   ?on_batch:(Events.batch -> unit) ->
+  ?on_fairness:(Events.fairness -> unit) ->
+  ?on_pool:(Events.pool -> unit) ->
   ?on_sim:(Events.sim -> unit) ->
   ?on_span_begin:(string -> unit) ->
   ?on_span_end:(string -> unit) ->

@@ -7,6 +7,7 @@ module Event = Mmfair_dynamic.Event
 module Net_parser = Mmfair_workload.Net_parser
 module Churn_parser = Mmfair_workload.Churn_parser
 module Registry = Mmfair_obs.Registry
+module Timeseries = Mmfair_obs.Timeseries
 module Probe = Mmfair_obs.Probe
 module Sink = Mmfair_obs.Sink
 module Clock = Mmfair_obs.Clock
@@ -20,6 +21,9 @@ type config = {
   ack : bool;
   poll_interval : float;
   write_timeout : float;
+  sample_interval : float;
+  series_capacity : int;
+  series_out : string option;
 }
 
 let default_config =
@@ -31,6 +35,9 @@ let default_config =
     ack = false;
     poll_interval = 0.05;
     write_timeout = 5.0;
+    sample_interval = 1.0;
+    series_capacity = 512;
+    series_out = None;
   }
 
 (* One queued ingestion item: a lone event or a whole [batch ... end]
@@ -51,9 +58,12 @@ type t = {
   queries : Registry.counter;
   epochs : Registry.counter;
   connections : Registry.counter;
-  solve_h : Registry.histogram;
-  staleness_h : Registry.histogram;
+  solve_h : Registry.log_histogram;
+  staleness_h : Registry.log_histogram;
   staleness_max : Registry.gauge;
+  series : Timeseries.t;
+  series_oc : out_channel option;
+  mutable last_sample : float;  (* monotonic seconds of the last sampler tick; 0 = never *)
 }
 
 let create ?(config = default_config) parsed =
@@ -63,6 +73,10 @@ let create ?(config = default_config) parsed =
   if config.write_timeout <= 0.0 then
     invalid_arg
       (Printf.sprintf "Daemon.create: write_timeout must be > 0 (got %g)" config.write_timeout);
+  if config.series_capacity < 2 then
+    invalid_arg
+      (Printf.sprintf "Daemon.create: series_capacity must be >= 2 (got %d)"
+         config.series_capacity);
   match
     Engine.create_result ~engine:config.engine ~domains:config.domains ~retain:config.retain
       parsed.Net_parser.net
@@ -70,6 +84,18 @@ let create ?(config = default_config) parsed =
   | Error _ as e -> e
   | Ok engine ->
       let registry = Registry.create () in
+      (* The appender opens eagerly so a bad path fails daemon startup,
+         not the first sampler tick mid-soak.  Each daemon run opens
+         its own header line; consumers skip lines carrying "schema". *)
+      let series_oc =
+        Option.map
+          (fun path ->
+            let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
+            output_string oc (Timeseries.header_line ^ "\n");
+            Stdlib.flush oc;
+            oc)
+          config.series_out
+      in
       Ok
         {
           config;
@@ -85,10 +111,16 @@ let create ?(config = default_config) parsed =
           queries = Registry.counter registry "serve.queries.total";
           epochs = Registry.counter registry "serve.epochs.total";
           connections = Registry.counter registry "serve.connections.total";
-          solve_h = Registry.histogram registry ~lo:0.0 ~hi:0.1 ~bins:20 "serve.solve.seconds";
+          (* Log buckets: the old linear [0,0.1)/[0,1.0) ranges dumped
+             every slow solve into the overflow tally on large networks
+             or loaded hosts, so soaks could not report a p99. *)
+          solve_h = Registry.log_histogram registry ~lo:1e-6 ~hi:10.0 ~bins:42 "serve.solve.seconds";
           staleness_h =
-            Registry.histogram registry ~lo:0.0 ~hi:1.0 ~bins:20 "serve.staleness.seconds";
+            Registry.log_histogram registry ~lo:1e-6 ~hi:100.0 ~bins:48 "serve.staleness.seconds";
           staleness_max = Registry.gauge registry "serve.staleness.max.seconds";
+          series = Timeseries.create ~capacity:config.series_capacity ();
+          series_oc;
+          last_sample = 0.0;
         }
 
 let engine t = t.engine
@@ -111,7 +143,7 @@ let flush t =
       (match t.first_arrival with
       | Some t0 ->
           let staleness = Clock.since_s t0 in
-          Registry.observe t.staleness_h staleness;
+          Registry.observe_log t.staleness_h staleness;
           Registry.set_max t.staleness_max staleness
       | None -> ());
       t.first_arrival <- None;
@@ -119,7 +151,7 @@ let flush t =
         let t0 = Clock.now_ns () in
         match Batch.apply_result t.engine events with
         | Ok _ ->
-            Registry.observe t.solve_h (Clock.since_s t0);
+            Registry.observe_log t.solve_h (Clock.since_s t0);
             Registry.incr t.epochs;
             if t.config.ack then begin
               let e = Engine.epoch t.engine in
@@ -149,6 +181,33 @@ let flush t =
                   p.respond
                     (Printf.sprintf "err line %d: %s" p.lineno (Solver_error.to_string e)))
             items)
+
+(* ------------------------------------------------------------------ *)
+(* Time-series sampling.                                               *)
+
+(* One sampler tick: refresh the GC gauges, append the registry's flat
+   readout to the in-memory series, and mirror the tick to the JSONL
+   appender (flushed per line so a killed daemon loses at most one
+   tick).  Timestamps are the monotonic clock — strictly monotone
+   within a run, immune to NTP steps — exposed for tests; the serve
+   loops call it on the configured cadence. *)
+let sample t =
+  let now = Clock.now_s () in
+  t.last_sample <- now;
+  let readout = Timeseries.sample t.series ~ts:now t.registry in
+  match t.series_oc with
+  | None -> ()
+  | Some oc ->
+      output_string oc (Timeseries.tick_line ~ts:now readout ^ "\n");
+      Stdlib.flush oc
+
+let maybe_sample t =
+  if
+    t.config.sample_interval > 0.0
+    && Clock.now_s () -. t.last_sample >= t.config.sample_interval
+  then sample t
+
+let series t = t.series
 
 let enqueue t ~lineno ~respond events =
   if t.first_arrival = None then t.first_arrival <- Some (Clock.now_ns ());
@@ -212,6 +271,68 @@ let answer t ~lineno ~respond (q : Protocol.query) =
       in
       respond (Printf.sprintf "metrics prom %d" (List.length lines));
       List.iter respond lines
+  | Protocol.Stats ->
+      flush t;
+      let cval name = Json.Num (float_of_int (Registry.counter_value (Registry.counter t.registry name))) in
+      let gval name =
+        let g = Registry.gauge t.registry name in
+        if Registry.gauge_is_set g then Json.Num (Registry.gauge_value g) else Json.Null
+      in
+      let quantiles lh =
+        let h = Registry.log_histogram_stats lh in
+        Json.Obj
+          [
+            ("count", Json.Num (float_of_int (Mmfair_stats.Log_histogram.count h)));
+            ("p50", Json.Num (Registry.log_quantile lh 0.50));
+            ("p90", Json.Num (Registry.log_quantile lh 0.90));
+            ("p99", Json.Num (Registry.log_quantile lh 0.99));
+            ("max", Json.Num (Mmfair_stats.Log_histogram.max_value h));
+            ("overflow", Json.Num (float_of_int (Mmfair_stats.Log_histogram.overflow h)));
+            ("underflow", Json.Num (float_of_int (Mmfair_stats.Log_histogram.underflow h)));
+          ]
+      in
+      let gc = Gc.quick_stat () in
+      respond
+        ("stats "
+        ^ Json.to_string
+            (Json.Obj
+               [
+                 ("t", Json.Num (Clock.now_s ()));
+                 ("epoch", Json.Num (float_of_int (Engine.epoch t.engine)));
+                 ("ingested", cval "serve.events.ingested.total");
+                 ("rejected", cval "serve.events.rejected.total");
+                 ("epochs", cval "serve.epochs.total");
+                 ("queries", cval "serve.queries.total");
+                 ("connections", cval "serve.connections.total");
+                 ("solve", quantiles t.solve_h);
+                 ("staleness", quantiles t.staleness_h);
+                 ("staleness_max", gval "serve.staleness.max.seconds");
+                 ("jain", gval "fairness.jain");
+                 ("pool_utilization", gval "pool.utilization");
+                 ( "gc",
+                   Json.Obj
+                     [
+                       ("minor", Json.Num (float_of_int gc.Gc.minor_collections));
+                       ("major", Json.Num (float_of_int gc.Gc.major_collections));
+                       ("heap_words", Json.Num (float_of_int gc.Gc.heap_words));
+                     ] );
+               ]))
+  | Protocol.Series { name; window } ->
+      let pts = Timeseries.points t.series name in
+      let pts =
+        match window with
+        | None -> pts
+        | Some w ->
+            let n = List.length pts in
+            if n <= w then pts else List.filteri (fun i _ -> i >= n - w) pts
+      in
+      respond (Printf.sprintf "series %s %d" name (List.length pts));
+      List.iter
+        (fun (p : Timeseries.point) ->
+          respond
+            (Printf.sprintf "%.9g %d %.9g %.9g %.9g %.9g" p.Timeseries.p_t p.Timeseries.p_count
+               p.Timeseries.p_min p.Timeseries.p_max (Timeseries.mean p) p.Timeseries.p_last))
+        pts
 
 (* ------------------------------------------------------------------ *)
 (* Per-connection line handling.                                       *)
@@ -371,7 +492,8 @@ let serve_fd t ~input ~output =
     | _ :: _ ->
         ignore (Line_reader.refill reader);
         drain_lines ());
-    flush t
+    flush t;
+    maybe_sample t
   done;
   (* EOF may leave a terminator-less trailing line buffered; after a
      [quit], though, anything still buffered (commands sent past quit
@@ -471,5 +593,6 @@ let serve_socket t ~path =
                   | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> close_conn fd))
           ready;
         (* One coalesced epoch per wakeup, across every connection. *)
-        flush t
+        flush t;
+        maybe_sample t
       done)

@@ -44,6 +44,18 @@ type config = {
   write_timeout : float;
       (** How long a socket client's full send buffer may stall a
           response write before the client is dropped (default 5.0). *)
+  sample_interval : float;
+      (** Seconds between time-series sampler ticks (default 1.0);
+          [<= 0] disables sampling entirely ([series] queries then
+          answer zero windows). *)
+  series_capacity : int;
+      (** Windows retained per time series before downsampling halves
+          them (default 512).  Must be >= 2. *)
+  series_out : string option;
+      (** When set, every sampler tick is also appended to this JSONL
+          file ([mmfair.series/v1]: one header line per daemon start,
+          then one [{"t":…,"sample":{…}}] line per tick, flushed per
+          line).  The file is opened at {!create}. *)
 }
 
 val default_config : config
@@ -51,9 +63,12 @@ val default_config : config
 type t
 
 val create : ?config:config -> Mmfair_workload.Net_parser.t -> (t, Mmfair_core.Solver_error.t) result
-(** Solve epoch 0 and stand the daemon up (no I/O yet).  Raises
-    [Invalid_argument] when [config.max_batch < 1] or
-    [config.write_timeout <= 0]. *)
+(** Solve epoch 0 and stand the daemon up (no I/O yet; the
+    [series_out] appender, if any, is opened and its header written —
+    a bad path fails here, not mid-soak).  Raises [Invalid_argument]
+    when [config.max_batch < 1], [config.write_timeout <= 0] or
+    [config.series_capacity < 2]; [Sys_error] on an unopenable
+    [series_out] path. *)
 
 val engine : t -> Mmfair_dynamic.Engine.t
 (** The underlying engine (current network, allocation, epoch store). *)
@@ -62,10 +77,16 @@ val registry : t -> Mmfair_obs.Registry.t
 (** The daemon's metrics: [serve.events.ingested.total],
     [serve.events.rejected.total], [serve.queries.total],
     [serve.epochs.total], [serve.connections.total], the
-    [serve.solve.seconds] and [serve.staleness.seconds] histograms and
-    the [serve.staleness.max.seconds] gauge — plus the standard
-    [dynamic.*] instruments bridged from the engine's probe stream
-    while serving. *)
+    [serve.solve.seconds] and [serve.staleness.seconds] {e log}
+    histograms (quantile-capable, geometric buckets over
+    [\[1e-6, 10)] / [\[1e-6, 100)] seconds) and the
+    [serve.staleness.max.seconds] gauge — plus the standard
+    [dynamic.*]/[fairness.*]/[pool.*] instruments bridged from the
+    engine's probe stream while serving. *)
+
+val series : t -> Mmfair_obs.Timeseries.t
+(** The daemon's in-memory time series (fed by the sampler; empty when
+    [sample_interval <= 0] and {!sample} is never called). *)
 
 val snapshot : t -> Mmfair_obs.Json.t
 (** {!Mmfair_obs.Registry.snapshot} of {!registry}. *)
@@ -84,6 +105,12 @@ val flush : t -> unit
 (** Apply queued events as one coalesced epoch now.  Called by the
     serve loops at each wakeup and before answering rate/epoch
     queries; exposed for tests. *)
+
+val sample : t -> unit
+(** Take one time-series sampler tick now (GC gauges refreshed, the
+    registry's flat readout appended to every series, the tick
+    mirrored to [series_out] if configured).  The serve loops call
+    this on the [sample_interval] cadence; exposed for tests. *)
 
 val serve_fd : t -> input:Unix.file_descr -> output:Unix.file_descr -> unit
 (** Serve one pre-connected stream (pipe, FIFO, stdin/stdout) until

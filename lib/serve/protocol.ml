@@ -5,6 +5,8 @@ type query =
   | Rates
   | Epoch
   | Metrics of [ `Json | `Prometheus ]
+  | Stats
+  | Series of { name : string; window : int option }
 
 type command = Churn of Churn_parser.line | Query of query | Quit
 
@@ -30,6 +32,14 @@ let parse p ~lineno raw =
   | [ "metrics" ] | [ "metrics"; "json" ] -> Query (Metrics `Json)
   | [ "metrics"; "prom" ] | [ "metrics"; "prometheus" ] -> Query (Metrics `Prometheus)
   | "metrics" :: _ -> fail lineno "metrics wants: metrics [json|prom]"
+  | [ "stats" ] -> Query Stats
+  | "stats" :: _ -> fail lineno "stats takes no arguments"
+  | [ "series"; name ] -> Query (Series { name; window = None })
+  | [ "series"; name; window ] -> (
+      match int_of_string_opt window with
+      | Some w when w > 0 -> Query (Series { name; window = Some w })
+      | _ -> fail lineno "series wants: series METRIC [WINDOW>0]")
+  | "series" :: _ -> fail lineno "series wants: series METRIC [WINDOW]"
   | [ "quit" ] -> Quit
   | "quit" :: _ -> fail lineno "quit takes no arguments"
   | _ -> Churn (Churn_parser.parse_line p ~lineno raw)

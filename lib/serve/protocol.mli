@@ -11,8 +11,15 @@
     epoch               -> epoch E
     metrics [json]      -> metrics {...}          (one-line JSON snapshot)
     metrics prom        -> metrics prom N, then N Prometheus text lines
+    stats               -> stats {...}            (one-line JSON headline summary)
+    series METRIC [W]   -> series METRIC K, then K lines "T COUNT MIN MAX MEAN LAST"
     quit                -> bye                    (close this connection)
     v}
+
+    [series] returns the daemon's in-memory time-series windows for
+    one sampled metric (see [Mmfair_obs.Timeseries]), oldest first,
+    optionally restricted to the last [W] windows; an unknown metric
+    (or a daemon with sampling disabled) answers [series METRIC 0].
 
     Rate and epoch queries flush any coalesced-but-unapplied events
     first, so answers are never stale; a rejected line answers
@@ -23,6 +30,8 @@ type query =
   | Rates
   | Epoch
   | Metrics of [ `Json | `Prometheus ]
+  | Stats
+  | Series of { name : string; window : int option }
 
 type command =
   | Churn of Mmfair_workload.Churn_parser.line

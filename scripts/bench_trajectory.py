@@ -66,6 +66,12 @@ def headline(doc):
             h["serving_max_staleness_s"] = srv["max_staleness_s"]
         except (KeyError, TypeError):
             pass
+        sampler = srv.get("sampler")  # churn/v5 and later: telemetry sampler cost
+        if isinstance(sampler, dict):
+            try:
+                h["sampler_duty_cycle"] = sampler["duty_cycle"]
+            except (KeyError, TypeError):
+                pass
     return h or None
 
 

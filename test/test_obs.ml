@@ -183,6 +183,229 @@ let test_prometheus_shape () =
       "mmfair_lat_count 1";
     ]
 
+(* --- log-bucketed histograms in the registry --- *)
+
+let test_log_histogram_snapshot () =
+  let r = Registry.create () in
+  let h = Registry.log_histogram r ~lo:1e-3 ~hi:10.0 ~bins:8 "solve.s" in
+  List.iter (Registry.observe_log h) [ 1e-4; 0.002; 0.5; 0.5; 42.0 ];
+  Alcotest.(check bool) "get-or-create returns the same histogram" true
+    (h == Registry.log_histogram r ~lo:1e-3 ~hi:10.0 ~bins:8 "solve.s");
+  Alcotest.check_raises "bucketing mismatch rejected"
+    (Invalid_argument "Registry.log_histogram: \"solve.s\" re-registered with different bucketing")
+    (fun () -> ignore (Registry.log_histogram r ~lo:1e-3 ~hi:20.0 ~bins:8 "solve.s"));
+  let snap = Registry.snapshot r in
+  let field name =
+    match Json.member "log_histograms" snap with
+    | Some lhs -> (
+        match Json.member "solve.s" lhs with
+        | Some h -> (
+            match Json.member name h with
+            | Some v -> v
+            | None -> Alcotest.fail (Printf.sprintf "log histogram missing %s" name))
+        | None -> Alcotest.fail "missing log histogram solve.s")
+    | None -> Alcotest.fail "snapshot missing log_histograms"
+  in
+  Alcotest.(check bool) "count" true (field "count" = Json.Num 5.0);
+  Alcotest.(check bool) "underflow surfaced" true (field "underflow" = Json.Num 1.0);
+  Alcotest.(check bool) "overflow surfaced" true (field "overflow" = Json.Num 1.0);
+  Alcotest.(check bool) "max is exact" true (field "max" = Json.Num 42.0);
+  (match field "p50" with
+  | Json.Num p50 -> Alcotest.(check bool) "p50 sound" true (0.5 <= p50 && p50 <= 10.0)
+  | _ -> Alcotest.fail "p50 not numeric");
+  match field "counts" with
+  | Json.List l -> Alcotest.(check int) "counts length = bins" 8 (List.length l)
+  | _ -> Alcotest.fail "counts not a list"
+
+(* Prometheus exposition lint for the log-bucketed kind: legal metric
+   names, strictly increasing [le] boundaries, cumulative bucket
+   counts, and the +Inf bucket equal to [_count]. *)
+let test_prometheus_log_histogram_lint () =
+  let r = Registry.create () in
+  let h = Registry.log_histogram r ~lo:0.001 ~hi:10.0 ~bins:12 "serve.solve.seconds" in
+  List.iter (Registry.observe_log h) [ 1e-5; 0.004; 0.03; 0.2; 0.2; 1.5; 99.0 ];
+  let text = Registry.to_prometheus r in
+  let lines = String.split_on_char '\n' text |> List.filter (fun l -> l <> "") in
+  let legal_name m =
+    m <> ""
+    && (match m.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+    && String.for_all
+         (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+         m
+  in
+  let bucket_rows = ref [] in
+  let sum = ref nan and count = ref nan in
+  List.iter
+    (fun line ->
+      if not (String.length line > 0 && line.[0] = '#') then begin
+        let metric =
+          match String.index_opt line '{' with
+          | Some i -> String.sub line 0 i
+          | None -> (
+              match String.index_opt line ' ' with
+              | Some i -> String.sub line 0 i
+              | None -> line)
+        in
+        if not (legal_name metric) then
+          Alcotest.fail (Printf.sprintf "illegal metric name %S" metric);
+        let value () =
+          match String.rindex_opt line ' ' with
+          | Some i -> float_of_string (String.sub line (i + 1) (String.length line - i - 1))
+          | None -> Alcotest.fail (Printf.sprintf "no value in %S" line)
+        in
+        if metric = "mmfair_serve_solve_seconds_bucket" then begin
+          let le =
+            let marker = "le=\"" in
+            let rec find i =
+              if i + String.length marker > String.length line then
+                Alcotest.fail (Printf.sprintf "bucket without le: %S" line)
+              else if String.sub line i (String.length marker) = marker then begin
+                let start = i + String.length marker in
+                let close = String.index_from line start '"' in
+                String.sub line start (close - start)
+              end
+              else find (i + 1)
+            in
+            find 0
+          in
+          bucket_rows := (le, value ()) :: !bucket_rows
+        end
+        else if metric = "mmfair_serve_solve_seconds_sum" then sum := value ()
+        else if metric = "mmfair_serve_solve_seconds_count" then count := value ()
+      end)
+    lines;
+  let buckets = List.rev !bucket_rows in
+  Alcotest.(check bool) "has buckets" true (List.length buckets > 2);
+  let le_value = function "+Inf" -> infinity | s -> float_of_string s in
+  let rec check_monotone = function
+    | (le_a, cum_a) :: ((le_b, cum_b) :: _ as rest) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "le %s < %s strictly increasing" le_a le_b)
+          true
+          (le_value le_a < le_value le_b);
+        Alcotest.(check bool) "bucket counts cumulative" true (cum_a <= cum_b);
+        check_monotone rest
+    | _ -> ()
+  in
+  check_monotone buckets;
+  (match List.rev buckets with
+  | ("+Inf", total) :: _ ->
+      Alcotest.(check (float 0.0)) "+Inf bucket equals _count" !count total
+  | _ -> Alcotest.fail "last bucket is not +Inf");
+  Alcotest.(check int) "_count covers every observation" 7 (int_of_float !count);
+  Alcotest.(check bool) "_sum is the exact sum" true
+    (Float.abs (!sum -. (1e-5 +. 0.004 +. 0.03 +. 0.2 +. 0.2 +. 1.5 +. 99.0)) < 1e-9)
+
+(* --- time series --- *)
+
+let test_timeseries_windows () =
+  let ts = Obs.Timeseries.create ~capacity:4 () in
+  List.iteri (fun i v -> Obs.Timeseries.observe ts ~ts:(float_of_int i) "m" v)
+    [ 1.0; 5.0; 3.0; 9.0 ];
+  (match Obs.Timeseries.points ts "m" with
+  | [ a; _; _; d ] ->
+      Alcotest.(check (float 0.0)) "first window t" 0.0 a.Obs.Timeseries.p_t;
+      Alcotest.(check int) "one sample per fresh window" 1 a.Obs.Timeseries.p_count;
+      Alcotest.(check (float 0.0)) "last" 9.0 d.Obs.Timeseries.p_last
+  | pts -> Alcotest.fail (Printf.sprintf "expected 4 windows, got %d" (List.length pts)));
+  (* The 5th observation forces a pairwise downsample: 4 windows merge
+     into 2 (count/min/max/sum aggregated), then the new sample lands
+     in a fresh third window. *)
+  Obs.Timeseries.observe ts ~ts:4.0 "m" 7.0;
+  match Obs.Timeseries.points ts "m" with
+  | [ a; b; c ] ->
+      Alcotest.(check int) "merged window count" 2 a.Obs.Timeseries.p_count;
+      Alcotest.(check (float 0.0)) "merged min" 1.0 a.Obs.Timeseries.p_min;
+      Alcotest.(check (float 0.0)) "merged max" 5.0 a.Obs.Timeseries.p_max;
+      Alcotest.(check (float 0.0)) "merged mean" 3.0 (Obs.Timeseries.mean a);
+      Alcotest.(check (float 0.0)) "merged last keeps the newest" 5.0 a.Obs.Timeseries.p_last;
+      Alcotest.(check int) "second merged window" 2 b.Obs.Timeseries.p_count;
+      Alcotest.(check int) "fresh window count" 1 c.Obs.Timeseries.p_count;
+      Alcotest.(check (float 0.0)) "fresh window value" 7.0 c.Obs.Timeseries.p_last
+  | pts -> Alcotest.fail (Printf.sprintf "expected 3 windows, got %d" (List.length pts))
+
+let test_timeseries_jsonl_deterministic () =
+  (* Same observation stream twice => byte-identical export, whatever
+     the hashtable iteration order does.  [~gc:false] keeps the GC
+     gauges out so the registry readout is fully deterministic too. *)
+  let build () =
+    let r = Registry.create () in
+    let ts = Obs.Timeseries.create ~capacity:8 () in
+    Registry.incr ~by:7 (Registry.counter r "z.total");
+    Registry.incr ~by:2 (Registry.counter r "a.total");
+    Registry.observe_log (Registry.log_histogram r ~lo:0.01 ~hi:10.0 ~bins:6 "lat") 0.5;
+    for i = 0 to 11 do
+      ignore (Obs.Timeseries.sample ~gc:false ts ~ts:(float_of_int i) r)
+    done;
+    Obs.Timeseries.to_jsonl ts
+  in
+  let a = build () and b = build () in
+  Alcotest.(check string) "byte-identical JSONL" a b;
+  let lines = String.split_on_char '\n' a |> List.filter (fun l -> l <> "") in
+  (match lines with
+  | header :: _ ->
+      Alcotest.(check bool) "header carries the schema id" true
+        (Json.member "schema" (Json.parse header) = Some (Json.Str Obs.Timeseries.schema_id))
+  | [] -> Alcotest.fail "empty export");
+  List.iteri
+    (fun i line ->
+      if i > 0 then
+        match Json.parse line with
+        | exception Json.Bad m -> Alcotest.fail (Printf.sprintf "line %d bad JSON: %s" i m)
+        | doc -> (
+            match (Json.member "series" doc, Json.member "t" doc, Json.member "count" doc) with
+            | Some (Json.Str _), Some (Json.Num _), Some (Json.Num _) -> ()
+            | _ -> Alcotest.fail (Printf.sprintf "line %d missing series/t/count" i)))
+    lines
+
+(* --- fairness and pool probes --- *)
+
+let test_fairness_probe_bridged () =
+  let r = Registry.create () in
+  Probe.with_sink (Registry.sink r) (fun () ->
+      Probe.fairness
+        {
+          Obs.Events.f_epoch = 3;
+          jain = 0.875;
+          max_delta_rate = 2.5;
+          components = 4;
+          component_sessions = 9;
+          largest_component = 5;
+        });
+  Alcotest.(check (float 1e-12)) "jain gauge" 0.875
+    (Registry.gauge_value (Registry.gauge r "fairness.jain"));
+  Alcotest.(check (float 1e-12)) "delta-rate high-water" 2.5
+    (Registry.gauge_value (Registry.gauge r "fairness.delta_rate.max"));
+  Alcotest.(check (float 1e-12)) "components gauge" 4.0
+    (Registry.gauge_value (Registry.gauge r "fairness.components"));
+  Alcotest.(check (float 1e-12)) "largest component gauge" 5.0
+    (Registry.gauge_value (Registry.gauge r "fairness.largest_component"))
+
+let test_pool_event_emitted () =
+  let pool_events = ref [] in
+  let pool = Mmfair_core.Domain_pool.create ~domains:2 in
+  let cells = Array.make 5 0 in
+  Probe.with_sink
+    (Sink.make ~on_pool:(fun ev -> pool_events := ev :: !pool_events) ())
+    (fun () ->
+      Mmfair_core.Domain_pool.run pool (List.init 5 (fun i () -> cells.(i) <- i * i)));
+  Alcotest.(check (array int)) "all tasks ran" [| 0; 1; 4; 9; 16 |] cells;
+  Mmfair_core.Domain_pool.shutdown pool;
+  match !pool_events with
+  | [ ev ] ->
+      Alcotest.(check int) "tasks counted" 5 ev.Obs.Events.p_tasks;
+      Alcotest.(check int) "domains recorded" 2 ev.Obs.Events.p_domains;
+      Alcotest.(check bool) "wall positive" true (ev.Obs.Events.p_wall > 0.0);
+      Alcotest.(check bool) "wait total finite and non-negative" true
+        (ev.Obs.Events.p_wait_total >= 0.0);
+      Alcotest.(check bool) "busy total positive" true (ev.Obs.Events.p_busy_total >= 0.0);
+      Alcotest.(check bool) "per-domain busy sorted descending" true
+        (let a = ev.Obs.Events.p_busy_by_domain in
+         Array.for_all (fun x -> x >= 0.0) a
+         && Array.for_all2 (fun x y -> x >= y) (Array.sub a 0 (Array.length a - 1))
+              (Array.sub a 1 (Array.length a - 1)))
+  | evs -> Alcotest.fail (Printf.sprintf "expected 1 pool event, got %d" (List.length evs))
+
 (* --- spans and sinks --- *)
 
 let ticking_clock () =
@@ -410,6 +633,12 @@ let suite =
     Alcotest.test_case "snapshot determinism" `Quick test_snapshot_deterministic;
     Alcotest.test_case "gauge set_max" `Quick test_gauge_set_max;
     Alcotest.test_case "prometheus exposition" `Quick test_prometheus_shape;
+    Alcotest.test_case "log histogram snapshot" `Quick test_log_histogram_snapshot;
+    Alcotest.test_case "prometheus log histogram lint" `Quick test_prometheus_log_histogram_lint;
+    Alcotest.test_case "timeseries windows + downsampling" `Quick test_timeseries_windows;
+    Alcotest.test_case "timeseries JSONL determinism" `Quick test_timeseries_jsonl_deterministic;
+    Alcotest.test_case "fairness probe bridged to registry" `Quick test_fairness_probe_bridged;
+    Alcotest.test_case "pool event emitted" `Quick test_pool_event_emitted;
     Alcotest.test_case "span nesting and ordering" `Quick test_span_nesting;
     Alcotest.test_case "mismatched span end dropped" `Quick test_span_mismatch_dropped;
     Alcotest.test_case "null sink is a no-op" `Quick test_null_sink_noop;

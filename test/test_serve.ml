@@ -497,6 +497,134 @@ let test_socket_slow_client_dropped () =
       Alcotest.(check string) "fresh client answered" "epoch 0" (line "epoch answer");
       Alcotest.(check string) "fresh client bids bye" "bye" (line "bye"))
 
+let starts_with ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let test_daemon_stats_verb () =
+  let module Json = Mmfair_obs.Json in
+  let _, daemon = make_daemon () in
+  let responses = serve_string daemon "join s2 leaf3\nstats\nquit\n" in
+  match responses with
+  | [ stats; "bye" ] ->
+      if not (starts_with ~prefix:"stats {" stats) then
+        Alcotest.failf "stats answer shape: %s" stats;
+      let doc = Json.parse (String.sub stats 6 (String.length stats - 6)) in
+      let num k =
+        match Json.member k doc with
+        | Some (Json.Num v) -> v
+        | _ -> Alcotest.failf "stats missing numeric %S" k
+      in
+      Alcotest.(check (float 0.0)) "one event ingested" 1.0 (num "ingested");
+      Alcotest.(check bool) "epoch advanced by the pre-stats flush" true (num "epoch" >= 1.0);
+      Alcotest.(check bool) "monotonic timestamp" true (num "t" > 0.0);
+      let quantile_obj k =
+        match Json.member k doc with
+        | Some (Json.Obj _ as o) -> o
+        | _ -> Alcotest.failf "stats missing %S object" k
+      in
+      List.iter
+        (fun section ->
+          let o = quantile_obj section in
+          List.iter
+            (fun f ->
+              match Json.member f o with
+              | Some (Json.Num _) -> ()
+              | _ -> Alcotest.failf "stats %s missing numeric %S" section f)
+            [ "count"; "p50"; "p90"; "p99"; "max"; "overflow"; "underflow" ])
+        [ "solve"; "staleness" ];
+      (match Json.member "gc" doc with
+      | Some (Json.Obj _) -> ()
+      | _ -> Alcotest.fail "stats missing gc object");
+      (* One solve happened, so its quantiles are real numbers. *)
+      let solve = quantile_obj "solve" in
+      (match Json.member "count" solve with
+      | Some (Json.Num c) -> Alcotest.(check bool) "solve count >= 1" true (c >= 1.0)
+      | _ -> assert false)
+  | r -> Alcotest.failf "expected stats + bye, got %d lines" (List.length r)
+
+let test_daemon_series_verb () =
+  let _, daemon = make_daemon () in
+  (* Sampling is off by default cadence here; drive the sampler by
+     hand so the window count is exact. *)
+  Daemon.sample daemon;
+  Daemon.sample daemon;
+  Daemon.sample daemon;
+  let responses =
+    serve_string daemon
+      "series serve.epochs.total\nseries serve.epochs.total 2\nseries no.such.metric\nquit\n"
+  in
+  (match responses with
+  | header3 :: rest ->
+      Alcotest.(check string) "three windows" "series serve.epochs.total 3" header3;
+      (match rest with
+      | r1 :: r2 :: r3 :: header2 :: w1 :: w2 :: unknown :: [ "bye" ] ->
+          List.iter
+            (fun row ->
+              match String.split_on_char ' ' row with
+              | [ t; count; mn; mx; mean; last ] ->
+                  ignore (float_of_string t);
+                  Alcotest.(check int) "fresh window count" 1 (int_of_string count);
+                  List.iter (fun v -> ignore (float_of_string v)) [ mn; mx; mean; last ]
+              | _ -> Alcotest.failf "bad series row %S" row)
+            [ r1; r2; r3; w1; w2 ];
+          Alcotest.(check string) "window arg keeps the newest" "series serve.epochs.total 2"
+            header2;
+          Alcotest.(check string) "unknown metric answers zero windows" "series no.such.metric 0"
+            unknown
+      | _ -> Alcotest.failf "unexpected series reply shape (%d lines)" (List.length rest))
+  | [] -> Alcotest.fail "no response");
+  (* Printed rows carry %.9g timestamps, which can collide for
+     back-to-back samples on a long-uptime host; require only
+     non-decreasing there and check strictness on the full-precision
+     in-memory points. *)
+  let ts =
+    List.filteri (fun i _ -> i >= 1 && i <= 3) responses
+    |> List.map (fun row -> float_of_string (List.hd (String.split_on_char ' ' row)))
+  in
+  (match ts with
+  | [ a; b; c ] -> Alcotest.(check bool) "printed timestamps non-decreasing" true (a <= b && b <= c)
+  | _ -> assert false);
+  let module Timeseries = Mmfair_obs.Timeseries in
+  let pts = Timeseries.points (Daemon.series daemon) "serve.epochs.total" in
+  let rec strictly_monotone = function
+    | (a : Timeseries.point) :: (b :: _ as rest) ->
+        a.Timeseries.p_t < b.Timeseries.p_t && strictly_monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "in-memory timestamps strictly monotone" true (strictly_monotone pts)
+
+let test_daemon_log_histogram_migration () =
+  let module Json = Mmfair_obs.Json in
+  let _, daemon = make_daemon () in
+  let responses = serve_string daemon "join s2 leaf3\nmetrics json\nquit\n" in
+  match responses with
+  | [ metrics; "bye" ] ->
+      let doc = Json.parse (String.sub metrics 8 (String.length metrics - 8)) in
+      let lhs =
+        match Json.member "log_histograms" doc with
+        | Some o -> o
+        | None -> Alcotest.fail "metrics snapshot missing log_histograms"
+      in
+      List.iter
+        (fun name ->
+          match Json.member name lhs with
+          | Some h ->
+              List.iter
+                (fun f ->
+                  match Json.member f h with
+                  | Some (Json.Num _) -> ()
+                  | _ -> Alcotest.failf "%s missing numeric %S" name f)
+                [ "lo"; "hi"; "bins"; "count"; "underflow"; "overflow" ]
+          | None -> Alcotest.failf "log_histograms missing %S" name)
+        [ "serve.solve.seconds"; "serve.staleness.seconds" ];
+      (* The old linear-histogram names must not linger. *)
+      (match Json.member "histograms" doc with
+      | Some hists ->
+          if Json.member "serve.solve.seconds" hists <> None then
+            Alcotest.fail "serve.solve.seconds still registered as a linear histogram"
+      | None -> ())
+  | r -> Alcotest.failf "expected metrics + bye, got %d lines" (List.length r)
+
 let suite =
   [
     Alcotest.test_case "line reader: arbitrary read boundaries" `Quick test_line_reader_boundaries;
@@ -520,4 +648,9 @@ let suite =
       test_socket_e2e_matches_offline_replay;
     Alcotest.test_case "socket: slow client dropped, daemon survives" `Quick
       test_socket_slow_client_dropped;
+    Alcotest.test_case "daemon: stats verb answers one JSON line" `Quick test_daemon_stats_verb;
+    Alcotest.test_case "daemon: series verb with windows and unknowns" `Quick
+      test_daemon_series_verb;
+    Alcotest.test_case "daemon: serve timings live in log histograms" `Quick
+      test_daemon_log_histogram_migration;
   ]

@@ -5,6 +5,7 @@ module D = Mmfair_stats.Descriptive
 module R = Mmfair_stats.Running
 module Ci = Mmfair_stats.Ci
 module H = Mmfair_stats.Histogram
+module LH = Mmfair_stats.Log_histogram
 
 let feq ?(eps = 1e-9) what a b =
   Alcotest.(check bool) (Printf.sprintf "%s: %g vs %g" what a b) true (Float.abs (a -. b) <= eps)
@@ -160,6 +161,71 @@ let test_histogram_invalid () =
   Alcotest.check_raises "lo >= hi" (Invalid_argument "Histogram.create: need lo < hi") (fun () ->
       ignore (H.create ~lo:1.0 ~hi:1.0 ~bins:3))
 
+let test_log_histogram_basic () =
+  let h = LH.create ~lo:1e-3 ~hi:10.0 ~bins:8 in
+  List.iter (LH.add h) [ 1e-4; 0.0; 0.5; 2.0; 10.0; 50.0 ];
+  Alcotest.(check int) "count" 6 (LH.count h);
+  Alcotest.(check int) "underflow" 2 (LH.underflow h);
+  Alcotest.(check int) "overflow" 2 (LH.overflow h);
+  feq "max" 50.0 (LH.max_value h);
+  feq ~eps:1e-9 "sum" 62.5001 (LH.sum h);
+  feq "edge 0 = lo" 1e-3 (LH.edge h 0);
+  feq ~eps:1e-12 "edge bins = hi" 10.0 (LH.edge h (LH.bins h))
+
+let test_log_histogram_geometric_edges () =
+  (* lo 1, hi 16, 4 bins: edges 1, 2, 4, 8, 16 — exact powers. *)
+  let h = LH.create ~lo:1.0 ~hi:16.0 ~bins:4 in
+  List.iteri (fun i e -> feq ~eps:1e-12 (Printf.sprintf "edge %d" i) e (LH.edge h i))
+    [ 1.0; 2.0; 4.0; 8.0; 16.0 ];
+  LH.add h 3.0;
+  Alcotest.(check int) "3.0 lands in [2,4)" 1 (LH.bin_count h 1);
+  LH.add h 2.0;
+  Alcotest.(check int) "left edge inclusive" 2 (LH.bin_count h 1)
+
+let test_log_histogram_quantiles () =
+  let h = LH.create ~lo:1.0 ~hi:16.0 ~bins:4 in
+  (* 10 observations in [1,2), 10 in [8,16). *)
+  for _ = 1 to 10 do LH.add h 1.5 done;
+  for _ = 1 to 10 do LH.add h 9.0 done;
+  feq "p50 upper edge of [1,2)" 2.0 (LH.quantile h 0.5);
+  feq "p90 upper edge of [8,16)" 16.0 (LH.quantile h 0.9);
+  let blo, bhi = LH.quantile_bounds h 0.9 in
+  Alcotest.(check bool) "true p90 within bounds" true (blo <= 9.0 && 9.0 <= bhi);
+  LH.add h 100.0;
+  feq "overflow tail answers exact max" 100.0 (LH.quantile h 1.0)
+
+let test_log_histogram_empty_and_invalid () =
+  let h = LH.create ~lo:1.0 ~hi:2.0 ~bins:1 in
+  Alcotest.(check bool) "empty quantile is nan" true (Float.is_nan (LH.quantile h 0.5));
+  (let a, b = LH.quantile_bounds h 0.5 in
+   Alcotest.(check bool) "empty bounds are nan" true (Float.is_nan a && Float.is_nan b));
+  Alcotest.check_raises "lo = 0" (Invalid_argument "Log_histogram.create: need 0 < lo < hi")
+    (fun () -> ignore (LH.create ~lo:0.0 ~hi:1.0 ~bins:4));
+  Alcotest.check_raises "q > 1" (Invalid_argument "Log_histogram.quantile: need 0 <= q <= 1")
+    (fun () -> ignore (LH.quantile h 1.5))
+
+(* The bound guarantee the registry's p50/p90/p99 reporting rests on:
+   for any sample set, the exact nearest-rank quantile lies inside
+   [quantile_bounds], and [quantile] answers a point inside the same
+   interval. *)
+let qcheck_log_quantile_in_bounds =
+  QCheck.Test.make ~name:"log histogram quantile bounds contain the exact quantile" ~count:300
+    QCheck.(array_of_size Gen.(1 -- 200) (float_bound_inclusive 100.0))
+    (fun xs ->
+      let h = LH.create ~lo:0.01 ~hi:10.0 ~bins:24 in
+      Array.iter (LH.add h) xs;
+      let sorted = Array.copy xs in
+      Array.sort compare sorted;
+      let n = Array.length sorted in
+      List.for_all
+        (fun q ->
+          let rank = Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int n))) in
+          let exact = sorted.(rank - 1) in
+          let blo, bhi = LH.quantile_bounds h q in
+          let est = LH.quantile h q in
+          blo <= exact && exact <= bhi && blo <= est && est <= bhi)
+        [ 0.5; 0.9; 0.99; 1.0 ])
+
 let qcheck_quantile_monotone =
   QCheck.Test.make ~name:"quantiles are monotone in q" ~count:200
     QCheck.(array_of_size Gen.(2 -- 30) (float_bound_inclusive 100.0))
@@ -201,6 +267,11 @@ let suite =
     Alcotest.test_case "histogram edges" `Quick test_histogram_edges;
     Alcotest.test_case "histogram frequencies" `Quick test_histogram_frequencies;
     Alcotest.test_case "histogram invalid" `Quick test_histogram_invalid;
+    Alcotest.test_case "log histogram basic" `Quick test_log_histogram_basic;
+    Alcotest.test_case "log histogram geometric edges" `Quick test_log_histogram_geometric_edges;
+    Alcotest.test_case "log histogram quantiles" `Quick test_log_histogram_quantiles;
+    Alcotest.test_case "log histogram empty/invalid" `Quick test_log_histogram_empty_and_invalid;
+    QCheck_alcotest.to_alcotest qcheck_log_quantile_in_bounds;
     QCheck_alcotest.to_alcotest qcheck_quantile_monotone;
     QCheck_alcotest.to_alcotest qcheck_variance_nonneg;
   ]
