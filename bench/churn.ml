@@ -64,10 +64,12 @@ module Engine = Mmfair_dynamic.Engine
 module Batch = Mmfair_dynamic.Batch
 module Event = Mmfair_dynamic.Event
 module Churn_gen = Mmfair_workload.Churn_gen
+module Flow = Mmfair_flow
+module LH = Mmfair_stats.Log_histogram
 module Obs = Mmfair_obs
 module Json = Mmfair_obs.Json
 
-let schema_id = "mmfair.bench.churn/v5"
+let schema_id = "mmfair.bench.churn/v6"
 let classes = [ "join"; "leave"; "rho"; "cap" ]
 
 (* --- timing (same discipline as bench/scaling.ml) ------------------- *)
@@ -604,6 +606,97 @@ let measure_serving ~quick net =
     (row.srv_sampler_duty *. 100.0);
   row
 
+(* --- flow-level stability (mmfair_flow) ----------------------------- *)
+
+(* Schema v6: the flow-level stochastic workload engine.  Two seeded
+   runs on a star-of-stars bracket the Bramson stability boundary:
+   sessions arrive Poisson, carry exponential workloads, are served at
+   max-min rates and depart on completion.  The rho = 0.8 run must read
+   stable and rho = 1.2 divergent — the verdicts are deterministic
+   (fixed seed, virtual time), so they gate even in quick files.  The
+   rho = 0.8 run's wall clock prices the fluid loop (Batch.apply
+   epochs + rate refreshes) as events/s, gated only in full files like
+   every other timing number. *)
+
+type stability_row = {
+  st_load : float;
+  st_verdict : string;
+  st_arrivals : int;
+  st_departures : int;
+  st_blocked : int;
+  st_max_pop : int;
+  st_mean_pop : float;
+  st_first_half : float;
+  st_second_half : float;
+  st_epochs : int;
+  st_events : int;
+  st_elapsed_s : float;
+  st_events_per_s : float;
+  st_sojourn_p50 : float;
+  st_sojourn_p99 : float;
+  st_rate_p50 : float;
+  st_rate_p99 : float;
+}
+
+type stability_section = {
+  stb_clusters : int;
+  stb_slots : int;
+  stb_trunk : float;
+  stb_horizon : float;
+  stb_rows : stability_row list;
+}
+
+let measure_stability ~quick () =
+  let clusters = if quick then 4 else 8 in
+  let slots = if quick then 72 else 96 in
+  let trunk = if quick then 2.0 else 4.0 in
+  let horizon = if quick then 60.0 else 120.0 in
+  let base =
+    Flow.Scenario.star_of_stars ~clusters ~trunk_capacity:trunk ~slots
+      ~size:(Flow.Size.Exponential 1.0) ~rate:1.0 ()
+  in
+  let row load =
+    let scn = Flow.Scenario.scale_to_load base ~load in
+    let config = { Flow.Sim.default with Flow.Sim.horizon; seed = 42L } in
+    let t0 = Obs.Clock.now_ns () in
+    let r = Obs.Probe.with_sink Obs.Sink.null (fun () -> Flow.Sim.run ~config scn) in
+    let elapsed = Obs.Clock.since_s t0 in
+    let rep = Flow.Stability.assess r in
+    let row =
+      {
+        st_load = load;
+        st_verdict = Flow.Stability.verdict_to_string rep.Flow.Stability.verdict;
+        st_arrivals = r.Flow.Sim.arrivals;
+        st_departures = r.Flow.Sim.departures;
+        st_blocked = r.Flow.Sim.blocked;
+        st_max_pop = r.Flow.Sim.max_population;
+        st_mean_pop = r.Flow.Sim.time_avg_population;
+        st_first_half = r.Flow.Sim.first_half_mean;
+        st_second_half = r.Flow.Sim.second_half_mean;
+        st_epochs = r.Flow.Sim.epochs;
+        st_events = r.Flow.Sim.applied_events;
+        st_elapsed_s = elapsed;
+        st_events_per_s = float_of_int r.Flow.Sim.applied_events /. elapsed;
+        st_sojourn_p50 = LH.quantile r.Flow.Sim.sojourn 0.5;
+        st_sojourn_p99 = LH.quantile r.Flow.Sim.sojourn 0.99;
+        st_rate_p50 = LH.quantile r.Flow.Sim.flow_rate 0.5;
+        st_rate_p99 = LH.quantile r.Flow.Sim.flow_rate 0.99;
+      }
+    in
+    Printf.printf
+      "stability rho=%.1f: %-9s %5d arrivals %5d departures  max pop %4d  mean %7.2f  %6d events in %6.3f s (%8.1f events/s)\n%!"
+      load row.st_verdict row.st_arrivals row.st_departures row.st_max_pop row.st_mean_pop
+      row.st_events elapsed row.st_events_per_s;
+    row
+  in
+  {
+    stb_clusters = clusters;
+    stb_slots = slots;
+    stb_trunk = trunk;
+    stb_horizon = horizon;
+    stb_rows = [ row 0.8; row 1.2 ];
+  }
+
 (* --- JSON emission -------------------------------------------------- *)
 
 let json_escape s =
@@ -619,7 +712,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let emit ~quick ~min_time ~out net rows batch par serving =
+let emit ~quick ~min_time ~out net rows batch par serving stability =
   let g = Network.graph net in
   let oc = open_out out in
   let p fmt = Printf.fprintf oc fmt in
@@ -684,6 +777,36 @@ let emit ~quick ~min_time ~out net rows batch par serving =
   p "      \"tick_cost_s\": %.9f,\n" serving.srv_sampler_tick_cost_s;
   p "      \"duty_cycle\": %.6f\n" serving.srv_sampler_duty;
   p "    }\n";
+  p "  },\n";
+  p "  \"stability\": {\n";
+  p "    \"scenario\": { \"clusters\": %d, \"slots\": %d, \"trunk_capacity\": %g },\n"
+    stability.stb_clusters stability.stb_slots stability.stb_trunk;
+  p "    \"workload\": \"exp:1\",\n";
+  p "    \"horizon\": %g,\n" stability.stb_horizon;
+  p "    \"rows\": [\n";
+  List.iteri
+    (fun idx r ->
+      p "      {\n";
+      p "        \"load\": %g,\n" r.st_load;
+      p "        \"verdict\": \"%s\",\n" (json_escape r.st_verdict);
+      p "        \"arrivals\": %d,\n" r.st_arrivals;
+      p "        \"departures\": %d,\n" r.st_departures;
+      p "        \"blocked\": %d,\n" r.st_blocked;
+      p "        \"max_population\": %d,\n" r.st_max_pop;
+      p "        \"time_avg_population\": %.4f,\n" r.st_mean_pop;
+      p "        \"first_half_mean\": %.4f,\n" r.st_first_half;
+      p "        \"second_half_mean\": %.4f,\n" r.st_second_half;
+      p "        \"epochs\": %d,\n" r.st_epochs;
+      p "        \"events\": %d,\n" r.st_events;
+      p "        \"elapsed_s\": %.4f,\n" r.st_elapsed_s;
+      p "        \"events_per_s\": %.1f,\n" r.st_events_per_s;
+      p "        \"sojourn_p50\": %.6g,\n" r.st_sojourn_p50;
+      p "        \"sojourn_p99\": %.6g,\n" r.st_sojourn_p99;
+      p "        \"flow_rate_p50\": %.6g,\n" r.st_rate_p50;
+      p "        \"flow_rate_p99\": %.6g\n" r.st_rate_p99;
+      p "      }%s\n" (if idx = List.length stability.stb_rows - 1 then "" else ","))
+    stability.stb_rows;
+  p "    ]\n";
   p "  }\n";
   p "}\n";
   close_out oc
@@ -868,10 +991,83 @@ let validate file =
   if (not quick) && duty > 0.05 then
     fail
       (Printf.sprintf "sampler duty cycle %.2f%% is above the allowed 5%%" (duty *. 100.0));
+  (* The PR-9 acceptance criterion: the flow-level stochastic engine
+     must empirically bracket the Bramson stability boundary on the
+     star-of-stars — stable at rho = 0.8, divergent at rho = 1.2.
+     The verdicts come from a fixed-seed virtual-time simulation, so
+     they are deterministic and gate even in quick files; only the
+     wall-clock events/s throughput gate is non-quick. *)
+  let stability =
+    match Json.member "stability" doc with
+    | Some (Json.Obj _ as s) -> s
+    | _ -> fail "missing \"stability\" object"
+  in
+  (match Json.member "scenario" stability with
+  | Some (Json.Obj _) -> ()
+  | _ -> fail "stability missing \"scenario\" object");
+  let st_rows =
+    match Json.member "rows" stability with
+    | Some (Json.List l) when l <> [] -> l
+    | _ -> fail "stability missing non-empty \"rows\" array"
+  in
+  let st_row load =
+    let row =
+      List.find_opt
+        (fun r ->
+          match Json.member "load" r with
+          | Some (Json.Num f) -> Float.abs (f -. load) < 1e-9
+          | _ -> false)
+        st_rows
+    in
+    match row with
+    | None -> fail (Printf.sprintf "stability rows missing the rho=%.1f entry" load)
+    | Some r -> r
+  in
+  let st_verdict r =
+    match Json.member "verdict" r with
+    | Some (Json.Str s) -> s
+    | _ -> fail "stability row missing \"verdict\" string"
+  in
+  let check_row ~load ~want =
+    let r = st_row load in
+    let v = st_verdict r in
+    if v <> want then
+      fail (Printf.sprintf "stability verdict at rho=%.1f is %S (want %S)" load v want);
+    ignore (num_field r "arrivals");
+    ignore (num_field r "events");
+    ignore (num_field r "events_per_s");
+    let departures =
+      match Json.member "departures" r with
+      | Some (Json.Num f) when f >= 0.0 -> f
+      | _ -> fail "stability row missing non-negative \"departures\""
+    in
+    let arrivals = num_field r "arrivals" in
+    if departures > arrivals then
+      fail (Printf.sprintf "stability rho=%.1f: departures %.0f exceed arrivals %.0f" load departures arrivals);
+    let q name =
+      match Json.member name r with
+      | Some (Json.Num f) when f >= 0.0 -> f
+      | _ -> fail (Printf.sprintf "stability row missing non-negative %S" name)
+    in
+    let s50 = q "sojourn_p50" and s99 = q "sojourn_p99" in
+    if s50 > s99 then
+      fail (Printf.sprintf "stability rho=%.1f: sojourn_p50 %.4g > sojourn_p99 %.4g" load s50 s99);
+    let r50 = q "flow_rate_p50" and r99 = q "flow_rate_p99" in
+    if r50 > r99 then
+      fail (Printf.sprintf "stability rho=%.1f: flow_rate_p50 %.4g > flow_rate_p99 %.4g" load r50 r99);
+    r
+  in
+  let stable_row = check_row ~load:0.8 ~want:"stable" in
+  ignore (check_row ~load:1.2 ~want:"divergent");
+  let st_events_per_s = num_field stable_row "events_per_s" in
+  if (not quick) && st_events_per_s < 200.0 then
+    fail
+      (Printf.sprintf "stability throughput %.1f events/s at rho=0.8 is below the required 200"
+         st_events_per_s);
   Printf.printf
-    "%s: schema %s OK, %d classes, batch speedup %.2fx, parallel %.2fx at 4 domains, serving %.0f events/s (staleness %.4f s, sampler duty %.4f%%)%s\n"
+    "%s: schema %s OK, %d classes, batch speedup %.2fx, parallel %.2fx at 4 domains, serving %.0f events/s (staleness %.4f s, sampler duty %.4f%%), stability stable@0.8 divergent@1.2 (%.0f events/s)%s\n"
     file schema_id (List.length by_kind) batch_speedup par_speedup events_per_s max_staleness
-    (duty *. 100.0) par_note
+    (duty *. 100.0) st_events_per_s par_note
 
 (* --- driver --------------------------------------------------------- *)
 
@@ -922,5 +1118,7 @@ let () =
          serving loop (observed ~10x); release them before measuring. *)
       Mmfair_core.Domain_pool.shutdown_shared ();
       let serving = measure_serving ~quick:!quick net in
-      emit ~quick:!quick ~min_time ~out:!out net rows batch par serving;
-      Printf.printf "wrote %s (%d classes + batch + parallel + serving)\n" !out (List.length rows)
+      let stability = measure_stability ~quick:!quick () in
+      emit ~quick:!quick ~min_time ~out:!out net rows batch par serving stability;
+      Printf.printf "wrote %s (%d classes + batch + parallel + serving + stability)\n" !out
+        (List.length rows)

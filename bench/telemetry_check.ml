@@ -156,19 +156,102 @@ let check_metrics file =
     Mmfair_obs.Registry.schema_id rounds;
   rounds
 
+(* Stability report shape: {"schema": "mmfair.stability/v1", scenario
+   metadata, "runs": [...]}.  Each run carries the population-drift
+   verdict plus sojourn/flow-rate tail summaries; consistency checks
+   mirror the physics invariants the simulator maintains (departures
+   never exceed arrivals, quantiles are ordered, counts balance). *)
+let check_stability file =
+  let doc = load file in
+  (match Json.member "schema" doc with
+  | Some (Json.Str "mmfair.stability/v1") -> ()
+  | _ -> fail "%s: missing or wrong \"schema\" (want mmfair.stability/v1)" file);
+  (match str_member "scenario" doc with
+  | Some ("star" | "single") -> ()
+  | _ -> fail "%s: \"scenario\" must be \"star\" or \"single\"" file);
+  (match str_member "workload" doc with
+  | Some s when s <> "" -> ()
+  | _ -> fail "%s: missing \"workload\" string" file);
+  (match Json.member "horizon" doc with
+  | Some (Json.Num h) when h > 0.0 -> ()
+  | _ -> fail "%s: missing positive \"horizon\"" file);
+  let runs =
+    match Json.member "runs" doc with
+    | Some (Json.List l) when l <> [] -> l
+    | _ -> fail "%s: missing non-empty \"runs\" array" file
+  in
+  List.iteri
+    (fun i run ->
+      let ctx = Printf.sprintf "%s: runs[%d]" file i in
+      let num k =
+        match Json.member k run with
+        | Some (Json.Num v) when v >= 0.0 -> v
+        | _ -> fail "%s: missing non-negative numeric %S" ctx k
+      in
+      (match str_member "verdict" run with
+      | Some ("stable" | "divergent" | "inconclusive") -> ()
+      | _ -> fail "%s: \"verdict\" must be stable/divergent/inconclusive" ctx);
+      ignore (num "load");
+      let arrivals = num "arrivals" in
+      let departures = num "departures" in
+      let blocked = num "blocked" in
+      let final_pop = num "final_population" in
+      if departures +. blocked +. final_pop <> arrivals then
+        fail "%s: arrivals %.0f != departures %.0f + blocked %.0f + final_population %.0f" ctx
+          arrivals departures blocked final_pop;
+      if num "max_population" < final_pop then
+        fail "%s: max_population below final_population" ctx;
+      List.iter (fun k -> ignore (num k)) [ "epochs"; "applied_events"; "regenerations" ];
+      List.iter
+        (fun (k, expected_count) ->
+          let h =
+            match Json.member k run with
+            | Some (Json.Obj _ as h) -> h
+            | _ -> fail "%s: missing %S histogram object" ctx k
+          in
+          let count =
+            match Json.member "count" h with
+            | Some (Json.Num c) when c >= 0.0 -> c
+            | _ -> fail "%s: %s missing non-negative \"count\"" ctx k
+          in
+          if count <> expected_count then
+            fail "%s: %s count %.0f does not match departures %.0f" ctx k count expected_count;
+          let q f =
+            match Json.member f h with
+            | Some (Json.Num v) when v >= 0.0 -> v
+            | Some Json.Null when count = 0.0 -> 0.0
+            | _ -> fail "%s: %s missing non-negative %S" ctx k f
+          in
+          let p50 = q "p50" and p99 = q "p99" and max_v = q "max" in
+          ignore (q "mean");
+          ignore (q "p90");
+          if p50 > p99 then fail "%s: %s p50 %.4g > p99 %.4g" ctx k p50 p99;
+          (* p99 is a log-bucket upper-edge estimate, so it can sit one
+             bucket above the exact maximum; allow that slack. *)
+          if p99 > max_v *. 1.25 then fail "%s: %s p99 %.4g implausibly above max %.4g" ctx k p99 max_v)
+        [ ("sojourn", departures); ("flow_rate", departures) ])
+    runs;
+  Printf.printf "%s: schema mmfair.stability/v1 OK, %d runs\n%!" file (List.length runs)
+
 let () =
   let trace = ref None in
   let metrics = ref None in
+  let stability = ref None in
   let args =
     [
       ("--trace", Arg.String (fun f -> trace := Some f), "FILE Chrome trace JSON to validate");
       ("--metrics", Arg.String (fun f -> metrics := Some f), "FILE metrics snapshot JSON to validate");
+      ( "--stability",
+        Arg.String (fun f -> stability := Some f),
+        "FILE mmfair stability --json report to validate" );
     ]
   in
   Arg.parse (Arg.align args)
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
     "telemetry_check.exe: validate mmfair telemetry artifacts";
-  if !trace = None && !metrics = None then fail "nothing to do: pass --trace and/or --metrics";
+  if !trace = None && !metrics = None && !stability = None then
+    fail "nothing to do: pass --trace, --metrics, and/or --stability";
+  Option.iter check_stability !stability;
   let trace_rounds = Option.map check_trace !trace in
   let metric_rounds = Option.map check_metrics !metrics in
   match (trace_rounds, metric_rounds) with

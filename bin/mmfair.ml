@@ -684,17 +684,37 @@ let churnd_load_cmd =
                    client-side end-to-end latency quantiles (p50/p90/p99/max) at the end.  \
                    Needs --socket and a daemon running with --ack.")
   in
-  let run tele net_file socket events verify connect_timeout report seed =
+  let poisson =
+    Arg.(value & opt (some float) None
+         & info [ "poisson" ] ~docv:"RATE"
+             ~doc:"Open-loop mode: stamp the trace with seeded Poisson arrival instants at RATE \
+                   events per second and pace the stream in real time accordingly, instead of \
+                   pushing as fast as the socket accepts.  Needs --socket.")
+  in
+  let run tele net_file socket events verify connect_timeout report poisson seed =
     Telemetry.wrap tele @@ fun () ->
     if events < 0 then die exit_invalid_input "mmfair churnd-load: --events must be non-negative";
     if verify && socket = None then
       die exit_invalid_input "mmfair churnd-load: --verify needs --socket (a live daemon to ask)";
     if report && socket = None then
       die exit_invalid_input "mmfair churnd-load: --report needs --socket (acks to time)";
+    if poisson <> None && socket = None then
+      die exit_invalid_input "mmfair churnd-load: --poisson needs --socket (a stream to pace)";
+    (match poisson with
+    | Some r when not (Float.is_finite r && r > 0.0) ->
+        die exit_invalid_input "mmfair churnd-load: --poisson rate must be finite and positive"
+    | _ -> ());
     let parsed = Net_parser.parse_file net_file in
     let net = parsed.Net_parser.net in
     let rng = Mmfair_prng.Xoshiro.create ~seed () in
-    let trace = Churn_gen.generate ~rng net { Churn_gen.default with Churn_gen.events } in
+    let cfg = { Churn_gen.default with Churn_gen.events } in
+    let times, trace =
+      match poisson with
+      | None -> ([||], Churn_gen.generate ~rng net cfg)
+      | Some rate ->
+          let timed = Churn_gen.generate_timed ~rng net cfg ~rate in
+          (Array.of_list (List.map fst timed), List.map snd timed)
+    in
     let rendered = Churn_parser.render ~names:parsed trace in
     match socket with
     | None -> print_string rendered
@@ -780,27 +800,53 @@ let churnd_load_cmd =
           in
           go 0
         in
-        if not report then send rendered
+        if not report && poisson = None then send rendered
         else begin
           (* Line-at-a-time so each item's send instant is sharp.  A
              batch block is one ingestion item: its clock starts at the
              [end] line that completes it. *)
           let in_batch = ref false in
+          let next_time = ref 0 in
+          let t0 = Mmfair_obs.Clock.now_s () in
+          (* Open-loop pacing: hold each event line back until its
+             Poisson instant, draining daemon responses while waiting
+             so neither socket buffer can fill up and deadlock us. *)
+          let rec pace until =
+            let now = Mmfair_obs.Clock.now_s () in
+            if now < until then begin
+              drain_ready ();
+              Unix.sleepf (Float.min 0.05 (until -. now));
+              pace until
+            end
+          in
           List.iter
             (fun line ->
-              send (line ^ "\n");
               let body =
                 match String.index_opt line '#' with
                 | Some i -> String.sub line 0 i
                 | None -> line
               in
-              match String.trim body with
-              | "" -> ()
-              | "batch" -> in_batch := true
-              | "end" ->
-                  in_batch := false;
-                  Queue.add (Mmfair_obs.Clock.now_ns ()) pending_sends
-              | _ -> if not !in_batch then Queue.add (Mmfair_obs.Clock.now_ns ()) pending_sends)
+              let kind =
+                match String.trim body with
+                | "" -> `Blank
+                | "batch" -> `Batch
+                | "end" -> `End
+                | _ -> `Event
+              in
+              (if kind = `Event && poisson <> None && !next_time < Array.length times then begin
+                 pace (t0 +. times.(!next_time));
+                 incr next_time
+               end);
+              send (line ^ "\n");
+              if report then
+                match kind with
+                | `Blank -> ()
+                | `Batch -> in_batch := true
+                | `End ->
+                    in_batch := false;
+                    Queue.add (Mmfair_obs.Clock.now_ns ()) pending_sends
+                | `Event ->
+                    if not !in_batch then Queue.add (Mmfair_obs.Clock.now_ns ()) pending_sends)
             (match String.split_on_char '\n' rendered with
             | lines -> (
                 (* render ends with a newline: drop the empty tail. *)
@@ -931,12 +977,16 @@ let churnd_load_cmd =
           must not change where the allocation lands (max-min fairness depends only on the final \
           network).  With $(b,--report) (against a daemon running with $(b,--ack)), every \
           ingestion's ack round-trip is timed and client-side end-to-end latency quantiles are \
-          printed — so a soak reports both sides of the socket.";
+          printed — so a soak reports both sides of the socket.  With $(b,--poisson RATE), the \
+          stream is paced open-loop: each event is held back until its seeded Poisson arrival \
+          instant (RATE events per second) instead of being pushed as fast as the socket \
+          accepts — the arrival process is the same one the flow-level stability harness \
+          ($(b,mmfair stability)) draws from.";
     ]
   in
   Cmd.v (Cmd.info "churnd-load" ~doc ~man)
     Term.(const run $ tele_term $ net_file $ socket $ events $ verify $ connect_timeout $ report
-          $ seed_arg)
+          $ poisson $ seed_arg)
 
 (* `mmfair watch`: live terminal dashboard over a running churnd.
    Polls the daemon's socket with the `stats` verb and renders a
@@ -1227,13 +1277,254 @@ let all_cmd =
   Cmd.v (Cmd.info "all" ~doc:"run every experiment at quick scale (the EXPERIMENTS.md sweep)")
     Term.(const run $ tele_term $ seed_arg)
 
+(* `mmfair stability`: flow-level stochastic workload runs probing the
+   Bramson stability boundary — sessions arrive by a Poisson process,
+   are served at their max-min rates, and depart when their sampled
+   workload drains.  Single run or a rho sweep; table/CSV/JSON out. *)
+let stability_cmd =
+  let module Size = Mmfair_flow.Size in
+  let module Scenario = Mmfair_flow.Scenario in
+  let module Sim = Mmfair_flow.Sim in
+  let module Stability = Mmfair_flow.Stability in
+  let module LH = Mmfair_stats.Log_histogram in
+  let scenario_conv = Arg.enum [ ("star", `Star); ("single", `Single) ] in
+  let scenario =
+    Arg.(value & opt scenario_conv `Star
+         & info [ "scenario" ] ~docv:"KIND"
+             ~doc:"Topology: $(b,star) (star-of-stars, one flow class per cluster trunk) or \
+                   $(b,single) (one class on one link — M/M/1-PS with exponential workloads).")
+  in
+  let clusters =
+    Arg.(value & opt int 8 & info [ "clusters" ] ~docv:"N" ~doc:"Clusters (classes) of the star scenario.")
+  in
+  let slots =
+    Arg.(value & opt int 64
+         & info [ "slots" ] ~docv:"N"
+             ~doc:"Concurrent-flow capacity per class; arrivals beyond it count as blocked.")
+  in
+  let trunk_cap =
+    Arg.(value & opt float 4.0 & info [ "trunk-cap" ] ~docv:"C" ~doc:"Per-cluster trunk capacity (star).")
+  in
+  let capacity =
+    Arg.(value & opt float 1.0 & info [ "capacity" ] ~docv:"C" ~doc:"Link capacity (single).")
+  in
+  let workload =
+    Arg.(value & opt string "exp:1"
+         & info [ "workload" ] ~docv:"SPEC"
+             ~doc:"Workload-size distribution: $(b,det:SIZE), $(b,exp:MEAN) or \
+                   $(b,pareto:ALPHA,LO,HI).")
+  in
+  let load =
+    Arg.(value & opt float 0.8
+         & info [ "load" ] ~docv:"RHO"
+             ~doc:"Target nominal load (max over links); arrival rates are scaled to hit it.")
+  in
+  let sweep =
+    Arg.(value & opt (some string) None
+         & info [ "sweep" ] ~docv:"R1,R2,.."
+             ~doc:"Run once per comma-separated load instead of --load.")
+  in
+  let horizon =
+    Arg.(value & opt float 100.0 & info [ "horizon" ] ~docv:"T" ~doc:"Virtual-time length of each run.")
+  in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Domain-pool size for each epoch's component solves (allocations are identical \
+                   at every value).")
+  in
+  let engine_conv = Arg.enum [ ("auto", `Auto); ("linear", `Linear); ("bisection", `Bisection) ] in
+  let engine =
+    Arg.(value & opt engine_conv `Auto & info [ "engine" ] ~doc:"Water-filling engine: auto, linear or bisection.")
+  in
+  let pulses =
+    Arg.(value & opt_all string []
+         & info [ "pulse" ] ~docv:"T:N"
+             ~doc:"Flash crowd: inject N simultaneous arrivals at virtual time T (repeatable).")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Write the runs as JSON (schema mmfair.stability/v1).")
+  in
+  let series_out =
+    Arg.(value & opt (some string) None
+         & info [ "series-out" ] ~docv:"FILE"
+             ~doc:"Write the last run's population time series as JSONL (schema mmfair.series/v1).")
+  in
+  let expect_conv =
+    Arg.enum [ ("stable", Stability.Stable); ("divergent", Stability.Divergent) ]
+  in
+  let expect =
+    Arg.(value & opt (some expect_conv) None
+         & info [ "expect" ] ~docv:"VERDICT"
+             ~doc:"Exit non-zero unless every run's verdict matches (CI smoke mode).")
+  in
+  let run tele scenario clusters slots trunk_cap capacity workload load sweep horizon domains engine
+      pulses json_out series_out expect csv seed =
+    Telemetry.wrap tele @@ fun () ->
+    let size = Size.of_string workload in
+    let pulses =
+      List.map
+        (fun s ->
+          match String.index_opt s ':' with
+          | Some i -> (
+              let t = String.sub s 0 i and n = String.sub s (i + 1) (String.length s - i - 1) in
+              match (float_of_string_opt t, int_of_string_opt n) with
+              | Some t, Some n -> (t, n)
+              | _ -> die exit_invalid_input "mmfair stability: malformed --pulse %S (want T:N)" s)
+          | None -> die exit_invalid_input "mmfair stability: malformed --pulse %S (want T:N)" s)
+        pulses
+    in
+    let loads =
+      match sweep with
+      | None -> [ load ]
+      | Some s ->
+          List.map
+            (fun l ->
+              match float_of_string_opt (String.trim l) with
+              | Some f -> f
+              | None -> die exit_invalid_input "mmfair stability: malformed --sweep entry %S" l)
+            (String.split_on_char ',' s)
+    in
+    let build target =
+      let base =
+        match scenario with
+        | `Star ->
+            Scenario.star_of_stars ~clusters ~trunk_capacity:trunk_cap ~slots ~size ~rate:1.0 ()
+        | `Single -> Scenario.single_link ~capacity ~slots ~size ~rate:1.0 ()
+      in
+      Scenario.scale_to_load base ~load:target
+    in
+    let config = { Sim.default with Sim.horizon; seed; engine; domains; pulses } in
+    let runs =
+      List.map
+        (fun target ->
+          let r = Sim.run ~config (build target) in
+          (target, r, Stability.assess r))
+        loads
+    in
+    let rows =
+      List.map
+        (fun (target, r, (rep : Stability.report)) ->
+          [
+            E.Table.cell_f target;
+            Stability.verdict_to_string rep.Stability.verdict;
+            string_of_int r.Sim.arrivals;
+            string_of_int r.Sim.departures;
+            string_of_int r.Sim.blocked;
+            string_of_int r.Sim.max_population;
+            E.Table.cell_f r.Sim.time_avg_population;
+            E.Table.cell_f rep.Stability.drift_per_time;
+            E.Table.cell_f (LH.quantile r.Sim.sojourn 0.5);
+            E.Table.cell_f (LH.quantile r.Sim.sojourn 0.99);
+            E.Table.cell_f (LH.quantile r.Sim.flow_rate 0.5);
+            string_of_int r.Sim.epochs;
+          ])
+        runs
+    in
+    print_table ~csv
+      (E.Table.make ~title:"Flow-level stability (Poisson arrivals, max-min service)"
+         ~columns:
+           [ "load"; "verdict"; "arrivals"; "departures"; "blocked"; "max_pop"; "mean_pop";
+             "drift/t"; "sojourn_p50"; "sojourn_p99"; "rate_p50"; "epochs" ]
+         ~notes:
+           [ "Stability theory: stable iff every link's nominal load < 1 (max-min service)." ]
+         rows);
+    (match json_out with
+    | None -> ()
+    | Some path ->
+        let b = Buffer.create 4096 in
+        let hist h =
+          (* Quantiles and mean degrade to null while empty (JSON has
+             no NaN), matching the metrics-registry convention. *)
+          if LH.count h = 0 then
+            "{\"count\":0,\"mean\":null,\"p50\":null,\"p90\":null,\"p99\":null,\"max\":null}"
+          else
+            Printf.sprintf
+              "{\"count\":%d,\"mean\":%.12g,\"p50\":%.12g,\"p90\":%.12g,\"p99\":%.12g,\"max\":%.12g}"
+              (LH.count h)
+              (LH.sum h /. float_of_int (LH.count h))
+              (LH.quantile h 0.5) (LH.quantile h 0.9) (LH.quantile h 0.99) (LH.max_value h)
+        in
+        Buffer.add_string b "{\"schema\":\"mmfair.stability/v1\",";
+        Buffer.add_string b
+          (Printf.sprintf
+             "\"scenario\":%S,\"clusters\":%d,\"slots\":%d,\"workload\":%S,\"horizon\":%.12g,\"seed\":%Ld,\"domains\":%d,\"runs\":["
+             (match scenario with `Star -> "star" | `Single -> "single")
+             (match scenario with `Star -> clusters | `Single -> 1)
+             slots (Size.to_string size) horizon seed domains);
+        List.iteri
+          (fun i (target, (r : Sim.result), (rep : Stability.report)) ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_string b
+              (Printf.sprintf
+                 "{\"load\":%.12g,\"verdict\":%S,\"arrivals\":%d,\"departures\":%d,\"blocked\":%d,\
+                  \"pulse_arrivals\":%d,\"epochs\":%d,\"applied_events\":%d,\"final_population\":%d,\
+                  \"max_population\":%d,\"time_avg_population\":%.12g,\"first_half_mean\":%.12g,\
+                  \"second_half_mean\":%.12g,\"drift_per_time\":%.12g,\"regenerations\":%d,\
+                  \"sojourn\":%s,\"flow_rate\":%s}"
+                 target
+                 (Stability.verdict_to_string rep.Stability.verdict)
+                 r.Sim.arrivals r.Sim.departures r.Sim.blocked r.Sim.pulse_arrivals r.Sim.epochs
+                 r.Sim.applied_events r.Sim.final_population r.Sim.max_population
+                 r.Sim.time_avg_population r.Sim.first_half_mean r.Sim.second_half_mean
+                 rep.Stability.drift_per_time r.Sim.regenerations (hist r.Sim.sojourn)
+                 (hist r.Sim.flow_rate)))
+          runs;
+        Buffer.add_string b "]}\n";
+        let oc = open_out path in
+        output_string oc (Buffer.contents b);
+        close_out oc);
+    (match series_out with
+    | None -> ()
+    | Some path -> (
+        match List.rev runs with
+        | [] -> ()
+        | (_, r, _) :: _ ->
+            let oc = open_out path in
+            output_string oc (Mmfair_obs.Timeseries.to_jsonl r.Sim.series);
+            close_out oc));
+    match expect with
+    | None -> ()
+    | Some want ->
+        List.iter
+          (fun (target, _, (rep : Stability.report)) ->
+            if rep.Stability.verdict <> want then
+              die 1 "mmfair stability: load %g: expected %s, observed %s (m1=%.3f m2=%.3f)" target
+                (Stability.verdict_to_string want)
+                (Stability.verdict_to_string rep.Stability.verdict)
+                rep.Stability.first_half_mean rep.Stability.second_half_mean)
+          runs
+  in
+  let doc = "flow-level stochastic stability runs (Poisson arrivals, departure on completion)" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "Simulates flow-level session churn in virtual time: multicast sessions arrive by a \
+          Poisson process, carry a sampled workload size, are served at their current max-min \
+          fair rates through the incremental engine, and depart when their residual workload \
+          drains.  Stability theory for bandwidth-sharing networks predicts the system is stable \
+          exactly when every link's nominal load is below 1; this command probes that boundary \
+          empirically, classifying each run as stable or divergent from the drift of the \
+          time-averaged population.";
+      `P "Examples:";
+      `Pre "  mmfair stability --load 0.8 --horizon 200\n\
+           \  mmfair stability --sweep 0.6,0.9,1.1 --workload pareto:1.5,0.1,100 --csv\n\
+           \  mmfair stability --scenario single --load 1.3 --expect divergent";
+    ]
+  in
+  Cmd.v (Cmd.info "stability" ~doc ~man)
+    Term.(const run $ tele_term $ scenario $ clusters $ slots $ trunk_cap $ capacity $ workload
+          $ load $ sweep $ horizon $ domains $ engine $ pulses $ json_out $ series_out $ expect
+          $ csv_flag $ seed_arg)
+
 let main_cmd =
   let doc = "reproduction of 'The Impact of Multicast Layering on Network Fairness' (SIGCOMM 1999)" in
   Cmd.group (Cmd.info "mmfair" ~version:"1.0.0" ~doc)
     [
       allocate_cmd; dot_cmd; example_net_cmd; fig1_cmd; fig2_cmd; fig3_cmd; fig4_cmd; fig5_cmd; fig6_cmd;
       fig8_cmd; markov_cmd; nonexist_cmd; replace_cmd; latency_cmd; priority_cmd; layers_cmd;
-      tcpfair_cmd; churn_cmd; churnd_cmd; churnd_load_cmd; watch_cmd; session_churn_cmd; convergence_cmd; single_rate_cmd; closedloop_cmd; ecn_cmd;
+      tcpfair_cmd; churn_cmd; churnd_cmd; churnd_load_cmd; watch_cmd; stability_cmd; session_churn_cmd; convergence_cmd; single_rate_cmd; closedloop_cmd; ecn_cmd;
       compete_cmd; tcpfriendly_cmd; claims_cmd; membership_cmd; list_cmd; all_cmd;
     ]
 

@@ -1,0 +1,68 @@
+module Xoshiro = Mmfair_prng.Xoshiro
+
+type t =
+  | Deterministic of float
+  | Exponential of float
+  | Pareto_bounded of { alpha : float; lo : float; hi : float }
+
+let check = function
+  | Deterministic m ->
+      if not (Float.is_finite m && m > 0.0) then
+        invalid_arg "Size: deterministic size must be finite and positive"
+  | Exponential m ->
+      if not (Float.is_finite m && m > 0.0) then
+        invalid_arg "Size: exponential mean must be finite and positive"
+  | Pareto_bounded { alpha; lo; hi } ->
+      if not (Float.is_finite alpha && alpha > 0.0) then
+        invalid_arg "Size: pareto alpha must be finite and positive";
+      if not (Float.is_finite lo && Float.is_finite hi && 0.0 < lo && lo < hi) then
+        invalid_arg "Size: pareto bounds need finite 0 < lo < hi"
+
+let mean = function
+  | Deterministic m -> m
+  | Exponential m -> m
+  | Pareto_bounded { alpha; lo; hi } ->
+      (* E[X] over [lo, hi] with density ∝ x^{-alpha-1}; the alpha = 1
+         branch is the log limit of the general closed form. *)
+      if alpha = 1.0 then lo *. hi *. log (hi /. lo) /. (hi -. lo)
+      else
+        let ratio_a = (lo /. hi) ** alpha in
+        alpha /. (alpha -. 1.0)
+        *. ((lo ** alpha) *. ((lo ** (1.0 -. alpha)) -. (hi ** (1.0 -. alpha))))
+        /. (1.0 -. ratio_a)
+
+let sample rng = function
+  | Deterministic m -> m
+  | Exponential m -> Xoshiro.exponential rng (1.0 /. m)
+  | Pareto_bounded { alpha; lo; hi } -> Xoshiro.pareto_bounded rng ~alpha ~lo ~hi
+
+let to_string = function
+  | Deterministic m -> Printf.sprintf "det:%g" m
+  | Exponential m -> Printf.sprintf "exp:%g" m
+  | Pareto_bounded { alpha; lo; hi } -> Printf.sprintf "pareto:%g,%g,%g" alpha lo hi
+
+let of_string s =
+  let num what v =
+    match float_of_string_opt v with
+    | Some f -> f
+    | None -> invalid_arg (Printf.sprintf "Size.of_string: malformed %s %S" what v)
+  in
+  let t =
+    match String.index_opt s ':' with
+    | None -> invalid_arg (Printf.sprintf "Size.of_string: %S wants det:M, exp:M or pareto:A,LO,HI" s)
+    | Some i -> (
+        let kind = String.sub s 0 i in
+        let rest = String.sub s (i + 1) (String.length s - i - 1) in
+        match kind with
+        | "det" -> Deterministic (num "size" rest)
+        | "exp" -> Exponential (num "mean" rest)
+        | "pareto" -> (
+            match String.split_on_char ',' rest with
+            | [ a; lo; hi ] ->
+                Pareto_bounded
+                  { alpha = num "alpha" a; lo = num "lo" lo; hi = num "hi" hi }
+            | _ -> invalid_arg (Printf.sprintf "Size.of_string: pareto wants ALPHA,LO,HI, got %S" rest))
+        | k -> invalid_arg (Printf.sprintf "Size.of_string: unknown distribution %S" k))
+  in
+  check t;
+  t

@@ -1,0 +1,36 @@
+(** Workload-size distributions for flow-level sessions.
+
+    Every flow arrives carrying a sampled workload (bits to transfer)
+    and departs when its residual drains at the max-min fair rate.  The
+    three shapes here span the stability literature: deterministic and
+    exponential workloads are the classical M/D and M/M cases, and the
+    bounded Pareto is the standard heavy-tailed model (mice and
+    elephants) whose upper truncation keeps the mean finite so nominal
+    load is still well-defined. *)
+
+type t =
+  | Deterministic of float  (** Every flow carries exactly this size. *)
+  | Exponential of float  (** Exponential with this {e mean} (not rate). *)
+  | Pareto_bounded of { alpha : float; lo : float; hi : float }
+      (** Bounded Pareto on [[lo, hi)] with tail index [alpha]. *)
+
+val check : t -> unit
+(** Raises [Invalid_argument] on non-finite or non-positive parameters
+    (and [lo >= hi] for the Pareto). *)
+
+val mean : t -> float
+(** Closed-form expected size — the [E[W]] in nominal load
+    [rho_j = sum lambda_c E[W_c] / c_j].  Exact for all three shapes,
+    including the [alpha = 1] Pareto log limit. *)
+
+val sample : Mmfair_prng.Xoshiro.t -> t -> float
+(** Draw one workload size.  Delegates to {!Mmfair_prng.Xoshiro}'s
+    samplers so a seed fully determines the stream. *)
+
+val to_string : t -> string
+(** Round-trips through {!of_string}. *)
+
+val of_string : string -> t
+(** Parses ["det:SIZE"], ["exp:MEAN"] or ["pareto:ALPHA,LO,HI"] (the
+    CLI spelling).  Raises [Invalid_argument] on malformed input or
+    parameters {!check} rejects. *)

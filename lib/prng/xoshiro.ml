@@ -61,6 +61,28 @@ let exponential t rate =
   (* 1 − u avoids log 0 since float is in [0, 1). *)
   -.log (1.0 -. float t) /. rate
 
+let log_uniform t lo hi =
+  if not (Float.is_finite lo && Float.is_finite hi && 0.0 < lo && lo < hi) then
+    invalid_arg "Xoshiro.log_uniform: need finite 0 < lo < hi";
+  (* Uniform in log space; clamp so float rounding of exp cannot
+     escape [lo, hi). *)
+  let x = exp (uniform t (log lo) (log hi)) in
+  if x < lo then lo else if x >= hi then Float.pred hi else x
+
+let pareto_bounded t ~alpha ~lo ~hi =
+  if not (Float.is_finite alpha && alpha > 0.0) then
+    invalid_arg "Xoshiro.pareto_bounded: alpha must be finite and positive";
+  if not (Float.is_finite lo && Float.is_finite hi && 0.0 < lo && lo < hi) then
+    invalid_arg "Xoshiro.pareto_bounded: need finite 0 < lo < hi";
+  (* Inverse CDF of the bounded Pareto: F(x) = (1 - (lo/x)^a) / (1 - (lo/hi)^a)
+     on [lo, hi].  u < 1, so the denominator of the inner power never
+     reaches the (lo/hi)^a singularity that would send x to hi exactly;
+     a final clamp guards float rounding anyway. *)
+  let u = float t in
+  let ratio_a = (lo /. hi) ** alpha in
+  let x = lo /. ((1.0 -. (u *. (1.0 -. ratio_a))) ** (1.0 /. alpha)) in
+  if x < lo then lo else if x >= hi then Float.pred hi else x
+
 let geometric t p =
   if p <= 0.0 || p > 1.0 then invalid_arg "Xoshiro.geometric: p must be in (0,1]";
   if p = 1.0 then 0

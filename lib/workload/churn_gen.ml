@@ -3,6 +3,30 @@ module Network = Mmfair_core.Network
 module Xoshiro = Mmfair_prng.Xoshiro
 module Event = Mmfair_dynamic.Event
 
+(* One seeded Poisson arrival process, shared by every open-loop
+   arrival stream in the tree (flow-level session arrivals in lib/flow,
+   `mmfair churnd-load --poisson` pacing, timed traces here).  Keeping
+   the exponential-gap sampling in one place means a fixed seed yields
+   the same arrival instants wherever the process is consumed. *)
+module Arrivals = struct
+  type t = { rng : Xoshiro.t; rate : float; mutable next : float }
+
+  let poisson ?(start = 0.0) ~rate rng =
+    if not (Float.is_finite rate && rate > 0.0) then
+      invalid_arg "Churn_gen.Arrivals.poisson: rate must be finite and positive";
+    if not (Float.is_finite start) then
+      invalid_arg "Churn_gen.Arrivals.poisson: start must be finite";
+    { rng; rate; next = start +. Xoshiro.exponential rng rate }
+
+  let rate t = t.rate
+  let peek t = t.next
+
+  let pop t =
+    let at = t.next in
+    t.next <- at +. Xoshiro.exponential t.rng t.rate;
+    at
+end
+
 type config = {
   events : int;
   join_weight : float;
@@ -170,3 +194,11 @@ let generate ~rng net cfg =
         emit (Event.Capacity_change { link = l; cap })
   done;
   List.rev !out
+
+let generate_timed ~rng net cfg ~rate =
+  let events = generate ~rng net cfg in
+  (* The arrival process draws from the same rng *after* the event
+     draws, so a (seed, config, rate) triple fully determines the timed
+     trace — and the untimed prefix equals plain [generate]. *)
+  let arrivals = Arrivals.poisson ~rate rng in
+  List.map (fun ev -> (Arrivals.pop arrivals, ev)) events

@@ -10,6 +10,34 @@
     the differential gate and [BENCH_churn.json] rely on for
     reproducibility. *)
 
+(** The tree's one Poisson arrival-process implementation.  Flow-level
+    session arrivals ({!Mmfair_flow.Sim}), the open-loop pacing of
+    [mmfair churnd-load --poisson], and {!generate_timed} all draw
+    their arrival instants here, so a fixed seed produces the same
+    instants wherever the process is consumed — no second drifting
+    copy of the exponential-gap sampling. *)
+module Arrivals : sig
+  type t
+  (** A mutable arrival stream: the next arrival instant is always
+      scheduled (memoryless, so scheduling ahead loses nothing). *)
+
+  val poisson : ?start:float -> rate:float -> Mmfair_prng.Xoshiro.t -> t
+  (** [poisson ~rate rng] is a Poisson process of intensity [rate]
+      (arrivals per unit time) beginning at [start] (default 0): the
+      first arrival lands at [start + Exp(rate)].  The process draws
+      from — and advances — [rng].  Raises [Invalid_argument] unless
+      [rate] is finite and positive and [start] is finite. *)
+
+  val rate : t -> float
+
+  val peek : t -> float
+  (** The next arrival instant, without consuming it. *)
+
+  val pop : t -> float
+  (** Consume and return the next arrival instant, scheduling its
+      successor. *)
+end
+
 type config = {
   events : int;  (** Trace length (≥ 0); may come out shorter only when no class stays applicable. *)
   join_weight : float;  (** Relative frequency of [Join] events (≥ 0). *)
@@ -35,3 +63,16 @@ val generate : rng:Mmfair_prng.Xoshiro.t -> Mmfair_core.Network.t -> config -> M
     the trace can therefore be shorter than [config.events] in
     degenerate cases (a bounded number of redraws guards against
     non-termination). *)
+
+val generate_timed :
+  rng:Mmfair_prng.Xoshiro.t ->
+  Mmfair_core.Network.t ->
+  config ->
+  rate:float ->
+  (float * Mmfair_dynamic.Event.t) list
+(** {!generate}, then stamp each event with a {!Arrivals.poisson}
+    arrival instant of intensity [rate] drawn from the same [rng]
+    (ascending from time 0).  The event sequence is exactly what
+    {!generate} would produce for the same rng state; only the
+    timestamps consume further draws.  This is the open-loop trace
+    behind [mmfair churnd-load --poisson]. *)

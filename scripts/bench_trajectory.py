@@ -24,8 +24,9 @@ results/bench_trajectory.json:
 Bench documents are embedded verbatim (their own "schema" fields keep
 them self-describing); the key is the BENCH_<key>.json stem.  For
 schemas the script knows (mmfair.bench.churn/v2+, whose v3 added the
-"parallel" domain-scaling section and v4 the "serving" churnd
-sustained-ingest section) it also lifts the headline gate
+"parallel" domain-scaling section, v4 the "serving" churnd
+sustained-ingest section, and v6 the flow-level "stability" bracket
+with sojourn/fair-rate tails) it also lifts the headline gate
 numbers into "headlines" so the trajectory is scannable without
 digging into each embedded document.  Stdlib only — no third-party
 imports.
@@ -72,6 +73,22 @@ def headline(doc):
                 h["sampler_duty_cycle"] = sampler["duty_cycle"]
             except (KeyError, TypeError):
                 pass
+    stb = doc.get("stability")  # churn/v6 and later: flow-level stability bracket
+    if isinstance(stb, dict):
+        try:
+            rows = {r["load"]: r for r in stb["rows"]}
+            h["stability_verdicts"] = {
+                str(load): row["verdict"] for load, row in sorted(rows.items())
+            }
+            stable = rows.get(0.8)
+            if stable is not None:
+                h["stability_events_per_s_at_0.8"] = stable["events_per_s"]
+                h["stability_sojourn_p50_at_0.8"] = stable["sojourn_p50"]
+                h["stability_sojourn_p99_at_0.8"] = stable["sojourn_p99"]
+                h["stability_flow_rate_p50_at_0.8"] = stable["flow_rate_p50"]
+                h["stability_flow_rate_p99_at_0.8"] = stable["flow_rate_p99"]
+        except (KeyError, TypeError):
+            pass
     return h or None
 
 

@@ -33,6 +33,7 @@ let () =
       ("domain-pool", Test_domain_pool.suite);
       ("component", Test_component.suite);
       ("dynamic", Test_dynamic.suite);
+      ("flow", Test_flow.suite);
       ("obs", Test_obs.suite);
       ("serve", Test_serve.suite);
     ]

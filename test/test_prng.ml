@@ -123,6 +123,72 @@ let test_xoshiro_exponential_mean () =
   let mean = !sum /. float_of_int n in
   Alcotest.(check bool) "mean close to 1/rate" true (Float.abs (mean -. 0.5) < 0.02)
 
+let test_xoshiro_pareto_mean () =
+  let g = Xoshiro.create ~seed:23L () in
+  let n = 50_000 and alpha = 2.5 and lo = 1.0 and hi = 100.0 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Xoshiro.pareto_bounded g ~alpha ~lo ~hi
+  done;
+  let mean = !sum /. float_of_int n in
+  (* Closed-form bounded-Pareto mean. *)
+  let expected =
+    alpha /. (alpha -. 1.0)
+    *. ((lo ** alpha) *. ((lo ** (1.0 -. alpha)) -. (hi ** (1.0 -. alpha))))
+    /. (1.0 -. ((lo /. hi) ** alpha))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.4f close to %.4f" mean expected)
+    true
+    (Float.abs (mean -. expected) < 0.05 *. expected)
+
+let test_xoshiro_log_uniform_mean () =
+  let g = Xoshiro.create ~seed:24L () in
+  let n = 50_000 and lo = 0.1 and hi = 10.0 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Xoshiro.log_uniform g lo hi
+  done;
+  let mean = !sum /. float_of_int n in
+  (* E[X] for density 1/(x ln(hi/lo)) is (hi - lo)/ln(hi/lo). *)
+  let expected = (hi -. lo) /. log (hi /. lo) in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.4f close to %.4f" mean expected)
+    true
+    (Float.abs (mean -. expected) < 0.05 *. expected)
+
+let test_xoshiro_heavy_tail_invalid () =
+  let g = Xoshiro.create ~seed:25L () in
+  let expect_invalid what f =
+    match f () with
+    | (_ : float) -> Alcotest.failf "%s: expected Invalid_argument" what
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "pareto alpha 0" (fun () -> Xoshiro.pareto_bounded g ~alpha:0.0 ~lo:1.0 ~hi:2.0);
+  expect_invalid "pareto lo >= hi" (fun () -> Xoshiro.pareto_bounded g ~alpha:1.5 ~lo:2.0 ~hi:2.0);
+  expect_invalid "pareto lo 0" (fun () -> Xoshiro.pareto_bounded g ~alpha:1.5 ~lo:0.0 ~hi:2.0);
+  expect_invalid "log_uniform lo >= hi" (fun () -> Xoshiro.log_uniform g 3.0 3.0);
+  expect_invalid "log_uniform negative lo" (fun () -> Xoshiro.log_uniform g (-1.0) 3.0)
+
+let qcheck_pareto_in_bounds =
+  QCheck.Test.make ~name:"pareto_bounded stays in [lo, hi)" ~count:500
+    QCheck.(triple (int_bound 1000) (float_bound_inclusive 3.0) (float_bound_inclusive 5.0))
+    (fun (seed, a, spread) ->
+      let alpha = 0.25 +. a and lo = 0.5 in
+      let hi = lo *. (1.5 +. spread) in
+      let g = Xoshiro.create ~seed:(Int64.of_int seed) () in
+      let x = Xoshiro.pareto_bounded g ~alpha ~lo ~hi in
+      x >= lo && x < hi)
+
+let qcheck_log_uniform_in_bounds =
+  QCheck.Test.make ~name:"log_uniform stays in [lo, hi)" ~count:500
+    QCheck.(pair (int_bound 1000) (float_bound_inclusive 6.0))
+    (fun (seed, spread) ->
+      let lo = 0.01 and hi = 0.01 *. (2.0 +. spread) in
+      let g = Xoshiro.create ~seed:(Int64.of_int seed) () in
+      let x = Xoshiro.log_uniform g lo hi in
+      x >= lo && x < hi)
+
 let test_xoshiro_shuffle_permutation () =
   let g = Xoshiro.create ~seed:17L () in
   let a = Array.init 50 Fun.id in
@@ -181,8 +247,14 @@ let suite =
     Alcotest.test_case "xoshiro geometric mean" `Quick test_xoshiro_geometric_mean;
     Alcotest.test_case "xoshiro geometric p=1" `Quick test_xoshiro_geometric_p1;
     Alcotest.test_case "xoshiro exponential mean" `Quick test_xoshiro_exponential_mean;
+    Alcotest.test_case "xoshiro pareto_bounded mean" `Quick test_xoshiro_pareto_mean;
+    Alcotest.test_case "xoshiro log_uniform mean" `Quick test_xoshiro_log_uniform_mean;
+    Alcotest.test_case "xoshiro heavy-tail samplers reject bad parameters" `Quick
+      test_xoshiro_heavy_tail_invalid;
     Alcotest.test_case "xoshiro shuffle permutation" `Quick test_xoshiro_shuffle_permutation;
     Alcotest.test_case "xoshiro below uniformity" `Quick test_xoshiro_below_uniformity;
     Alcotest.test_case "xoshiro split independent" `Quick test_xoshiro_split_independent;
     QCheck_alcotest.to_alcotest qcheck_pick_in_array;
+    QCheck_alcotest.to_alcotest qcheck_pareto_in_bounds;
+    QCheck_alcotest.to_alcotest qcheck_log_uniform_in_bounds;
   ]
