@@ -16,10 +16,13 @@ module Allocator = Mmfair_core.Allocator
 module Allocator_reference = Mmfair_core.Allocator_reference
 module Paper_nets = Mmfair_workload.Paper_nets
 module Graph = Mmfair_topology.Graph
+module Builders = Mmfair_topology.Builders
+module Batch = Mmfair_dynamic.Batch
+module Event = Mmfair_dynamic.Event
 module Obs = Mmfair_obs
 module Json = Mmfair_obs.Json
 
-let schema_id = "mmfair.bench.allocator/v2"
+let schema_id = "mmfair.bench.allocator/v3"
 
 (* --- timing -------------------------------------------------------- *)
 
@@ -89,6 +92,219 @@ let random_net sessions =
       max_receivers = 4;
       extra_links = sessions;
     }
+
+(* --- scaling curves (v3) ------------------------------------------- *)
+
+(* Internet-scale curves over generated topologies: for each size,
+   time network construction, a cold full solve, and steady-state
+   single-event churn through the batch engine, and audit peak live
+   heap words at each measurement mark.  The committed full run takes
+   the fat-tree family to ~10⁵ sessions; the fitted log-log exponent
+   of the per-event cost against the session count is the headline
+   number (sub-linear = the churn path scales). *)
+
+(* Live heap audit: a full major collection makes [live_words] exact,
+   so regressions in resident data structures gate like time
+   regressions instead of hiding behind GC slack. *)
+let live_words () =
+  Gc.full_major ();
+  (Gc.quick_stat ()).Gc.live_words
+
+type curve_point = {
+  p_label : string;
+  p_sessions : int;
+  p_links : int;
+  p_receivers : int;
+  build_ns : float;
+  solve_ns : float;
+  event_ns : float;
+  peak_live_words : int;
+}
+
+type curve = {
+  c_name : string;
+  c_points : curve_point list;
+  build_exponent : float;
+  solve_exponent : float;
+  event_exponent : float;
+}
+
+type curve_workload = {
+  w_label : string;
+  w_graph : Graph.t;
+  w_specs : Network.session_spec array;
+  (* (session, extra receiver node) pairs: churn is a join of the
+     extra node followed by the leave that restores the membership, so
+     every timed pass starts from the same steady state. *)
+  w_toggles : (int * Graph.node) list;
+}
+
+let n_toggle = 64
+
+(* Fat-tree population: [per_host] single-receiver sessions per host,
+   each confined to its own edge switch's host group (sender and
+   receiver share the edge), so data-paths are two host links and
+   fairness components stay cluster-sized however large the tree
+   grows.  Sender-major order lets [Network.make]'s per-sender routing
+   cache do one BFS per host.  Needs k ≥ 6 so each edge has a third
+   host for the churn toggle. *)
+let fat_tree_workload ~k ~per_host =
+  let t = Builders.fat_tree ~k () in
+  let half = k / 2 in
+  let hosts = t.Builders.hosts in
+  let nh = Array.length hosts in
+  let total = nh * per_host in
+  let peer h j =
+    let base = h / half * half in
+    let local = h - base in
+    base + ((local + 1 + (j mod (half - 1))) mod half)
+  in
+  let specs =
+    Array.init total (fun s ->
+        let h = s / per_host and j = s mod per_host in
+        Network.session ~sender:hosts.(h) ~receivers:[| hosts.(peer h j) |] ())
+  in
+  let toggles =
+    List.init n_toggle (fun i ->
+        let s = i * total / n_toggle in
+        let h = s / per_host and j = s mod per_host in
+        let base = h / half * half in
+        let local = h - base in
+        let r1 = peer h j - base in
+        (* Any sibling distinct from both the sender and the current
+           receiver; half ≥ 3 guarantees one exists. *)
+        let r2 = ref 0 in
+        while !r2 = local || !r2 = r1 do
+          incr r2
+        done;
+        (s, hosts.(base + !r2)))
+  in
+  { w_label = Printf.sprintf "k=%d" k; w_graph = t.Builders.graph; w_specs = specs;
+    w_toggles = toggles }
+
+(* Power-law population: one session per node, receiver its first
+   neighbor — hubs concentrate sharing, so churn components are large
+   and the curve shows what preferential attachment costs the
+   incremental path relative to the fat tree's clustered sessions. *)
+let power_law_workload ~nodes =
+  let rng = Mmfair_prng.Xoshiro.create ~seed:20260809L () in
+  let t = Builders.power_law ~rng ~nodes ~attach:2 ~cap_lo:1.0 ~cap_hi:4.0 in
+  let g = t.Builders.graph in
+  let first_neighbor v =
+    match Graph.neighbors g v with (u, _) :: _ -> u | [] -> assert false
+  in
+  let specs =
+    Array.init nodes (fun v -> Network.session ~sender:v ~receivers:[| first_neighbor v |] ())
+  in
+  let toggles =
+    List.filter_map
+      (fun i ->
+        let v = i * nodes / n_toggle in
+        let u1 = first_neighbor v in
+        match List.find_opt (fun (u, _) -> u <> u1) (Graph.neighbors g v) with
+        | Some (u2, _) -> Some (v, u2)
+        | None -> None)
+      (List.init n_toggle Fun.id)
+  in
+  { w_label = Printf.sprintf "n=%d" nodes; w_graph = g; w_specs = specs; w_toggles = toggles }
+
+let measure_point ~min_time w =
+  let mem = ref 0 in
+  let note_mem x =
+    mem := Stdlib.max !mem (live_words ());
+    x
+  in
+  let t0 = Obs.Clock.now_ns () in
+  let net = Network.make w.w_graph w.w_specs in
+  let build_ns = Obs.Clock.since_s t0 *. 1e9 in
+  ignore (note_mem ());
+  let last_alloc = ref None in
+  let solve_t =
+    time_run ~min_time (fun () ->
+        let a = Allocator.max_min net in
+        last_alloc := Some a;
+        a)
+  in
+  ignore (note_mem ());
+  (* [retain:1]: the live-words audit should track the engine's
+     resident footprint, not the configurable epoch-history policy
+     (the default keeps 8 epochs of superseded networks alive). *)
+  let batch = Batch.create ~retain:1 ?allocation:!last_alloc net in
+  (* Churn under coalesced ingest (the serving daemon's operating
+     mode): one batch joins an extra receiver into [n_toggle] spread
+     sessions, the next batch leaves them all, restoring the exact
+     starting membership so every timed pass sees the same state.
+     Per-event cost is the batch cost amortized over its events —
+     which is the point: the O(sessions) incidence rebuild is paid
+     once per batch, so the per-event curve tracks the component-local
+     solve work. *)
+  let joins =
+    List.map (fun (s, node) -> Event.Join { session = s; node; weight = None }) w.w_toggles
+  in
+  let leaves = List.map (fun (s, node) -> Event.Leave { session = s; node }) w.w_toggles in
+  let churn () =
+    ignore (Batch.apply batch joins);
+    ignore (Batch.apply batch leaves)
+  in
+  let churn_t = time_run ~min_time churn in
+  ignore (note_mem ());
+  let events_per_run = 2 * List.length w.w_toggles in
+  let p =
+    {
+      p_label = w.w_label;
+      p_sessions = Network.session_count net;
+      p_links = Graph.link_count w.w_graph;
+      p_receivers = Network.receiver_count net;
+      build_ns;
+      solve_ns = solve_t.ns;
+      event_ns = churn_t.ns /. float_of_int events_per_run;
+      peak_live_words = !mem;
+    }
+  in
+  Printf.printf "curve %-10s %8d sessions  build %12.1f ns  solve %12.1f ns  event %10.1f ns  %9d live words\n%!"
+    p.p_label p.p_sessions p.build_ns p.solve_ns p.event_ns p.peak_live_words;
+  p
+
+(* Least-squares slope of log(cost) against log(sessions): the
+   curve's fitted scaling exponent. *)
+let fit_exponent points get =
+  match points with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let n = float_of_int (List.length points) in
+      let sx, sy, sxx, sxy =
+        List.fold_left
+          (fun (sx, sy, sxx, sxy) p ->
+            let x = log (float_of_int p.p_sessions) and y = log (get p) in
+            (sx +. x, sy +. y, sxx +. (x *. x), sxy +. (x *. y)))
+          (0.0, 0.0, 0.0, 0.0) points
+      in
+      ((n *. sxy) -. (sx *. sy)) /. ((n *. sxx) -. (sx *. sx))
+
+let finish_curve name points =
+  {
+    c_name = name;
+    c_points = points;
+    build_exponent = fit_exponent points (fun p -> p.build_ns);
+    solve_exponent = fit_exponent points (fun p -> p.solve_ns);
+    event_exponent = fit_exponent points (fun p -> p.event_ns);
+  }
+
+let fat_tree_per_host = 9
+
+let measure_curves ~quick ~min_time =
+  (* Full mode tops out at k=36 × 9 sessions/host = 104,976 sessions;
+     quick stays under 10⁴ for the CI smoke. *)
+  let fat_ks = if quick then [ 6; 10; 14 ] else [ 8; 16; 24; 36 ] in
+  let pl_nodes = if quick then [ 256; 1024 ] else [ 512; 2048; 8192 ] in
+  [
+    finish_curve "fat-tree"
+      (List.map
+         (fun k -> measure_point ~min_time (fat_tree_workload ~k ~per_host:fat_tree_per_host))
+         fat_ks);
+    finish_curve "power-law"
+      (List.map (fun nodes -> measure_point ~min_time (power_law_workload ~nodes)) pl_nodes);
+  ]
 
 type entry = {
   name : string;
@@ -181,7 +397,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let emit ~quick ~min_time ~phases ~out rows =
+let emit ~quick ~min_time ~phases ~out ~curves rows =
   let oc = open_out out in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -196,9 +412,32 @@ let emit ~quick ~min_time ~phases ~out rows =
       p "%s\"%s\": %.6f" (if i = 0 then " " else ", ") (json_escape name) seconds)
     phases;
   p " },\n";
+  p "  \"curves\": [\n";
+  List.iteri
+    (fun ci c ->
+      p "    {\n";
+      p "      \"name\": \"%s\",\n" (json_escape c.c_name);
+      p "      \"build_exponent\": %.3f,\n" c.build_exponent;
+      p "      \"solve_exponent\": %.3f,\n" c.solve_exponent;
+      p "      \"event_exponent\": %.3f,\n" c.event_exponent;
+      p "      \"points\": [\n";
+      List.iteri
+        (fun pi pt ->
+          p
+            "        { \"label\": \"%s\", \"sessions\": %d, \"links\": %d, \"receivers\": %d, \
+             \"build_ns\": %.1f, \"solve_ns\": %.1f, \"event_ns\": %.1f, \"peak_live_words\": %d \
+             }%s\n"
+            (json_escape pt.p_label) pt.p_sessions pt.p_links pt.p_receivers pt.build_ns pt.solve_ns
+            pt.event_ns pt.peak_live_words
+            (if pi = List.length c.c_points - 1 then "" else ","))
+        c.c_points;
+      p "      ]\n";
+      p "    }%s\n" (if ci = List.length curves - 1 then "" else ","))
+    curves;
+  p "  ],\n";
   p "  \"entries\": [\n";
   List.iteri
-    (fun idx (e, timing, ref_timing, rounds) ->
+    (fun idx (e, timing, ref_timing, rounds, live) ->
       let g = Network.graph e.net in
       p "    {\n";
       p "      \"name\": \"%s\",\n" (json_escape e.name);
@@ -209,6 +448,7 @@ let emit ~quick ~min_time ~phases ~out rows =
       p "      \"links\": %d,\n" (Graph.link_count g);
       p "      \"rounds\": %d,\n" rounds;
       p "      \"runs\": %d,\n" timing.runs;
+      p "      \"peak_live_words\": %d,\n" live;
       p "      \"time_ns\": %.1f,\n" timing.ns;
       p "      \"samples_ns\": [%s],\n"
         (String.concat ", " (List.map (Printf.sprintf "%.1f") timing.samples_ns));
@@ -279,6 +519,47 @@ let validate file =
     | Some (Json.Str s) when s <> "" -> s
     | _ -> fail (Printf.sprintf "entry missing string %S" k)
   in
+  let is_quick = match Json.member "quick" doc with Some (Json.Bool b) -> b | _ -> false in
+  (* v3: scaling curves over generated topologies with fitted
+     exponents and a live-words audit per point.  On a full (non-quick)
+     document the fat-tree per-event exponent must be sub-linear —
+     that is the scan-removal refactor's acceptance gate. *)
+  (match Json.member "curves" doc with
+  | Some (Json.List curves) when curves <> [] ->
+      let seen = ref [] in
+      List.iter
+        (fun c ->
+          let cname = str_field c "name" in
+          seen := cname :: !seen;
+          let exp k =
+            match Json.member k c with
+            | Some (Json.Num f) -> f
+            | _ -> fail (Printf.sprintf "curve %S missing numeric %S" cname k)
+          in
+          ignore (exp "build_exponent");
+          ignore (exp "solve_exponent");
+          let event_exp = exp "event_exponent" in
+          (match Json.member "points" c with
+          | Some (Json.List pts) when List.length pts >= 2 ->
+              List.iter
+                (fun pt ->
+                  ignore (str_field pt "label");
+                  List.iter
+                    (fun k -> ignore (num_field pt k))
+                    [
+                      "sessions"; "links"; "receivers"; "build_ns"; "solve_ns"; "event_ns";
+                      "peak_live_words";
+                    ])
+                pts
+          | _ -> fail (Printf.sprintf "curve %S needs at least two points" cname));
+          if cname = "fat-tree" && (not is_quick) && event_exp >= 1.0 then
+            fail
+              (Printf.sprintf
+                 "fat-tree per-event exponent %.3f is not sub-linear — the churn path scans"
+                 event_exp))
+        curves;
+      if not (List.mem "fat-tree" !seen) then fail "missing the fat-tree curve"
+  | _ -> fail "missing or empty \"curves\" array");
   let names =
     List.map
       (fun e ->
@@ -289,6 +570,7 @@ let validate file =
         ignore (num_field e "runs");
         ignore (num_field e "sessions");
         ignore (num_field e "rounds");
+        ignore (num_field e "peak_live_words");
         (match Json.member "samples_ns" e with
         | Some (Json.List samples) when samples <> [] ->
             let best = num_field e "time_ns" in
@@ -316,8 +598,9 @@ let validate file =
    baseline's entry.  Fails when the fresh best-of run is more than
    [tolerance] slower: telemetry must stay free when disabled. *)
 let overhead_entry = "sweep/linear-engine-100-sessions"
+let mem_gate_label = "k=16"
 
-let check_overhead ~tolerance ~min_time baseline_file =
+let check_overhead ~tolerance ~mem_tolerance ~min_time baseline_file =
   let fail msg =
     Printf.eprintf "overhead check FAILED (%s): %s\n%!" baseline_file msg;
     exit 1
@@ -365,6 +648,44 @@ let check_overhead ~tolerance ~min_time baseline_file =
     fail
       (Printf.sprintf "disabled-probe run is %.1f%% slower than the committed baseline (limit %.1f%%)"
          ((ratio -. 1.0) *. 100.0) (tolerance *. 100.0));
+  (* Memory gate: re-measure the fat-tree mid-size curve point and
+     compare its peak live words against the committed baseline's, so
+     resident-footprint regressions fail CI like time regressions.
+     Live words are deterministic up to allocator layout, hence the
+     looser default tolerance.  Quick baselines stop below k=16; skip
+     with a note rather than inventing a cross-scale comparison. *)
+  let baseline_words =
+    match Json.member "curves" doc with
+    | Some (Json.List curves) ->
+        List.find_map
+          (fun c ->
+            match (Json.member "name" c, Json.member "points" c) with
+            | Some (Json.Str "fat-tree"), Some (Json.List pts) ->
+                List.find_map
+                  (fun pt ->
+                    match (Json.member "label" pt, Json.member "peak_live_words" pt) with
+                    | Some (Json.Str l), Some (Json.Num w) when l = mem_gate_label && w > 0.0 ->
+                        Some w
+                    | _ -> None)
+                  pts
+            | _ -> None)
+          curves
+    | _ -> None
+  in
+  (match baseline_words with
+  | None ->
+      Printf.printf "memory gate skipped: baseline has no fat-tree %S point (quick baseline?)\n%!"
+        mem_gate_label
+  | Some baseline_w ->
+      let p = measure_point ~min_time (fat_tree_workload ~k:16 ~per_host:fat_tree_per_host) in
+      let mem_ratio = float_of_int p.peak_live_words /. baseline_w in
+      Printf.printf "fat-tree %s: baseline %.0f live words, now %d, ratio %.3f (tolerance %.2f)\n%!"
+        mem_gate_label baseline_w p.peak_live_words mem_ratio mem_tolerance;
+      if mem_ratio > 1.0 +. mem_tolerance then
+        fail
+          (Printf.sprintf
+             "fat-tree %s peak live words grew %.1f%% over the committed baseline (limit %.1f%%)"
+             mem_gate_label ((mem_ratio -. 1.0) *. 100.0) (mem_tolerance *. 100.0)));
   Printf.printf "overhead check OK\n%!"
 
 (* --- driver -------------------------------------------------------- *)
@@ -376,6 +697,7 @@ let () =
   let validate_file = ref None in
   let overhead_baseline = ref None in
   let tolerance = ref 0.05 in
+  let mem_tolerance = ref 0.25 in
   let args =
     [
       ("--quick", Arg.Set quick, " fast smoke sweep (CI): tiny sizes, short timing windows");
@@ -390,6 +712,9 @@ let () =
       ( "--tolerance",
         Arg.Set_float tolerance,
         "FRACTION allowed slowdown for --check-overhead (default 0.05)" );
+      ( "--mem-tolerance",
+        Arg.Set_float mem_tolerance,
+        "FRACTION allowed live-words growth for --check-overhead (default 0.25)" );
     ]
   in
   Arg.parse (Arg.align args)
@@ -399,7 +724,7 @@ let () =
   | Some f, _ -> validate f
   | None, Some f ->
       let min_time = if !min_time > 0.0 then !min_time else 0.5 in
-      check_overhead ~tolerance:!tolerance ~min_time f
+      check_overhead ~tolerance:!tolerance ~mem_tolerance:!mem_tolerance ~min_time f
   | None, None ->
       let min_time = if !min_time > 0.0 then !min_time else if !quick then 0.05 else 0.5 in
       let es = entries ~quick:!quick in
@@ -411,11 +736,16 @@ let () =
         let rounds = count_rounds e.run in
         let timing = time_run ~min_time e.run in
         let ref_timing = Option.map (fun f -> time_run ~min_time f) e.reference in
+        (* Live-words audit: hold one result live across a compaction so
+           the entry's resident footprint gates alongside its time. *)
+        let held = Sys.opaque_identity (e.run ()) in
+        let live = live_words () in
+        ignore (Sys.opaque_identity held);
         Printf.printf "%-42s %12.1f ns/run  %4d rounds%s\n%!" e.name timing.ns rounds
           (match ref_timing with
           | Some rt -> Printf.sprintf "  (reference %12.1f, speedup %.1fx)" rt.ns (rt.ns /. timing.ns)
           | None -> "");
-        (e, timing, ref_timing, rounds)
+        (e, timing, ref_timing, rounds, live)
       in
       let kinds = [ "figure"; "ablation"; "sweep" ] in
       let rows =
@@ -426,5 +756,9 @@ let () =
                     List.map measure (List.filter (fun e -> e.kind = kind) es)))
               kinds)
       in
-      emit ~quick:!quick ~min_time ~phases:(completed_spans ()) ~out:!out rows;
-      Printf.printf "wrote %s (%d entries)\n" !out (List.length rows)
+      let curves =
+        Obs.Probe.with_sink recorder (fun () ->
+            Obs.Probe.span "curves" (fun () -> measure_curves ~quick:!quick ~min_time))
+      in
+      emit ~quick:!quick ~min_time ~phases:(completed_spans ()) ~out:!out ~curves rows;
+      Printf.printf "wrote %s (%d entries, %d curves)\n" !out (List.length rows) (List.length curves)

@@ -124,6 +124,125 @@ let example_net_cmd =
     (Cmd.info "example-net" ~doc:"print an example network description (the paper's Figure 2)")
     Term.(const run $ tele_term)
 
+(* Generated topologies with placed sessions, emitted in the network
+   description format so the output pipes straight into `mmfair
+   allocate` / `mmfair dot` / churn traces.  Placements mirror the
+   scaling bench's: fat-tree sessions stay inside their edge switch's
+   host group, power-law sessions run node -> first neighbor, and
+   star-of-stars carries one multicast session from the root to every
+   leaf (the paper's shared-trunk shape). *)
+let topo_cmd =
+  let module Builders = Mmfair_topology.Builders in
+  let kind_conv =
+    Arg.enum
+      [ ("fat-tree", `Fat_tree); ("power-law", `Power_law); ("star-of-stars", `Star_of_stars) ]
+  in
+  let kind =
+    Arg.(required & pos 0 (some kind_conv) None
+         & info [] ~docv:"KIND"
+             ~doc:"Topology family: $(b,fat-tree), $(b,power-law) or $(b,star-of-stars).")
+  in
+  let k =
+    Arg.(value & opt int 8 & info [ "k" ] ~docv:"K" ~doc:"Fat tree: pod arity (even, at least 4).")
+  in
+  let per_host =
+    Arg.(value & opt int 1
+         & info [ "per-host" ] ~docv:"N" ~doc:"Fat tree: single-receiver sessions per host.")
+  in
+  let nodes =
+    Arg.(value & opt int 1024 & info [ "nodes" ] ~docv:"N" ~doc:"Power law: node count.")
+  in
+  let attach =
+    Arg.(value & opt int 2
+         & info [ "attach" ] ~docv:"M" ~doc:"Power law: links each newcomer attaches with.")
+  in
+  let clusters =
+    Arg.(value & opt int 8 & info [ "clusters" ] ~docv:"C" ~doc:"Star of stars: cluster count.")
+  in
+  let leaves =
+    Arg.(value & opt int 1
+         & info [ "leaves" ] ~docv:"L" ~doc:"Star of stars: leaves per cluster.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the description to $(docv) instead of stdout.")
+  in
+  let run tele kind k per_host nodes attach clusters leaves seed out =
+    Telemetry.wrap tele @@ fun () ->
+    let graph, specs =
+      match kind with
+      | `Fat_tree ->
+          if k < 4 || k mod 2 <> 0 then
+            die exit_invalid_input "mmfair topo: fat-tree needs an even -k >= 4 (got %d)" k;
+          if per_host < 0 then
+            die exit_invalid_input "mmfair topo: --per-host must be >= 0 (got %d)" per_host;
+          let t = Builders.fat_tree ~k () in
+          let half = k / 2 in
+          let hosts = t.Builders.hosts in
+          (* Sibling under the same edge switch, rotating through the
+             host group so repeated sessions from one host spread out. *)
+          let peer h j =
+            let base = h / half * half in
+            base + ((h - base + 1 + (j mod (half - 1))) mod half)
+          in
+          let specs =
+            Array.init
+              (Array.length hosts * per_host)
+              (fun s ->
+                let h = s / per_host and j = s mod per_host in
+                Network.session ~sender:hosts.(h) ~receivers:[| hosts.(peer h j) |] ())
+          in
+          (t.Builders.graph, specs)
+      | `Power_law ->
+          let rng = Mmfair_prng.Xoshiro.create ~seed () in
+          let t =
+            try Builders.power_law ~rng ~nodes ~attach ~cap_lo:1.0 ~cap_hi:4.0
+            with Invalid_argument msg -> die exit_invalid_input "mmfair topo: %s" msg
+          in
+          let g = t.Builders.graph in
+          let specs =
+            Array.init nodes (fun v ->
+                match Graph.neighbors g v with
+                | (u, _) :: _ -> Network.session ~sender:v ~receivers:[| u |] ()
+                | [] -> die exit_invalid_input "mmfair topo: isolated node %d" v)
+          in
+          (g, specs)
+      | `Star_of_stars ->
+          let t =
+            try
+              Builders.star_of_stars ~clusters ~leaves_per_cluster:leaves ~trunk_capacity:4.0
+                ~leaf_capacity:1.0 ()
+            with Invalid_argument msg -> die exit_invalid_input "mmfair topo: %s" msg
+          in
+          let receivers = Array.concat (Array.to_list t.Builders.leaves) in
+          (t.Builders.graph, [| Network.session ~sender:t.Builders.root ~receivers () |])
+    in
+    let net = Network.make graph specs in
+    let doc = Mmfair_workload.Net_parser.render net in
+    (match out with
+    | None -> print_string doc
+    | Some file ->
+        let oc = open_out file in
+        output_string oc doc;
+        close_out oc);
+    Printf.eprintf "mmfair topo: %d nodes, %d links, %d sessions, %d receivers\n%!"
+      (Graph.node_count graph) (Graph.link_count graph) (Network.session_count net)
+      (Network.receiver_count net)
+  in
+  let doc = "generate a fat-tree, power-law or star-of-stars network description" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "Emits a network description (the `mmfair allocate` input format) for one of the \
+          generated topology families, with sessions already placed: fat-tree confines each \
+          session to its edge switch's host group, power-law sends each node to its first \
+          neighbor, star-of-stars multicasts from the root to every leaf.";
+    ]
+  in
+  Cmd.v (Cmd.info "topo" ~doc ~man)
+    Term.(const run $ tele_term $ kind $ k $ per_host $ nodes $ attach $ clusters $ leaves
+          $ seed_arg $ out)
+
 (* ------------------------------------------------------------------ *)
 
 let fig1_cmd =
@@ -1522,7 +1641,7 @@ let main_cmd =
   let doc = "reproduction of 'The Impact of Multicast Layering on Network Fairness' (SIGCOMM 1999)" in
   Cmd.group (Cmd.info "mmfair" ~version:"1.0.0" ~doc)
     [
-      allocate_cmd; dot_cmd; example_net_cmd; fig1_cmd; fig2_cmd; fig3_cmd; fig4_cmd; fig5_cmd; fig6_cmd;
+      allocate_cmd; dot_cmd; example_net_cmd; topo_cmd; fig1_cmd; fig2_cmd; fig3_cmd; fig4_cmd; fig5_cmd; fig6_cmd;
       fig8_cmd; markov_cmd; nonexist_cmd; replace_cmd; latency_cmd; priority_cmd; layers_cmd;
       tcpfair_cmd; churn_cmd; churnd_cmd; churnd_load_cmd; watch_cmd; stability_cmd; session_churn_cmd; convergence_cmd; single_rate_cmd; closedloop_cmd; ecn_cmd;
       compete_cmd; tcpfriendly_cmd; claims_cmd; membership_cmd; list_cmd; all_cmd;

@@ -18,6 +18,18 @@ let make net rates =
     rates;
   { net; rates = Array.map Array.copy rates }
 
+(* Churn-path constructor: adopts the rows without copying or
+   validating them.  The dynamic engine assembles each epoch's rates
+   from rows that are already proven — the solver's fresh output plus
+   rows carried verbatim from the previous (validated) allocation — so
+   re-walking every receiver here would put an O(receivers) term back
+   on a path the batch engine keeps proportional to the touched
+   component.  Callers must never mutate the rows afterwards. *)
+let unsafe_of_rows net rates =
+  if Array.length rates <> Network.session_count net then
+    invalid_arg "Allocation.unsafe_of_rows: session count mismatch";
+  { net; rates }
+
 let zero net =
   {
     net;
@@ -31,6 +43,15 @@ let network t = t.net
 let rate t (r : Network.receiver_id) = t.rates.(r.Network.session).(r.Network.index)
 
 let rates_of_session t i = Array.copy t.rates.(i)
+
+(* No-copy view for the dynamic engine's row carrying; callers must
+   treat the result as read-only. *)
+let unsafe_rates_of_session t i = t.rates.(i)
+
+(* The live outer array, for bulk row carrying ([Array.copy] on the
+   caller's side is one pointer memcpy instead of a per-session loop);
+   read-only like the rows themselves. *)
+let unsafe_rows t = t.rates
 
 (* Fold a compact incidence cell directly: [link_rate] is swept over
    every link by feasibility checks and the dynamic engine's

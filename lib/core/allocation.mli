@@ -20,6 +20,15 @@ val make : Network.t -> float array array -> t
 val zero : Network.t -> t
 (** The all-zero allocation (always feasible). *)
 
+val unsafe_of_rows : Network.t -> float array array -> t
+(** [unsafe_of_rows net rates] adopts the row arrays without copying
+    or validating them — the churn engine's constructor for rates
+    assembled from already-validated rows (solver output and rows
+    carried from a previous allocation).  The caller must never mutate
+    the rows afterwards; sharing rows between allocations is fine.
+    Raises [Invalid_argument] only on a session-count mismatch.
+    Everyone else should use {!make}. *)
+
 val network : t -> Network.t
 
 val rate : t -> Network.receiver_id -> float
@@ -27,6 +36,18 @@ val rate : t -> Network.receiver_id -> float
 
 val rates_of_session : t -> int -> float array
 (** Rates of session [i]'s receivers, index order. *)
+
+val unsafe_rates_of_session : t -> int -> float array
+(** Like {!rates_of_session} but returns the live row without copying.
+    The caller must not write to it — for the churn engine's row
+    carrying, where the per-session copy would reintroduce an
+    O(receivers) term per epoch. *)
+
+val unsafe_rows : t -> float array array
+(** The live per-session row array itself, no copying at either level.
+    The caller must not write to the array or any row — the churn
+    engine [Array.copy]s it to seed an epoch's pinned rows in one
+    pointer memcpy instead of an O(sessions) closure loop. *)
 
 val session_link_rate : t -> session:int -> link:Mmfair_topology.Graph.link_id -> float
 (** The paper's [u_{i,j}] — [v_i] applied to the downstream receiver

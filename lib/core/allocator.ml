@@ -53,30 +53,21 @@ type state = {
   active_links : int array;
   link_pos : int array; (* position in active_links, -1 once retired *)
   mutable n_active_links : int;
-  touched_links : bool array option;
-      (* Warm starts: the links the solved sessions cross.  Only these
-         carry initialized cell/link aggregates, and only these
-         constrain the solve — frozen usage elsewhere is t-independent
-         and none of the solved sessions' business. *)
+  restricted : (int array * int) option;
+      (* Warm starts: the dirty-list (array, length) of links the
+         solved sessions cross.  Only these links carry initialized
+         aggregates — in a restricted solve the state arrays are
+         arena-owned and oversized, and entries off the dirty-list
+         hold stale garbage from earlier solves.  Only dirty-list
+         links constrain the solve: frozen usage elsewhere is
+         t-independent and none of the solved sessions' business. *)
 }
 
-(* [warm], when given, pins part of the population before the first
-   round: [(active0, rates0)] per global id.  The state is then built
-   directly in its post-freeze shape — frozen aggregates, link models
-   and the active-link set come out of one pass over the cells —
-   instead of constructing the all-active state and re-freezing
-   receivers one at a time (the warm start used to dominate small
-   incremental re-solves).
-
-   [touched] (warm starts only) masks the links the solved sessions
-   cross.  Cell and link aggregates are initialized for those links
-   only: no other link is ever read by the rounds (active receivers
-   all belong to solved sessions, so untouched links retire before
-   round one), which makes a restricted solve's setup proportional to
-   the component's neighborhood, not the network — the difference
-   between one batched re-solve and sixteen when a churn batch
-   partitions into sixteen disjoint components. *)
-let init_state ?warm ?touched net =
+(* Full (cold) solve: build the all-active state with every per-link
+   and per-cell aggregate initialized.  This is the one-shot path;
+   incremental re-solves go through [init_restricted] below and never
+   pay these O(links + receivers) passes. *)
+let init_state net =
   let g = Network.graph net in
   let inc = Network.incidence net in
   let m = Network.session_count net in
@@ -93,64 +84,16 @@ let init_state ?warm ?touched net =
   done;
   let nc = inc.Network.n_cells in
   let link_row = inc.Network.link_row and cell_first = inc.Network.cell_first in
-  let active, rates, n_active =
-    match warm with
-    | None -> (Array.make (Stdlib.max n 1) true, Array.make (Stdlib.max n 1) 0.0, n)
-    | Some (active0, rates0) ->
-        (* Ownership transfer: [run] builds these arrays fresh for
-           each solve, so the state may mutate them in place. *)
-        let na = ref 0 in
-        for gid = 0 to n - 1 do
-          if active0.(gid) then incr na
-        done;
-        (active0, rates0, !na)
-  in
   let cell_active = Array.make (Stdlib.max nc 1) 0 in
+  for c = 0 to nc - 1 do
+    cell_active.(c) <- cell_first.(c + 1) - cell_first.(c)
+  done;
   let cell_max_frozen = Array.make (Stdlib.max nc 1) 0.0 in
   let cell_sum_frozen = Array.make (Stdlib.max nc 1) 0.0 in
-  (match warm with
-  | None ->
-      for c = 0 to nc - 1 do
-        cell_active.(c) <- cell_first.(c + 1) - cell_first.(c)
-      done
-  | Some _ ->
-      (* Warm-start hot path: indices come straight off the CSR, so
-         skip the bounds checks like the incidence splice does.  With
-         a [touched] mask only the solved sessions' links pay the
-         pass. *)
-      let link_cells = inc.Network.link_cells in
-      let cells_of_link l =
-        for c = link_row.(l) to link_row.(l + 1) - 1 do
-          let lo = Array.unsafe_get cell_first c and hi = Array.unsafe_get cell_first (c + 1) in
-          let n_act = ref 0 in
-          let mx = ref 0.0 and sum = ref 0.0 in
-          for p = lo to hi - 1 do
-            let gid = Array.unsafe_get link_cells p in
-            if Array.unsafe_get active gid then incr n_act
-            else begin
-              let a = Array.unsafe_get rates gid in
-              if a > !mx then mx := a;
-              sum := !sum +. a
-            end
-          done;
-          Array.unsafe_set cell_active c !n_act;
-          Array.unsafe_set cell_max_frozen c !mx;
-          Array.unsafe_set cell_sum_frozen c !sum
-        done
-      in
-      (match touched with
-      | Some mask ->
-          for l = 0 to nl - 1 do
-            if Array.unsafe_get mask l then cells_of_link l
-          done
-      | None ->
-          for l = 0 to nl - 1 do
-            cells_of_link l
-          done));
   let link_const = Array.make (Stdlib.max nl 1) 0.0 in
   let link_slope = Array.make (Stdlib.max nl 1) 0.0 in
   let link_active = Array.make (Stdlib.max nl 1) 0 in
-  let model_link l =
+  for l = 0 to nl - 1 do
     for c = link_row.(l) to link_row.(l + 1) - 1 do
       (match vfn.(inc.Network.cell_session.(c)) with
       | Redundancy_fn.Efficient ->
@@ -165,16 +108,7 @@ let init_state ?warm ?touched net =
       | Redundancy_fn.Custom _ -> ());
       link_active.(l) <- link_active.(l) + cell_active.(c)
     done
-  in
-  (match touched with
-  | Some mask when warm <> None ->
-      for l = 0 to nl - 1 do
-        if Array.unsafe_get mask l then model_link l
-      done
-  | _ ->
-      for l = 0 to nl - 1 do
-        model_link l
-      done);
+  done;
   let active_links = Array.make (Stdlib.max nl 1) 0 in
   let link_pos = Array.make (Stdlib.max nl 1) (-1) in
   let n_active_links = ref 0 in
@@ -196,9 +130,9 @@ let init_state ?warm ?touched net =
     rho;
     single_rate;
     weight;
-    rates;
-    active;
-    n_active;
+    rates = Array.make (Stdlib.max n 1) 0.0;
+    active = Array.make (Stdlib.max n 1) true;
+    n_active = n;
     cell_active;
     cell_max_frozen;
     cell_sum_frozen;
@@ -209,8 +143,272 @@ let init_state ?warm ?touched net =
     active_links;
     link_pos;
     n_active_links = !n_active_links;
-    touched_links = (if warm = None then None else touched);
+    restricted = None;
   }
+
+(* Restricted solves — the churn engine's per-component re-solves —
+   must not pay O(links + receivers) allocation and zeroing per event.
+   Their state arrays live in a per-domain arena: oversized flat
+   arrays recycled across solves, with generation counters ("stamps")
+   marking which entries belong to the current solve.  [stamp] starts
+   at 1 so a freshly grown, all-zero stamp array reads as stale; data
+   arrays grow without preserving contents (every entry the solve
+   reads is re-initialized under the current stamp first).
+
+   The arena is per-domain ([Domain.DLS]), so pooled batch solves each
+   get their own; a restricted solve must not re-enter the allocator
+   from its [on_round] callback (no current caller does). *)
+type scratch = {
+  mutable stamp : int;
+  (* per link *)
+  mutable l_cap : float array;
+  mutable l_const : float array;
+  mutable l_slope : float array;
+  mutable l_active : int array;
+  mutable l_sat : bool array;
+  mutable l_list : int array;
+  mutable l_pos : int array;
+  mutable l_stamp : int array;
+  mutable l_touched : int array;
+  (* per session *)
+  mutable s_vfn : Redundancy_fn.t array;
+  mutable s_rho : float array;
+  mutable s_single : bool array;
+  mutable s_comp_stamp : int array;
+  mutable s_seen_stamp : int array;
+  (* per global receiver id *)
+  mutable g_weight : float array;
+  mutable g_rates : float array;
+  mutable g_active : bool array;
+  (* per compact cell *)
+  mutable c_active : int array;
+  mutable c_max : float array;
+  mutable c_sum : float array;
+}
+
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        stamp = 1;
+        l_cap = [||];
+        l_const = [||];
+        l_slope = [||];
+        l_active = [||];
+        l_sat = [||];
+        l_list = [||];
+        l_pos = [||];
+        l_stamp = [||];
+        l_touched = [||];
+        s_vfn = [||];
+        s_rho = [||];
+        s_single = [||];
+        s_comp_stamp = [||];
+        s_seen_stamp = [||];
+        g_weight = [||];
+        g_rates = [||];
+        g_active = [||];
+        c_active = [||];
+        c_max = [||];
+        c_sum = [||];
+      })
+
+let ensure_f a n = if Array.length a >= n then a else Array.make (Stdlib.max n (2 * Array.length a)) 0.0
+let ensure_i a n = if Array.length a >= n then a else Array.make (Stdlib.max n (2 * Array.length a)) 0
+let ensure_b a n = if Array.length a >= n then a else Array.make (Stdlib.max n (2 * Array.length a)) false
+
+let ensure_vfn a n =
+  if Array.length a >= n then a
+  else Array.make (Stdlib.max n (2 * Array.length a)) Redundancy_fn.Efficient
+
+(* Warm start: pin every session outside [component] at its [frozen]
+   row and build the state directly in its post-freeze shape, touching
+   only the component's neighborhood.  Three passes, all proportional
+   to the component's sessions, receivers and incident cells:
+
+   1. stamp the component's sessions, activate their receivers, and
+      collect the dirty-list of links they cross;
+   2. pin the receivers of every other session sharing one of those
+      links (rows of sessions the solve never reads are adopted
+      without validation — see the .mli);
+   3. per-cell frozen aggregates and per-link usage models over the
+      dirty-list only.
+
+   Also decides engine eligibility for the restricted problem: the
+   linear model needs every involved session linear — including pinned
+   neighbors, whose [Custom] cells would otherwise contribute a bogus
+   constant 0 — while the unit-weight requirement only concerns the
+   receivers actually being raised. *)
+let init_restricted net ~component ~frozen =
+  let g = Network.graph net in
+  let inc = Network.incidence net in
+  let m = Network.session_count net in
+  let n = inc.Network.n_receivers in
+  let nl = Graph.link_count g in
+  let nc = inc.Network.n_cells in
+  if Array.length frozen <> m then
+    invalid_arg "Allocator.max_min_partial: frozen rates must cover every session";
+  let sc = Domain.DLS.get scratch_key in
+  sc.l_cap <- ensure_f sc.l_cap nl;
+  sc.l_const <- ensure_f sc.l_const nl;
+  sc.l_slope <- ensure_f sc.l_slope nl;
+  sc.l_active <- ensure_i sc.l_active nl;
+  sc.l_sat <- ensure_b sc.l_sat nl;
+  sc.l_list <- ensure_i sc.l_list nl;
+  sc.l_pos <- ensure_i sc.l_pos nl;
+  sc.l_stamp <- ensure_i sc.l_stamp nl;
+  sc.l_touched <- ensure_i sc.l_touched nl;
+  sc.s_vfn <- ensure_vfn sc.s_vfn m;
+  sc.s_rho <- ensure_f sc.s_rho m;
+  sc.s_single <- ensure_b sc.s_single m;
+  sc.s_comp_stamp <- ensure_i sc.s_comp_stamp m;
+  sc.s_seen_stamp <- ensure_i sc.s_seen_stamp m;
+  sc.g_weight <- ensure_f sc.g_weight n;
+  sc.g_rates <- ensure_f sc.g_rates n;
+  sc.g_active <- ensure_b sc.g_active n;
+  sc.c_active <- ensure_i sc.c_active nc;
+  sc.c_max <- ensure_f sc.c_max nc;
+  sc.c_sum <- ensure_f sc.c_sum nc;
+  sc.stamp <- sc.stamp + 1;
+  let stamp = sc.stamp in
+  let session_first = inc.Network.session_first in
+  let rr = inc.Network.recv_row and rc = inc.Network.recv_cells in
+  let n_touched = ref 0 in
+  let n_active = ref 0 in
+  let all_linear = ref true in
+  let unit_weights = ref true in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= m then
+        invalid_arg (Printf.sprintf "Allocator.max_min_partial: unknown session %d" i);
+      if sc.s_comp_stamp.(i) <> stamp then begin
+        sc.s_comp_stamp.(i) <- stamp;
+        sc.s_seen_stamp.(i) <- stamp;
+        sc.s_vfn.(i) <- Network.vfn net i;
+        sc.s_rho.(i) <- Network.rho net i;
+        sc.s_single.(i) <- Network.session_type net i = Network.Single_rate;
+        if not (Redundancy_fn.is_linear sc.s_vfn.(i)) then all_linear := false;
+        let w = (Network.session_spec net i).Network.weights in
+        let lo = session_first.(i) in
+        Array.blit w 0 sc.g_weight lo (Array.length w);
+        for gid = lo to session_first.(i + 1) - 1 do
+          if sc.g_weight.(gid) <> 1.0 then unit_weights := false;
+          sc.g_active.(gid) <- true;
+          sc.g_rates.(gid) <- 0.0;
+          incr n_active;
+          for p = rr.(gid) to rr.(gid + 1) - 1 do
+            let l = rc.(p) in
+            if sc.l_stamp.(l) <> stamp then begin
+              sc.l_stamp.(l) <- stamp;
+              sc.l_touched.(!n_touched) <- l;
+              incr n_touched;
+              sc.l_cap.(l) <- Graph.capacity g l;
+              sc.l_const.(l) <- 0.0;
+              sc.l_slope.(l) <- 0.0;
+              sc.l_active.(l) <- 0;
+              sc.l_sat.(l) <- false;
+              sc.l_pos.(l) <- -1
+            end
+          done
+        done
+      end)
+    component;
+  let link_row = inc.Network.link_row and cell_session = inc.Network.cell_session in
+  let touch_frozen i =
+    if sc.s_seen_stamp.(i) <> stamp then begin
+      sc.s_seen_stamp.(i) <- stamp;
+      let lo = session_first.(i) and hi = session_first.(i + 1) in
+      if Array.length frozen.(i) <> hi - lo then
+        invalid_arg
+          (Printf.sprintf "Allocator.max_min_partial: session %d frozen rate count mismatch" i);
+      sc.s_vfn.(i) <- Network.vfn net i;
+      if not (Redundancy_fn.is_linear sc.s_vfn.(i)) then all_linear := false;
+      for gid = lo to hi - 1 do
+        let r = frozen.(i).(gid - lo) in
+        if not (Float.is_finite r && r >= 0.0) then
+          invalid_arg
+            (Printf.sprintf
+               "Allocator.max_min_partial: session %d has a negative or non-finite frozen rate" i);
+        sc.g_active.(gid) <- false;
+        sc.g_rates.(gid) <- r
+      done
+    end
+  in
+  for tp = 0 to !n_touched - 1 do
+    let l = sc.l_touched.(tp) in
+    for c = link_row.(l) to link_row.(l + 1) - 1 do
+      touch_frozen cell_session.(c)
+    done
+  done;
+  (* Hot path: indices come straight off the CSR, so skip the bounds
+     checks like the incidence splice does. *)
+  let cell_first = inc.Network.cell_first and link_cells = inc.Network.link_cells in
+  let n_active_links = ref 0 in
+  for tp = 0 to !n_touched - 1 do
+    let l = sc.l_touched.(tp) in
+    for c = link_row.(l) to link_row.(l + 1) - 1 do
+      let lo = Array.unsafe_get cell_first c and hi = Array.unsafe_get cell_first (c + 1) in
+      let n_act = ref 0 in
+      let mx = ref 0.0 and sum = ref 0.0 in
+      for p = lo to hi - 1 do
+        let gid = Array.unsafe_get link_cells p in
+        if Array.unsafe_get sc.g_active gid then incr n_act
+        else begin
+          let a = Array.unsafe_get sc.g_rates gid in
+          if a > !mx then mx := a;
+          sum := !sum +. a
+        end
+      done;
+      Array.unsafe_set sc.c_active c !n_act;
+      Array.unsafe_set sc.c_max c !mx;
+      Array.unsafe_set sc.c_sum c !sum;
+      (match sc.s_vfn.(cell_session.(c)) with
+      | Redundancy_fn.Efficient ->
+          if !n_act > 0 then sc.l_slope.(l) <- sc.l_slope.(l) +. 1.0
+          else sc.l_const.(l) <- sc.l_const.(l) +. !mx
+      | Redundancy_fn.Scaled v ->
+          if !n_act > 0 then sc.l_slope.(l) <- sc.l_slope.(l) +. v
+          else sc.l_const.(l) <- sc.l_const.(l) +. (v *. !mx)
+      | Redundancy_fn.Additive ->
+          sc.l_slope.(l) <- sc.l_slope.(l) +. float_of_int !n_act;
+          sc.l_const.(l) <- sc.l_const.(l) +. !sum
+      | Redundancy_fn.Custom _ -> ());
+      sc.l_active.(l) <- sc.l_active.(l) + !n_act
+    done;
+    if sc.l_active.(l) > 0 then begin
+      sc.l_list.(!n_active_links) <- l;
+      sc.l_pos.(l) <- !n_active_links;
+      incr n_active_links
+    end
+  done;
+  let st =
+    {
+      net;
+      inc;
+      m;
+      n;
+      nl;
+      cap = sc.l_cap;
+      vfn = sc.s_vfn;
+      rho = sc.s_rho;
+      single_rate = sc.s_single;
+      weight = sc.g_weight;
+      rates = sc.g_rates;
+      active = sc.g_active;
+      n_active = !n_active;
+      cell_active = sc.c_active;
+      cell_max_frozen = sc.c_max;
+      cell_sum_frozen = sc.c_sum;
+      link_const = sc.l_const;
+      link_slope = sc.l_slope;
+      link_active = sc.l_active;
+      ever_saturated = sc.l_sat;
+      active_links = sc.l_list;
+      link_pos = sc.l_pos;
+      n_active_links = !n_active_links;
+      restricted = Some (sc.l_touched, !n_touched);
+    }
+  in
+  (st, !all_linear, !unit_weights)
 
 (* (const, slope) contribution of compact cell [c] (session [i]) to
    its link's linear usage model — mirrors the reference engine's
@@ -318,7 +516,7 @@ let linear_bound st t_cur =
   done;
   Stdlib.max !bound t_cur
 
-let bisection_bound st t_cur rho_bound =
+let bisection_bound st ~solve_sessions t_cur rho_bound =
   (* Links with no active receiver have t-independent usage, so once
      they pass at [t_cur] they pass at every t ≥ t_cur: the search
      itself only re-evaluates links that still carry active
@@ -338,26 +536,43 @@ let bisection_bound st t_cur rho_bound =
        links only: usage elsewhere is all-frozen, t-independent, and
        no concern of this solve's — a stale pin overfilling a link the
        component never crosses must not clamp the component to zero. *)
-    let check l ok = if link_usage_at st ~link:l t > st.cap.(l) +. tol_for st.cap.(l) then ok := false in
     let ok = ref true in
-    (match st.touched_links with
-    | Some mask ->
-        for l = 0 to st.nl - 1 do
-          if Array.unsafe_get mask l then check l ok
+    let check l = if link_usage_at st ~link:l t > st.cap.(l) +. tol_for st.cap.(l) then ok := false in
+    (match st.restricted with
+    | Some (touched, nt) ->
+        for tp = 0 to nt - 1 do
+          check touched.(tp)
         done
     | None ->
         for l = 0 to st.nl - 1 do
-          check l ok
+          check l
         done);
     !ok
   in
-  let max_cap = Array.fold_left Stdlib.max 0.0 st.cap in
+  (* Every active receiver crosses at least one dirty-list link, so
+     the dirty-list's largest capacity bounds the search as tightly as
+     the global maximum used to. *)
+  let max_cap = ref 0.0 in
+  (match st.restricted with
+  | Some (touched, nt) ->
+      for tp = 0 to nt - 1 do
+        let c = st.cap.(touched.(tp)) in
+        if c > !max_cap then max_cap := c
+      done
+  | None ->
+      for l = 0 to st.nl - 1 do
+        if st.cap.(l) > !max_cap then max_cap := st.cap.(l)
+      done);
+  let session_first = st.inc.Network.session_first in
   let min_weight = ref infinity in
-  for gid = 0 to st.n - 1 do
-    if st.active.(gid) then min_weight := Stdlib.min !min_weight st.weight.(gid)
-  done;
+  Array.iter
+    (fun i ->
+      for gid = session_first.(i) to session_first.(i + 1) - 1 do
+        if st.active.(gid) then min_weight := Stdlib.min !min_weight st.weight.(gid)
+      done)
+    solve_sessions;
   let weight_floor = if Float.is_finite !min_weight && !min_weight > 0.0 then !min_weight else 1.0 in
-  let hi = Stdlib.min rho_bound (t_cur +. (max_cap /. weight_floor) +. 1.0) in
+  let hi = Stdlib.min rho_bound (t_cur +. (!max_cap /. weight_floor) +. 1.0) in
   if not (feasible_all t_cur) then t_cur
   else if feasible_active hi then hi
   else Mmfair_numerics.Bisect.sup_satisfying feasible_active t_cur hi
@@ -370,101 +585,27 @@ let solver_name = "Allocator"
    external sinks (metrics registry, Chrome trace, JSONL) observe.
    When probes are disabled and no local [on_round] collector is
    passed, no per-round payload is built at all — the hot loop pays
-   one flag check per round. *)
-let run ?on_round ?partial engine net =
-  (* Warm start (incremental re-solve): sessions outside the fairness
-     component are pinned at caller-supplied rates before the first
-     round.  The pinned rates are validated here and handed to
-     [init_state], which builds the state directly in its post-freeze
-     shape; the water-filling below then sees the outside world as a
-     fixed background load, and the per-round scans only visit the
-     component's sessions. *)
-  let warm =
-    match partial with
-    | None -> None
-    | Some (component, frozen_rates) ->
-        let inc = Network.incidence net in
-        let m = Network.session_count net in
-        let n = inc.Network.n_receivers in
-        if Array.length frozen_rates <> m then
-          invalid_arg "Allocator.max_min_partial: frozen rates must cover every session";
-        let in_component = Array.make m false in
-        Array.iter
-          (fun i ->
-            if i < 0 || i >= m then
-              invalid_arg (Printf.sprintf "Allocator.max_min_partial: unknown session %d" i);
-            in_component.(i) <- true)
-          component;
-        let active0 = Array.make (Stdlib.max n 1) true in
-        let rates0 = Array.make (Stdlib.max n 1) 0.0 in
-        for i = 0 to m - 1 do
-          if not in_component.(i) then begin
-            let lo = inc.Network.session_first.(i) and hi = inc.Network.session_first.(i + 1) in
-            if Array.length frozen_rates.(i) <> hi - lo then
-              invalid_arg
-                (Printf.sprintf "Allocator.max_min_partial: session %d frozen rate count mismatch" i);
-            for gid = lo to hi - 1 do
-              let r = frozen_rates.(i).(gid - lo) in
-              if not (Float.is_finite r && r >= 0.0) then
-                invalid_arg
-                  (Printf.sprintf
-                     "Allocator.max_min_partial: session %d has a negative or non-finite frozen rate" i);
-              active0.(gid) <- false;
-              rates0.(gid) <- r
-            done
-          end
-        done;
-        let nl = Graph.link_count (Network.graph net) in
-        let mask = Array.make (Stdlib.max nl 1) false in
-        let rr = inc.Network.recv_row and rc = inc.Network.recv_cells in
-        Array.iter
-          (fun i ->
-            for gid = inc.Network.session_first.(i) to inc.Network.session_first.(i + 1) - 1 do
-              for p = rr.(gid) to rr.(gid + 1) - 1 do
-                mask.(rc.(p)) <- true
-              done
-            done)
-          component;
-        Some (component, active0, rates0, mask)
-  in
-  let st =
-    init_state
-      ?warm:(Option.map (fun (_, a, r, _) -> (a, r)) warm)
-      ?touched:(Option.map (fun (_, _, _, mask) -> mask) warm)
-      net
-  in
-  let all_linear = Array.for_all Redundancy_fn.is_linear st.vfn in
-  let unit_weights = Network.all_weights_unit net in
-  let use_linear =
-    match engine with
-    | `Linear ->
-        if not all_linear then
-          invalid_arg "Allocator.max_min: linear engine requires linear link-rate functions";
-        if not unit_weights then
-          invalid_arg "Allocator.max_min: linear engine requires unit weights";
-        true
-    | `Bisection -> false
-    | `Auto -> all_linear && unit_weights
-  in
+   one flag check per round.
+
+   Shared by the cold and restricted paths; every loop below is
+   bounded by [st.n_*] counters or the solve's own session/link sets,
+   never by [Array.length] of a state array (arena arrays are
+   oversized). *)
+let water_fill ?on_round st ~use_linear ~solve_sessions ~stalled_error =
   let session_first = st.inc.Network.session_first in
-  let solve_sessions =
-    match warm with None -> Array.init st.m Fun.id | Some (component, _, _, _) -> component
-  in
   let n_solve = Array.length solve_sessions in
   let round_no = ref 0 in
   let last_slack = ref infinity in
   let t_cur = ref 0.0 in
-  let guard = ref (st.n + st.nl + 2) in
+  let guard_links = match st.restricted with Some (_, nt) -> nt | None -> st.nl in
+  let guard = ref (st.n_active + guard_links + 2) in
   while st.n_active > 0 do
     (* One flag check per round: when nobody listens, the per-round
        trace payload (frozen list, saturated set) is never built. *)
     let want = Option.is_some on_round || Obs.Probe.enabled () in
     decr guard;
     incr round_no;
-    if !guard < 0 then
-      Solver_error.raise_error
-        (Solver_error.stalled ~solver:solver_name ~vfns:st.vfn ~round:!round_no
-           ~residual_slack:!last_slack);
+    if !guard < 0 then Solver_error.raise_error (stalled_error !round_no !last_slack);
     (* Largest normalized level t at which no active receiver's rate
        w·t exceeds its session's rho. *)
     let rho_bound = ref infinity in
@@ -478,7 +619,7 @@ let run ?on_round ?partial engine net =
     done;
     let t_new =
       if use_linear then Stdlib.min (linear_bound st !t_cur) !rho_bound
-      else bisection_bound st !t_cur !rho_bound
+      else bisection_bound st ~solve_sessions !t_cur !rho_bound
     in
     let t_new = Stdlib.max t_new !t_cur in
     (* Apply the increment to every active receiver. *)
@@ -510,11 +651,20 @@ let run ?on_round ?partial engine net =
     let saturated_set =
       if not want then []
       else begin
-        let acc = ref [] in
-        for l = st.nl - 1 downto 0 do
-          if st.ever_saturated.(l) then acc := l :: !acc
-        done;
-        !acc
+        match st.restricted with
+        | Some (touched, nt) ->
+            let acc = ref [] in
+            for tp = 0 to nt - 1 do
+              let l = touched.(tp) in
+              if st.ever_saturated.(l) then acc := l :: !acc
+            done;
+            List.sort Stdlib.compare !acc
+        | None ->
+            let acc = ref [] in
+            for l = st.nl - 1 downto 0 do
+              if st.ever_saturated.(l) then acc := l :: !acc
+            done;
+            !acc
       end
     in
     let frozen_count = ref 0 in
@@ -607,12 +757,74 @@ let run ?on_round ?partial engine net =
       match on_round with Some f -> f ev | None -> ()
     end;
     t_cur := t_new
-  done;
+  done
+
+let run ?on_round engine net =
+  let st = init_state net in
+  let all_linear = Array.for_all Redundancy_fn.is_linear st.vfn in
+  let unit_weights = Network.all_weights_unit net in
+  let use_linear =
+    match engine with
+    | `Linear ->
+        if not all_linear then
+          invalid_arg "Allocator.max_min: linear engine requires linear link-rate functions";
+        if not unit_weights then
+          invalid_arg "Allocator.max_min: linear engine requires unit weights";
+        true
+    | `Bisection -> false
+    | `Auto -> all_linear && unit_weights
+  in
+  let solve_sessions = Array.init st.m Fun.id in
+  water_fill ?on_round st ~use_linear ~solve_sessions
+    ~stalled_error:(fun round residual_slack ->
+      Solver_error.stalled ~solver:solver_name ~vfns:st.vfn ~round ~residual_slack);
+  let session_first = st.inc.Network.session_first in
   let rates =
     Array.init st.m (fun i ->
         Array.sub st.rates session_first.(i) (session_first.(i + 1) - session_first.(i)))
   in
   Allocation.make net rates
+
+(* Warm start (incremental re-solve): water-fill only the sessions in
+   [component], every other session pinned at its [frozen] row as a
+   fixed background load.  Setup, rounds and extraction are all
+   proportional to the component's neighborhood, not the network — the
+   scan-free churn path. *)
+let run_partial ?on_round engine net ~component ~frozen =
+  let st, all_linear, unit_weights = init_restricted net ~component ~frozen in
+  let use_linear =
+    match engine with
+    | `Linear ->
+        if not all_linear then
+          invalid_arg "Allocator.max_min: linear engine requires linear link-rate functions";
+        if not unit_weights then
+          invalid_arg "Allocator.max_min: linear engine requires unit weights";
+        true
+    | `Bisection -> false
+    | `Auto -> all_linear && unit_weights
+  in
+  let stalled_error round residual_slack =
+    (* Only a solved session's Custom function can break monotone
+       progress — frozen cells contribute t-independent usage.  Same
+       verdicts as [Solver_error.stalled], scoped to the component. *)
+    let non_mono = ref (-1) in
+    Array.iter
+      (fun i -> if !non_mono < 0 && not (Redundancy_fn.is_linear st.vfn.(i)) then non_mono := i)
+      component;
+    if !non_mono >= 0 then
+      Solver_error.Non_monotone_vfn { solver = solver_name; session = !non_mono; round }
+    else Solver_error.No_progress { solver = solver_name; round; residual_slack }
+  in
+  water_fill ?on_round st ~use_linear ~solve_sessions:component ~stalled_error;
+  let session_first = st.inc.Network.session_first in
+  (* Solved sessions get fresh rows out of the arena; everyone else's
+     pinned row is adopted as-is (shared, not copied). *)
+  let rows = Array.copy frozen in
+  Array.iter
+    (fun i ->
+      rows.(i) <- Array.sub st.rates session_first.(i) (session_first.(i + 1) - session_first.(i)))
+    component;
+  Allocation.unsafe_of_rows net rows
 
 (* The round trace is a pure view of the probe stream: collect the
    events of one run and rebuild the classic [round] records. *)
@@ -632,10 +844,11 @@ let run_trace engine net =
 let max_min_trace ?(engine = `Auto) net = run_trace engine net
 let max_min ?(engine = `Auto) net = run engine net
 
-let max_min_partial ?(engine = `Auto) ~sessions ~frozen net = run ~partial:(sessions, frozen) engine net
+let max_min_partial ?(engine = `Auto) ~sessions ~frozen net =
+  run_partial engine net ~component:sessions ~frozen
 
 let max_min_partial_result ?(engine = `Auto) ~sessions ~frozen net =
-  Solver_error.protect ~solver:solver_name (fun () -> run ~partial:(sessions, frozen) engine net)
+  Solver_error.protect ~solver:solver_name (fun () -> run_partial engine net ~component:sessions ~frozen)
 
 let max_min_trace_result ?(engine = `Auto) net =
   Solver_error.protect ~solver:solver_name (fun () -> run_trace engine net)

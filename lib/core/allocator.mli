@@ -74,19 +74,32 @@ val max_min_partial :
     [Mmfair_dynamic]): water-fill only the sessions listed in
     [sessions], holding every other session's receivers fixed at
     [frozen.(i).(k)] as background load from round one.  [frozen] must
-    have one row per session of [net] with exact per-receiver lengths
-    for the pinned sessions (rows of listed sessions are ignored).
-    The per-round scans visit only the listed sessions, so the cost
-    scales with the fairness component, not the network.
+    have one row per session of [net]; rows of listed sessions are
+    ignored.  Setup, per-round scans and result assembly all touch
+    only the listed sessions and the links they cross, so the cost
+    scales with the fairness component's neighborhood, not the
+    network (the state lives in a per-domain scratch arena reused
+    across calls).
 
     This computes the exact max-min fair allocation of the {e
     restricted} problem (pinned rates as constants).  It equals the
     global [max_min] precisely when no link carrying both solved and
     pinned receivers is saturated in the combined result — the
     fairness-component invariant that [Mmfair_dynamic.Engine]
-    establishes before calling (see DESIGN.md §11).  Raises
-    [Invalid_argument] on an unknown session id, shape mismatch,
-    negative or non-finite pinned rates, or an engine/network
+    establishes before calling (see DESIGN.md §11).
+
+    Because only the component's neighborhood is read, validation is
+    scoped the same way: rows of pinned sessions sharing a link with
+    the component are checked for shape and for negative/non-finite
+    rates, while rows of sessions the solve never reads are adopted
+    into the returned allocation {e as-is, without copying or
+    validation} — callers must treat pinned rows as immutable once
+    passed.  Engine eligibility ([`Auto]'s linear/unit-weight check,
+    [`Linear]'s contract) is likewise judged on the involved sessions
+    only, so a [Custom] session elsewhere in the network no longer
+    forces the component onto the bisection engine.  Raises
+    [Invalid_argument] on an unknown session id, a shape mismatch or
+    bad pinned rate among the rows it reads, or an engine/component
     mismatch; {!Solver_error.Error} as for {!max_min}. *)
 
 val max_min_partial_result :

@@ -15,19 +15,37 @@ let eps_bind = 1e-7
 type t = {
   net : Network.t;
   in_comp : bool array; (* per session *)
-  parent : int array; (* per session; meaningful for members *)
+  parent : int array; (* per session; meaningful for members only,
+                         initialized in [add] — [create] leaves the
+                         array memset-zero so building a component
+                         costs no O(sessions) closure loop *)
+  mutable members : int list; (* the member set, insertion order *)
   mutable n_sessions : int;
+  mutable n_recv : int; (* total receivers across members *)
 }
 
 let create net =
   let n = Network.session_count net in
-  { net; in_comp = Array.make n false; parent = Array.init n (fun i -> i); n_sessions = 0 }
+  {
+    net;
+    in_comp = Array.make n false;
+    parent = Array.make n 0;
+    members = [];
+    n_sessions = 0;
+    n_recv = 0;
+  }
 
 let network t = t.net
 let mem t i = t.in_comp.(i)
 let cardinal t = t.n_sessions
 let is_empty t = t.n_sessions = 0
 let is_full t = t.n_sessions = Array.length t.in_comp
+
+(* Every enumeration below walks the member list (sorted ascending for
+   determinism) instead of the per-session flag array: the churn
+   engine's components are tiny next to the network, and an O(sessions)
+   sweep per batch is exactly what the incremental path must avoid. *)
+let sorted_members t = List.sort Stdlib.compare t.members
 
 let rec find t i =
   let p = t.parent.(i) in
@@ -46,19 +64,11 @@ let fill t =
   let n = Array.length t.in_comp in
   Array.fill t.in_comp 0 n true;
   Array.fill t.parent 0 n 0;
-  t.n_sessions <- n
+  t.members <- List.init n Fun.id;
+  t.n_sessions <- n;
+  t.n_recv <- Network.receiver_count t.net
 
-let sessions t =
-  let out = Array.make t.n_sessions 0 in
-  let k = ref 0 in
-  Array.iteri
-    (fun i inside ->
-      if inside then begin
-        out.(!k) <- i;
-        incr k
-      end)
-    t.in_comp;
-  out
+let sessions t = Array.of_list (sorted_members t)
 
 let groups t =
   (* Ascending iteration meets each group at its smallest session,
@@ -66,47 +76,46 @@ let groups t =
      ordered by root, members ascending within. *)
   let buckets = Hashtbl.create 16 in
   let roots = ref [] in
-  Array.iteri
-    (fun i inside ->
-      if inside then
-        let r = find t i in
-        match Hashtbl.find_opt buckets r with
-        | None ->
-            Hashtbl.add buckets r (ref [ i ]);
-            roots := r :: !roots
-        | Some members -> members := i :: !members)
-    t.in_comp;
+  List.iter
+    (fun i ->
+      let r = find t i in
+      match Hashtbl.find_opt buckets r with
+      | None ->
+          Hashtbl.add buckets r (ref [ i ]);
+          roots := r :: !roots
+      | Some members -> members := i :: !members)
+    (sorted_members t);
   List.rev_map (fun r -> Array.of_list (List.rev !(Hashtbl.find buckets r))) !roots
 
-let receiver_count t =
-  let n = ref 0 in
-  Array.iteri
-    (fun i inside ->
-      if inside then
-        n := !n + Array.length (Network.session_spec t.net i).Network.receivers)
-    t.in_comp;
-  !n
+let receiver_count t = t.n_recv
 
-(* Per-link binding test, lazy and memoized: 0 unknown / 1 binding /
-   2 slack.  Capacities come from the allocation's own network, so a
+(* Per-link binding test, lazy and memoized.  The memo is sparse (a
+   hash table, not an O(links) array): the churn engine builds one of
+   these per group per boundary-fixed-point iteration, and only
+   component-adjacent links are ever queried, so a dense cache would
+   put an O(links) allocation on every disjoint group of every batch.
+   Capacities come from the allocation's own network, so a
    pre-surgery allocation is judged against pre-surgery capacities. *)
 let binding alloc =
   let g = Network.graph (Allocation.network alloc) in
-  let cache = Array.make (Stdlib.max (Graph.link_count g) 1) 0 in
+  let cache = Hashtbl.create 64 in
   fun l ->
-    match cache.(l) with
-    | 1 -> true
-    | 2 -> false
-    | _ ->
+    match Hashtbl.find_opt cache l with
+    | Some b -> b
+    | None ->
         let c = Graph.capacity g l in
         let b = Allocation.link_rate alloc l >= c -. (eps_bind *. Stdlib.max 1.0 c) in
-        cache.(l) <- (if b then 1 else 2);
+        Hashtbl.add cache l b;
         b
 
 let add t i =
   if not t.in_comp.(i) then begin
     t.in_comp.(i) <- true;
-    t.n_sessions <- t.n_sessions + 1
+    t.parent.(i) <- i;
+    t.members <- i :: t.members;
+    t.n_sessions <- t.n_sessions + 1;
+    t.n_recv <-
+      t.n_recv + Array.length (Network.session_spec t.net i).Network.receivers
   end
 
 (* Grow by session [i] and everything reachable from it over binding
@@ -150,8 +159,10 @@ let absorb_link t ~binding l =
    and carry both a [member] and a non-[member] receiver. *)
 let boundary_scan t ~binding ~member iter_sessions =
   let inc = Network.incidence t.net in
-  let nl = Graph.link_count (Network.graph t.net) in
-  let seen = Array.make (Stdlib.max nl 1) false in
+  (* Sparse visited set: the scan only touches the member sessions'
+     path links, so a dense O(links) array per call would dominate the
+     per-group cost on large topologies. *)
+  let seen = Hashtbl.create 64 in
   let boundary = ref [] in
   (* A boundary link carries at least one member receiver, so only
      links on the member sessions' paths can qualify: enumerate those
@@ -160,8 +171,8 @@ let boundary_scan t ~binding ~member iter_sessions =
       for gid = inc.Network.session_first.(i) to inc.Network.session_first.(i + 1) - 1 do
         for p = inc.Network.recv_row.(gid) to inc.Network.recv_row.(gid + 1) - 1 do
           let l = inc.Network.recv_cells.(p) in
-          if not seen.(l) then begin
-            seen.(l) <- true;
+          if not (Hashtbl.mem seen l) then begin
+            Hashtbl.add seen l ();
             if binding l then begin
               (* Straight off the CSR: does the saturated link carry
                  both member and frozen receivers? *)
@@ -181,7 +192,7 @@ let boundary_scan t ~binding ~member iter_sessions =
 let boundary_links t ~binding =
   boundary_scan t ~binding
     ~member:(fun s -> t.in_comp.(s))
-    (fun f -> Array.iteri (fun i inside -> if inside then f i) t.in_comp)
+    (fun f -> List.iter f (sorted_members t))
 
 let group_boundary_links t ~binding group =
   if Array.length group = 0 then []

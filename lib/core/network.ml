@@ -469,8 +469,7 @@ let validate_session graph i s =
   done
 
 (* One BFS from the session's sender routes all its receivers. *)
-let route_session graph i s =
-  let from_sender = Routing.paths_from graph s.sender in
+let route_session_tree graph i s from_sender =
   Array.mapi
     (fun k r ->
       if r < 0 || r >= Graph.node_count graph then
@@ -505,11 +504,28 @@ let assemble graph sessions paths =
 
 let validate_and_route graph sessions =
   check_capacities graph;
+  (* Sessions sharing a sender share one BFS tree: multicast workloads
+     at scale source many sessions from few nodes, and each tree costs
+     O(nodes + links).  The cache is bounded (FIFO) so a pathological
+     all-distinct-senders population degrades to the old one-BFS-per-
+     session cost instead of holding every tree live at once. *)
+  let cache = Hashtbl.create 64 in
+  let order = Queue.create () in
+  let tree_of sender =
+    match Hashtbl.find_opt cache sender with
+    | Some t -> t
+    | None ->
+        let t = Routing.paths_from graph sender in
+        if Hashtbl.length cache >= 64 then Hashtbl.remove cache (Queue.pop order);
+        Hashtbl.replace cache sender t;
+        Queue.add sender order;
+        t
+  in
   let paths =
     Array.mapi
       (fun i s ->
         validate_session graph i s;
-        route_session graph i s)
+        route_session_tree graph i s (tree_of s.sender))
       sessions
   in
   assemble graph sessions paths
@@ -518,7 +534,9 @@ let make graph sessions = validate_and_route graph (Array.copy sessions)
 
 let graph t = t.graph
 let session_count t = Array.length t.sessions
-let receiver_count t = Array.fold_left (fun acc s -> acc + Array.length s.receivers) 0 t.sessions
+(* Straight off the incidence — the churn engine reads this per batch,
+   so the fold over every spec would be an O(sessions) term. *)
+let receiver_count t = t.inc.n_receivers
 
 let check_session t i name =
   if i < 0 || i >= Array.length t.sessions then
@@ -716,6 +734,107 @@ let with_capacity t link cap =
   (* Routing is hop-count BFS, capacity-independent: paths and every
      view derived from them survive a capacity change untouched. *)
   { t with graph }
+
+(* --- coalesced surgery ------------------------------------------------ *)
+
+(* A batch of churn events applied through the single-event [with_*]
+   functions pays one full CSR splice {e per event} — O(sessions +
+   path positions) each, so a K-event batch costs K incidence
+   rebuilds.  The surgery builder accumulates every change on private
+   copies of the spec/path arrays (cheap pointer memcpys plus
+   per-touched-session work) and pays {e one} [build_incidence] at
+   commit, which is what lets the batch engine's per-event cost
+   amortize toward the component-local solve at 10⁵–10⁶ sessions.
+
+   Validation and routing semantics are identical to folding the
+   [with_*] functions event by event — each operation validates
+   against the accumulated state and raises the same exceptions — and
+   a raise leaves the base network untouched (the builder is the only
+   thing dirtied). *)
+
+type surgery = {
+  mutable srg_graph : Graph.t;
+  (* The base graph is shared until the first capacity write; copied
+     at most once per surgery, not once per capacity event. *)
+  mutable srg_graph_owned : bool;
+  srg_sessions : session_spec array;
+  srg_paths : Routing.path array array;
+}
+
+let surgery_begin t =
+  {
+    srg_graph = t.graph;
+    srg_graph_owned = false;
+    srg_sessions = Array.copy t.sessions;
+    srg_paths = Array.copy t.paths;
+  }
+
+let surgery_session_count srg = Array.length srg.srg_sessions
+
+let surgery_spec srg i =
+  if i < 0 || i >= Array.length srg.srg_sessions then
+    invalid_arg (Printf.sprintf "Network.surgery_spec: unknown session %d" i);
+  srg.srg_sessions.(i)
+
+let surgery_join ?weight srg ~session ~node =
+  if session < 0 || session >= Array.length srg.srg_sessions then
+    invalid_arg (Printf.sprintf "Network.with_receiver: unknown session %d" session);
+  let s = srg.srg_sessions.(session) in
+  let weight = match weight with Some w -> w | None -> s.weights.(0) in
+  if not (weight > 0.0 && Float.is_finite weight) then
+    invalid_arg "Network.with_receiver: weight must be positive and finite";
+  if s.session_type = Single_rate && weight <> s.weights.(0) then
+    invalid_arg "Network.with_receiver: unequal weights in single-rate session";
+  if node < 0 || node >= Graph.node_count srg.srg_graph then
+    invalid_arg (Printf.sprintf "Network.with_receiver: unknown node %d" node);
+  if s.sender = node || Array.exists (fun r -> r = node) s.receivers then
+    invalid_arg
+      (Printf.sprintf "Network.with_receiver: session %d already has a member on node %d" session node);
+  let new_path =
+    match Routing.shortest_path srg.srg_graph s.sender node with
+    | Some p -> p
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Network.make: session %d receiver %d unreachable" session
+             (Array.length s.receivers))
+  in
+  srg.srg_sessions.(session) <-
+    { s with
+      receivers = Array.append s.receivers [| node |];
+      weights = Array.append s.weights [| weight |] };
+  srg.srg_paths.(session) <- Array.append srg.srg_paths.(session) [| new_path |]
+
+let surgery_leave srg (r : receiver_id) =
+  if r.session < 0 || r.session >= Array.length srg.srg_sessions then
+    invalid_arg (Printf.sprintf "Network.without_receiver: unknown session %d" r.session);
+  let s = srg.srg_sessions.(r.session) in
+  if r.index < 0 || r.index >= Array.length s.receivers then
+    invalid_arg
+      (Printf.sprintf "Network.without_receiver: unknown receiver %d of session %d" r.index r.session);
+  if Array.length s.receivers <= 1 then
+    invalid_arg "Network.without_receiver: session would become empty";
+  srg.srg_sessions.(r.session) <-
+    { s with receivers = drop_index s.receivers r.index; weights = drop_index s.weights r.index };
+  srg.srg_paths.(r.session) <- drop_index srg.srg_paths.(r.session) r.index
+
+let surgery_rho srg i rho =
+  if i < 0 || i >= Array.length srg.srg_sessions then
+    invalid_arg (Printf.sprintf "Network.with_rho: unknown session %d" i);
+  if not (rho > 0.0) then invalid_arg "Network.with_rho: rho must be positive";
+  srg.srg_sessions.(i) <- { srg.srg_sessions.(i) with rho }
+
+let surgery_capacity srg link cap =
+  if link < 0 || link >= Graph.link_count srg.srg_graph then
+    invalid_arg (Printf.sprintf "Network.with_capacity: unknown link %d" link);
+  if not (Float.is_finite cap && cap > 0.0) then
+    invalid_arg (Printf.sprintf "Network.with_capacity: capacity must be positive and finite (got %g)" cap);
+  if not srg.srg_graph_owned then begin
+    srg.srg_graph <- Graph.copy srg.srg_graph;
+    srg.srg_graph_owned <- true
+  end;
+  Graph.set_capacity srg.srg_graph link cap
+
+let surgery_commit srg = assemble srg.srg_graph srg.srg_sessions srg.srg_paths
 
 let pp fmt t =
   Array.iteri

@@ -198,5 +198,48 @@ val with_capacity : t -> Mmfair_topology.Graph.link_id -> float -> t
     [Invalid_argument] on an unknown link or a non-positive or
     non-finite capacity. *)
 
+(** {2 Coalesced surgery}
+
+    A batch of churn events applied through the single-event [with_*]
+    functions pays one full incidence splice {e per event}.  The
+    surgery builder accumulates any number of changes on private
+    copies of the network's internal arrays and pays {e one} rebuild
+    at {!surgery_commit} — the batch engine's ingest path, where a
+    K-event batch must not cost K incidence rebuilds.  Semantics
+    (validation order, routing, error messages) are identical to
+    folding the corresponding [with_*] calls: each operation validates
+    against the accumulated state, and a raise leaves the base network
+    untouched.  A builder is single-use: discard it after
+    {!surgery_commit}. *)
+
+type surgery
+
+val surgery_begin : t -> surgery
+(** A builder over [t].  O(sessions) pointer copies, no validation. *)
+
+val surgery_session_count : surgery -> int
+
+val surgery_spec : surgery -> int -> session_spec
+(** The accumulated spec of session [i] — mid-batch state, reflecting
+    every operation applied so far.  Raises [Invalid_argument] on an
+    unknown session. *)
+
+val surgery_join : ?weight:float -> surgery -> session:int -> node:Mmfair_topology.Graph.node -> unit
+(** As {!with_receiver}, against the accumulated state. *)
+
+val surgery_leave : surgery -> receiver_id -> unit
+(** As {!without_receiver}, against the accumulated state. *)
+
+val surgery_rho : surgery -> int -> float -> unit
+(** As {!with_rho}, against the accumulated state. *)
+
+val surgery_capacity : surgery -> Mmfair_topology.Graph.link_id -> float -> unit
+(** As {!with_capacity}, against the accumulated state (the graph is
+    copied at most once per surgery). *)
+
+val surgery_commit : surgery -> t
+(** The network with every accumulated change applied: one incidence
+    rebuild, linear in sessions + links + total routed path length. *)
+
 val pp : Format.formatter -> t -> unit
 (** Sessions with their types, senders, receivers and paths. *)

@@ -71,16 +71,20 @@ let solver t = t.solver
 
 (* --- event application ------------------------------------------------ *)
 
-let find_receiver net ~session ~node ~what =
-  if session < 0 || session >= Network.session_count net then
+let find_receiver_in ~session_count ~spec ~session ~node ~what =
+  if session < 0 || session >= session_count then
     invalid_arg (Printf.sprintf "Dynamic.Engine.apply: %s targets unknown session %d" what session);
-  let receivers = (Network.session_spec net session).Network.receivers in
+  let receivers = (spec session).Network.receivers in
   let found = ref (-1) in
   Array.iteri (fun k r -> if r = node && !found < 0 then found := k) receivers;
   if !found < 0 then
     invalid_arg
       (Printf.sprintf "Dynamic.Engine.apply: session %d has no receiver on node %d" session node);
   { Network.session; Network.index = !found }
+
+let find_receiver net ~session ~node ~what =
+  find_receiver_in ~session_count:(Network.session_count net) ~spec:(Network.session_spec net)
+    ~session ~node ~what
 
 let apply_event net (event : Event.t) =
   match event with
@@ -89,6 +93,20 @@ let apply_event net (event : Event.t) =
       Network.without_receiver net (find_receiver net ~session ~node ~what:"leave")
   | Event.Rho_change { session; rho } -> Network.with_rho net session rho
   | Event.Capacity_change { link; cap } -> Network.with_capacity net link cap
+
+(* Same event semantics over the surgery builder: validation runs
+   against the accumulated mid-batch state (a leave sees the batch's
+   earlier joins), and the whole batch pays one incidence rebuild at
+   commit instead of one per event. *)
+let apply_surgery_event srg (event : Event.t) =
+  match event with
+  | Event.Join { session; node; weight } -> Network.surgery_join ?weight srg ~session ~node
+  | Event.Leave { session; node } ->
+      Network.surgery_leave srg
+        (find_receiver_in ~session_count:(Network.surgery_session_count srg)
+           ~spec:(Network.surgery_spec srg) ~session ~node ~what:"leave")
+  | Event.Rho_change { session; rho } -> Network.surgery_rho srg session rho
+  | Event.Capacity_change { link; cap } -> Network.surgery_capacity srg link cap
 
 (* --- coalescing diff --------------------------------------------------- *)
 
@@ -106,22 +124,28 @@ type session_diff = {
   frozen_row : float array;
       (* Old rates remapped to the final receiver order by node (0.0
          for arrived or weight-changed nodes).  For an unchanged
-         session this is exactly its previous row; a changed session's
-         row is never its own pin (it is always inside some solved
-         group) but serves as background load when *other* disjoint
-         groups solve with this session frozen. *)
+         session this is its previous row {e shared}, not copied —
+         rows flow pin → solve → next epoch's allocation by pointer,
+         and nobody mutates a row once built.  A changed session's row
+         is never its own pin (it is always inside some solved group)
+         but serves as background load when *other* disjoint groups
+         solve with this session frozen. *)
   departed_paths : Mmfair_topology.Routing.path list;
       (* Old data-paths of the net-departed receivers: links the new
          network no longer associates with the session but whose freed
          capacity lets bystanders rise. *)
 }
 
-let unchanged_diff old_alloc i n =
+(* An unchanged session's pin is its previous row shared by pointer:
+   materializing a copy per session would put an O(receivers) term on
+   every batch, which is exactly what the event-derived candidate sets
+   below exist to avoid. *)
+let unchanged_diff old_alloc i =
   {
     changed = false;
     arrived = 0;
     departed = 0;
-    frozen_row = Array.init n (fun index -> Allocation.rate old_alloc { Network.session = i; index });
+    frozen_row = Allocation.unsafe_rates_of_session old_alloc i;
     departed_paths = [];
   }
 
@@ -136,7 +160,7 @@ let diff_session old_net old_alloc new_net i =
      session a batch does not touch.  A touched-but-netted-out session
      (leave + rejoin) gets fresh arrays and takes the full diff. *)
   if old_recv == new_recv && old_spec.Network.weights == new_spec.Network.weights then
-    unchanged_diff old_alloc i (Array.length new_recv)
+    unchanged_diff old_alloc i
   else
   let n_old = Array.length old_recv and n_new = Array.length new_recv in
   (* Nodes are distinct within a session (the paper's τ restriction),
@@ -189,54 +213,93 @@ let apply t events =
   (* Surgeries run on a local accumulator: a mid-batch validation
      failure (unknown session, leave of an absent receiver, …) raises
      before any engine state mutates, exactly like the per-event
-     path. *)
-  let new_net = List.fold_left apply_event old_net events in
-  let m = Network.session_count new_net in
+     path.  A single event takes the incremental splice; a real batch
+     goes through the coalesced surgery builder so K events cost one
+     incidence rebuild, not K. *)
+  let new_net =
+    match events with
+    | [ e ] -> apply_event old_net e
+    | _ ->
+        let srg = Network.surgery_begin old_net in
+        List.iter (apply_surgery_event srg) events;
+        Network.surgery_commit srg
+  in
   let total_receivers = Network.receiver_count new_net in
   let raw = List.length events in
-  (* Net out the batch per entity. *)
-  let diffs = Array.init m (fun i -> diff_session old_net old_alloc new_net i) in
+  (* Net out the batch per entity.  Only sessions and links named by
+     some event can differ between the two networks — surgeries share
+     every untouched spec physically and the graph copy preserves
+     unnamed capacities — so the batch's own event list, deduplicated,
+     is the complete candidate set, and only candidates are diffed at
+     all.  The old-vs-new comparison sweeps over all sessions and all
+     links are gone from the per-batch cost; what remains is work
+     proportional to the events themselves (plus the pointer-memcpy
+     of the pinned-row array below). *)
+  let cand_sessions = Hashtbl.create 16 in
+  let cand_links = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Event.t) ->
+      match e with
+      | Event.Join { session; _ } | Event.Leave { session; _ } | Event.Rho_change { session; _ }
+        ->
+          Hashtbl.replace cand_sessions session ()
+      | Event.Capacity_change { link; _ } -> Hashtbl.replace cand_links link ())
+    events;
   let old_g = Network.graph old_net and new_g = Network.graph new_net in
   let changed_links = ref [] in
   let cap_net = ref 0 in
-  for l = Graph.link_count new_g - 1 downto 0 do
-    if Graph.capacity old_g l <> Graph.capacity new_g l then begin
-      incr cap_net;
-      changed_links := l :: !changed_links
-    end
-  done;
-  let rho_net = ref 0 in
-  let seeds = ref [] in
-  for i = m - 1 downto 0 do
-    let rho_moved = Network.rho old_net i <> Network.rho new_net i in
-    if rho_moved then incr rho_net;
-    if diffs.(i).changed || rho_moved then seeds := i :: !seeds
-  done;
-  let net_events =
-    Array.fold_left (fun acc d -> acc + d.arrived + d.departed) 0 diffs + !rho_net + !cap_net
+  Hashtbl.iter
+    (fun l () ->
+      if Graph.capacity old_g l <> Graph.capacity new_g l then begin
+        incr cap_net;
+        changed_links := l :: !changed_links
+      end)
+    cand_links;
+  (* Sorted for deterministic absorb order regardless of hashing. *)
+  let changed_links = List.sort Stdlib.compare !changed_links in
+  let cand_diffs =
+    List.map
+      (fun i -> (i, diff_session old_net old_alloc new_net i))
+      (List.sort Stdlib.compare (Hashtbl.fold (fun i () acc -> i :: acc) cand_sessions []))
   in
+  let rho_net = ref 0 in
+  let membership_net = ref 0 in
+  let seeds = ref [] in
+  List.iter
+    (fun (i, d) ->
+      membership_net := !membership_net + d.arrived + d.departed;
+      let rho_moved = Network.rho old_net i <> Network.rho new_net i in
+      if rho_moved then incr rho_net;
+      if d.changed || rho_moved then seeds := i :: !seeds)
+    cand_diffs;
+  let seeds = List.rev !seeds in
+  let net_events = !membership_net + !rho_net + !cap_net in
   let cancelled = raw - net_events in
   (* The union fairness component: everything any surviving change can
      reach over the previous epoch's binding links. *)
   let comp = Component.create new_net in
   let old_binding = Component.binding old_alloc in
-  List.iter (fun i -> Component.absorb comp ~binding:old_binding i) !seeds;
+  List.iter (fun i -> Component.absorb comp ~binding:old_binding i) seeds;
   List.iter
     (fun l ->
       List.iter
         (fun (r : Network.receiver_id) ->
           Component.absorb comp ~binding:old_binding r.Network.session)
         (Network.all_on_link new_net ~link:l))
-    !changed_links;
+    changed_links;
   (* Departed receivers' old paths are gone from their sessions' new
      link sets; absorb the bystanders on their binding links directly. *)
-  Array.iter
-    (fun d ->
+  List.iter
+    (fun (_, d) ->
       List.iter
         (fun path -> List.iter (fun l -> Component.absorb_link comp ~binding:old_binding l) path)
         d.departed_paths)
-    diffs;
-  let pinned = Array.map (fun d -> d.frozen_row) diffs in
+    cand_diffs;
+  (* Unchanged sessions pin their previous rows by pointer — one
+     memcpy of the outer array — and only the diffed candidates get a
+     remapped row. *)
+  let pinned = Array.copy (Allocation.unsafe_rows old_alloc) in
+  List.iter (fun (i, d) -> pinned.(i) <- d.frozen_row) cand_diffs;
   let (module E : Solve_engine.S) = t.solver in
   let has_partial = E.capabilities.Solve_engine.partial in
   let solves = ref 0 in
@@ -277,20 +340,21 @@ let apply t events =
      catches and resolves by merging.  Recomputed per round: expansion
      absorbs new members. *)
   let background () =
-    Array.mapi
-      (fun i row -> if Component.mem comp i then Array.make (Array.length row) 0.0 else row)
-      pinned
+    let bg = Array.copy pinned in
+    Array.iter (fun i -> bg.(i) <- Array.make (Array.length pinned.(i)) 0.0) (Component.sessions comp);
+    bg
   in
-  (* Scheduler-task granularity: a restricted solve pays O(network)
-     setup no matter how few sessions it lists, so scheduling every
-     tiny component as its own task would make a 16-singleton flash
-     crowd pay sixteen setups where the old union solve paid one.
-     Groups are packed, in root order, into tasks of at least
-     [min_task_sessions] sessions; components stay the unit of
-     independence and merging, packing only amortizes solver setup.
-     Packing is deterministic — independent of the domain count — so
-     allocations stay bitwise identical at every count. *)
-  let min_task_sessions = 8 in
+  (* Scheduler-task granularity: a restricted solve still pays an
+     O(sessions) row copy to assemble its result no matter how few
+     sessions it lists, so scheduling every tiny component as its own
+     task would make a 64-cluster flash crowd pay sixty-four of those
+     where the old union solve paid one.  Groups are packed, in root
+     order, into tasks of at least [min_task_sessions] sessions;
+     components stay the unit of independence and merging, packing
+     only amortizes per-solve assembly.  Packing is deterministic —
+     independent of the domain count — so allocations stay bitwise
+     identical at every count. *)
+  let min_task_sessions = 256 in
   let pack_groups groups =
     let packs, last, _ =
       List.fold_left
@@ -320,26 +384,27 @@ let apply t events =
   (* Stitch per-group solves into one candidate allocation: every
      group solved over the same pinned background, and the groups are
      disjoint, so each group's rows come from its own solve and every
-     unsolved session keeps its pin.  (Row-sharing is fine:
-     [Allocation.make] copies.) *)
+     unsolved session keeps its pin.  Rows are shared by pointer in
+     both directions (no row is ever mutated once built); only the
+     outer per-session array is fresh. *)
   let merge groups allocs =
     match allocs with
     | [ a ] -> a
     | _ ->
         let rates = Array.copy pinned in
         List.iter2
-          (fun g a -> Array.iter (fun i -> rates.(i) <- Allocation.rates_of_session a i) g)
+          (fun g a -> Array.iter (fun i -> rates.(i) <- Allocation.unsafe_rates_of_session a i) g)
           groups allocs;
-        Allocation.make new_net rates
+        Allocation.unsafe_of_rows new_net rates
   in
   let final_components = ref 0 in
   let alloc =
     if Component.is_empty comp then
       (* Nobody's rates can move (pure cancellation, or a capacity
-         change on an unused link): carry every rate forward verbatim.
-         All frozen rows are full here — only unchanged sessions leave
-         the component empty. *)
-      Allocation.make new_net pinned
+         change on an unused link): carry every rate forward verbatim,
+         sharing the previous epoch's rows.  All frozen rows are full
+         here — only unchanged sessions leave the component empty. *)
+      Allocation.unsafe_of_rows new_net pinned
     else if
       (not has_partial)
       || (Component.is_full comp && match Component.groups comp with [ _ ] -> true | _ -> false)
@@ -490,7 +555,7 @@ let apply t events =
        the splice and counts a join's rate as a move from zero. *)
     let max_delta = ref 0.0 in
     for s = 0 to Network.session_count new_net - 1 do
-      let now = Allocation.rates_of_session !alloc s in
+      let now = Allocation.unsafe_rates_of_session !alloc s in
       let before = pinned.(s) in
       Array.iteri
         (fun k r ->

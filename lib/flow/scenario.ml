@@ -1,4 +1,5 @@
 module Graph = Mmfair_topology.Graph
+module Builders = Mmfair_topology.Builders
 module Network = Mmfair_core.Network
 
 type cls = {
@@ -107,18 +108,18 @@ let star_of_stars ?(clusters = 8) ?(trunk_capacity = 4.0) ?(leaf_factor = 4.0) ?
     invalid_arg "Scenario.star_of_stars: trunk_capacity must be finite and positive";
   if not (Float.is_finite leaf_factor && leaf_factor >= 1.0) then
     invalid_arg "Scenario.star_of_stars: leaf_factor must be finite and >= 1";
-  let g = Graph.create ~nodes:1 in
-  let root = 0 in
+  (* Flows of distinct sessions SUM on a shared link, so the leaf
+     needs headroom over the trunk to keep the trunk the unique
+     bottleneck of its class.  The topology itself is the shared
+     star-of-stars builder at one leaf per cluster — same node and
+     link numbering this module used to construct privately. *)
+  let t =
+    Builders.star_of_stars ~clusters ~trunk_capacity
+      ~leaf_capacity:(trunk_capacity *. leaf_factor) ()
+  in
   let classes =
     Array.init clusters (fun c ->
-        let hub = Graph.add_node g in
-        let leaf = Graph.add_node g in
-        ignore (Graph.add_link g root hub trunk_capacity);
-        (* Flows of distinct sessions SUM on a shared link, so the leaf
-           needs headroom over the trunk to keep the trunk the unique
-           bottleneck of its class. *)
-        ignore (Graph.add_link g hub leaf (trunk_capacity *. leaf_factor));
-        { label = Printf.sprintf "cluster%d" c; sender = root; attach = leaf; size; rate;
-          peak_rate = None })
+        { label = Printf.sprintf "cluster%d" c; sender = t.Builders.root;
+          attach = t.Builders.leaves.(c).(0); size; rate; peak_rate = None })
   in
-  make ?park_rho ~slots g classes
+  make ?park_rho ~slots t.Builders.graph classes

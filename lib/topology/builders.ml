@@ -96,6 +96,176 @@ let balanced_tree ~depth ~fanout ~capacity_at =
   done;
   { graph; root; level_nodes = levels }
 
+let check_capacity ~builder what c =
+  if not (Float.is_finite c && c > 0.0) then
+    invalid_arg (Printf.sprintf "Builders.%s: %s must be finite and positive (got %g)" builder what c)
+
+type fat_tree = {
+  graph : Graph.t;
+  k : int;
+  hosts : Graph.node array;
+  edges : Graph.node array;
+  aggs : Graph.node array;
+  cores : Graph.node array;
+  host_links : Graph.link_id array;
+  pod_links : Graph.link_id array;
+  core_links : Graph.link_id array;
+}
+
+(* Al-Fares k-ary fat tree: k pods of k/2 edge and k/2 aggregation
+   switches, (k/2)^2 core switches, k/2 hosts per edge switch.  Node
+   ids are formulaic (pod-major, cores last) so placement code can
+   compute them without consulting the metadata arrays; link ids follow
+   insertion order: per pod all host links then all edge–agg links,
+   then all agg–core links. *)
+let fat_tree ?(host_capacity = 1.0) ?(pod_capacity = 1.0) ?(core_capacity = 1.0) ~k () =
+  if k < 2 || k mod 2 <> 0 then
+    invalid_arg (Printf.sprintf "Builders.fat_tree: k must be even and >= 2 (got %d)" k);
+  check_capacity ~builder:"fat_tree" "host_capacity" host_capacity;
+  check_capacity ~builder:"fat_tree" "pod_capacity" pod_capacity;
+  check_capacity ~builder:"fat_tree" "core_capacity" core_capacity;
+  let half = k / 2 in
+  let pod_nodes = k + (half * half) in (* k/2 edge + k/2 agg + (k/2)^2 hosts *)
+  let core_base = k * pod_nodes in
+  let n_cores = half * half in
+  let graph = Graph.create ~nodes:(core_base + n_cores) in
+  let edge_id p e = (p * pod_nodes) + e in
+  let agg_id p a = (p * pod_nodes) + half + a in
+  let host_id p e h = (p * pod_nodes) + k + (e * half) + h in
+  let core_id c = core_base + c in
+  let hosts = Array.make (k * half * half) 0 in
+  let edges = Array.make (k * half) 0 in
+  let aggs = Array.make (k * half) 0 in
+  let cores = Array.init n_cores core_id in
+  let host_links = Array.make (k * half * half) 0 in
+  let pod_links = Array.make (k * half * half) 0 in
+  let core_links = Array.make (k * half * half) 0 in
+  for p = 0 to k - 1 do
+    for e = 0 to half - 1 do
+      edges.((p * half) + e) <- edge_id p e;
+      aggs.((p * half) + e) <- agg_id p e;
+      for h = 0 to half - 1 do
+        let i = (p * half * half) + (e * half) + h in
+        hosts.(i) <- host_id p e h;
+        host_links.(i) <- Graph.add_link graph (edge_id p e) (host_id p e h) host_capacity
+      done
+    done;
+    for e = 0 to half - 1 do
+      for a = 0 to half - 1 do
+        pod_links.((p * half * half) + (e * half) + a) <-
+          Graph.add_link graph (edge_id p e) (agg_id p a) pod_capacity
+      done
+    done
+  done;
+  (* Aggregation switch a of every pod reaches cores [a*k/2, (a+1)*k/2):
+     the standard wiring, giving every host a 3-hop path to every
+     core. *)
+  for p = 0 to k - 1 do
+    for a = 0 to half - 1 do
+      for j = 0 to half - 1 do
+        core_links.((p * half * half) + (a * half) + j) <-
+          Graph.add_link graph (agg_id p a) (core_id ((a * half) + j)) core_capacity
+      done
+    done
+  done;
+  { graph; k; hosts; edges; aggs; cores; host_links; pod_links; core_links }
+
+type power_law = { graph : Graph.t; degrees : int array }
+
+(* Barabási–Albert preferential attachment: a clique seeds the first
+   [attach + 1] nodes, then every newcomer picks [attach] distinct
+   existing targets by sampling uniformly from the endpoint list (each
+   link contributes both ends, so a node is drawn with probability
+   proportional to its degree).  Entirely driven by [rng], so a fixed
+   seed reproduces the graph bit-for-bit. *)
+let power_law ~rng ~nodes ~attach ~cap_lo ~cap_hi =
+  if attach < 1 then invalid_arg "Builders.power_law: attach must be >= 1";
+  if nodes < attach + 1 then
+    invalid_arg
+      (Printf.sprintf "Builders.power_law: need at least attach + 1 = %d nodes (got %d)" (attach + 1)
+         nodes);
+  if not (cap_lo > 0.0) || not (cap_lo < cap_hi) then
+    invalid_arg "Builders.power_law: need 0 < cap_lo < cap_hi";
+  let graph = Graph.create ~nodes in
+  let degrees = Array.make nodes 0 in
+  let seed = attach + 1 in
+  let n_links = (attach * seed / 2) + ((nodes - seed) * attach) in
+  let ends = Array.make (Stdlib.max (2 * n_links) 1) 0 in
+  let n_ends = ref 0 in
+  let add a b =
+    let cap = Mmfair_prng.Xoshiro.uniform rng cap_lo cap_hi in
+    ignore (Graph.add_link graph a b cap);
+    degrees.(a) <- degrees.(a) + 1;
+    degrees.(b) <- degrees.(b) + 1;
+    ends.(!n_ends) <- a;
+    ends.(!n_ends + 1) <- b;
+    n_ends := !n_ends + 2
+  in
+  for a = 0 to seed - 1 do
+    for b = a + 1 to seed - 1 do
+      add a b
+    done
+  done;
+  let targets = Array.make attach (-1) in
+  for v = seed to nodes - 1 do
+    (* Rejection-sample distinct targets: the graph always holds at
+       least [attach + 1] nodes of nonzero degree, so the loop
+       terminates with probability 1 (and fast in practice). *)
+    let chosen = ref 0 in
+    while !chosen < attach do
+      let t = ends.(Mmfair_prng.Xoshiro.below rng !n_ends) in
+      let dup = ref false in
+      for j = 0 to !chosen - 1 do
+        if targets.(j) = t then dup := true
+      done;
+      if not !dup then begin
+        targets.(!chosen) <- t;
+        incr chosen
+      end
+    done;
+    for j = 0 to attach - 1 do
+      add v targets.(j)
+    done
+  done;
+  { graph; degrees }
+
+type star_of_stars = {
+  graph : Graph.t;
+  root : Graph.node;
+  hubs : Graph.node array;
+  leaves : Graph.node array array;
+  trunks : Graph.link_id array;
+  leaf_links : Graph.link_id array array;
+}
+
+(* Construction order matters: per cluster the hub is added, then its
+   leaves, then the trunk link, then the leaf links.  At one leaf per
+   cluster this reproduces the node/link numbering the flow layer's
+   scenario pool always used, so refactoring it onto this builder keeps
+   every derived artifact (benchmark verdicts included) bitwise
+   identical. *)
+let star_of_stars ?(leaves_per_cluster = 1) ~clusters ~trunk_capacity ~leaf_capacity () =
+  if clusters < 1 then invalid_arg "Builders.star_of_stars: clusters must be >= 1";
+  if leaves_per_cluster < 1 then
+    invalid_arg "Builders.star_of_stars: leaves_per_cluster must be >= 1";
+  check_capacity ~builder:"star_of_stars" "trunk_capacity" trunk_capacity;
+  check_capacity ~builder:"star_of_stars" "leaf_capacity" leaf_capacity;
+  let graph = Graph.create ~nodes:1 in
+  let root = 0 in
+  let hubs = Array.make clusters 0 in
+  let leaves = Array.make clusters [||] in
+  let trunks = Array.make clusters 0 in
+  let leaf_links = Array.make clusters [||] in
+  for c = 0 to clusters - 1 do
+    let hub = Graph.add_node graph in
+    let ls = Array.init leaves_per_cluster (fun _ -> Graph.add_node graph) in
+    trunks.(c) <- Graph.add_link graph root hub trunk_capacity;
+    leaf_links.(c) <- Array.map (fun leaf -> Graph.add_link graph hub leaf leaf_capacity) ls;
+    hubs.(c) <- hub;
+    leaves.(c) <- ls
+  done;
+  { graph; root; hubs; leaves; trunks; leaf_links }
+
 let random_connected ~rng ~nodes ~extra_links ~cap_lo ~cap_hi =
   if nodes < 1 then invalid_arg "Builders.random_connected: need at least one node";
   if not (cap_lo > 0.0) || not (cap_lo < cap_hi) then

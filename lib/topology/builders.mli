@@ -65,6 +65,75 @@ val balanced_tree : depth:int -> fanout:int -> capacity_at:(int -> float) -> tre
     every link from depth [d] to depth [d+1] has capacity
     [capacity_at d].  [depth ≥ 0], [fanout ≥ 1]. *)
 
+type fat_tree = {
+  graph : Graph.t;
+  k : int;                            (** Pod arity (even, ≥ 2). *)
+  hosts : Graph.node array;           (** [k³/4] hosts, pod-major then edge-major. *)
+  edges : Graph.node array;           (** [k²/2] edge switches, pod-major. *)
+  aggs : Graph.node array;            (** [k²/2] aggregation switches, pod-major. *)
+  cores : Graph.node array;           (** [(k/2)²] core switches. *)
+  host_links : Graph.link_id array;   (** [host_links.(i)] connects [hosts.(i)] to its edge switch. *)
+  pod_links : Graph.link_id array;    (** Edge–aggregation links, pod-major. *)
+  core_links : Graph.link_id array;   (** Aggregation–core links, pod-major. *)
+}
+
+val fat_tree :
+  ?host_capacity:float ->
+  ?pod_capacity:float ->
+  ?core_capacity:float ->
+  k:int ->
+  unit ->
+  fat_tree
+(** [fat_tree ~k ()] is the Al-Fares [k]-ary fat tree: [k] pods of
+    [k/2] edge and [k/2] aggregation switches, [(k/2)²] cores, [k/2]
+    hosts per edge switch — [k³/4] hosts and [3k³/4] links in total,
+    every host exactly three hops from every core.  Capacities default
+    to 1 on all three tiers.  Raises [Invalid_argument] when [k] is odd
+    or < 2, or a capacity is non-positive or non-finite. *)
+
+type power_law = {
+  graph : Graph.t;
+  degrees : int array; (** [degrees.(v)] = final degree of node [v]. *)
+}
+
+val power_law :
+  rng:Mmfair_prng.Xoshiro.t ->
+  nodes:int ->
+  attach:int ->
+  cap_lo:float ->
+  cap_hi:float ->
+  power_law
+(** Barabási–Albert preferential attachment: an [(attach+1)]-clique
+    seed, then each newcomer links to [attach] distinct degree-biased
+    existing nodes.  Connected by construction, and a fixed-seed [rng]
+    reproduces the graph exactly.  Capacities are uniform in
+    [[cap_lo, cap_hi)].  Raises [Invalid_argument] when [attach < 1],
+    [nodes < attach + 1], or [cap_lo ≥ cap_hi] or [cap_lo ≤ 0]. *)
+
+type star_of_stars = {
+  graph : Graph.t;
+  root : Graph.node;                       (** The shared sender-side node (id 0). *)
+  hubs : Graph.node array;                 (** One hub per cluster. *)
+  leaves : Graph.node array array;         (** [leaves.(c).(j)] = leaf [j] of cluster [c]. *)
+  trunks : Graph.link_id array;            (** [trunks.(c)] connects [root] to [hubs.(c)]. *)
+  leaf_links : Graph.link_id array array;  (** [leaf_links.(c).(j)] connects [hubs.(c)] to [leaves.(c).(j)]. *)
+}
+
+val star_of_stars :
+  ?leaves_per_cluster:int ->
+  clusters:int ->
+  trunk_capacity:float ->
+  leaf_capacity:float ->
+  unit ->
+  star_of_stars
+(** A root fanning out to [clusters] hubs over trunk links, each hub
+    fanning out to [leaves_per_cluster] (default 1) leaves.  The
+    generalization of the flow layer's scenario topology: at one leaf
+    per cluster the node and link numbering is exactly the shape
+    [Mmfair_flow.Scenario.star_of_stars] builds on.  Raises
+    [Invalid_argument] on [clusters < 1], [leaves_per_cluster < 1], or
+    a non-positive/non-finite capacity. *)
+
 val random_connected :
   rng:Mmfair_prng.Xoshiro.t ->
   nodes:int ->

@@ -26,7 +26,9 @@ them self-describing); the key is the BENCH_<key>.json stem.  For
 schemas the script knows (mmfair.bench.churn/v2+, whose v3 added the
 "parallel" domain-scaling section, v4 the "serving" churnd
 sustained-ingest section, and v6 the flow-level "stability" bracket
-with sojourn/fair-rate tails) it also lifts the headline gate
+with sojourn/fair-rate tails; and mmfair.bench.allocator/v3+, whose
+generated-topology scaling curves carry fitted exponents and a
+peak-live-words audit) it also lifts the headline gate
 numbers into "headlines" so the trajectory is scannable without
 digging into each embedded document.  Stdlib only — no third-party
 imports.
@@ -45,6 +47,26 @@ import sys
 def headline(doc):
     """Gate numbers for schemas we know; None for the rest."""
     schema = doc.get("schema", "")
+    if schema.startswith("mmfair.bench.allocator/"):
+        # allocator/v3 and later: generated-topology scaling curves
+        # with fitted log-log exponents and a peak-live-words audit.
+        h = {}
+        for curve in doc.get("curves") or []:
+            if not isinstance(curve, dict) or "name" not in curve:
+                continue
+            name = str(curve["name"]).replace("-", "_")
+            for exp_key in ("build_exponent", "solve_exponent", "event_exponent"):
+                if exp_key in curve:
+                    h[f"{name}_{exp_key}"] = curve[exp_key]
+            points = curve.get("points")
+            if isinstance(points, list) and points:
+                try:
+                    top = max(points, key=lambda p: p["sessions"])
+                    h[f"{name}_max_sessions"] = top["sessions"]
+                    h[f"{name}_peak_live_words"] = top["peak_live_words"]
+                except (KeyError, TypeError):
+                    pass
+        return h or None
     if not schema.startswith("mmfair.bench.churn/"):
         return None
     h = {}

@@ -25,8 +25,15 @@
    farmed out to the pool (largest listed count), which is where the
    harness spends its time; the 1e-9 comparisons are unchanged.
 
+   With --topologies fat-tree,power-law the whole battery additionally
+   runs on generated topologies from the builder layer (with the
+   bench's session placements, at differential-checkable scale), so
+   the incremental path is gated on the graph families the scaling
+   curves are measured on, not just on small random nets.
+
      churn_differential.exe [--events N] [--seeds S1,S2,...]
                             [--batch-sizes B1,B2,...] [--domains D1,D2,...]
+                            [--topologies T1,T2,...]
 
    Exits non-zero on the first divergence. *)
 
@@ -42,6 +49,7 @@ module Churn_gen = Mmfair_workload.Churn_gen
 module Churn_parser = Mmfair_workload.Churn_parser
 module Net_parser = Mmfair_workload.Net_parser
 module Xoshiro = Mmfair_prng.Xoshiro
+module Builders = Mmfair_topology.Builders
 
 let failures = ref 0
 let events_checked = ref 0
@@ -213,16 +221,10 @@ let net_config rng =
     cap_hi = 10.0;
   }
 
-let run_seed ~events ~batch_sizes ~domain_counts seed seed_idx =
-  let engine = if seed_idx mod 2 = 0 then `Auto else `Bisection in
-  let case =
-    Printf.sprintf "seed=%Ld engine=%s" seed (match engine with `Bisection -> "bisection" | _ -> "auto")
-  in
-  let rng = Xoshiro.create ~seed () in
-  let net = Random_nets.generate ~rng (net_config rng) in
-  let trace =
-    Churn_gen.generate ~rng net { Churn_gen.default with Churn_gen.events; max_receivers = 5 }
-  in
+(* Replay [trace] per-event on a fresh engine, scratch-checking every
+   step at 1e-9, round-trip the trace through the renderer/parsers,
+   then re-run the coalescing + multicore gates for each batch size. *)
+let replay_case ~case ~engine ~batch_sizes ~domain_counts net trace =
   match Engine.create_result ~engine net with
   | Error e -> fail_case ~case "initial solve errored: %s" (Solver_error.to_string e)
   | Ok eng ->
@@ -270,9 +272,70 @@ let run_seed ~events ~batch_sizes ~domain_counts seed seed_idx =
         (fun size -> check_batched ~case ~engine ~domain_counts ~size net trace reference)
         batch_sizes
 
+let run_seed ~events ~batch_sizes ~domain_counts seed seed_idx =
+  let engine = if seed_idx mod 2 = 0 then `Auto else `Bisection in
+  let case =
+    Printf.sprintf "seed=%Ld engine=%s" seed (match engine with `Bisection -> "bisection" | _ -> "auto")
+  in
+  let rng = Xoshiro.create ~seed () in
+  let net = Random_nets.generate ~rng (net_config rng) in
+  let trace =
+    Churn_gen.generate ~rng net { Churn_gen.default with Churn_gen.events; max_receivers = 5 }
+  in
+  replay_case ~case ~engine ~batch_sizes ~domain_counts net trace
+
+(* Generated-topology cases: the same differential replayed on the
+   builder layer's families, with the bench's session placements at
+   differential-sized scale (the scratch solve runs after every
+   event).  Gates the tentpole: the coalesced-surgery churn path must
+   agree with from-scratch solves on fat-tree and power-law graphs,
+   not just on small random nets. *)
+let topology_net name =
+  match name with
+  | "fat-tree" ->
+      (* k=4: 16 hosts, 2 edge-confined sessions per host. *)
+      let t = Builders.fat_tree ~k:4 () in
+      let hosts = t.Builders.hosts in
+      let specs =
+        Array.init
+          (2 * Array.length hosts)
+          (fun s ->
+            let h = s / 2 in
+            let base = h / 2 * 2 in
+            let peer = base + ((h - base + 1) mod 2) in
+            Network.session ~sender:hosts.(h) ~receivers:[| hosts.(peer) |] ())
+      in
+      Network.make t.Builders.graph specs
+  | "power-law" ->
+      let rng = Xoshiro.create ~seed:7L () in
+      let t = Builders.power_law ~rng ~nodes:48 ~attach:2 ~cap_lo:1.0 ~cap_hi:4.0 in
+      let g = t.Builders.graph in
+      let specs =
+        Array.init 48 (fun v ->
+            match Mmfair_topology.Graph.neighbors g v with
+            | (u, _) :: _ -> Network.session ~sender:v ~receivers:[| u |] ()
+            | [] -> assert false)
+      in
+      Network.make g specs
+  | other -> raise (Arg.Bad (Printf.sprintf "unknown topology %S (fat-tree, power-law)" other))
+
+let run_topology ~events ~batch_sizes ~domain_counts name idx =
+  let engine = if idx mod 2 = 0 then `Auto else `Bisection in
+  let case =
+    Printf.sprintf "topology=%s engine=%s" name
+      (match engine with `Bisection -> "bisection" | _ -> "auto")
+  in
+  let net = topology_net name in
+  let rng = Xoshiro.create ~seed:(Int64.of_int (97 + idx)) () in
+  let trace =
+    Churn_gen.generate ~rng net { Churn_gen.default with Churn_gen.events; max_receivers = 5 }
+  in
+  replay_case ~case ~engine ~batch_sizes ~domain_counts net trace
+
 let () =
   let events = ref 500 and seeds = ref [ 41L; 42L; 43L ] in
   let batch_sizes = ref [] and domain_counts = ref [ 1 ] in
+  let topologies = ref [] in
   let positive_ints ~what s =
     String.split_on_char ',' s |> List.filter (( <> ) "")
     |> List.map (fun b ->
@@ -295,6 +358,11 @@ let () =
         Arg.String (fun s -> domain_counts := positive_ints ~what:"domain counts" s),
         "D1,D2,...  replay each coalesced trace at every pool size, require bitwise-identical \
          allocations, and pool the scratch solves over the largest (default: 1)" );
+      ( "--topologies",
+        Arg.String
+          (fun s -> topologies := String.split_on_char ',' s |> List.filter (( <> ) "")),
+        "T1,T2,...  also replay generated-topology cases (fat-tree, power-law) with the same \
+         gates (default: off)" );
     ]
   in
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "churn_differential [options]";
@@ -304,6 +372,10 @@ let () =
     (fun i seed ->
       run_seed ~events:!events ~batch_sizes:!batch_sizes ~domain_counts:!domain_counts seed i)
     !seeds;
+  List.iteri
+    (fun i name ->
+      run_topology ~events:!events ~batch_sizes:!batch_sizes ~domain_counts:!domain_counts name i)
+    !topologies;
   let n = Stdlib.max 1 !events_checked in
   Printf.printf
     "churn: %d events checked over %d seeds (%d full solves, mean reuse %.2f), %d batches, %d failures\n%!"

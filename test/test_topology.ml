@@ -158,6 +158,110 @@ let test_builder_random_connected () =
       paths
   done
 
+(* --- generated internet-scale topologies ------------------------- *)
+
+let path_len g a b =
+  match Routing.shortest_path g a b with
+  | Some p -> List.length p
+  | None -> Alcotest.fail (Printf.sprintf "no path %d -> %d" a b)
+
+let qcheck_fat_tree_counts =
+  (* Al-Fares counts as functions of k: k³/4 hosts, k²/2 edge and k²/2
+     aggregation switches, (k/2)² cores; one link per host plus
+     (k/2)² edge-agg and (k/2)² agg-core links per pod. *)
+  QCheck.Test.make ~name:"fat-tree node/link counts scale as k" ~count:5
+    QCheck.(int_range 2 6)
+    (fun half ->
+      let k = 2 * half in
+      let t = Builders.fat_tree ~k () in
+      let g = t.Builders.graph in
+      let hosts = k * k * k / 4 in
+      Array.length t.Builders.hosts = hosts
+      && Array.length t.Builders.edges = k * k / 2
+      && Array.length t.Builders.aggs = k * k / 2
+      && Array.length t.Builders.cores = half * half
+      && Graph.node_count g = hosts + (k * k) + (half * half)
+      && Graph.link_count g = 3 * hosts)
+
+let qcheck_fat_tree_paths =
+  (* Every host is exactly 3 hops from every core; same-edge hosts are
+     2 apart and hosts in different pods 6 apart. *)
+  QCheck.Test.make ~name:"fat-tree path lengths" ~count:5
+    QCheck.(pair (int_range 2 4) (int_range 0 1000))
+    (fun (half, salt) ->
+      let k = 2 * half in
+      let t = Builders.fat_tree ~k () in
+      let g = t.Builders.graph in
+      let host = t.Builders.hosts.(salt mod Array.length t.Builders.hosts) in
+      let core = t.Builders.cores.(salt mod Array.length t.Builders.cores) in
+      let h0 = t.Builders.hosts.(0) and h1 = t.Builders.hosts.(1) in
+      let far = t.Builders.hosts.(Array.length t.Builders.hosts - 1) in
+      path_len g host core = 3 && path_len g h0 h1 = 2 && path_len g h0 far = 6)
+
+let power_law_at ~seed ~nodes =
+  let rng = Mmfair_prng.Xoshiro.create ~seed () in
+  Builders.power_law ~rng ~nodes ~attach:2 ~cap_lo:1.0 ~cap_hi:4.0
+
+let qcheck_power_law_degrees =
+  (* Preferential attachment grows hubs: the max degree at 512 nodes
+     dominates the max at 64, every node keeps degree >= attach, and
+     the degree array is consistent with the link count. *)
+  QCheck.Test.make ~name:"power-law degree sanity" ~count:10
+    QCheck.(int_range 1 1000)
+    (fun s ->
+      let seed = Int64.of_int s in
+      let small = power_law_at ~seed ~nodes:64 in
+      let big = power_law_at ~seed ~nodes:512 in
+      let max_deg t = Array.fold_left Stdlib.max 0 t.Builders.degrees in
+      let sum_deg t = Array.fold_left ( + ) 0 t.Builders.degrees in
+      Array.for_all (fun d -> d >= 2) big.Builders.degrees
+      && sum_deg big = 2 * Graph.link_count big.Builders.graph
+      && Array.length big.Builders.degrees = 512
+      && max_deg big > max_deg small)
+
+let graph_fingerprint g =
+  Graph.fold_links g ~init:[] ~f:(fun acc l ->
+      (Graph.endpoints g l, Graph.capacity g l) :: acc)
+
+let qcheck_power_law_deterministic =
+  QCheck.Test.make ~name:"power-law is a pure function of the seed" ~count:10
+    QCheck.(int_range 1 1000)
+    (fun s ->
+      let seed = Int64.of_int s in
+      let a = power_law_at ~seed ~nodes:128 and b = power_law_at ~seed ~nodes:128 in
+      a.Builders.degrees = b.Builders.degrees
+      && graph_fingerprint a.Builders.graph = graph_fingerprint b.Builders.graph)
+
+let test_star_of_stars_matches_scenario_shape () =
+  (* The flow layer used to build its star-of-stars privately: root 0,
+     then per cluster c a hub (2c+1), a leaf (2c+2), a trunk link (2c)
+     and a leaf link (2c+1).  The shared builder at one leaf per
+     cluster must reproduce that numbering exactly, or replaying old
+     flow scenarios through it would silently reroute. *)
+  List.iter
+    (fun clusters ->
+      let trunk = 4.0 and leaf = 16.0 in
+      let t = Builders.star_of_stars ~clusters ~trunk_capacity:trunk ~leaf_capacity:leaf () in
+      let old = Graph.create ~nodes:1 in
+      for _ = 1 to clusters do
+        let hub = Graph.add_node old in
+        let lf = Graph.add_node old in
+        ignore (Graph.add_link old 0 hub trunk);
+        ignore (Graph.add_link old hub lf leaf)
+      done;
+      Alcotest.(check int) "root" 0 t.Builders.root;
+      Alcotest.(check bool) "same fingerprint" true
+        (graph_fingerprint t.Builders.graph = graph_fingerprint old);
+      Array.iteri
+        (fun c hub ->
+          Alcotest.(check int) (Printf.sprintf "hub %d" c) ((2 * c) + 1) hub;
+          Alcotest.(check int) (Printf.sprintf "leaf %d" c) ((2 * c) + 2) t.Builders.leaves.(c).(0);
+          Alcotest.(check int) (Printf.sprintf "trunk %d" c) (2 * c) t.Builders.trunks.(c);
+          Alcotest.(check int) (Printf.sprintf "leaf link %d" c) ((2 * c) + 1)
+            t.Builders.leaf_links.(c).(0))
+        t.Builders.hubs)
+    [ 1; 2; 5; 8 ]
+
 let qcheck_random_graph_capacities =
   QCheck.Test.make ~name:"random graph capacities stay in range" ~count:50
     QCheck.(pair (int_range 2 15) (int_range 0 10))
@@ -187,5 +291,11 @@ let suite =
     Alcotest.test_case "builder dumbbell" `Quick test_builder_dumbbell;
     Alcotest.test_case "builder balanced tree" `Quick test_builder_balanced_tree;
     Alcotest.test_case "builder random connected" `Quick test_builder_random_connected;
+    Alcotest.test_case "star-of-stars matches old scenario shape" `Quick
+      test_star_of_stars_matches_scenario_shape;
+    QCheck_alcotest.to_alcotest qcheck_fat_tree_counts;
+    QCheck_alcotest.to_alcotest qcheck_fat_tree_paths;
+    QCheck_alcotest.to_alcotest qcheck_power_law_degrees;
+    QCheck_alcotest.to_alcotest qcheck_power_law_deterministic;
     QCheck_alcotest.to_alcotest qcheck_random_graph_capacities;
   ]
